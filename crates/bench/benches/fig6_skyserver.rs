@@ -1,0 +1,112 @@
+//! Figure 6 — impact of recycling on SkyServer queries.
+//!
+//! Paper setup: the 100-query SkyServer log run as one batch (1×100) and in
+//! refresh splits (2×50, 4×25, cache flushed between batches), on the
+//! MonetDB-style engine and the pipelined recycler, with a limited and an
+//! unlimited recycler cache. Reported: total runtime as a percentage of the
+//! respective naive (non-recycling) engine.
+
+use std::time::{Duration, Instant};
+
+use rdb_bench::{banner, ms, pct, sky_objects};
+use rdb_engine::{Engine, EngineConfig, MaterializingEngine, WorkloadQuery};
+use rdb_recycler::RecyclerConfig;
+use rdb_skyserver::{functions, generate, make_session, SessionOptions, SkyConfig};
+
+fn run_pipelined(
+    queries: &[WorkloadQuery],
+    splits: usize,
+    config: Option<RecyclerConfig>,
+) -> Duration {
+    let cat = generate(&SkyConfig { objects: sky_objects(), seed: 1 });
+    let fns = functions(&cat);
+    let engine = Engine::with_functions(
+        cat,
+        fns,
+        match config {
+            Some(c) => EngineConfig::with_recycler(c),
+            None => EngineConfig::off(),
+        },
+    );
+    let per_batch = queries.len() / splits;
+    let start = Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 && i % per_batch == 0 {
+            engine.flush_cache(); // simulated refresh
+        }
+        engine.run(&q.plan).expect("query runs");
+    }
+    start.elapsed()
+}
+
+fn run_materializing(
+    queries: &[WorkloadQuery],
+    splits: usize,
+    cache: Option<Option<u64>>, // None = naive; Some(cap) = recycling
+) -> Duration {
+    let cat = generate(&SkyConfig { objects: sky_objects(), seed: 1 });
+    let fns = functions(&cat);
+    let engine = match cache {
+        None => MaterializingEngine::naive(cat).with_functions(fns),
+        Some(cap) => MaterializingEngine::recycling(cat, cap).with_functions(fns),
+    };
+    let per_batch = queries.len() / splits;
+    let start = Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        if i > 0 && i % per_batch == 0 {
+            engine.flush_cache();
+        }
+        engine.run(&q.plan).expect("query runs");
+    }
+    start.elapsed()
+}
+
+fn main() {
+    banner("Figure 6: SkyServer workload, runtime as % of naive");
+    let session = make_session(&SessionOptions::default());
+    println!(
+        "{} queries over a {}-object synthetic sky catalog",
+        session.len(),
+        sky_objects()
+    );
+    // "Limited" cache sized so that it pressures the MonetDB-style engine
+    // (which must keep every intermediate) but fits the pipelined
+    // recycler's selective materializations — the paper's 1 GB analogue.
+    let limited: u64 = 512 * 1024;
+
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>14} {:>14}",
+        "workload", "monetdb/lim", "recycler/lim", "monetdb/unl", "recycler/unl"
+    );
+    for &splits in &[1usize, 2, 4] {
+        let naive_mat = run_materializing(&session, splits, None);
+        let naive_pipe = run_pipelined(&session, splits, None);
+        let mat_lim = run_materializing(&session, splits, Some(Some(limited)));
+        let mat_unl = run_materializing(&session, splits, Some(None));
+        let mut spec_lim = RecyclerConfig::speculative(limited);
+        spec_lim.spec_min_progress = 0.0;
+        let pipe_lim = run_pipelined(&session, splits, Some(spec_lim));
+        let mut spec_unl = RecyclerConfig::speculative(u64::MAX / 4);
+        spec_unl.spec_min_progress = 0.0;
+        let pipe_unl = run_pipelined(&session, splits, Some(spec_unl));
+        let label = format!("{}x{}", splits, session.len() / splits);
+        println!(
+            "{:<10} {:>14} {:>14} {:>14} {:>14}",
+            label,
+            pct(mat_lim.as_secs_f64() / naive_mat.as_secs_f64()),
+            pct(pipe_lim.as_secs_f64() / naive_pipe.as_secs_f64()),
+            pct(mat_unl.as_secs_f64() / naive_mat.as_secs_f64()),
+            pct(pipe_unl.as_secs_f64() / naive_pipe.as_secs_f64()),
+        );
+        println!(
+            "{:<10} naive runtimes: monetdb-style {} ms, pipelined {} ms",
+            "", ms(naive_mat), ms(naive_pipe)
+        );
+    }
+    println!(
+        "\nPaper shape: both recyclers land well below 45% of naive; the\n\
+         pipelined recycler wins under the limited cache (selective\n\
+         materialization), the materializing engine catches up when the\n\
+         cache is unlimited; refresh splits reduce but do not erase the win."
+    );
+}

@@ -1,0 +1,51 @@
+//! Criterion microbench: recycler-graph matching/insertion throughput.
+//!
+//! Complements Fig. 10 with controlled graph sizes: match one 22-node plan
+//! against recycler graphs preloaded with increasing numbers of distinct
+//! queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rdb_recycler::RecyclerGraph;
+use rdb_tpch::{generate, TpchConfig};
+use rdb_vector::Schema;
+
+fn bench_matching(c: &mut Criterion) {
+    let catalog = generate(&TpchConfig { scale: 0.001, seed: 1 });
+    let schema_of = move |p: &rdb_plan::Plan| -> Schema {
+        p.schema(&catalog).expect("schema")
+    };
+    let mut group = c.benchmark_group("graph_matching");
+    for &preload in &[0usize, 64, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("match_q3", preload),
+            &preload,
+            |b, &preload| {
+                let mut g = RecyclerGraph::new();
+                let mut rng = SmallRng::seed_from_u64(3);
+                let cat2 = generate(&TpchConfig { scale: 0.001, seed: 1 });
+                for i in 0..preload {
+                    // Distinct parameterizations fill the graph.
+                    let q = rdb_tpch::build_query(1 + (i % 22), &mut rng, 0.001, false);
+                    let bound = q.bind(&cat2).expect("bind");
+                    g.match_or_insert(&bound, &schema_of);
+                }
+                let mut probe_rng = SmallRng::seed_from_u64(77);
+                let probe = rdb_tpch::build_query(3, &mut probe_rng, 0.001, false)
+                    .bind(&cat2)
+                    .expect("bind");
+                // Insert once so the timed match is a pure hit.
+                g.match_or_insert(&probe, &schema_of);
+                b.iter(|| {
+                    let m = g.match_or_insert(std::hint::black_box(&probe), &schema_of);
+                    assert_eq!(m.inserted_count(), 0);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Each paper figure has its own bench target (`harness = false`) that
+//! prints the same rows/series the paper reports. Scale knobs come from the
+//! environment so the full suite stays laptop-sized by default:
+//!
+//! * `RDB_SF` — TPC-H scale factor (default 0.02);
+//! * `RDB_STREAMS` — maximum stream count for the throughput sweeps
+//!   (default 256);
+//! * `RDB_SKY_OBJECTS` — synthetic sky catalog size (default 40000).
+
+use std::time::Duration;
+
+/// TPC-H scale factor for the experiment benches.
+pub fn scale_factor() -> f64 {
+    std::env::var("RDB_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02)
+}
+
+/// Maximum stream count for the sweeps.
+pub fn max_streams() -> usize {
+    std::env::var("RDB_STREAMS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Synthetic sky catalog size.
+pub fn sky_objects() -> usize {
+    std::env::var("RDB_SKY_OBJECTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000)
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Print a header band for one experiment.
+pub fn banner(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}

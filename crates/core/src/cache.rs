@@ -1,0 +1,344 @@
+//! The recycler cache (paper §II, §III-E).
+//!
+//! A finite in-memory cache of materialized results managed as a knapsack
+//! along the lines of Dantzig's greedy algorithm: entries are classified
+//! into groups by the logarithm of their size; within a group they are kept
+//! in increasing benefit order. A new result replaces a set of same-group
+//! entries only if that set has lower average benefit and frees enough
+//! space.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rdb_exec::MaterializedResult;
+
+use crate::graph::NodeId;
+
+/// One cached result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The materialized rows.
+    pub result: Arc<MaterializedResult>,
+    /// Size charged against the cache budget.
+    pub size: u64,
+    /// Benefit at last recomputation (B(R) of Eq. 1).
+    pub benefit: f64,
+}
+
+/// The finite result cache.
+#[derive(Debug, Default)]
+pub struct RecyclerCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<NodeId, CacheEntry>,
+    /// log2(size) → node ids, each list sorted by increasing benefit.
+    groups: BTreeMap<u32, Vec<NodeId>>,
+    /// Counters for reporting.
+    pub admissions: u64,
+    /// Evictions performed by the replacement policy.
+    pub evictions: u64,
+    /// Results rejected by the admission/replacement policy.
+    pub rejections: u64,
+}
+
+fn group_of(size: u64) -> u32 {
+    64 - size.max(1).leading_zeros()
+}
+
+impl RecyclerCache {
+    /// Cache with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        RecyclerCache { capacity, ..Default::default() }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently used.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a cached result.
+    pub fn get(&self, id: NodeId) -> Option<&CacheEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Whether `id` is cached.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Would the admission/replacement policy accept a result of this size
+    /// and benefit right now? (Non-mutating preview used by the rewriter to
+    /// decide store injection.)
+    pub fn would_admit(&self, size: u64, benefit: f64) -> bool {
+        if size > self.capacity {
+            return false;
+        }
+        if self.used + size <= self.capacity {
+            return true;
+        }
+        self.find_victims(size, benefit).is_some()
+    }
+
+    /// Same-group victim search (paper §III-E): scan the group in
+    /// increasing benefit order, tracking accumulated size and average
+    /// benefit; succeed when enough space frees up while the set's average
+    /// benefit stays below the candidate's.
+    fn find_victims(&self, size: u64, benefit: f64) -> Option<Vec<NodeId>> {
+        let group = self.groups.get(&group_of(size))?;
+        let mut victims = Vec::new();
+        let mut freed = 0u64;
+        let mut benefit_sum = 0.0;
+        for &id in group {
+            let e = &self.entries[&id];
+            // (a) average benefit must stay below the new result's.
+            let avg = (benefit_sum + e.benefit) / (victims.len() + 1) as f64;
+            if avg >= benefit {
+                return None;
+            }
+            victims.push(id);
+            freed += e.size;
+            benefit_sum += e.benefit;
+            // (b) enough space including globally free bytes.
+            if self.used - freed + size <= self.capacity {
+                return Some(victims);
+            }
+        }
+        None
+    }
+
+    /// Try to insert a result. Returns `Some(evicted)` on success (possibly
+    /// empty), `None` if the policy rejected it. The caller is responsible
+    /// for graph-side bookkeeping (Eq. 3/4) on the returned evictions.
+    pub fn insert(
+        &mut self,
+        id: NodeId,
+        result: Arc<MaterializedResult>,
+        benefit: f64,
+    ) -> Option<Vec<NodeId>> {
+        let size = (result.size_bytes as u64).max(1);
+        if self.entries.contains_key(&id) {
+            return Some(Vec::new()); // already cached (concurrent publish)
+        }
+        if size > self.capacity {
+            self.rejections += 1;
+            return None;
+        }
+        let mut evicted = Vec::new();
+        if self.used + size > self.capacity {
+            match self.find_victims(size, benefit) {
+                Some(victims) => {
+                    for v in victims {
+                        self.remove(v);
+                        self.evictions += 1;
+                        evicted.push(v);
+                    }
+                }
+                None => {
+                    self.rejections += 1;
+                    return None;
+                }
+            }
+        }
+        self.used += size;
+        self.entries.insert(id, CacheEntry { result, size, benefit });
+        let group = self.groups.entry(group_of(size)).or_default();
+        let pos = group
+            .binary_search_by(|x| {
+                self.entries[x]
+                    .benefit
+                    .partial_cmp(&benefit)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(|p| p);
+        group.insert(pos, id);
+        self.admissions += 1;
+        Some(evicted)
+    }
+
+    /// Remove one entry (eviction or invalidation).
+    pub fn remove(&mut self, id: NodeId) -> Option<CacheEntry> {
+        let e = self.entries.remove(&id)?;
+        self.used -= e.size;
+        if let Some(group) = self.groups.get_mut(&group_of(e.size)) {
+            group.retain(|&x| x != id);
+        }
+        Some(e)
+    }
+
+    /// Drop everything (the Fig. 6 "refresh" scenario). Returns the evicted
+    /// ids for graph-side bookkeeping.
+    pub fn flush(&mut self) -> Vec<NodeId> {
+        let ids: Vec<NodeId> = self.entries.keys().copied().collect();
+        for &id in &ids {
+            self.remove(id);
+        }
+        ids
+    }
+
+    /// Recompute benefits with `f` and restore group ordering (paper:
+    /// "whenever the benefit of a result changes ... the result is moved to
+    /// a different position in the group").
+    pub fn rebenefit(&mut self, f: impl Fn(NodeId) -> f64) {
+        for (id, e) in self.entries.iter_mut() {
+            e.benefit = f(*id);
+        }
+        for group in self.groups.values_mut() {
+            group.sort_by(|a, b| {
+                self.entries[a]
+                    .benefit
+                    .partial_cmp(&self.entries[b].benefit)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+    }
+
+    /// Cached node ids (unordered).
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::{Batch, Column, DataType, Schema};
+
+    fn result(ints: usize) -> Arc<MaterializedResult> {
+        let col = Column::from_ints(vec![7; ints]);
+        Arc::new(MaterializedResult::from_batches(
+            Schema::from_pairs([("x", DataType::Int)]),
+            &[Batch::new(vec![col])],
+        ))
+    }
+
+    #[test]
+    fn group_classification() {
+        assert_eq!(group_of(1), 1);
+        assert_eq!(group_of(2), 2);
+        assert_eq!(group_of(1024), 11);
+        assert_eq!(group_of(1500), 11);
+        assert_eq!(group_of(2048), 12);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = RecyclerCache::new(10_000);
+        let r = result(10); // 80 bytes
+        assert_eq!(c.insert(NodeId(1), r.clone(), 5.0), Some(vec![]));
+        assert!(c.contains(NodeId(1)));
+        assert_eq!(c.used(), 80);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(NodeId(1)).unwrap().benefit, 5.0);
+    }
+
+    #[test]
+    fn oversized_result_rejected() {
+        let mut c = RecyclerCache::new(50);
+        assert_eq!(c.insert(NodeId(1), result(100), 100.0), None);
+        assert_eq!(c.rejections, 1);
+    }
+
+    #[test]
+    fn replacement_evicts_lower_benefit_same_group() {
+        // Capacity fits exactly two 80-byte results.
+        let mut c = RecyclerCache::new(160);
+        c.insert(NodeId(1), result(10), 1.0);
+        c.insert(NodeId(2), result(10), 2.0);
+        assert_eq!(c.used(), 160);
+        // Higher-benefit newcomer evicts the lowest-benefit same-group
+        // entry.
+        let evicted = c.insert(NodeId(3), result(10), 3.0).unwrap();
+        assert_eq!(evicted, vec![NodeId(1)]);
+        assert!(c.contains(NodeId(2)));
+        assert!(c.contains(NodeId(3)));
+        assert_eq!(c.evictions, 1);
+    }
+
+    #[test]
+    fn replacement_refuses_when_average_benefit_higher() {
+        let mut c = RecyclerCache::new(160);
+        c.insert(NodeId(1), result(10), 5.0);
+        c.insert(NodeId(2), result(10), 6.0);
+        assert_eq!(c.insert(NodeId(3), result(10), 4.0), None);
+        assert!(c.contains(NodeId(1)));
+        assert!(c.contains(NodeId(2)));
+        assert_eq!(c.rejections, 1);
+    }
+
+    #[test]
+    fn replacement_can_evict_multiple() {
+        // Two 40-byte entries must both go to fit one 80-byte result...
+        // but different sizes land in different groups, so build same-group
+        // sizes: 10 ints = 80 bytes → group 7; 5 ints = 40 bytes → group 6.
+        // Use three 80-byte entries and capacity 240.
+        let mut c = RecyclerCache::new(240);
+        c.insert(NodeId(1), result(10), 1.0);
+        c.insert(NodeId(2), result(10), 2.0);
+        c.insert(NodeId(3), result(10), 9.0);
+        // Need 80 free; nothing free → evict 1 (benefit 1): enough.
+        let evicted = c.insert(NodeId(4), result(10), 5.0).unwrap();
+        assert_eq!(evicted, vec![NodeId(1)]);
+        // Now insert something that needs two evictions: fill up again.
+        let evicted = c.insert(NodeId(5), result(10), 10.0).unwrap();
+        assert_eq!(evicted, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn would_admit_previews_without_mutation() {
+        let mut c = RecyclerCache::new(160);
+        c.insert(NodeId(1), result(10), 5.0);
+        c.insert(NodeId(2), result(10), 6.0);
+        assert!(!c.would_admit(80, 4.0));
+        assert!(c.would_admit(80, 7.0));
+        assert_eq!(c.len(), 2, "preview must not mutate");
+    }
+
+    #[test]
+    fn flush_empties_and_reports() {
+        let mut c = RecyclerCache::new(1000);
+        c.insert(NodeId(1), result(5), 1.0);
+        c.insert(NodeId(2), result(5), 2.0);
+        let mut flushed = c.flush();
+        flushed.sort();
+        assert_eq!(flushed, vec![NodeId(1), NodeId(2)]);
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn rebenefit_reorders_groups() {
+        let mut c = RecyclerCache::new(1000);
+        c.insert(NodeId(1), result(10), 1.0);
+        c.insert(NodeId(2), result(10), 2.0);
+        // Invert benefits; victim search should now pick NodeId(2) first.
+        c.rebenefit(|id| if id == NodeId(1) { 9.0 } else { 0.5 });
+        let mut c2 = c;
+        c2.capacity = 160;
+        c2.used = 160;
+        let evicted = c2.insert(NodeId(3), result(10), 5.0).unwrap();
+        assert_eq!(evicted, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut c = RecyclerCache::new(1000);
+        c.insert(NodeId(1), result(5), 1.0);
+        assert_eq!(c.insert(NodeId(1), result(5), 1.0), Some(vec![]));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,813 @@
+//! The recycler graph (paper §II, §III-A/B/C).
+//!
+//! An AND-DAG unifying every optimized query tree the system has seen. Each
+//! node is one relational operator with its parameters; identical subtrees
+//! are merged and stored once, so finding an exact match for a query subtree
+//! costs one bottom-up pass with hash-indexed candidate lookups
+//! (Algorithm 1). Nodes are annotated with reference statistics (`hR`),
+//! measured base cost, cardinality and size, which feed the benefit metric.
+//!
+//! Leaf candidates are found through a global hash table keyed by the leaf's
+//! hash-key; non-leaf candidates are the *parents* of the already-matched
+//! child, indexed per node by a small hash table (hash-key → parent ids) and
+//! pruned by the column-bitmask signature, exactly as §III-A describes.
+
+use std::collections::HashMap;
+
+use rdb_expr::implies;
+use rdb_plan::{local_eq, local_hash, signature, Plan};
+use rdb_vector::Schema;
+
+use crate::config::CostModel;
+
+/// Identifier of a node in the recycler graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Run-time statistics annotated on a graph node (paper Fig. 3).
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Importance factor `hR` (paper §III-C), stored at `last_tick`.
+    pub h_r: f64,
+    /// Tick at which `h_r` was last touched (lazy aging).
+    pub last_tick: u64,
+    /// Measured base cost in nanoseconds (cost from base tables).
+    pub bcost_ns: f64,
+    /// Measured base cost in deterministic work units.
+    pub bcost_work: f64,
+    /// Times this node's result has been computed.
+    pub executions: u64,
+    /// Measured result cardinality.
+    pub rows: u64,
+    /// Measured result size in bytes.
+    pub bytes: u64,
+    /// Whether cost/size have been measured at least once.
+    pub measured: bool,
+}
+
+/// How a subsuming node's cached result can be turned into this node's
+/// result (paper §IV-A).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Derivation {
+    /// Tuple subsumption for selections: re-apply this node's predicate
+    /// over the subsumer's rows.
+    Reselect,
+    /// Column subsumption: project the given positions of the subsumer.
+    ProjectCols(Vec<usize>),
+    /// Tuple subsumption for aggregations: re-aggregate the subsumer.
+    /// `group_cols[i]` is the subsumer output position of this node's i-th
+    /// group key; `agg_cols[j]` the position of the partial aggregate that
+    /// this node's j-th aggregate re-aggregates.
+    Reaggregate {
+        /// Positions of this node's group keys in the subsumer output.
+        group_cols: Vec<usize>,
+        /// Positions of the partial aggregates in the subsumer output.
+        agg_cols: Vec<usize>,
+    },
+    /// Top-N subsumption: the subsumer kept at least as many rows under the
+    /// same ordering; re-apply top-N over it.
+    Retopn,
+}
+
+/// A subsumption edge: this node's result is derivable from `subsumer`.
+#[derive(Debug, Clone)]
+pub struct SubsumptionEdge {
+    /// The node whose result subsumes ours.
+    pub subsumer: NodeId,
+    /// How to derive our result from it.
+    pub derivation: Derivation,
+}
+
+/// One operator node in the recycler graph.
+#[derive(Debug)]
+pub struct GraphNode {
+    /// Canonical (bound) plan of the whole subtree rooted here.
+    pub subtree: Plan,
+    /// Output schema (graph-canonical names: those of the inserting query).
+    pub schema: Schema,
+    /// Children in plan order.
+    pub children: Vec<NodeId>,
+    /// Hash-key of the local operator (type + parameters).
+    pub hash_key: u64,
+    /// Column-bitmask signature of the subtree.
+    pub signature: u64,
+    /// Parent index: local hash-key → parent node ids.
+    pub parents: HashMap<u64, Vec<NodeId>>,
+    /// Annotated statistics.
+    pub stats: NodeStats,
+    /// Whether the result currently sits in the recycler cache.
+    pub materialized: bool,
+    /// Subsumption OR-edges (consulted only after exact matching fails).
+    pub subsumed_by: Vec<SubsumptionEdge>,
+}
+
+/// Result of matching one query-tree node.
+#[derive(Debug, Clone)]
+pub struct MatchTree {
+    /// The graph node this query node unified with.
+    pub id: NodeId,
+    /// True if the node did not exist before this query (it was inserted).
+    pub inserted: bool,
+    /// Children in plan order.
+    pub children: Vec<MatchTree>,
+}
+
+impl MatchTree {
+    /// Count nodes that were newly inserted.
+    pub fn inserted_count(&self) -> usize {
+        (self.inserted as usize)
+            + self
+                .children
+                .iter()
+                .map(|c| c.inserted_count())
+                .sum::<usize>()
+    }
+}
+
+/// The recycler graph. Callers (the `Recycler`) guard it with a lock; the
+/// methods themselves are single-threaded.
+#[derive(Debug, Default)]
+pub struct RecyclerGraph {
+    nodes: Vec<GraphNode>,
+    /// Global leaf hash table: leaf hash-key → leaf node ids.
+    leaf_index: HashMap<u64, Vec<NodeId>>,
+    /// Query counter driving lazy aging.
+    tick: u64,
+}
+
+impl RecyclerGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        RecyclerGraph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current query tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advance the aging clock by one query.
+    pub fn advance_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &GraphNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut GraphNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    // ---- matching + insertion (Algorithm 1) ------------------------------
+
+    /// Match the canonical plan `plan` against the graph bottom-up,
+    /// inserting nodes that have no exact match (§III-B). Returns the
+    /// match/insert annotation tree.
+    ///
+    /// `schema_of` supplies the output schema for inserted nodes.
+    pub fn match_or_insert(
+        &mut self,
+        plan: &Plan,
+        schema_of: &dyn Fn(&Plan) -> Schema,
+    ) -> MatchTree {
+        // Store and Cached wrappers never enter the graph; the rewriter
+        // guarantees plans arriving here contain neither.
+        debug_assert!(!matches!(plan, Plan::Store { .. } | Plan::Cached { .. }));
+        let children: Vec<MatchTree> = plan
+            .children()
+            .iter()
+            .map(|c| self.match_or_insert(c, schema_of))
+            .collect();
+        let child_ids: Vec<NodeId> = children.iter().map(|c| c.id).collect();
+        let key = local_hash(plan);
+        let sig = signature(plan);
+
+        let found = if child_ids.is_empty() {
+            // Leaf: global hash table (paper: table scans matched through a
+            // global hash table), pruned by signature.
+            self.leaf_index.get(&key).and_then(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .find(|&c| {
+                        let n = self.node(c);
+                        n.signature == sig && local_eq(&n.subtree, plan)
+                    })
+            })
+        } else {
+            // Non-leaf: candidates are parents of the matched first child
+            // (paper lines 8-13); all children must match.
+            let first = child_ids[0];
+            self.node(first)
+                .parents
+                .get(&key)
+                .and_then(|cands| {
+                    cands.iter().copied().find(|&p| {
+                        let n = self.node(p);
+                        n.signature == sig
+                            && n.children == child_ids
+                            && local_eq(&n.subtree, plan)
+                    })
+                })
+        };
+
+        match found {
+            Some(id) => MatchTree { id, inserted: false, children },
+            None => {
+                let id = self.insert_node(plan, schema_of(plan), &child_ids, key, sig);
+                MatchTree { id, inserted: true, children }
+            }
+        }
+    }
+
+    fn insert_node(
+        &mut self,
+        plan: &Plan,
+        schema: Schema,
+        child_ids: &[NodeId],
+        key: u64,
+        sig: u64,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let tick = self.tick;
+        self.nodes.push(GraphNode {
+            subtree: plan.clone(),
+            schema,
+            children: child_ids.to_vec(),
+            hash_key: key,
+            signature: sig,
+            parents: HashMap::new(),
+            stats: NodeStats { last_tick: tick, ..Default::default() },
+            materialized: false,
+            subsumed_by: Vec::new(),
+        });
+        if child_ids.is_empty() {
+            self.leaf_index.entry(key).or_default().push(id);
+        } else {
+            for &c in child_ids {
+                self.node_mut(c).parents.entry(key).or_default().push(id);
+            }
+        }
+        self.compute_subsumption_edges(id);
+        id
+    }
+
+    // ---- subsumption edges (§IV-A) ----------------------------------------
+
+    /// On insertion, connect the new node to siblings (other parents of its
+    /// first child, or other leaves of the same table) that subsume it.
+    /// Also add reverse edges from siblings the new node subsumes.
+    fn compute_subsumption_edges(&mut self, id: NodeId) {
+        let siblings: Vec<NodeId> = {
+            let n = self.node(id);
+            match n.children.first() {
+                Some(&c) => self
+                    .node(c)
+                    .parents
+                    .values()
+                    .flatten()
+                    .copied()
+                    .filter(|&p| p != id)
+                    .collect(),
+                None => match &n.subtree {
+                    Plan::Scan { table, .. } => {
+                        let t = table.clone();
+                        self.leaf_candidates_for_table(&t, id)
+                    }
+                    _ => Vec::new(),
+                },
+            }
+        };
+        let mut forward = Vec::new();
+        let mut reverse: Vec<(NodeId, SubsumptionEdge)> = Vec::new();
+        for s in siblings {
+            if let Some(d) = derive_subsumption(&self.node(id).subtree, &self.node(s).subtree) {
+                forward.push(SubsumptionEdge { subsumer: s, derivation: d });
+            }
+            if let Some(d) = derive_subsumption(&self.node(s).subtree, &self.node(id).subtree) {
+                reverse.push((s, SubsumptionEdge { subsumer: id, derivation: d }));
+            }
+        }
+        self.node_mut(id).subsumed_by = forward;
+        for (s, e) in reverse {
+            self.node_mut(s).subsumed_by.push(e);
+        }
+    }
+
+    fn leaf_candidates_for_table(&self, table: &str, excluding: NodeId) -> Vec<NodeId> {
+        self.leaf_index
+            .values()
+            .flatten()
+            .copied()
+            .filter(|&l| {
+                l != excluding
+                    && matches!(&self.node(l).subtree, Plan::Scan { table: t, .. } if t == table)
+            })
+            .collect()
+    }
+
+    /// Materialized subsumers of `id`, best (cheapest derivation) first.
+    pub fn materialized_subsumers(&self, id: NodeId) -> Vec<&SubsumptionEdge> {
+        self.node(id)
+            .subsumed_by
+            .iter()
+            .filter(|e| self.node(e.subsumer).materialized)
+            .collect()
+    }
+
+    // ---- hR bookkeeping (§III-C) ------------------------------------------
+
+    /// `hR` of `id` decayed to the current tick (read-only).
+    pub fn decayed_h(&self, id: NodeId, alpha: f64) -> f64 {
+        let s = &self.node(id).stats;
+        let dt = self.tick.saturating_sub(s.last_tick);
+        s.h_r * alpha.powi(dt as i32)
+    }
+
+    /// Apply lazy aging to `id`'s stored `hR` and bring it to the current
+    /// tick (paper: "all aging is performed at once whenever a node is
+    /// referenced").
+    fn age_to_now(&mut self, id: NodeId, alpha: f64) {
+        let tick = self.tick;
+        let s = &mut self.node_mut(id).stats;
+        let dt = tick.saturating_sub(s.last_tick);
+        if dt > 0 {
+            s.h_r *= alpha.powi(dt as i32);
+            s.last_tick = tick;
+        }
+    }
+
+    /// Increment `hR` after a query reference.
+    pub fn bump_h(&mut self, id: NodeId, alpha: f64) {
+        self.age_to_now(id, alpha);
+        self.node_mut(id).stats.h_r += 1.0;
+    }
+
+    /// Mark `id` materialized and propagate Eq. 3: descendants down to (and
+    /// including) each DMD lose `h_id` (Algorithm 2).
+    pub fn on_materialized(&mut self, id: NodeId, alpha: f64) {
+        self.age_to_now(id, alpha);
+        let h = self.node(id).stats.h_r;
+        self.node_mut(id).materialized = true;
+        let children = self.node(id).children.clone();
+        for c in children {
+            self.update_h_r(c, h, alpha);
+        }
+    }
+
+    /// Unmark `id` and propagate Eq. 4 (the reverse of Eq. 3).
+    pub fn on_evicted(&mut self, id: NodeId, alpha: f64) {
+        self.age_to_now(id, alpha);
+        let h = self.node(id).stats.h_r;
+        self.node_mut(id).materialized = false;
+        let children = self.node(id).children.clone();
+        for c in children {
+            self.update_h_r(c, -h, alpha);
+        }
+    }
+
+    /// Algorithm 2: `h_m -= delta`; stop at materialized nodes, else recurse.
+    fn update_h_r(&mut self, m: NodeId, delta: f64, alpha: f64) {
+        self.age_to_now(m, alpha);
+        let s = &mut self.node_mut(m).stats;
+        s.h_r = (s.h_r - delta).max(0.0);
+        if self.node(m).materialized {
+            return;
+        }
+        let children = self.node(m).children.clone();
+        for c in children {
+            self.update_h_r(c, delta, alpha);
+        }
+    }
+
+    // ---- cost + benefit (§III-C) ------------------------------------------
+
+    /// Annotate measured run-time statistics on a node after a query
+    /// computed its result. `from_base` is false when the computation used
+    /// cached intermediates (then the measurement is not a *base* cost and
+    /// only cardinality/size are updated).
+    pub fn annotate(
+        &mut self,
+        id: NodeId,
+        cost_ns: f64,
+        cost_work: f64,
+        rows: u64,
+        bytes: u64,
+        from_base: bool,
+    ) {
+        let s = &mut self.node_mut(id).stats;
+        if from_base {
+            // "updated with the current measurement each time the result is
+            // recomputed to reflect the most up-to-date system load"
+            s.bcost_ns = cost_ns;
+            s.bcost_work = cost_work;
+        }
+        s.rows = rows;
+        s.bytes = bytes;
+        s.executions += 1;
+        s.measured = true;
+    }
+
+    /// Direct materialized descendants of `id` (paper's DMDs).
+    pub fn dmds(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for &c in &self.node(id).children {
+            self.collect_dmds(c, &mut out);
+        }
+        out
+    }
+
+    fn collect_dmds(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        if self.node(id).materialized {
+            out.push(id);
+            return;
+        }
+        for &c in &self.node(id).children {
+            self.collect_dmds(c, out);
+        }
+    }
+
+    /// Base cost under the selected model.
+    pub fn base_cost(&self, id: NodeId, model: CostModel) -> f64 {
+        let s = &self.node(id).stats;
+        match model {
+            CostModel::Time => s.bcost_ns,
+            CostModel::WorkUnits => s.bcost_work,
+        }
+    }
+
+    /// True cost (Eq. 2): base cost minus the base costs of the DMDs.
+    pub fn true_cost(&self, id: NodeId, model: CostModel) -> f64 {
+        let base = self.base_cost(id, model);
+        let saved: f64 = self
+            .dmds(id)
+            .iter()
+            .map(|&d| self.base_cost(d, model))
+            .sum();
+        (base - saved).max(0.0)
+    }
+
+    /// Benefit metric (Eq. 1): `cost(R) · hR / size(R)`.
+    pub fn benefit(&self, id: NodeId, model: CostModel, alpha: f64) -> f64 {
+        let size = self.node(id).stats.bytes.max(1) as f64;
+        self.true_cost(id, model) * self.decayed_h(id, alpha) / size
+    }
+
+    /// All currently materialized node ids (test/inspection helper).
+    pub fn materialized_nodes(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&id| self.node(id).materialized)
+            .collect()
+    }
+}
+
+/// Can `sub`'s result be derived from `sup`'s result (both canonical plans
+/// with identical children)? Implements the paper's column and tuple
+/// subsumption plus top-N widening.
+pub fn derive_subsumption(sub: &Plan, sup: &Plan) -> Option<Derivation> {
+    // Children must be structurally identical for all rules below.
+    let sub_children = sub.children();
+    let sup_children = sup.children();
+    if sub_children.len() != sup_children.len()
+        || sub_children
+            .iter()
+            .zip(&sup_children)
+            .any(|(a, b)| !rdb_plan::structural_eq(a, b))
+    {
+        return None;
+    }
+    match (sub, sup) {
+        // Tuple subsumption for selections: σ_p ⊂ σ_q when p ⇒ q.
+        (Plan::Select { predicate: p, .. }, Plan::Select { predicate: q, .. }) => {
+            if p != q && implies(p, q) {
+                Some(Derivation::Reselect)
+            } else {
+                None
+            }
+        }
+        // Column subsumption for scans: a narrower projection of the same
+        // table.
+        (
+            Plan::Scan { table: t1, cols: c1 },
+            Plan::Scan { table: t2, cols: c2 },
+        ) => {
+            if t1 == t2 && c1 != c2 {
+                let positions: Option<Vec<usize>> = c1
+                    .iter()
+                    .map(|c| c2.iter().position(|x| x == c))
+                    .collect();
+                positions.map(Derivation::ProjectCols)
+            } else {
+                None
+            }
+        }
+        (
+            Plan::Aggregate { group_by: g1, aggs: a1, .. },
+            Plan::Aggregate { group_by: g2, aggs: a2, .. },
+        ) => {
+            if g1 == g2 {
+                // Column subsumption: same groups, aggregates a subset.
+                if a1 == a2 {
+                    return None; // exact matching handles this
+                }
+                let mut positions: Vec<usize> = (0..g1.len()).collect();
+                for a in a1 {
+                    let p = a2.iter().position(|x| x == a)?;
+                    positions.push(g2.len() + p);
+                }
+                Some(Derivation::ProjectCols(positions))
+            } else {
+                // Tuple subsumption: sup groups strictly finer (superset of
+                // keys); re-aggregate.
+                let group_cols: Option<Vec<usize>> = g1
+                    .iter()
+                    .map(|g| g2.iter().position(|x| x == g))
+                    .collect();
+                let group_cols = group_cols?;
+                let mut agg_cols = Vec::with_capacity(a1.len());
+                for a in a1 {
+                    // The partial aggregate must exist in sup and be
+                    // re-aggregable (sum of sums, etc.).
+                    let p = a2.iter().position(|x| x == a)?;
+                    a.reaggregate(0)?; // decomposability check
+                    agg_cols.push(g2.len() + p);
+                }
+                Some(Derivation::Reaggregate { group_cols, agg_cols })
+            }
+        }
+        // Top-N widening: same ordering, sup kept at least as many rows.
+        (
+            Plan::TopN { keys: k1, n: n1, .. },
+            Plan::TopN { keys: k2, n: n2, .. },
+        ) => {
+            if k1 == k2 && n2 >= n1 && n1 != n2 {
+                Some(Derivation::Retopn)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_expr::{AggFunc, Expr};
+    use rdb_plan::scan;
+    use rdb_vector::{DataType, Schema};
+
+    fn sch(_p: &Plan) -> Schema {
+        Schema::from_pairs([("x", DataType::Int)])
+    }
+
+    fn q1() -> Plan {
+        scan("t", &["a", "b"])
+            .select(Expr::col(0).gt(Expr::lit(5)))
+            .aggregate(vec![(Expr::col(1), "g")], vec![(AggFunc::CountStar, "n")])
+    }
+
+    #[test]
+    fn identical_queries_unify() {
+        let mut g = RecyclerGraph::new();
+        let m1 = g.match_or_insert(&q1(), &sch);
+        assert_eq!(m1.inserted_count(), 3);
+        assert_eq!(g.len(), 3);
+        let m2 = g.match_or_insert(&q1(), &sch);
+        assert_eq!(m2.inserted_count(), 0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(m1.id, m2.id);
+    }
+
+    #[test]
+    fn shared_prefix_is_merged() {
+        let mut g = RecyclerGraph::new();
+        g.match_or_insert(&q1(), &sch);
+        // Same scan+select, different aggregate.
+        let q2 = scan("t", &["a", "b"])
+            .select(Expr::col(0).gt(Expr::lit(5)))
+            .aggregate(vec![(Expr::col(0), "g")], vec![(AggFunc::CountStar, "n")]);
+        let m = g.match_or_insert(&q2, &sch);
+        assert_eq!(m.inserted_count(), 1, "only the aggregate is new");
+        assert_eq!(g.len(), 4);
+        // Different select parameter forks earlier.
+        let q3 = scan("t", &["a", "b"]).select(Expr::col(0).gt(Expr::lit(6)));
+        let m = g.match_or_insert(&q3, &sch);
+        assert_eq!(m.inserted_count(), 1);
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn renamed_outputs_still_unify() {
+        let mut g = RecyclerGraph::new();
+        let a = scan("t", &["a"]).project(vec![(Expr::col(0).add(Expr::lit(1)), "x")]);
+        let b = scan("t", &["a"]).project(vec![(Expr::col(0).add(Expr::lit(1)), "y")]);
+        g.match_or_insert(&a, &sch);
+        let m = g.match_or_insert(&b, &sch);
+        assert_eq!(m.inserted_count(), 0, "names are handled by mappings");
+    }
+
+    #[test]
+    fn bump_and_decay() {
+        let mut g = RecyclerGraph::new();
+        let m = g.match_or_insert(&q1(), &sch);
+        g.bump_h(m.id, 0.5);
+        assert_eq!(g.decayed_h(m.id, 0.5), 1.0);
+        g.advance_tick();
+        g.advance_tick();
+        assert_eq!(g.decayed_h(m.id, 0.5), 0.25);
+        g.bump_h(m.id, 0.5);
+        assert_eq!(g.decayed_h(m.id, 0.5), 1.25);
+    }
+
+    #[test]
+    fn materialize_updates_descendant_h() {
+        // Fig. 3-style scenario: materializing a node subtracts its h from
+        // descendants down to the first materialized node.
+        let mut g = RecyclerGraph::new();
+        let m = g.match_or_insert(&q1(), &sch);
+        let agg = m.id;
+        let sel = m.children[0].id;
+        let sc = m.children[0].children[0].id;
+        // Give everyone some references.
+        for _ in 0..5 {
+            g.bump_h(sel, 1.0);
+            g.bump_h(sc, 1.0);
+        }
+        for _ in 0..2 {
+            g.bump_h(agg, 1.0);
+        }
+        g.on_materialized(agg, 1.0);
+        assert_eq!(g.decayed_h(sel, 1.0), 3.0); // 5 - 2
+        assert_eq!(g.decayed_h(sc, 1.0), 3.0);
+        // Evicting restores.
+        g.on_evicted(agg, 1.0);
+        assert_eq!(g.decayed_h(sel, 1.0), 5.0);
+        assert_eq!(g.decayed_h(sc, 1.0), 5.0);
+    }
+
+    #[test]
+    fn update_stops_at_materialized_boundary() {
+        let mut g = RecyclerGraph::new();
+        let m = g.match_or_insert(&q1(), &sch);
+        let agg = m.id;
+        let sel = m.children[0].id;
+        let sc = m.children[0].children[0].id;
+        for _ in 0..4 {
+            g.bump_h(sc, 1.0);
+        }
+        g.bump_h(sel, 1.0);
+        g.bump_h(agg, 1.0);
+        // Materialize the selection first: scan loses h_sel.
+        g.on_materialized(sel, 1.0);
+        assert_eq!(g.decayed_h(sc, 1.0), 3.0);
+        // Now materialize the aggregate: propagation stops at the
+        // materialized selection; the scan is unaffected (paper: nodes
+        // below a DMD are not modified).
+        g.on_materialized(agg, 1.0);
+        assert_eq!(g.decayed_h(sel, 1.0), 0.0);
+        assert_eq!(g.decayed_h(sc, 1.0), 3.0);
+    }
+
+    #[test]
+    fn true_cost_subtracts_dmds() {
+        let mut g = RecyclerGraph::new();
+        let m = g.match_or_insert(&q1(), &sch);
+        let agg = m.id;
+        let sel = m.children[0].id;
+        let sc = m.children[0].children[0].id;
+        g.annotate(sc, 100.0, 100.0, 1000, 8000, true);
+        g.annotate(sel, 400.0, 400.0, 10, 80, true);
+        g.annotate(agg, 500.0, 500.0, 2, 16, true);
+        assert_eq!(g.true_cost(agg, CostModel::WorkUnits), 500.0);
+        g.on_materialized(sel, 1.0);
+        assert_eq!(g.dmds(agg), vec![sel]);
+        assert_eq!(g.true_cost(agg, CostModel::WorkUnits), 100.0);
+        // Benefit = cost*h/size.
+        g.bump_h(agg, 1.0);
+        g.bump_h(agg, 1.0);
+        assert!((g.benefit(agg, CostModel::WorkUnits, 1.0) - 100.0 * 2.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_subsumption_edges() {
+        let mut g = RecyclerGraph::new();
+        let wide = scan("t", &["a"]).select(Expr::col(0).ge(Expr::lit(0)));
+        let narrow = scan("t", &["a"]).select(
+            Expr::col(0).ge(Expr::lit(5)).and(Expr::col(0).le(Expr::lit(9))),
+        );
+        let mw = g.match_or_insert(&wide, &sch);
+        let mn = g.match_or_insert(&narrow, &sch);
+        let edges = &g.node(mn.id).subsumed_by;
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].subsumer, mw.id);
+        assert_eq!(edges[0].derivation, Derivation::Reselect);
+        // No materialized subsumers yet.
+        assert!(g.materialized_subsumers(mn.id).is_empty());
+        g.on_materialized(mw.id, 1.0);
+        assert_eq!(g.materialized_subsumers(mn.id).len(), 1);
+    }
+
+    #[test]
+    fn reverse_subsumption_edge_on_insert() {
+        // Insert the narrow select first, then the wide one: the wide
+        // insertion must add an edge narrow ⊂ wide.
+        let mut g = RecyclerGraph::new();
+        let narrow = scan("t", &["a"]).select(
+            Expr::col(0).ge(Expr::lit(5)).and(Expr::col(0).le(Expr::lit(9))),
+        );
+        let wide = scan("t", &["a"]).select(Expr::col(0).ge(Expr::lit(0)));
+        let mn = g.match_or_insert(&narrow, &sch);
+        let mw = g.match_or_insert(&wide, &sch);
+        let edges = &g.node(mn.id).subsumed_by;
+        assert!(edges.iter().any(|e| e.subsumer == mw.id));
+    }
+
+    #[test]
+    fn aggregate_subsumption_variants() {
+        let base = || scan("t", &["a", "b", "c"]);
+        // Finer grouping subsumes coarser (tuple subsumption).
+        let fine = base().aggregate(
+            vec![(Expr::col(0), "g0"), (Expr::col(1), "g1")],
+            vec![(AggFunc::Sum(Expr::col(2)), "s")],
+        );
+        let coarse = base().aggregate(
+            vec![(Expr::col(0), "g0")],
+            vec![(AggFunc::Sum(Expr::col(2)), "s")],
+        );
+        match derive_subsumption(&coarse, &fine) {
+            Some(Derivation::Reaggregate { group_cols, agg_cols }) => {
+                assert_eq!(group_cols, vec![0]);
+                assert_eq!(agg_cols, vec![2]);
+            }
+            other => panic!("expected reaggregate, got {other:?}"),
+        }
+        assert!(derive_subsumption(&fine, &coarse).is_none());
+        // Same groups, extra aggregates: column subsumption.
+        let more = base().aggregate(
+            vec![(Expr::col(0), "g0")],
+            vec![
+                (AggFunc::Sum(Expr::col(2)), "s"),
+                (AggFunc::Min(Expr::col(2)), "m"),
+            ],
+        );
+        match derive_subsumption(&coarse, &more) {
+            Some(Derivation::ProjectCols(pos)) => assert_eq!(pos, vec![0, 1]),
+            other => panic!("expected project, got {other:?}"),
+        }
+        // Avg is not decomposable → no tuple subsumption.
+        let coarse_avg = base().aggregate(
+            vec![(Expr::col(0), "g0")],
+            vec![(AggFunc::Avg(Expr::col(2)), "a")],
+        );
+        let fine_avg = base().aggregate(
+            vec![(Expr::col(0), "g0"), (Expr::col(1), "g1")],
+            vec![(AggFunc::Avg(Expr::col(2)), "a")],
+        );
+        assert!(derive_subsumption(&coarse_avg, &fine_avg).is_none());
+    }
+
+    #[test]
+    fn scan_column_subsumption() {
+        let narrow = scan("t", &["b"]);
+        let wide = scan("t", &["a", "b"]);
+        match derive_subsumption(&narrow, &wide) {
+            Some(Derivation::ProjectCols(pos)) => assert_eq!(pos, vec![1]),
+            other => panic!("expected project, got {other:?}"),
+        }
+        assert!(derive_subsumption(&wide, &narrow).is_none());
+    }
+
+    #[test]
+    fn topn_subsumption() {
+        use rdb_plan::SortKeyExpr;
+        let keys = || vec![SortKeyExpr::desc(Expr::col(0))];
+        let small = scan("t", &["a"]).top_n(keys(), 10);
+        let big = scan("t", &["a"]).top_n(keys(), 10_000);
+        assert_eq!(derive_subsumption(&small, &big), Some(Derivation::Retopn));
+        assert!(derive_subsumption(&big, &small).is_none());
+        let other_keys = scan("t", &["a"]).top_n(vec![SortKeyExpr::asc(Expr::col(0))], 10_000);
+        assert!(derive_subsumption(&small, &other_keys).is_none());
+    }
+
+    #[test]
+    fn different_children_block_subsumption() {
+        let a = scan("t", &["a"]).select(Expr::col(0).gt(Expr::lit(5)));
+        let b = scan("u", &["a"]).select(Expr::col(0).gt(Expr::lit(0)));
+        assert!(derive_subsumption(&a, &b).is_none());
+    }
+}

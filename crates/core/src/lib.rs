@@ -1,0 +1,33 @@
+//! # rdb-recycler — recycling for pipelined query evaluation
+//!
+//! A from-scratch implementation of the recycler of *"Recycling in
+//! Pipelined Query Evaluation"* (Nagel, Boncz, Viglas; ICDE 2013): an
+//! online, autonomous mechanism that caches selected intermediate and final
+//! query results in a pipelined (vector-at-a-time) engine and reuses them
+//! across queries.
+//!
+//! Components (paper section in parentheses):
+//!
+//! * [`graph::RecyclerGraph`] — the AND-DAG of past optimized query trees
+//!   with hash-key/signature matching, reference statistics, DMD-based true
+//!   cost, and lazy aging (§II, §III-A/B/C);
+//! * [`cache::RecyclerCache`] — the finite result cache with size-grouped
+//!   Dantzig-greedy admission and replacement (§III-E);
+//! * [`recycler::Recycler`] — the rewriter (reuse substitution, store
+//!   injection, stalling on concurrent materializations) and the
+//!   executor-facing [`rdb_exec::ResultStore`] implementation including the
+//!   speculation policy (§II, §III-D);
+//! * [`proactive`] — top-N widening and cube caching with selections /
+//!   binning (§IV-B);
+//! * subsumption edges and derivations live in [`graph`] (§IV-A).
+
+pub mod cache;
+pub mod config;
+pub mod graph;
+pub mod proactive;
+pub mod recycler;
+
+pub use cache::{CacheEntry, RecyclerCache};
+pub use config::{CostModel, RecyclerConfig, RecyclerMode};
+pub use graph::{Derivation, MatchTree, NodeId, RecyclerGraph, SubsumptionEdge};
+pub use recycler::{PreparedQuery, Recycler, RecyclerEvent, RecyclerStats};

@@ -1,0 +1,737 @@
+//! The recycler: rewriting, store injection, speculation, and annotation.
+//!
+//! Per query (paper Fig. 1):
+//!
+//! 1. [`Recycler::prepare`] — matches the optimized query tree against the
+//!    recycler graph (inserting unmatched nodes), bumps reference counts,
+//!    substitutes cached results (exact matches first, then subsumption),
+//!    injects `store` operators where materialization is (or might be)
+//!    beneficial, and returns the rewritten plan.
+//! 2. The engine executes the rewritten plan; store operators call back
+//!    into the recycler through the [`ResultStore`] trait (speculation
+//!    verdicts, publication of produced results).
+//! 3. [`Recycler::complete`] — annotates the recycler graph with measured
+//!    costs/cardinalities/sizes from the run and releases this query's
+//!    cache leases.
+//!
+//! Concurrency: all state sits behind one mutex; queries that need a result
+//! currently being materialized by another query **stall** on a condition
+//! variable until it is published or abandoned (paper §V: "the recycler
+//! stalls all but one").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rdb_exec::{
+    MaterializedResult, MetricsNode, ResultStore, SpeculationEstimate, StoreVerdict,
+};
+use rdb_plan::{Plan, StoreMode};
+use rdb_storage::Catalog;
+use rdb_vector::Schema;
+
+use crate::cache::RecyclerCache;
+use crate::config::{RecyclerConfig, RecyclerMode};
+use crate::graph::{Derivation, MatchTree, NodeId, RecyclerGraph};
+
+/// Events a query generates while interacting with the recycler; the engine
+/// timestamps and aggregates them (Fig. 9's trace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecyclerEvent {
+    /// A cached result was substituted for an exact-matching subtree.
+    Reused {
+        /// The reused node.
+        node: NodeId,
+        /// Size of the reused result.
+        bytes: u64,
+    },
+    /// A cached subsuming result was substituted (paper §IV-A).
+    SubsumptionReused {
+        /// The query's node.
+        node: NodeId,
+        /// The cached subsumer actually read.
+        via: NodeId,
+    },
+    /// A store operator was injected over this node's subtree.
+    StoreInjected {
+        /// Target node.
+        node: NodeId,
+        /// True for speculation-mode stores.
+        speculative: bool,
+    },
+    /// The query waited for a concurrent materialization of `node`.
+    Stalled {
+        /// Node being produced elsewhere.
+        node: NodeId,
+        /// How long the query waited.
+        waited: Duration,
+        /// Whether the wait ended with a usable result.
+        satisfied: bool,
+    },
+    /// A store operator finished and published this result.
+    Materialized {
+        /// Produced node.
+        node: NodeId,
+        /// Result size.
+        bytes: u64,
+        /// Whether the cache admitted it.
+        admitted: bool,
+    },
+    /// A speculative store cancelled (or never completed) materialization.
+    Abandoned {
+        /// Target node.
+        node: NodeId,
+    },
+}
+
+/// The rewritten query, ready for execution, plus bookkeeping for
+/// [`Recycler::complete`].
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// Rewritten, bound plan (with `Cached`/`Store` nodes).
+    pub plan: Plan,
+    /// Query identifier (the graph tick at preparation).
+    pub qid: u64,
+    /// Tags issued to this query (leases and store targets).
+    pub tags: Vec<u64>,
+    /// `(path into rewritten plan, graph node)` pairs to annotate after
+    /// execution.
+    pub annotations: Vec<(Vec<usize>, NodeId)>,
+    /// Rewrite-time events.
+    pub events: Vec<RecyclerEvent>,
+    /// Matching + insertion time (Fig. 10's measured quantity).
+    pub match_ns: u64,
+    /// Nodes newly inserted into the recycler graph by this query.
+    pub nodes_inserted: usize,
+    /// Total nodes in this query's tree.
+    pub nodes_total: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreOutcome {
+    Published { admitted: bool, bytes: u64 },
+    Abandoned,
+}
+
+#[derive(Debug)]
+enum TagEntry {
+    /// A pinned cached result this query reads.
+    Lease(Arc<MaterializedResult>),
+    /// A store target this query may produce.
+    StoreTarget {
+        node: NodeId,
+        speculative: bool,
+        last_est: Option<SpeculationEstimate>,
+        resolved: Option<StoreOutcome>,
+    },
+}
+
+#[derive(Debug)]
+struct State {
+    graph: RecyclerGraph,
+    cache: RecyclerCache,
+    tags: HashMap<u64, TagEntry>,
+    /// Node → qid of the query currently materializing it.
+    in_flight: HashMap<NodeId, u64>,
+    next_tag: u64,
+}
+
+/// Aggregate counters (exposed for tests, examples, and benches).
+#[derive(Debug, Default)]
+pub struct RecyclerStats {
+    /// Queries prepared.
+    pub queries: AtomicU64,
+    /// Exact-match reuses.
+    pub reuses: AtomicU64,
+    /// Subsumption-based reuses.
+    pub subsumption_reuses: AtomicU64,
+    /// Results published and admitted to the cache.
+    pub materializations: AtomicU64,
+    /// Store operators whose materialization was abandoned/cancelled.
+    pub abandoned: AtomicU64,
+    /// Times a query stalled on a concurrent materialization.
+    pub stalls: AtomicU64,
+    /// Total matching/insertion time.
+    pub match_ns_total: AtomicU64,
+    /// Nodes inserted into the recycler graph.
+    pub nodes_inserted: AtomicU64,
+}
+
+macro_rules! bump {
+    ($stats:expr, $field:ident) => {
+        $stats.$field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// The recycler. Share it between the engine and the executor via `Arc`;
+/// it implements [`ResultStore`] so store/cached operators talk to it
+/// directly.
+pub struct Recycler {
+    config: RecyclerConfig,
+    state: Mutex<State>,
+    resolved_cond: Condvar,
+    /// Aggregate counters.
+    pub stats: RecyclerStats,
+}
+
+impl Recycler {
+    /// New recycler with the given configuration.
+    pub fn new(config: RecyclerConfig) -> Arc<Recycler> {
+        Arc::new(Recycler {
+            state: Mutex::new(State {
+                graph: RecyclerGraph::new(),
+                cache: RecyclerCache::new(config.cache_bytes),
+                tags: HashMap::new(),
+                in_flight: HashMap::new(),
+                next_tag: 1,
+            }),
+            resolved_cond: Condvar::new(),
+            config,
+            stats: RecyclerStats::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecyclerConfig {
+        &self.config
+    }
+
+    /// Number of nodes in the recycler graph.
+    pub fn graph_len(&self) -> usize {
+        self.state.lock().graph.len()
+    }
+
+    /// Bytes currently in the recycler cache.
+    pub fn cache_used(&self) -> u64 {
+        self.state.lock().cache.used()
+    }
+
+    /// Number of cached results.
+    pub fn cache_len(&self) -> usize {
+        self.state.lock().cache.len()
+    }
+
+    /// Flush the cache (Fig. 6's simulated refresh): evict everything and
+    /// restore reference counts per Eq. 4.
+    pub fn flush_cache(&self) {
+        let mut st = self.state.lock();
+        let alpha = self.config.aging_alpha;
+        for id in st.cache.flush() {
+            st.graph.on_evicted(id, alpha);
+        }
+    }
+
+    /// Rewrite a bound query plan for execution (paper Fig. 1's rewriter
+    /// rules). `catalog` supplies schemas for newly inserted graph nodes.
+    pub fn prepare(&self, plan: &Plan, catalog: &Catalog) -> PreparedQuery {
+        assert!(!plan.has_named(), "prepare() requires a bound plan");
+        bump!(self.stats, queries);
+        let schema_of = |p: &Plan| -> Schema {
+            p.schema(catalog).expect("bound plan must have a schema")
+        };
+
+        let mut st = self.state.lock();
+        let qid = st.graph.advance_tick();
+
+        // --- matching + insertion (Algorithm 1) ---
+        let match_start = Instant::now();
+        let mtree = st.graph.match_or_insert(plan, &schema_of);
+        let inserted = mtree.inserted_count();
+        // Reference bookkeeping: every pre-existing node whose result could
+        // have answered this query (no materialized ancestor inside the
+        // matched region) gains a reference.
+        bump_references(&mut st.graph, &mtree, false, self.config.aging_alpha);
+        let match_ns = match_start.elapsed().as_nanos() as u64;
+        self.stats
+            .match_ns_total
+            .fetch_add(match_ns, Ordering::Relaxed);
+        self.stats
+            .nodes_inserted
+            .fetch_add(inserted as u64, Ordering::Relaxed);
+
+        // --- rewriting: reuse substitution + store injection ---
+        let mut events = Vec::new();
+        let mut ignore_stall: Vec<NodeId> = Vec::new();
+        let outcome = loop {
+            let mut rw = RewriteRun {
+                cfg: &self.config,
+                qid,
+                tags: Vec::new(),
+                annots: Vec::new(),
+                events: Vec::new(),
+                ignore_stall: &ignore_stall,
+            };
+            match rw.rewrite(&mut st, plan, &mtree, true) {
+                Ok(new_plan) => break (new_plan, rw.tags, rw.annots, rw.events),
+                Err(stall_on) => {
+                    // Roll back anything this attempt created.
+                    for t in rw.tags {
+                        if let Some(TagEntry::StoreTarget { node, .. }) = st.tags.remove(&t) {
+                            st.in_flight.remove(&node);
+                        }
+                    }
+                    bump!(self.stats, stalls);
+                    let waited = Instant::now();
+                    let deadline = waited + self.config.stall_timeout;
+                    let mut timed_out = false;
+                    while st.in_flight.contains_key(&stall_on) {
+                        if self
+                            .resolved_cond
+                            .wait_until(&mut st, deadline)
+                            .timed_out()
+                        {
+                            timed_out = true;
+                            break;
+                        }
+                    }
+                    let satisfied = !timed_out && st.cache.contains(stall_on);
+                    events.push(RecyclerEvent::Stalled {
+                        node: stall_on,
+                        waited: waited.elapsed(),
+                        satisfied,
+                    });
+                    if timed_out {
+                        // Give up waiting: compute it ourselves this time.
+                        ignore_stall.push(stall_on);
+                    }
+                }
+            }
+        };
+        let (new_plan, tags, annots, mut rw_events) = outcome;
+        events.append(&mut rw_events);
+        for e in &events {
+            match e {
+                RecyclerEvent::Reused { .. } => {
+                    bump!(self.stats, reuses);
+                }
+                RecyclerEvent::SubsumptionReused { .. } => {
+                    bump!(self.stats, subsumption_reuses);
+                }
+                _ => {}
+            }
+        }
+        PreparedQuery {
+            plan: new_plan,
+            qid,
+            tags,
+            annotations: annots,
+            events,
+            match_ns,
+            nodes_inserted: inserted,
+            nodes_total: plan.node_count(),
+        }
+    }
+
+    /// Post-execution hook: annotate measured statistics onto the graph,
+    /// resolve dangling store targets, release leases, and report
+    /// completion events.
+    pub fn complete(
+        &self,
+        prepared: &PreparedQuery,
+        metrics: &MetricsNode,
+    ) -> Vec<RecyclerEvent> {
+        let mut st = self.state.lock();
+        // Annotate each computed node with its measured statistics.
+        for (path, node) in &prepared.annotations {
+            let Some(m) = metrics_at(metrics, path) else { continue };
+            let Some(sub) = plan_at(&prepared.plan, path) else { continue };
+            let from_base = !contains_cached(sub);
+            st.graph.annotate(
+                *node,
+                m.inclusive_time_ns() as f64,
+                m.inclusive_work() as f64,
+                m.cardinality(),
+                m.metrics.bytes_out(),
+                from_base,
+            );
+        }
+        // Resolve store targets that never finished (e.g. a LIMIT above the
+        // store stopped pulling) and collect completion events.
+        let mut events = Vec::new();
+        let mut notify = false;
+        for t in &prepared.tags {
+            let Some(entry) = st.tags.get(t) else { continue };
+            if let TagEntry::StoreTarget { node, resolved, .. } = entry {
+                let node = *node;
+                match resolved {
+                    Some(StoreOutcome::Published { admitted, bytes }) => {
+                        events.push(RecyclerEvent::Materialized {
+                            node,
+                            bytes: *bytes,
+                            admitted: *admitted,
+                        });
+                    }
+                    Some(StoreOutcome::Abandoned) => {
+                        events.push(RecyclerEvent::Abandoned { node });
+                    }
+                    None => {
+                        events.push(RecyclerEvent::Abandoned { node });
+                        bump!(self.stats, abandoned);
+                        st.in_flight.remove(&node);
+                        notify = true;
+                    }
+                }
+            }
+        }
+        // Release this query's tags (leases drop their pins).
+        for t in &prepared.tags {
+            st.tags.remove(t);
+        }
+        // Benefits depend on the just-annotated statistics; refresh cached
+        // entries' ordering.
+        let model = self.config.cost_model;
+        let alpha = self.config.aging_alpha;
+        let State { graph, cache, .. } = &mut *st;
+        cache.rebenefit(|id| graph.benefit(id, model, alpha));
+        drop(st);
+        if notify {
+            self.resolved_cond.notify_all();
+        }
+        events
+    }
+
+    /// Run a read-only closure over the recycler graph (tests/inspection).
+    pub fn with_graph<R>(&self, f: impl FnOnce(&RecyclerGraph) -> R) -> R {
+        f(&self.state.lock().graph)
+    }
+}
+
+/// Walk the (query plan, match tree) pair and bump references on
+/// pre-existing nodes with no materialized ancestor in the matched region.
+fn bump_references(graph: &mut RecyclerGraph, mt: &MatchTree, mat_above: bool, alpha: f64) {
+    if !mt.inserted && !mat_above {
+        graph.bump_h(mt.id, alpha);
+    }
+    let mat_here = mat_above || graph.node(mt.id).materialized;
+    for c in &mt.children {
+        bump_references(graph, c, mat_here, alpha);
+    }
+}
+
+/// One rewrite attempt (may be retried after a stall).
+struct RewriteRun<'a> {
+    cfg: &'a RecyclerConfig,
+    qid: u64,
+    tags: Vec<u64>,
+    annots: Vec<(Vec<usize>, NodeId)>,
+    events: Vec<RecyclerEvent>,
+    ignore_stall: &'a [NodeId],
+}
+
+impl<'a> RewriteRun<'a> {
+    /// Returns the rewritten plan, or `Err(node)` if the query must stall
+    /// on a concurrent materialization of `node`.
+    fn rewrite(
+        &mut self,
+        st: &mut State,
+        plan: &Plan,
+        mt: &MatchTree,
+        is_root: bool,
+    ) -> Result<Plan, NodeId> {
+        let id = mt.id;
+
+        // Rule 1: substitute an exactly-matching cached result.
+        if let Some(entry) = st.cache.get(id) {
+            let result = entry.result.clone();
+            let bytes = entry.size;
+            let schema = st.graph.node(id).schema.clone();
+            let tag = new_lease(st, result);
+            self.tags.push(tag);
+            self.events.push(RecyclerEvent::Reused { node: id, bytes });
+            return Ok(Plan::Cached { tag, schema });
+        }
+
+        // Rule 2: another query is currently producing this result — stall
+        // (paper §V) unless we already waited too long for it.
+        if let Some(&owner) = st.in_flight.get(&id) {
+            if owner != self.qid && !self.ignore_stall.contains(&id) {
+                return Err(id);
+            }
+        }
+
+        // Rule 3: subsumption (only when no exact cached result exists).
+        if self.cfg.enable_subsumption {
+            if let Some(derived) = self.try_subsumption(st, plan, id) {
+                return Ok(derived);
+            }
+        }
+
+        // Recurse into children.
+        let mut new_children = Vec::with_capacity(mt.children.len());
+        let mut child_annots: Vec<(Vec<usize>, NodeId)> = Vec::new();
+        for (i, (c_plan, c_mt)) in plan.children().iter().zip(&mt.children).enumerate() {
+            let saved = std::mem::take(&mut self.annots);
+            let child = self.rewrite(st, c_plan, c_mt, false)?;
+            let produced = std::mem::replace(&mut self.annots, saved);
+            for (mut p, n) in produced {
+                p.insert(0, i);
+                child_annots.push((p, n));
+            }
+            new_children.push(child);
+        }
+        let rebuilt = plan.with_children(new_children);
+        self.annots.append(&mut child_annots);
+        // This node is computed by this query: annotate it afterwards.
+        self.annots.push((Vec::new(), id));
+
+        // Rule 4: store injection.
+        if let Some(speculative) = self.store_decision(st, plan, id, is_root) {
+            let tag = st.next_tag;
+            st.next_tag += 1;
+            st.tags.insert(
+                tag,
+                TagEntry::StoreTarget { node: id, speculative, last_est: None, resolved: None },
+            );
+            st.in_flight.insert(id, self.qid);
+            self.tags.push(tag);
+            self.events
+                .push(RecyclerEvent::StoreInjected { node: id, speculative });
+            // The store wrapper adds one plan level above this node.
+            for (p, _) in self.annots.iter_mut() {
+                p.insert(0, 0);
+            }
+            return Ok(Plan::Store {
+                child: Box::new(rebuilt),
+                tag,
+                mode: if speculative { StoreMode::Speculate } else { StoreMode::Materialize },
+            });
+        }
+        Ok(rebuilt)
+    }
+
+    /// Substitute a materialized subsuming result if one exists.
+    fn try_subsumption(&mut self, st: &mut State, plan: &Plan, id: NodeId) -> Option<Plan> {
+        let edge = st
+            .graph
+            .materialized_subsumers(id)
+            .first()
+            .map(|e| (*e).clone())?;
+        let entry = st.cache.get(edge.subsumer)?;
+        let result = entry.result.clone();
+        let schema = st.graph.node(edge.subsumer).schema.clone();
+        let tag = new_lease(st, result);
+        self.tags.push(tag);
+        let cached = Plan::Cached { tag, schema };
+        let derived = match &edge.derivation {
+            Derivation::Reselect => match plan {
+                Plan::Select { predicate, .. } => cached.select(predicate.clone()),
+                _ => return None,
+            },
+            Derivation::ProjectCols(cols) => {
+                let sup_schema = &st.graph.node(edge.subsumer).schema;
+                let items: Vec<(rdb_expr::Expr, &str)> = cols
+                    .iter()
+                    .map(|&c| (rdb_expr::Expr::col(c), sup_schema.field(c).name.as_str()))
+                    .collect();
+                cached.project(items)
+            }
+            Derivation::Reaggregate { group_cols, agg_cols } => match plan {
+                Plan::Aggregate { group_names, aggs, agg_names, .. } => {
+                    let groups: Vec<(rdb_expr::Expr, &str)> = group_cols
+                        .iter()
+                        .zip(group_names)
+                        .map(|(&c, n)| (rdb_expr::Expr::col(c), n.as_str()))
+                        .collect();
+                    let new_aggs: Vec<(rdb_expr::AggFunc, &str)> = aggs
+                        .iter()
+                        .zip(agg_cols)
+                        .zip(agg_names)
+                        .map(|((a, &c), n)| {
+                            (a.reaggregate(c).expect("checked decomposable"), n.as_str())
+                        })
+                        .collect();
+                    cached.aggregate(groups, new_aggs)
+                }
+                _ => return None,
+            },
+            Derivation::Retopn => match plan {
+                Plan::TopN { keys, n, .. } => cached.top_n(keys.clone(), *n),
+                _ => return None,
+            },
+        };
+        self.events.push(RecyclerEvent::SubsumptionReused {
+            node: id,
+            via: edge.subsumer,
+        });
+        Some(derived)
+    }
+
+    /// Decide whether to put a store operator above this node. Returns
+    /// `Some(speculative)` to inject.
+    fn store_decision(
+        &self,
+        st: &State,
+        plan: &Plan,
+        id: NodeId,
+        is_root: bool,
+    ) -> Option<bool> {
+        // Never re-materialize a base-table copy, and never store what is
+        // already cached or being produced.
+        if matches!(plan, Plan::Scan { .. }) {
+            return None;
+        }
+        let node = st.graph.node(id);
+        if node.materialized || st.in_flight.contains_key(&id) {
+            return None;
+        }
+        if node.stats.measured {
+            // History rule: results seen before, with enough references and
+            // an admissible benefit, are materialized outright.
+            let h = st.graph.decayed_h(id, self.cfg.aging_alpha);
+            if h < self.cfg.min_refs_to_store {
+                return None;
+            }
+            let bytes = node.stats.bytes.max(1);
+            if bytes > self.cfg.max_result_bytes() {
+                return None;
+            }
+            let benefit = st
+                .graph
+                .benefit(id, self.cfg.cost_model, self.cfg.aging_alpha);
+            if benefit <= self.cfg.benefit_floor {
+                return None;
+            }
+            st.cache.would_admit(bytes, benefit).then_some(false)
+        } else {
+            // Speculation rule (§III-D): first-time results behind
+            // designated operators (expensive, expected-small results).
+            if self.cfg.mode != RecyclerMode::Speculative {
+                return None;
+            }
+            let designated = is_root
+                || matches!(
+                    plan,
+                    Plan::Aggregate { .. } | Plan::TopN { .. } | Plan::FnScan { .. }
+                );
+            designated.then_some(true)
+        }
+    }
+}
+
+fn new_lease(st: &mut State, result: Arc<MaterializedResult>) -> u64 {
+    let tag = st.next_tag;
+    st.next_tag += 1;
+    st.tags.insert(tag, TagEntry::Lease(result));
+    tag
+}
+
+fn metrics_at<'a>(root: &'a MetricsNode, path: &[usize]) -> Option<&'a MetricsNode> {
+    let mut cur = root;
+    for &i in path {
+        cur = cur.children.get(i)?;
+    }
+    Some(cur)
+}
+
+fn plan_at<'a>(root: &'a Plan, path: &[usize]) -> Option<&'a Plan> {
+    let mut cur = root;
+    for &i in path {
+        let children = cur.children();
+        cur = children.get(i).copied()?;
+    }
+    Some(cur)
+}
+
+fn contains_cached(plan: &Plan) -> bool {
+    matches!(plan, Plan::Cached { .. })
+        || plan.children().iter().any(|c| contains_cached(c))
+}
+
+impl ResultStore for Recycler {
+    fn fetch(&self, tag: u64) -> Option<Arc<MaterializedResult>> {
+        match self.state.lock().tags.get(&tag) {
+            Some(TagEntry::Lease(r)) => Some(r.clone()),
+            _ => None,
+        }
+    }
+
+    fn publish(&self, tag: u64, result: MaterializedResult) {
+        let mut st = self.state.lock();
+        let Some(TagEntry::StoreTarget { node, speculative, last_est, resolved }) =
+            st.tags.get(&tag)
+        else {
+            return;
+        };
+        let (node, speculative, last_est) = (*node, *speculative, last_est.clone());
+        if resolved.is_some() {
+            return;
+        }
+        let bytes = result.size_bytes as u64;
+        let model = self.config.cost_model;
+        let alpha = self.config.aging_alpha;
+        // Benefit: measured statistics if the node has history, else the
+        // speculative estimate with the paper's constant h.
+        let benefit = if st.graph.node(node).stats.measured {
+            st.graph.benefit(node, model, alpha)
+        } else {
+            let cost = last_est.as_ref().map(|e| e.est_cost_ns).unwrap_or(0.0);
+            cost * self.config.spec_h / bytes.max(1) as f64
+        };
+        let admitted = match st.cache.insert(node, Arc::new(result), benefit) {
+            Some(evicted) => {
+                for e in evicted {
+                    st.graph.on_evicted(e, alpha);
+                }
+                st.graph.on_materialized(node, alpha);
+                true
+            }
+            None => false,
+        };
+        if admitted {
+            self.stats.materializations.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(TagEntry::StoreTarget { resolved, .. }) = st.tags.get_mut(&tag) {
+            *resolved = Some(StoreOutcome::Published { admitted, bytes });
+        }
+        st.in_flight.remove(&node);
+        let _ = speculative;
+        drop(st);
+        self.resolved_cond.notify_all();
+    }
+
+    fn abandon(&self, tag: u64) {
+        let mut st = self.state.lock();
+        if let Some(TagEntry::StoreTarget { node, resolved, .. }) = st.tags.get_mut(&tag) {
+            let node = *node;
+            if resolved.is_none() {
+                *resolved = Some(StoreOutcome::Abandoned);
+                self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+            }
+            st.in_flight.remove(&node);
+        }
+        drop(st);
+        self.resolved_cond.notify_all();
+    }
+
+    fn speculate(&self, tag: u64, est: &SpeculationEstimate) -> StoreVerdict {
+        let mut st = self.state.lock();
+        let Some(TagEntry::StoreTarget { last_est, .. }) = st.tags.get_mut(&tag) else {
+            return StoreVerdict::Cancel;
+        };
+        *last_est = Some(est.clone());
+        // Too large for the cache no matter what: cancel immediately.
+        if est.buffered_bytes as u64 > self.config.max_result_bytes() {
+            return StoreVerdict::Cancel;
+        }
+        if est.progress < self.config.spec_min_progress {
+            return StoreVerdict::Undecided;
+        }
+        if est.est_bytes as u64 > self.config.max_result_bytes() {
+            return StoreVerdict::Cancel;
+        }
+        // Paper §III-D: plug the estimates and a small constant h into the
+        // benefit metric and let the admission policy decide.
+        let benefit = est.est_cost_ns * self.config.spec_h / est.est_bytes.max(1.0);
+        if st.cache.would_admit(est.est_bytes as u64, benefit) {
+            StoreVerdict::Commit
+        } else if est.progress >= 1.0 {
+            StoreVerdict::Cancel
+        } else {
+            StoreVerdict::Undecided
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The pipelined engine with recycler integration.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rdb_exec::{build, run_to_batch, ExecContext, FnRegistry};
+use rdb_plan::{Plan, PlanError};
+use rdb_recycler::{Recycler, RecyclerConfig, RecyclerEvent};
+use rdb_storage::Catalog;
+use rdb_vector::{Batch, Schema};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Recycler configuration; `None` disables recycling (the paper's OFF
+    /// mode).
+    pub recycling: Option<RecyclerConfig>,
+    /// Maximum queries executing simultaneously (the paper uses 12; further
+    /// concurrent queries are queued).
+    pub max_concurrent_queries: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            recycling: Some(RecyclerConfig::default()),
+            max_concurrent_queries: 12,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Recycling disabled (naive execution).
+    pub fn off() -> Self {
+        EngineConfig { recycling: None, ..Default::default() }
+    }
+
+    /// With the given recycler configuration.
+    pub fn with_recycler(config: RecyclerConfig) -> Self {
+        EngineConfig { recycling: Some(config), ..Default::default() }
+    }
+}
+
+/// The result of one query execution.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// All result rows, concatenated.
+    pub batch: Batch,
+    /// Result schema.
+    pub schema: Schema,
+    /// Wall-clock execution time (excluding queueing).
+    pub wall: Duration,
+    /// Matching/insertion time inside the recycler (0 when recycling off).
+    pub match_ns: u64,
+    /// Recycler events (rewrite-time and completion).
+    pub events: Vec<RecyclerEvent>,
+    /// Start/end offsets relative to the engine's epoch (for traces).
+    pub started_at: Duration,
+    /// End offset relative to the engine's epoch.
+    pub finished_at: Duration,
+}
+
+impl QueryOutcome {
+    /// Whether any cached result (exact or subsumption) was reused.
+    pub fn reused(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                RecyclerEvent::Reused { .. } | RecyclerEvent::SubsumptionReused { .. }
+            )
+        })
+    }
+
+    /// Whether any result was materialized and admitted by this query.
+    pub fn materialized(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, RecyclerEvent::Materialized { admitted: true, .. }))
+    }
+
+    /// Whether the query stalled waiting for a concurrent materialization.
+    pub fn stalled(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, RecyclerEvent::Stalled { .. }))
+    }
+}
+
+/// A labelled query inside a stream (labels drive the per-pattern
+/// breakdowns of Figs. 8-10).
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Pattern label, e.g. `"Q1"`.
+    pub label: String,
+    /// The (named or bound) plan.
+    pub plan: Plan,
+}
+
+impl WorkloadQuery {
+    /// Construct a labelled query.
+    pub fn new(label: impl Into<String>, plan: Plan) -> Self {
+        WorkloadQuery { label: label.into(), plan }
+    }
+}
+
+/// Per-query record of a stream run.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Stream index.
+    pub stream: usize,
+    /// Position within the stream.
+    pub index: usize,
+    /// Pattern label.
+    pub label: String,
+    /// Start offset from the run's epoch.
+    pub start: Duration,
+    /// End offset from the run's epoch.
+    pub end: Duration,
+    /// Pure execution time (excluding queue wait).
+    pub exec: Duration,
+    /// Matching cost in the recycler.
+    pub match_ns: u64,
+    /// Reused a cached result.
+    pub reused: bool,
+    /// Materialized (and the cache admitted) a result.
+    pub materialized: bool,
+    /// Stalled on a concurrent materialization.
+    pub stalled: bool,
+}
+
+/// Result of a multi-stream throughput run (Fig. 7's measured quantities).
+#[derive(Debug)]
+pub struct StreamsReport {
+    /// Per-stream elapsed time: first query issued → last result received.
+    pub stream_times: Vec<Duration>,
+    /// Per-query records (Fig. 9's trace).
+    pub records: Vec<QueryRecord>,
+    /// Total wall time of the whole run.
+    pub total: Duration,
+}
+
+impl StreamsReport {
+    /// Average evaluation time per stream (the y-axis of Fig. 7).
+    pub fn avg_stream_time(&self) -> Duration {
+        if self.stream_times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.stream_times.iter().sum::<Duration>() / self.stream_times.len() as u32
+    }
+
+    /// Average pure execution time per query pattern label (Fig. 8).
+    pub fn avg_exec_by_label(&self) -> Vec<(String, Duration)> {
+        let mut acc: Vec<(String, Duration, u32)> = Vec::new();
+        for r in &self.records {
+            match acc.iter_mut().find(|(l, _, _)| *l == r.label) {
+                Some((_, d, n)) => {
+                    *d += r.exec;
+                    *n += 1;
+                }
+                None => acc.push((r.label.clone(), r.exec, 1)),
+            }
+        }
+        acc.into_iter().map(|(l, d, n)| (l, d / n)).collect()
+    }
+}
+
+/// Counting semaphore bounding concurrent query execution.
+struct Gate {
+    slots: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Gate {
+    fn new(n: usize) -> Gate {
+        Gate { slots: Mutex::new(n.max(1)), cond: Condvar::new() }
+    }
+
+    fn acquire(&self) {
+        let mut s = self.slots.lock();
+        while *s == 0 {
+            self.cond.wait(&mut s);
+        }
+        *s -= 1;
+    }
+
+    fn release(&self) {
+        *self.slots.lock() += 1;
+        self.cond.notify_one();
+    }
+}
+
+/// The pipelined engine.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    functions: Arc<FnRegistry>,
+    recycler: Option<Arc<Recycler>>,
+    gate: Gate,
+    epoch: Instant,
+}
+
+impl Engine {
+    /// Build an engine over a catalog (no table functions).
+    pub fn new(catalog: Arc<Catalog>, config: EngineConfig) -> Arc<Engine> {
+        Engine::with_functions(catalog, Arc::new(FnRegistry::new()), config)
+    }
+
+    /// Build an engine with table functions.
+    pub fn with_functions(
+        catalog: Arc<Catalog>,
+        functions: Arc<FnRegistry>,
+        config: EngineConfig,
+    ) -> Arc<Engine> {
+        Arc::new(Engine {
+            catalog,
+            functions,
+            recycler: config.recycling.map(Recycler::new),
+            gate: Gate::new(config.max_concurrent_queries),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The recycler, if recycling is enabled.
+    pub fn recycler(&self) -> Option<&Arc<Recycler>> {
+        self.recycler.as_ref()
+    }
+
+    /// Flush the recycler cache (no-op when recycling is off).
+    pub fn flush_cache(&self) {
+        if let Some(r) = &self.recycler {
+            r.flush_cache();
+        }
+    }
+
+    /// Execute one query (named or bound plan). Blocks while the engine is
+    /// at its concurrency limit.
+    pub fn run(&self, plan: &Plan) -> Result<QueryOutcome, PlanError> {
+        let bound = if plan.has_named() {
+            plan.bind(&self.catalog)?
+        } else {
+            plan.clone()
+        };
+        self.gate.acquire();
+        let outcome = self.run_bound(&bound);
+        self.gate.release();
+        outcome
+    }
+
+    fn run_bound(&self, bound: &Plan) -> Result<QueryOutcome, PlanError> {
+        let started_at = self.epoch.elapsed();
+        let start = Instant::now();
+        let (batch, schema, match_ns, events) = match &self.recycler {
+            None => {
+                let ctx = ExecContext::new(self.catalog.clone())
+                    .with_functions(self.functions.clone());
+                let mut tree = build(bound, &ctx)?;
+                let batch = run_to_batch(tree.root.as_mut());
+                (batch, tree.schema, 0, Vec::new())
+            }
+            Some(recycler) => {
+                let prepared = recycler.prepare(bound, &self.catalog);
+                let ctx = ExecContext::new(self.catalog.clone())
+                    .with_functions(self.functions.clone())
+                    .with_store(recycler.clone() as Arc<dyn rdb_exec::ResultStore>);
+                let mut tree = build(&prepared.plan, &ctx)?;
+                let batch = run_to_batch(tree.root.as_mut());
+                let mut events = prepared.events.clone();
+                events.extend(recycler.complete(&prepared, &tree.metrics));
+                (batch, tree.schema, prepared.match_ns, events)
+            }
+        };
+        let wall = start.elapsed();
+        Ok(QueryOutcome {
+            batch,
+            schema,
+            wall,
+            match_ns,
+            events,
+            started_at,
+            finished_at: self.epoch.elapsed(),
+        })
+    }
+
+    /// Run several query streams concurrently (one thread per stream,
+    /// bounded by the engine's admission gate), as in the TPC-H throughput
+    /// test of §V.
+    pub fn run_streams(self: &Arc<Self>, streams: &[Vec<WorkloadQuery>]) -> StreamsReport {
+        let run_start = Instant::now();
+        let mut stream_times = vec![Duration::ZERO; streams.len()];
+        let mut records: Vec<QueryRecord> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(si, stream)| {
+                    let engine = Arc::clone(self);
+                    scope.spawn(move |_| {
+                        let stream_start = Instant::now();
+                        let mut recs = Vec::with_capacity(stream.len());
+                        for (qi, q) in stream.iter().enumerate() {
+                            let out = engine
+                                .run(&q.plan)
+                                .unwrap_or_else(|e| panic!("query {} failed: {e}", q.label));
+                            recs.push(QueryRecord {
+                                stream: si,
+                                index: qi,
+                                label: q.label.clone(),
+                                start: out.started_at,
+                                end: out.finished_at,
+                                exec: out.wall,
+                                match_ns: out.match_ns,
+                                reused: out.reused(),
+                                materialized: out.materialized(),
+                                stalled: out.stalled(),
+                            });
+                        }
+                        (si, stream_start.elapsed(), recs)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (si, elapsed, mut recs) = h.join().expect("stream thread panicked");
+                stream_times[si] = elapsed;
+                records.append(&mut recs);
+            }
+        })
+        .expect("stream scope failed");
+        records.sort_by_key(|r| (r.stream, r.index));
+        StreamsReport {
+            stream_times,
+            records,
+            total: run_start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_expr::{AggFunc, Expr};
+    use rdb_plan::scan;
+    use rdb_recycler::CostModel;
+    use rdb_storage::TableBuilder;
+    use rdb_vector::{DataType, Value};
+
+    fn catalog(rows: i64) -> Arc<Catalog> {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([
+            ("k", DataType::Int),
+            ("v", DataType::Float),
+        ]);
+        let mut b = TableBuilder::new("t", schema, rows as usize);
+        for i in 0..rows {
+            b.push_row(vec![Value::Int(i % 50), Value::Float(i as f64)]);
+        }
+        cat.register(b.finish());
+        Arc::new(cat)
+    }
+
+    fn agg_query(limit: i64) -> Plan {
+        scan("t", &["k", "v"])
+            .select(Expr::name("k").lt(Expr::lit(limit)))
+            .aggregate(
+                vec![(Expr::name("k"), "k")],
+                vec![(AggFunc::Sum(Expr::name("v")), "sv")],
+            )
+    }
+
+    fn det_config() -> RecyclerConfig {
+        let mut c = RecyclerConfig::deterministic(1 << 20);
+        c.spec_min_progress = 0.0;
+        c
+    }
+
+    #[test]
+    fn off_mode_runs_plain() {
+        let engine = Engine::new(catalog(10_000), EngineConfig::off());
+        let out = engine.run(&agg_query(10)).unwrap();
+        assert_eq!(out.batch.rows(), 10);
+        assert!(out.events.is_empty());
+        assert_eq!(out.match_ns, 0);
+    }
+
+    #[test]
+    fn repeated_query_is_reused() {
+        let engine = Engine::new(
+            catalog(20_000),
+            EngineConfig::with_recycler(det_config()),
+        );
+        let q = agg_query(10);
+        let first = engine.run(&q).unwrap();
+        assert!(!first.reused());
+        assert!(first.materialized(), "speculation caches the aggregate");
+        let second = engine.run(&q).unwrap();
+        assert!(second.reused(), "second run must hit the cache");
+        assert_eq!(first.batch.to_rows(), second.batch.to_rows());
+        // Cached runs skip the scan work entirely.
+        let r = engine.recycler().unwrap();
+        assert!(r.cache_len() >= 1);
+        assert!(r.stats.reuses.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn different_parameters_do_not_share_results() {
+        let engine = Engine::new(
+            catalog(5_000),
+            EngineConfig::with_recycler(det_config()),
+        );
+        let a = engine.run(&agg_query(10)).unwrap();
+        let b = engine.run(&agg_query(20)).unwrap();
+        assert!(!b.reused() || b.batch.rows() == 20);
+        assert_eq!(a.batch.rows(), 10);
+        assert_eq!(b.batch.rows(), 20);
+    }
+
+    #[test]
+    fn flush_forces_recompute() {
+        let engine = Engine::new(
+            catalog(5_000),
+            EngineConfig::with_recycler(det_config()),
+        );
+        let q = agg_query(10);
+        engine.run(&q).unwrap();
+        engine.flush_cache();
+        assert_eq!(engine.recycler().unwrap().cache_len(), 0);
+        let again = engine.run(&q).unwrap();
+        assert!(!again.reused());
+        assert_eq!(again.batch.rows(), 10);
+    }
+
+    #[test]
+    fn history_mode_needs_three_occurrences() {
+        // Paper §V: "a result has to appear at least three times in a
+        // workload for the [history] recycler to benefit from reusing it":
+        // 1st inserts, 2nd is seen-before (gets a store), 3rd reuses.
+        let mut cfg = det_config();
+        cfg.mode = rdb_recycler::RecyclerMode::History;
+        let engine = Engine::new(catalog(5_000), EngineConfig::with_recycler(cfg));
+        let q = agg_query(10);
+        let first = engine.run(&q).unwrap();
+        assert!(!first.materialized(), "history mode never stores first-timers");
+        let second = engine.run(&q).unwrap();
+        assert!(!second.reused());
+        assert!(second.materialized(), "second occurrence materializes");
+        let third = engine.run(&q).unwrap();
+        assert!(third.reused(), "third occurrence reuses");
+    }
+
+    #[test]
+    fn work_cost_model_annotations_flow() {
+        let engine = Engine::new(
+            catalog(5_000),
+            EngineConfig::with_recycler(det_config()),
+        );
+        engine.run(&agg_query(10)).unwrap();
+        let r = engine.recycler().unwrap();
+        assert!(r.graph_len() >= 3);
+        r.with_graph(|g| {
+            // Every node of the query got annotated with measured stats.
+            let measured = (0..g.len())
+                .filter(|&i| g.node(rdb_recycler::NodeId(i as u32)).stats.measured)
+                .count();
+            assert!(measured >= 3, "expected measured nodes, got {measured}");
+            for i in 0..g.len() {
+                let n = g.node(rdb_recycler::NodeId(i as u32));
+                if n.stats.measured {
+                    assert!(n.stats.bcost_work > 0.0);
+                }
+            }
+        });
+        let _ = CostModel::WorkUnits;
+    }
+
+    #[test]
+    fn concurrent_identical_streams_share_work() {
+        let engine = Engine::new(
+            catalog(20_000),
+            EngineConfig::with_recycler(det_config()),
+        );
+        let mk = |label: &str| WorkloadQuery::new(label, agg_query(10));
+        let streams: Vec<Vec<WorkloadQuery>> =
+            (0..4).map(|_| vec![mk("QA"), mk("QA"), mk("QA")]).collect();
+        let report = engine.run_streams(&streams);
+        assert_eq!(report.records.len(), 12);
+        let reused = report.records.iter().filter(|r| r.reused).count();
+        assert!(
+            reused >= 8,
+            "most of the 12 identical queries should reuse (got {reused})"
+        );
+        let by_label = report.avg_exec_by_label();
+        assert_eq!(by_label.len(), 1);
+        assert!(report.avg_stream_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn streams_report_orders_records() {
+        let engine = Engine::new(catalog(1_000), EngineConfig::off());
+        let streams: Vec<Vec<WorkloadQuery>> = (0..2)
+            .map(|_| {
+                vec![
+                    WorkloadQuery::new("A", agg_query(5)),
+                    WorkloadQuery::new("B", agg_query(15)),
+                ]
+            })
+            .collect();
+        let report = engine.run_streams(&streams);
+        assert_eq!(report.records.len(), 4);
+        assert_eq!(report.records[0].stream, 0);
+        assert_eq!(report.records[0].index, 0);
+        assert_eq!(report.records[3].stream, 1);
+        assert_eq!(report.records[3].index, 1);
+        assert_eq!(report.stream_times.len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! Engine façades tying plans, the recycler, and the executor together.
+//!
+//! * [`Engine`] — the pipelined, vector-at-a-time engine the paper targets:
+//!   binds plans, runs them through the recycler's rewriter (when
+//!   recycling is enabled), executes, and feeds measured statistics back.
+//!   Supports concurrent query streams with a Vectorwise-style admission
+//!   limit ("Vectorwise was set up to execute 12 queries in parallel").
+//! * [`MaterializingEngine`] — the operator-at-a-time comparison baseline
+//!   (MonetDB-style, after Ivanova et al. [10]): every operator fully
+//!   materializes its result, and with recycling enabled every intermediate
+//!   is admitted to the cache and matched directly against cached results.
+
+pub mod engine;
+pub mod materializing;
+
+pub use engine::{Engine, EngineConfig, QueryOutcome, QueryRecord, StreamsReport, WorkloadQuery};
+pub use materializing::{MatOutcome, MaterializingEngine};

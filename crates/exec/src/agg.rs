@@ -1,0 +1,464 @@
+//! Blocking hash aggregation.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rdb_expr::{eval, AggFunc, Expr};
+use rdb_vector::column::ColumnBuilder;
+use rdb_vector::row::encode_row_key;
+use rdb_vector::{Batch, Column, DataType, Value, BATCH_CAPACITY};
+
+use crate::metrics::OpMetrics;
+use crate::op::{timed_next, Operator};
+
+/// One per-group accumulator.
+#[derive(Debug)]
+enum Acc {
+    /// `count(*)` / `count(expr)`.
+    Count(i64),
+    /// `sum` over integers; `seen` distinguishes 0 from SQL NULL-sum.
+    SumInt { total: i64, seen: bool },
+    /// `sum` over floats.
+    SumFloat { total: f64, seen: bool },
+    /// `min`.
+    Min(Option<Value>),
+    /// `max`.
+    Max(Option<Value>),
+    /// `avg`.
+    Avg { sum: f64, count: i64 },
+    /// `count(distinct expr)`.
+    Distinct(HashSet<Value>),
+}
+
+impl Acc {
+    fn new(func: &AggFunc, input_types: &[DataType]) -> Acc {
+        match func {
+            AggFunc::CountStar | AggFunc::Count(_) => Acc::Count(0),
+            AggFunc::Sum(e) => match e.data_type(input_types) {
+                DataType::Int => Acc::SumInt { total: 0, seen: false },
+                _ => Acc::SumFloat { total: 0.0, seen: false },
+            },
+            AggFunc::Min(_) => Acc::Min(None),
+            AggFunc::Max(_) => Acc::Max(None),
+            AggFunc::Avg(_) => Acc::Avg { sum: 0.0, count: 0 },
+            AggFunc::CountDistinct(_) => Acc::Distinct(HashSet::new()),
+        }
+    }
+
+    /// Fold in row `i` of the evaluated argument column (`None` for
+    /// `count(*)`).
+    fn update(&mut self, arg: Option<&Column>, i: usize) {
+        match self {
+            Acc::Count(n) => match arg {
+                None => *n += 1,
+                Some(c) => {
+                    if c.is_valid(i) {
+                        *n += 1;
+                    }
+                }
+            },
+            Acc::SumInt { total, seen } => {
+                let c = arg.expect("sum needs an argument");
+                if c.is_valid(i) {
+                    *total += c.as_ints()[i];
+                    *seen = true;
+                }
+            }
+            Acc::SumFloat { total, seen } => {
+                let c = arg.expect("sum needs an argument");
+                if c.is_valid(i) {
+                    *total += match c.get(i).as_float() {
+                        Some(f) => f,
+                        None => return,
+                    };
+                    *seen = true;
+                }
+            }
+            Acc::Min(cur) => {
+                let c = arg.expect("min needs an argument");
+                if c.is_valid(i) {
+                    let v = c.get(i);
+                    if cur.as_ref().map_or(true, |m| v < *m) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                let c = arg.expect("max needs an argument");
+                if c.is_valid(i) {
+                    let v = c.get(i);
+                    if cur.as_ref().map_or(true, |m| v > *m) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            Acc::Avg { sum, count } => {
+                let c = arg.expect("avg needs an argument");
+                if c.is_valid(i) {
+                    if let Some(f) = c.get(i).as_float() {
+                        *sum += f;
+                        *count += 1;
+                    }
+                }
+            }
+            Acc::Distinct(set) => {
+                let c = arg.expect("count distinct needs an argument");
+                if c.is_valid(i) {
+                    set.insert(c.get(i));
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(*n),
+            Acc::SumInt { total, seen } => {
+                if *seen {
+                    Value::Int(*total)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumFloat { total, seen } => {
+                if *seen {
+                    Value::Float(*total)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
+            Acc::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *count as f64)
+                }
+            }
+            Acc::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+}
+
+struct Group {
+    key: Vec<Value>,
+    accs: Vec<Acc>,
+}
+
+/// Blocking hash aggregation: consumes the whole input, then streams the
+/// grouped result. With no group keys it produces exactly one row (also for
+/// empty input, per SQL semantics).
+pub struct HashAggExec {
+    child: Box<dyn Operator>,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggFunc>,
+    input_types: Vec<DataType>,
+    output_types: Vec<DataType>,
+    output: Option<Vec<Batch>>,
+    emitted_batches: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl HashAggExec {
+    /// Create the operator. `input_types` are the child's column types;
+    /// `output_types` the output schema types (groups then aggregates).
+    pub fn new(
+        child: Box<dyn Operator>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggFunc>,
+        input_types: Vec<DataType>,
+        output_types: Vec<DataType>,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        assert_eq!(group_by.len() + aggs.len(), output_types.len());
+        HashAggExec {
+            child,
+            group_by,
+            aggs,
+            input_types,
+            output_types,
+            output: None,
+            emitted_batches: 0,
+            metrics,
+        }
+    }
+
+    fn build(&mut self) -> Vec<Batch> {
+        let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut states: Vec<Group> = Vec::new();
+        let mut key_buf = Vec::new();
+        while let Some(batch) = self.child.next_batch() {
+            self.metrics.add_work(batch.rows() as u64);
+            let key_cols: Vec<Column> =
+                self.group_by.iter().map(|e| eval(e, &batch)).collect();
+            let key_refs: Vec<&Column> = key_cols.iter().collect();
+            let arg_cols: Vec<Option<Column>> = self
+                .aggs
+                .iter()
+                .map(|a| a.argument().map(|e| eval(e, &batch)))
+                .collect();
+            for row in 0..batch.rows() {
+                key_buf.clear();
+                encode_row_key(&key_refs, row, &mut key_buf);
+                let idx = match groups.get(&key_buf) {
+                    Some(&i) => i,
+                    None => {
+                        let idx = states.len();
+                        states.push(Group {
+                            key: key_refs.iter().map(|c| c.get(row)).collect(),
+                            accs: self
+                                .aggs
+                                .iter()
+                                .map(|a| Acc::new(a, &self.input_types))
+                                .collect(),
+                        });
+                        groups.insert(key_buf.clone(), idx);
+                        idx
+                    }
+                };
+                for (acc, arg) in states[idx].accs.iter_mut().zip(&arg_cols) {
+                    acc.update(arg.as_ref(), row);
+                }
+            }
+        }
+        // Global aggregation over empty input still yields one row.
+        if states.is_empty() && self.group_by.is_empty() {
+            states.push(Group {
+                key: vec![],
+                accs: self
+                    .aggs
+                    .iter()
+                    .map(|a| Acc::new(a, &self.input_types))
+                    .collect(),
+            });
+        }
+        self.emit(states)
+    }
+
+    fn emit(&self, states: Vec<Group>) -> Vec<Batch> {
+        let width = self.output_types.len();
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < states.len() {
+            let len = BATCH_CAPACITY.min(states.len() - offset);
+            let mut builders: Vec<ColumnBuilder> = self
+                .output_types
+                .iter()
+                .map(|t| ColumnBuilder::new(*t, len))
+                .collect();
+            for g in &states[offset..offset + len] {
+                for (k, v) in g.key.iter().enumerate() {
+                    builders[k].push(v.clone());
+                }
+                for (a, acc) in g.accs.iter().enumerate() {
+                    builders[self.group_by.len() + a].push(acc.finish());
+                }
+            }
+            let cols: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+            debug_assert_eq!(cols.len(), width);
+            out.push(Batch::new(cols));
+            offset += len;
+        }
+        out
+    }
+}
+
+impl Operator for HashAggExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.output.is_none() {
+                let built = self.build();
+                self.output = Some(built);
+            }
+            let out = self.output.as_ref().unwrap();
+            if self.emitted_batches < out.len() {
+                let b = out[self.emitted_batches].clone();
+                self.emitted_batches += 1;
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        match &self.output {
+            None => 0.0,
+            Some(out) => {
+                if out.is_empty() {
+                    1.0
+                } else {
+                    self.emitted_batches as f64 / out.len() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::run_to_batch;
+
+    struct Source {
+        batches: Vec<Batch>,
+    }
+
+    impl Operator for Source {
+        fn next_batch(&mut self) -> Option<Batch> {
+            if self.batches.is_empty() {
+                None
+            } else {
+                Some(self.batches.remove(0))
+            }
+        }
+        fn progress(&self) -> f64 {
+            1.0
+        }
+    }
+
+    fn src(cols: Vec<Column>) -> Box<dyn Operator> {
+        Box::new(Source { batches: vec![Batch::new(cols)] })
+    }
+
+    #[test]
+    fn grouped_aggregation() {
+        let child = src(vec![
+            Column::from_strs(["a", "b", "a", "a"]),
+            Column::from_ints(vec![1, 2, 3, 4]),
+        ]);
+        let mut agg = HashAggExec::new(
+            child,
+            vec![Expr::col(0)],
+            vec![
+                AggFunc::Sum(Expr::col(1)),
+                AggFunc::CountStar,
+                AggFunc::Avg(Expr::col(1)),
+            ],
+            vec![DataType::Str, DataType::Int],
+            vec![DataType::Str, DataType::Int, DataType::Int, DataType::Float],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut agg);
+        assert_eq!(out.rows(), 2);
+        let mut rows = out.to_rows();
+        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::str("a"),
+                Value::Int(8),
+                Value::Int(3),
+                Value::Float(8.0 / 3.0)
+            ]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::str("b"), Value::Int(2), Value::Int(1), Value::Float(2.0)]
+        );
+    }
+
+    #[test]
+    fn global_aggregation_on_empty_input() {
+        let child = Box::new(Source { batches: vec![] });
+        let mut agg = HashAggExec::new(
+            child,
+            vec![],
+            vec![AggFunc::CountStar, AggFunc::Sum(Expr::col(0))],
+            vec![DataType::Int],
+            vec![DataType::Int, DataType::Int],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut agg);
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0), vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn min_max_and_distinct() {
+        let child = src(vec![
+            Column::from_ints(vec![1, 1, 1, 1]),
+            Column::from_floats(vec![2.0, 8.0, 2.0, 4.0]),
+        ]);
+        let mut agg = HashAggExec::new(
+            child,
+            vec![Expr::col(0)],
+            vec![
+                AggFunc::Min(Expr::col(1)),
+                AggFunc::Max(Expr::col(1)),
+                AggFunc::CountDistinct(Expr::col(1)),
+            ],
+            vec![DataType::Int, DataType::Float],
+            vec![DataType::Int, DataType::Float, DataType::Float, DataType::Int],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut agg);
+        assert_eq!(
+            out.row(0),
+            vec![
+                Value::Int(1),
+                Value::Float(2.0),
+                Value::Float(8.0),
+                Value::Int(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn count_skips_nulls_sum_int() {
+        let mut b = ColumnBuilder::new(DataType::Int, 3);
+        b.push(Value::Int(5));
+        b.push_null();
+        b.push(Value::Int(7));
+        let child = src(vec![b.finish()]);
+        let mut agg = HashAggExec::new(
+            child,
+            vec![],
+            vec![
+                AggFunc::Count(Expr::col(0)),
+                AggFunc::CountStar,
+                AggFunc::Sum(Expr::col(0)),
+            ],
+            vec![DataType::Int],
+            vec![DataType::Int, DataType::Int, DataType::Int],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut agg);
+        assert_eq!(
+            out.row(0),
+            vec![Value::Int(2), Value::Int(3), Value::Int(12)]
+        );
+    }
+
+    #[test]
+    fn group_by_expression() {
+        let child = src(vec![Column::from_ints(vec![10, 11, 20, 21, 30])]);
+        let mut agg = HashAggExec::new(
+            child,
+            vec![Expr::col(0).div(Expr::lit(10))], // int div promotes to float
+            vec![AggFunc::CountStar],
+            vec![DataType::Int],
+            vec![DataType::Float, DataType::Int],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut agg);
+        assert_eq!(out.rows(), 5); // 1.0, 1.1, 2.0, 2.1, 3.0 are distinct
+    }
+
+    #[test]
+    fn progress_moves_to_one() {
+        let child = src(vec![Column::from_ints(vec![1])]);
+        let mut agg = HashAggExec::new(
+            child,
+            vec![Expr::col(0)],
+            vec![AggFunc::CountStar],
+            vec![DataType::Int],
+            vec![DataType::Int, DataType::Int],
+            OpMetrics::shared(),
+        );
+        assert_eq!(agg.progress(), 0.0);
+        while agg.next_batch().is_some() {}
+        assert_eq!(agg.progress(), 1.0);
+    }
+}

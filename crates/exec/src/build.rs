@@ -1,0 +1,289 @@
+//! Plan-to-executor builder.
+
+use rdb_plan::{Plan, PlanError, StoreMode};
+use rdb_vector::{DataType, Schema};
+
+use crate::agg::HashAggExec;
+use crate::context::ExecContext;
+use crate::filter::{FilterExec, ProjectExec};
+use crate::join::HashJoinExec;
+use crate::metrics::{MetricsNode, OpMetrics};
+use crate::op::Operator;
+use crate::scan::{FnScanExec, ScanExec};
+use crate::sort::{LimitExec, SortExec, TopNExec, UnionAllExec};
+use crate::store::{CachedExec, StoreExec};
+
+/// A built executor: the root operator, the per-node metrics tree (parallel
+/// to the plan), and the output schema.
+pub struct ExecTree {
+    /// Root operator; pull until `None`.
+    pub root: Box<dyn Operator>,
+    /// Metrics mirroring the plan shape (for recycler annotation).
+    pub metrics: MetricsNode,
+    /// Output schema.
+    pub schema: Schema,
+}
+
+/// Build a physical operator tree from a *bound* plan.
+pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
+    if plan.has_named() {
+        return Err(PlanError(
+            "plan contains unresolved column names; call bind() first".into(),
+        ));
+    }
+    let schema = plan.schema(&ctx.catalog)?;
+    let (root, metrics) = build_node(plan, ctx)?;
+    Ok(ExecTree { root, metrics, schema })
+}
+
+fn types_of(schema: &Schema) -> Vec<DataType> {
+    schema.fields().iter().map(|f| f.dtype).collect()
+}
+
+fn build_node(
+    plan: &Plan,
+    ctx: &ExecContext,
+) -> Result<(Box<dyn Operator>, MetricsNode), PlanError> {
+    let m = OpMetrics::shared();
+    Ok(match plan {
+        Plan::Scan { table, cols } => {
+            let t = ctx
+                .catalog
+                .get(table)
+                .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?
+                .clone();
+            let projection: Vec<usize> = cols
+                .iter()
+                .map(|c| {
+                    t.schema()
+                        .index_of(c)
+                        .ok_or_else(|| PlanError(format!("unknown column '{c}' in '{table}'")))
+                })
+                .collect::<Result<_, _>>()?;
+            (
+                Box::new(ScanExec::new(t, projection, m.clone())),
+                MetricsNode::leaf(m),
+            )
+        }
+        Plan::FnScan { name, args, .. } => {
+            let f = ctx
+                .functions
+                .get(name)
+                .ok_or_else(|| PlanError(format!("unknown table function '{name}'")))?
+                .clone();
+            (
+                Box::new(FnScanExec::new(f, args.clone(), m.clone())),
+                MetricsNode::leaf(m),
+            )
+        }
+        Plan::Select { child, predicate } => {
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(FilterExec::new(c, predicate.clone(), m.clone())),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+        Plan::Project { child, exprs, .. } => {
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(ProjectExec::new(c, exprs.clone(), m.clone())),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+        Plan::Aggregate { child, group_by, aggs, .. } => {
+            let input_types = types_of(&child.schema(&ctx.catalog)?);
+            let output_types = types_of(&plan.schema(&ctx.catalog)?);
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(HashAggExec::new(
+                    c,
+                    group_by.clone(),
+                    aggs.clone(),
+                    input_types,
+                    output_types,
+                    m.clone(),
+                )),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+        Plan::Join { left, right, kind, left_keys, right_keys } => {
+            let right_types = types_of(&right.schema(&ctx.catalog)?);
+            let (l, lm) = build_node(left, ctx)?;
+            let (r, rm) = build_node(right, ctx)?;
+            (
+                Box::new(HashJoinExec::new(
+                    l,
+                    r,
+                    *kind,
+                    left_keys.clone(),
+                    right_keys.clone(),
+                    right_types,
+                    m.clone(),
+                )),
+                MetricsNode::new(m, vec![lm, rm]),
+            )
+        }
+        Plan::TopN { child, keys, n } => {
+            let output_types = types_of(&child.schema(&ctx.catalog)?);
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(TopNExec::new(c, keys.clone(), *n, output_types, m.clone())),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+        Plan::Sort { child, keys } => {
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(SortExec::new(c, keys.clone(), m.clone())),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+        Plan::Limit { child, n } => {
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(LimitExec::new(c, *n, m.clone())),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+        Plan::UnionAll { children } => {
+            let mut ops = Vec::with_capacity(children.len());
+            let mut ms = Vec::with_capacity(children.len());
+            for c in children {
+                let (op, cm) = build_node(c, ctx)?;
+                ops.push(op);
+                ms.push(cm);
+            }
+            (
+                Box::new(UnionAllExec::new(ops, m.clone())),
+                MetricsNode::new(m, ms),
+            )
+        }
+        Plan::Cached { tag, .. } => {
+            let store = ctx
+                .store
+                .clone()
+                .ok_or_else(|| PlanError("cached node without a result store".into()))?;
+            (
+                Box::new(CachedExec::new(*tag, store, m.clone())),
+                MetricsNode::leaf(m),
+            )
+        }
+        Plan::Store { child, tag, mode } => {
+            let store = ctx
+                .store
+                .clone()
+                .ok_or_else(|| PlanError("store node without a result store".into()))?;
+            let child_schema = child.schema(&ctx.catalog)?;
+            let (c, cm) = build_node(child, ctx)?;
+            (
+                Box::new(StoreExec::new(
+                    c,
+                    *tag,
+                    child_schema,
+                    store,
+                    *mode == StoreMode::Speculate,
+                    m.clone(),
+                )),
+                MetricsNode::new(m, vec![cm]),
+            )
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::run_to_batch;
+    use rdb_expr::{AggFunc, Expr};
+    use rdb_plan::{scan, SortKeyExpr};
+    use rdb_storage::{Catalog, TableBuilder};
+    use rdb_vector::Value;
+    use std::sync::Arc;
+
+    fn ctx() -> ExecContext {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([
+            ("k", DataType::Int),
+            ("v", DataType::Float),
+            ("tag", DataType::Str),
+        ]);
+        let mut b = TableBuilder::new("t", schema, 100);
+        for i in 0..100i64 {
+            b.push_row(vec![
+                Value::Int(i % 10),
+                Value::Float(i as f64),
+                Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+            ]);
+        }
+        cat.register(b.finish());
+        ExecContext::new(Arc::new(cat))
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let ctx = ctx();
+        let plan = scan("t", &["k", "v", "tag"])
+            .select(Expr::name("tag").eq(Expr::lit("even")))
+            .aggregate(
+                vec![(Expr::name("k"), "k")],
+                vec![(AggFunc::Sum(Expr::name("v")), "sv"), (AggFunc::CountStar, "n")],
+            )
+            .sort(vec![SortKeyExpr::asc(Expr::name("k"))])
+            .bind(&ctx.catalog)
+            .unwrap();
+        let mut tree = build(&plan, &ctx).unwrap();
+        let out = run_to_batch(tree.root.as_mut());
+        assert_eq!(out.rows(), 5); // even k: 0,2,4,6,8
+        assert_eq!(out.column(0).as_ints(), &[0, 2, 4, 6, 8]);
+        // k=0 matches v=0,10,...,90 → all even i with i%10==0: 0,10,...,90 → sum 450
+        assert_eq!(out.column(1).as_floats()[0], 450.0);
+        assert_eq!(out.column(2).as_ints(), &[10, 10, 10, 10, 10]);
+        assert_eq!(tree.schema.names(), vec!["k", "sv", "n"]);
+        // Metrics were collected.
+        assert!(tree.metrics.inclusive_work() > 0);
+        assert_eq!(tree.metrics.cardinality(), 5);
+    }
+
+    #[test]
+    fn join_and_topn_pipeline() {
+        let ctx = ctx();
+        let left = scan("t", &["k", "v"]);
+        let right = scan("t", &["k", "tag"]).aggregate(
+            vec![(Expr::name("k"), "gk")],
+            vec![(AggFunc::CountStar, "cnt")],
+        );
+        let plan = left
+            .inner_join(right, vec![Expr::name("k")], vec![Expr::name("gk")])
+            .top_n(vec![SortKeyExpr::desc(Expr::name("v"))], 3)
+            .bind(&ctx.catalog)
+            .unwrap();
+        let mut tree = build(&plan, &ctx).unwrap();
+        let out = run_to_batch(tree.root.as_mut());
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.column(1).as_floats(), &[99.0, 98.0, 97.0]);
+    }
+
+    #[test]
+    fn unbound_plan_rejected() {
+        let ctx = ctx();
+        let plan = scan("t", &["k"]).select(Expr::name("k").gt(Expr::lit(1)));
+        assert!(build(&plan, &ctx).is_err());
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let ctx = ctx();
+        let plan = scan("missing", &["x"]);
+        assert!(build(&plan, &ctx).is_err());
+    }
+
+    #[test]
+    fn store_without_result_store_rejected() {
+        let ctx = ctx();
+        let plan = scan("t", &["k"])
+            .store(1, StoreMode::Materialize)
+            .bind(&ctx.catalog)
+            .unwrap();
+        assert!(build(&plan, &ctx).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Execution context: catalog, table functions, and the result store hook.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rdb_storage::Catalog;
+use rdb_vector::{Batch, Schema, Value};
+
+use crate::store::ResultStore;
+
+/// A table-valued function (e.g. SkyServer's `fGetNearbyObjEq`): given
+/// literal arguments it produces a relation. The executor treats it as an
+/// expensive leaf; its identity (name + arguments) is what the recycler
+/// matches on.
+pub trait TableFunction: Send + Sync {
+    /// Output schema for the given arguments.
+    fn schema(&self, args: &[Value]) -> Schema;
+
+    /// Compute the full result. `work` receives the number of abstract work
+    /// units expended (e.g. rows examined), so deterministic cost accounting
+    /// can include the function's hidden effort.
+    fn execute(&self, args: &[Value], work: &mut u64) -> Vec<Batch>;
+}
+
+/// Name → table function registry.
+#[derive(Default)]
+pub struct FnRegistry {
+    fns: HashMap<String, Arc<dyn TableFunction>>,
+}
+
+impl FnRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        FnRegistry::default()
+    }
+
+    /// Register a function under `name`.
+    pub fn register(&mut self, name: impl Into<String>, f: Arc<dyn TableFunction>) {
+        self.fns.insert(name.into(), f);
+    }
+
+    /// Look up a function.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn TableFunction>> {
+        self.fns.get(name)
+    }
+}
+
+/// Everything the plan-to-executor builder needs.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// Base tables.
+    pub catalog: Arc<Catalog>,
+    /// Table functions.
+    pub functions: Arc<FnRegistry>,
+    /// Recycler cache hook; `None` runs without recycling (store operators
+    /// then pass through and cached reads are an error).
+    pub store: Option<Arc<dyn ResultStore>>,
+}
+
+impl ExecContext {
+    /// Context over a catalog with no functions and no recycler.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        ExecContext {
+            catalog,
+            functions: Arc::new(FnRegistry::new()),
+            store: None,
+        }
+    }
+
+    /// Attach a table-function registry.
+    pub fn with_functions(mut self, functions: Arc<FnRegistry>) -> Self {
+        self.functions = functions;
+        self
+    }
+
+    /// Attach a result store (the recycler cache).
+    pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::{Column, DataType};
+
+    struct Ones;
+    impl TableFunction for Ones {
+        fn schema(&self, _args: &[Value]) -> Schema {
+            Schema::from_pairs([("one", DataType::Int)])
+        }
+        fn execute(&self, _args: &[Value], work: &mut u64) -> Vec<Batch> {
+            *work += 1;
+            vec![Batch::new(vec![Column::from_ints(vec![1])])]
+        }
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = FnRegistry::new();
+        reg.register("ones", Arc::new(Ones));
+        assert!(reg.get("ones").is_some());
+        assert!(reg.get("none").is_none());
+        let mut work = 0;
+        let out = reg.get("ones").unwrap().execute(&[], &mut work);
+        assert_eq!(out[0].rows(), 1);
+        assert_eq!(work, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Pipelining operators: selection and projection.
+
+use std::sync::Arc;
+
+use rdb_expr::{eval, eval_predicate, Expr};
+use rdb_vector::Batch;
+
+use crate::metrics::OpMetrics;
+use crate::op::{timed_next, Operator};
+
+/// Vectorized selection: evaluates the predicate per batch and compacts.
+pub struct FilterExec {
+    child: Box<dyn Operator>,
+    predicate: Expr,
+    metrics: Arc<OpMetrics>,
+}
+
+impl FilterExec {
+    /// Filter `child` by `predicate` (bound, boolean).
+    pub fn new(child: Box<dyn Operator>, predicate: Expr, metrics: Arc<OpMetrics>) -> Self {
+        FilterExec { child, predicate, metrics }
+    }
+}
+
+impl Operator for FilterExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            // Loop until a non-empty output batch or end of input, so
+            // downstream operators never see empty batches.
+            loop {
+                let batch = self.child.next_batch()?;
+                let mask = eval_predicate(&self.predicate, &batch);
+                let out = batch.filter(&mask);
+                if !out.is_empty() {
+                    return Some(out);
+                }
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        self.child.progress()
+    }
+}
+
+/// Vectorized projection: computes one output column per expression.
+pub struct ProjectExec {
+    child: Box<dyn Operator>,
+    exprs: Vec<Expr>,
+    metrics: Arc<OpMetrics>,
+}
+
+impl ProjectExec {
+    /// Project `child` through `exprs` (bound).
+    pub fn new(child: Box<dyn Operator>, exprs: Vec<Expr>, metrics: Arc<OpMetrics>) -> Self {
+        ProjectExec { child, exprs, metrics }
+    }
+}
+
+impl Operator for ProjectExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            let batch = self.child.next_batch()?;
+            Some(Batch::new(
+                self.exprs.iter().map(|e| eval(e, &batch)).collect(),
+            ))
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        self.child.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::run_to_batch;
+    use rdb_vector::Column;
+
+    struct Source {
+        batches: Vec<Batch>,
+        emitted: usize,
+        total: usize,
+    }
+
+    impl Source {
+        fn ints(groups: Vec<Vec<i64>>) -> Self {
+            let total = groups.len();
+            Source {
+                batches: groups
+                    .into_iter()
+                    .map(|g| Batch::new(vec![Column::from_ints(g)]))
+                    .collect(),
+                emitted: 0,
+                total,
+            }
+        }
+    }
+
+    impl Operator for Source {
+        fn next_batch(&mut self) -> Option<Batch> {
+            if self.batches.is_empty() {
+                None
+            } else {
+                self.emitted += 1;
+                Some(self.batches.remove(0))
+            }
+        }
+        fn progress(&self) -> f64 {
+            self.emitted as f64 / self.total.max(1) as f64
+        }
+    }
+
+    #[test]
+    fn filter_compacts_and_skips_empty() {
+        let src = Source::ints(vec![vec![1, 2, 3], vec![4, 5], vec![100]]);
+        let mut f = FilterExec::new(
+            Box::new(src),
+            Expr::col(0).ge(Expr::lit(4)),
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut f);
+        assert_eq!(out.column(0).as_ints(), &[4, 5, 100]);
+    }
+
+    #[test]
+    fn filter_empty_result() {
+        let src = Source::ints(vec![vec![1, 2]]);
+        let mut f = FilterExec::new(
+            Box::new(src),
+            Expr::col(0).gt(Expr::lit(10)),
+            OpMetrics::shared(),
+        );
+        assert!(f.next_batch().is_none());
+    }
+
+    #[test]
+    fn project_computes_columns() {
+        let src = Source::ints(vec![vec![1, 2]]);
+        let m = OpMetrics::shared();
+        let mut p = ProjectExec::new(
+            Box::new(src),
+            vec![Expr::col(0).mul(Expr::lit(10)), Expr::col(0)],
+            m.clone(),
+        );
+        let out = run_to_batch(&mut p);
+        assert_eq!(out.column(0).as_ints(), &[10, 20]);
+        assert_eq!(out.column(1).as_ints(), &[1, 2]);
+        assert_eq!(m.rows_out(), 2);
+    }
+
+    #[test]
+    fn progress_delegates_to_child() {
+        let src = Source::ints(vec![vec![1], vec![2]]);
+        let mut f = FilterExec::new(Box::new(src), Expr::lit(true), OpMetrics::shared());
+        assert_eq!(f.progress(), 0.0);
+        f.next_batch();
+        assert_eq!(f.progress(), 0.5);
+    }
+}

@@ -1,0 +1,382 @@
+//! Hash joins: inner, left outer, semi, anti, and single-row broadcast.
+//!
+//! The build side (right input) is drained into a hash table first — the
+//! only materialization a pipelined engine performs for joins — and the
+//! probe side then streams through batch-at-a-time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rdb_expr::{eval, Expr};
+use rdb_vector::column::ColumnBuilder;
+use rdb_vector::row::{encode_row_key, row_has_null_key};
+use rdb_vector::{Batch, Column, DataType};
+
+use crate::metrics::OpMetrics;
+use crate::op::{timed_next, Operator};
+
+pub use rdb_plan::JoinKind;
+
+/// Hash equi-join.
+pub struct HashJoinExec {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    kind: JoinKind,
+    left_keys: Vec<Expr>,
+    right_keys: Vec<Expr>,
+    /// Types of the right (build) side columns — needed to construct NULL
+    /// padding for left-outer joins.
+    right_types: Vec<DataType>,
+    built: Option<BuildSide>,
+    metrics: Arc<OpMetrics>,
+}
+
+struct BuildSide {
+    /// Concatenated build input.
+    batch: Batch,
+    /// Key bytes → row indices in `batch`.
+    index: HashMap<Vec<u8>, Vec<u32>>,
+}
+
+impl HashJoinExec {
+    /// Create a join; `right_types` are the build side's output types.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        kind: JoinKind,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+        right_types: Vec<DataType>,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        HashJoinExec {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            right_types,
+            built: None,
+            metrics,
+        }
+    }
+
+    fn build(&mut self) -> BuildSide {
+        let mut batches = Vec::new();
+        while let Some(b) = self.right.next_batch() {
+            self.metrics.add_work(b.rows() as u64);
+            batches.push(b);
+        }
+        let batch = if batches.is_empty() {
+            // Zero-row batch with the right column types, so gathers work.
+            Batch::new(
+                self.right_types
+                    .iter()
+                    .map(|t| ColumnBuilder::new(*t, 0).finish())
+                    .collect(),
+            )
+        } else {
+            Batch::concat(&batches)
+        };
+        let mut index: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+        if !self.right_keys.is_empty() {
+            let key_cols: Vec<Column> =
+                self.right_keys.iter().map(|e| eval(e, &batch)).collect();
+            let key_refs: Vec<&Column> = key_cols.iter().collect();
+            let mut buf = Vec::new();
+            for row in 0..batch.rows() {
+                if row_has_null_key(&key_refs, row) {
+                    continue; // SQL equality never matches NULL keys
+                }
+                buf.clear();
+                encode_row_key(&key_refs, row, &mut buf);
+                index.entry(buf.clone()).or_default().push(row as u32);
+            }
+        }
+        BuildSide { batch, index }
+    }
+
+    fn probe(&mut self, left_batch: Batch) -> Batch {
+        let built = self.built.as_ref().expect("probe before build");
+        self.metrics.add_work(left_batch.rows() as u64);
+        match self.kind {
+            JoinKind::Single => {
+                assert_eq!(
+                    built.batch.rows(),
+                    1,
+                    "single join build side must have exactly one row"
+                );
+                let n = left_batch.rows();
+                let idx = vec![0u32; n];
+                let right_part = built.batch.take(&idx);
+                let mut cols = left_batch.into_columns();
+                cols.extend(right_part.into_columns());
+                Batch::new(cols)
+            }
+            JoinKind::Inner | JoinKind::LeftOuter => {
+                let key_cols: Vec<Column> = self
+                    .left_keys
+                    .iter()
+                    .map(|e| eval(e, &left_batch))
+                    .collect();
+                let key_refs: Vec<&Column> = key_cols.iter().collect();
+                let mut left_idx: Vec<u32> = Vec::new();
+                let mut right_idx: Vec<u32> = Vec::new();
+                let mut unmatched: Vec<u32> = Vec::new();
+                let mut buf = Vec::new();
+                for row in 0..left_batch.rows() {
+                    if row_has_null_key(&key_refs, row) {
+                        if self.kind == JoinKind::LeftOuter {
+                            unmatched.push(row as u32);
+                        }
+                        continue;
+                    }
+                    buf.clear();
+                    encode_row_key(&key_refs, row, &mut buf);
+                    match built.index.get(&buf) {
+                        Some(rows) => {
+                            for &r in rows {
+                                left_idx.push(row as u32);
+                                right_idx.push(r);
+                            }
+                        }
+                        None => {
+                            if self.kind == JoinKind::LeftOuter {
+                                unmatched.push(row as u32);
+                            }
+                        }
+                    }
+                }
+                let matched_left = left_batch.take(&left_idx);
+                let matched_right = built.batch.take(&right_idx);
+                let mut cols = matched_left.into_columns();
+                cols.extend(matched_right.into_columns());
+                let matched = Batch::new(cols);
+                if self.kind == JoinKind::LeftOuter && !unmatched.is_empty() {
+                    let pad_left = left_batch.take(&unmatched);
+                    let n = pad_left.rows();
+                    let mut cols = pad_left.into_columns();
+                    for t in &self.right_types {
+                        let mut b = ColumnBuilder::new(*t, n);
+                        for _ in 0..n {
+                            b.push_null();
+                        }
+                        cols.push(b.finish());
+                    }
+                    let padded = Batch::new(cols);
+                    Batch::concat(&[matched, padded])
+                } else {
+                    matched
+                }
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let key_cols: Vec<Column> = self
+                    .left_keys
+                    .iter()
+                    .map(|e| eval(e, &left_batch))
+                    .collect();
+                let key_refs: Vec<&Column> = key_cols.iter().collect();
+                let want_match = self.kind == JoinKind::Semi;
+                let mut keep: Vec<u32> = Vec::new();
+                let mut buf = Vec::new();
+                for row in 0..left_batch.rows() {
+                    let has = if row_has_null_key(&key_refs, row) {
+                        false
+                    } else {
+                        buf.clear();
+                        encode_row_key(&key_refs, row, &mut buf);
+                        built.index.contains_key(&buf)
+                    };
+                    if has == want_match {
+                        keep.push(row as u32);
+                    }
+                }
+                left_batch.take(&keep)
+            }
+        }
+    }
+}
+
+impl Operator for HashJoinExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.built.is_none() {
+                let built = self.build();
+                self.built = Some(built);
+            }
+            loop {
+                let left_batch = self.left.next_batch()?;
+                let out = self.probe(left_batch);
+                if !out.is_empty() {
+                    return Some(out);
+                }
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        // Probe side drives the pipeline.
+        self.left.progress()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::run_to_batch;
+    use rdb_vector::Value;
+
+    struct Source {
+        batches: Vec<Batch>,
+    }
+
+    impl Operator for Source {
+        fn next_batch(&mut self) -> Option<Batch> {
+            if self.batches.is_empty() {
+                None
+            } else {
+                Some(self.batches.remove(0))
+            }
+        }
+        fn progress(&self) -> f64 {
+            1.0
+        }
+    }
+
+    fn src(cols: Vec<Column>) -> Box<dyn Operator> {
+        Box::new(Source { batches: vec![Batch::new(cols)] })
+    }
+
+    fn empty_src() -> Box<dyn Operator> {
+        Box::new(Source { batches: vec![] })
+    }
+
+    fn join(
+        kind: JoinKind,
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        right_types: Vec<DataType>,
+    ) -> HashJoinExec {
+        HashJoinExec::new(
+            left,
+            right,
+            kind,
+            vec![Expr::col(0)],
+            vec![Expr::col(0)],
+            right_types,
+            OpMetrics::shared(),
+        )
+    }
+
+    #[test]
+    fn inner_join_matches_pairs() {
+        let left = src(vec![
+            Column::from_ints(vec![1, 2, 3]),
+            Column::from_strs(["a", "b", "c"]),
+        ]);
+        let right = src(vec![
+            Column::from_ints(vec![2, 3, 3]),
+            Column::from_floats(vec![0.2, 0.3, 0.33]),
+        ]);
+        let mut j = join(
+            JoinKind::Inner,
+            left,
+            right,
+            vec![DataType::Int, DataType::Float],
+        );
+        let out = run_to_batch(&mut j);
+        assert_eq!(out.rows(), 3); // 2→1 match, 3→2 matches
+        let mut rows = out.to_rows();
+        rows.sort_by(|a, b| a[0].cmp(&b[0]).then(a[3].cmp(&b[3])));
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(2), Value::str("b"), Value::Int(2), Value::Float(0.2)]
+        );
+        assert_eq!(rows[2][3], Value::Float(0.33));
+    }
+
+    #[test]
+    fn left_outer_pads_with_nulls() {
+        let left = src(vec![Column::from_ints(vec![1, 2])]);
+        let right = src(vec![
+            Column::from_ints(vec![2]),
+            Column::from_strs(["hit"]),
+        ]);
+        let mut j = join(
+            JoinKind::LeftOuter,
+            left,
+            right,
+            vec![DataType::Int, DataType::Str],
+        );
+        let out = run_to_batch(&mut j);
+        assert_eq!(out.rows(), 2);
+        let mut rows = out.to_rows();
+        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Null, Value::Null]);
+        assert_eq!(
+            rows[1],
+            vec![Value::Int(2), Value::Int(2), Value::str("hit")]
+        );
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let mk = || src(vec![Column::from_ints(vec![1, 2, 3, 4])]);
+        let right = || src(vec![Column::from_ints(vec![2, 4, 4])]);
+        let mut semi = join(JoinKind::Semi, mk(), right(), vec![DataType::Int]);
+        let out = run_to_batch(&mut semi);
+        assert_eq!(out.column(0).as_ints(), &[2, 4]); // no duplication
+        let mut anti = join(JoinKind::Anti, mk(), right(), vec![DataType::Int]);
+        let out = run_to_batch(&mut anti);
+        assert_eq!(out.column(0).as_ints(), &[1, 3]);
+    }
+
+    #[test]
+    fn single_join_broadcasts() {
+        let left = src(vec![Column::from_ints(vec![1, 2, 3])]);
+        let right = src(vec![Column::from_floats(vec![9.5])]);
+        let mut j = HashJoinExec::new(
+            left,
+            right,
+            JoinKind::Single,
+            vec![],
+            vec![],
+            vec![DataType::Float],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut j);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.column(1).as_floats(), &[9.5, 9.5, 9.5]);
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let left = src(vec![Column::from_ints(vec![1, 2])]);
+        let mut inner = join(JoinKind::Inner, left, empty_src(), vec![DataType::Int]);
+        assert!(run_to_batch(&mut inner).is_empty());
+        let left = src(vec![Column::from_ints(vec![1, 2])]);
+        let mut anti = join(JoinKind::Anti, left, empty_src(), vec![DataType::Int]);
+        assert_eq!(run_to_batch(&mut anti).rows(), 2);
+        let left = src(vec![Column::from_ints(vec![1, 2])]);
+        let mut outer = join(JoinKind::LeftOuter, left, empty_src(), vec![DataType::Int]);
+        let out = run_to_batch(&mut outer);
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.column(1).null_count(), 2);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut b = ColumnBuilder::new(DataType::Int, 2);
+        b.push(Value::Int(1));
+        b.push_null();
+        let left = src(vec![b.finish()]);
+        let mut bb = ColumnBuilder::new(DataType::Int, 2);
+        bb.push(Value::Int(1));
+        bb.push_null();
+        let right = src(vec![bb.finish()]);
+        let mut j = join(JoinKind::Inner, left, right, vec![DataType::Int]);
+        let out = run_to_batch(&mut j);
+        assert_eq!(out.rows(), 1, "NULL = NULL must not match");
+    }
+}

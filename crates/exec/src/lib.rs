@@ -1,0 +1,38 @@
+//! Pipelined, vectorized query executor.
+//!
+//! Operators pull [`rdb_vector::Batch`]es from their children
+//! (vector-at-a-time, the Vectorwise paradigm the paper targets). Pipelines
+//! only break at blocking operators (hash aggregation, sort, top-N, join
+//! build sides) — intermediate results are *not* materialized unless the
+//! recycler decides to, which is the entire point of the paper.
+//!
+//! Recycler integration points (paper §II):
+//!
+//! * [`StoreExec`] — the `store` operator: pass along / buffer
+//!   (speculation) / materialize the tuple flow without interrupting it;
+//! * [`CachedExec`] — reads a previously materialized result;
+//! * [`ResultStore`] — the trait through which store/cached operators talk
+//!   to the recycler cache (implemented by `rdb-recycler`);
+//! * [`OpMetrics`] / [`MetricsNode`] — per-operator run-time measurements
+//!   (inclusive wall time, rows, abstract work units) used to annotate the
+//!   recycler graph after each query, and *progress meters* (§III-D) used
+//!   by speculative stores to extrapolate cost and size.
+
+pub mod agg;
+pub mod build;
+pub mod context;
+pub mod filter;
+pub mod join;
+pub mod metrics;
+pub mod op;
+pub mod scan;
+pub mod sort;
+pub mod store;
+
+pub use build::{build, ExecTree};
+pub use context::{ExecContext, FnRegistry, TableFunction};
+pub use metrics::{MetricsNode, OpMetrics};
+pub use op::{collect_all, run_to_batch, Operator};
+pub use store::{
+    CachedExec, MaterializedResult, ResultStore, SpeculationEstimate, StoreExec, StoreVerdict,
+};

@@ -1,0 +1,104 @@
+//! The operator trait and execution helpers.
+
+use std::time::Instant;
+
+use rdb_vector::Batch;
+
+use crate::metrics::OpMetrics;
+
+/// A pull-based, vector-at-a-time physical operator.
+///
+/// `next_batch` returns `None` when exhausted. `progress` is the paper's
+/// *progress meter* (§III-D): scans and blocking operators report their own
+/// completion fraction; pipelining operators report the progress of their
+/// closest scan-or-blocking left-deep descendant.
+pub trait Operator: Send {
+    /// Produce the next batch, or `None` at end of stream.
+    fn next_batch(&mut self) -> Option<Batch>;
+
+    /// Completion fraction in `[0, 1]`.
+    fn progress(&self) -> f64;
+}
+
+/// Measure one `next_batch` call inclusively into `metrics`.
+///
+/// Every operator's `next_batch` body should be wrapped by this (the
+/// builder-constructed operators all do), so `metrics.time_ns` is the
+/// inclusive subtree cost.
+pub fn timed_next(
+    metrics: &OpMetrics,
+    f: impl FnOnce() -> Option<Batch>,
+) -> Option<Batch> {
+    let start = Instant::now();
+    let out = f();
+    metrics.add_time(start.elapsed().as_nanos() as u64);
+    metrics.add_call();
+    if let Some(b) = &out {
+        metrics.add_rows(b.rows() as u64);
+        metrics.add_bytes(b.size_bytes() as u64);
+    }
+    out
+}
+
+/// Drain an operator into a vector of batches.
+pub fn collect_all(op: &mut dyn Operator) -> Vec<Batch> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next_batch() {
+        out.push(b);
+    }
+    out
+}
+
+/// Drain an operator and concatenate into a single batch (empty batch if no
+/// rows were produced and the width is unknown).
+pub fn run_to_batch(op: &mut dyn Operator) -> Batch {
+    let batches = collect_all(op);
+    if batches.is_empty() {
+        Batch::empty()
+    } else {
+        Batch::concat(&batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::Column;
+
+    struct Fixed {
+        batches: Vec<Batch>,
+    }
+
+    impl Operator for Fixed {
+        fn next_batch(&mut self) -> Option<Batch> {
+            if self.batches.is_empty() {
+                None
+            } else {
+                Some(self.batches.remove(0))
+            }
+        }
+        fn progress(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn collect_and_concat() {
+        let b1 = Batch::new(vec![Column::from_ints(vec![1, 2])]);
+        let b2 = Batch::new(vec![Column::from_ints(vec![3])]);
+        let mut op = Fixed { batches: vec![b1, b2] };
+        let all = run_to_batch(&mut op);
+        assert_eq!(all.column(0).as_ints(), &[1, 2, 3]);
+        let mut empty = Fixed { batches: vec![] };
+        assert!(run_to_batch(&mut empty).is_empty());
+    }
+
+    #[test]
+    fn timed_next_counts() {
+        let m = OpMetrics::default();
+        let out = timed_next(&m, || Some(Batch::new(vec![Column::from_ints(vec![1, 2, 3])])));
+        assert_eq!(out.unwrap().rows(), 3);
+        assert_eq!(m.rows_out(), 3);
+        assert_eq!(m.calls.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

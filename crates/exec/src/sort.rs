@@ -1,0 +1,453 @@
+//! Ordering operators: full sort, heap top-N, limit, and union-all.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use rdb_expr::eval;
+use rdb_plan::SortKeyExpr;
+use rdb_vector::column::ColumnBuilder;
+use rdb_vector::row::{RowCmp, SortOrder};
+use rdb_vector::{Batch, Column, DataType, Value, BATCH_CAPACITY};
+
+use crate::metrics::OpMetrics;
+use crate::op::{timed_next, Operator};
+
+/// Blocking full sort by the given keys.
+pub struct SortExec {
+    child: Box<dyn Operator>,
+    keys: Vec<SortKeyExpr>,
+    output: Option<Vec<Batch>>,
+    emitted: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl SortExec {
+    /// Sort `child` by `keys`.
+    pub fn new(child: Box<dyn Operator>, keys: Vec<SortKeyExpr>, metrics: Arc<OpMetrics>) -> Self {
+        SortExec { child, keys, output: None, emitted: 0, metrics }
+    }
+
+    fn build(&mut self) -> Vec<Batch> {
+        let mut batches = Vec::new();
+        while let Some(b) = self.child.next_batch() {
+            self.metrics.add_work(b.rows() as u64);
+            batches.push(b);
+        }
+        if batches.is_empty() {
+            return Vec::new();
+        }
+        let all = Batch::concat(&batches);
+        let key_cols: Vec<Column> = self.keys.iter().map(|k| eval(&k.expr, &all)).collect();
+        let key_refs: Vec<&Column> = key_cols.iter().collect();
+        let orders: Vec<SortOrder> = self.keys.iter().map(|k| k.order).collect();
+        let cmp = RowCmp::new(&key_refs, &key_refs, &orders);
+        let mut idx: Vec<u32> = (0..all.rows() as u32).collect();
+        idx.sort_by(|&a, &b| cmp.cmp(a as usize, b as usize));
+        let sorted = all.take(&idx);
+        // Re-chunk into standard batches.
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < sorted.rows() {
+            let len = BATCH_CAPACITY.min(sorted.rows() - offset);
+            out.push(sorted.slice(offset, len));
+            offset += len;
+        }
+        out
+    }
+}
+
+impl Operator for SortExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.output.is_none() {
+                let built = self.build();
+                self.output = Some(built);
+            }
+            let out = self.output.as_ref().unwrap();
+            if self.emitted < out.len() {
+                let b = out[self.emitted].clone();
+                self.emitted += 1;
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        match &self.output {
+            None => 0.0,
+            Some(out) => {
+                if out.is_empty() {
+                    1.0
+                } else {
+                    self.emitted as f64 / out.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// A heap entry: sort-key values plus the full row.
+struct HeapRow {
+    keys: Vec<Value>,
+    row: Vec<Value>,
+    orders: Arc<[SortOrder]>,
+}
+
+impl HeapRow {
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        for ((a, b), ord) in self.keys.iter().zip(&other.keys).zip(self.orders.iter()) {
+            let c = ord.apply(a.cmp(b));
+            if c != Ordering::Equal {
+                return c;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialEq for HeapRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapRow {}
+impl PartialOrd for HeapRow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.key_cmp(other))
+    }
+}
+impl Ord for HeapRow {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key_cmp(other)
+    }
+}
+
+/// Heap-based top-N (paper §IV-B): maintains an N-row max-heap so the cost
+/// is `O(M log N)` rather than a full sort. Emits rows in key order.
+pub struct TopNExec {
+    child: Box<dyn Operator>,
+    keys: Vec<SortKeyExpr>,
+    n: usize,
+    output_types: Vec<DataType>,
+    output: Option<Vec<Batch>>,
+    emitted: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl TopNExec {
+    /// Keep the first `n` rows of `child` under `keys` order.
+    pub fn new(
+        child: Box<dyn Operator>,
+        keys: Vec<SortKeyExpr>,
+        n: usize,
+        output_types: Vec<DataType>,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        TopNExec {
+            child,
+            keys,
+            n,
+            output_types,
+            output: None,
+            emitted: 0,
+            metrics,
+        }
+    }
+
+    fn build(&mut self) -> Vec<Batch> {
+        let orders: Arc<[SortOrder]> = self.keys.iter().map(|k| k.order).collect();
+        // Max-heap ordered by key: the root is the *worst* retained row.
+        let mut heap: BinaryHeap<HeapRow> = BinaryHeap::with_capacity(self.n + 1);
+        while let Some(batch) = self.child.next_batch() {
+            self.metrics.add_work(batch.rows() as u64);
+            let key_cols: Vec<Column> =
+                self.keys.iter().map(|k| eval(&k.expr, &batch)).collect();
+            for row in 0..batch.rows() {
+                let entry = HeapRow {
+                    keys: key_cols.iter().map(|c| c.get(row)).collect(),
+                    row: batch.row(row),
+                    orders: orders.clone(),
+                };
+                if heap.len() < self.n {
+                    heap.push(entry);
+                } else if let Some(worst) = heap.peek() {
+                    if entry.key_cmp(worst) == Ordering::Less {
+                        heap.pop();
+                        heap.push(entry);
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<HeapRow> = heap.into_sorted_vec(); // ascending by key
+        if self.n == 0 {
+            rows.clear();
+        }
+        // Build output batches.
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < rows.len() {
+            let len = BATCH_CAPACITY.min(rows.len() - offset);
+            let mut builders: Vec<ColumnBuilder> = self
+                .output_types
+                .iter()
+                .map(|t| ColumnBuilder::new(*t, len))
+                .collect();
+            for r in &rows[offset..offset + len] {
+                for (i, v) in r.row.iter().enumerate() {
+                    builders[i].push(v.clone());
+                }
+            }
+            out.push(Batch::new(builders.into_iter().map(|b| b.finish()).collect()));
+            offset += len;
+        }
+        out
+    }
+}
+
+impl Operator for TopNExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.output.is_none() {
+                let built = self.build();
+                self.output = Some(built);
+            }
+            let out = self.output.as_ref().unwrap();
+            if self.emitted < out.len() {
+                let b = out[self.emitted].clone();
+                self.emitted += 1;
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        match &self.output {
+            None => 0.0,
+            Some(out) => {
+                if out.is_empty() {
+                    1.0
+                } else {
+                    self.emitted as f64 / out.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// Pass through the first `n` rows, then stop pulling.
+pub struct LimitExec {
+    child: Box<dyn Operator>,
+    remaining: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl LimitExec {
+    /// First `n` rows of `child`.
+    pub fn new(child: Box<dyn Operator>, n: usize, metrics: Arc<OpMetrics>) -> Self {
+        LimitExec { child, remaining: n, metrics }
+    }
+}
+
+impl Operator for LimitExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.remaining == 0 {
+                return None;
+            }
+            let batch = self.child.next_batch()?;
+            if batch.rows() <= self.remaining {
+                self.remaining -= batch.rows();
+                Some(batch)
+            } else {
+                let out = batch.slice(0, self.remaining);
+                self.remaining = 0;
+                Some(out)
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        if self.remaining == 0 {
+            1.0
+        } else {
+            self.child.progress()
+        }
+    }
+}
+
+/// Bag union: drains children in order.
+pub struct UnionAllExec {
+    children: Vec<Box<dyn Operator>>,
+    current: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl UnionAllExec {
+    /// Union of `children` (same schemas).
+    pub fn new(children: Vec<Box<dyn Operator>>, metrics: Arc<OpMetrics>) -> Self {
+        UnionAllExec { children, current: 0, metrics }
+    }
+}
+
+impl Operator for UnionAllExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            while self.current < self.children.len() {
+                if let Some(b) = self.children[self.current].next_batch() {
+                    return Some(b);
+                }
+                self.current += 1;
+            }
+            None
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        if self.children.is_empty() {
+            return 1.0;
+        }
+        let done = self.current as f64;
+        let cur = if self.current < self.children.len() {
+            self.children[self.current].progress()
+        } else {
+            0.0
+        };
+        ((done + cur) / self.children.len() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::run_to_batch;
+    use rdb_expr::Expr;
+
+    struct Source {
+        batches: Vec<Batch>,
+    }
+
+    impl Operator for Source {
+        fn next_batch(&mut self) -> Option<Batch> {
+            if self.batches.is_empty() {
+                None
+            } else {
+                Some(self.batches.remove(0))
+            }
+        }
+        fn progress(&self) -> f64 {
+            if self.batches.is_empty() {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    fn src(vals: Vec<i64>, extra: Vec<f64>) -> Box<dyn Operator> {
+        Box::new(Source {
+            batches: vec![Batch::new(vec![
+                Column::from_ints(vals),
+                Column::from_floats(extra),
+            ])],
+        })
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let child = src(vec![3, 1, 2], vec![0.3, 0.1, 0.2]);
+        let mut s = SortExec::new(
+            child,
+            vec![SortKeyExpr::asc(Expr::col(0))],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut s);
+        assert_eq!(out.column(0).as_ints(), &[1, 2, 3]);
+        assert_eq!(out.column(1).as_floats(), &[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn sort_desc_and_secondary_key() {
+        let child = src(vec![1, 1, 2], vec![0.1, 0.9, 0.5]);
+        let mut s = SortExec::new(
+            child,
+            vec![
+                SortKeyExpr::desc(Expr::col(0)),
+                SortKeyExpr::asc(Expr::col(1)),
+            ],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut s);
+        assert_eq!(out.column(0).as_ints(), &[2, 1, 1]);
+        assert_eq!(out.column(1).as_floats(), &[0.5, 0.1, 0.9]);
+    }
+
+    #[test]
+    fn top_n_keeps_best() {
+        let child = src(vec![5, 3, 9, 1, 7], vec![0.5, 0.3, 0.9, 0.1, 0.7]);
+        let mut t = TopNExec::new(
+            child,
+            vec![SortKeyExpr::asc(Expr::col(0))],
+            3,
+            vec![DataType::Int, DataType::Float],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut t);
+        assert_eq!(out.column(0).as_ints(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn top_n_desc() {
+        let child = src(vec![5, 3, 9, 1, 7], vec![0.0; 5]);
+        let mut t = TopNExec::new(
+            child,
+            vec![SortKeyExpr::desc(Expr::col(0))],
+            2,
+            vec![DataType::Int, DataType::Float],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut t);
+        assert_eq!(out.column(0).as_ints(), &[9, 7]);
+    }
+
+    #[test]
+    fn top_n_smaller_input() {
+        let child = src(vec![2, 1], vec![0.0; 2]);
+        let mut t = TopNExec::new(
+            child,
+            vec![SortKeyExpr::asc(Expr::col(0))],
+            10,
+            vec![DataType::Int, DataType::Float],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut t);
+        assert_eq!(out.column(0).as_ints(), &[1, 2]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let child = src(vec![1, 2, 3, 4], vec![0.0; 4]);
+        let mut l = LimitExec::new(child, 2, OpMetrics::shared());
+        let out = run_to_batch(&mut l);
+        assert_eq!(out.column(0).as_ints(), &[1, 2]);
+        assert_eq!(l.progress(), 1.0);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = src(vec![1], vec![0.1]);
+        let b = src(vec![2, 3], vec![0.2, 0.3]);
+        let mut u = UnionAllExec::new(vec![a, b], OpMetrics::shared());
+        let out = run_to_batch(&mut u);
+        assert_eq!(out.column(0).as_ints(), &[1, 2, 3]);
+        assert_eq!(u.progress(), 1.0);
+    }
+}

@@ -1,0 +1,522 @@
+//! The `store` operator and cached-result scan (paper §II, §III-D).
+//!
+//! A [`StoreExec`] wraps an arbitrary sub-pipeline and can, *without
+//! interrupting the tuple flow*:
+//!
+//! * **pass along** tuples (after a cancelled speculation),
+//! * **buffer** them while run-time estimates decide whether the result is
+//!   worth materializing (speculation), or
+//! * **materialize** them into the recycler cache (decision already made in
+//!   the rewriting phase — history mode).
+//!
+//! Speculative stores extrapolate the result's final cost and size from the
+//! producing operator's *progress meter*: an operator that has processed
+//! `n` of `m` tuples has progress `n/m`, and `estimate = observed/progress`.
+//! The recycler supplies the verdict through [`ResultStore::speculate`].
+//!
+//! [`CachedExec`] replays a previously materialized result.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rdb_vector::{Batch, Schema, BATCH_CAPACITY};
+
+use crate::metrics::OpMetrics;
+use crate::op::{timed_next, Operator};
+
+/// A fully materialized (intermediate or final) query result.
+#[derive(Debug, Clone)]
+pub struct MaterializedResult {
+    /// Result schema (graph-canonical names).
+    pub schema: Schema,
+    /// All rows, concatenated.
+    pub batch: Batch,
+    /// Memory footprint in bytes (what the recycler cache accounts).
+    pub size_bytes: usize,
+}
+
+impl MaterializedResult {
+    /// Build from collected batches.
+    pub fn from_batches(schema: Schema, batches: &[Batch]) -> Self {
+        let batch = if batches.is_empty() {
+            // Zero-row result with correct width.
+            Batch::new(
+                schema
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        rdb_vector::column::ColumnBuilder::new(f.dtype, 0).finish()
+                    })
+                    .collect(),
+            )
+        } else {
+            Batch::concat(batches)
+        };
+        let size_bytes = batch.size_bytes();
+        MaterializedResult { schema, batch, size_bytes }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.batch.rows()
+    }
+
+    /// Re-chunk into standard execution batches.
+    pub fn batches(&self) -> Vec<Batch> {
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < self.batch.rows() {
+            let len = BATCH_CAPACITY.min(self.batch.rows() - offset);
+            out.push(self.batch.slice(offset, len));
+            offset += len;
+        }
+        out
+    }
+}
+
+/// Run-time estimate snapshot handed to the recycler during speculation.
+#[derive(Debug, Clone)]
+pub struct SpeculationEstimate {
+    /// Progress of the producing subtree in `[0, 1]` (0 = unknown yet).
+    pub progress: f64,
+    /// Rows buffered so far.
+    pub buffered_rows: u64,
+    /// Bytes buffered so far.
+    pub buffered_bytes: usize,
+    /// Extrapolated final row count (`buffered_rows / progress`).
+    pub est_rows: f64,
+    /// Extrapolated final size in bytes.
+    pub est_bytes: f64,
+    /// Extrapolated final subtree cost in nanoseconds.
+    pub est_cost_ns: f64,
+}
+
+/// Recycler's answer to a speculation snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreVerdict {
+    /// Keep buffering; ask again on the next batch.
+    Undecided,
+    /// Materializing is beneficial: buffer to completion and publish.
+    Commit,
+    /// Not beneficial: drop the buffer and pass tuples along.
+    Cancel,
+}
+
+/// The executor-facing interface of the recycler cache. Implemented by
+/// `rdb-recycler`; a trivial implementation can be used for tests.
+pub trait ResultStore: Send + Sync {
+    /// Fetch the result leased under `tag` (set up by the rewriter when it
+    /// substituted a cached result into the plan).
+    fn fetch(&self, tag: u64) -> Option<Arc<MaterializedResult>>;
+
+    /// A store operator finished producing the result for `tag`; the
+    /// implementation decides admission/replacement.
+    fn publish(&self, tag: u64, result: MaterializedResult);
+
+    /// A speculative store abandoned materialization of `tag`.
+    fn abandon(&self, tag: u64);
+
+    /// Speculation decision callback (paper §III-D).
+    fn speculate(&self, tag: u64, est: &SpeculationEstimate) -> StoreVerdict;
+}
+
+/// Execution-side behaviour of a store operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Buffering while speculating.
+    Speculating,
+    /// Buffering with a commit decision (history mode starts here).
+    Committed,
+    /// Passing through after a cancelled speculation.
+    PassThrough,
+    /// Finished (buffer published or discarded).
+    Done,
+}
+
+/// The `store` operator.
+pub struct StoreExec {
+    child: Box<dyn Operator>,
+    tag: u64,
+    schema: Schema,
+    store: Arc<dyn ResultStore>,
+    phase: Phase,
+    buffer: Vec<Batch>,
+    buffered_rows: u64,
+    buffered_bytes: usize,
+    started: Option<Instant>,
+    metrics: Arc<OpMetrics>,
+}
+
+impl StoreExec {
+    /// Create a store operator over `child`.
+    ///
+    /// `speculative` selects the paper's speculation mode; otherwise the
+    /// materialization decision was already made by the rewriter.
+    pub fn new(
+        child: Box<dyn Operator>,
+        tag: u64,
+        schema: Schema,
+        store: Arc<dyn ResultStore>,
+        speculative: bool,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        StoreExec {
+            child,
+            tag,
+            schema,
+            store,
+            phase: if speculative { Phase::Speculating } else { Phase::Committed },
+            buffer: Vec::new(),
+            buffered_rows: 0,
+            buffered_bytes: 0,
+            started: None,
+            metrics,
+        }
+    }
+
+    fn estimate(&self) -> SpeculationEstimate {
+        let progress = self.child.progress().clamp(0.0, 1.0);
+        let elapsed = self
+            .started
+            .map(|t| t.elapsed().as_nanos() as f64)
+            .unwrap_or(0.0);
+        let p = progress.max(1e-6);
+        SpeculationEstimate {
+            progress,
+            buffered_rows: self.buffered_rows,
+            buffered_bytes: self.buffered_bytes,
+            est_rows: self.buffered_rows as f64 / p,
+            est_bytes: self.buffered_bytes as f64 / p,
+            est_cost_ns: elapsed / p,
+        }
+    }
+}
+
+impl Operator for StoreExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.started.is_none() {
+                self.started = Some(Instant::now());
+            }
+            match self.child.next_batch() {
+                Some(batch) => {
+                    match self.phase {
+                        Phase::Speculating => {
+                            self.buffer.push(batch.clone());
+                            self.buffered_rows += batch.rows() as u64;
+                            self.buffered_bytes += batch.size_bytes();
+                            let est = self.estimate();
+                            match self.store.speculate(self.tag, &est) {
+                                StoreVerdict::Undecided => {}
+                                StoreVerdict::Commit => self.phase = Phase::Committed,
+                                StoreVerdict::Cancel => {
+                                    self.buffer.clear();
+                                    self.buffered_rows = 0;
+                                    self.buffered_bytes = 0;
+                                    self.phase = Phase::PassThrough;
+                                    self.store.abandon(self.tag);
+                                }
+                            }
+                        }
+                        Phase::Committed => {
+                            self.buffer.push(batch.clone());
+                            self.buffered_rows += batch.rows() as u64;
+                            self.buffered_bytes += batch.size_bytes();
+                        }
+                        Phase::PassThrough | Phase::Done => {}
+                    }
+                    Some(batch)
+                }
+                None => {
+                    match self.phase {
+                        Phase::Speculating | Phase::Committed => {
+                            // End of stream while still buffering: a
+                            // still-undecided speculation at completion has
+                            // exact numbers; let the recycler decide once
+                            // more with progress 1, then publish on commit.
+                            let publish = if self.phase == Phase::Committed {
+                                true
+                            } else {
+                                let mut est = self.estimate();
+                                est.progress = 1.0;
+                                est.est_rows = self.buffered_rows as f64;
+                                est.est_bytes = self.buffered_bytes as f64;
+                                match self.store.speculate(self.tag, &est) {
+                                    StoreVerdict::Commit => true,
+                                    _ => {
+                                        self.store.abandon(self.tag);
+                                        false
+                                    }
+                                }
+                            };
+                            if publish {
+                                let result = MaterializedResult::from_batches(
+                                    self.schema.clone(),
+                                    &self.buffer,
+                                );
+                                self.store.publish(self.tag, result);
+                            }
+                            self.buffer.clear();
+                            self.phase = Phase::Done;
+                        }
+                        Phase::PassThrough => self.phase = Phase::Done,
+                        Phase::Done => {}
+                    }
+                    None
+                }
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        self.child.progress()
+    }
+}
+
+/// Reads a materialized result from the cache.
+pub struct CachedExec {
+    tag: u64,
+    store: Arc<dyn ResultStore>,
+    batches: Option<Vec<Batch>>,
+    next: usize,
+    metrics: Arc<OpMetrics>,
+}
+
+impl CachedExec {
+    /// Replay the result leased under `tag`.
+    pub fn new(tag: u64, store: Arc<dyn ResultStore>, metrics: Arc<OpMetrics>) -> Self {
+        CachedExec { tag, store, batches: None, next: 0, metrics }
+    }
+}
+
+impl Operator for CachedExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        timed_next(&metrics, || {
+            if self.batches.is_none() {
+                let result = self
+                    .store
+                    .fetch(self.tag)
+                    .unwrap_or_else(|| panic!("no leased result for tag {}", self.tag));
+                self.batches = Some(result.batches());
+            }
+            let batches = self.batches.as_ref().unwrap();
+            if self.next < batches.len() {
+                let b = batches[self.next].clone();
+                self.next += 1;
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn progress(&self) -> f64 {
+        match &self.batches {
+            None => 0.0,
+            Some(b) => {
+                if b.is_empty() {
+                    1.0
+                } else {
+                    self.next as f64 / b.len() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::run_to_batch;
+    use parking_lot::Mutex;
+    use rdb_vector::{Column, DataType};
+    use std::collections::HashMap;
+
+    struct Source {
+        batches: Vec<Batch>,
+        total: usize,
+    }
+
+    impl Operator for Source {
+        fn next_batch(&mut self) -> Option<Batch> {
+            if self.batches.is_empty() {
+                None
+            } else {
+                Some(self.batches.remove(0))
+            }
+        }
+        fn progress(&self) -> f64 {
+            1.0 - self.batches.len() as f64 / self.total.max(1) as f64
+        }
+    }
+
+    fn src(groups: Vec<Vec<i64>>) -> Box<dyn Operator> {
+        let total = groups.len();
+        Box::new(Source {
+            batches: groups
+                .into_iter()
+                .map(|g| Batch::new(vec![Column::from_ints(g)]))
+                .collect(),
+            total,
+        })
+    }
+
+    #[derive(Default)]
+    struct MockStore {
+        published: Mutex<HashMap<u64, Arc<MaterializedResult>>>,
+        abandoned: Mutex<Vec<u64>>,
+        verdict: Mutex<StoreVerdict>,
+        calls: Mutex<u64>,
+    }
+
+    impl Default for StoreVerdict {
+        fn default() -> Self {
+            StoreVerdict::Undecided
+        }
+    }
+
+    impl ResultStore for MockStore {
+        fn fetch(&self, tag: u64) -> Option<Arc<MaterializedResult>> {
+            self.published.lock().get(&tag).cloned()
+        }
+        fn publish(&self, tag: u64, result: MaterializedResult) {
+            self.published.lock().insert(tag, Arc::new(result));
+        }
+        fn abandon(&self, tag: u64) {
+            self.abandoned.lock().push(tag);
+        }
+        fn speculate(&self, _tag: u64, _est: &SpeculationEstimate) -> StoreVerdict {
+            *self.calls.lock() += 1;
+            *self.verdict.lock()
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::from_pairs([("x", DataType::Int)])
+    }
+
+    #[test]
+    fn materialize_mode_tees_and_publishes() {
+        let store = Arc::new(MockStore::default());
+        let mut op = StoreExec::new(
+            src(vec![vec![1, 2], vec![3]]),
+            7,
+            schema(),
+            store.clone(),
+            false,
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut op);
+        assert_eq!(out.column(0).as_ints(), &[1, 2, 3], "flow uninterrupted");
+        let published = store.fetch(7).expect("result published");
+        assert_eq!(published.batch.column(0).as_ints(), &[1, 2, 3]);
+        assert!(published.size_bytes > 0);
+    }
+
+    #[test]
+    fn speculation_commit_publishes() {
+        let store = Arc::new(MockStore::default());
+        *store.verdict.lock() = StoreVerdict::Commit;
+        let mut op = StoreExec::new(
+            src(vec![vec![1], vec![2]]),
+            1,
+            schema(),
+            store.clone(),
+            true,
+            OpMetrics::shared(),
+        );
+        run_to_batch(&mut op);
+        assert!(store.fetch(1).is_some());
+        assert!(store.abandoned.lock().is_empty());
+    }
+
+    #[test]
+    fn speculation_cancel_drops_buffer() {
+        let store = Arc::new(MockStore::default());
+        *store.verdict.lock() = StoreVerdict::Cancel;
+        let mut op = StoreExec::new(
+            src(vec![vec![1], vec![2], vec![3]]),
+            2,
+            schema(),
+            store.clone(),
+            true,
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut op);
+        assert_eq!(out.rows(), 3, "tuples still flow after cancel");
+        assert!(store.fetch(2).is_none());
+        assert_eq!(store.abandoned.lock().as_slice(), &[2]);
+        // Speculation stops after the cancel verdict.
+        assert_eq!(*store.calls.lock(), 1);
+    }
+
+    #[test]
+    fn undecided_speculation_resolves_at_completion() {
+        // Recycler stays undecided mid-flight; at end-of-stream the store
+        // asks one final time with exact numbers (progress == 1).
+        struct DecideAtEnd(MockStore);
+        impl ResultStore for DecideAtEnd {
+            fn fetch(&self, t: u64) -> Option<Arc<MaterializedResult>> {
+                self.0.fetch(t)
+            }
+            fn publish(&self, t: u64, r: MaterializedResult) {
+                self.0.publish(t, r)
+            }
+            fn abandon(&self, t: u64) {
+                self.0.abandon(t)
+            }
+            fn speculate(&self, _t: u64, est: &SpeculationEstimate) -> StoreVerdict {
+                if est.progress >= 1.0 {
+                    StoreVerdict::Commit
+                } else {
+                    StoreVerdict::Undecided
+                }
+            }
+        }
+        let store = Arc::new(DecideAtEnd(MockStore::default()));
+        let mut op = StoreExec::new(
+            src(vec![vec![1], vec![2]]),
+            3,
+            schema(),
+            store.clone(),
+            true,
+            OpMetrics::shared(),
+        );
+        run_to_batch(&mut op);
+        assert!(store.fetch(3).is_some());
+    }
+
+    #[test]
+    fn cached_exec_replays() {
+        let store = Arc::new(MockStore::default());
+        store.publish(
+            9,
+            MaterializedResult::from_batches(
+                schema(),
+                &[Batch::new(vec![Column::from_ints(vec![5, 6])])],
+            ),
+        );
+        let mut c = CachedExec::new(9, store, OpMetrics::shared());
+        let out = run_to_batch(&mut c);
+        assert_eq!(out.column(0).as_ints(), &[5, 6]);
+        assert_eq!(c.progress(), 1.0);
+    }
+
+    #[test]
+    fn empty_result_materializes_with_width() {
+        let r = MaterializedResult::from_batches(schema(), &[]);
+        assert_eq!(r.rows(), 0);
+        assert_eq!(r.batch.width(), 1);
+        assert!(r.batches().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no leased result")]
+    fn cached_exec_panics_without_lease() {
+        let store = Arc::new(MockStore::default());
+        let mut c = CachedExec::new(42, store, OpMetrics::shared());
+        c.next_batch();
+    }
+}

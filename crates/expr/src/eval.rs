@@ -1,0 +1,484 @@
+//! Column-at-a-time expression evaluation.
+//!
+//! [`eval`] produces one output column per expression per input batch. NULL
+//! handling follows SQL: comparisons and arithmetic are NULL if any operand
+//! is NULL; `AND`/`OR` use Kleene three-valued logic; [`eval_predicate`]
+//! collapses NULL to `false` (the filter boundary rule).
+//!
+//! The common numeric/date cases run over raw slices; rarer type
+//! combinations fall back to a per-row dispatch via [`rdb_vector::row::cmp_cell`].
+
+use std::cmp::Ordering;
+
+use rdb_vector::column::{Column, ColumnBuilder, ColumnData};
+use rdb_vector::row::cmp_cell;
+use rdb_vector::types::{month_of_date, year_of_date};
+use rdb_vector::{Batch, DataType, Value};
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::like::like_match;
+
+/// Evaluate `expr` over `batch`, producing a column of `batch.rows()` rows.
+///
+/// `expr` must be canonical (no [`Expr::Named`]); bind it first.
+pub fn eval(expr: &Expr, batch: &Batch) -> Column {
+    let rows = batch.rows();
+    match expr {
+        Expr::Col(i) => batch.column(*i).clone(),
+        Expr::Named(n) => panic!("cannot evaluate unbound column '{n}'"),
+        Expr::Lit(v) => broadcast(v, rows),
+        Expr::Cmp(op, a, b) => cmp_columns(*op, &eval(a, batch), &eval(b, batch)),
+        Expr::Arith(op, a, b) => arith_columns(*op, &eval(a, batch), &eval(b, batch)),
+        Expr::And(parts) => kleene(parts, batch, true),
+        Expr::Or(parts) => kleene(parts, batch, false),
+        Expr::Not(e) => {
+            let c = eval(e, batch);
+            let vals: Vec<bool> = c.as_bools().iter().map(|&b| !b).collect();
+            rebuild_bool(vals, &c)
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let c = eval(expr, batch);
+            let vals: Vec<bool> = c
+                .as_strs()
+                .iter()
+                .map(|s| like_match(s, pattern) != *negated)
+                .collect();
+            rebuild_bool(vals, &c)
+        }
+        Expr::Substr { expr, start, len } => {
+            let c = eval(expr, batch);
+            let vals: Vec<std::sync::Arc<str>> = c
+                .as_strs()
+                .iter()
+                .map(|s| {
+                    let bytes = s.as_bytes();
+                    let from = (*start - 1).min(bytes.len());
+                    let to = (from + *len).min(bytes.len());
+                    std::sync::Arc::from(&s[from..to])
+                })
+                .collect();
+            carry_validity(ColumnData::Str(vals), &c)
+        }
+        Expr::Year(e) => {
+            let c = eval(e, batch);
+            let vals: Vec<i64> = c.as_dates().iter().map(|&d| year_of_date(d) as i64).collect();
+            carry_validity(ColumnData::Int(vals), &c)
+        }
+        Expr::Month(e) => {
+            let c = eval(e, batch);
+            let vals: Vec<i64> = c.as_dates().iter().map(|&d| month_of_date(d) as i64).collect();
+            carry_validity(ColumnData::Int(vals), &c)
+        }
+        Expr::Case { branches, otherwise } => eval_case(branches, otherwise, batch),
+        Expr::InList { expr, list, negated } => {
+            let c = eval(expr, batch);
+            let mut vals = Vec::with_capacity(rows);
+            for i in 0..rows {
+                let v = c.get(i);
+                vals.push(!v.is_null() && (list.contains(&v) != *negated));
+            }
+            rebuild_bool(vals, &c)
+        }
+        Expr::IsNull { expr, negated } => {
+            let c = eval(expr, batch);
+            let vals: Vec<bool> = (0..rows).map(|i| c.is_valid(i) == *negated).collect();
+            Column::from_bools(vals)
+        }
+    }
+}
+
+/// Evaluate a boolean predicate and collapse NULL to `false`.
+pub fn eval_predicate(expr: &Expr, batch: &Batch) -> Vec<bool> {
+    let c = eval(expr, batch);
+    assert_eq!(c.data_type(), DataType::Bool, "predicate must be boolean");
+    match c.validity() {
+        None => c.as_bools().to_vec(),
+        Some(mask) => c
+            .as_bools()
+            .iter()
+            .zip(mask)
+            .map(|(&v, &ok)| v && ok)
+            .collect(),
+    }
+}
+
+fn broadcast(v: &Value, rows: usize) -> Column {
+    match v {
+        Value::Null => {
+            let mut b = ColumnBuilder::new(DataType::Int, rows);
+            for _ in 0..rows {
+                b.push_null();
+            }
+            b.finish()
+        }
+        Value::Bool(x) => Column::from_bools(vec![*x; rows]),
+        Value::Int(x) => Column::from_ints(vec![*x; rows]),
+        Value::Float(x) => Column::from_floats(vec![*x; rows]),
+        Value::Str(s) => Column::new(ColumnData::Str(vec![s.clone(); rows])),
+        Value::Date(d) => Column::from_dates(vec![*d; rows]),
+    }
+}
+
+/// Combine validity of two inputs: output row valid iff both inputs valid.
+fn merged_validity(a: &Column, b: &Column) -> Option<Vec<bool>> {
+    match (a.validity(), b.validity()) {
+        (None, None) => None,
+        (Some(m), None) | (None, Some(m)) => Some(m.to_vec()),
+        (Some(ma), Some(mb)) => Some(ma.iter().zip(mb).map(|(&x, &y)| x && y).collect()),
+    }
+}
+
+fn rebuild_bool(vals: Vec<bool>, source: &Column) -> Column {
+    match source.validity() {
+        None => Column::from_bools(vals),
+        Some(m) => Column::with_validity(ColumnData::Bool(vals), m.to_vec()),
+    }
+}
+
+fn carry_validity(data: ColumnData, source: &Column) -> Column {
+    match source.validity() {
+        None => Column::new(data),
+        Some(m) => Column::with_validity(data, m.to_vec()),
+    }
+}
+
+fn cmp_columns(op: CmpOp, a: &Column, b: &Column) -> Column {
+    let rows = a.len();
+    assert_eq!(rows, b.len());
+    let test = |ord: Ordering| match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    };
+    // Fast paths over raw slices for the hot type combinations.
+    let vals: Vec<bool> = match (a.data(), b.data()) {
+        (ColumnData::Int(x), ColumnData::Int(y)) => {
+            x.iter().zip(y).map(|(l, r)| test(l.cmp(r))).collect()
+        }
+        (ColumnData::Float(x), ColumnData::Float(y)) => {
+            x.iter().zip(y).map(|(l, r)| test(l.total_cmp(r))).collect()
+        }
+        (ColumnData::Date(x), ColumnData::Date(y)) => {
+            x.iter().zip(y).map(|(l, r)| test(l.cmp(r))).collect()
+        }
+        (ColumnData::Int(x), ColumnData::Float(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(l, r)| test((*l as f64).total_cmp(r)))
+            .collect(),
+        (ColumnData::Float(x), ColumnData::Int(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(l, r)| test(l.total_cmp(&(*r as f64))))
+            .collect(),
+        (ColumnData::Str(x), ColumnData::Str(y)) => {
+            x.iter().zip(y).map(|(l, r)| test(l.cmp(r))).collect()
+        }
+        _ => (0..rows).map(|i| test(cmp_cell(a, i, b, i))).collect(),
+    };
+    match merged_validity(a, b) {
+        None => Column::from_bools(vals),
+        Some(m) => Column::with_validity(ColumnData::Bool(vals), m),
+    }
+}
+
+fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
+    let rows = a.len();
+    assert_eq!(rows, b.len());
+    let data = match (a.data(), b.data()) {
+        // Integer arithmetic stays integral except division.
+        (ColumnData::Int(x), ColumnData::Int(y)) => match op {
+            ArithOp::Add => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l + r).collect()),
+            ArithOp::Sub => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l - r).collect()),
+            ArithOp::Mul => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l * r).collect()),
+            ArithOp::Div => ColumnData::Float(
+                x.iter().zip(y).map(|(l, r)| *l as f64 / *r as f64).collect(),
+            ),
+        },
+        // Date shifted by days.
+        (ColumnData::Date(x), ColumnData::Int(y)) => match op {
+            ArithOp::Add => ColumnData::Date(x.iter().zip(y).map(|(l, r)| l + *r as i32).collect()),
+            ArithOp::Sub => ColumnData::Date(x.iter().zip(y).map(|(l, r)| l - *r as i32).collect()),
+            _ => panic!("unsupported date arithmetic {op:?}"),
+        },
+        (ColumnData::Int(x), ColumnData::Date(y)) if op == ArithOp::Add => {
+            ColumnData::Date(x.iter().zip(y).map(|(l, r)| *l as i32 + r).collect())
+        }
+        // Everything else promotes to float.
+        _ => {
+            let xf = to_f64(a);
+            let yf = to_f64(b);
+            let f = |l: f64, r: f64| match op {
+                ArithOp::Add => l + r,
+                ArithOp::Sub => l - r,
+                ArithOp::Mul => l * r,
+                ArithOp::Div => l / r,
+            };
+            ColumnData::Float(xf.iter().zip(&yf).map(|(&l, &r)| f(l, r)).collect())
+        }
+    };
+    match merged_validity(a, b) {
+        None => Column::new(data),
+        Some(m) => Column::with_validity(data, m),
+    }
+}
+
+fn to_f64(c: &Column) -> Vec<f64> {
+    match c.data() {
+        ColumnData::Int(v) => v.iter().map(|&x| x as f64).collect(),
+        ColumnData::Float(v) => v.clone(),
+        other => panic!("cannot coerce {} to float", other.data_type()),
+    }
+}
+
+/// Kleene AND (`and = true`) / OR (`and = false`) over the operand columns.
+fn kleene(parts: &[Expr], batch: &Batch, and: bool) -> Column {
+    let rows = batch.rows();
+    let cols: Vec<Column> = parts.iter().map(|p| eval(p, batch)).collect();
+    let mut vals = vec![and; rows]; // identity element
+    let mut nulls = vec![false; rows];
+    for c in &cols {
+        let cv = c.as_bools();
+        for i in 0..rows {
+            let valid = c.is_valid(i);
+            if and {
+                if valid && !cv[i] {
+                    vals[i] = false;
+                    nulls[i] = false;
+                } else if !valid && vals[i] {
+                    nulls[i] = true;
+                }
+            } else if valid && cv[i] {
+                vals[i] = true;
+                nulls[i] = false;
+            } else if !valid && !vals[i] {
+                nulls[i] = true;
+            }
+        }
+    }
+    // In AND, a row that saw a `false` is decided regardless of NULLs; the
+    // loop above already clears the null flag on decision. Symmetrically for
+    // OR with `true`.
+    if nulls.iter().any(|&n| n) {
+        let validity: Vec<bool> = nulls.iter().map(|&n| !n).collect();
+        Column::with_validity(ColumnData::Bool(vals), validity)
+    } else {
+        Column::from_bools(vals)
+    }
+}
+
+fn eval_case(branches: &[(Expr, Expr)], otherwise: &Expr, batch: &Batch) -> Column {
+    let rows = batch.rows();
+    let conds: Vec<Vec<bool>> = branches
+        .iter()
+        .map(|(c, _)| eval_predicate(c, batch))
+        .collect();
+    let vals: Vec<Column> = branches.iter().map(|(_, v)| eval(v, batch)).collect();
+    let other = eval(otherwise, batch);
+    let dtype = vals.first().map_or(other.data_type(), |c| c.data_type());
+    let mut b = ColumnBuilder::new(dtype, rows);
+    'rows: for i in 0..rows {
+        for (k, cond) in conds.iter().enumerate() {
+            if cond[i] {
+                b.push(vals[k].get(i));
+                continue 'rows;
+            }
+        }
+        b.push(other.get(i));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::types::date_from_ymd;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Column::from_ints(vec![1, 2, 3, 4]),
+            Column::from_floats(vec![0.5, 1.5, 2.5, 3.5]),
+            Column::from_dates(vec![
+                date_from_ymd(1995, 1, 15),
+                date_from_ymd(1995, 6, 1),
+                date_from_ymd(1996, 2, 2),
+                date_from_ymd(1997, 12, 31),
+            ]),
+            Column::from_strs(["PROMO STEEL", "SMALL BRASS", "PROMO TIN", "ECO COPPER"]),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        assert_eq!(eval(&Expr::col(0), &b).as_ints(), &[1, 2, 3, 4]);
+        assert_eq!(eval(&Expr::lit(7), &b).as_ints(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn comparisons() {
+        let b = batch();
+        let e = Expr::col(0).le(Expr::lit(2));
+        assert_eq!(eval_predicate(&e, &b), vec![true, true, false, false]);
+        let e = Expr::col(1).gt(Expr::lit(1.5));
+        assert_eq!(eval_predicate(&e, &b), vec![false, false, true, true]);
+        // int vs float promotion
+        let e = Expr::col(0).eq(Expr::lit(2.0));
+        assert_eq!(eval_predicate(&e, &b), vec![false, true, false, false]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let b = batch();
+        let e = Expr::col(0).mul(Expr::lit(10));
+        assert_eq!(eval(&e, &b).as_ints(), &[10, 20, 30, 40]);
+        let e = Expr::col(0).add(Expr::col(1));
+        assert_eq!(eval(&e, &b).as_floats(), &[1.5, 3.5, 5.5, 7.5]);
+        let e = Expr::col(0).div(Expr::lit(2));
+        assert_eq!(eval(&e, &b).as_floats(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn date_arithmetic_and_extraction() {
+        let b = batch();
+        let e = Expr::col(2).add(Expr::lit(1));
+        assert_eq!(
+            eval(&e, &b).as_dates()[0],
+            date_from_ymd(1995, 1, 16)
+        );
+        let e = Expr::col(2).year();
+        assert_eq!(eval(&e, &b).as_ints(), &[1995, 1995, 1996, 1997]);
+        let e = Expr::col(2).month();
+        assert_eq!(eval(&e, &b).as_ints(), &[1, 6, 2, 12]);
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let b = batch();
+        let e = Expr::col(0).gt(Expr::lit(1)).and(Expr::col(0).lt(Expr::lit(4)));
+        assert_eq!(eval_predicate(&e, &b), vec![false, true, true, false]);
+        let e = Expr::col(0).eq(Expr::lit(1)).or(Expr::col(0).eq(Expr::lit(4)));
+        assert_eq!(eval_predicate(&e, &b), vec![true, false, false, true]);
+        let e = Expr::col(0).gt(Expr::lit(2)).not();
+        assert_eq!(eval_predicate(&e, &b), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn like_and_substr() {
+        let b = batch();
+        let e = Expr::col(3).like("PROMO%");
+        assert_eq!(eval_predicate(&e, &b), vec![true, false, true, false]);
+        let e = Expr::col(3).not_like("%STEEL");
+        assert_eq!(eval_predicate(&e, &b), vec![false, true, true, true]);
+        let e = Expr::col(3).substr(1, 5);
+        assert_eq!(
+            eval(&e, &b).to_values(),
+            vec![
+                Value::str("PROMO"),
+                Value::str("SMALL"),
+                Value::str("PROMO"),
+                Value::str("ECO C")
+            ]
+        );
+    }
+
+    #[test]
+    fn substr_clamps_out_of_range() {
+        let b = Batch::new(vec![Column::from_strs(["ab"])]);
+        let e = Expr::col(0).substr(2, 10);
+        assert_eq!(eval(&e, &b).to_values(), vec![Value::str("b")]);
+        let e = Expr::col(0).substr(5, 2);
+        assert_eq!(eval(&e, &b).to_values(), vec![Value::str("")]);
+    }
+
+    #[test]
+    fn in_list() {
+        let b = batch();
+        let e = Expr::col(0).in_list([Value::Int(1), Value::Int(3)]);
+        assert_eq!(eval_predicate(&e, &b), vec![true, false, true, false]);
+        let e = Expr::col(3).not_in_list([Value::str("PROMO STEEL")]);
+        assert_eq!(eval_predicate(&e, &b), vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn case_expression() {
+        let b = batch();
+        let e = Expr::case(
+            vec![
+                (Expr::col(0).le(Expr::lit(1)), Expr::lit(100)),
+                (Expr::col(0).le(Expr::lit(3)), Expr::lit(200)),
+            ],
+            Expr::lit(0),
+        );
+        assert_eq!(eval(&e, &b).as_ints(), &[100, 200, 200, 0]);
+    }
+
+    #[test]
+    fn null_propagation_in_cmp() {
+        let mut cb = ColumnBuilder::new(DataType::Int, 3);
+        cb.push(Value::Int(1));
+        cb.push_null();
+        cb.push(Value::Int(3));
+        let b = Batch::new(vec![cb.finish()]);
+        let e = Expr::col(0).gt(Expr::lit(0));
+        let c = eval(&e, &b);
+        assert_eq!(c.null_count(), 1);
+        // NULL collapses to false at the predicate boundary.
+        assert_eq!(eval_predicate(&e, &b), vec![true, false, true]);
+    }
+
+    #[test]
+    fn kleene_and_with_null() {
+        // NULL AND false = false; NULL AND true = NULL.
+        let mut cb = ColumnBuilder::new(DataType::Int, 2);
+        cb.push_null();
+        cb.push_null();
+        let b = Batch::new(vec![cb.finish(), Column::from_ints(vec![0, 1])]);
+        let e = Expr::col(0).gt(Expr::lit(0)).and(Expr::col(1).eq(Expr::lit(1)));
+        let c = eval(&e, &b);
+        assert!(c.is_valid(0), "NULL AND false is false, not NULL");
+        assert_eq!(c.get(0), Value::Bool(false));
+        assert!(!c.is_valid(1), "NULL AND true stays NULL");
+    }
+
+    #[test]
+    fn kleene_or_with_null() {
+        // NULL OR true = true; NULL OR false = NULL.
+        let mut cb = ColumnBuilder::new(DataType::Int, 2);
+        cb.push_null();
+        cb.push_null();
+        let b = Batch::new(vec![cb.finish(), Column::from_ints(vec![1, 0])]);
+        let e = Expr::col(0).gt(Expr::lit(0)).or(Expr::col(1).eq(Expr::lit(1)));
+        let c = eval(&e, &b);
+        assert_eq!(c.get(0), Value::Bool(true));
+        assert!(!c.is_valid(1));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let mut cb = ColumnBuilder::new(DataType::Int, 2);
+        cb.push_null();
+        cb.push(Value::Int(1));
+        let b = Batch::new(vec![cb.finish()]);
+        assert_eq!(
+            eval_predicate(&Expr::col(0).is_null(), &b),
+            vec![true, false]
+        );
+        assert_eq!(
+            eval_predicate(&Expr::col(0).is_not_null(), &b),
+            vec![false, true]
+        );
+    }
+
+    #[test]
+    fn in_list_with_null_is_false() {
+        let mut cb = ColumnBuilder::new(DataType::Int, 1);
+        cb.push_null();
+        let b = Batch::new(vec![cb.finish()]);
+        let e = Expr::col(0).in_list([Value::Int(1)]);
+        assert_eq!(eval_predicate(&e, &b), vec![false]);
+    }
+}

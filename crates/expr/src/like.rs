@@ -1,0 +1,104 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Supports `%` (any run of characters, including empty) and `_` (exactly one
+//! character). Matching is byte-oriented (the TPC-H and SkyServer workloads
+//! are ASCII) and uses the classic two-pointer greedy algorithm with
+//! backtracking on the most recent `%`, which is O(n·m) worst case but linear
+//! on the pattern shapes that appear in practice (`prefix%`, `%infix%`,
+//! `%w1%w2%`).
+
+/// Does `text` match SQL LIKE `pattern`?
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t = text.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    // Position to resume from when backtracking to the last `%`.
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last `%` consume one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    // Remaining pattern must be all `%`.
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::like_match;
+
+    #[test]
+    fn exact_match() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn underscore_single_char() {
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("ac", "a_c"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("abcd", "___"));
+    }
+
+    #[test]
+    fn percent_prefix_suffix_infix() {
+        assert!(like_match("PROMO BRUSHED STEEL", "PROMO%"));
+        assert!(!like_match("STANDARD STEEL", "PROMO%"));
+        assert!(like_match("large polished copper", "%copper%"));
+        assert!(like_match("copper", "%copper%"));
+        assert!(like_match("x-copper-y", "%copper%"));
+        assert!(!like_match("coppe", "%copper%"));
+        assert!(like_match("MEDIUM POLISHED", "%POLISHED"));
+    }
+
+    #[test]
+    fn multi_wildcard_words() {
+        // The Q13 / Q16 / SkyServer shapes: '%w1%w2%'.
+        assert!(like_match("xx special yy requests zz", "%special%requests%"));
+        assert!(!like_match("xx requests yy special zz", "%special%requests%"));
+        assert!(like_match("specialrequests", "%special%requests%"));
+        assert!(like_match("Customer say Complaints loud", "%Customer%Complaints%"));
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(like_match("", "%%"));
+        assert!(!like_match("", "_"));
+        assert!(!like_match("a", ""));
+    }
+
+    #[test]
+    fn percent_backtracking() {
+        // Requires revisiting the last `%` several times.
+        assert!(like_match("aaab", "%ab"));
+        assert!(like_match("abababab", "%ab%ab"));
+        assert!(!like_match("ababa", "%ab%ab%b"));
+        assert!(like_match("mississippi", "%iss%ippi"));
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        assert!(like_match("STEEL BRUSHED", "STEEL_BRUSHED"));
+        assert!(like_match("abcde", "a%_e"));
+        assert!(!like_match("ae", "a%_e")); // `_` needs one char after `%`
+    }
+}

@@ -1,0 +1,49 @@
+//! Free-function plan constructors.
+
+use rdb_vector::{Schema, Value};
+
+use crate::node::Plan;
+
+/// Scan `table`, projecting `cols` in order.
+pub fn scan(table: &str, cols: &[&str]) -> Plan {
+    Plan::Scan {
+        table: table.to_string(),
+        cols: cols.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Table-function scan with literal arguments and a declared output schema.
+pub fn fn_scan(name: &str, args: Vec<Value>, schema: Schema) -> Plan {
+    Plan::FnScan { name: name.to_string(), args, schema }
+}
+
+/// Bag union of the given subplans (schemas must agree).
+pub fn union_all(children: Vec<Plan>) -> Plan {
+    Plan::UnionAll { children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::DataType;
+
+    #[test]
+    fn constructors() {
+        let s = scan("t", &["a", "b"]);
+        match &s {
+            Plan::Scan { table, cols } => {
+                assert_eq!(table, "t");
+                assert_eq!(cols, &vec!["a".to_string(), "b".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let f = fn_scan(
+            "f",
+            vec![Value::Int(1)],
+            Schema::from_pairs([("x", DataType::Int)]),
+        );
+        assert_eq!(f.children().len(), 0);
+        let u = union_all(vec![s.clone(), s]);
+        assert_eq!(u.children().len(), 2);
+    }
+}

@@ -1,0 +1,791 @@
+//! The plan node enum, schema derivation, and the bind pass.
+
+use std::fmt;
+
+use rdb_expr::{AggFunc, Expr};
+use rdb_storage::Catalog;
+use rdb_vector::row::SortOrder;
+use rdb_vector::{DataType, Field, Schema, Value};
+
+/// Join variants supported by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner equi-join; output = left columns ++ right columns.
+    Inner,
+    /// Left outer equi-join; unmatched left rows pad the right side with
+    /// NULLs.
+    LeftOuter,
+    /// Left semi join (SQL `EXISTS`); output = left columns.
+    Semi,
+    /// Left anti join (SQL `NOT EXISTS`); output = left columns.
+    Anti,
+    /// Broadcast join against a single-row right side (decorrelated scalar
+    /// subquery); key lists must be empty and the right side must produce
+    /// exactly one row. Output = left columns ++ right columns.
+    Single,
+}
+
+impl JoinKind {
+    /// Short SQL-ish label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JoinKind::Inner => "inner",
+            JoinKind::LeftOuter => "left_outer",
+            JoinKind::Semi => "semi",
+            JoinKind::Anti => "anti",
+            JoinKind::Single => "single",
+        }
+    }
+}
+
+/// One sort key: expression plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SortKeyExpr {
+    /// Key expression over the input.
+    pub expr: Expr,
+    /// Direction.
+    pub order: SortOrder,
+}
+
+impl SortKeyExpr {
+    /// Ascending key.
+    pub fn asc(expr: Expr) -> Self {
+        SortKeyExpr { expr, order: SortOrder::Asc }
+    }
+
+    /// Descending key.
+    pub fn desc(expr: Expr) -> Self {
+        SortKeyExpr { expr, order: SortOrder::Desc }
+    }
+}
+
+/// Behaviour of a recycler-injected [`Plan::Store`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreMode {
+    /// Materialization already decided (history mode): tee every batch into
+    /// the cache while passing it along.
+    Materialize,
+    /// Speculative (paper §III-D): buffer copies of the flow while run-time
+    /// estimates decide; cancel buffering if not deemed beneficial.
+    Speculate,
+}
+
+/// Errors from schema derivation / binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A logical query plan node.
+///
+/// Plans are built with named column references and then [`Plan::bind`]
+/// resolves every name into a position, yielding the canonical form the
+/// recycler matches on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Plan {
+    /// Base-table scan of the named columns (in the given order).
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Projected column names.
+        cols: Vec<String>,
+    },
+    /// Table-function scan (e.g. SkyServer's `fGetNearbyObjEq`); a leaf with
+    /// a declared output schema. The executor resolves the function by name.
+    FnScan {
+        /// Function name.
+        name: String,
+        /// Literal arguments (part of the match identity).
+        args: Vec<Value>,
+        /// Declared output schema.
+        schema: Schema,
+    },
+    /// Selection.
+    Select {
+        /// Input.
+        child: Box<Plan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Projection: computes `exprs`, names them `names`.
+    Project {
+        /// Input.
+        child: Box<Plan>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+        /// Output names (not part of the structural identity).
+        names: Vec<String>,
+    },
+    /// Hash aggregation: `group_by` keys then `aggs`.
+    Aggregate {
+        /// Input.
+        child: Box<Plan>,
+        /// Grouping key expressions.
+        group_by: Vec<Expr>,
+        /// Output names of the grouping keys.
+        group_names: Vec<String>,
+        /// Aggregate functions.
+        aggs: Vec<AggFunc>,
+        /// Output names of the aggregates.
+        agg_names: Vec<String>,
+    },
+    /// Hash equi-join; `left_keys[i]` pairs with `right_keys[i]`.
+    Join {
+        /// Probe side.
+        left: Box<Plan>,
+        /// Build side.
+        right: Box<Plan>,
+        /// Join variant.
+        kind: JoinKind,
+        /// Probe key expressions (over left schema).
+        left_keys: Vec<Expr>,
+        /// Build key expressions (over right schema).
+        right_keys: Vec<Expr>,
+    },
+    /// Heap-based top-N (paper §IV-B: `topN` keeps an N-sized heap).
+    TopN {
+        /// Input.
+        child: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<SortKeyExpr>,
+        /// Number of rows to keep.
+        n: usize,
+    },
+    /// Full sort.
+    Sort {
+        /// Input.
+        child: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<SortKeyExpr>,
+    },
+    /// First-N rows without ordering.
+    Limit {
+        /// Input.
+        child: Box<Plan>,
+        /// Row budget.
+        n: usize,
+    },
+    /// Bag union of same-schema children.
+    UnionAll {
+        /// Inputs.
+        children: Vec<Plan>,
+    },
+    /// Recycler-inserted: read a materialized result from the cache.
+    /// Never inserted into the recycler graph.
+    Cached {
+        /// Cache handle issued by the recycler.
+        tag: u64,
+        /// Schema of the cached result.
+        schema: Schema,
+    },
+    /// Recycler-inserted: tee the child's output into the cache under `tag`.
+    /// Never inserted into the recycler graph.
+    Store {
+        /// Input.
+        child: Box<Plan>,
+        /// Cache handle issued by the recycler.
+        tag: u64,
+        /// Materialize vs. speculate.
+        mode: StoreMode,
+    },
+}
+
+impl Plan {
+    // ---- fluent builders -------------------------------------------------
+
+    /// `σ_predicate(self)`.
+    pub fn select(self, predicate: Expr) -> Plan {
+        Plan::Select { child: Box::new(self), predicate }
+    }
+
+    /// `π_{exprs as names}(self)`.
+    pub fn project(self, items: Vec<(Expr, &str)>) -> Plan {
+        let (exprs, names) = items
+            .into_iter()
+            .map(|(e, n)| (e, n.to_string()))
+            .unzip();
+        Plan::Project { child: Box::new(self), exprs, names }
+    }
+
+    /// `γ_{groups; aggs}(self)`.
+    pub fn aggregate(self, groups: Vec<(Expr, &str)>, aggs: Vec<(AggFunc, &str)>) -> Plan {
+        let (group_by, group_names) = groups
+            .into_iter()
+            .map(|(e, n)| (e, n.to_string()))
+            .unzip();
+        let (aggs, agg_names) = aggs
+            .into_iter()
+            .map(|(a, n)| (a, n.to_string()))
+            .unzip();
+        Plan::Aggregate { child: Box::new(self), group_by, group_names, aggs, agg_names }
+    }
+
+    /// Hash join with the given kind and key lists.
+    pub fn join(self, right: Plan, kind: JoinKind, left_keys: Vec<Expr>, right_keys: Vec<Expr>) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind,
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Inner equi-join convenience.
+    pub fn inner_join(self, right: Plan, left_keys: Vec<Expr>, right_keys: Vec<Expr>) -> Plan {
+        self.join(right, JoinKind::Inner, left_keys, right_keys)
+    }
+
+    /// Broadcast join against a one-row subplan (scalar subquery).
+    pub fn single_join(self, right: Plan) -> Plan {
+        self.join(right, JoinKind::Single, vec![], vec![])
+    }
+
+    /// Heap top-N.
+    pub fn top_n(self, keys: Vec<SortKeyExpr>, n: usize) -> Plan {
+        Plan::TopN { child: Box::new(self), keys, n }
+    }
+
+    /// Full sort.
+    pub fn sort(self, keys: Vec<SortKeyExpr>) -> Plan {
+        Plan::Sort { child: Box::new(self), keys }
+    }
+
+    /// Row limit.
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit { child: Box::new(self), n }
+    }
+
+    /// Wrap in a recycler store operator.
+    pub fn store(self, tag: u64, mode: StoreMode) -> Plan {
+        Plan::Store { child: Box::new(self), tag, mode }
+    }
+
+    // ---- structure -------------------------------------------------------
+
+    /// Child subplans in order.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::FnScan { .. } | Plan::Cached { .. } => vec![],
+            Plan::Select { child, .. }
+            | Plan::Project { child, .. }
+            | Plan::Aggregate { child, .. }
+            | Plan::TopN { child, .. }
+            | Plan::Sort { child, .. }
+            | Plan::Limit { child, .. }
+            | Plan::Store { child, .. } => vec![child],
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::UnionAll { children } => children.iter().collect(),
+        }
+    }
+
+    /// Rebuild this node with new children (same arity required).
+    pub fn with_children(&self, mut new_children: Vec<Plan>) -> Plan {
+        assert_eq!(new_children.len(), self.children().len(), "arity mismatch");
+        let mut next = || Box::new(new_children.remove(0));
+        match self {
+            Plan::Scan { .. } | Plan::FnScan { .. } | Plan::Cached { .. } => self.clone(),
+            Plan::Select { predicate, .. } => Plan::Select { child: next(), predicate: predicate.clone() },
+            Plan::Project { exprs, names, .. } => Plan::Project {
+                child: next(),
+                exprs: exprs.clone(),
+                names: names.clone(),
+            },
+            Plan::Aggregate { group_by, group_names, aggs, agg_names, .. } => Plan::Aggregate {
+                child: next(),
+                group_by: group_by.clone(),
+                group_names: group_names.clone(),
+                aggs: aggs.clone(),
+                agg_names: agg_names.clone(),
+            },
+            Plan::Join { kind, left_keys, right_keys, .. } => Plan::Join {
+                left: next(),
+                right: next(),
+                kind: *kind,
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+            },
+            Plan::TopN { keys, n, .. } => Plan::TopN { child: next(), keys: keys.clone(), n: *n },
+            Plan::Sort { keys, .. } => Plan::Sort { child: next(), keys: keys.clone() },
+            Plan::Limit { n, .. } => Plan::Limit { child: next(), n: *n },
+            Plan::UnionAll { .. } => {
+                let mut children = Vec::new();
+                while !new_children.is_empty() {
+                    children.push(new_children.remove(0));
+                }
+                Plan::UnionAll { children }
+            }
+            Plan::Store { tag, mode, .. } => Plan::Store { child: next(), tag: *tag, mode: *mode },
+        }
+    }
+
+    /// Number of plan nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Short label naming the operator and its parameters.
+    pub fn label(&self) -> String {
+        match self {
+            Plan::Scan { table, cols } => format!("scan {table} [{}]", cols.join(", ")),
+            Plan::FnScan { name, args, .. } => {
+                let a: Vec<String> = args.iter().map(|v| v.to_string()).collect();
+                format!("fn_scan {name}({})", a.join(", "))
+            }
+            Plan::Select { predicate, .. } => format!("select {predicate}"),
+            Plan::Project { exprs, names, .. } => {
+                let items: Vec<String> = exprs
+                    .iter()
+                    .zip(names)
+                    .map(|(e, n)| format!("{e} as {n}"))
+                    .collect();
+                format!("project [{}]", items.join(", "))
+            }
+            Plan::Aggregate { group_by, aggs, .. } => {
+                let g: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
+                let a: Vec<String> = aggs.iter().map(|f| f.to_string()).collect();
+                format!("aggregate by [{}] compute [{}]", g.join(", "), a.join(", "))
+            }
+            Plan::Join { kind, left_keys, right_keys, .. } => {
+                let l: Vec<String> = left_keys.iter().map(|e| e.to_string()).collect();
+                let r: Vec<String> = right_keys.iter().map(|e| e.to_string()).collect();
+                format!("{}_join on [{}]=[{}]", kind.label(), l.join(", "), r.join(", "))
+            }
+            Plan::TopN { keys, n, .. } => format!("top_{n} by {}", keys_label(keys)),
+            Plan::Sort { keys, .. } => format!("sort by {}", keys_label(keys)),
+            Plan::Limit { n, .. } => format!("limit {n}"),
+            Plan::UnionAll { children } => format!("union_all of {}", children.len()),
+            Plan::Cached { tag, .. } => format!("cached #{tag}"),
+            Plan::Store { tag, mode, .. } => format!("store #{tag} ({mode:?})"),
+        }
+    }
+
+    // ---- schema + bind ---------------------------------------------------
+
+    /// Derive the output schema. Works on both named and bound plans.
+    pub fn schema(&self, catalog: &Catalog) -> Result<Schema, PlanError> {
+        match self {
+            Plan::Scan { table, cols } => {
+                let t = catalog
+                    .schema_of(table)
+                    .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
+                let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+                t.project(&names)
+                    .ok_or_else(|| PlanError(format!("unknown column in scan of '{table}'")))
+            }
+            Plan::FnScan { schema, .. } => Ok(schema.clone()),
+            Plan::Select { child, .. } => child.schema(catalog),
+            Plan::Project { child, exprs, names } => {
+                let input = child.schema(catalog)?;
+                let tys = input_types(&input);
+                let fields = exprs
+                    .iter()
+                    .zip(names)
+                    .map(|(e, n)| {
+                        let bound = e
+                            .bind(&input)
+                            .map_err(PlanError)?;
+                        Ok(Field::new(n.clone(), bound.data_type(&tys)))
+                    })
+                    .collect::<Result<Vec<_>, PlanError>>()?;
+                Ok(Schema::new(fields))
+            }
+            Plan::Aggregate { child, group_by, group_names, aggs, agg_names } => {
+                let input = child.schema(catalog)?;
+                let tys = input_types(&input);
+                let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+                for (e, n) in group_by.iter().zip(group_names) {
+                    let bound = e.bind(&input).map_err(PlanError)?;
+                    fields.push(Field::new(n.clone(), bound.data_type(&tys)));
+                }
+                for (a, n) in aggs.iter().zip(agg_names) {
+                    let bound = a.map_argument(&mut |e| e.bind(&input).unwrap_or_else(|_| e.clone()));
+                    if let Some(arg) = bound.argument() {
+                        if arg.has_named() {
+                            return Err(PlanError(format!("unresolved column in {a}")));
+                        }
+                    }
+                    fields.push(Field::new(n.clone(), bound.data_type(&tys)));
+                }
+                Ok(Schema::new(fields))
+            }
+            Plan::Join { left, right, kind, .. } => {
+                let l = left.schema(catalog)?;
+                match kind {
+                    JoinKind::Semi | JoinKind::Anti => Ok(l),
+                    _ => Ok(l.join(&right.schema(catalog)?)),
+                }
+            }
+            Plan::TopN { child, .. } | Plan::Sort { child, .. } | Plan::Limit { child, .. } => {
+                child.schema(catalog)
+            }
+            Plan::UnionAll { children } => {
+                let first = children
+                    .first()
+                    .ok_or_else(|| PlanError("empty union".into()))?
+                    .schema(catalog)?;
+                for c in &children[1..] {
+                    let s = c.schema(catalog)?;
+                    if s.len() != first.len()
+                        || s.fields()
+                            .iter()
+                            .zip(first.fields())
+                            .any(|(a, b)| a.dtype != b.dtype)
+                    {
+                        return Err(PlanError(format!(
+                            "union schema mismatch: {first} vs {s}"
+                        )));
+                    }
+                }
+                Ok(first)
+            }
+            Plan::Cached { schema, .. } => Ok(schema.clone()),
+            Plan::Store { child, .. } => child.schema(catalog),
+        }
+    }
+
+    /// Resolve every named column reference to a position, bottom-up,
+    /// producing the canonical plan the recycler matches on.
+    pub fn bind(&self, catalog: &Catalog) -> Result<Plan, PlanError> {
+        let bound_children: Vec<Plan> = self
+            .children()
+            .iter()
+            .map(|c| c.bind(catalog))
+            .collect::<Result<_, _>>()?;
+        let child_schemas: Vec<Schema> = bound_children
+            .iter()
+            .map(|c| c.schema(catalog))
+            .collect::<Result<_, _>>()?;
+        let rebind = |e: &Expr, s: &Schema| e.bind(s).map_err(PlanError);
+        Ok(match self {
+            Plan::Scan { .. } | Plan::FnScan { .. } | Plan::Cached { .. } => self.clone(),
+            Plan::Select { predicate, .. } => Plan::Select {
+                predicate: rebind(predicate, &child_schemas[0])?,
+                child: Box::new(bound_children.into_iter().next().unwrap()),
+            },
+            Plan::Project { exprs, names, .. } => Plan::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|e| rebind(e, &child_schemas[0]))
+                    .collect::<Result<_, _>>()?,
+                names: names.clone(),
+                child: Box::new(bound_children.into_iter().next().unwrap()),
+            },
+            Plan::Aggregate { group_by, group_names, aggs, agg_names, .. } => {
+                let s = &child_schemas[0];
+                let mut err = None;
+                let aggs_bound: Vec<AggFunc> = aggs
+                    .iter()
+                    .map(|a| {
+                        a.map_argument(&mut |e| match e.bind(s) {
+                            Ok(b) => b,
+                            Err(msg) => {
+                                err.get_or_insert(msg);
+                                e.clone()
+                            }
+                        })
+                    })
+                    .collect();
+                if let Some(msg) = err {
+                    return Err(PlanError(msg));
+                }
+                Plan::Aggregate {
+                    group_by: group_by
+                        .iter()
+                        .map(|e| rebind(e, s))
+                        .collect::<Result<_, _>>()?,
+                    group_names: group_names.clone(),
+                    aggs: aggs_bound,
+                    agg_names: agg_names.clone(),
+                    child: Box::new(bound_children.into_iter().next().unwrap()),
+                }
+            }
+            Plan::Join { kind, left_keys, right_keys, .. } => {
+                let lk: Vec<Expr> = left_keys
+                    .iter()
+                    .map(|e| rebind(e, &child_schemas[0]))
+                    .collect::<Result<_, _>>()?;
+                let rk: Vec<Expr> = right_keys
+                    .iter()
+                    .map(|e| rebind(e, &child_schemas[1]))
+                    .collect::<Result<_, _>>()?;
+                if lk.len() != rk.len() {
+                    return Err(PlanError("join key arity mismatch".into()));
+                }
+                if *kind == JoinKind::Single && !lk.is_empty() {
+                    return Err(PlanError("single join takes no keys".into()));
+                }
+                let mut it = bound_children.into_iter();
+                Plan::Join {
+                    left: Box::new(it.next().unwrap()),
+                    right: Box::new(it.next().unwrap()),
+                    kind: *kind,
+                    left_keys: lk,
+                    right_keys: rk,
+                }
+            }
+            Plan::TopN { keys, n, .. } => Plan::TopN {
+                keys: bind_keys(keys, &child_schemas[0])?,
+                n: *n,
+                child: Box::new(bound_children.into_iter().next().unwrap()),
+            },
+            Plan::Sort { keys, .. } => Plan::Sort {
+                keys: bind_keys(keys, &child_schemas[0])?,
+                child: Box::new(bound_children.into_iter().next().unwrap()),
+            },
+            Plan::Limit { n, .. } => Plan::Limit {
+                n: *n,
+                child: Box::new(bound_children.into_iter().next().unwrap()),
+            },
+            Plan::UnionAll { .. } => Plan::UnionAll { children: bound_children },
+            Plan::Store { tag, mode, .. } => Plan::Store {
+                tag: *tag,
+                mode: *mode,
+                child: Box::new(bound_children.into_iter().next().unwrap()),
+            },
+        })
+    }
+
+    /// Whether any expression in the subtree still contains named references.
+    pub fn has_named(&self) -> bool {
+        let local = match self {
+            Plan::Select { predicate, .. } => predicate.has_named(),
+            Plan::Project { exprs, .. } => exprs.iter().any(|e| e.has_named()),
+            Plan::Aggregate { group_by, aggs, .. } => {
+                group_by.iter().any(|e| e.has_named())
+                    || aggs
+                        .iter()
+                        .filter_map(|a| a.argument())
+                        .any(|e| e.has_named())
+            }
+            Plan::Join { left_keys, right_keys, .. } => {
+                left_keys.iter().any(|e| e.has_named())
+                    || right_keys.iter().any(|e| e.has_named())
+            }
+            Plan::TopN { keys, .. } | Plan::Sort { keys, .. } => {
+                keys.iter().any(|k| k.expr.has_named())
+            }
+            _ => false,
+        };
+        local || self.children().iter().any(|c| c.has_named())
+    }
+}
+
+fn keys_label(keys: &[SortKeyExpr]) -> String {
+    let parts: Vec<String> = keys
+        .iter()
+        .map(|k| {
+            format!(
+                "{}{}",
+                k.expr,
+                match k.order {
+                    SortOrder::Asc => "",
+                    SortOrder::Desc => " desc",
+                }
+            )
+        })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+fn bind_keys(keys: &[SortKeyExpr], schema: &Schema) -> Result<Vec<SortKeyExpr>, PlanError> {
+    keys.iter()
+        .map(|k| {
+            Ok(SortKeyExpr {
+                expr: k.expr.bind(schema).map_err(PlanError)?,
+                order: k.order,
+            })
+        })
+        .collect()
+}
+
+fn input_types(schema: &Schema) -> Vec<DataType> {
+    schema.fields().iter().map(|f| f.dtype).collect()
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(plan: &Plan, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            writeln!(f, "{:indent$}{}", "", plan.label(), indent = depth * 2)?;
+            for c in plan.children() {
+                go(c, f, depth + 1)?;
+            }
+            Ok(())
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::scan;
+    use rdb_storage::TableBuilder;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([
+            ("l_qty", DataType::Int),
+            ("l_price", DataType::Float),
+            ("l_date", DataType::Date),
+        ]);
+        let mut b = TableBuilder::new("lineitem", schema, 1);
+        b.push_row(vec![Value::Int(1), Value::Float(10.0), Value::Date(0)]);
+        cat.register(b.finish());
+        let schema = Schema::from_pairs([("o_id", DataType::Int), ("o_flag", DataType::Str)]);
+        let mut b = TableBuilder::new("orders", schema, 1);
+        b.push_row(vec![Value::Int(1), Value::str("F")]);
+        cat.register(b.finish());
+        cat
+    }
+
+    #[test]
+    fn scan_schema_projects() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_price", "l_qty"]);
+        let s = p.schema(&cat).unwrap();
+        assert_eq!(s.names(), vec!["l_price", "l_qty"]);
+        assert!(scan("nope", &["x"]).schema(&cat).is_err());
+    }
+
+    #[test]
+    fn bind_produces_positional_plan() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_qty", "l_price"])
+            .select(Expr::name("l_qty").gt(Expr::lit(3)))
+            .project(vec![(Expr::name("l_price").mul(Expr::lit(2.0)), "double")]);
+        assert!(p.has_named());
+        let bound = p.bind(&cat).unwrap();
+        assert!(!bound.has_named());
+        let s = bound.schema(&cat).unwrap();
+        assert_eq!(s.names(), vec!["double"]);
+        assert_eq!(s.field(0).dtype, DataType::Float);
+    }
+
+    #[test]
+    fn bind_reports_unknown_names() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_qty"]).select(Expr::name("bogus").gt(Expr::lit(3)));
+        let err = p.bind(&cat).unwrap_err();
+        assert!(err.0.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_qty", "l_price", "l_date"]).aggregate(
+            vec![(Expr::name("l_date").year(), "y")],
+            vec![
+                (AggFunc::Sum(Expr::name("l_qty")), "sq"),
+                (AggFunc::Avg(Expr::name("l_price")), "ap"),
+                (AggFunc::CountStar, "n"),
+            ],
+        );
+        let s = p.schema(&cat).unwrap();
+        assert_eq!(s.names(), vec!["y", "sq", "ap", "n"]);
+        assert_eq!(s.field(0).dtype, DataType::Int);
+        assert_eq!(s.field(1).dtype, DataType::Int);
+        assert_eq!(s.field(2).dtype, DataType::Float);
+        let bound = p.bind(&cat).unwrap();
+        assert!(!bound.has_named());
+    }
+
+    #[test]
+    fn join_schema_by_kind() {
+        let cat = catalog();
+        let l = scan("lineitem", &["l_qty"]);
+        let r = scan("orders", &["o_id", "o_flag"]);
+        let inner = l.clone().inner_join(
+            r.clone(),
+            vec![Expr::name("l_qty")],
+            vec![Expr::name("o_id")],
+        );
+        assert_eq!(
+            inner.schema(&cat).unwrap().names(),
+            vec!["l_qty", "o_id", "o_flag"]
+        );
+        let semi = l.clone().join(
+            r.clone(),
+            JoinKind::Semi,
+            vec![Expr::name("l_qty")],
+            vec![Expr::name("o_id")],
+        );
+        assert_eq!(semi.schema(&cat).unwrap().names(), vec!["l_qty"]);
+        let bound = inner.bind(&cat).unwrap();
+        match &bound {
+            Plan::Join { left_keys, right_keys, .. } => {
+                assert_eq!(left_keys[0], Expr::col(0));
+                assert_eq!(right_keys[0], Expr::col(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_schema_checked() {
+        let cat = catalog();
+        let a = scan("lineitem", &["l_qty"]);
+        let b = scan("orders", &["o_id"]);
+        let u = Plan::UnionAll { children: vec![a.clone(), b] };
+        assert!(u.schema(&cat).is_ok());
+        let bad = Plan::UnionAll {
+            children: vec![a, scan("orders", &["o_flag"])],
+        };
+        assert!(bad.schema(&cat).is_err());
+    }
+
+    #[test]
+    fn with_children_rebuilds() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_qty"]).select(Expr::name("l_qty").gt(Expr::lit(0)));
+        let replacement = scan("lineitem", &["l_qty"]).limit(1);
+        let rebuilt = p.with_children(vec![replacement.clone()]);
+        match &rebuilt {
+            Plan::Select { child, .. } => assert_eq!(child.as_ref(), &replacement),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(rebuilt.schema(&cat).is_ok());
+    }
+
+    #[test]
+    fn node_count_and_labels() {
+        let p = scan("lineitem", &["l_qty"])
+            .select(Expr::name("l_qty").gt(Expr::lit(0)))
+            .limit(5);
+        assert_eq!(p.node_count(), 3);
+        assert!(p.label().starts_with("limit"));
+        let rendered = p.to_string();
+        assert!(rendered.contains("scan lineitem"));
+        assert!(rendered.contains("select"));
+    }
+
+    #[test]
+    fn single_join_rejects_keys() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_qty"]).join(
+            scan("orders", &["o_id"]),
+            JoinKind::Single,
+            vec![Expr::name("l_qty")],
+            vec![Expr::name("o_id")],
+        );
+        assert!(p.bind(&cat).is_err());
+    }
+
+    #[test]
+    fn store_and_cached_are_transparent() {
+        let cat = catalog();
+        let p = scan("lineitem", &["l_qty"]).store(7, StoreMode::Materialize);
+        assert_eq!(p.schema(&cat).unwrap().names(), vec!["l_qty"]);
+        let c = Plan::Cached {
+            tag: 7,
+            schema: Schema::from_pairs([("x", DataType::Int)]),
+        };
+        assert_eq!(c.schema(&cat).unwrap().names(), vec!["x"]);
+    }
+}

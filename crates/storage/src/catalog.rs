@@ -1,0 +1,70 @@
+//! The table catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rdb_vector::Schema;
+
+use crate::table::Table;
+
+/// A name → table mapping shared by the planner and the executor.
+///
+/// The catalog is immutable during query processing (the paper leaves update
+/// handling out of scope); it is `Send + Sync` and shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name. Replaces any previous entry.
+    pub fn register(&mut self, table: Arc<Table>) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&Arc<Table>> {
+        self.tables.get(name)
+    }
+
+    /// Schema of a table, if present.
+    pub fn schema_of(&self, name: &str) -> Option<&Schema> {
+        self.tables.get(name).map(|t| t.schema())
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Total footprint of all tables in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use rdb_vector::{DataType, Value};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([("x", DataType::Int)]);
+        let mut b = TableBuilder::new("t1", schema, 1);
+        b.push_row(vec![Value::Int(1)]);
+        cat.register(b.finish());
+        assert!(cat.get("t1").is_some());
+        assert!(cat.get("t2").is_none());
+        assert_eq!(cat.schema_of("t1").unwrap().names(), vec!["x"]);
+        assert_eq!(cat.table_names(), vec!["t1"]);
+        assert!(cat.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,13 @@
+//! In-memory columnar storage: tables and the catalog.
+//!
+//! Base tables are fully resident columnar arrays (the paper's evaluation
+//! uses warm runs with the working set in the buffer pool, so an in-memory
+//! store preserves the relevant behaviour). Tables are immutable once
+//! loaded; the recycler paper leaves update handling out of scope (§II) and
+//! so do we, apart from explicit cache flushes.
+
+pub mod catalog;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use table::{Table, TableBuilder};

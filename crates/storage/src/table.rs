@@ -1,0 +1,188 @@
+//! Columnar tables.
+
+use std::sync::Arc;
+
+use rdb_vector::column::{Column, ColumnBuilder};
+use rdb_vector::{Batch, Schema, Value, BATCH_CAPACITY};
+
+/// An immutable, fully in-memory columnar table.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table from full-length columns matching `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        let rows = columns.first().map_or(0, |c| c.len());
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            assert_eq!(c.len(), rows, "column '{}' length mismatch", f.name);
+            assert_eq!(
+                c.data_type(),
+                f.dtype,
+                "column '{}' type mismatch",
+                f.name
+            );
+        }
+        Table { name: name.into(), schema, columns, rows }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Full column by position.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Full column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.schema.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.size_bytes()).sum()
+    }
+
+    /// One scan batch: rows `[offset, offset+len)` of the columns at
+    /// positions `projection`.
+    pub fn scan_batch(&self, projection: &[usize], offset: usize, len: usize) -> Batch {
+        let len = len.min(self.rows.saturating_sub(offset));
+        Batch::new(
+            projection
+                .iter()
+                .map(|&i| self.columns[i].slice(offset, len))
+                .collect(),
+        )
+    }
+
+    /// Iterate the whole table as batches of at most [`BATCH_CAPACITY`] rows
+    /// over the given column positions (test/loader helper; the executor
+    /// drives its own scan cursor).
+    pub fn batches(&self, projection: &[usize]) -> Vec<Batch> {
+        let mut out = Vec::with_capacity(self.rows / BATCH_CAPACITY + 1);
+        let mut offset = 0;
+        while offset < self.rows {
+            let len = BATCH_CAPACITY.min(self.rows - offset);
+            out.push(self.scan_batch(projection, offset, len));
+            offset += len;
+        }
+        out
+    }
+}
+
+/// Row-oriented builder used by the data generators.
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    builders: Vec<ColumnBuilder>,
+}
+
+impl TableBuilder {
+    /// New builder for `schema`, reserving `capacity` rows per column.
+    pub fn new(name: impl Into<String>, schema: Schema, capacity: usize) -> Self {
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.dtype, capacity))
+            .collect();
+        TableBuilder { name: name.into(), schema, builders }
+    }
+
+    /// Append one row; `values` must match the schema arity and types.
+    pub fn push_row(&mut self, values: Vec<Value>) {
+        assert_eq!(values.len(), self.builders.len(), "row arity mismatch");
+        for (b, v) in self.builders.iter_mut().zip(values) {
+            b.push(v);
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.builders.first().map_or(0, |b| b.len())
+    }
+
+    /// Whether no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finish into an immutable [`Table`].
+    pub fn finish(self) -> Arc<Table> {
+        let columns = self.builders.into_iter().map(|b| b.finish()).collect();
+        Arc::new(Table::new(self.name, self.schema, columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::DataType;
+
+    fn table() -> Arc<Table> {
+        let schema = Schema::from_pairs([("id", DataType::Int), ("name", DataType::Str)]);
+        let mut b = TableBuilder::new("t", schema, 4);
+        for i in 0..4 {
+            b.push_row(vec![Value::Int(i), Value::str(format!("r{i}"))]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let t = table();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.column_by_name("id").unwrap().as_ints(), &[0, 1, 2, 3]);
+        assert!(t.column_by_name("zz").is_none());
+    }
+
+    #[test]
+    fn scan_batch_projects_and_slices() {
+        let t = table();
+        let b = t.scan_batch(&[1], 1, 2);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.row(0), vec![Value::str("r1")]);
+        // Over-long request clamps to table end.
+        let b = t.scan_batch(&[0], 3, 100);
+        assert_eq!(b.rows(), 1);
+    }
+
+    #[test]
+    fn batches_cover_all_rows() {
+        let schema = Schema::from_pairs([("x", DataType::Int)]);
+        let mut bld = TableBuilder::new("big", schema, 3000);
+        for i in 0..3000 {
+            bld.push_row(vec![Value::Int(i)]);
+        }
+        let t = bld.finish();
+        let batches = t.batches(&[0]);
+        assert_eq!(batches.len(), 3); // 1024 + 1024 + 952
+        let total: usize = batches.iter().map(|b| b.rows()).sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn schema_enforced() {
+        let schema = Schema::from_pairs([("x", DataType::Int)]);
+        Table::new("bad", schema, vec![Column::from_strs(["a"])]);
+    }
+}

@@ -1,0 +1,21 @@
+//! TPC-H workload substrate for the recycling experiments (paper §V).
+//!
+//! * [`gen`] — a dbgen-like deterministic data generator for the eight
+//!   TPC-H tables at a configurable scale factor;
+//! * [`queries`] — all 22 TPC-H query patterns as plan builders over the
+//!   recycler-db engine, parameterized exactly like QGEN (each substitution
+//!   parameter drawn from the spec's limited domain — this is what creates
+//!   the cross-stream sharing potential the paper exploits);
+//! * [`streams`] — throughput-run stream generation (permuted pattern
+//!   order, per-stream random parameters) plus the proactive (PA) plan
+//!   variants of Q1, Q16 and Q19 (paper §V: "we simulate their benefit by
+//!   manually altering query plans").
+
+pub mod gen;
+pub mod params;
+pub mod queries;
+pub mod streams;
+
+pub use gen::{generate, TpchConfig};
+pub use queries::build_query;
+pub use streams::{make_streams, StreamOptions};

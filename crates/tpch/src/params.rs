@@ -1,0 +1,247 @@
+//! QGEN-style substitution parameters.
+//!
+//! Each of the 22 query patterns has a small set of valid parameter values
+//! (spec clause 2.4). With many streams it becomes likely that several
+//! queries of the same pattern draw the same value — the source of the
+//! sharing potential the paper measures ("each query pattern only having a
+//! limited number of valid values for each parameter").
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rdb_vector::types::{add_months, date_from_ymd};
+
+use crate::gen::{COLORS, REGIONS, SEGMENTS, SHIP_MODES, TYPE_S1, TYPE_S2, TYPE_S3};
+
+/// Pick one element.
+pub fn pick<'a, T>(rng: &mut SmallRng, xs: &'a [T]) -> &'a T {
+    &xs[rng.gen_range(0..xs.len())]
+}
+
+/// Q1: DELTA ∈ [60, 120] days before 1998-12-01.
+pub fn q1_date(rng: &mut SmallRng) -> i32 {
+    date_from_ymd(1998, 12, 1) - rng.gen_range(60..=120)
+}
+
+/// Q2/Q16-style size ∈ [1, 50].
+pub fn size(rng: &mut SmallRng) -> i64 {
+    rng.gen_range(1..=50)
+}
+
+/// A third type syllable (Q2's TYPE).
+pub fn type_syllable3(rng: &mut SmallRng) -> String {
+    (*pick(rng, &TYPE_S3)).to_string()
+}
+
+/// A full three-syllable type (Q8's TYPE, 150 values).
+pub fn full_type(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, &TYPE_S1),
+        pick(rng, &TYPE_S2),
+        pick(rng, &TYPE_S3)
+    )
+}
+
+/// A two-syllable type prefix (Q16's TYPE, 30 values).
+pub fn type_prefix2(rng: &mut SmallRng) -> String {
+    format!("{} {}", pick(rng, &TYPE_S1), pick(rng, &TYPE_S2))
+}
+
+/// One of the five regions.
+pub fn region(rng: &mut SmallRng) -> String {
+    (*pick(rng, &REGIONS)).to_string()
+}
+
+/// One of the 25 nation names.
+pub fn nation(rng: &mut SmallRng) -> String {
+    (*pick(rng, &crate::gen::NATIONS)).0.to_string()
+}
+
+/// Two distinct nations (Q7).
+pub fn nation_pair(rng: &mut SmallRng) -> (String, String) {
+    let a = rng.gen_range(0..25);
+    let mut b = rng.gen_range(0..24);
+    if b >= a {
+        b += 1;
+    }
+    (
+        crate::gen::NATIONS[a].0.to_string(),
+        crate::gen::NATIONS[b].0.to_string(),
+    )
+}
+
+/// A market segment (Q3).
+pub fn segment(rng: &mut SmallRng) -> String {
+    (*pick(rng, &SEGMENTS)).to_string()
+}
+
+/// Q3: a date in March 1995.
+pub fn q3_date(rng: &mut SmallRng) -> i32 {
+    date_from_ymd(1995, 3, rng.gen_range(1..=31))
+}
+
+/// Q4/Q5-style: the first day of a random month in [1993, 1997].
+pub fn first_of_month(rng: &mut SmallRng) -> i32 {
+    date_from_ymd(rng.gen_range(1993..=1997), rng.gen_range(1..=12), 1)
+}
+
+/// Jan 1 of a year in [1993, 1997] (Q5, Q6, Q12, Q20).
+pub fn year_start(rng: &mut SmallRng) -> i32 {
+    date_from_ymd(rng.gen_range(1993..=1997), 1, 1)
+}
+
+/// Q6: DISCOUNT ∈ {0.02 … 0.09}.
+pub fn discount(rng: &mut SmallRng) -> f64 {
+    rng.gen_range(2..=9) as f64 / 100.0
+}
+
+/// Q6: QUANTITY ∈ {24, 25}.
+pub fn q6_quantity(rng: &mut SmallRng) -> i64 {
+    rng.gen_range(24..=25)
+}
+
+/// A brand `Brand#MN` (25 values; Q16, Q17, Q19).
+pub fn brand(rng: &mut SmallRng) -> String {
+    format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))
+}
+
+/// A color word (Q9, Q20; ~92 values — the paper notes Q9's parameter has
+/// "nearly 100 different values").
+pub fn color(rng: &mut SmallRng) -> String {
+    (*pick(rng, &COLORS)).to_string()
+}
+
+/// Q10: first of a month in [1993-02, 1995-01] (24 values).
+pub fn q10_date(rng: &mut SmallRng) -> i32 {
+    add_months(date_from_ymd(1993, 2, 1), rng.gen_range(0..24))
+}
+
+/// Two distinct ship modes (Q12).
+pub fn ship_mode_pair(rng: &mut SmallRng) -> (String, String) {
+    let a = rng.gen_range(0..SHIP_MODES.len());
+    let mut b = rng.gen_range(0..SHIP_MODES.len() - 1);
+    if b >= a {
+        b += 1;
+    }
+    (SHIP_MODES[a].to_string(), SHIP_MODES[b].to_string())
+}
+
+/// Q13: the word pair of the NOT LIKE pattern (4×4 = 16 values).
+pub fn q13_words(rng: &mut SmallRng) -> (String, String) {
+    let w1 = ["special", "pending", "unusual", "express"];
+    let w2 = ["packages", "requests", "accounts", "deposits"];
+    (
+        (*pick(rng, &w1)).to_string(),
+        (*pick(rng, &w2)).to_string(),
+    )
+}
+
+/// Q14/Q15: first of a month in [1993, 1997].
+pub fn month_in_93_97(rng: &mut SmallRng) -> i32 {
+    first_of_month(rng)
+}
+
+/// Q16: eight distinct sizes in [1, 50].
+pub fn eight_sizes(rng: &mut SmallRng) -> Vec<i64> {
+    let mut out: Vec<i64> = Vec::with_capacity(8);
+    while out.len() < 8 {
+        let s = rng.gen_range(1..=50);
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// A container (Q17, 40 values).
+pub fn container(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}",
+        pick(rng, &crate::gen::CONTAINER_S1),
+        pick(rng, &crate::gen::CONTAINER_S2)
+    )
+}
+
+/// Q18: QUANTITY ∈ [312, 315] — scaled down for small SFs where per-order
+/// totals are smaller; the domain size (4 values) is what matters for
+/// sharing, not the absolute level.
+pub fn q18_quantity(rng: &mut SmallRng) -> i64 {
+    rng.gen_range(160..=163)
+}
+
+/// Q19: the three per-branch quantity lower bounds.
+pub fn q19_quantities(rng: &mut SmallRng) -> (i64, i64, i64) {
+    (
+        rng.gen_range(1..=10),
+        rng.gen_range(10..=20),
+        rng.gen_range(20..=30),
+    )
+}
+
+/// Q22: seven distinct country codes from the 25 valid ones (10..34).
+pub fn seven_codes(rng: &mut SmallRng) -> Vec<String> {
+    let mut out: Vec<i64> = Vec::with_capacity(7);
+    while out.len() < 7 {
+        let c = rng.gen_range(10..35);
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out.into_iter().map(|c| c.to_string()).collect()
+}
+
+/// Q11: FRACTION = 0.0001 / SF.
+pub fn q11_fraction(scale: f64) -> f64 {
+    0.0001 / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn domains_are_bounded() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = q1_date(&mut r);
+            assert!(d >= date_from_ymd(1998, 12, 1) - 120);
+            assert!(d <= date_from_ymd(1998, 12, 1) - 60);
+            assert!((2..=9).contains(&((discount(&mut r) * 100.0).round() as i64)));
+            let (a, b) = nation_pair(&mut r);
+            assert_ne!(a, b);
+            let (m1, m2) = ship_mode_pair(&mut r);
+            assert_ne!(m1, m2);
+            let sizes = eight_sizes(&mut r);
+            assert_eq!(sizes.len(), 8);
+            let mut dedup = sizes.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 8);
+            let codes = seven_codes(&mut r);
+            assert_eq!(codes.len(), 7);
+        }
+    }
+
+    #[test]
+    fn limited_domains_repeat() {
+        // The whole point: with enough draws, parameters collide.
+        let mut r = rng();
+        let vals: Vec<i64> = (0..50).map(|_| q6_quantity(&mut r)).collect();
+        assert!(vals.iter().any(|&v| v == 24) && vals.iter().any(|&v| v == 25));
+        let brands: Vec<String> = (0..100).map(|_| brand(&mut r)).collect();
+        let mut uniq = brands.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() <= 25);
+    }
+
+    #[test]
+    fn fraction_scales() {
+        assert!((q11_fraction(0.1) - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Execution batches: equal-length column sets.
+
+use crate::column::Column;
+use crate::value::Value;
+
+/// A horizontal chunk of a result: a set of equal-length columns.
+///
+/// Batches do not carry a schema; operators know their output schema
+/// statically and batches are positional. This keeps the per-batch overhead
+/// minimal on the vector-at-a-time hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Build a batch from columns; all columns must have identical length.
+    pub fn new(columns: Vec<Column>) -> Self {
+        let rows = columns.first().map_or(0, |c| c.len());
+        for c in &columns {
+            assert_eq!(c.len(), rows, "batch column length mismatch");
+        }
+        Batch { columns, rows }
+    }
+
+    /// An empty batch with zero columns and zero rows (used by operators
+    /// producing a single aggregate row from empty input edge cases).
+    pub fn empty() -> Self {
+        Batch { columns: Vec::new(), rows: 0 }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Consume into the column vector.
+    pub fn into_columns(self) -> Vec<Column> {
+        self.columns
+    }
+
+    /// Gather rows by index across all columns.
+    pub fn take(&self, indices: &[u32]) -> Batch {
+        Batch::new(self.columns.iter().map(|c| c.take(indices)).collect())
+    }
+
+    /// Keep rows where `mask` is true, across all columns.
+    pub fn filter(&self, mask: &[bool]) -> Batch {
+        assert_eq!(mask.len(), self.rows, "filter mask length mismatch");
+        let indices: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// Contiguous sub-range of rows.
+    pub fn slice(&self, offset: usize, len: usize) -> Batch {
+        Batch::new(self.columns.iter().map(|c| c.slice(offset, len)).collect())
+    }
+
+    /// Concatenate batches of identical width and column types.
+    pub fn concat(batches: &[Batch]) -> Batch {
+        assert!(!batches.is_empty(), "concat of zero batches");
+        let width = batches[0].width();
+        let mut cols = Vec::with_capacity(width);
+        for i in 0..width {
+            let parts: Vec<&Column> = batches.iter().map(|b| b.column(i)).collect();
+            cols.push(Column::concat(&parts));
+        }
+        Batch::new(cols)
+    }
+
+    /// Extract one row as scalar values (test/display helper).
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// All rows as scalar value vectors (test helper).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Column::from_ints(vec![1, 2, 3]),
+            Column::from_strs(["a", "b", "c"]),
+        ])
+    }
+
+    #[test]
+    fn dimensions() {
+        let b = batch();
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.width(), 2);
+        assert!(!b.is_empty());
+        assert!(Batch::empty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unequal_columns_rejected() {
+        Batch::new(vec![
+            Column::from_ints(vec![1]),
+            Column::from_ints(vec![1, 2]),
+        ]);
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let b = batch();
+        let t = b.take(&[2, 0]);
+        assert_eq!(t.row(0), vec![Value::Int(3), Value::str("c")]);
+        let f = b.filter(&[false, true, false]);
+        assert_eq!(f.rows(), 1);
+        assert_eq!(f.row(0), vec![Value::Int(2), Value::str("b")]);
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let b = batch();
+        let s1 = b.slice(0, 1);
+        let s2 = b.slice(1, 2);
+        let c = Batch::concat(&[s1, s2]);
+        assert_eq!(c.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let b = batch();
+        assert_eq!(
+            b.size_bytes(),
+            b.column(0).size_bytes() + b.column(1).size_bytes()
+        );
+    }
+}

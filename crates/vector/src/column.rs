@@ -1,0 +1,534 @@
+//! Typed column vectors with optional validity masks.
+//!
+//! A [`Column`] is the unit of vectorized processing: a contiguous, typed
+//! array of values plus an optional boolean validity mask (absent mask means
+//! "all rows valid"). Operators transform whole columns at a time; per-row
+//! [`Value`] extraction exists for tests, key encoding, and result display.
+
+use std::sync::Arc;
+
+use crate::types::DataType;
+use crate::value::Value;
+
+/// The typed storage of a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Booleans (filter results, flags).
+    Bool(Vec<bool>),
+    /// 64-bit integers (keys, quantities, counts).
+    Int(Vec<i64>),
+    /// 64-bit floats (prices, rates).
+    Float(Vec<f64>),
+    /// UTF-8 strings; `Arc<str>` so gathers and copies are cheap.
+    Str(Vec<Arc<str>>),
+    /// Dates as days since 1970-01-01.
+    Date(Vec<i32>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The data type of this storage.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Date(_) => DataType::Date,
+        }
+    }
+}
+
+/// A typed column with an optional validity mask.
+///
+/// `validity == None` means every row is valid; otherwise `validity[i]`
+/// indicates whether row `i` holds a real value (`false` = SQL NULL). The
+/// payload slot of an invalid row contains an arbitrary default and must not
+/// be interpreted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Wrap storage with no NULLs.
+    pub fn new(data: ColumnData) -> Self {
+        Column { data, validity: None }
+    }
+
+    /// Wrap storage with a validity mask. The mask is dropped if it is all
+    /// `true`, keeping the "no mask = all valid" invariant canonical.
+    pub fn with_validity(data: ColumnData, validity: Vec<bool>) -> Self {
+        assert_eq!(data.len(), validity.len(), "validity length mismatch");
+        if validity.iter().all(|&v| v) {
+            Column { data, validity: None }
+        } else {
+            Column { data, validity: Some(validity) }
+        }
+    }
+
+    /// Column of `i64` values, no NULLs.
+    pub fn from_ints(v: Vec<i64>) -> Self {
+        Column::new(ColumnData::Int(v))
+    }
+
+    /// Column of `f64` values, no NULLs.
+    pub fn from_floats(v: Vec<f64>) -> Self {
+        Column::new(ColumnData::Float(v))
+    }
+
+    /// Column of booleans, no NULLs.
+    pub fn from_bools(v: Vec<bool>) -> Self {
+        Column::new(ColumnData::Bool(v))
+    }
+
+    /// Column of strings, no NULLs.
+    pub fn from_strs<S: AsRef<str>>(v: impl IntoIterator<Item = S>) -> Self {
+        Column::new(ColumnData::Str(
+            v.into_iter().map(|s| Arc::from(s.as_ref())).collect(),
+        ))
+    }
+
+    /// Column of dates (days since epoch), no NULLs.
+    pub fn from_dates(v: Vec<i32>) -> Self {
+        Column::new(ColumnData::Date(v))
+    }
+
+    /// Build a column of the given type from scalar values (may contain
+    /// `Value::Null`). Panics on a type mismatch.
+    pub fn from_values(dtype: DataType, values: &[Value]) -> Self {
+        let mut b = ColumnBuilder::new(dtype, values.len());
+        for v in values {
+            b.push(v.clone());
+        }
+        b.finish()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The data type.
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    /// Borrow the typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Borrow the validity mask if one is present.
+    pub fn validity(&self) -> Option<&[bool]> {
+        self.validity.as_deref()
+    }
+
+    /// Whether row `i` is valid (not NULL).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |m| m[i])
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.validity
+            .as_ref()
+            .map_or(0, |m| m.iter().filter(|&&v| !v).count())
+    }
+
+    /// Extract row `i` as a scalar [`Value`] (NULL-aware). For tests and
+    /// display paths only; not used in the vectorized hot loop.
+    pub fn get(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+        }
+    }
+
+    /// Gather rows by index: `out[k] = self[indices[k]]`.
+    pub fn take(&self, indices: &[u32]) -> Column {
+        let data = match &self.data {
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Int(v) => {
+                ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            ColumnData::Date(v) => {
+                ColumnData::Date(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+        };
+        match &self.validity {
+            None => Column::new(data),
+            Some(m) => Column::with_validity(
+                data,
+                indices.iter().map(|&i| m[i as usize]).collect(),
+            ),
+        }
+    }
+
+    /// Keep only rows where `mask[i]` is true. `mask.len()` must equal
+    /// `self.len()`.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        assert_eq!(mask.len(), self.len(), "filter mask length mismatch");
+        let indices: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u32))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// Contiguous sub-range `[offset, offset+len)` as a new column.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        fn sl<T: Clone>(v: &[T], o: usize, l: usize) -> Vec<T> {
+            v[o..o + l].to_vec()
+        }
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(sl(v, offset, len)),
+            ColumnData::Int(v) => ColumnData::Int(sl(v, offset, len)),
+            ColumnData::Float(v) => ColumnData::Float(sl(v, offset, len)),
+            ColumnData::Str(v) => ColumnData::Str(sl(v, offset, len)),
+            ColumnData::Date(v) => ColumnData::Date(sl(v, offset, len)),
+        };
+        match &self.validity {
+            None => Column::new(data),
+            Some(m) => Column::with_validity(data, sl(m, offset, len)),
+        }
+    }
+
+    /// Concatenate columns of identical type into one. Panics if `cols` is
+    /// empty or types differ.
+    pub fn concat(cols: &[&Column]) -> Column {
+        assert!(!cols.is_empty(), "concat of zero columns");
+        let dtype = cols[0].data_type();
+        let total: usize = cols.iter().map(|c| c.len()).sum();
+        let mut b = ColumnBuilder::new(dtype, total);
+        for c in cols {
+            assert_eq!(c.data_type(), dtype, "concat type mismatch");
+            b.append_column(c);
+        }
+        b.finish()
+    }
+
+    /// Approximate in-memory footprint in bytes (used for recycler cache
+    /// accounting: fixed-width payload + string heap + validity mask).
+    pub fn size_bytes(&self) -> usize {
+        let payload = match &self.data {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Str(v) => v.iter().map(|s| 16 + s.len()).sum(),
+            ColumnData::Date(v) => v.len() * 4,
+        };
+        payload + self.validity.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// Borrow as `&[i64]`, panicking if not an int column with no NULLs
+    /// consulted. (NULL payload slots hold defaults; callers that accept
+    /// NULLs must check the mask separately.)
+    pub fn as_ints(&self) -> &[i64] {
+        match &self.data {
+            ColumnData::Int(v) => v,
+            other => panic!("expected int column, got {}", other.data_type()),
+        }
+    }
+
+    /// Borrow as `&[f64]`.
+    pub fn as_floats(&self) -> &[f64] {
+        match &self.data {
+            ColumnData::Float(v) => v,
+            other => panic!("expected float column, got {}", other.data_type()),
+        }
+    }
+
+    /// Borrow as `&[bool]`.
+    pub fn as_bools(&self) -> &[bool] {
+        match &self.data {
+            ColumnData::Bool(v) => v,
+            other => panic!("expected bool column, got {}", other.data_type()),
+        }
+    }
+
+    /// Borrow as `&[Arc<str>]`.
+    pub fn as_strs(&self) -> &[Arc<str>] {
+        match &self.data {
+            ColumnData::Str(v) => v,
+            other => panic!("expected str column, got {}", other.data_type()),
+        }
+    }
+
+    /// Borrow as `&[i32]` date days.
+    pub fn as_dates(&self) -> &[i32] {
+        match &self.data {
+            ColumnData::Date(v) => v,
+            other => panic!("expected date column, got {}", other.data_type()),
+        }
+    }
+
+    /// All rows as scalar values (test/display helper).
+    pub fn to_values(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Incremental builder for a [`Column`] of a fixed type.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    dtype: DataType,
+    bools: Vec<bool>,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    strs: Vec<Arc<str>>,
+    dates: Vec<i32>,
+    validity: Vec<bool>,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    /// New builder for `dtype`, reserving `capacity` rows.
+    pub fn new(dtype: DataType, capacity: usize) -> Self {
+        let mut b = ColumnBuilder {
+            dtype,
+            bools: Vec::new(),
+            ints: Vec::new(),
+            floats: Vec::new(),
+            strs: Vec::new(),
+            dates: Vec::new(),
+            validity: Vec::with_capacity(capacity),
+            has_null: false,
+        };
+        match dtype {
+            DataType::Bool => b.bools.reserve(capacity),
+            DataType::Int => b.ints.reserve(capacity),
+            DataType::Float => b.floats.reserve(capacity),
+            DataType::Str => b.strs.reserve(capacity),
+            DataType::Date => b.dates.reserve(capacity),
+        }
+        b
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> usize {
+        self.validity.len()
+    }
+
+    /// Whether no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.validity.is_empty()
+    }
+
+    /// Append one scalar. `Value::Null` appends a NULL; floats accept int
+    /// values (promoted). Panics on other type mismatches.
+    pub fn push(&mut self, v: Value) {
+        if v.is_null() {
+            self.push_null();
+            return;
+        }
+        self.validity.push(true);
+        match (self.dtype, v) {
+            (DataType::Bool, Value::Bool(x)) => self.bools.push(x),
+            (DataType::Int, Value::Int(x)) => self.ints.push(x),
+            (DataType::Float, Value::Float(x)) => self.floats.push(x),
+            (DataType::Float, Value::Int(x)) => self.floats.push(x as f64),
+            (DataType::Str, Value::Str(x)) => self.strs.push(x),
+            (DataType::Date, Value::Date(x)) => self.dates.push(x),
+            (dt, v) => panic!("type mismatch pushing {v:?} into {dt} builder"),
+        }
+    }
+
+    /// Append a NULL row.
+    pub fn push_null(&mut self) {
+        self.has_null = true;
+        self.validity.push(false);
+        match self.dtype {
+            DataType::Bool => self.bools.push(false),
+            DataType::Int => self.ints.push(0),
+            DataType::Float => self.floats.push(0.0),
+            DataType::Str => self.strs.push(Arc::from("")),
+            DataType::Date => self.dates.push(0),
+        }
+    }
+
+    /// Append every row of `col` (must have the same type).
+    pub fn append_column(&mut self, col: &Column) {
+        assert_eq!(col.data_type(), self.dtype, "append type mismatch");
+        match (&mut self.dtype, col.data()) {
+            (DataType::Bool, ColumnData::Bool(v)) => self.bools.extend_from_slice(v),
+            (DataType::Int, ColumnData::Int(v)) => self.ints.extend_from_slice(v),
+            (DataType::Float, ColumnData::Float(v)) => self.floats.extend_from_slice(v),
+            (DataType::Str, ColumnData::Str(v)) => self.strs.extend_from_slice(v),
+            (DataType::Date, ColumnData::Date(v)) => self.dates.extend_from_slice(v),
+            _ => unreachable!(),
+        }
+        match col.validity() {
+            None => self.validity.extend(std::iter::repeat(true).take(col.len())),
+            Some(m) => {
+                self.has_null = true;
+                self.validity.extend_from_slice(m);
+            }
+        }
+    }
+
+    /// Finish into a [`Column`].
+    pub fn finish(self) -> Column {
+        let data = match self.dtype {
+            DataType::Bool => ColumnData::Bool(self.bools),
+            DataType::Int => ColumnData::Int(self.ints),
+            DataType::Float => ColumnData::Float(self.floats),
+            DataType::Str => ColumnData::Str(self.strs),
+            DataType::Date => ColumnData::Date(self.dates),
+        };
+        if self.has_null {
+            Column::with_validity(data, self.validity)
+        } else {
+            Column::new(data)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_get() {
+        let c = Column::from_ints(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), Value::Int(2));
+        assert_eq!(c.data_type(), DataType::Int);
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn builder_with_nulls() {
+        let mut b = ColumnBuilder::new(DataType::Float, 4);
+        b.push(Value::Float(1.5));
+        b.push_null();
+        b.push(Value::Int(2)); // int promoted into float builder
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Value::Float(1.5));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn all_valid_mask_is_dropped() {
+        let c = Column::with_validity(ColumnData::Int(vec![1, 2]), vec![true, true]);
+        assert!(c.validity().is_none());
+    }
+
+    #[test]
+    fn take_gathers_values_and_validity() {
+        let mut b = ColumnBuilder::new(DataType::Str, 3);
+        b.push(Value::str("a"));
+        b.push_null();
+        b.push(Value::str("c"));
+        let c = b.finish();
+        let t = c.take(&[2, 0, 1, 2]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0), Value::str("c"));
+        assert_eq!(t.get(1), Value::str("a"));
+        assert_eq!(t.get(2), Value::Null);
+        assert_eq!(t.get(3), Value::str("c"));
+    }
+
+    #[test]
+    fn filter_keeps_masked_rows() {
+        let c = Column::from_ints(vec![10, 20, 30, 40]);
+        let f = c.filter(&[true, false, false, true]);
+        assert_eq!(f.to_values(), vec![Value::Int(10), Value::Int(40)]);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let c = Column::from_dates(vec![1, 2, 3, 4, 5]);
+        let s = c.slice(1, 3);
+        assert_eq!(s.as_dates(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn concat_joins_columns() {
+        let a = Column::from_ints(vec![1, 2]);
+        let b = Column::from_ints(vec![3]);
+        let c = Column::concat(&[&a, &b]);
+        assert_eq!(c.as_ints(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn concat_preserves_nulls() {
+        let a = Column::from_ints(vec![1]);
+        let mut bb = ColumnBuilder::new(DataType::Int, 1);
+        bb.push_null();
+        let b = bb.finish();
+        let c = Column::concat(&[&a, &b]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(1), Value::Null);
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_strings() {
+        let c = Column::from_strs(["ab", "cdef"]);
+        // 2 * 16 bytes Arc overhead + 2 + 4 payload
+        assert_eq!(c.size_bytes(), 38);
+        let i = Column::from_ints(vec![0; 10]);
+        assert_eq!(i.size_bytes(), 80);
+    }
+
+    #[test]
+    fn from_values_roundtrip() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        let c = Column::from_values(DataType::Int, &vals);
+        assert_eq!(c.to_values(), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn builder_rejects_wrong_type() {
+        let mut b = ColumnBuilder::new(DataType::Int, 1);
+        b.push(Value::str("oops"));
+    }
+
+    #[test]
+    fn bool_column_access() {
+        let c = Column::from_bools(vec![true, false]);
+        assert_eq!(c.as_bools(), &[true, false]);
+        assert_eq!(c.get(1), Value::Bool(false));
+    }
+}

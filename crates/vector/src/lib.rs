@@ -1,0 +1,35 @@
+//! Columnar vector data model for the recycler-db engine.
+//!
+//! This crate is the lowest layer of the workspace: it defines the data
+//! representation that flows through the pipelined executor in
+//! vector-at-a-time fashion (the execution paradigm of Vectorwise, the system
+//! the recycling paper integrates with).
+//!
+//! * [`DataType`] / [`Value`] — the scalar type system (bool, int, float,
+//!   string, date) with an explicit `Null`.
+//! * [`Column`] — a typed column of values with an optional validity mask.
+//! * [`Batch`] — a horizontal slice of a result: a set of equal-length
+//!   columns, at most [`BATCH_CAPACITY`] rows.
+//! * [`Schema`] / [`Field`] — named, typed column metadata.
+//! * [`row`] — row-wise helpers: composite key encoding for hash
+//!   joins/aggregations and multi-column comparators for sort/top-N.
+
+pub mod batch;
+pub mod column;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use batch::Batch;
+pub use column::{Column, ColumnBuilder, ColumnData};
+pub use row::{encode_row_key, RowCmp, SortOrder};
+pub use schema::{Field, Schema};
+pub use types::{date_from_ymd, ymd_from_date, DataType};
+pub use value::Value;
+
+/// Maximum number of rows in one execution batch.
+///
+/// Vectorwise-style engines use vector sizes around 1K so that a full set of
+/// operator-local vectors fits in the CPU cache.
+pub const BATCH_CAPACITY: usize = 1024;

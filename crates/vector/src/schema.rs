@@ -1,0 +1,159 @@
+//! Named, typed column metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::types::DataType;
+
+/// One column's name and type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name as visible to plan builders.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of fields describing a batch or table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Schema from a list of fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, DataType)>) -> Self {
+        Schema {
+            fields: pairs
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Position of the column named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Type of the column named `name`, if present.
+    pub fn type_of(&self, name: &str) -> Option<DataType> {
+        self.index_of(name).map(|i| self.fields[i].dtype)
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema containing the named columns in the given order.
+    /// Returns `None` if any name is missing.
+    pub fn project(&self, names: &[&str]) -> Option<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            fields.push(self.fields[self.index_of(n)?].clone());
+        }
+        Some(Schema { fields })
+    }
+
+    /// Concatenate two schemas (join output: left columns then right).
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(right.fields.iter().cloned());
+        Schema { fields }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", fld.name, fld.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Shared schema handle used across operators.
+pub type SchemaRef = Arc<Schema>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Schema {
+        Schema::from_pairs([
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let sch = s();
+        assert_eq!(sch.index_of("b"), Some(1));
+        assert_eq!(sch.index_of("zz"), None);
+        assert_eq!(sch.type_of("c"), Some(DataType::Float));
+        assert_eq!(sch.len(), 3);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let sch = s();
+        let p = sch.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(sch.project(&["missing"]).is_none());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let l = Schema::from_pairs([("x", DataType::Int)]);
+        let r = Schema::from_pairs([("y", DataType::Date)]);
+        let j = l.join(&r);
+        assert_eq!(j.names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            Schema::from_pairs([("a", DataType::Int)]).to_string(),
+            "(a: int)"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Scalar data types and calendar date helpers.
+//!
+//! Dates are stored as `i32` days since the Unix epoch (1970-01-01), which is
+//! the common columnar encoding (Arrow's `Date32`). The helpers here convert
+//! between that representation and `(year, month, day)` triples using the
+//! civil-calendar algorithms of Howard Hinnant; they are exact over the whole
+//! `i32` range and allocation-free.
+
+use std::fmt;
+
+/// The scalar type of a [`crate::Column`] or [`crate::Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Calendar date: days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// Short lowercase name, used in plan displays and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Date => "date",
+        }
+    }
+
+    /// Whether the type is numeric (int or float).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Fixed-width in-memory footprint of one value of this type, in bytes.
+    ///
+    /// For strings this returns the pointer-side footprint only; the heap
+    /// payload is accounted for separately by [`crate::Column::size_bytes`].
+    pub fn fixed_width(self) -> usize {
+        match self {
+            DataType::Bool => 1,
+            DataType::Int => 8,
+            DataType::Float => 8,
+            DataType::Str => 16,
+            DataType::Date => 4,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convert a `(year, month, day)` civil date to days since 1970-01-01.
+///
+/// `month` is 1-based (1..=12), `day` is 1-based. Invalid days (e.g. Feb 30)
+/// are accepted and normalised arithmetically, mirroring the permissiveness
+/// of the underlying algorithm; workload generators only produce valid dates.
+pub fn date_from_ymd(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let m = month as i64;
+    let d = day as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Convert days since 1970-01-01 back to a `(year, month, day)` triple.
+pub fn ymd_from_date(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+/// Extract the calendar year of a date stored as days since epoch.
+pub fn year_of_date(days: i32) -> i32 {
+    ymd_from_date(days).0
+}
+
+/// Extract the calendar month (1..=12) of a date stored as days since epoch.
+pub fn month_of_date(days: i32) -> u32 {
+    ymd_from_date(days).1
+}
+
+/// Format a day-count date as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = ymd_from_date(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Add `months` calendar months to a date, clamping the day-of-month to the
+/// target month's length (SQL `date + interval 'n' month` semantics).
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = ymd_from_date(days);
+    let total = y * 12 + (m as i32 - 1) + months;
+    let ny = total.div_euclid(12);
+    let nm = total.rem_euclid(12) as u32 + 1;
+    let max_day = days_in_month(ny, nm);
+    date_from_ymd(ny, nm, d.min(max_day))
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(date_from_ymd(1970, 1, 1), 0);
+        assert_eq!(ymd_from_date(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        // A few fixed points checked against an external calendar.
+        assert_eq!(date_from_ymd(1998, 3, 1), 10286);
+        assert_eq!(date_from_ymd(1992, 1, 1), 8035);
+        assert_eq!(date_from_ymd(2000, 2, 29), 11016);
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1969, 12, 31),
+            (1992, 2, 29),
+            (1998, 12, 31),
+            (2026, 6, 10),
+            (1900, 3, 1),
+            (2100, 2, 28),
+        ] {
+            let days = date_from_ymd(y, m, d);
+            assert_eq!(ymd_from_date(days), (y, m, d), "roundtrip {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn sequential_days_are_sequential() {
+        let mut prev = date_from_ymd(1991, 12, 25);
+        for _ in 0..4000 {
+            let (y, m, d) = ymd_from_date(prev + 1);
+            assert_eq!(date_from_ymd(y, m, d), prev + 1);
+            prev += 1;
+        }
+    }
+
+    #[test]
+    fn year_month_extraction() {
+        let d = date_from_ymd(1995, 9, 17);
+        assert_eq!(year_of_date(d), 1995);
+        assert_eq!(month_of_date(d), 9);
+    }
+
+    #[test]
+    fn add_months_clamps_day() {
+        let jan31 = date_from_ymd(1993, 1, 31);
+        assert_eq!(ymd_from_date(add_months(jan31, 1)), (1993, 2, 28));
+        let mar1 = date_from_ymd(1993, 3, 1);
+        assert_eq!(ymd_from_date(add_months(mar1, 3)), (1993, 6, 1));
+        assert_eq!(ymd_from_date(add_months(mar1, -3)), (1992, 12, 1));
+        assert_eq!(ymd_from_date(add_months(mar1, 12)), (1994, 3, 1));
+    }
+
+    #[test]
+    fn format_date_pads() {
+        assert_eq!(format_date(date_from_ymd(1995, 3, 5)), "1995-03-05");
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1995, 2), 28);
+    }
+
+    #[test]
+    fn type_names_and_widths() {
+        assert_eq!(DataType::Int.name(), "int");
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert_eq!(DataType::Date.fixed_width(), 4);
+    }
+}

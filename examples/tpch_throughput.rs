@@ -1,0 +1,66 @@
+//! TPC-H throughput runs in the paper's four modes (OFF / HIST / SPEC /
+//! PA) — a small-scale version of Figure 7.
+//!
+//! Run with `cargo run --release --example tpch_throughput`.
+
+use recycler_db::engine::{Engine, EngineConfig};
+use recycler_db::recycler::{RecyclerConfig, RecyclerMode};
+use recycler_db::tpch::{generate, make_streams, StreamOptions, TpchConfig};
+
+fn main() {
+    let sf = 0.01;
+    let streams = 8;
+    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
+    println!(
+        "TPC-H SF {sf}: lineitem {} rows, {streams} streams x 22 queries",
+        catalog.get("lineitem").unwrap().rows()
+    );
+    println!("\n{:>6} {:>14} {:>12} {:>10} {:>8}", "mode", "avg ms/stream", "vs OFF", "reuses", "stores");
+
+    let mut off_time = 0.0;
+    for mode in ["OFF", "HIST", "SPEC", "PA"] {
+        let opts = if mode == "PA" {
+            StreamOptions::new(streams, sf).proactive()
+        } else {
+            StreamOptions::new(streams, sf)
+        };
+        let workload = make_streams(&catalog, &opts);
+        let config = match mode {
+            "OFF" => EngineConfig::off(),
+            other => {
+                let mut c = RecyclerConfig::speculative(256 * 1024 * 1024);
+                c.spec_min_progress = 0.0;
+                if other == "HIST" {
+                    c.mode = RecyclerMode::History;
+                }
+                EngineConfig::with_recycler(c)
+            }
+        };
+        let engine = Engine::new(catalog.clone(), config);
+        let report = engine.run_streams(&workload);
+        let avg = report.avg_stream_time().as_secs_f64() * 1e3;
+        if mode == "OFF" {
+            off_time = avg;
+        }
+        let (reuses, stores) = engine
+            .recycler()
+            .map(|r| {
+                (
+                    r.stats.reuses.load(std::sync::atomic::Ordering::Relaxed),
+                    r.stats
+                        .materializations
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                )
+            })
+            .unwrap_or((0, 0));
+        println!(
+            "{:>6} {:>14.1} {:>11.1}% {:>10} {:>8}",
+            mode,
+            avg,
+            100.0 * (1.0 - avg / off_time),
+            reuses,
+            stores
+        );
+    }
+    println!("\n(The improvement grows with the stream count; see the fig7 bench.)");
+}

@@ -1,0 +1,66 @@
+//! # recycler-db
+//!
+//! A vectorized, pipelined query engine with an **intermediate-result
+//! recycler** — a full reproduction of *"Recycling in Pipelined Query
+//! Evaluation"* (Nagel, Boncz, Viglas; ICDE 2013).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`vector`] — columnar batches, values, schemas;
+//! * [`expr`] — vectorized expressions and range analysis;
+//! * [`storage`] — in-memory tables and the catalog;
+//! * [`plan`] — logical query trees with structural fingerprints;
+//! * [`exec`] — the pipelined vector-at-a-time executor (incl. the `store`
+//!   operator and progress meters);
+//! * [`recycler`] — the paper's contribution: recycler graph, benefit
+//!   metric, recycler cache, subsumption, speculation, proactive rewrites;
+//! * [`engine`] — the engine façade plus the MonetDB-style
+//!   operator-at-a-time baseline;
+//! * [`tpch`] / [`skyserver`] — the paper's two workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use recycler_db::engine::{Engine, EngineConfig};
+//! use recycler_db::expr::{AggFunc, Expr};
+//! use recycler_db::plan::scan;
+//! use recycler_db::storage::TableBuilder;
+//! use recycler_db::vector::{DataType, Schema, Value};
+//! use std::sync::Arc;
+//!
+//! // Load a table.
+//! let mut catalog = recycler_db::storage::Catalog::new();
+//! let mut t = TableBuilder::new(
+//!     "sales",
+//!     Schema::from_pairs([("item", DataType::Int), ("amount", DataType::Float)]),
+//!     4,
+//! );
+//! for (i, a) in [(1, 10.0), (1, 20.0), (2, 5.0), (2, 2.5)] {
+//!     t.push_row(vec![Value::Int(i), Value::Float(a)]);
+//! }
+//! catalog.register(t.finish());
+//!
+//! // An engine with recycling on.
+//! let engine = Engine::new(Arc::new(catalog), EngineConfig::default());
+//!
+//! // Run the same aggregation twice: the second run reuses the cached
+//! // result.
+//! let q = scan("sales", &["item", "amount"]).aggregate(
+//!     vec![(Expr::name("item"), "item")],
+//!     vec![(AggFunc::Sum(Expr::name("amount")), "total")],
+//! );
+//! let first = engine.run(&q).unwrap();
+//! let second = engine.run(&q).unwrap();
+//! assert_eq!(first.batch.to_rows(), second.batch.to_rows());
+//! assert!(second.reused());
+//! ```
+
+pub use rdb_engine as engine;
+pub use rdb_exec as exec;
+pub use rdb_expr as expr;
+pub use rdb_plan as plan;
+pub use rdb_recycler as recycler;
+pub use rdb_skyserver as skyserver;
+pub use rdb_storage as storage;
+pub use rdb_tpch as tpch;
+pub use rdb_vector as vector;
