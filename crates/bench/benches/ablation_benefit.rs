@@ -10,13 +10,13 @@
 use std::time::Duration;
 
 use rdb_bench::{banner, ms, scale_factor};
-use rdb_engine::{Engine, EngineConfig};
+use rdb_engine::Engine;
 use rdb_recycler::RecyclerConfig;
 use rdb_tpch::{generate, make_streams, StreamOptions, TpchConfig};
 
 fn run(catalog: &std::sync::Arc<rdb_storage::Catalog>, sf: f64, cfg: RecyclerConfig) -> Duration {
     let streams = make_streams(catalog, &StreamOptions::new(16, sf));
-    let engine = Engine::new(catalog.clone(), EngineConfig::with_recycler(cfg));
+    let engine = Engine::builder(catalog.clone()).recycler(cfg).build();
     engine.run_streams(&streams).avg_stream_time()
 }
 
@@ -29,7 +29,10 @@ fn base(cache: u64) -> RecyclerConfig {
 fn main() {
     banner("Ablation: recycler design choices (16-stream TPC-H, avg ms/stream)");
     let sf = scale_factor();
-    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
+    let catalog = generate(&TpchConfig {
+        scale: sf,
+        seed: 2013,
+    });
     let cache: u64 = 256 * 1024 * 1024;
 
     let full = run(&catalog, sf, base(cache));
@@ -38,7 +41,11 @@ fn main() {
 
     let mut no_sub = base(cache);
     no_sub.enable_subsumption = false;
-    println!("{:<34} {:>10}", "no subsumption", ms(run(&catalog, sf, no_sub)));
+    println!(
+        "{:<34} {:>10}",
+        "no subsumption",
+        ms(run(&catalog, sf, no_sub))
+    );
 
     let mut high_thresh = base(cache);
     high_thresh.min_refs_to_store = 4.0;

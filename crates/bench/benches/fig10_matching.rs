@@ -8,7 +8,7 @@
 //! times (0.3–11.3 s there).
 
 use rdb_bench::{banner, max_streams, scale_factor};
-use rdb_engine::{Engine, EngineConfig};
+use rdb_engine::Engine;
 use rdb_recycler::RecyclerConfig;
 use rdb_tpch::{generate, make_streams, StreamOptions, TpchConfig};
 
@@ -16,11 +16,14 @@ fn main() {
     banner("Figure 10: matching cost vs. query number");
     let sf = scale_factor();
     let n = 256usize.min(max_streams());
-    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
+    let catalog = generate(&TpchConfig {
+        scale: sf,
+        seed: 2013,
+    });
     let streams = make_streams(&catalog, &StreamOptions::new(n, sf));
     let mut config = RecyclerConfig::speculative(512 * 1024 * 1024);
     config.spec_min_progress = 0.0;
-    let engine = Engine::new(catalog, EngineConfig::with_recycler(config));
+    let engine = Engine::builder(catalog).recycler(config).build();
     let report = engine.run_streams(&streams);
 
     // Records in global submission order approximate the paper's x-axis.
@@ -32,9 +35,7 @@ fn main() {
     println!("{:>16} {:>10} {:>10}", "window", "avg", "max");
     let window = (total / 8).max(1);
     for (w, chunk) in by_time.chunks(window).enumerate() {
-        let avg = chunk.iter().map(|r| r.match_ns).sum::<u64>() as f64
-            / chunk.len() as f64
-            / 1e3;
+        let avg = chunk.iter().map(|r| r.match_ns).sum::<u64>() as f64 / chunk.len() as f64 / 1e3;
         let max = chunk.iter().map(|r| r.match_ns).max().unwrap_or(0) as f64 / 1e3;
         println!(
             "{:>16} {:>10.1} {:>10.1}",
@@ -45,7 +46,10 @@ fn main() {
     }
 
     println!("\nper-pattern average matching cost (µs) vs avg execution (µs):");
-    println!("{:>5} {:>12} {:>14} {:>8}", "query", "match", "exec", "ratio");
+    println!(
+        "{:>5} {:>12} {:>14} {:>8}",
+        "query", "match", "exec", "ratio"
+    );
     for q in 1..=22 {
         let label = format!("Q{q}");
         let recs: Vec<_> = report.records.iter().filter(|r| r.label == label).collect();
@@ -53,13 +57,16 @@ fn main() {
             continue;
         }
         let m = recs.iter().map(|r| r.match_ns).sum::<u64>() as f64 / recs.len() as f64 / 1e3;
-        let e = recs
-            .iter()
-            .map(|r| r.exec.as_nanos() as u64)
-            .sum::<u64>() as f64
+        let e = recs.iter().map(|r| r.exec.as_nanos() as u64).sum::<u64>() as f64
             / recs.len() as f64
             / 1e3;
-        println!("{:>5} {:>12.1} {:>14.1} {:>8.5}", label, m, e, m / e.max(1.0));
+        println!(
+            "{:>5} {:>12.1} {:>14.1} {:>8.5}",
+            label,
+            m,
+            e,
+            m / e.max(1.0)
+        );
     }
     let worst = report.records.iter().map(|r| r.match_ns).max().unwrap_or(0);
     println!(

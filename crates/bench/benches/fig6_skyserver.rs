@@ -9,7 +9,7 @@
 use std::time::{Duration, Instant};
 
 use rdb_bench::{banner, ms, pct, sky_objects};
-use rdb_engine::{Engine, EngineConfig, MaterializingEngine, WorkloadQuery};
+use rdb_engine::{Engine, MaterializingEngine, WorkloadQuery};
 use rdb_recycler::RecyclerConfig;
 use rdb_skyserver::{functions, generate, make_session, SessionOptions, SkyConfig};
 
@@ -18,23 +18,25 @@ fn run_pipelined(
     splits: usize,
     config: Option<RecyclerConfig>,
 ) -> Duration {
-    let cat = generate(&SkyConfig { objects: sky_objects(), seed: 1 });
+    let cat = generate(&SkyConfig {
+        objects: sky_objects(),
+        seed: 1,
+    });
     let fns = functions(&cat);
-    let engine = Engine::with_functions(
-        cat,
-        fns,
-        match config {
-            Some(c) => EngineConfig::with_recycler(c),
-            None => EngineConfig::off(),
-        },
-    );
+    let builder = Engine::builder(cat).functions(fns);
+    let engine = match config {
+        Some(c) => builder.recycler(c),
+        None => builder.no_recycler(),
+    }
+    .build();
+    let session = engine.session();
     let per_batch = queries.len() / splits;
     let start = Instant::now();
     for (i, q) in queries.iter().enumerate() {
         if i > 0 && i % per_batch == 0 {
             engine.flush_cache(); // simulated refresh
         }
-        engine.run(&q.plan).expect("query runs");
+        session.query(&q.plan).expect("query runs").into_outcome();
     }
     start.elapsed()
 }
@@ -44,7 +46,10 @@ fn run_materializing(
     splits: usize,
     cache: Option<Option<u64>>, // None = naive; Some(cap) = recycling
 ) -> Duration {
-    let cat = generate(&SkyConfig { objects: sky_objects(), seed: 1 });
+    let cat = generate(&SkyConfig {
+        objects: sky_objects(),
+        seed: 1,
+    });
     let fns = functions(&cat);
     let engine = match cache {
         None => MaterializingEngine::naive(cat).with_functions(fns),
@@ -100,7 +105,9 @@ fn main() {
         );
         println!(
             "{:<10} naive runtimes: monetdb-style {} ms, pipelined {} ms",
-            "", ms(naive_mat), ms(naive_pipe)
+            "",
+            ms(naive_mat),
+            ms(naive_pipe)
         );
     }
     println!(

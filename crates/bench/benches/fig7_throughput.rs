@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use rdb_bench::{banner, max_streams, ms, pct, scale_factor};
-use rdb_engine::{Engine, EngineConfig};
+use rdb_engine::Engine;
 use rdb_recycler::{RecyclerConfig, RecyclerMode};
 use rdb_tpch::{generate, make_streams, StreamOptions, TpchConfig};
 
@@ -30,8 +30,14 @@ fn mode_config(mode: &str, cache: u64) -> Option<RecyclerConfig> {
 fn main() {
     banner("Figure 7: TPC-H throughput — avg evaluation time per stream (ms)");
     let sf = scale_factor();
-    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
-    println!("scale factor {sf}, lineitem rows: {}", catalog.get("lineitem").unwrap().rows());
+    let catalog = generate(&TpchConfig {
+        scale: sf,
+        seed: 2013,
+    });
+    println!(
+        "scale factor {sf}, lineitem rows: {}",
+        catalog.get("lineitem").unwrap().rows()
+    );
     let cache: u64 = 512 * 1024 * 1024;
     let stream_counts: Vec<usize> = [4usize, 16, 64, 256]
         .into_iter()
@@ -51,13 +57,12 @@ fn main() {
                 StreamOptions::new(n, sf)
             };
             let streams = make_streams(&catalog, &opts);
-            let engine = Engine::new(
-                catalog.clone(),
-                match mode_config(mode, cache) {
-                    Some(c) => EngineConfig::with_recycler(c),
-                    None => EngineConfig::off(),
-                },
-            );
+            let builder = Engine::builder(catalog.clone());
+            let engine = match mode_config(mode, cache) {
+                Some(c) => builder.recycler(c),
+                None => builder.no_recycler(),
+            }
+            .build();
             let report = engine.run_streams(&streams);
             row.push(report.avg_stream_time());
         }

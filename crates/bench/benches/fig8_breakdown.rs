@@ -24,7 +24,10 @@ fn main() {
     let sf = scale_factor();
     let n = 256usize.min(max_streams());
     println!("scale factor {sf}, {n} streams");
-    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
+    let catalog = generate(&TpchConfig {
+        scale: sf,
+        seed: 2013,
+    });
     let cache: u64 = 512 * 1024 * 1024;
 
     let mut results: Vec<(String, HashMap<String, Duration>)> = Vec::new();
@@ -48,13 +51,16 @@ fn main() {
                 EngineConfig::with_recycler(c)
             }
         };
-        let engine = Engine::new(catalog.clone(), config);
+        let engine = Engine::builder(catalog.clone()).config(config).build();
         let report = engine.run_streams(&streams);
         results.push((mode.to_string(), avg_by_label(&report)));
     }
 
     let off = results[0].1.clone();
-    println!("\n{:>5} {:>10} {:>10} {:>10}", "query", "HIST/OFF", "SPEC/OFF", "PA/OFF");
+    println!(
+        "\n{:>5} {:>10} {:>10} {:>10}",
+        "query", "HIST/OFF", "SPEC/OFF", "PA/OFF"
+    );
     for q in 1..=22 {
         let label = format!("Q{q}");
         let base = off.get(&label).map(|d| d.as_secs_f64()).unwrap_or(0.0);

@@ -7,21 +7,24 @@
 //! concurrent materialization.
 
 use rdb_bench::{banner, scale_factor};
-use rdb_engine::{Engine, EngineConfig};
+use rdb_engine::Engine;
 use rdb_recycler::RecyclerConfig;
 use rdb_tpch::{generate, make_streams, StreamOptions, TpchConfig};
 
 fn main() {
     banner("Figure 9: detailed trace, 8 streams x {Q1,Q8,Q13,Q18,Q19,Q21}");
     let sf = scale_factor();
-    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
+    let catalog = generate(&TpchConfig {
+        scale: sf,
+        seed: 2013,
+    });
     let opts = StreamOptions::new(8, sf)
         .proactive()
         .with_patterns(vec![1, 8, 13, 18, 19, 21]);
     let streams = make_streams(&catalog, &opts);
     let mut config = RecyclerConfig::speculative(512 * 1024 * 1024);
     config.spec_min_progress = 0.0;
-    let engine = Engine::new(catalog, EngineConfig::with_recycler(config));
+    let engine = Engine::builder(catalog).recycler(config).build();
     let report = engine.run_streams(&streams);
 
     println!("\nlegend: M = materialized result, R = reused result, W = stalled\n");

@@ -58,7 +58,10 @@ fn bench_exec(c: &mut Criterion) {
     let agg_plan = scan("t", &["k", "v"])
         .aggregate(
             vec![(Expr::name("k"), "k")],
-            vec![(AggFunc::Sum(Expr::name("v")), "s"), (AggFunc::CountStar, "n")],
+            vec![
+                (AggFunc::Sum(Expr::name("v")), "s"),
+                (AggFunc::CountStar, "n"),
+            ],
         )
         .bind(&ctx.catalog)
         .unwrap();

@@ -12,10 +12,11 @@ use rdb_tpch::{generate, TpchConfig};
 use rdb_vector::Schema;
 
 fn bench_matching(c: &mut Criterion) {
-    let catalog = generate(&TpchConfig { scale: 0.001, seed: 1 });
-    let schema_of = move |p: &rdb_plan::Plan| -> Schema {
-        p.schema(&catalog).expect("schema")
-    };
+    let catalog = generate(&TpchConfig {
+        scale: 0.001,
+        seed: 1,
+    });
+    let schema_of = move |p: &rdb_plan::Plan| -> Schema { p.schema(&catalog).expect("schema") };
     let mut group = c.benchmark_group("graph_matching");
     for &preload in &[0usize, 64, 256, 1024] {
         group.bench_with_input(
@@ -24,7 +25,10 @@ fn bench_matching(c: &mut Criterion) {
             |b, &preload| {
                 let mut g = RecyclerGraph::new();
                 let mut rng = SmallRng::seed_from_u64(3);
-                let cat2 = generate(&TpchConfig { scale: 0.001, seed: 1 });
+                let cat2 = generate(&TpchConfig {
+                    scale: 0.001,
+                    seed: 1,
+                });
                 for i in 0..preload {
                     // Distinct parameterizations fill the graph.
                     let q = rdb_tpch::build_query(1 + (i % 22), &mut rng, 0.001, false);

@@ -48,7 +48,10 @@ fn group_of(size: u64) -> u32 {
 impl RecyclerCache {
     /// Cache with the given byte capacity.
     pub fn new(capacity: u64) -> Self {
-        RecyclerCache { capacity, ..Default::default() }
+        RecyclerCache {
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Capacity in bytes.
@@ -94,16 +97,77 @@ impl RecyclerCache {
         self.find_victims(size, benefit).is_some()
     }
 
-    /// Same-group victim search (paper §III-E): scan the group in
-    /// increasing benefit order, tracking accumulated size and average
-    /// benefit; succeed when enough space frees up while the set's average
-    /// benefit stays below the candidate's.
+    /// Victim search (paper §III-E): scan candidates in increasing benefit
+    /// order, tracking accumulated size and average benefit; succeed when
+    /// enough space frees up while the set's average benefit stays below the
+    /// candidate's. The same-size group is scanned first (Dantzig locality);
+    /// if it cannot free enough space the scan widens to all entries, so a
+    /// high-benefit newcomer is never starved just because the incumbents
+    /// happen to sit in other size groups.
     fn find_victims(&self, size: u64, benefit: f64) -> Option<Vec<NodeId>> {
-        let group = self.groups.get(&group_of(size))?;
+        if let Some(group) = self.groups.get(&group_of(size)) {
+            if let Some(victims) = self.scan_victims(group.iter().copied(), size, benefit) {
+                return Some(victims);
+            }
+        }
+        // Cross-group fallback. Early bail without allocating: each group
+        // list is in increasing benefit order, so the global minimum
+        // benefit is the cheapest group head — if even that entry matches
+        // or beats the candidate, the very first merge pick would fail the
+        // average-benefit test anyway. This keeps the per-batch speculation
+        // path (would_admit under the recycler lock, full cache,
+        // low-benefit candidate) at O(groups) instead of O(entries).
+        let global_min = self
+            .groups
+            .values()
+            .filter_map(|g| g.first())
+            .map(|id| self.entries[id].benefit)
+            .fold(f64::INFINITY, f64::min);
+        if global_min >= benefit {
+            return None;
+        }
+        // Merge the per-group lists (each already in increasing benefit
+        // order) instead of collecting and sorting every entry. Benefits
+        // are resolved once per group list up front (one hash lookup per
+        // entry total, not per merge step).
+        let groups: Vec<Vec<(NodeId, f64)>> = self
+            .groups
+            .values()
+            .filter(|g| !g.is_empty())
+            .map(|g| {
+                g.iter()
+                    .map(|&id| (id, self.entries[&id].benefit))
+                    .collect()
+            })
+            .collect();
+        let mut pos = vec![0usize; groups.len()];
+        let merged = std::iter::from_fn(move || {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, g) in groups.iter().enumerate() {
+                if let Some(&(_, b)) = g.get(pos[i]) {
+                    if best.is_none_or(|(_, bb)| b < bb) {
+                        best = Some((i, b));
+                    }
+                }
+            }
+            let (i, _) = best?;
+            let id = groups[i][pos[i]].0;
+            pos[i] += 1;
+            Some(id)
+        });
+        self.scan_victims(merged, size, benefit)
+    }
+
+    fn scan_victims(
+        &self,
+        candidates: impl Iterator<Item = NodeId>,
+        size: u64,
+        benefit: f64,
+    ) -> Option<Vec<NodeId>> {
         let mut victims = Vec::new();
         let mut freed = 0u64;
         let mut benefit_sum = 0.0;
-        for &id in group {
+        for id in candidates {
             let e = &self.entries[&id];
             // (a) average benefit must stay below the new result's.
             let avg = (benefit_sum + e.benefit) / (victims.len() + 1) as f64;
@@ -155,7 +219,14 @@ impl RecyclerCache {
             }
         }
         self.used += size;
-        self.entries.insert(id, CacheEntry { result, size, benefit });
+        self.entries.insert(
+            id,
+            CacheEntry {
+                result,
+                size,
+                benefit,
+            },
+        );
         let group = self.groups.entry(group_of(size)).or_default();
         let pos = group
             .binary_search_by(|x| {

@@ -199,36 +199,36 @@ impl RecyclerGraph {
             // Leaf: global hash table (paper: table scans matched through a
             // global hash table), pruned by signature.
             self.leaf_index.get(&key).and_then(|cands| {
-                cands
-                    .iter()
-                    .copied()
-                    .find(|&c| {
-                        let n = self.node(c);
-                        n.signature == sig && local_eq(&n.subtree, plan)
-                    })
+                cands.iter().copied().find(|&c| {
+                    let n = self.node(c);
+                    n.signature == sig && local_eq(&n.subtree, plan)
+                })
             })
         } else {
             // Non-leaf: candidates are parents of the matched first child
             // (paper lines 8-13); all children must match.
             let first = child_ids[0];
-            self.node(first)
-                .parents
-                .get(&key)
-                .and_then(|cands| {
-                    cands.iter().copied().find(|&p| {
-                        let n = self.node(p);
-                        n.signature == sig
-                            && n.children == child_ids
-                            && local_eq(&n.subtree, plan)
-                    })
+            self.node(first).parents.get(&key).and_then(|cands| {
+                cands.iter().copied().find(|&p| {
+                    let n = self.node(p);
+                    n.signature == sig && n.children == child_ids && local_eq(&n.subtree, plan)
                 })
+            })
         };
 
         match found {
-            Some(id) => MatchTree { id, inserted: false, children },
+            Some(id) => MatchTree {
+                id,
+                inserted: false,
+                children,
+            },
             None => {
                 let id = self.insert_node(plan, schema_of(plan), &child_ids, key, sig);
-                MatchTree { id, inserted: true, children }
+                MatchTree {
+                    id,
+                    inserted: true,
+                    children,
+                }
             }
         }
     }
@@ -250,7 +250,10 @@ impl RecyclerGraph {
             hash_key: key,
             signature: sig,
             parents: HashMap::new(),
-            stats: NodeStats { last_tick: tick, ..Default::default() },
+            stats: NodeStats {
+                last_tick: tick,
+                ..Default::default()
+            },
             materialized: false,
             subsumed_by: Vec::new(),
         });
@@ -295,10 +298,19 @@ impl RecyclerGraph {
         let mut reverse: Vec<(NodeId, SubsumptionEdge)> = Vec::new();
         for s in siblings {
             if let Some(d) = derive_subsumption(&self.node(id).subtree, &self.node(s).subtree) {
-                forward.push(SubsumptionEdge { subsumer: s, derivation: d });
+                forward.push(SubsumptionEdge {
+                    subsumer: s,
+                    derivation: d,
+                });
             }
             if let Some(d) = derive_subsumption(&self.node(s).subtree, &self.node(id).subtree) {
-                reverse.push((s, SubsumptionEdge { subsumer: id, derivation: d }));
+                reverse.push((
+                    s,
+                    SubsumptionEdge {
+                        subsumer: id,
+                        derivation: d,
+                    },
+                ));
             }
         }
         self.node_mut(id).subsumed_by = forward;
@@ -502,22 +514,34 @@ pub fn derive_subsumption(sub: &Plan, sup: &Plan) -> Option<Derivation> {
         // Column subsumption for scans: a narrower projection of the same
         // table.
         (
-            Plan::Scan { table: t1, cols: c1 },
-            Plan::Scan { table: t2, cols: c2 },
+            Plan::Scan {
+                table: t1,
+                cols: c1,
+            },
+            Plan::Scan {
+                table: t2,
+                cols: c2,
+            },
         ) => {
             if t1 == t2 && c1 != c2 {
-                let positions: Option<Vec<usize>> = c1
-                    .iter()
-                    .map(|c| c2.iter().position(|x| x == c))
-                    .collect();
+                let positions: Option<Vec<usize>> =
+                    c1.iter().map(|c| c2.iter().position(|x| x == c)).collect();
                 positions.map(Derivation::ProjectCols)
             } else {
                 None
             }
         }
         (
-            Plan::Aggregate { group_by: g1, aggs: a1, .. },
-            Plan::Aggregate { group_by: g2, aggs: a2, .. },
+            Plan::Aggregate {
+                group_by: g1,
+                aggs: a1,
+                ..
+            },
+            Plan::Aggregate {
+                group_by: g2,
+                aggs: a2,
+                ..
+            },
         ) => {
             if g1 == g2 {
                 // Column subsumption: same groups, aggregates a subset.
@@ -533,10 +557,8 @@ pub fn derive_subsumption(sub: &Plan, sup: &Plan) -> Option<Derivation> {
             } else {
                 // Tuple subsumption: sup groups strictly finer (superset of
                 // keys); re-aggregate.
-                let group_cols: Option<Vec<usize>> = g1
-                    .iter()
-                    .map(|g| g2.iter().position(|x| x == g))
-                    .collect();
+                let group_cols: Option<Vec<usize>> =
+                    g1.iter().map(|g| g2.iter().position(|x| x == g)).collect();
                 let group_cols = group_cols?;
                 let mut agg_cols = Vec::with_capacity(a1.len());
                 for a in a1 {
@@ -546,13 +568,20 @@ pub fn derive_subsumption(sub: &Plan, sup: &Plan) -> Option<Derivation> {
                     a.reaggregate(0)?; // decomposability check
                     agg_cols.push(g2.len() + p);
                 }
-                Some(Derivation::Reaggregate { group_cols, agg_cols })
+                Some(Derivation::Reaggregate {
+                    group_cols,
+                    agg_cols,
+                })
             }
         }
         // Top-N widening: same ordering, sup kept at least as many rows.
         (
-            Plan::TopN { keys: k1, n: n1, .. },
-            Plan::TopN { keys: k2, n: n2, .. },
+            Plan::TopN {
+                keys: k1, n: n1, ..
+            },
+            Plan::TopN {
+                keys: k2, n: n2, ..
+            },
         ) => {
             if k1 == k2 && n2 >= n1 && n1 != n2 {
                 Some(Derivation::Retopn)
@@ -708,7 +737,9 @@ mod tests {
         let mut g = RecyclerGraph::new();
         let wide = scan("t", &["a"]).select(Expr::col(0).ge(Expr::lit(0)));
         let narrow = scan("t", &["a"]).select(
-            Expr::col(0).ge(Expr::lit(5)).and(Expr::col(0).le(Expr::lit(9))),
+            Expr::col(0)
+                .ge(Expr::lit(5))
+                .and(Expr::col(0).le(Expr::lit(9))),
         );
         let mw = g.match_or_insert(&wide, &sch);
         let mn = g.match_or_insert(&narrow, &sch);
@@ -728,7 +759,9 @@ mod tests {
         // insertion must add an edge narrow ⊂ wide.
         let mut g = RecyclerGraph::new();
         let narrow = scan("t", &["a"]).select(
-            Expr::col(0).ge(Expr::lit(5)).and(Expr::col(0).le(Expr::lit(9))),
+            Expr::col(0)
+                .ge(Expr::lit(5))
+                .and(Expr::col(0).le(Expr::lit(9))),
         );
         let wide = scan("t", &["a"]).select(Expr::col(0).ge(Expr::lit(0)));
         let mn = g.match_or_insert(&narrow, &sch);
@@ -750,7 +783,10 @@ mod tests {
             vec![(AggFunc::Sum(Expr::col(2)), "s")],
         );
         match derive_subsumption(&coarse, &fine) {
-            Some(Derivation::Reaggregate { group_cols, agg_cols }) => {
+            Some(Derivation::Reaggregate {
+                group_cols,
+                agg_cols,
+            }) => {
                 assert_eq!(group_cols, vec![0]);
                 assert_eq!(agg_cols, vec![2]);
             }

@@ -140,10 +140,21 @@ pub fn widen_top_n(plan: &Plan, wide_n: usize) -> Option<Plan> {
 /// rule only if the number of distinct values ... is smaller than a
 /// threshold").
 pub fn cube_with_selections(plan: &Plan) -> Option<Plan> {
-    let Plan::Aggregate { child, group_by, group_names, aggs, agg_names } = plan else {
+    let Plan::Aggregate {
+        child,
+        group_by,
+        group_names,
+        aggs,
+        agg_names,
+    } = plan
+    else {
         return None;
     };
-    let Plan::Select { child: base, predicate } = child.as_ref() else {
+    let Plan::Select {
+        child: base,
+        predicate,
+    } = child.as_ref()
+    else {
         return None;
     };
     // The selection columns to add to the grouping.
@@ -251,10 +262,21 @@ fn base_arity_upper_bound(predicate: &Expr, group_by: &[Expr]) -> usize {
 /// is a single upper bound on a date column. The year-binned cube is the
 /// shared intermediate.
 pub fn cube_with_binning(plan: &Plan) -> Option<Plan> {
-    let Plan::Aggregate { child, group_by, group_names, aggs, agg_names } = plan else {
+    let Plan::Aggregate {
+        child,
+        group_by,
+        group_names,
+        aggs,
+        agg_names,
+    } = plan
+    else {
         return None;
     };
-    let Plan::Select { child: base, predicate } = child.as_ref() else {
+    let Plan::Select {
+        child: base,
+        predicate,
+    } = child.as_ref()
+    else {
         return None;
     };
     // Match `Col(c) <= Date(D)`.
@@ -304,7 +326,9 @@ pub fn cube_with_binning(plan: &Plan) -> Option<Plan> {
         agg_names: partial_names.clone(),
     };
     // Union and final re-aggregation.
-    let unioned = Plan::UnionAll { children: vec![left, right] };
+    let unioned = Plan::UnionAll {
+        children: vec![left, right],
+    };
     let outer = Plan::Aggregate {
         child: Box::new(unioned),
         group_by: (0..g).map(Expr::col).collect(),
@@ -339,7 +363,11 @@ mod tests {
                 Value::str(if i % 3 == 0 { "A" } else { "B" }),
                 Value::Int(i % 7),
                 Value::Float((i % 13) as f64 * 1.5),
-                Value::Date(date_from_ymd(1993 + (i % 5) as i32, 1 + (i % 12) as u32, 10)),
+                Value::Date(date_from_ymd(
+                    1993 + (i % 5) as i32,
+                    1 + (i % 12) as u32,
+                    10,
+                )),
                 Value::str(["AIR", "RAIL", "SHIP"][(i % 3) as usize]),
             ]);
         }
@@ -408,8 +436,11 @@ mod tests {
         assert_rows_close(&run(&ctx, &bound), &run(&ctx, &rewritten));
         // The rewrite contains the shared unselected cube.
         let txt = rewritten.to_string();
-        assert!(txt.contains("union") == false, "no union in plain cube");
-        assert!(txt.matches("aggregate").count() >= 2, "inner + outer aggregate");
+        assert!(!txt.contains("union"), "no union in plain cube");
+        assert!(
+            txt.matches("aggregate").count() >= 2,
+            "inner + outer aggregate"
+        );
     }
 
     #[test]
@@ -442,10 +473,7 @@ mod tests {
         // Count-distinct blocks decomposition.
         let cd = scan("items", &["qty", "mode"])
             .select(Expr::col(1).eq(Expr::lit("AIR")))
-            .aggregate(
-                vec![],
-                vec![(AggFunc::CountDistinct(Expr::col(0)), "d")],
-            );
+            .aggregate(vec![], vec![(AggFunc::CountDistinct(Expr::col(0)), "d")]);
         assert!(cube_with_selections(&cd).is_none());
     }
 
@@ -497,8 +525,8 @@ mod tests {
     #[test]
     fn widen_top_n_wraps_and_preserves_semantics() {
         let ctx = ctx();
-        let original = scan("items", &["qty", "price"])
-            .top_n(vec![SortKeyExpr::desc(Expr::name("price"))], 5);
+        let original =
+            scan("items", &["qty", "price"]).top_n(vec![SortKeyExpr::desc(Expr::name("price"))], 5);
         let bound = original.bind(&ctx.catalog).unwrap();
         let widened = widen_top_n(&bound, 100).unwrap();
         match &widened {

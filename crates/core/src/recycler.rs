@@ -25,9 +25,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rdb_exec::{
-    MaterializedResult, MetricsNode, ResultStore, SpeculationEstimate, StoreVerdict,
-};
+use rdb_exec::{MaterializedResult, MetricsNode, ResultStore, SpeculationEstimate, StoreVerdict};
 use rdb_plan::{Plan, StoreMode};
 use rdb_storage::Catalog;
 use rdb_vector::Schema;
@@ -228,9 +226,8 @@ impl Recycler {
     pub fn prepare(&self, plan: &Plan, catalog: &Catalog) -> PreparedQuery {
         assert!(!plan.has_named(), "prepare() requires a bound plan");
         bump!(self.stats, queries);
-        let schema_of = |p: &Plan| -> Schema {
-            p.schema(catalog).expect("bound plan must have a schema")
-        };
+        let schema_of =
+            |p: &Plan| -> Schema { p.schema(catalog).expect("bound plan must have a schema") };
 
         let mut st = self.state.lock();
         let qid = st.graph.advance_tick();
@@ -277,11 +274,7 @@ impl Recycler {
                     let deadline = waited + self.config.stall_timeout;
                     let mut timed_out = false;
                     while st.in_flight.contains_key(&stall_on) {
-                        if self
-                            .resolved_cond
-                            .wait_until(&mut st, deadline)
-                            .timed_out()
-                        {
+                        if self.resolved_cond.wait_until(&mut st, deadline).timed_out() {
                             timed_out = true;
                             break;
                         }
@@ -324,35 +317,56 @@ impl Recycler {
         }
     }
 
-    /// Post-execution hook: annotate measured statistics onto the graph,
-    /// resolve dangling store targets, release leases, and report
-    /// completion events.
-    pub fn complete(
+    /// Post-execution hook for a fully drained query: annotate measured
+    /// statistics onto the graph, resolve dangling store targets, release
+    /// leases, and report completion events.
+    pub fn complete(&self, prepared: &PreparedQuery, metrics: &MetricsNode) -> Vec<RecyclerEvent> {
+        self.finish(prepared, Some(metrics))
+    }
+
+    /// Completion hook for a query whose result stream was dropped before
+    /// being drained: store targets that never published are abandoned and
+    /// leases released, but the graph is *not* annotated — partial
+    /// measurements would corrupt the benefit statistics.
+    pub fn abort(&self, prepared: &PreparedQuery) -> Vec<RecyclerEvent> {
+        self.finish(prepared, None)
+    }
+
+    fn finish(
         &self,
         prepared: &PreparedQuery,
-        metrics: &MetricsNode,
+        metrics: Option<&MetricsNode>,
     ) -> Vec<RecyclerEvent> {
         let mut st = self.state.lock();
-        // Annotate each computed node with its measured statistics.
-        for (path, node) in &prepared.annotations {
-            let Some(m) = metrics_at(metrics, path) else { continue };
-            let Some(sub) = plan_at(&prepared.plan, path) else { continue };
-            let from_base = !contains_cached(sub);
-            st.graph.annotate(
-                *node,
-                m.inclusive_time_ns() as f64,
-                m.inclusive_work() as f64,
-                m.cardinality(),
-                m.metrics.bytes_out(),
-                from_base,
-            );
+        // Annotate each computed node with its measured statistics (only
+        // when the query ran to completion).
+        if let Some(metrics) = metrics {
+            for (path, node) in &prepared.annotations {
+                let Some(m) = metrics_at(metrics, path) else {
+                    continue;
+                };
+                let Some(sub) = plan_at(&prepared.plan, path) else {
+                    continue;
+                };
+                let from_base = !contains_cached(sub);
+                st.graph.annotate(
+                    *node,
+                    m.inclusive_time_ns() as f64,
+                    m.inclusive_work() as f64,
+                    m.cardinality(),
+                    m.metrics.bytes_out(),
+                    from_base,
+                );
+            }
         }
         // Resolve store targets that never finished (e.g. a LIMIT above the
         // store stopped pulling) and collect completion events.
         let mut events = Vec::new();
         let mut notify = false;
         for t in &prepared.tags {
-            let Some(entry) = st.tags.get(t) else { continue };
+            let Some(entry) = st.tags.get(t) else {
+                continue;
+            };
             if let TagEntry::StoreTarget { node, resolved, .. } = entry {
                 let node = *node;
                 match resolved {
@@ -482,12 +496,19 @@ impl<'a> RewriteRun<'a> {
             st.next_tag += 1;
             st.tags.insert(
                 tag,
-                TagEntry::StoreTarget { node: id, speculative, last_est: None, resolved: None },
+                TagEntry::StoreTarget {
+                    node: id,
+                    speculative,
+                    last_est: None,
+                    resolved: None,
+                },
             );
             st.in_flight.insert(id, self.qid);
             self.tags.push(tag);
-            self.events
-                .push(RecyclerEvent::StoreInjected { node: id, speculative });
+            self.events.push(RecyclerEvent::StoreInjected {
+                node: id,
+                speculative,
+            });
             // The store wrapper adds one plan level above this node.
             for (p, _) in self.annots.iter_mut() {
                 p.insert(0, 0);
@@ -495,7 +516,11 @@ impl<'a> RewriteRun<'a> {
             return Ok(Plan::Store {
                 child: Box::new(rebuilt),
                 tag,
-                mode: if speculative { StoreMode::Speculate } else { StoreMode::Materialize },
+                mode: if speculative {
+                    StoreMode::Speculate
+                } else {
+                    StoreMode::Materialize
+                },
             });
         }
         Ok(rebuilt)
@@ -527,8 +552,16 @@ impl<'a> RewriteRun<'a> {
                     .collect();
                 cached.project(items)
             }
-            Derivation::Reaggregate { group_cols, agg_cols } => match plan {
-                Plan::Aggregate { group_names, aggs, agg_names, .. } => {
+            Derivation::Reaggregate {
+                group_cols,
+                agg_cols,
+            } => match plan {
+                Plan::Aggregate {
+                    group_names,
+                    aggs,
+                    agg_names,
+                    ..
+                } => {
                     let groups: Vec<(rdb_expr::Expr, &str)> = group_cols
                         .iter()
                         .zip(group_names)
@@ -560,13 +593,7 @@ impl<'a> RewriteRun<'a> {
 
     /// Decide whether to put a store operator above this node. Returns
     /// `Some(speculative)` to inject.
-    fn store_decision(
-        &self,
-        st: &State,
-        plan: &Plan,
-        id: NodeId,
-        is_root: bool,
-    ) -> Option<bool> {
+    fn store_decision(&self, st: &State, plan: &Plan, id: NodeId, is_root: bool) -> Option<bool> {
         // Never re-materialize a base-table copy, and never store what is
         // already cached or being produced.
         if matches!(plan, Plan::Scan { .. }) {
@@ -635,8 +662,7 @@ fn plan_at<'a>(root: &'a Plan, path: &[usize]) -> Option<&'a Plan> {
 }
 
 fn contains_cached(plan: &Plan) -> bool {
-    matches!(plan, Plan::Cached { .. })
-        || plan.children().iter().any(|c| contains_cached(c))
+    matches!(plan, Plan::Cached { .. }) || plan.children().iter().any(|c| contains_cached(c))
 }
 
 impl ResultStore for Recycler {
@@ -649,8 +675,12 @@ impl ResultStore for Recycler {
 
     fn publish(&self, tag: u64, result: MaterializedResult) {
         let mut st = self.state.lock();
-        let Some(TagEntry::StoreTarget { node, speculative, last_est, resolved }) =
-            st.tags.get(&tag)
+        let Some(TagEntry::StoreTarget {
+            node,
+            speculative,
+            last_est,
+            resolved,
+        }) = st.tags.get(&tag)
         else {
             return;
         };

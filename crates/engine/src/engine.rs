@@ -1,16 +1,27 @@
-//! The pipelined engine with recycler integration.
+//! The pipelined engine: builder, admission gate, and stream runs.
+//!
+//! The public query surface is session-based (see [`crate::session`]):
+//!
+//! ```text
+//! EngineBuilder -> Arc<Engine> -> Session -> Prepared -> QueryHandle
+//! ```
+//!
+//! [`Engine::run`] survives as a deprecated compatibility shim over that
+//! path.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rdb_exec::{build, run_to_batch, ExecContext, FnRegistry};
+use rdb_exec::FnRegistry;
 use rdb_plan::{Plan, PlanError};
 use rdb_recycler::{Recycler, RecyclerConfig, RecyclerEvent};
 use rdb_storage::Catalog;
 use rdb_vector::{Batch, Schema};
 
-/// Engine configuration.
+use crate::session::Session;
+
+/// Engine configuration (the value object consumed by [`EngineBuilder`]).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Recycler configuration; `None` disables recycling (the paper's OFF
@@ -33,23 +44,99 @@ impl Default for EngineConfig {
 impl EngineConfig {
     /// Recycling disabled (naive execution).
     pub fn off() -> Self {
-        EngineConfig { recycling: None, ..Default::default() }
+        EngineConfig {
+            recycling: None,
+            ..Default::default()
+        }
     }
 
     /// With the given recycler configuration.
     pub fn with_recycler(config: RecyclerConfig) -> Self {
-        EngineConfig { recycling: Some(config), ..Default::default() }
+        EngineConfig {
+            recycling: Some(config),
+            ..Default::default()
+        }
     }
 }
 
-/// The result of one query execution.
+/// Fluent constructor for [`Engine`] — the single entry point replacing the
+/// ad-hoc `EngineConfig` constructors:
+///
+/// ```text
+/// let engine = Engine::builder(catalog)
+///     .recycler(RecyclerConfig::default())
+///     .max_concurrent_queries(12)
+///     .build();
+/// ```
+pub struct EngineBuilder {
+    catalog: Arc<Catalog>,
+    functions: Arc<FnRegistry>,
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    /// Start building an engine over `catalog`. Defaults: recycling on with
+    /// [`RecyclerConfig::default`], 12 concurrent queries, no table
+    /// functions.
+    pub fn new(catalog: Arc<Catalog>) -> EngineBuilder {
+        EngineBuilder {
+            catalog,
+            functions: Arc::new(FnRegistry::new()),
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Attach table functions.
+    pub fn functions(mut self, functions: Arc<FnRegistry>) -> EngineBuilder {
+        self.functions = functions;
+        self
+    }
+
+    /// Enable recycling with the given configuration.
+    pub fn recycler(mut self, config: RecyclerConfig) -> EngineBuilder {
+        self.config.recycling = Some(config);
+        self
+    }
+
+    /// Disable recycling (the paper's OFF mode).
+    pub fn no_recycler(mut self) -> EngineBuilder {
+        self.config.recycling = None;
+        self
+    }
+
+    /// Admission limit: queries executing simultaneously.
+    pub fn max_concurrent_queries(mut self, n: usize) -> EngineBuilder {
+        self.config.max_concurrent_queries = n;
+        self
+    }
+
+    /// Apply a whole [`EngineConfig`] at once.
+    pub fn config(mut self, config: EngineConfig) -> EngineBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Construct the engine.
+    pub fn build(self) -> Arc<Engine> {
+        Arc::new(Engine {
+            catalog: self.catalog,
+            functions: self.functions,
+            recycler: self.config.recycling.map(Recycler::new),
+            gate: Arc::new(Gate::new(self.config.max_concurrent_queries)),
+            epoch: Instant::now(),
+        })
+    }
+}
+
+/// The result of one fully materialized query execution.
 #[derive(Debug)]
 pub struct QueryOutcome {
     /// All result rows, concatenated.
     pub batch: Batch,
     /// Result schema.
     pub schema: Schema,
-    /// Wall-clock execution time (excluding queueing).
+    /// Engine execution time: rewrite, build, and batch pulls; queue
+    /// wait and client think-time between pulls excluded.
     pub wall: Duration,
     /// Matching/insertion time inside the recycler (0 when recycling off).
     pub match_ns: u64,
@@ -100,7 +187,10 @@ pub struct WorkloadQuery {
 impl WorkloadQuery {
     /// Construct a labelled query.
     pub fn new(label: impl Into<String>, plan: Plan) -> Self {
-        WorkloadQuery { label: label.into(), plan }
+        WorkloadQuery {
+            label: label.into(),
+            plan,
+        }
     }
 }
 
@@ -166,58 +256,101 @@ impl StreamsReport {
 }
 
 /// Counting semaphore bounding concurrent query execution.
-struct Gate {
+pub(crate) struct Gate {
     slots: Mutex<usize>,
     cond: Condvar,
 }
 
 impl Gate {
     fn new(n: usize) -> Gate {
-        Gate { slots: Mutex::new(n.max(1)), cond: Condvar::new() }
+        Gate {
+            slots: Mutex::new(n.max(1)),
+            cond: Condvar::new(),
+        }
     }
 
-    fn acquire(&self) {
+    fn acquire(self: &Arc<Self>) -> GateGuard {
         let mut s = self.slots.lock();
         while *s == 0 {
             self.cond.wait(&mut s);
         }
         *s -= 1;
+        drop(s);
+        GateGuard {
+            gate: Arc::clone(self),
+        }
     }
 
-    fn release(&self) {
-        *self.slots.lock() += 1;
-        self.cond.notify_one();
+    fn try_acquire(self: &Arc<Self>) -> Option<GateGuard> {
+        let mut s = self.slots.lock();
+        if *s == 0 {
+            return None;
+        }
+        *s -= 1;
+        drop(s);
+        Some(GateGuard {
+            gate: Arc::clone(self),
+        })
+    }
+
+    #[cfg(test)]
+    fn available(&self) -> usize {
+        *self.slots.lock()
+    }
+}
+
+/// RAII admission slot: held by a [`crate::session::QueryHandle`] for as
+/// long as its stream is live, and released on drop — so a panicking or
+/// abandoned query can no longer leak a concurrency slot.
+pub(crate) struct GateGuard {
+    gate: Arc<Gate>,
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        *self.gate.slots.lock() += 1;
+        self.gate.cond.notify_one();
     }
 }
 
 /// The pipelined engine.
 pub struct Engine {
-    catalog: Arc<Catalog>,
-    functions: Arc<FnRegistry>,
-    recycler: Option<Arc<Recycler>>,
-    gate: Gate,
-    epoch: Instant,
+    pub(crate) catalog: Arc<Catalog>,
+    pub(crate) functions: Arc<FnRegistry>,
+    pub(crate) recycler: Option<Arc<Recycler>>,
+    pub(crate) gate: Arc<Gate>,
+    pub(crate) epoch: Instant,
 }
 
 impl Engine {
+    /// Start building an engine over `catalog`.
+    pub fn builder(catalog: Arc<Catalog>) -> EngineBuilder {
+        EngineBuilder::new(catalog)
+    }
+
     /// Build an engine over a catalog (no table functions).
+    #[deprecated(note = "use Engine::builder(catalog)")]
     pub fn new(catalog: Arc<Catalog>, config: EngineConfig) -> Arc<Engine> {
-        Engine::with_functions(catalog, Arc::new(FnRegistry::new()), config)
+        EngineBuilder::new(catalog).config(config).build()
     }
 
     /// Build an engine with table functions.
+    #[deprecated(note = "use Engine::builder(catalog).functions(..)")]
     pub fn with_functions(
         catalog: Arc<Catalog>,
         functions: Arc<FnRegistry>,
         config: EngineConfig,
     ) -> Arc<Engine> {
-        Arc::new(Engine {
-            catalog,
-            functions,
-            recycler: config.recycling.map(Recycler::new),
-            gate: Gate::new(config.max_concurrent_queries),
-            epoch: Instant::now(),
-        })
+        EngineBuilder::new(catalog)
+            .functions(functions)
+            .config(config)
+            .build()
+    }
+
+    /// Open a session: the unit of client interaction that owns prepared
+    /// statements and per-session statistics.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session::new(Arc::clone(self))
     }
 
     /// The catalog.
@@ -237,58 +370,27 @@ impl Engine {
         }
     }
 
-    /// Execute one query (named or bound plan). Blocks while the engine is
-    /// at its concurrency limit.
-    pub fn run(&self, plan: &Plan) -> Result<QueryOutcome, PlanError> {
-        let bound = if plan.has_named() {
-            plan.bind(&self.catalog)?
-        } else {
-            plan.clone()
-        };
-        self.gate.acquire();
-        let outcome = self.run_bound(&bound);
-        self.gate.release();
-        outcome
+    /// Acquire an admission slot, blocking while the engine is at its
+    /// concurrency limit.
+    pub(crate) fn admit(&self) -> GateGuard {
+        self.gate.acquire()
     }
 
-    fn run_bound(&self, bound: &Plan) -> Result<QueryOutcome, PlanError> {
-        let started_at = self.epoch.elapsed();
-        let start = Instant::now();
-        let (batch, schema, match_ns, events) = match &self.recycler {
-            None => {
-                let ctx = ExecContext::new(self.catalog.clone())
-                    .with_functions(self.functions.clone());
-                let mut tree = build(bound, &ctx)?;
-                let batch = run_to_batch(tree.root.as_mut());
-                (batch, tree.schema, 0, Vec::new())
-            }
-            Some(recycler) => {
-                let prepared = recycler.prepare(bound, &self.catalog);
-                let ctx = ExecContext::new(self.catalog.clone())
-                    .with_functions(self.functions.clone())
-                    .with_store(recycler.clone() as Arc<dyn rdb_exec::ResultStore>);
-                let mut tree = build(&prepared.plan, &ctx)?;
-                let batch = run_to_batch(tree.root.as_mut());
-                let mut events = prepared.events.clone();
-                events.extend(recycler.complete(&prepared, &tree.metrics));
-                (batch, tree.schema, prepared.match_ns, events)
-            }
-        };
-        let wall = start.elapsed();
-        Ok(QueryOutcome {
-            batch,
-            schema,
-            wall,
-            match_ns,
-            events,
-            started_at,
-            finished_at: self.epoch.elapsed(),
-        })
+    /// Acquire an admission slot only if one is free right now.
+    pub(crate) fn try_admit(&self) -> Option<GateGuard> {
+        self.gate.try_acquire()
     }
 
-    /// Run several query streams concurrently (one thread per stream,
-    /// bounded by the engine's admission gate), as in the TPC-H throughput
-    /// test of §V.
+    /// Execute one query to completion (named or bound plan). Blocks while
+    /// the engine is at its concurrency limit.
+    #[deprecated(note = "use Engine::session(), Session::prepare(), and Prepared::execute()")]
+    pub fn run(self: &Arc<Self>, plan: &Plan) -> Result<QueryOutcome, PlanError> {
+        Ok(self.session().query(plan)?.into_outcome())
+    }
+
+    /// Run several query streams concurrently (one session and thread per
+    /// stream, bounded by the engine's admission gate), as in the TPC-H
+    /// throughput test of §V.
     pub fn run_streams(self: &Arc<Self>, streams: &[Vec<WorkloadQuery>]) -> StreamsReport {
         let run_start = Instant::now();
         let mut stream_times = vec![Duration::ZERO; streams.len()];
@@ -300,12 +402,14 @@ impl Engine {
                 .map(|(si, stream)| {
                     let engine = Arc::clone(self);
                     scope.spawn(move |_| {
+                        let session = engine.session();
                         let stream_start = Instant::now();
                         let mut recs = Vec::with_capacity(stream.len());
                         for (qi, q) in stream.iter().enumerate() {
-                            let out = engine
-                                .run(&q.plan)
-                                .unwrap_or_else(|e| panic!("query {} failed: {e}", q.label));
+                            let out = session
+                                .query(&q.plan)
+                                .unwrap_or_else(|e| panic!("query {} failed: {e}", q.label))
+                                .into_outcome();
                             recs.push(QueryRecord {
                                 stream: si,
                                 index: qi,
@@ -350,10 +454,7 @@ mod tests {
 
     fn catalog(rows: i64) -> Arc<Catalog> {
         let mut cat = Catalog::new();
-        let schema = Schema::from_pairs([
-            ("k", DataType::Int),
-            ("v", DataType::Float),
-        ]);
+        let schema = Schema::from_pairs([("k", DataType::Int), ("v", DataType::Float)]);
         let mut b = TableBuilder::new("t", schema, rows as usize);
         for i in 0..rows {
             b.push_row(vec![Value::Int(i % 50), Value::Float(i as f64)]);
@@ -377,10 +478,14 @@ mod tests {
         c
     }
 
+    fn run(engine: &Arc<Engine>, plan: &Plan) -> QueryOutcome {
+        engine.session().query(plan).unwrap().into_outcome()
+    }
+
     #[test]
     fn off_mode_runs_plain() {
-        let engine = Engine::new(catalog(10_000), EngineConfig::off());
-        let out = engine.run(&agg_query(10)).unwrap();
+        let engine = Engine::builder(catalog(10_000)).no_recycler().build();
+        let out = run(&engine, &agg_query(10));
         assert_eq!(out.batch.rows(), 10);
         assert!(out.events.is_empty());
         assert_eq!(out.match_ns, 0);
@@ -388,15 +493,14 @@ mod tests {
 
     #[test]
     fn repeated_query_is_reused() {
-        let engine = Engine::new(
-            catalog(20_000),
-            EngineConfig::with_recycler(det_config()),
-        );
+        let engine = Engine::builder(catalog(20_000))
+            .recycler(det_config())
+            .build();
         let q = agg_query(10);
-        let first = engine.run(&q).unwrap();
+        let first = run(&engine, &q);
         assert!(!first.reused());
         assert!(first.materialized(), "speculation caches the aggregate");
-        let second = engine.run(&q).unwrap();
+        let second = run(&engine, &q);
         assert!(second.reused(), "second run must hit the cache");
         assert_eq!(first.batch.to_rows(), second.batch.to_rows());
         // Cached runs skip the scan work entirely.
@@ -407,12 +511,11 @@ mod tests {
 
     #[test]
     fn different_parameters_do_not_share_results() {
-        let engine = Engine::new(
-            catalog(5_000),
-            EngineConfig::with_recycler(det_config()),
-        );
-        let a = engine.run(&agg_query(10)).unwrap();
-        let b = engine.run(&agg_query(20)).unwrap();
+        let engine = Engine::builder(catalog(5_000))
+            .recycler(det_config())
+            .build();
+        let a = run(&engine, &agg_query(10));
+        let b = run(&engine, &agg_query(20));
         assert!(!b.reused() || b.batch.rows() == 20);
         assert_eq!(a.batch.rows(), 10);
         assert_eq!(b.batch.rows(), 20);
@@ -420,15 +523,14 @@ mod tests {
 
     #[test]
     fn flush_forces_recompute() {
-        let engine = Engine::new(
-            catalog(5_000),
-            EngineConfig::with_recycler(det_config()),
-        );
+        let engine = Engine::builder(catalog(5_000))
+            .recycler(det_config())
+            .build();
         let q = agg_query(10);
-        engine.run(&q).unwrap();
+        run(&engine, &q);
         engine.flush_cache();
         assert_eq!(engine.recycler().unwrap().cache_len(), 0);
-        let again = engine.run(&q).unwrap();
+        let again = run(&engine, &q);
         assert!(!again.reused());
         assert_eq!(again.batch.rows(), 10);
     }
@@ -440,24 +542,26 @@ mod tests {
         // 1st inserts, 2nd is seen-before (gets a store), 3rd reuses.
         let mut cfg = det_config();
         cfg.mode = rdb_recycler::RecyclerMode::History;
-        let engine = Engine::new(catalog(5_000), EngineConfig::with_recycler(cfg));
+        let engine = Engine::builder(catalog(5_000)).recycler(cfg).build();
         let q = agg_query(10);
-        let first = engine.run(&q).unwrap();
-        assert!(!first.materialized(), "history mode never stores first-timers");
-        let second = engine.run(&q).unwrap();
+        let first = run(&engine, &q);
+        assert!(
+            !first.materialized(),
+            "history mode never stores first-timers"
+        );
+        let second = run(&engine, &q);
         assert!(!second.reused());
         assert!(second.materialized(), "second occurrence materializes");
-        let third = engine.run(&q).unwrap();
+        let third = run(&engine, &q);
         assert!(third.reused(), "third occurrence reuses");
     }
 
     #[test]
     fn work_cost_model_annotations_flow() {
-        let engine = Engine::new(
-            catalog(5_000),
-            EngineConfig::with_recycler(det_config()),
-        );
-        engine.run(&agg_query(10)).unwrap();
+        let engine = Engine::builder(catalog(5_000))
+            .recycler(det_config())
+            .build();
+        run(&engine, &agg_query(10));
         let r = engine.recycler().unwrap();
         assert!(r.graph_len() >= 3);
         r.with_graph(|g| {
@@ -478,10 +582,9 @@ mod tests {
 
     #[test]
     fn concurrent_identical_streams_share_work() {
-        let engine = Engine::new(
-            catalog(20_000),
-            EngineConfig::with_recycler(det_config()),
-        );
+        let engine = Engine::builder(catalog(20_000))
+            .recycler(det_config())
+            .build();
         let mk = |label: &str| WorkloadQuery::new(label, agg_query(10));
         let streams: Vec<Vec<WorkloadQuery>> =
             (0..4).map(|_| vec![mk("QA"), mk("QA"), mk("QA")]).collect();
@@ -499,7 +602,7 @@ mod tests {
 
     #[test]
     fn streams_report_orders_records() {
-        let engine = Engine::new(catalog(1_000), EngineConfig::off());
+        let engine = Engine::builder(catalog(1_000)).no_recycler().build();
         let streams: Vec<Vec<WorkloadQuery>> = (0..2)
             .map(|_| {
                 vec![
@@ -515,5 +618,37 @@ mod tests {
         assert_eq!(report.records[3].stream, 1);
         assert_eq!(report.records[3].index, 1);
         assert_eq!(report.stream_times.len(), 2);
+    }
+
+    #[test]
+    fn gate_guard_releases_on_panic() {
+        let engine = Engine::builder(catalog(1_000))
+            .no_recycler()
+            .max_concurrent_queries(1)
+            .build();
+        // A query that panics mid-stream must give its slot back.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let handle = engine.session().query(&agg_query(5)).unwrap();
+            let _hold = handle;
+            panic!("simulated query failure");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(engine.gate.available(), 1, "slot restored after panic");
+        // The engine still accepts queries afterwards.
+        let out = run(&engine, &agg_query(5));
+        assert_eq!(out.batch.rows(), 5);
+    }
+
+    #[test]
+    fn deprecated_run_shim_matches_session_path() {
+        let engine = Engine::builder(catalog(5_000))
+            .recycler(det_config())
+            .build();
+        let q = agg_query(10);
+        #[allow(deprecated)]
+        let a = engine.run(&q).unwrap();
+        let b = run(&engine, &q);
+        assert_eq!(a.batch.to_rows(), b.batch.to_rows());
+        assert!(b.reused(), "second execution reuses the first's result");
     }
 }

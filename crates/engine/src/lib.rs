@@ -1,10 +1,12 @@
 //! Engine façades tying plans, the recycler, and the executor together.
 //!
-//! * [`Engine`] — the pipelined, vector-at-a-time engine the paper targets:
-//!   binds plans, runs them through the recycler's rewriter (when
-//!   recycling is enabled), executes, and feeds measured statistics back.
+//! * [`Engine`] — the pipelined, vector-at-a-time engine the paper targets.
+//!   Built via [`EngineBuilder`]; queried through sessions: [`Session`]
+//!   prepares statements ([`Prepared`]) whose executions stream results
+//!   batch-at-a-time through [`QueryHandle`] (`Iterator<Item = Batch>`).
 //!   Supports concurrent query streams with a Vectorwise-style admission
-//!   limit ("Vectorwise was set up to execute 12 queries in parallel").
+//!   limit ("Vectorwise was set up to execute 12 queries in parallel"),
+//!   held as an RAII slot for the lifetime of each query handle.
 //! * [`MaterializingEngine`] — the operator-at-a-time comparison baseline
 //!   (MonetDB-style, after Ivanova et al. [10]): every operator fully
 //!   materializes its result, and with recycling enabled every intermediate
@@ -12,6 +14,12 @@
 
 pub mod engine;
 pub mod materializing;
+pub mod session;
 
-pub use engine::{Engine, EngineConfig, QueryOutcome, QueryRecord, StreamsReport, WorkloadQuery};
+pub use engine::{
+    Engine, EngineBuilder, EngineConfig, QueryOutcome, QueryRecord, StreamsReport, WorkloadQuery,
+};
 pub use materializing::{MatOutcome, MaterializingEngine};
+pub use session::{
+    BatchStream, Prepared, QueryHandle, Session, SessionStats, SessionStatsSnapshot,
+};

@@ -79,8 +79,16 @@ impl MatCache {
             }
         }
         self.used += size;
-        self.entries
-            .insert(h, MatEntry { plan: plan.clone(), result, cost_ns, refs: 1, size });
+        self.entries.insert(
+            h,
+            MatEntry {
+                plan: plan.clone(),
+                result,
+                cost_ns,
+                refs: 1,
+                size,
+            },
+        );
         // Evict lowest-benefit entries while over capacity ([10]'s policy).
         if let Some(cap) = self.capacity {
             while self.used > cap {
@@ -152,7 +160,11 @@ pub struct MaterializingEngine {
 impl MaterializingEngine {
     /// Engine without recycling (the Fig. 6 "naive" baseline).
     pub fn naive(catalog: Arc<Catalog>) -> Self {
-        MaterializingEngine { catalog, functions: Arc::new(FnRegistry::new()), cache: None }
+        MaterializingEngine {
+            catalog,
+            functions: Arc::new(FnRegistry::new()),
+            cache: None,
+        }
     }
 
     /// Engine with [10]-style recycling. `capacity` of `None` means an
@@ -161,7 +173,10 @@ impl MaterializingEngine {
         MaterializingEngine {
             catalog,
             functions: Arc::new(FnRegistry::new()),
-            cache: Some(Mutex::new(MatCache { capacity, ..Default::default() })),
+            cache: Some(Mutex::new(MatCache {
+                capacity,
+                ..Default::default()
+            })),
         }
     }
 

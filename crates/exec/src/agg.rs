@@ -35,8 +35,14 @@ impl Acc {
         match func {
             AggFunc::CountStar | AggFunc::Count(_) => Acc::Count(0),
             AggFunc::Sum(e) => match e.data_type(input_types) {
-                DataType::Int => Acc::SumInt { total: 0, seen: false },
-                _ => Acc::SumFloat { total: 0.0, seen: false },
+                DataType::Int => Acc::SumInt {
+                    total: 0,
+                    seen: false,
+                },
+                _ => Acc::SumFloat {
+                    total: 0.0,
+                    seen: false,
+                },
             },
             AggFunc::Min(_) => Acc::Min(None),
             AggFunc::Max(_) => Acc::Max(None),
@@ -78,7 +84,7 @@ impl Acc {
                 let c = arg.expect("min needs an argument");
                 if c.is_valid(i) {
                     let v = c.get(i);
-                    if cur.as_ref().map_or(true, |m| v < *m) {
+                    if cur.as_ref().is_none_or(|m| v < *m) {
                         *cur = Some(v);
                     }
                 }
@@ -87,7 +93,7 @@ impl Acc {
                 let c = arg.expect("max needs an argument");
                 if c.is_valid(i) {
                     let v = c.get(i);
-                    if cur.as_ref().map_or(true, |m| v > *m) {
+                    if cur.as_ref().is_none_or(|m| v > *m) {
                         *cur = Some(v);
                     }
                 }
@@ -189,8 +195,7 @@ impl HashAggExec {
         let mut key_buf = Vec::new();
         while let Some(batch) = self.child.next_batch() {
             self.metrics.add_work(batch.rows() as u64);
-            let key_cols: Vec<Column> =
-                self.group_by.iter().map(|e| eval(e, &batch)).collect();
+            let key_cols: Vec<Column> = self.group_by.iter().map(|e| eval(e, &batch)).collect();
             let key_refs: Vec<&Column> = key_cols.iter().collect();
             let arg_cols: Vec<Option<Column>> = self
                 .aggs
@@ -319,7 +324,9 @@ mod tests {
     }
 
     fn src(cols: Vec<Column>) -> Box<dyn Operator> {
-        Box::new(Source { batches: vec![Batch::new(cols)] })
+        Box::new(Source {
+            batches: vec![Batch::new(cols)],
+        })
     }
 
     #[test]
@@ -355,7 +362,12 @@ mod tests {
         );
         assert_eq!(
             rows[1],
-            vec![Value::str("b"), Value::Int(2), Value::Int(1), Value::Float(2.0)]
+            vec![
+                Value::str("b"),
+                Value::Int(2),
+                Value::Int(1),
+                Value::Float(2.0)
+            ]
         );
     }
 
@@ -390,7 +402,12 @@ mod tests {
                 AggFunc::CountDistinct(Expr::col(1)),
             ],
             vec![DataType::Int, DataType::Float],
-            vec![DataType::Int, DataType::Float, DataType::Float, DataType::Int],
+            vec![
+                DataType::Int,
+                DataType::Float,
+                DataType::Float,
+                DataType::Int,
+            ],
             OpMetrics::shared(),
         );
         let out = run_to_batch(&mut agg);

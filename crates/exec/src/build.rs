@@ -33,7 +33,11 @@ pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
     }
     let schema = plan.schema(&ctx.catalog)?;
     let (root, metrics) = build_node(plan, ctx)?;
-    Ok(ExecTree { root, metrics, schema })
+    Ok(ExecTree {
+        root,
+        metrics,
+        schema,
+    })
 }
 
 fn types_of(schema: &Schema) -> Vec<DataType> {
@@ -71,8 +75,20 @@ fn build_node(
                 .get(name)
                 .ok_or_else(|| PlanError(format!("unknown table function '{name}'")))?
                 .clone();
+            // Arguments must be constant by execution time; prepared
+            // templates substitute their parameters before building.
+            let values = args
+                .iter()
+                .map(|a| match a {
+                    rdb_expr::Expr::Lit(v) => Ok(v.clone()),
+                    other => Err(PlanError(format!(
+                        "table function '{name}' argument '{other}' is not a literal; \
+                         substitute parameters before execution"
+                    ))),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
             (
-                Box::new(FnScanExec::new(f, args.clone(), m.clone())),
+                Box::new(FnScanExec::new(f, values, m.clone())),
                 MetricsNode::leaf(m),
             )
         }
@@ -90,7 +106,12 @@ fn build_node(
                 MetricsNode::new(m, vec![cm]),
             )
         }
-        Plan::Aggregate { child, group_by, aggs, .. } => {
+        Plan::Aggregate {
+            child,
+            group_by,
+            aggs,
+            ..
+        } => {
             let input_types = types_of(&child.schema(&ctx.catalog)?);
             let output_types = types_of(&plan.schema(&ctx.catalog)?);
             let (c, cm) = build_node(child, ctx)?;
@@ -106,7 +127,13 @@ fn build_node(
                 MetricsNode::new(m, vec![cm]),
             )
         }
-        Plan::Join { left, right, kind, left_keys, right_keys } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+        } => {
             let right_types = types_of(&right.schema(&ctx.catalog)?);
             let (l, lm) = build_node(left, ctx)?;
             let (r, rm) = build_node(right, ctx)?;
@@ -226,7 +253,10 @@ mod tests {
             .select(Expr::name("tag").eq(Expr::lit("even")))
             .aggregate(
                 vec![(Expr::name("k"), "k")],
-                vec![(AggFunc::Sum(Expr::name("v")), "sv"), (AggFunc::CountStar, "n")],
+                vec![
+                    (AggFunc::Sum(Expr::name("v")), "sv"),
+                    (AggFunc::CountStar, "n"),
+                ],
             )
             .sort(vec![SortKeyExpr::asc(Expr::name("k"))])
             .bind(&ctx.catalog)

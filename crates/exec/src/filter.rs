@@ -18,7 +18,11 @@ pub struct FilterExec {
 impl FilterExec {
     /// Filter `child` by `predicate` (bound, boolean).
     pub fn new(child: Box<dyn Operator>, predicate: Expr, metrics: Arc<OpMetrics>) -> Self {
-        FilterExec { child, predicate, metrics }
+        FilterExec {
+            child,
+            predicate,
+            metrics,
+        }
     }
 }
 
@@ -54,7 +58,11 @@ pub struct ProjectExec {
 impl ProjectExec {
     /// Project `child` through `exprs` (bound).
     pub fn new(child: Box<dyn Operator>, exprs: Vec<Expr>, metrics: Arc<OpMetrics>) -> Self {
-        ProjectExec { child, exprs, metrics }
+        ProjectExec {
+            child,
+            exprs,
+            metrics,
+        }
     }
 }
 

@@ -80,8 +80,7 @@ impl HashJoinExec {
         };
         let mut index: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
         if !self.right_keys.is_empty() {
-            let key_cols: Vec<Column> =
-                self.right_keys.iter().map(|e| eval(e, &batch)).collect();
+            let key_cols: Vec<Column> = self.right_keys.iter().map(|e| eval(e, &batch)).collect();
             let key_refs: Vec<&Column> = key_cols.iter().collect();
             let mut buf = Vec::new();
             for row in 0..batch.rows() {
@@ -245,7 +244,9 @@ mod tests {
     }
 
     fn src(cols: Vec<Column>) -> Box<dyn Operator> {
-        Box::new(Source { batches: vec![Batch::new(cols)] })
+        Box::new(Source {
+            batches: vec![Batch::new(cols)],
+        })
     }
 
     fn empty_src() -> Box<dyn Operator> {
@@ -291,7 +292,12 @@ mod tests {
         rows.sort_by(|a, b| a[0].cmp(&b[0]).then(a[3].cmp(&b[3])));
         assert_eq!(
             rows[0],
-            vec![Value::Int(2), Value::str("b"), Value::Int(2), Value::Float(0.2)]
+            vec![
+                Value::Int(2),
+                Value::str("b"),
+                Value::Int(2),
+                Value::Float(0.2)
+            ]
         );
         assert_eq!(rows[2][3], Value::Float(0.33));
     }
@@ -299,10 +305,7 @@ mod tests {
     #[test]
     fn left_outer_pads_with_nulls() {
         let left = src(vec![Column::from_ints(vec![1, 2])]);
-        let right = src(vec![
-            Column::from_ints(vec![2]),
-            Column::from_strs(["hit"]),
-        ]);
+        let right = src(vec![Column::from_ints(vec![2]), Column::from_strs(["hit"])]);
         let mut j = join(
             JoinKind::LeftOuter,
             left,

@@ -28,6 +28,7 @@ pub mod op;
 pub mod scan;
 pub mod sort;
 pub mod store;
+pub mod stream;
 
 pub use build::{build, ExecTree};
 pub use context::{ExecContext, FnRegistry, TableFunction};
@@ -36,3 +37,4 @@ pub use op::{collect_all, run_to_batch, Operator};
 pub use store::{
     CachedExec, MaterializedResult, ResultStore, SpeculationEstimate, StoreExec, StoreVerdict,
 };
+pub use stream::ExecStream;

@@ -105,7 +105,10 @@ pub struct MetricsNode {
 impl MetricsNode {
     /// Leaf node.
     pub fn leaf(metrics: Arc<OpMetrics>) -> Self {
-        MetricsNode { metrics, children: Vec::new() }
+        MetricsNode {
+            metrics,
+            children: Vec::new(),
+        }
     }
 
     /// Internal node.

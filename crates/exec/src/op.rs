@@ -25,10 +25,7 @@ pub trait Operator: Send {
 /// Every operator's `next_batch` body should be wrapped by this (the
 /// builder-constructed operators all do), so `metrics.time_ns` is the
 /// inclusive subtree cost.
-pub fn timed_next(
-    metrics: &OpMetrics,
-    f: impl FnOnce() -> Option<Batch>,
-) -> Option<Batch> {
+pub fn timed_next(metrics: &OpMetrics, f: impl FnOnce() -> Option<Batch>) -> Option<Batch> {
     let start = Instant::now();
     let out = f();
     metrics.add_time(start.elapsed().as_nanos() as u64);
@@ -86,7 +83,9 @@ mod tests {
     fn collect_and_concat() {
         let b1 = Batch::new(vec![Column::from_ints(vec![1, 2])]);
         let b2 = Batch::new(vec![Column::from_ints(vec![3])]);
-        let mut op = Fixed { batches: vec![b1, b2] };
+        let mut op = Fixed {
+            batches: vec![b1, b2],
+        };
         let all = run_to_batch(&mut op);
         assert_eq!(all.column(0).as_ints(), &[1, 2, 3]);
         let mut empty = Fixed { batches: vec![] };
@@ -96,7 +95,9 @@ mod tests {
     #[test]
     fn timed_next_counts() {
         let m = OpMetrics::default();
-        let out = timed_next(&m, || Some(Batch::new(vec![Column::from_ints(vec![1, 2, 3])])));
+        let out = timed_next(&m, || {
+            Some(Batch::new(vec![Column::from_ints(vec![1, 2, 3])]))
+        });
         assert_eq!(out.unwrap().rows(), 3);
         assert_eq!(m.rows_out(), 3);
         assert_eq!(m.calls.load(std::sync::atomic::Ordering::Relaxed), 1);

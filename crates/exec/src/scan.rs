@@ -20,7 +20,12 @@ pub struct ScanExec {
 impl ScanExec {
     /// Scan `table`, emitting the columns at `projection` positions.
     pub fn new(table: Arc<Table>, projection: Vec<usize>, metrics: Arc<OpMetrics>) -> Self {
-        ScanExec { table, projection, offset: 0, metrics }
+        ScanExec {
+            table,
+            projection,
+            offset: 0,
+            metrics,
+        }
     }
 }
 
@@ -65,7 +70,13 @@ impl FnScanExec {
         args: Vec<Value>,
         metrics: Arc<OpMetrics>,
     ) -> Self {
-        FnScanExec { function, args, produced: None, next: 0, metrics }
+        FnScanExec {
+            function,
+            args,
+            produced: None,
+            next: 0,
+            metrics,
+        }
     }
 }
 

@@ -25,7 +25,13 @@ pub struct SortExec {
 impl SortExec {
     /// Sort `child` by `keys`.
     pub fn new(child: Box<dyn Operator>, keys: Vec<SortKeyExpr>, metrics: Arc<OpMetrics>) -> Self {
-        SortExec { child, keys, output: None, emitted: 0, metrics }
+        SortExec {
+            child,
+            keys,
+            output: None,
+            emitted: 0,
+            metrics,
+        }
     }
 
     fn build(&mut self) -> Vec<Batch> {
@@ -117,7 +123,7 @@ impl PartialEq for HeapRow {
 impl Eq for HeapRow {}
 impl PartialOrd for HeapRow {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.key_cmp(other))
+        Some(self.cmp(other))
     }
 }
 impl Ord for HeapRow {
@@ -164,8 +170,7 @@ impl TopNExec {
         let mut heap: BinaryHeap<HeapRow> = BinaryHeap::with_capacity(self.n + 1);
         while let Some(batch) = self.child.next_batch() {
             self.metrics.add_work(batch.rows() as u64);
-            let key_cols: Vec<Column> =
-                self.keys.iter().map(|k| eval(&k.expr, &batch)).collect();
+            let key_cols: Vec<Column> = self.keys.iter().map(|k| eval(&k.expr, &batch)).collect();
             for row in 0..batch.rows() {
                 let entry = HeapRow {
                     keys: key_cols.iter().map(|c| c.get(row)).collect(),
@@ -201,7 +206,9 @@ impl TopNExec {
                     builders[i].push(v.clone());
                 }
             }
-            out.push(Batch::new(builders.into_iter().map(|b| b.finish()).collect()));
+            out.push(Batch::new(
+                builders.into_iter().map(|b| b.finish()).collect(),
+            ));
             offset += len;
         }
         out
@@ -251,7 +258,11 @@ pub struct LimitExec {
 impl LimitExec {
     /// First `n` rows of `child`.
     pub fn new(child: Box<dyn Operator>, n: usize, metrics: Arc<OpMetrics>) -> Self {
-        LimitExec { child, remaining: n, metrics }
+        LimitExec {
+            child,
+            remaining: n,
+            metrics,
+        }
     }
 }
 
@@ -293,7 +304,11 @@ pub struct UnionAllExec {
 impl UnionAllExec {
     /// Union of `children` (same schemas).
     pub fn new(children: Vec<Box<dyn Operator>>, metrics: Arc<OpMetrics>) -> Self {
-        UnionAllExec { children, current: 0, metrics }
+        UnionAllExec {
+            children,
+            current: 0,
+            metrics,
+        }
     }
 }
 

@@ -38,22 +38,13 @@ pub struct MaterializedResult {
 impl MaterializedResult {
     /// Build from collected batches.
     pub fn from_batches(schema: Schema, batches: &[Batch]) -> Self {
-        let batch = if batches.is_empty() {
-            // Zero-row result with correct width.
-            Batch::new(
-                schema
-                    .fields()
-                    .iter()
-                    .map(|f| {
-                        rdb_vector::column::ColumnBuilder::new(f.dtype, 0).finish()
-                    })
-                    .collect(),
-            )
-        } else {
-            Batch::concat(batches)
-        };
+        let batch = Batch::concat_or_empty(&schema, batches);
         let size_bytes = batch.size_bytes();
-        MaterializedResult { schema, batch, size_bytes }
+        MaterializedResult {
+            schema,
+            batch,
+            size_bytes,
+        }
     }
 
     /// Row count.
@@ -92,9 +83,10 @@ pub struct SpeculationEstimate {
 }
 
 /// Recycler's answer to a speculation snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StoreVerdict {
     /// Keep buffering; ask again on the next batch.
+    #[default]
     Undecided,
     /// Materializing is beneficial: buffer to completion and publish.
     Commit,
@@ -165,7 +157,11 @@ impl StoreExec {
             tag,
             schema,
             store,
-            phase: if speculative { Phase::Speculating } else { Phase::Committed },
+            phase: if speculative {
+                Phase::Speculating
+            } else {
+                Phase::Committed
+            },
             buffer: Vec::new(),
             buffered_rows: 0,
             buffered_bytes: 0,
@@ -286,7 +282,13 @@ pub struct CachedExec {
 impl CachedExec {
     /// Replay the result leased under `tag`.
     pub fn new(tag: u64, store: Arc<dyn ResultStore>, metrics: Arc<OpMetrics>) -> Self {
-        CachedExec { tag, store, batches: None, next: 0, metrics }
+        CachedExec {
+            tag,
+            store,
+            batches: None,
+            next: 0,
+            metrics,
+        }
     }
 }
 
@@ -369,12 +371,6 @@ mod tests {
         abandoned: Mutex<Vec<u64>>,
         verdict: Mutex<StoreVerdict>,
         calls: Mutex<u64>,
-    }
-
-    impl Default for StoreVerdict {
-        fn default() -> Self {
-            StoreVerdict::Undecided
-        }
     }
 
     impl ResultStore for MockStore {

@@ -1,0 +1,149 @@
+//! Pull-based batch streaming over a built executor.
+//!
+//! [`ExecStream`] is the public face of the operator pull loop: it wraps a
+//! built [`ExecTree`] and yields result [`Batch`]es one vector at a time
+//! (`Iterator<Item = Batch>`), so consumers stay pipelined end-to-end
+//! instead of receiving one concatenated result. Materialization is an
+//! explicit choice via [`ExecStream::collect_batch`].
+
+use rdb_vector::{Batch, Schema};
+
+use crate::build::ExecTree;
+use crate::metrics::MetricsNode;
+use crate::op::Operator;
+
+/// An executing query as an iterator of result batches.
+pub struct ExecStream {
+    root: Box<dyn Operator>,
+    metrics: MetricsNode,
+    schema: Schema,
+    exhausted: bool,
+}
+
+impl ExecStream {
+    /// Wrap a built executor tree.
+    pub fn new(tree: ExecTree) -> ExecStream {
+        ExecStream {
+            root: tree.root,
+            metrics: tree.metrics,
+            schema: tree.schema,
+            exhausted: false,
+        }
+    }
+
+    /// Result schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Per-operator measurements collected so far (live during execution).
+    pub fn metrics(&self) -> &MetricsNode {
+        &self.metrics
+    }
+
+    /// Whether the stream has returned `None` (fully drained).
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Root progress meter in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.exhausted {
+            1.0
+        } else {
+            self.root.progress()
+        }
+    }
+
+    /// Drain the remaining batches and concatenate them (explicit
+    /// materialization; an empty result keeps the schema's width).
+    pub fn collect_batch(&mut self) -> Batch {
+        let mut batches = Vec::new();
+        for b in &mut *self {
+            batches.push(b);
+        }
+        Batch::concat_or_empty(&self.schema, &batches)
+    }
+}
+
+impl Iterator for ExecStream {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.exhausted {
+            return None;
+        }
+        match self.root.next_batch() {
+            Some(b) => Some(b),
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+}
+
+impl ExecTree {
+    /// Turn this built executor into a pull stream.
+    pub fn into_stream(self) -> ExecStream {
+        ExecStream::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::context::ExecContext;
+    use rdb_expr::Expr;
+    use rdb_plan::scan;
+    use rdb_storage::{Catalog, TableBuilder};
+    use rdb_vector::{DataType, Value, BATCH_CAPACITY};
+    use std::sync::Arc;
+
+    fn ctx(rows: usize) -> ExecContext {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([("k", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema, rows);
+        for i in 0..rows {
+            b.push_row(vec![Value::Int(i as i64)]);
+        }
+        cat.register(b.finish());
+        ExecContext::new(Arc::new(cat))
+    }
+
+    #[test]
+    fn stream_yields_vector_at_a_time() {
+        let ctx = ctx(BATCH_CAPACITY * 3 + 10);
+        let plan = scan("t", &["k"]).bind(&ctx.catalog).unwrap();
+        let mut stream = build(&plan, &ctx).unwrap().into_stream();
+        assert_eq!(stream.schema().names(), vec!["k"]);
+        let mut batches = 0;
+        let mut rows = 0;
+        for b in &mut stream {
+            batches += 1;
+            rows += b.rows();
+            assert!(b.rows() <= BATCH_CAPACITY);
+        }
+        assert_eq!(batches, 4);
+        assert_eq!(rows, BATCH_CAPACITY * 3 + 10);
+        assert!(stream.exhausted());
+        assert_eq!(stream.progress(), 1.0);
+    }
+
+    #[test]
+    fn collect_batch_materializes_remainder() {
+        let ctx = ctx(BATCH_CAPACITY + 5);
+        let plan = scan("t", &["k"])
+            .select(Expr::name("k").ge(Expr::lit(0)))
+            .bind(&ctx.catalog)
+            .unwrap();
+        let mut stream = build(&plan, &ctx).unwrap().into_stream();
+        let first = stream.next().unwrap();
+        let rest = stream.collect_batch();
+        assert_eq!(first.rows() + rest.rows(), BATCH_CAPACITY + 5);
+        // Exhausted stream keeps returning None.
+        assert!(stream.next().is_none());
+        assert_eq!(stream.collect_batch().rows(), 0);
+    }
+}

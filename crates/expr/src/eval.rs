@@ -26,6 +26,7 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
     match expr {
         Expr::Col(i) => batch.column(*i).clone(),
         Expr::Named(n) => panic!("cannot evaluate unbound column '{n}'"),
+        Expr::Param(n) => panic!("cannot evaluate unsubstituted parameter '{n}'"),
         Expr::Lit(v) => broadcast(v, rows),
         Expr::Cmp(op, a, b) => cmp_columns(*op, &eval(a, batch), &eval(b, batch)),
         Expr::Arith(op, a, b) => arith_columns(*op, &eval(a, batch), &eval(b, batch)),
@@ -36,7 +37,11 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
             let vals: Vec<bool> = c.as_bools().iter().map(|&b| !b).collect();
             rebuild_bool(vals, &c)
         }
-        Expr::Like { expr, pattern, negated } => {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let c = eval(expr, batch);
             let vals: Vec<bool> = c
                 .as_strs()
@@ -61,16 +66,31 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
         }
         Expr::Year(e) => {
             let c = eval(e, batch);
-            let vals: Vec<i64> = c.as_dates().iter().map(|&d| year_of_date(d) as i64).collect();
+            let vals: Vec<i64> = c
+                .as_dates()
+                .iter()
+                .map(|&d| year_of_date(d) as i64)
+                .collect();
             carry_validity(ColumnData::Int(vals), &c)
         }
         Expr::Month(e) => {
             let c = eval(e, batch);
-            let vals: Vec<i64> = c.as_dates().iter().map(|&d| month_of_date(d) as i64).collect();
+            let vals: Vec<i64> = c
+                .as_dates()
+                .iter()
+                .map(|&d| month_of_date(d) as i64)
+                .collect();
             carry_validity(ColumnData::Int(vals), &c)
         }
-        Expr::Case { branches, otherwise } => eval_case(branches, otherwise, batch),
-        Expr::InList { expr, list, negated } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => eval_case(branches, otherwise, batch),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let c = eval(expr, batch);
             let mut vals = Vec::with_capacity(rows);
             for i in 0..rows {
@@ -195,7 +215,10 @@ fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
             ArithOp::Sub => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l - r).collect()),
             ArithOp::Mul => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l * r).collect()),
             ArithOp::Div => ColumnData::Float(
-                x.iter().zip(y).map(|(l, r)| *l as f64 / *r as f64).collect(),
+                x.iter()
+                    .zip(y)
+                    .map(|(l, r)| *l as f64 / *r as f64)
+                    .collect(),
             ),
         },
         // Date shifted by days.
@@ -345,10 +368,7 @@ mod tests {
     fn date_arithmetic_and_extraction() {
         let b = batch();
         let e = Expr::col(2).add(Expr::lit(1));
-        assert_eq!(
-            eval(&e, &b).as_dates()[0],
-            date_from_ymd(1995, 1, 16)
-        );
+        assert_eq!(eval(&e, &b).as_dates()[0], date_from_ymd(1995, 1, 16));
         let e = Expr::col(2).year();
         assert_eq!(eval(&e, &b).as_ints(), &[1995, 1995, 1996, 1997]);
         let e = Expr::col(2).month();
@@ -358,9 +378,13 @@ mod tests {
     #[test]
     fn boolean_logic() {
         let b = batch();
-        let e = Expr::col(0).gt(Expr::lit(1)).and(Expr::col(0).lt(Expr::lit(4)));
+        let e = Expr::col(0)
+            .gt(Expr::lit(1))
+            .and(Expr::col(0).lt(Expr::lit(4)));
         assert_eq!(eval_predicate(&e, &b), vec![false, true, true, false]);
-        let e = Expr::col(0).eq(Expr::lit(1)).or(Expr::col(0).eq(Expr::lit(4)));
+        let e = Expr::col(0)
+            .eq(Expr::lit(1))
+            .or(Expr::col(0).eq(Expr::lit(4)));
         assert_eq!(eval_predicate(&e, &b), vec![true, false, false, true]);
         let e = Expr::col(0).gt(Expr::lit(2)).not();
         assert_eq!(eval_predicate(&e, &b), vec![true, true, false, false]);
@@ -437,7 +461,9 @@ mod tests {
         cb.push_null();
         cb.push_null();
         let b = Batch::new(vec![cb.finish(), Column::from_ints(vec![0, 1])]);
-        let e = Expr::col(0).gt(Expr::lit(0)).and(Expr::col(1).eq(Expr::lit(1)));
+        let e = Expr::col(0)
+            .gt(Expr::lit(0))
+            .and(Expr::col(1).eq(Expr::lit(1)));
         let c = eval(&e, &b);
         assert!(c.is_valid(0), "NULL AND false is false, not NULL");
         assert_eq!(c.get(0), Value::Bool(false));
@@ -451,7 +477,9 @@ mod tests {
         cb.push_null();
         cb.push_null();
         let b = Batch::new(vec![cb.finish(), Column::from_ints(vec![1, 0])]);
-        let e = Expr::col(0).gt(Expr::lit(0)).or(Expr::col(1).eq(Expr::lit(1)));
+        let e = Expr::col(0)
+            .gt(Expr::lit(0))
+            .or(Expr::col(1).eq(Expr::lit(1)));
         let c = eval(&e, &b);
         assert_eq!(c.get(0), Value::Bool(true));
         assert!(!c.is_valid(1));

@@ -73,6 +73,11 @@ pub enum Expr {
     Col(usize),
     /// Named reference, resolved to [`Expr::Col`] by the bind pass.
     Named(String),
+    /// Named parameter placeholder of a prepared statement, replaced by a
+    /// literal via [`Expr::substitute_params`] before execution. Placeholders
+    /// survive the bind pass, so a prepared template is bound once and
+    /// substituted per execution.
+    Param(String),
     /// Literal scalar.
     Lit(Value),
     /// Comparison; NULL if either side is NULL.
@@ -146,6 +151,11 @@ impl Expr {
         Expr::Named(n.into())
     }
 
+    /// Named parameter placeholder (prepared-statement slot).
+    pub fn param(n: impl Into<String>) -> Expr {
+        Expr::Param(n.into())
+    }
+
     /// Literal.
     pub fn lit(v: impl Into<Value>) -> Expr {
         Expr::Lit(v.into())
@@ -182,21 +192,25 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
     }
 
     /// `self / other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Div, Box::new(self), Box::new(other))
     }
@@ -244,23 +258,36 @@ impl Expr {
     }
 
     /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
 
     /// `self LIKE pattern`.
     pub fn like(self, pattern: impl Into<String>) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: pattern.into(), negated: false }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: false,
+        }
     }
 
     /// `self NOT LIKE pattern`.
     pub fn not_like(self, pattern: impl Into<String>) -> Expr {
-        Expr::Like { expr: Box::new(self), pattern: pattern.into(), negated: true }
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: true,
+        }
     }
 
     /// `substring(self from start for len)` (1-based).
     pub fn substr(self, start: usize, len: usize) -> Expr {
-        Expr::Substr { expr: Box::new(self), start, len }
+        Expr::Substr {
+            expr: Box::new(self),
+            start,
+            len,
+        }
     }
 
     /// `extract(year from self)`.
@@ -301,17 +328,26 @@ impl Expr {
 
     /// `self IS NULL`.
     pub fn is_null(self) -> Expr {
-        Expr::IsNull { expr: Box::new(self), negated: false }
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: false,
+        }
     }
 
     /// `self IS NOT NULL`.
     pub fn is_not_null(self) -> Expr {
-        Expr::IsNull { expr: Box::new(self), negated: true }
+        Expr::IsNull {
+            expr: Box::new(self),
+            negated: true,
+        }
     }
 
     /// `CASE WHEN ... END` with an explicit ELSE.
     pub fn case(branches: Vec<(Expr, Expr)>, otherwise: Expr) -> Expr {
-        Expr::Case { branches, otherwise: Box::new(otherwise) }
+        Expr::Case {
+            branches,
+            otherwise: Box::new(otherwise),
+        }
     }
 
     // ---- traversal ------------------------------------------------------
@@ -319,7 +355,7 @@ impl Expr {
     /// Visit every child expression.
     pub fn children(&self) -> Vec<&Expr> {
         match self {
-            Expr::Col(_) | Expr::Named(_) | Expr::Lit(_) => vec![],
+            Expr::Col(_) | Expr::Named(_) | Expr::Param(_) | Expr::Lit(_) => vec![],
             Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => vec![a, b],
             Expr::And(v) | Expr::Or(v) => v.iter().collect(),
             Expr::Not(e)
@@ -329,7 +365,10 @@ impl Expr {
             | Expr::Month(e)
             | Expr::InList { expr: e, .. }
             | Expr::IsNull { expr: e, .. } => vec![e],
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 let mut out: Vec<&Expr> = Vec::with_capacity(branches.len() * 2 + 1);
                 for (c, v) in branches {
                     out.push(c);
@@ -344,13 +383,17 @@ impl Expr {
     /// Rebuild this node with children transformed by `f` (bottom-up map).
     pub fn map_children(&self, f: &mut impl FnMut(&Expr) -> Expr) -> Expr {
         match self {
-            Expr::Col(_) | Expr::Named(_) | Expr::Lit(_) => self.clone(),
+            Expr::Col(_) | Expr::Named(_) | Expr::Param(_) | Expr::Lit(_) => self.clone(),
             Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(f(a)), Box::new(f(b))),
             Expr::Arith(op, a, b) => Expr::Arith(*op, Box::new(f(a)), Box::new(f(b))),
-            Expr::And(v) => Expr::And(v.iter().map(|e| f(e)).collect()),
-            Expr::Or(v) => Expr::Or(v.iter().map(|e| f(e)).collect()),
+            Expr::And(v) => Expr::And(v.iter().map(&mut *f).collect()),
+            Expr::Or(v) => Expr::Or(v.iter().map(&mut *f).collect()),
             Expr::Not(e) => Expr::Not(Box::new(f(e))),
-            Expr::Like { expr, pattern, negated } => Expr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
                 expr: Box::new(f(expr)),
                 pattern: pattern.clone(),
                 negated: *negated,
@@ -362,11 +405,18 @@ impl Expr {
             },
             Expr::Year(e) => Expr::Year(Box::new(f(e))),
             Expr::Month(e) => Expr::Month(Box::new(f(e))),
-            Expr::Case { branches, otherwise } => Expr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
                 branches: branches.iter().map(|(c, v)| (f(c), f(v))).collect(),
                 otherwise: Box::new(f(otherwise)),
             },
-            Expr::InList { expr, list, negated } => Expr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
                 expr: Box::new(f(expr)),
                 list: list.clone(),
                 negated: *negated,
@@ -430,12 +480,58 @@ impl Expr {
         matches!(self, Expr::Named(_)) || self.children().iter().any(|c| c.has_named())
     }
 
+    /// Whether the expression contains any [`Expr::Param`] placeholder.
+    pub fn has_params(&self) -> bool {
+        matches!(self, Expr::Param(_)) || self.children().iter().any(|c| c.has_params())
+    }
+
+    /// Collect the names of all parameter placeholders (deduplicated, in
+    /// first-occurrence order).
+    pub fn param_names(&self, out: &mut Vec<String>) {
+        if let Expr::Param(n) = self {
+            if !out.iter().any(|x| x == n) {
+                out.push(n.clone());
+            }
+        }
+        for c in self.children() {
+            c.param_names(out);
+        }
+    }
+
+    /// Replace every [`Expr::Param`] with the literal bound to its name.
+    /// Returns an error message naming the first unbound parameter.
+    pub fn substitute_params(&self, params: &crate::Params) -> Result<Expr, String> {
+        match self {
+            Expr::Param(n) => params
+                .get(n)
+                .map(|v| Expr::Lit(v.clone()))
+                .ok_or_else(|| format!("no value bound for parameter '{n}'")),
+            _ => {
+                let mut err = None;
+                let out = self.map_children(&mut |c| match c.substitute_params(params) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        err.get_or_insert(e);
+                        c.clone()
+                    }
+                });
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(out),
+                }
+            }
+        }
+    }
+
     /// Result type given the input column types. Panics on ill-typed
     /// expressions (plans are type-checked when bound).
     pub fn data_type(&self, input: &[DataType]) -> DataType {
         match self {
             Expr::Col(i) => input[*i],
             Expr::Named(n) => panic!("unbound column '{n}' has no type"),
+            Expr::Param(n) => panic!(
+                "parameter '{n}' has no type; substitute parameters before deriving a schema"
+            ),
             Expr::Lit(v) => v.data_type().unwrap_or(DataType::Int),
             Expr::Cmp(..)
             | Expr::And(_)
@@ -456,7 +552,10 @@ impl Expr {
             }
             Expr::Substr { .. } => DataType::Str,
             Expr::Year(_) | Expr::Month(_) => DataType::Int,
-            Expr::Case { branches, otherwise } => branches
+            Expr::Case {
+                branches,
+                otherwise,
+            } => branches
                 .first()
                 .map(|(_, v)| v.data_type(input))
                 .unwrap_or_else(|| otherwise.data_type(input)),
@@ -469,6 +568,7 @@ impl fmt::Display for Expr {
         match self {
             Expr::Col(i) => write!(f, "${i}"),
             Expr::Named(n) => write!(f, "{n}"),
+            Expr::Param(n) => write!(f, ":{n}"),
             Expr::Lit(v) => write!(f, "{v}"),
             Expr::Cmp(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
             Expr::Arith(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
@@ -493,22 +593,37 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::Not(e) => write!(f, "NOT {e}"),
-            Expr::Like { expr, pattern, negated } => {
-                write!(f, "({expr} {}LIKE '{pattern}')", if *negated { "NOT " } else { "" })
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(
+                    f,
+                    "({expr} {}LIKE '{pattern}')",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Substr { expr, start, len } => {
                 write!(f, "substr({expr}, {start}, {len})")
             }
             Expr::Year(e) => write!(f, "year({e})"),
             Expr::Month(e) => write!(f, "month({e})"),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 write!(f, "CASE")?;
                 for (c, v) in branches {
                     write!(f, " WHEN {c} THEN {v}")?;
                 }
                 write!(f, " ELSE {otherwise} END")
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, v) in list.iter().enumerate() {
                     if i > 0 {
@@ -555,9 +670,15 @@ mod tests {
 
     #[test]
     fn structural_equality_for_matching() {
-        let a = Expr::col(0).lt(Expr::lit(5)).and(Expr::col(1).ge(Expr::lit(1.5)));
-        let b = Expr::col(0).lt(Expr::lit(5)).and(Expr::col(1).ge(Expr::lit(1.5)));
-        let c = Expr::col(0).lt(Expr::lit(6)).and(Expr::col(1).ge(Expr::lit(1.5)));
+        let a = Expr::col(0)
+            .lt(Expr::lit(5))
+            .and(Expr::col(1).ge(Expr::lit(1.5)));
+        let b = Expr::col(0)
+            .lt(Expr::lit(5))
+            .and(Expr::col(1).ge(Expr::lit(1.5)));
+        let c = Expr::col(0)
+            .lt(Expr::lit(6))
+            .and(Expr::col(1).ge(Expr::lit(1.5)));
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -583,23 +704,48 @@ mod tests {
     #[test]
     fn between_expands_to_range() {
         let e = Expr::col(0).between(1i64, 5i64);
-        assert_eq!(e, Expr::col(0).ge(Expr::lit(1)).and(Expr::col(0).le(Expr::lit(5))));
+        assert_eq!(
+            e,
+            Expr::col(0)
+                .ge(Expr::lit(1))
+                .and(Expr::col(0).le(Expr::lit(5)))
+        );
     }
 
     #[test]
     fn types_infer() {
-        let tys = [DataType::Int, DataType::Float, DataType::Date, DataType::Str];
-        assert_eq!(Expr::col(0).add(Expr::col(0)).data_type(&tys), DataType::Int);
-        assert_eq!(Expr::col(0).add(Expr::col(1)).data_type(&tys), DataType::Float);
-        assert_eq!(Expr::col(2).add(Expr::lit(3)).data_type(&tys), DataType::Date);
+        let tys = [
+            DataType::Int,
+            DataType::Float,
+            DataType::Date,
+            DataType::Str,
+        ];
+        assert_eq!(
+            Expr::col(0).add(Expr::col(0)).data_type(&tys),
+            DataType::Int
+        );
+        assert_eq!(
+            Expr::col(0).add(Expr::col(1)).data_type(&tys),
+            DataType::Float
+        );
+        assert_eq!(
+            Expr::col(2).add(Expr::lit(3)).data_type(&tys),
+            DataType::Date
+        );
         assert_eq!(Expr::col(2).year().data_type(&tys), DataType::Int);
         assert_eq!(Expr::col(3).substr(1, 2).data_type(&tys), DataType::Str);
-        assert_eq!(Expr::col(0).lt(Expr::lit(1)).data_type(&tys), DataType::Bool);
+        assert_eq!(
+            Expr::col(0).lt(Expr::lit(1)).data_type(&tys),
+            DataType::Bool
+        );
     }
 
     #[test]
     fn columns_used_collects() {
-        let e = Expr::col(2).year().eq(Expr::lit(1995)).and(Expr::col(0).lt(Expr::col(2)));
+        let e = Expr::col(2)
+            .year()
+            .eq(Expr::lit(1995))
+            .and(Expr::col(0).lt(Expr::col(2)));
         let mut used = Vec::new();
         e.columns_used(&mut used);
         used.sort_unstable();
@@ -615,7 +761,9 @@ mod tests {
 
     #[test]
     fn display_renders_sql_like_text() {
-        let e = Expr::name("x").le(Expr::lit(3)).and(Expr::name("s").like("a%"));
+        let e = Expr::name("x")
+            .le(Expr::lit(3))
+            .and(Expr::name("s").like("a%"));
         assert_eq!(e.to_string(), "((x <= 3) AND (s LIKE 'a%'))");
     }
 

@@ -18,9 +18,11 @@ pub mod agg;
 pub mod eval;
 pub mod expr;
 pub mod like;
+pub mod params;
 pub mod ranges;
 
 pub use agg::AggFunc;
 pub use eval::{eval, eval_predicate};
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use params::Params;
 pub use ranges::{analyze_conjunction, implies, Interval};

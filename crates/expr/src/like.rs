@@ -71,10 +71,19 @@ mod tests {
     #[test]
     fn multi_wildcard_words() {
         // The Q13 / Q16 / SkyServer shapes: '%w1%w2%'.
-        assert!(like_match("xx special yy requests zz", "%special%requests%"));
-        assert!(!like_match("xx requests yy special zz", "%special%requests%"));
+        assert!(like_match(
+            "xx special yy requests zz",
+            "%special%requests%"
+        ));
+        assert!(!like_match(
+            "xx requests yy special zz",
+            "%special%requests%"
+        ));
         assert!(like_match("specialrequests", "%special%requests%"));
-        assert!(like_match("Customer say Complaints loud", "%Customer%Complaints%"));
+        assert!(like_match(
+            "Customer say Complaints loud",
+            "%Customer%Complaints%"
+        ));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Named parameter sets for prepared statements.
+//!
+//! A query template contains [`crate::Expr::Param`] placeholders; executing
+//! it supplies a [`Params`] set binding every placeholder name to a
+//! [`Value`]. Parameter sets are small (TPC-H patterns have at most a
+//! handful of substitution parameters), so an ordered `Vec` beats a hash
+//! map and keeps iteration deterministic.
+
+use std::fmt;
+
+use rdb_vector::Value;
+
+/// A set of named parameter bindings, built fluently:
+///
+/// ```
+/// use rdb_expr::Params;
+/// let p = Params::new().set("limit", 10i64).set("region", "north");
+/// assert_eq!(p.len(), 2);
+/// assert!(p.get("limit").is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: Vec<(String, Value)>,
+}
+
+impl Params {
+    /// Empty parameter set.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Empty parameter set (alias communicating "this query has no
+    /// parameters" at call sites).
+    pub fn none() -> Params {
+        Params::default()
+    }
+
+    /// Bind `name` to `value`, replacing any previous binding of the same
+    /// name. Consumes and returns `self` for chaining.
+    pub fn set(mut self, name: impl Into<String>, value: impl Into<Value>) -> Params {
+        let name = name.into();
+        let value = value.into();
+        match self.values.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v = value,
+            None => self.values.push((name, value)),
+        }
+        self
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Bound names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<N: Into<String>, V: Into<Value>> FromIterator<(N, V)> for Params {
+    fn from_iter<I: IntoIterator<Item = (N, V)>>(iter: I) -> Params {
+        iter.into_iter()
+            .fold(Params::new(), |p, (n, v)| p.set(n, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let p = Params::new().set("a", 1i64).set("b", 2.5).set("c", "x");
+        assert_eq!(p.get("a"), Some(&Value::Int(1)));
+        assert_eq!(p.get("b"), Some(&Value::Float(2.5)));
+        assert_eq!(p.get("c"), Some(&Value::str("x")));
+        assert_eq!(p.get("missing"), None);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let p = Params::new().set("a", 1i64).set("a", 2i64);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get("a"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn none_is_empty_and_displays() {
+        assert!(Params::none().is_empty());
+        let p = Params::new().set("x", 7i64);
+        assert_eq!(p.to_string(), "{x: 7}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: Params = [("a", 1i64), ("b", 2i64)].into_iter().collect();
+        assert_eq!(p.names().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

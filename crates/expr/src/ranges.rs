@@ -166,7 +166,11 @@ fn collect(expr: &Expr, out: &mut BTreeMap<RangeKey, Interval>) -> bool {
                 false
             }
         }
-        Expr::InList { expr, list, negated: false } => {
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
             if let Some(key) = range_key(expr) {
                 out.entry(key).or_default().add_members(list.clone());
                 true
@@ -232,9 +236,8 @@ pub fn implies(p: &Expr, q: &Expr) -> bool {
         return false;
     };
     // Every constraint in q must be implied by p's constraint on that key.
-    cq.iter().all(|(key, qiv)| {
-        cp.get(key).map_or(false, |piv| piv.implies(qiv))
-    })
+    cq.iter()
+        .all(|(key, qiv)| cp.get(key).is_some_and(|piv| piv.implies(qiv)))
 }
 
 fn contains_ne(e: &Expr) -> bool {

@@ -1,5 +1,6 @@
 //! Free-function plan constructors.
 
+use rdb_expr::Expr;
 use rdb_vector::{Schema, Value};
 
 use crate::node::Plan;
@@ -14,7 +15,17 @@ pub fn scan(table: &str, cols: &[&str]) -> Plan {
 
 /// Table-function scan with literal arguments and a declared output schema.
 pub fn fn_scan(name: &str, args: Vec<Value>, schema: Schema) -> Plan {
-    Plan::FnScan { name: name.to_string(), args, schema }
+    fn_scan_exprs(name, args.into_iter().map(Expr::Lit).collect(), schema)
+}
+
+/// Table-function scan whose arguments are expressions — literals or
+/// [`Expr::Param`] placeholders of a prepared template.
+pub fn fn_scan_exprs(name: &str, args: Vec<Expr>, schema: Schema) -> Plan {
+    Plan::FnScan {
+        name: name.to_string(),
+        args,
+        schema,
+    }
 }
 
 /// Bag union of the given subplans (schemas must agree).

@@ -99,7 +99,12 @@ pub fn local_hash(plan: &Plan) -> u64 {
             group_by.hash(&mut h);
             aggs.hash(&mut h);
         }
-        Plan::Join { kind, left_keys, right_keys, .. } => {
+        Plan::Join {
+            kind,
+            left_keys,
+            right_keys,
+            ..
+        } => {
             kind.hash(&mut h);
             left_keys.hash(&mut h);
             right_keys.hash(&mut h);
@@ -120,31 +125,67 @@ pub fn local_hash(plan: &Plan) -> u64 {
 /// user-assigned output names and children.
 pub fn local_eq(a: &Plan, b: &Plan) -> bool {
     match (a, b) {
-        (Plan::Scan { table: t1, cols: c1 }, Plan::Scan { table: t2, cols: c2 }) => {
-            t1 == t2 && c1 == c2
-        }
         (
-            Plan::FnScan { name: n1, args: a1, schema: s1 },
-            Plan::FnScan { name: n2, args: a2, schema: s2 },
+            Plan::Scan {
+                table: t1,
+                cols: c1,
+            },
+            Plan::Scan {
+                table: t2,
+                cols: c2,
+            },
+        ) => t1 == t2 && c1 == c2,
+        (
+            Plan::FnScan {
+                name: n1,
+                args: a1,
+                schema: s1,
+            },
+            Plan::FnScan {
+                name: n2,
+                args: a2,
+                schema: s2,
+            },
         ) => n1 == n2 && a1 == a2 && s1.len() == s2.len(),
         (Plan::Select { predicate: p1, .. }, Plan::Select { predicate: p2, .. }) => p1 == p2,
         (Plan::Project { exprs: e1, .. }, Plan::Project { exprs: e2, .. }) => e1 == e2,
         (
-            Plan::Aggregate { group_by: g1, aggs: a1, .. },
-            Plan::Aggregate { group_by: g2, aggs: a2, .. },
+            Plan::Aggregate {
+                group_by: g1,
+                aggs: a1,
+                ..
+            },
+            Plan::Aggregate {
+                group_by: g2,
+                aggs: a2,
+                ..
+            },
         ) => g1 == g2 && a1 == a2,
         (
-            Plan::Join { kind: k1, left_keys: l1, right_keys: r1, .. },
-            Plan::Join { kind: k2, left_keys: l2, right_keys: r2, .. },
+            Plan::Join {
+                kind: k1,
+                left_keys: l1,
+                right_keys: r1,
+                ..
+            },
+            Plan::Join {
+                kind: k2,
+                left_keys: l2,
+                right_keys: r2,
+                ..
+            },
         ) => k1 == k2 && l1 == l2 && r1 == r2,
-        (Plan::TopN { keys: k1, n: n1, .. }, Plan::TopN { keys: k2, n: n2, .. }) => {
-            k1 == k2 && n1 == n2
-        }
+        (
+            Plan::TopN {
+                keys: k1, n: n1, ..
+            },
+            Plan::TopN {
+                keys: k2, n: n2, ..
+            },
+        ) => k1 == k2 && n1 == n2,
         (Plan::Sort { keys: k1, .. }, Plan::Sort { keys: k2, .. }) => k1 == k2,
         (Plan::Limit { n: n1, .. }, Plan::Limit { n: n2, .. }) => n1 == n2,
-        (Plan::UnionAll { children: c1 }, Plan::UnionAll { children: c2 }) => {
-            c1.len() == c2.len()
-        }
+        (Plan::UnionAll { children: c1 }, Plan::UnionAll { children: c2 }) => c1.len() == c2.len(),
         (Plan::Cached { tag: t1, .. }, Plan::Cached { tag: t2, .. }) => t1 == t2,
         _ => false,
     }
@@ -183,9 +224,7 @@ pub fn signature(plan: &Plan) -> u64 {
             }
             sig
         }
-        Plan::FnScan { name, args, .. } => {
-            1u64 << (fx_hash(&(name.as_str(), args)) % 64)
-        }
+        Plan::FnScan { name, args, .. } => 1u64 << (fx_hash(&(name.as_str(), args)) % 64),
         Plan::Cached { tag, .. } => 1u64 << (tag % 64),
         _ => plan
             .children()
@@ -202,8 +241,7 @@ mod tests {
     use rdb_expr::{AggFunc, Expr};
 
     fn base() -> Plan {
-        scan("lineitem", &["l_qty", "l_price"])
-            .select(Expr::col(0).gt(Expr::lit(5)))
+        scan("lineitem", &["l_qty", "l_price"]).select(Expr::col(0).gt(Expr::lit(5)))
     }
 
     #[test]
@@ -227,7 +265,10 @@ mod tests {
     #[test]
     fn output_names_do_not_matter() {
         let a = base().project(vec![(Expr::col(1).mul(Expr::lit(2.0)), "x")]);
-        let b = base().project(vec![(Expr::col(1).mul(Expr::lit(2.0)), "totally_different")]);
+        let b = base().project(vec![(
+            Expr::col(1).mul(Expr::lit(2.0)),
+            "totally_different",
+        )]);
         assert!(structural_eq(&a, &b));
         assert_eq!(structural_hash(&a), structural_hash(&b));
     }
@@ -280,7 +321,7 @@ mod tests {
 
     #[test]
     fn kind_tags_distinct_per_variant() {
-        let plans = vec![
+        let plans = [
             scan("t", &["a"]),
             scan("t", &["a"]).select(Expr::lit(true)),
             scan("t", &["a"]).limit(1),

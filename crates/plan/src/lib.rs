@@ -23,7 +23,7 @@ pub mod builder;
 pub mod fingerprint;
 pub mod node;
 
-pub use builder::{fn_scan, scan, union_all};
+pub use builder::{fn_scan, fn_scan_exprs, scan, union_all};
 pub use fingerprint::{
     fx_hash, kind_tag, local_eq, local_hash, signature, structural_eq, structural_hash, FxHasher,
 };

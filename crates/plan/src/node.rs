@@ -5,7 +5,7 @@ use std::fmt;
 use rdb_expr::{AggFunc, Expr};
 use rdb_storage::Catalog;
 use rdb_vector::row::SortOrder;
-use rdb_vector::{DataType, Field, Schema, Value};
+use rdb_vector::{DataType, Field, Schema};
 
 /// Join variants supported by the executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,12 +50,18 @@ pub struct SortKeyExpr {
 impl SortKeyExpr {
     /// Ascending key.
     pub fn asc(expr: Expr) -> Self {
-        SortKeyExpr { expr, order: SortOrder::Asc }
+        SortKeyExpr {
+            expr,
+            order: SortOrder::Asc,
+        }
     }
 
     /// Descending key.
     pub fn desc(expr: Expr) -> Self {
-        SortKeyExpr { expr, order: SortOrder::Desc }
+        SortKeyExpr {
+            expr,
+            order: SortOrder::Desc,
+        }
     }
 }
 
@@ -101,8 +107,10 @@ pub enum Plan {
     FnScan {
         /// Function name.
         name: String,
-        /// Literal arguments (part of the match identity).
-        args: Vec<Value>,
+        /// Constant arguments (part of the match identity). Literals in a
+        /// concrete plan; prepared templates may use [`Expr::Param`]
+        /// placeholders, substituted before execution.
+        args: Vec<Expr>,
         /// Declared output schema.
         schema: Schema,
     },
@@ -201,33 +209,43 @@ impl Plan {
 
     /// `σ_predicate(self)`.
     pub fn select(self, predicate: Expr) -> Plan {
-        Plan::Select { child: Box::new(self), predicate }
+        Plan::Select {
+            child: Box::new(self),
+            predicate,
+        }
     }
 
     /// `π_{exprs as names}(self)`.
     pub fn project(self, items: Vec<(Expr, &str)>) -> Plan {
-        let (exprs, names) = items
-            .into_iter()
-            .map(|(e, n)| (e, n.to_string()))
-            .unzip();
-        Plan::Project { child: Box::new(self), exprs, names }
+        let (exprs, names) = items.into_iter().map(|(e, n)| (e, n.to_string())).unzip();
+        Plan::Project {
+            child: Box::new(self),
+            exprs,
+            names,
+        }
     }
 
     /// `γ_{groups; aggs}(self)`.
     pub fn aggregate(self, groups: Vec<(Expr, &str)>, aggs: Vec<(AggFunc, &str)>) -> Plan {
-        let (group_by, group_names) = groups
-            .into_iter()
-            .map(|(e, n)| (e, n.to_string()))
-            .unzip();
-        let (aggs, agg_names) = aggs
-            .into_iter()
-            .map(|(a, n)| (a, n.to_string()))
-            .unzip();
-        Plan::Aggregate { child: Box::new(self), group_by, group_names, aggs, agg_names }
+        let (group_by, group_names) = groups.into_iter().map(|(e, n)| (e, n.to_string())).unzip();
+        let (aggs, agg_names) = aggs.into_iter().map(|(a, n)| (a, n.to_string())).unzip();
+        Plan::Aggregate {
+            child: Box::new(self),
+            group_by,
+            group_names,
+            aggs,
+            agg_names,
+        }
     }
 
     /// Hash join with the given kind and key lists.
-    pub fn join(self, right: Plan, kind: JoinKind, left_keys: Vec<Expr>, right_keys: Vec<Expr>) -> Plan {
+    pub fn join(
+        self,
+        right: Plan,
+        kind: JoinKind,
+        left_keys: Vec<Expr>,
+        right_keys: Vec<Expr>,
+    ) -> Plan {
         Plan::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -249,22 +267,36 @@ impl Plan {
 
     /// Heap top-N.
     pub fn top_n(self, keys: Vec<SortKeyExpr>, n: usize) -> Plan {
-        Plan::TopN { child: Box::new(self), keys, n }
+        Plan::TopN {
+            child: Box::new(self),
+            keys,
+            n,
+        }
     }
 
     /// Full sort.
     pub fn sort(self, keys: Vec<SortKeyExpr>) -> Plan {
-        Plan::Sort { child: Box::new(self), keys }
+        Plan::Sort {
+            child: Box::new(self),
+            keys,
+        }
     }
 
     /// Row limit.
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { child: Box::new(self), n }
+        Plan::Limit {
+            child: Box::new(self),
+            n,
+        }
     }
 
     /// Wrap in a recycler store operator.
     pub fn store(self, tag: u64, mode: StoreMode) -> Plan {
-        Plan::Store { child: Box::new(self), tag, mode }
+        Plan::Store {
+            child: Box::new(self),
+            tag,
+            mode,
+        }
     }
 
     // ---- structure -------------------------------------------------------
@@ -291,29 +323,53 @@ impl Plan {
         let mut next = || Box::new(new_children.remove(0));
         match self {
             Plan::Scan { .. } | Plan::FnScan { .. } | Plan::Cached { .. } => self.clone(),
-            Plan::Select { predicate, .. } => Plan::Select { child: next(), predicate: predicate.clone() },
+            Plan::Select { predicate, .. } => Plan::Select {
+                child: next(),
+                predicate: predicate.clone(),
+            },
             Plan::Project { exprs, names, .. } => Plan::Project {
                 child: next(),
                 exprs: exprs.clone(),
                 names: names.clone(),
             },
-            Plan::Aggregate { group_by, group_names, aggs, agg_names, .. } => Plan::Aggregate {
+            Plan::Aggregate {
+                group_by,
+                group_names,
+                aggs,
+                agg_names,
+                ..
+            } => Plan::Aggregate {
                 child: next(),
                 group_by: group_by.clone(),
                 group_names: group_names.clone(),
                 aggs: aggs.clone(),
                 agg_names: agg_names.clone(),
             },
-            Plan::Join { kind, left_keys, right_keys, .. } => Plan::Join {
+            Plan::Join {
+                kind,
+                left_keys,
+                right_keys,
+                ..
+            } => Plan::Join {
                 left: next(),
                 right: next(),
                 kind: *kind,
                 left_keys: left_keys.clone(),
                 right_keys: right_keys.clone(),
             },
-            Plan::TopN { keys, n, .. } => Plan::TopN { child: next(), keys: keys.clone(), n: *n },
-            Plan::Sort { keys, .. } => Plan::Sort { child: next(), keys: keys.clone() },
-            Plan::Limit { n, .. } => Plan::Limit { child: next(), n: *n },
+            Plan::TopN { keys, n, .. } => Plan::TopN {
+                child: next(),
+                keys: keys.clone(),
+                n: *n,
+            },
+            Plan::Sort { keys, .. } => Plan::Sort {
+                child: next(),
+                keys: keys.clone(),
+            },
+            Plan::Limit { n, .. } => Plan::Limit {
+                child: next(),
+                n: *n,
+            },
             Plan::UnionAll { .. } => {
                 let mut children = Vec::new();
                 while !new_children.is_empty() {
@@ -321,13 +377,21 @@ impl Plan {
                 }
                 Plan::UnionAll { children }
             }
-            Plan::Store { tag, mode, .. } => Plan::Store { child: next(), tag: *tag, mode: *mode },
+            Plan::Store { tag, mode, .. } => Plan::Store {
+                child: next(),
+                tag: *tag,
+                mode: *mode,
+            },
         }
     }
 
     /// Number of plan nodes in the subtree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Short label naming the operator and its parameters.
@@ -352,10 +416,20 @@ impl Plan {
                 let a: Vec<String> = aggs.iter().map(|f| f.to_string()).collect();
                 format!("aggregate by [{}] compute [{}]", g.join(", "), a.join(", "))
             }
-            Plan::Join { kind, left_keys, right_keys, .. } => {
+            Plan::Join {
+                kind,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 let l: Vec<String> = left_keys.iter().map(|e| e.to_string()).collect();
                 let r: Vec<String> = right_keys.iter().map(|e| e.to_string()).collect();
-                format!("{}_join on [{}]=[{}]", kind.label(), l.join(", "), r.join(", "))
+                format!(
+                    "{}_join on [{}]=[{}]",
+                    kind.label(),
+                    l.join(", "),
+                    r.join(", ")
+                )
             }
             Plan::TopN { keys, n, .. } => format!("top_{n} by {}", keys_label(keys)),
             Plan::Sort { keys, .. } => format!("sort by {}", keys_label(keys)),
@@ -381,22 +455,30 @@ impl Plan {
             }
             Plan::FnScan { schema, .. } => Ok(schema.clone()),
             Plan::Select { child, .. } => child.schema(catalog),
-            Plan::Project { child, exprs, names } => {
+            Plan::Project {
+                child,
+                exprs,
+                names,
+            } => {
                 let input = child.schema(catalog)?;
                 let tys = input_types(&input);
                 let fields = exprs
                     .iter()
                     .zip(names)
                     .map(|(e, n)| {
-                        let bound = e
-                            .bind(&input)
-                            .map_err(PlanError)?;
+                        let bound = e.bind(&input).map_err(PlanError)?;
                         Ok(Field::new(n.clone(), bound.data_type(&tys)))
                     })
                     .collect::<Result<Vec<_>, PlanError>>()?;
                 Ok(Schema::new(fields))
             }
-            Plan::Aggregate { child, group_by, group_names, aggs, agg_names } => {
+            Plan::Aggregate {
+                child,
+                group_by,
+                group_names,
+                aggs,
+                agg_names,
+            } => {
                 let input = child.schema(catalog)?;
                 let tys = input_types(&input);
                 let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
@@ -405,7 +487,8 @@ impl Plan {
                     fields.push(Field::new(n.clone(), bound.data_type(&tys)));
                 }
                 for (a, n) in aggs.iter().zip(agg_names) {
-                    let bound = a.map_argument(&mut |e| e.bind(&input).unwrap_or_else(|_| e.clone()));
+                    let bound =
+                        a.map_argument(&mut |e| e.bind(&input).unwrap_or_else(|_| e.clone()));
                     if let Some(arg) = bound.argument() {
                         if arg.has_named() {
                             return Err(PlanError(format!("unresolved column in {a}")));
@@ -415,7 +498,9 @@ impl Plan {
                 }
                 Ok(Schema::new(fields))
             }
-            Plan::Join { left, right, kind, .. } => {
+            Plan::Join {
+                left, right, kind, ..
+            } => {
                 let l = left.schema(catalog)?;
                 match kind {
                     JoinKind::Semi | JoinKind::Anti => Ok(l),
@@ -438,9 +523,7 @@ impl Plan {
                             .zip(first.fields())
                             .any(|(a, b)| a.dtype != b.dtype)
                     {
-                        return Err(PlanError(format!(
-                            "union schema mismatch: {first} vs {s}"
-                        )));
+                        return Err(PlanError(format!("union schema mismatch: {first} vs {s}")));
                     }
                 }
                 Ok(first)
@@ -477,7 +560,13 @@ impl Plan {
                 names: names.clone(),
                 child: Box::new(bound_children.into_iter().next().unwrap()),
             },
-            Plan::Aggregate { group_by, group_names, aggs, agg_names, .. } => {
+            Plan::Aggregate {
+                group_by,
+                group_names,
+                aggs,
+                agg_names,
+                ..
+            } => {
                 let s = &child_schemas[0];
                 let mut err = None;
                 let aggs_bound: Vec<AggFunc> = aggs
@@ -506,7 +595,12 @@ impl Plan {
                     child: Box::new(bound_children.into_iter().next().unwrap()),
                 }
             }
-            Plan::Join { kind, left_keys, right_keys, .. } => {
+            Plan::Join {
+                kind,
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 let lk: Vec<Expr> = left_keys
                     .iter()
                     .map(|e| rebind(e, &child_schemas[0]))
@@ -543,7 +637,9 @@ impl Plan {
                 n: *n,
                 child: Box::new(bound_children.into_iter().next().unwrap()),
             },
-            Plan::UnionAll { .. } => Plan::UnionAll { children: bound_children },
+            Plan::UnionAll { .. } => Plan::UnionAll {
+                children: bound_children,
+            },
             Plan::Store { tag, mode, .. } => Plan::Store {
                 tag: *tag,
                 mode: *mode,
@@ -554,27 +650,187 @@ impl Plan {
 
     /// Whether any expression in the subtree still contains named references.
     pub fn has_named(&self) -> bool {
-        let local = match self {
-            Plan::Select { predicate, .. } => predicate.has_named(),
-            Plan::Project { exprs, .. } => exprs.iter().any(|e| e.has_named()),
-            Plan::Aggregate { group_by, aggs, .. } => {
-                group_by.iter().any(|e| e.has_named())
-                    || aggs
-                        .iter()
-                        .filter_map(|a| a.argument())
-                        .any(|e| e.has_named())
-            }
-            Plan::Join { left_keys, right_keys, .. } => {
-                left_keys.iter().any(|e| e.has_named())
-                    || right_keys.iter().any(|e| e.has_named())
-            }
-            Plan::TopN { keys, .. } | Plan::Sort { keys, .. } => {
-                keys.iter().any(|k| k.expr.has_named())
-            }
-            _ => false,
-        };
+        let local = self.local_exprs().iter().any(|e| e.has_named());
         local || self.children().iter().any(|c| c.has_named())
     }
+
+    /// Whether any expression in the subtree contains a parameter
+    /// placeholder (i.e. the plan is a prepared template, not executable
+    /// as-is).
+    pub fn has_params(&self) -> bool {
+        let local = self.local_exprs().iter().any(|e| e.has_params());
+        local || self.children().iter().any(|c| c.has_params())
+    }
+
+    /// Names of all parameter placeholders in the subtree, deduplicated in
+    /// first-occurrence order.
+    pub fn param_names(&self) -> Vec<String> {
+        fn go(plan: &Plan, out: &mut Vec<String>) {
+            for e in plan.local_exprs() {
+                e.param_names(out);
+            }
+            for c in plan.children() {
+                go(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// First parameter placeholder appearing in a position whose *output
+    /// type* depends on it — projection expressions, aggregate group keys,
+    /// and aggregate arguments. Such templates cannot derive a schema
+    /// before substitution, so they are rejected at prepare time instead of
+    /// panicking inside type derivation.
+    ///
+    /// Invariant: the positions listed here must cover every expression
+    /// [`Plan::schema`] calls [`Expr::data_type`] on; extend both together
+    /// when adding an operator that types one of its expressions.
+    pub fn param_in_typed_position(&self) -> Option<String> {
+        let local: Vec<&Expr> = match self {
+            Plan::Project { exprs, .. } => exprs.iter().collect(),
+            Plan::Aggregate { group_by, aggs, .. } => group_by
+                .iter()
+                .chain(aggs.iter().filter_map(|a| a.argument()))
+                .collect(),
+            _ => vec![],
+        };
+        for e in local {
+            let mut names = Vec::new();
+            e.param_names(&mut names);
+            if let Some(n) = names.into_iter().next() {
+                return Some(n);
+            }
+        }
+        self.children()
+            .iter()
+            .find_map(|c| c.param_in_typed_position())
+    }
+
+    /// Every expression held directly by this node (not its children).
+    fn local_exprs(&self) -> Vec<&Expr> {
+        match self {
+            Plan::Scan { .. } | Plan::Cached { .. } => vec![],
+            Plan::FnScan { args, .. } => args.iter().collect(),
+            Plan::Select { predicate, .. } => vec![predicate],
+            Plan::Project { exprs, .. } => exprs.iter().collect(),
+            Plan::Aggregate { group_by, aggs, .. } => group_by
+                .iter()
+                .chain(aggs.iter().filter_map(|a| a.argument()))
+                .collect(),
+            Plan::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => left_keys.iter().chain(right_keys).collect(),
+            Plan::TopN { keys, .. } | Plan::Sort { keys, .. } => {
+                keys.iter().map(|k| &k.expr).collect()
+            }
+            Plan::Limit { .. } | Plan::UnionAll { .. } | Plan::Store { .. } => vec![],
+        }
+    }
+
+    /// Replace every [`Expr::Param`] in the subtree with the literal bound
+    /// to its name, producing a concrete executable plan. Errors if any
+    /// placeholder has no binding.
+    pub fn substitute_params(&self, params: &rdb_expr::Params) -> Result<Plan, PlanError> {
+        let new_children: Vec<Plan> = self
+            .children()
+            .iter()
+            .map(|c| c.substitute_params(params))
+            .collect::<Result<_, _>>()?;
+        let sub = |e: &Expr| e.substitute_params(params).map_err(PlanError);
+        Ok(match self {
+            Plan::Scan { .. } | Plan::Cached { .. } => self.clone(),
+            Plan::FnScan { name, args, schema } => Plan::FnScan {
+                name: name.clone(),
+                args: args.iter().map(sub).collect::<Result<_, _>>()?,
+                schema: schema.clone(),
+            },
+            Plan::Select { predicate, .. } => Plan::Select {
+                predicate: sub(predicate)?,
+                child: Box::new(new_children.into_iter().next().unwrap()),
+            },
+            Plan::Project { exprs, names, .. } => Plan::Project {
+                exprs: exprs.iter().map(sub).collect::<Result<_, _>>()?,
+                names: names.clone(),
+                child: Box::new(new_children.into_iter().next().unwrap()),
+            },
+            Plan::Aggregate {
+                group_by,
+                group_names,
+                aggs,
+                agg_names,
+                ..
+            } => {
+                let mut err = None;
+                let aggs_sub: Vec<AggFunc> = aggs
+                    .iter()
+                    .map(|a| {
+                        a.map_argument(&mut |e| match e.substitute_params(params) {
+                            Ok(s) => s,
+                            Err(msg) => {
+                                err.get_or_insert(msg);
+                                e.clone()
+                            }
+                        })
+                    })
+                    .collect();
+                if let Some(msg) = err {
+                    return Err(PlanError(msg));
+                }
+                Plan::Aggregate {
+                    group_by: group_by.iter().map(sub).collect::<Result<_, _>>()?,
+                    group_names: group_names.clone(),
+                    aggs: aggs_sub,
+                    agg_names: agg_names.clone(),
+                    child: Box::new(new_children.into_iter().next().unwrap()),
+                }
+            }
+            Plan::Join {
+                kind,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let mut it = new_children.into_iter();
+                Plan::Join {
+                    left: Box::new(it.next().unwrap()),
+                    right: Box::new(it.next().unwrap()),
+                    kind: *kind,
+                    left_keys: left_keys.iter().map(sub).collect::<Result<_, _>>()?,
+                    right_keys: right_keys.iter().map(sub).collect::<Result<_, _>>()?,
+                }
+            }
+            Plan::TopN { keys, n, .. } => Plan::TopN {
+                keys: sub_keys(keys, params)?,
+                n: *n,
+                child: Box::new(new_children.into_iter().next().unwrap()),
+            },
+            Plan::Sort { keys, .. } => Plan::Sort {
+                keys: sub_keys(keys, params)?,
+                child: Box::new(new_children.into_iter().next().unwrap()),
+            },
+            Plan::Limit { .. } | Plan::UnionAll { .. } | Plan::Store { .. } => {
+                self.with_children(new_children)
+            }
+        })
+    }
+}
+
+fn sub_keys(
+    keys: &[SortKeyExpr],
+    params: &rdb_expr::Params,
+) -> Result<Vec<SortKeyExpr>, PlanError> {
+    keys.iter()
+        .map(|k| {
+            Ok(SortKeyExpr {
+                expr: k.expr.substitute_params(params).map_err(PlanError)?,
+                order: k.order,
+            })
+        })
+        .collect()
 }
 
 fn keys_label(keys: &[SortKeyExpr]) -> String {
@@ -627,6 +883,7 @@ mod tests {
     use super::*;
     use crate::builder::scan;
     use rdb_storage::TableBuilder;
+    use rdb_vector::Value;
 
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
@@ -719,7 +976,11 @@ mod tests {
         assert_eq!(semi.schema(&cat).unwrap().names(), vec!["l_qty"]);
         let bound = inner.bind(&cat).unwrap();
         match &bound {
-            Plan::Join { left_keys, right_keys, .. } => {
+            Plan::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => {
                 assert_eq!(left_keys[0], Expr::col(0));
                 assert_eq!(right_keys[0], Expr::col(0));
             }
@@ -732,7 +993,9 @@ mod tests {
         let cat = catalog();
         let a = scan("lineitem", &["l_qty"]);
         let b = scan("orders", &["o_id"]);
-        let u = Plan::UnionAll { children: vec![a.clone(), b] };
+        let u = Plan::UnionAll {
+            children: vec![a.clone(), b],
+        };
         assert!(u.schema(&cat).is_ok());
         let bad = Plan::UnionAll {
             children: vec![a, scan("orders", &["o_flag"])],
@@ -787,5 +1050,43 @@ mod tests {
             schema: Schema::from_pairs([("x", DataType::Int)]),
         };
         assert_eq!(c.schema(&cat).unwrap().names(), vec!["x"]);
+    }
+
+    #[test]
+    fn has_named_sees_fn_scan_args() {
+        let p = crate::builder::fn_scan_exprs(
+            "f",
+            vec![Expr::name("col")],
+            Schema::from_pairs([("x", DataType::Int)]),
+        );
+        assert!(p.has_named(), "named refs in fn-scan args must be visible");
+        let ok = crate::builder::fn_scan_exprs(
+            "f",
+            vec![Expr::param("n")],
+            Schema::from_pairs([("x", DataType::Int)]),
+        );
+        assert!(!ok.has_named());
+        assert!(ok.has_params());
+    }
+
+    #[test]
+    fn substitute_params_fills_every_slot() {
+        let p = scan("lineitem", &["l_qty", "l_price"])
+            .select(
+                Expr::name("l_qty")
+                    .gt(Expr::param("qty"))
+                    .and(Expr::name("l_price").lt(Expr::param("price"))),
+            )
+            .bind(&catalog())
+            .unwrap();
+        assert!(p.has_params());
+        assert_eq!(p.param_names(), vec!["qty", "price"]);
+        let params = rdb_expr::Params::new().set("qty", 1i64).set("price", 9.0);
+        let concrete = p.substitute_params(&params).unwrap();
+        assert!(!concrete.has_params());
+        // Missing binding errors and names the slot.
+        let partial = rdb_expr::Params::new().set("qty", 1i64);
+        let err = p.substitute_params(&partial).unwrap_err();
+        assert!(err.0.contains("price"), "{err}");
     }
 }

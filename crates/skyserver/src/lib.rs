@@ -22,7 +22,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rdb_engine::WorkloadQuery;
 use rdb_exec::{FnRegistry, TableFunction};
-use rdb_plan::{fn_scan, scan, Plan};
+use rdb_expr::Params;
+use rdb_plan::{fn_scan_exprs, scan, Plan};
 use rdb_storage::{Catalog, Table, TableBuilder};
 use rdb_vector::{Batch, Column, DataType, Schema, Value, BATCH_CAPACITY};
 
@@ -37,7 +38,10 @@ pub struct SkyConfig {
 
 impl Default for SkyConfig {
     fn default() -> Self {
-        SkyConfig { objects: 50_000, seed: 4242 }
+        SkyConfig {
+            objects: 50_000,
+            seed: 4242,
+        }
     }
 }
 
@@ -118,7 +122,11 @@ impl TableFunction for FGetNearbyObjEq {
         let dec0 = args[1].as_float().expect("dec").to_radians();
         let radius_deg = args[2].as_float().expect("radius") / 60.0; // arcmin → deg
         let cos_limit = radius_deg.to_radians().cos();
-        let objid = self.table.column_by_name("p_objid").expect("objid").as_ints();
+        let objid = self
+            .table
+            .column_by_name("p_objid")
+            .expect("objid")
+            .as_ints();
         let ra = self.table.column_by_name("p_ra").expect("ra").as_floats();
         let dec = self.table.column_by_name("p_dec").expect("dec").as_floats();
         *work += self.table.rows() as u64;
@@ -154,17 +162,38 @@ pub fn functions(catalog: &Catalog) -> Arc<FnRegistry> {
 /// The paper's dominant query pattern: cone search joined to
 /// `photoprimary`, `LIMIT n`.
 pub fn nearby_query(ra: f64, dec: f64, radius: f64, cols: &[&str], limit: usize) -> Plan {
+    nearby_template(cols, limit)
+        .substitute_params(&cone_params(ra, dec, radius))
+        .expect("cone template substitutes")
+}
+
+/// Prepared-statement template of the dominant pattern: the cone-search
+/// arguments are `:ra` / `:dec` / `:radius` parameter slots, so a session
+/// prepares the pattern once and executes it per log entry.
+pub fn nearby_template(cols: &[&str], limit: usize) -> Plan {
     scan("photoprimary", cols)
         .inner_join(
-            fn_scan(
+            fn_scan_exprs(
                 "fgetnearbyobjeq",
-                vec![Value::Float(ra), Value::Float(dec), Value::Float(radius)],
+                vec![
+                    rdb_expr::Expr::param("ra"),
+                    rdb_expr::Expr::param("dec"),
+                    rdb_expr::Expr::param("radius"),
+                ],
                 FGetNearbyObjEq::output_schema(),
             ),
             vec![rdb_expr::Expr::name("p_objid")],
             vec![rdb_expr::Expr::name("n_objid")],
         )
         .limit(limit)
+}
+
+/// Bindings for [`nearby_template`].
+pub fn cone_params(ra: f64, dec: f64, radius: f64) -> Params {
+    Params::new()
+        .set("ra", ra)
+        .set("dec", dec)
+        .set("radius", radius)
 }
 
 /// Session (query log) generation options.
@@ -180,7 +209,11 @@ pub struct SessionOptions {
 
 impl Default for SessionOptions {
     fn default() -> Self {
-        SessionOptions { queries: 100, hot_fraction: 0.85, seed: 99 }
+        SessionOptions {
+            queries: 100,
+            hot_fraction: 0.85,
+            seed: 99,
+        }
     }
 }
 
@@ -189,35 +222,100 @@ impl Default for SessionOptions {
 pub const HOT_PARAMS: (f64, f64, f64) = (195.0, 2.5, 30.0);
 
 const WIDE_COLS: [&str; 8] = [
-    "p_objid", "p_run", "p_rerun", "p_camcol", "p_field", "p_obj", "p_type", "p_psfmag_r",
+    "p_objid",
+    "p_run",
+    "p_rerun",
+    "p_camcol",
+    "p_field",
+    "p_obj",
+    "p_type",
+    "p_psfmag_r",
 ];
 const NARROW_COLS: [&str; 4] = ["p_objid", "p_run", "p_type", "p_psfmag_r"];
 
-/// Generate a query session mirroring the paper's log: most queries are
-/// identical (the hot pattern) or share the hot cone search with a
-/// different projection; the rest draw random cone parameters.
-pub fn make_session(options: &SessionOptions) -> Vec<WorkloadQuery> {
+/// Which of the two session templates a log entry executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionTemplate {
+    /// The dominant pattern's wide projection.
+    Wide,
+    /// The narrow-projection variant sharing the cone search.
+    Narrow,
+}
+
+/// One entry of a prepared-statement query log: which template to execute
+/// and with what parameter bindings.
+#[derive(Debug, Clone)]
+pub struct SessionQuery {
+    /// Pattern label (`hot` / `hot_narrow` / `cold`).
+    pub label: &'static str,
+    /// Template selector.
+    pub template: SessionTemplate,
+    /// Cone-search parameter bindings.
+    pub params: Params,
+}
+
+/// The two templates a SkyServer session prepares once: the dominant wide
+/// pattern and its narrow-projection variant.
+pub fn session_templates() -> (Plan, Plan) {
+    (
+        nearby_template(&WIDE_COLS, 10),
+        nearby_template(&NARROW_COLS, 10),
+    )
+}
+
+/// Generate the query log in prepared form: every entry references one of
+/// the two [`session_templates`] with parameter bindings, mirroring how the
+/// paper's log shares `fGetNearbyObjEq(195, 2.5, 0.5)` across most queries.
+pub fn make_prepared_session(options: &SessionOptions) -> Vec<SessionQuery> {
     let mut rng = SmallRng::seed_from_u64(options.seed);
     let (ra, dec, r) = HOT_PARAMS;
     (0..options.queries)
-        .map(|i| {
+        .map(|_| {
             if rng.gen_bool(options.hot_fraction) {
                 if rng.gen_bool(0.7) {
-                    // Identical to the dominant pattern.
-                    WorkloadQuery::new("hot", nearby_query(ra, dec, r, &WIDE_COLS, 10))
+                    SessionQuery {
+                        label: "hot",
+                        template: SessionTemplate::Wide,
+                        params: cone_params(ra, dec, r),
+                    }
                 } else {
-                    // Shares fGetNearbyObjEq(hot) but differs downstream.
-                    WorkloadQuery::new(
-                        "hot_narrow",
-                        nearby_query(ra, dec, r, &NARROW_COLS, 10),
-                    )
+                    SessionQuery {
+                        label: "hot_narrow",
+                        template: SessionTemplate::Narrow,
+                        params: cone_params(ra, dec, r),
+                    }
                 }
             } else {
                 let ra2 = 150.0 + rng.gen_range(0..8) as f64 * 15.0;
                 let dec2 = -5.0 + rng.gen_range(0..8) as f64 * 2.0;
-                let _ = i;
-                WorkloadQuery::new("cold", nearby_query(ra2, dec2, 20.0, &WIDE_COLS, 10))
+                SessionQuery {
+                    label: "cold",
+                    template: SessionTemplate::Wide,
+                    params: cone_params(ra2, dec2, 20.0),
+                }
             }
+        })
+        .collect()
+}
+
+/// Generate a query session as concrete labelled plans (the prepared log
+/// with every entry's parameters substituted) — the form the stream runner
+/// and the operator-at-a-time baseline consume.
+pub fn make_session(options: &SessionOptions) -> Vec<WorkloadQuery> {
+    let (wide, narrow) = session_templates();
+    make_prepared_session(options)
+        .into_iter()
+        .map(|q| {
+            let template = match q.template {
+                SessionTemplate::Wide => &wide,
+                SessionTemplate::Narrow => &narrow,
+            };
+            WorkloadQuery::new(
+                q.label,
+                template
+                    .substitute_params(&q.params)
+                    .expect("session params substitute"),
+            )
         })
         .collect()
 }
@@ -228,7 +326,10 @@ mod tests {
     use rdb_exec::{build, run_to_batch, ExecContext};
 
     fn setup() -> (Arc<Catalog>, ExecContext) {
-        let cat = generate(&SkyConfig { objects: 5_000, seed: 1 });
+        let cat = generate(&SkyConfig {
+            objects: 5_000,
+            seed: 1,
+        });
         let ctx = ExecContext::new(cat.clone()).with_functions(functions(&cat));
         (cat, ctx)
     }
@@ -256,12 +357,18 @@ mod tests {
         let f = FGetNearbyObjEq::new(&cat);
         let mut w = 0;
         let narrow: usize = f
-            .execute(&[Value::Float(195.0), Value::Float(2.5), Value::Float(10.0)], &mut w)
+            .execute(
+                &[Value::Float(195.0), Value::Float(2.5), Value::Float(10.0)],
+                &mut w,
+            )
             .iter()
             .map(|b| b.rows())
             .sum();
         let wide: usize = f
-            .execute(&[Value::Float(195.0), Value::Float(2.5), Value::Float(120.0)], &mut w)
+            .execute(
+                &[Value::Float(195.0), Value::Float(2.5), Value::Float(120.0)],
+                &mut w,
+            )
             .iter()
             .map(|b| b.rows())
             .sum();
@@ -282,6 +389,44 @@ mod tests {
     }
 
     #[test]
+    fn prepared_session_shares_hot_cone_search() {
+        let cat = generate(&SkyConfig {
+            objects: 3_000,
+            seed: 2,
+        });
+        let engine = rdb_engine::Engine::builder(cat.clone())
+            .functions(functions(&cat))
+            .build();
+        let session = engine.session();
+        let (wide, narrow) = session_templates();
+        let wide = session.prepare(&wide).unwrap();
+        let narrow = session.prepare(&narrow).unwrap();
+        assert_eq!(wide.param_names(), &["ra", "dec", "radius"]);
+        let log = make_prepared_session(&SessionOptions {
+            queries: 30,
+            hot_fraction: 0.9,
+            seed: 5,
+        });
+        let mut reused = 0;
+        for q in &log {
+            let prepared = match q.template {
+                SessionTemplate::Wide => &wide,
+                SessionTemplate::Narrow => &narrow,
+            };
+            let out = prepared.execute(&q.params).unwrap().into_outcome();
+            assert!(out.batch.rows() <= 10);
+            if out.reused() {
+                reused += 1;
+            }
+        }
+        assert!(
+            reused >= log.len() / 2,
+            "hot-dominated log must reuse heavily (got {reused}/{})",
+            log.len()
+        );
+    }
+
+    #[test]
     fn session_structure_matches_log() {
         let session = make_session(&SessionOptions {
             queries: 100,
@@ -289,13 +434,15 @@ mod tests {
             seed: 5,
         });
         assert_eq!(session.len(), 100);
-        let hot = session.iter().filter(|q| q.label.starts_with("hot")).count();
+        let hot = session
+            .iter()
+            .filter(|q| q.label.starts_with("hot"))
+            .count();
         assert!(hot >= 70, "most queries share the hot cone search ({hot})");
         let cold = session.iter().filter(|q| q.label == "cold").count();
         assert!(cold > 0, "some queries are cold");
         // Identical hot queries are structurally identical plans.
-        let hots: Vec<&WorkloadQuery> =
-            session.iter().filter(|q| q.label == "hot").collect();
+        let hots: Vec<&WorkloadQuery> = session.iter().filter(|q| q.label == "hot").collect();
         assert!(hots.windows(2).all(|w| w[0].plan == w[1].plan));
     }
 }

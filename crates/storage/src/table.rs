@@ -21,14 +21,14 @@ impl Table {
         let rows = columns.first().map_or(0, |c| c.len());
         for (f, c) in schema.fields().iter().zip(&columns) {
             assert_eq!(c.len(), rows, "column '{}' length mismatch", f.name);
-            assert_eq!(
-                c.data_type(),
-                f.dtype,
-                "column '{}' type mismatch",
-                f.name
-            );
+            assert_eq!(c.data_type(), f.dtype, "column '{}' type mismatch", f.name);
         }
-        Table { name: name.into(), schema, columns, rows }
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            rows,
+        }
     }
 
     /// Table name.
@@ -103,7 +103,11 @@ impl TableBuilder {
             .iter()
             .map(|f| ColumnBuilder::new(f.dtype, capacity))
             .collect();
-        TableBuilder { name: name.into(), schema, builders }
+        TableBuilder {
+            name: name.into(),
+            schema,
+            builders,
+        }
     }
 
     /// Append one row; `values` must match the schema arity and types.

@@ -48,16 +48,98 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// The 92 part-name color words (Q9/Q20 pick their COLOR parameter here).
 pub const COLORS: [&str; 92] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
-    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
-    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
-    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 /// Type syllables (`p_type` = one of 6×5×5 = 150 strings).
@@ -73,7 +155,13 @@ pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Order priorities.
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -82,13 +170,31 @@ pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPEC
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Ship instructions.
-pub const SHIP_INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// Comment filler vocabulary; includes the Q13 parameter words.
 const COMMENT_WORDS: [&str; 16] = [
-    "special", "pending", "unusual", "express", "packages", "requests", "accounts", "deposits",
-    "carefully", "quickly", "final", "ironic", "even", "bold", "silent", "furious",
+    "special",
+    "pending",
+    "unusual",
+    "express",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "carefully",
+    "quickly",
+    "final",
+    "ironic",
+    "even",
+    "bold",
+    "silent",
+    "furious",
 ];
 
 /// Generator configuration.
@@ -103,14 +209,20 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { scale: 0.01, seed: 42 }
+        TpchConfig {
+            scale: 0.01,
+            seed: 42,
+        }
     }
 }
 
 impl TpchConfig {
     /// Config with the given scale factor.
     pub fn with_scale(scale: f64) -> Self {
-        TpchConfig { scale, ..Default::default() }
+        TpchConfig {
+            scale,
+            ..Default::default()
+        }
     }
 
     fn count(&self, base: f64) -> usize {
@@ -183,7 +295,11 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
         let nk = rng.gen_range(0..25) as i64;
         // Spec: exactly 5 per 10k suppliers carry the complaint string.
         let s_comment = if i % 1987 == 3 {
-            format!("{} Customer said Complaints {}", comment(&mut rng, 2), comment(&mut rng, 2))
+            format!(
+                "{} Customer said Complaints {}",
+                comment(&mut rng, 2),
+                comment(&mut rng, 2)
+            )
         } else {
             comment(&mut rng, 5)
         };
@@ -405,7 +521,10 @@ mod tests {
 
     #[test]
     fn generates_all_tables_at_scale() {
-        let cat = generate(&TpchConfig { scale: 0.002, seed: 7 });
+        let cat = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 7,
+        });
         for t in [
             "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
         ] {
@@ -425,8 +544,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = generate(&TpchConfig { scale: 0.001, seed: 9 });
-        let b = generate(&TpchConfig { scale: 0.001, seed: 9 });
+        let a = generate(&TpchConfig {
+            scale: 0.001,
+            seed: 9,
+        });
+        let b = generate(&TpchConfig {
+            scale: 0.001,
+            seed: 9,
+        });
         let ta = a.get("lineitem").unwrap();
         let tb = b.get("lineitem").unwrap();
         assert_eq!(ta.rows(), tb.rows());
@@ -434,7 +559,10 @@ mod tests {
             ta.column_by_name("l_quantity").unwrap().as_floats()[..50],
             tb.column_by_name("l_quantity").unwrap().as_floats()[..50]
         );
-        let c = generate(&TpchConfig { scale: 0.001, seed: 10 });
+        let c = generate(&TpchConfig {
+            scale: 0.001,
+            seed: 10,
+        });
         assert_ne!(
             ta.column_by_name("l_quantity").unwrap().as_floats()[..50],
             c.get("lineitem")
@@ -447,7 +575,10 @@ mod tests {
 
     #[test]
     fn value_domains_respected() {
-        let cat = generate(&TpchConfig { scale: 0.002, seed: 3 });
+        let cat = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 3,
+        });
         let li = cat.get("lineitem").unwrap();
         let q = li.column_by_name("l_quantity").unwrap().as_floats();
         assert!(q.iter().all(|&x| (1.0..=50.0).contains(&x)));
@@ -464,7 +595,10 @@ mod tests {
 
     #[test]
     fn q13_comment_words_present_but_not_universal() {
-        let cat = generate(&TpchConfig { scale: 0.01, seed: 3 });
+        let cat = generate(&TpchConfig {
+            scale: 0.01,
+            seed: 3,
+        });
         let orders = cat.get("orders").unwrap();
         let comments = orders.column_by_name("o_comment").unwrap().as_strs();
         let hits = comments

@@ -15,7 +15,9 @@ pub mod gen;
 pub mod params;
 pub mod queries;
 pub mod streams;
+pub mod templates;
 
 pub use gen::{generate, TpchConfig};
 pub use queries::build_query;
 pub use streams::{make_streams, StreamOptions};
+pub use templates::template;

@@ -54,7 +54,7 @@ pub fn region(rng: &mut SmallRng) -> String {
 
 /// One of the 25 nation names.
 pub fn nation(rng: &mut SmallRng) -> String {
-    (*pick(rng, &crate::gen::NATIONS)).0.to_string()
+    pick(rng, &crate::gen::NATIONS).0.to_string()
 }
 
 /// Two distinct nations (Q7).
@@ -130,10 +130,7 @@ pub fn ship_mode_pair(rng: &mut SmallRng) -> (String, String) {
 pub fn q13_words(rng: &mut SmallRng) -> (String, String) {
     let w1 = ["special", "pending", "unusual", "express"];
     let w2 = ["packages", "requests", "accounts", "deposits"];
-    (
-        (*pick(rng, &w1)).to_string(),
-        (*pick(rng, &w2)).to_string(),
-    )
+    ((*pick(rng, &w1)).to_string(), (*pick(rng, &w2)).to_string())
 }
 
 /// Q14/Q15: first of a month in [1993, 1997].
@@ -232,7 +229,7 @@ mod tests {
         // The whole point: with enough draws, parameters collide.
         let mut r = rng();
         let vals: Vec<i64> = (0..50).map(|_| q6_quantity(&mut r)).collect();
-        assert!(vals.iter().any(|&v| v == 24) && vals.iter().any(|&v| v == 25));
+        assert!(vals.contains(&24) && vals.contains(&25));
         let brands: Vec<String> = (0..100).map(|_| brand(&mut r)).collect();
         let mut uniq = brands.clone();
         uniq.sort();

@@ -74,20 +74,34 @@ pub fn q2(rng: &mut SmallRng) -> Plan {
     let syll = params::type_syllable3(rng);
     let region = params::region(rng);
     let supplier_geo = || {
-        scan("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal"])
-            .inner_join(
-                scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).inner_join(
-                    scan("region", &["r_regionkey", "r_name"])
-                        .select(col("r_name").eq(Expr::lit(Value::str(&region)))),
-                    vec![col("n_regionkey")],
-                    vec![col("r_regionkey")],
-                ),
-                vec![col("s_nationkey")],
-                vec![col("n_nationkey")],
-            )
+        scan(
+            "supplier",
+            &[
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
+            ],
+        )
+        .inner_join(
+            scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).inner_join(
+                scan("region", &["r_regionkey", "r_name"])
+                    .select(col("r_name").eq(Expr::lit(Value::str(&region)))),
+                vec![col("n_regionkey")],
+                vec![col("r_regionkey")],
+            ),
+            vec![col("s_nationkey")],
+            vec![col("n_nationkey")],
+        )
     };
     let min_cost = scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"])
-        .inner_join(supplier_geo(), vec![col("ps_suppkey")], vec![col("s_suppkey")])
+        .inner_join(
+            supplier_geo(),
+            vec![col("ps_suppkey")],
+            vec![col("s_suppkey")],
+        )
         .aggregate(
             vec![(col("ps_partkey"), "mc_partkey")],
             vec![(AggFunc::Min(col("ps_supplycost")), "min_sc")],
@@ -99,8 +113,11 @@ pub fn q2(rng: &mut SmallRng) -> Plan {
                 .and(col("p_type").like(format!("%{syll}"))),
         )
         .inner_join(
-            scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"])
-                .inner_join(supplier_geo(), vec![col("ps_suppkey")], vec![col("s_suppkey")]),
+            scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"]).inner_join(
+                supplier_geo(),
+                vec![col("ps_suppkey")],
+                vec![col("s_suppkey")],
+            ),
             vec![col("p_partkey")],
             vec![col("ps_partkey")],
         )
@@ -133,35 +150,41 @@ pub fn q2(rng: &mut SmallRng) -> Plan {
 pub fn q3(rng: &mut SmallRng) -> Plan {
     let seg = params::segment(rng);
     let d = params::q3_date(rng);
-    scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"])
-        .select(col("l_shipdate").gt(Expr::lit(Value::Date(d))))
+    scan(
+        "lineitem",
+        &["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    .select(col("l_shipdate").gt(Expr::lit(Value::Date(d))))
+    .inner_join(
+        scan(
+            "orders",
+            &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        )
+        .select(col("o_orderdate").lt(Expr::lit(Value::Date(d))))
         .inner_join(
-            scan("orders", &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"])
-                .select(col("o_orderdate").lt(Expr::lit(Value::Date(d))))
-                .inner_join(
-                    scan("customer", &["c_custkey", "c_mktsegment"])
-                        .select(col("c_mktsegment").eq(Expr::lit(Value::str(&seg)))),
-                    vec![col("o_custkey")],
-                    vec![col("c_custkey")],
-                ),
-            vec![col("l_orderkey")],
-            vec![col("o_orderkey")],
-        )
-        .aggregate(
-            vec![
-                (col("l_orderkey"), "l_orderkey"),
-                (col("o_orderdate"), "o_orderdate"),
-                (col("o_shippriority"), "o_shippriority"),
-            ],
-            vec![(AggFunc::Sum(revenue()), "revenue")],
-        )
-        .top_n(
-            vec![
-                SortKeyExpr::desc(col("revenue")),
-                SortKeyExpr::asc(col("o_orderdate")),
-            ],
-            10,
-        )
+            scan("customer", &["c_custkey", "c_mktsegment"])
+                .select(col("c_mktsegment").eq(Expr::lit(Value::str(&seg)))),
+            vec![col("o_custkey")],
+            vec![col("c_custkey")],
+        ),
+        vec![col("l_orderkey")],
+        vec![col("o_orderkey")],
+    )
+    .aggregate(
+        vec![
+            (col("l_orderkey"), "l_orderkey"),
+            (col("o_orderdate"), "o_orderdate"),
+            (col("o_shippriority"), "o_shippriority"),
+        ],
+        vec![(AggFunc::Sum(revenue()), "revenue")],
+    )
+    .top_n(
+        vec![
+            SortKeyExpr::desc(col("revenue")),
+            SortKeyExpr::asc(col("o_orderdate")),
+        ],
+        10,
+    )
 }
 
 /// Q4 — order priority checking.
@@ -191,41 +214,44 @@ pub fn q4(rng: &mut SmallRng) -> Plan {
 pub fn q5(rng: &mut SmallRng) -> Plan {
     let region = params::region(rng);
     let d = params::year_start(rng);
-    scan("lineitem", &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"])
-        .inner_join(
-            scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
-                scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).inner_join(
-                    scan("region", &["r_regionkey", "r_name"])
-                        .select(col("r_name").eq(Expr::lit(Value::str(&region)))),
-                    vec![col("n_regionkey")],
-                    vec![col("r_regionkey")],
-                ),
-                vec![col("s_nationkey")],
-                vec![col("n_nationkey")],
+    scan(
+        "lineitem",
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    )
+    .inner_join(
+        scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
+            scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).inner_join(
+                scan("region", &["r_regionkey", "r_name"])
+                    .select(col("r_name").eq(Expr::lit(Value::str(&region)))),
+                vec![col("n_regionkey")],
+                vec![col("r_regionkey")],
             ),
-            vec![col("l_suppkey")],
-            vec![col("s_suppkey")],
-        )
-        .inner_join(
-            scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).select(
-                col("o_orderdate")
-                    .ge(Expr::lit(Value::Date(d)))
-                    .and(col("o_orderdate").lt(Expr::lit(Value::Date(add_months(d, 12))))),
-            ),
-            vec![col("l_orderkey")],
-            vec![col("o_orderkey")],
-        )
-        .inner_join(
-            scan("customer", &["c_custkey", "c_nationkey"]),
-            vec![col("o_custkey")],
-            vec![col("c_custkey")],
-        )
-        .select(col("c_nationkey").eq(col("s_nationkey")))
-        .aggregate(
-            vec![(col("n_name"), "n_name")],
-            vec![(AggFunc::Sum(revenue()), "revenue")],
-        )
-        .sort(vec![SortKeyExpr::desc(col("revenue"))])
+            vec![col("s_nationkey")],
+            vec![col("n_nationkey")],
+        ),
+        vec![col("l_suppkey")],
+        vec![col("s_suppkey")],
+    )
+    .inner_join(
+        scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).select(
+            col("o_orderdate")
+                .ge(Expr::lit(Value::Date(d)))
+                .and(col("o_orderdate").lt(Expr::lit(Value::Date(add_months(d, 12))))),
+        ),
+        vec![col("l_orderkey")],
+        vec![col("o_orderkey")],
+    )
+    .inner_join(
+        scan("customer", &["c_custkey", "c_nationkey"]),
+        vec![col("o_custkey")],
+        vec![col("c_custkey")],
+    )
+    .select(col("c_nationkey").eq(col("s_nationkey")))
+    .aggregate(
+        vec![(col("n_name"), "n_name")],
+        vec![(AggFunc::Sum(revenue()), "revenue")],
+    )
+    .sort(vec![SortKeyExpr::desc(col("revenue"))])
 }
 
 /// Q6 — forecasting revenue change.
@@ -233,21 +259,24 @@ pub fn q6(rng: &mut SmallRng) -> Plan {
     let d = params::year_start(rng);
     let disc = params::discount(rng);
     let qty = params::q6_quantity(rng);
-    scan("lineitem", &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"])
-        .select(Expr::and_all([
-            col("l_shipdate").ge(Expr::lit(Value::Date(d))),
-            col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 12)))),
-            col("l_discount").ge(Expr::lit(disc - 0.01001)),
-            col("l_discount").le(Expr::lit(disc + 0.01001)),
-            col("l_quantity").lt(Expr::lit(qty as f64)),
-        ]))
-        .aggregate(
-            vec![],
-            vec![(
-                AggFunc::Sum(col("l_extendedprice").mul(col("l_discount"))),
-                "revenue",
-            )],
-        )
+    scan(
+        "lineitem",
+        &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    .select(Expr::and_all([
+        col("l_shipdate").ge(Expr::lit(Value::Date(d))),
+        col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 12)))),
+        col("l_discount").ge(Expr::lit(disc - 0.01001)),
+        col("l_discount").le(Expr::lit(disc + 0.01001)),
+        col("l_quantity").lt(Expr::lit(qty as f64)),
+    ]))
+    .aggregate(
+        vec![],
+        vec![(
+            AggFunc::Sum(col("l_extendedprice").mul(col("l_discount"))),
+            "revenue",
+        )],
+    )
 }
 
 /// Q7 — volume shipping between two nations.
@@ -256,14 +285,24 @@ pub fn q7(rng: &mut SmallRng) -> Plan {
     let pair = [Value::str(&n1), Value::str(&n2)];
     scan(
         "lineitem",
-        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        &[
+            "l_orderkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+        ],
     )
     .select(
         col("l_shipdate")
-            .ge(Expr::lit(Value::Date(rdb_vector::date_from_ymd(1995, 1, 1))))
-            .and(col("l_shipdate").le(Expr::lit(Value::Date(rdb_vector::date_from_ymd(
-                1996, 12, 31,
-            ))))),
+            .ge(Expr::lit(Value::Date(rdb_vector::date_from_ymd(
+                1995, 1, 1,
+            ))))
+            .and(
+                col("l_shipdate").le(Expr::lit(Value::Date(rdb_vector::date_from_ymd(
+                    1996, 12, 31,
+                )))),
+            ),
     )
     .inner_join(
         scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
@@ -327,74 +366,81 @@ pub fn q8(rng: &mut SmallRng) -> Plan {
     let nation = params::nation(rng);
     let region = params::region(rng);
     let ptype = params::full_type(rng);
-    scan("lineitem", &["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"])
-        .inner_join(
-            scan("part", &["p_partkey", "p_type"])
-                .select(col("p_type").eq(Expr::lit(Value::str(&ptype)))),
-            vec![col("l_partkey")],
-            vec![col("p_partkey")],
-        )
-        .inner_join(
-            scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).select(
-                col("o_orderdate")
-                    .ge(Expr::lit(Value::Date(rdb_vector::date_from_ymd(1995, 1, 1))))
-                    .and(col("o_orderdate").le(Expr::lit(Value::Date(
-                        rdb_vector::date_from_ymd(1996, 12, 31),
+    scan(
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+        ],
+    )
+    .inner_join(
+        scan("part", &["p_partkey", "p_type"])
+            .select(col("p_type").eq(Expr::lit(Value::str(&ptype)))),
+        vec![col("l_partkey")],
+        vec![col("p_partkey")],
+    )
+    .inner_join(
+        scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).select(
+            col("o_orderdate")
+                .ge(Expr::lit(Value::Date(rdb_vector::date_from_ymd(
+                    1995, 1, 1,
+                ))))
+                .and(
+                    col("o_orderdate").le(Expr::lit(Value::Date(rdb_vector::date_from_ymd(
+                        1996, 12, 31,
                     )))),
-            ),
-            vec![col("l_orderkey")],
-            vec![col("o_orderkey")],
-        )
-        .inner_join(
-            scan("customer", &["c_custkey", "c_nationkey"]).inner_join(
-                scan("nation", &["n_nationkey", "n_regionkey"]).inner_join(
-                    scan("region", &["r_regionkey", "r_name"])
-                        .select(col("r_name").eq(Expr::lit(Value::str(&region)))),
-                    vec![col("n_regionkey")],
-                    vec![col("r_regionkey")],
                 ),
-                vec![col("c_nationkey")],
-                vec![col("n_nationkey")],
+        ),
+        vec![col("l_orderkey")],
+        vec![col("o_orderkey")],
+    )
+    .inner_join(
+        scan("customer", &["c_custkey", "c_nationkey"]).inner_join(
+            scan("nation", &["n_nationkey", "n_regionkey"]).inner_join(
+                scan("region", &["r_regionkey", "r_name"])
+                    .select(col("r_name").eq(Expr::lit(Value::str(&region)))),
+                vec![col("n_regionkey")],
+                vec![col("r_regionkey")],
             ),
-            vec![col("o_custkey")],
-            vec![col("c_custkey")],
-        )
-        .inner_join(
-            scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
-                scan("nation", &["n_nationkey", "n_name"]).project(vec![
-                    (col("n_nationkey"), "n2_nationkey"),
-                    (col("n_name"), "n2_name"),
-                ]),
-                vec![col("s_nationkey")],
-                vec![col("n2_nationkey")],
-            ),
-            vec![col("l_suppkey")],
-            vec![col("s_suppkey")],
-        )
-        .aggregate(
-            vec![(col("o_orderdate").year(), "o_year")],
-            vec![
-                (
-                    AggFunc::Sum(Expr::case(
-                        vec![(
-                            col("n2_name").eq(Expr::lit(Value::str(&nation))),
-                            revenue(),
-                        )],
-                        Expr::lit(0.0),
-                    )),
-                    "nation_volume",
-                ),
-                (AggFunc::Sum(revenue()), "total_volume"),
-            ],
-        )
-        .project(vec![
-            (col("o_year"), "o_year"),
+            vec![col("c_nationkey")],
+            vec![col("n_nationkey")],
+        ),
+        vec![col("o_custkey")],
+        vec![col("c_custkey")],
+    )
+    .inner_join(
+        scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
+            scan("nation", &["n_nationkey", "n_name"]).project(vec![
+                (col("n_nationkey"), "n2_nationkey"),
+                (col("n_name"), "n2_name"),
+            ]),
+            vec![col("s_nationkey")],
+            vec![col("n2_nationkey")],
+        ),
+        vec![col("l_suppkey")],
+        vec![col("s_suppkey")],
+    )
+    .aggregate(
+        vec![(col("o_orderdate").year(), "o_year")],
+        vec![
             (
-                col("nation_volume").div(col("total_volume")),
-                "mkt_share",
+                AggFunc::Sum(Expr::case(
+                    vec![(col("n2_name").eq(Expr::lit(Value::str(&nation))), revenue())],
+                    Expr::lit(0.0),
+                )),
+                "nation_volume",
             ),
-        ])
-        .sort(vec![SortKeyExpr::asc(col("o_year"))])
+            (AggFunc::Sum(revenue()), "total_volume"),
+        ],
+    )
+    .project(vec![
+        (col("o_year"), "o_year"),
+        (col("nation_volume").div(col("total_volume")), "mkt_share"),
+    ])
+    .sort(vec![SortKeyExpr::asc(col("o_year"))])
 }
 
 /// Q9 — product type profit measure.
@@ -402,11 +448,17 @@ pub fn q9(rng: &mut SmallRng) -> Plan {
     let color = params::color(rng);
     scan(
         "lineitem",
-        &["l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"],
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+        ],
     )
     .inner_join(
-        scan("part", &["p_partkey", "p_name"])
-            .select(col("p_name").like(format!("%{color}%"))),
+        scan("part", &["p_partkey", "p_name"]).select(col("p_name").like(format!("%{color}%"))),
         vec![col("l_partkey")],
         vec![col("p_partkey")],
     )
@@ -435,9 +487,7 @@ pub fn q9(rng: &mut SmallRng) -> Plan {
             (col("o_orderdate").year(), "o_year"),
         ],
         vec![(
-            AggFunc::Sum(
-                revenue().sub(col("ps_supplycost").mul(col("l_quantity"))),
-            ),
+            AggFunc::Sum(revenue().sub(col("ps_supplycost").mul(col("l_quantity")))),
             "sum_profit",
         )],
     )
@@ -450,42 +500,57 @@ pub fn q9(rng: &mut SmallRng) -> Plan {
 /// Q10 — returned item reporting.
 pub fn q10(rng: &mut SmallRng) -> Plan {
     let d = params::q10_date(rng);
-    scan("lineitem", &["l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"])
-        .select(col("l_returnflag").eq(Expr::lit("R")))
-        .inner_join(
-            scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).select(
-                col("o_orderdate")
-                    .ge(Expr::lit(Value::Date(d)))
-                    .and(col("o_orderdate").lt(Expr::lit(Value::Date(add_months(d, 3))))),
-            ),
-            vec![col("l_orderkey")],
-            vec![col("o_orderkey")],
-        )
-        .inner_join(
-            scan(
-                "customer",
-                &["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal"],
-            )
-            .inner_join(
-                scan("nation", &["n_nationkey", "n_name"]),
-                vec![col("c_nationkey")],
-                vec![col("n_nationkey")],
-            ),
-            vec![col("o_custkey")],
-            vec![col("c_custkey")],
-        )
-        .aggregate(
-            vec![
-                (col("c_custkey"), "c_custkey"),
-                (col("c_name"), "c_name"),
-                (col("c_acctbal"), "c_acctbal"),
-                (col("c_phone"), "c_phone"),
-                (col("n_name"), "n_name"),
-                (col("c_address"), "c_address"),
+    scan(
+        "lineitem",
+        &[
+            "l_orderkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_returnflag",
+        ],
+    )
+    .select(col("l_returnflag").eq(Expr::lit("R")))
+    .inner_join(
+        scan("orders", &["o_orderkey", "o_custkey", "o_orderdate"]).select(
+            col("o_orderdate")
+                .ge(Expr::lit(Value::Date(d)))
+                .and(col("o_orderdate").lt(Expr::lit(Value::Date(add_months(d, 3))))),
+        ),
+        vec![col("l_orderkey")],
+        vec![col("o_orderkey")],
+    )
+    .inner_join(
+        scan(
+            "customer",
+            &[
+                "c_custkey",
+                "c_name",
+                "c_address",
+                "c_nationkey",
+                "c_phone",
+                "c_acctbal",
             ],
-            vec![(AggFunc::Sum(revenue()), "revenue")],
         )
-        .top_n(vec![SortKeyExpr::desc(col("revenue"))], 20)
+        .inner_join(
+            scan("nation", &["n_nationkey", "n_name"]),
+            vec![col("c_nationkey")],
+            vec![col("n_nationkey")],
+        ),
+        vec![col("o_custkey")],
+        vec![col("c_custkey")],
+    )
+    .aggregate(
+        vec![
+            (col("c_custkey"), "c_custkey"),
+            (col("c_name"), "c_name"),
+            (col("c_acctbal"), "c_acctbal"),
+            (col("c_phone"), "c_phone"),
+            (col("n_name"), "n_name"),
+            (col("c_address"), "c_address"),
+        ],
+        vec![(AggFunc::Sum(revenue()), "revenue")],
+    )
+    .top_n(vec![SortKeyExpr::desc(col("revenue"))], 20)
 }
 
 /// Q11 — important stock identification.
@@ -493,17 +558,20 @@ pub fn q11(rng: &mut SmallRng, scale: f64) -> Plan {
     let nation = params::nation(rng);
     let fraction = params::q11_fraction(scale);
     let ps_nation = || {
-        scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"])
-            .inner_join(
-                scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
-                    scan("nation", &["n_nationkey", "n_name"])
-                        .select(col("n_name").eq(Expr::lit(Value::str(&nation)))),
-                    vec![col("s_nationkey")],
-                    vec![col("n_nationkey")],
-                ),
-                vec![col("ps_suppkey")],
-                vec![col("s_suppkey")],
-            )
+        scan(
+            "partsupp",
+            &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
+        )
+        .inner_join(
+            scan("supplier", &["s_suppkey", "s_nationkey"]).inner_join(
+                scan("nation", &["n_nationkey", "n_name"])
+                    .select(col("n_name").eq(Expr::lit(Value::str(&nation)))),
+                vec![col("s_nationkey")],
+                vec![col("n_nationkey")],
+            ),
+            vec![col("ps_suppkey")],
+            vec![col("s_suppkey")],
+        )
     };
     let value = col("ps_supplycost").mul(col("ps_availqty"));
     ps_nation()
@@ -511,9 +579,7 @@ pub fn q11(rng: &mut SmallRng, scale: f64) -> Plan {
             vec![(col("ps_partkey"), "ps_partkey")],
             vec![(AggFunc::Sum(value.clone()), "value")],
         )
-        .single_join(
-            ps_nation().aggregate(vec![], vec![(AggFunc::Sum(value), "total")]),
-        )
+        .single_join(ps_nation().aggregate(vec![], vec![(AggFunc::Sum(value), "total")]))
         .select(col("value").gt(col("total").mul(Expr::lit(fraction))))
         .project(vec![
             (col("ps_partkey"), "ps_partkey"),
@@ -529,7 +595,13 @@ pub fn q12(rng: &mut SmallRng) -> Plan {
     let high = col("o_orderpriority").in_list(strs(&["1-URGENT", "2-HIGH"]));
     scan(
         "lineitem",
-        &["l_orderkey", "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipmode"],
+        &[
+            "l_orderkey",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipmode",
+        ],
     )
     .select(Expr::and_all([
         col("l_shipmode").in_list([Value::str(&m1), Value::str(&m2)]),
@@ -547,10 +619,7 @@ pub fn q12(rng: &mut SmallRng) -> Plan {
         vec![(col("l_shipmode"), "l_shipmode")],
         vec![
             (
-                AggFunc::Sum(Expr::case(
-                    vec![(high.clone(), Expr::lit(1))],
-                    Expr::lit(0),
-                )),
+                AggFunc::Sum(Expr::case(vec![(high.clone(), Expr::lit(1))], Expr::lit(0))),
                 "high_line_count",
             ),
             (
@@ -594,50 +663,56 @@ pub fn q13(rng: &mut SmallRng) -> Plan {
 /// Q14 — promotion effect.
 pub fn q14(rng: &mut SmallRng) -> Plan {
     let d = params::month_in_93_97(rng);
-    scan("lineitem", &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"])
-        .select(
-            col("l_shipdate")
-                .ge(Expr::lit(Value::Date(d)))
-                .and(col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 1))))),
-        )
-        .inner_join(
-            scan("part", &["p_partkey", "p_type"]),
-            vec![col("l_partkey")],
-            vec![col("p_partkey")],
-        )
-        .aggregate(
-            vec![],
-            vec![
-                (
-                    AggFunc::Sum(Expr::case(
-                        vec![(col("p_type").like("PROMO%"), revenue())],
-                        Expr::lit(0.0),
-                    )),
-                    "promo",
-                ),
-                (AggFunc::Sum(revenue()), "total"),
-            ],
-        )
-        .project(vec![(
-            Expr::lit(100.0).mul(col("promo")).div(col("total")),
-            "promo_revenue",
-        )])
+    scan(
+        "lineitem",
+        &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    .select(
+        col("l_shipdate")
+            .ge(Expr::lit(Value::Date(d)))
+            .and(col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 1))))),
+    )
+    .inner_join(
+        scan("part", &["p_partkey", "p_type"]),
+        vec![col("l_partkey")],
+        vec![col("p_partkey")],
+    )
+    .aggregate(
+        vec![],
+        vec![
+            (
+                AggFunc::Sum(Expr::case(
+                    vec![(col("p_type").like("PROMO%"), revenue())],
+                    Expr::lit(0.0),
+                )),
+                "promo",
+            ),
+            (AggFunc::Sum(revenue()), "total"),
+        ],
+    )
+    .project(vec![(
+        Expr::lit(100.0).mul(col("promo")).div(col("total")),
+        "promo_revenue",
+    )])
 }
 
 /// Q15 — top supplier.
 pub fn q15(rng: &mut SmallRng) -> Plan {
     let d = params::month_in_93_97(rng);
     let revenue_view = || {
-        scan("lineitem", &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"])
-            .select(
-                col("l_shipdate")
-                    .ge(Expr::lit(Value::Date(d)))
-                    .and(col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 3))))),
-            )
-            .aggregate(
-                vec![(col("l_suppkey"), "supplier_no")],
-                vec![(AggFunc::Sum(revenue()), "total_revenue")],
-            )
+        scan(
+            "lineitem",
+            &["l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        )
+        .select(
+            col("l_shipdate")
+                .ge(Expr::lit(Value::Date(d)))
+                .and(col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 3))))),
+        )
+        .aggregate(
+            vec![(col("l_suppkey"), "supplier_no")],
+            vec![(AggFunc::Sum(revenue()), "total_revenue")],
+        )
     };
     scan("supplier", &["s_suppkey", "s_name", "s_address", "s_phone"])
         .inner_join(
@@ -645,9 +720,10 @@ pub fn q15(rng: &mut SmallRng) -> Plan {
             vec![col("s_suppkey")],
             vec![col("supplier_no")],
         )
-        .single_join(
-            revenue_view().aggregate(vec![], vec![(AggFunc::Max(col("total_revenue")), "max_rev")]),
-        )
+        .single_join(revenue_view().aggregate(
+            vec![],
+            vec![(AggFunc::Max(col("total_revenue")), "max_rev")],
+        ))
         .select(col("total_revenue").eq(col("max_rev")))
         .project(vec![
             (col("s_suppkey"), "s_suppkey"),
@@ -664,7 +740,10 @@ pub fn q15(rng: &mut SmallRng) -> Plan {
 pub fn q16(rng: &mut SmallRng, pa: bool) -> Plan {
     let brand = params::brand(rng);
     let tprefix = params::type_prefix2(rng);
-    let sizes: Vec<Value> = params::eight_sizes(rng).into_iter().map(Value::Int).collect();
+    let sizes: Vec<Value> = params::eight_sizes(rng)
+        .into_iter()
+        .map(Value::Int)
+        .collect();
     let predicate = Expr::and_all([
         col("p_brand").ne(Expr::lit(Value::str(&brand))),
         col("p_type").not_like(format!("{tprefix}%")),
@@ -723,16 +802,18 @@ pub fn q17(rng: &mut SmallRng) -> Plan {
             vec![col("p_partkey")],
         )
         .inner_join(
-            scan("lineitem", &["l_partkey", "l_quantity"])
-                .aggregate(
-                    vec![(col("l_partkey"), "a_partkey")],
-                    vec![(AggFunc::Avg(col("l_quantity")), "avg_qty")],
-                ),
+            scan("lineitem", &["l_partkey", "l_quantity"]).aggregate(
+                vec![(col("l_partkey"), "a_partkey")],
+                vec![(AggFunc::Avg(col("l_quantity")), "avg_qty")],
+            ),
             vec![col("l_partkey")],
             vec![col("a_partkey")],
         )
         .select(col("l_quantity").lt(Expr::lit(0.2).mul(col("avg_qty"))))
-        .aggregate(vec![], vec![(AggFunc::Sum(col("l_extendedprice")), "total")])
+        .aggregate(
+            vec![],
+            vec![(AggFunc::Sum(col("l_extendedprice")), "total")],
+        )
         .project(vec![(col("total").div(Expr::lit(7.0)), "avg_yearly")])
 }
 
@@ -748,13 +829,21 @@ pub fn q18(rng: &mut SmallRng) -> Plan {
         .project(vec![(col("big_okey"), "big_okey")]);
     scan("lineitem", &["l_orderkey", "l_quantity"])
         .inner_join(
-            scan("orders", &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"])
-                .join(bigs, JoinKind::Semi, vec![col("o_orderkey")], vec![col("big_okey")])
-                .inner_join(
-                    scan("customer", &["c_custkey", "c_name"]),
-                    vec![col("o_custkey")],
-                    vec![col("c_custkey")],
-                ),
+            scan(
+                "orders",
+                &["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
+            )
+            .join(
+                bigs,
+                JoinKind::Semi,
+                vec![col("o_orderkey")],
+                vec![col("big_okey")],
+            )
+            .inner_join(
+                scan("customer", &["c_custkey", "c_name"]),
+                vec![col("o_custkey")],
+                vec![col("c_custkey")],
+            ),
             vec![col("l_orderkey")],
             vec![col("o_orderkey")],
         )
@@ -801,7 +890,14 @@ pub fn q19(rng: &mut SmallRng, pa: bool) -> Plan {
     ]);
     let joined = scan(
         "lineitem",
-        &["l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipinstruct", "l_shipmode"],
+        &[
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipinstruct",
+            "l_shipmode",
+        ],
     )
     .select(
         col("l_shipinstruct")
@@ -827,19 +923,22 @@ pub fn q20(rng: &mut SmallRng) -> Plan {
     let color = params::color(rng);
     let d = params::year_start(rng);
     let nation = params::nation(rng);
-    let qtys = scan("lineitem", &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"])
-        .select(
-            col("l_shipdate")
-                .ge(Expr::lit(Value::Date(d)))
-                .and(col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 12))))),
-        )
-        .aggregate(
-            vec![
-                (col("l_partkey"), "q_partkey"),
-                (col("l_suppkey"), "q_suppkey"),
-            ],
-            vec![(AggFunc::Sum(col("l_quantity")), "q_sum")],
-        );
+    let qtys = scan(
+        "lineitem",
+        &["l_partkey", "l_suppkey", "l_quantity", "l_shipdate"],
+    )
+    .select(
+        col("l_shipdate")
+            .ge(Expr::lit(Value::Date(d)))
+            .and(col("l_shipdate").lt(Expr::lit(Value::Date(add_months(d, 12))))),
+    )
+    .aggregate(
+        vec![
+            (col("l_partkey"), "q_partkey"),
+            (col("l_suppkey"), "q_suppkey"),
+        ],
+        vec![(AggFunc::Sum(col("l_quantity")), "q_sum")],
+    );
     let eligible = scan("partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"])
         .join(
             scan("part", &["p_partkey", "p_name"])
@@ -856,24 +955,38 @@ pub fn q20(rng: &mut SmallRng) -> Plan {
         )
         .select(col("ps_availqty").gt(Expr::lit(0.5).mul(col("q_sum"))))
         .project(vec![(col("ps_suppkey"), "ok_suppkey")]);
-    scan("supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey"])
-        .join(eligible, JoinKind::Semi, vec![col("s_suppkey")], vec![col("ok_suppkey")])
-        .inner_join(
-            scan("nation", &["n_nationkey", "n_name"])
-                .select(col("n_name").eq(Expr::lit(Value::str(&nation)))),
-            vec![col("s_nationkey")],
-            vec![col("n_nationkey")],
-        )
-        .project(vec![(col("s_name"), "s_name"), (col("s_address"), "s_address")])
-        .sort(vec![SortKeyExpr::asc(col("s_name"))])
+    scan(
+        "supplier",
+        &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+    )
+    .join(
+        eligible,
+        JoinKind::Semi,
+        vec![col("s_suppkey")],
+        vec![col("ok_suppkey")],
+    )
+    .inner_join(
+        scan("nation", &["n_nationkey", "n_name"])
+            .select(col("n_name").eq(Expr::lit(Value::str(&nation)))),
+        vec![col("s_nationkey")],
+        vec![col("n_nationkey")],
+    )
+    .project(vec![
+        (col("s_name"), "s_name"),
+        (col("s_address"), "s_address"),
+    ])
+    .sort(vec![SortKeyExpr::asc(col("s_name"))])
 }
 
 /// Q21 — suppliers who kept orders waiting.
 pub fn q21(rng: &mut SmallRng) -> Plan {
     let nation = params::nation(rng);
     let failed = || {
-        scan("lineitem", &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"])
-            .select(col("l_receiptdate").gt(col("l_commitdate")))
+        scan(
+            "lineitem",
+            &["l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"],
+        )
+        .select(col("l_receiptdate").gt(col("l_commitdate")))
     };
     let multi = scan("lineitem", &["l_orderkey", "l_suppkey"])
         .aggregate(
@@ -906,7 +1019,12 @@ pub fn q21(rng: &mut SmallRng) -> Plan {
             vec![col("l_orderkey")],
             vec![col("o_orderkey")],
         )
-        .join(multi, JoinKind::Semi, vec![col("l_orderkey")], vec![col("m_okey")])
+        .join(
+            multi,
+            JoinKind::Semi,
+            vec![col("l_orderkey")],
+            vec![col("m_okey")],
+        )
         .join(
             multi_failed,
             JoinKind::Anti,
@@ -1003,7 +1121,10 @@ mod tests {
     use std::sync::Arc;
 
     fn catalog() -> Arc<Catalog> {
-        generate(&TpchConfig { scale: 0.005, seed: 11 })
+        generate(&TpchConfig {
+            scale: 0.005,
+            seed: 11,
+        })
     }
 
     #[test]
@@ -1016,11 +1137,11 @@ mod tests {
             let bound = plan
                 .bind(&cat)
                 .unwrap_or_else(|e| panic!("Q{n} failed to bind: {e}"));
-            let mut tree = build_exec(&bound, &ctx)
-                .unwrap_or_else(|e| panic!("Q{n} failed to build: {e}"));
+            let mut tree =
+                build_exec(&bound, &ctx).unwrap_or_else(|e| panic!("Q{n} failed to build: {e}"));
             let out = run_to_batch(tree.root.as_mut());
             // Smoke checks: schema is non-empty and execution terminates.
-            assert!(tree.schema.len() > 0, "Q{n} has empty schema");
+            assert!(!tree.schema.is_empty(), "Q{n} has empty schema");
             // Row-bound sanity for the top-N queries.
             match n {
                 2 | 18 | 21 => assert!(out.rows() <= 100, "Q{n} exceeds top-N"),

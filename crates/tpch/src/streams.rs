@@ -36,7 +36,13 @@ pub struct StreamOptions {
 impl StreamOptions {
     /// Standard options for `n` streams at the given scale.
     pub fn new(streams: usize, scale: f64) -> Self {
-        StreamOptions { streams, scale, seed: 7001, proactive: false, patterns: None }
+        StreamOptions {
+            streams,
+            scale,
+            seed: 7001,
+            proactive: false,
+            patterns: None,
+        }
     }
 
     /// Enable the proactive plan variants.
@@ -69,7 +75,11 @@ fn apply_topdown(plan: &Plan, rewrite: &dyn Fn(&Plan) -> Option<Plan>) -> Option
 }
 
 /// Build one stream's worth of bound, labelled queries.
-pub fn make_stream(catalog: &Catalog, options: &StreamOptions, stream_id: usize) -> Vec<WorkloadQuery> {
+pub fn make_stream(
+    catalog: &Catalog,
+    options: &StreamOptions,
+    stream_id: usize,
+) -> Vec<WorkloadQuery> {
     let mut rng = SmallRng::seed_from_u64(options.seed + stream_id as u64);
     let mut patterns: Vec<usize> = options
         .patterns
@@ -113,7 +123,10 @@ mod tests {
 
     #[test]
     fn streams_have_all_patterns_permuted() {
-        let cat = generate(&TpchConfig { scale: 0.002, seed: 1 });
+        let cat = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 1,
+        });
         let opts = StreamOptions::new(3, 0.002);
         let streams = make_streams(&cat, &opts);
         assert_eq!(streams.len(), 3);
@@ -134,7 +147,10 @@ mod tests {
 
     #[test]
     fn restricted_patterns() {
-        let cat = generate(&TpchConfig { scale: 0.002, seed: 1 });
+        let cat = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 1,
+        });
         let opts = StreamOptions::new(2, 0.002).with_patterns(vec![1, 8, 13, 18, 19, 21]);
         let streams = make_streams(&cat, &opts);
         for s in &streams {
@@ -144,7 +160,10 @@ mod tests {
 
     #[test]
     fn proactive_mode_rewrites_q1_q16_q19() {
-        let cat = generate(&TpchConfig { scale: 0.002, seed: 1 });
+        let cat = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 1,
+        });
         let opts = StreamOptions::new(1, 0.002).proactive();
         let stream = make_stream(&cat, &opts, 0);
         let q1 = stream.iter().find(|q| q.label == "Q1").unwrap();
@@ -163,13 +182,18 @@ mod tests {
         let q16 = stream.iter().find(|q| q.label == "Q16").unwrap();
         // Q16's cube rewrite pulls the selection above the aggregate.
         let txt = q16.plan.to_string();
-        let sel_pos = txt.find("select ((p_brand").or_else(|| txt.find("select (($"));
+        let sel_pos = txt
+            .find("select ((p_brand")
+            .or_else(|| txt.find("select (($"));
         assert!(sel_pos.is_some() || txt.contains("select"), "{txt}");
     }
 
     #[test]
     fn determinism_per_seed() {
-        let cat = generate(&TpchConfig { scale: 0.002, seed: 1 });
+        let cat = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 1,
+        });
         let opts = StreamOptions::new(1, 0.002);
         let a = make_stream(&cat, &opts, 0);
         let b = make_stream(&cat, &opts, 0);

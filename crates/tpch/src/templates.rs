@@ -1,0 +1,217 @@
+//! Prepared-statement templates for TPC-H patterns.
+//!
+//! The session API (`Session::prepare` + `Prepared::execute`) is built for
+//! exactly the workload shape QGEN produces: a fixed plan per pattern with
+//! fresh substitution parameters per invocation. This module expresses
+//! patterns whose substitution parameters are plain literal values as
+//! reusable templates with [`Expr::Param`] slots plus a QGEN-style
+//! parameter generator.
+//!
+//! Patterns whose "parameters" are structural — `LIKE` pattern strings,
+//! `IN` lists whose arity varies, or substring arguments — cannot be
+//! expressed as value slots and keep their concrete per-invocation builders
+//! in [`crate::queries`]; the stream runner executes those as degenerate
+//! (parameter-free) prepared statements.
+
+use rand::rngs::SmallRng;
+use rdb_expr::{AggFunc, Expr, Params};
+use rdb_plan::{scan, Plan, SortKeyExpr};
+use rdb_vector::types::add_months;
+use rdb_vector::Value;
+
+use crate::params;
+
+fn col(n: &str) -> Expr {
+    Expr::name(n)
+}
+
+fn revenue() -> Expr {
+    col("l_extendedprice").mul(Expr::lit(1.0).sub(col("l_discount")))
+}
+
+/// Q1 template — pricing summary report with a `:shipdate` bound.
+pub fn q1_template() -> Plan {
+    scan(
+        "lineitem",
+        &[
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+        ],
+    )
+    .select(col("l_shipdate").le(Expr::param("shipdate")))
+    .aggregate(
+        vec![
+            (col("l_returnflag"), "l_returnflag"),
+            (col("l_linestatus"), "l_linestatus"),
+        ],
+        vec![
+            (AggFunc::Sum(col("l_quantity")), "sum_qty"),
+            (AggFunc::Sum(col("l_extendedprice")), "sum_base_price"),
+            (AggFunc::Sum(revenue()), "sum_disc_price"),
+            (
+                AggFunc::Sum(revenue().mul(Expr::lit(1.0).add(col("l_tax")))),
+                "sum_charge",
+            ),
+            (AggFunc::Avg(col("l_quantity")), "avg_qty"),
+            (AggFunc::Avg(col("l_extendedprice")), "avg_price"),
+            (AggFunc::Avg(col("l_discount")), "avg_disc"),
+            (AggFunc::CountStar, "count_order"),
+        ],
+    )
+    .sort(vec![
+        SortKeyExpr::asc(col("l_returnflag")),
+        SortKeyExpr::asc(col("l_linestatus")),
+    ])
+}
+
+/// QGEN parameters for [`q1_template`].
+pub fn q1_params(rng: &mut SmallRng) -> Params {
+    Params::new().set("shipdate", Value::Date(params::q1_date(rng)))
+}
+
+/// Q6 template — forecasting revenue change over a date window, discount
+/// band, and quantity cap.
+pub fn q6_template() -> Plan {
+    scan(
+        "lineitem",
+        &["l_quantity", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    .select(Expr::and_all([
+        col("l_shipdate").ge(Expr::param("date_lo")),
+        col("l_shipdate").lt(Expr::param("date_hi")),
+        col("l_discount").ge(Expr::param("disc_lo")),
+        col("l_discount").le(Expr::param("disc_hi")),
+        col("l_quantity").lt(Expr::param("qty")),
+    ]))
+    .aggregate(
+        vec![],
+        vec![(
+            AggFunc::Sum(col("l_extendedprice").mul(col("l_discount"))),
+            "revenue",
+        )],
+    )
+}
+
+/// QGEN parameters for [`q6_template`].
+pub fn q6_params(rng: &mut SmallRng) -> Params {
+    let d = params::year_start(rng);
+    let disc = params::discount(rng);
+    let qty = params::q6_quantity(rng);
+    Params::new()
+        .set("date_lo", Value::Date(d))
+        .set("date_hi", Value::Date(add_months(d, 12)))
+        .set("disc_lo", disc - 0.01001)
+        .set("disc_hi", disc + 0.01001)
+        .set("qty", qty as f64)
+}
+
+/// Q14 template — promotion effect over a `:date_lo`/`:date_hi` month.
+pub fn q14_template() -> Plan {
+    scan(
+        "lineitem",
+        &["l_partkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    .select(
+        col("l_shipdate")
+            .ge(Expr::param("date_lo"))
+            .and(col("l_shipdate").lt(Expr::param("date_hi"))),
+    )
+    .inner_join(
+        scan("part", &["p_partkey", "p_type"]),
+        vec![col("l_partkey")],
+        vec![col("p_partkey")],
+    )
+    .aggregate(
+        vec![],
+        vec![
+            (
+                AggFunc::Sum(Expr::case(
+                    vec![(col("p_type").like("PROMO%"), revenue())],
+                    Expr::lit(0.0),
+                )),
+                "promo",
+            ),
+            (AggFunc::Sum(revenue()), "total"),
+        ],
+    )
+    .project(vec![(
+        Expr::lit(100.0).mul(col("promo")).div(col("total")),
+        "promo_revenue",
+    )])
+}
+
+/// QGEN parameters for [`q14_template`].
+pub fn q14_params(rng: &mut SmallRng) -> Params {
+    let d = params::month_in_93_97(rng);
+    Params::new()
+        .set("date_lo", Value::Date(d))
+        .set("date_hi", Value::Date(add_months(d, 1)))
+}
+
+/// A QGEN-style parameter generator for one template.
+pub type ParamGen = fn(&mut SmallRng) -> Params;
+
+/// The template and parameter generator for pattern `n`, where the
+/// pattern's substitution parameters are expressible as value slots.
+pub fn template(n: usize) -> Option<(Plan, ParamGen)> {
+    match n {
+        1 => Some((q1_template(), q1_params)),
+        6 => Some((q6_template(), q6_params)),
+        14 => Some((q14_template(), q14_params)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpchConfig};
+    use rand::SeedableRng;
+    use rdb_engine::Engine;
+
+    #[test]
+    fn templates_match_concrete_builders() {
+        // Substituting QGEN parameters into a template must produce exactly
+        // the plan the concrete per-invocation builder constructs with the
+        // same rng draws.
+        for n in [1usize, 6, 14] {
+            let (tpl, gen_params) = template(n).unwrap();
+            let params = gen_params(&mut SmallRng::seed_from_u64(42));
+            let concrete =
+                crate::queries::build_query(n, &mut SmallRng::seed_from_u64(42), 1.0, false);
+            assert_eq!(
+                tpl.substitute_params(&params).unwrap(),
+                concrete,
+                "Q{n} template diverges from its builder"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_template_reuses_across_identical_params() {
+        let catalog = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 3,
+        });
+        let engine = Engine::builder(catalog).build();
+        let session = engine.session();
+        let (tpl, gen_params) = template(6).unwrap();
+        let prepared = session.prepare(&tpl).unwrap();
+        assert_eq!(prepared.param_names().len(), 5);
+        let params = gen_params(&mut SmallRng::seed_from_u64(7));
+        let first = prepared.execute(&params).unwrap().into_outcome();
+        let second = prepared.execute(&params).unwrap().into_outcome();
+        assert!(second.reused(), "same template + params must hit the cache");
+        assert_eq!(first.batch.to_rows(), second.batch.to_rows());
+        // A different parameter draw computes fresh.
+        let other = gen_params(&mut SmallRng::seed_from_u64(8));
+        assert_ne!(params, other);
+        let third = prepared.execute(&other).unwrap();
+        assert!(!third.reused());
+    }
+}

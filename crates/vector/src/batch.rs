@@ -27,7 +27,10 @@ impl Batch {
     /// An empty batch with zero columns and zero rows (used by operators
     /// producing a single aggregate row from empty input edge cases).
     pub fn empty() -> Self {
-        Batch { columns: Vec::new(), rows: 0 }
+        Batch {
+            columns: Vec::new(),
+            rows: 0,
+        }
     }
 
     /// Number of rows.
@@ -91,6 +94,23 @@ impl Batch {
             cols.push(Column::concat(&parts));
         }
         Batch::new(cols)
+    }
+
+    /// Concatenate batches, producing a zero-row batch that preserves the
+    /// schema's width (one empty column per field) when there are none —
+    /// the materialization helper for result collection points.
+    pub fn concat_or_empty(schema: &crate::schema::Schema, batches: &[Batch]) -> Batch {
+        if batches.is_empty() {
+            Batch::new(
+                schema
+                    .fields()
+                    .iter()
+                    .map(|f| crate::column::ColumnBuilder::new(f.dtype, 0).finish())
+                    .collect(),
+            )
+        } else {
+            Batch::concat(batches)
+        }
     }
 
     /// Extract one row as scalar values (test/display helper).

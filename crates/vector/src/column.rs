@@ -69,7 +69,10 @@ pub struct Column {
 impl Column {
     /// Wrap storage with no NULLs.
     pub fn new(data: ColumnData) -> Self {
-        Column { data, validity: None }
+        Column {
+            data,
+            validity: None,
+        }
     }
 
     /// Wrap storage with a validity mask. The mask is dropped if it is all
@@ -77,9 +80,15 @@ impl Column {
     pub fn with_validity(data: ColumnData, validity: Vec<bool>) -> Self {
         assert_eq!(data.len(), validity.len(), "validity length mismatch");
         if validity.iter().all(|&v| v) {
-            Column { data, validity: None }
+            Column {
+                data,
+                validity: None,
+            }
         } else {
-            Column { data, validity: Some(validity) }
+            Column {
+                data,
+                validity: Some(validity),
+            }
         }
     }
 
@@ -148,7 +157,7 @@ impl Column {
     /// Whether row `i` is valid (not NULL).
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |m| m[i])
+        self.validity.as_ref().is_none_or(|m| m[i])
     }
 
     /// Number of NULL rows.
@@ -179,9 +188,7 @@ impl Column {
             ColumnData::Bool(v) => {
                 ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
             }
-            ColumnData::Int(v) => {
-                ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect())
-            }
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
             ColumnData::Float(v) => {
                 ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
             }
@@ -194,10 +201,9 @@ impl Column {
         };
         match &self.validity {
             None => Column::new(data),
-            Some(m) => Column::with_validity(
-                data,
-                indices.iter().map(|&i| m[i as usize]).collect(),
-            ),
+            Some(m) => {
+                Column::with_validity(data, indices.iter().map(|&i| m[i as usize]).collect())
+            }
         }
     }
 
@@ -396,7 +402,7 @@ impl ColumnBuilder {
             _ => unreachable!(),
         }
         match col.validity() {
-            None => self.validity.extend(std::iter::repeat(true).take(col.len())),
+            None => self.validity.extend(std::iter::repeat_n(true, col.len())),
             Some(m) => {
                 self.has_null = true;
                 self.validity.extend_from_slice(m);

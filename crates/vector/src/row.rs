@@ -91,7 +91,11 @@ impl<'a> RowCmp<'a> {
     pub fn new(left: &'a [&'a Column], right: &'a [&'a Column], orders: &'a [SortOrder]) -> Self {
         assert_eq!(left.len(), right.len());
         assert_eq!(left.len(), orders.len());
-        RowCmp { left, right, orders }
+        RowCmp {
+            left,
+            right,
+            orders,
+        }
     }
 
     /// Compare row `i` on the left with row `j` on the right.
@@ -124,11 +128,7 @@ pub fn cmp_cell(a: &Column, i: usize, b: &Column, j: usize) -> Ordering {
         (ColumnData::Date(x), ColumnData::Date(y)) => x[i].cmp(&y[j]),
         (ColumnData::Int(x), ColumnData::Float(y)) => (x[i] as f64).total_cmp(&y[j]),
         (ColumnData::Float(x), ColumnData::Int(y)) => x[i].total_cmp(&(y[j] as f64)),
-        (a, b) => panic!(
-            "cannot compare {} with {}",
-            a.data_type(),
-            b.data_type()
-        ),
+        (a, b) => panic!("cannot compare {} with {}", a.data_type(), b.data_type()),
     }
 }
 

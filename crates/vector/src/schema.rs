@@ -17,7 +17,10 @@ pub struct Field {
 impl Field {
     /// Construct a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -36,10 +39,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, DataType)>) -> Self {
         Schema {
-            fields: pairs
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
+            fields: pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect(),
         }
     }
 

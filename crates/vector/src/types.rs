@@ -166,11 +166,10 @@ mod tests {
 
     #[test]
     fn sequential_days_are_sequential() {
-        let mut prev = date_from_ymd(1991, 12, 25);
-        for _ in 0..4000 {
+        let start = date_from_ymd(1991, 12, 25);
+        for prev in start..start + 4000 {
             let (y, m, d) = ymd_from_date(prev + 1);
             assert_eq!(date_from_ymd(y, m, d), prev + 1);
-            prev += 1;
         }
     }
 

@@ -125,9 +125,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_bits(*a) == Value::float_bits(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
             _ => false,

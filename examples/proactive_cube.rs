@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use recycler_db::engine::{Engine, EngineConfig};
+use recycler_db::engine::Engine;
 use recycler_db::expr::{AggFunc, Expr};
 use recycler_db::plan::{scan, Plan};
 use recycler_db::recycler::proactive::{cube_with_binning, cube_with_selections};
@@ -34,7 +34,11 @@ fn catalog() -> Arc<Catalog> {
             Value::str(["A", "N", "R"][(i % 3) as usize]),
             Value::str(["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"][(i % 5) as usize]),
             Value::Float((i % 50) as f64 + 1.0),
-            Value::Date(date_from_ymd(1993 + (i % 5) as i32, 1 + (i % 12) as u32, 15)),
+            Value::Date(date_from_ymd(
+                1993 + (i % 5) as i32,
+                1 + (i % 12) as u32,
+                15,
+            )),
         ]);
     }
     cat.register(t.finish());
@@ -65,11 +69,12 @@ fn mode_query(mode: &str) -> Plan {
         )
 }
 
-fn run_series(engine: &Engine, plans: &[Plan], label: &str) {
+fn run_series(engine: &Arc<Engine>, plans: &[Plan], label: &str) {
+    let session = engine.session();
     let t0 = std::time::Instant::now();
     let mut reused = 0;
     for p in plans {
-        if engine.run(p).expect("runs").reused() {
+        if session.query(p).expect("runs").into_outcome().reused() {
             reused += 1;
         }
     }
@@ -85,17 +90,23 @@ fn main() {
     let mk_engine = || {
         let mut c = RecyclerConfig::speculative(128 * 1024 * 1024);
         c.spec_min_progress = 0.0;
-        Engine::new(cat.clone(), EngineConfig::with_recycler(c))
+        Engine::builder(cat.clone()).recycler(c).build()
     };
 
     // Eight parameter variants per pattern — no two identical.
     let dates: Vec<Plan> = (0..8)
-        .map(|i| date_query(date_from_ymd(1994 + i % 4, 3 + (i as u32 % 6), 1)).bind(&cat).unwrap())
+        .map(|i| {
+            date_query(date_from_ymd(1994 + i % 4, 3 + (i as u32 % 6), 1))
+                .bind(&cat)
+                .unwrap()
+        })
         .collect();
-    let modes: Vec<Plan> = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "AIR", "RAIL", "SHIP"]
-        .iter()
-        .map(|m| mode_query(m).bind(&cat).unwrap())
-        .collect();
+    let modes: Vec<Plan> = [
+        "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "AIR", "RAIL", "SHIP",
+    ]
+    .iter()
+    .map(|m| mode_query(m).bind(&cat).unwrap())
+    .collect();
 
     println!("-- date-bounded aggregation (Q1 shape) --");
     run_series(&mk_engine(), &dates, "plain plans");

@@ -1,12 +1,14 @@
-//! Quickstart: load a table, run the same analytical query repeatedly, and
-//! watch the recycler turn recomputation into cache hits.
+//! Quickstart: open a session, prepare a parameterized query template once,
+//! execute it repeatedly with bound parameters, and stream results
+//! batch-at-a-time — watching the recycler turn recomputation into cache
+//! hits.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use std::sync::Arc;
 
-use recycler_db::engine::{Engine, EngineConfig};
-use recycler_db::expr::{AggFunc, Expr};
+use recycler_db::engine::Engine;
+use recycler_db::expr::{AggFunc, Expr, Params};
 use recycler_db::plan::scan;
 use recycler_db::storage::{Catalog, TableBuilder};
 use recycler_db::vector::{DataType, Schema, Value};
@@ -30,11 +32,14 @@ fn main() {
     catalog.register(t.finish());
 
     // ---- 2. Engine with recycling on (speculation mode) ----------------
-    let engine = Engine::new(Arc::new(catalog), EngineConfig::default());
+    let engine = Engine::builder(Arc::new(catalog)).build();
+    let session = engine.session();
 
-    // ---- 3. A dashboard-style aggregation ------------------------------
-    let query = scan("sales", &["region", "product", "amount"])
-        .select(Expr::name("region").eq(Expr::lit("north")))
+    // ---- 3. Prepare a dashboard-style template once --------------------
+    // The `:region` parameter is a placeholder; binding and fingerprinting
+    // happen here, a single time, not per execution.
+    let template = scan("sales", &["region", "product", "amount"])
+        .select(Expr::name("region").eq(Expr::param("region")))
         .aggregate(
             vec![(Expr::name("product"), "product")],
             vec![
@@ -42,36 +47,53 @@ fn main() {
                 (AggFunc::CountStar, "orders"),
             ],
         );
+    let prepared = session.prepare(&template).expect("template binds");
+    println!(
+        "prepared template (fingerprint {:016x}), parameters {:?}\n",
+        prepared.fingerprint(),
+        prepared.param_names()
+    );
 
-    println!("run   wall(ms)   reused   materialized   rows");
-    for run in 1..=4 {
-        let out = engine.run(&query).expect("query runs");
+    // ---- 4. Execute with bound parameters, streaming batches -----------
+    println!("run   region   wall(ms)   reused   batches   rows");
+    for (run, region) in ["north", "north", "south", "north", "south"]
+        .iter()
+        .enumerate()
+    {
+        let params = Params::new().set("region", *region);
+        let mut handle = prepared.execute(&params).expect("execution starts");
+        let reused = handle.reused(); // known before the first batch
+        let start = std::time::Instant::now();
+        // Pull results vector-at-a-time: the consumer side stays pipelined.
+        let mut batches = 0usize;
+        let mut rows = 0usize;
+        for batch in &mut handle {
+            batches += 1;
+            rows += batch.rows();
+        }
         println!(
-            "{:>3} {:>10.3} {:>8} {:>14} {:>6}",
-            run,
-            out.wall.as_secs_f64() * 1e3,
-            out.reused(),
-            out.materialized(),
-            out.batch.rows()
+            "{:>3} {:>8} {:>10.3} {:>8} {:>9} {:>6}",
+            run + 1,
+            region,
+            start.elapsed().as_secs_f64() * 1e3,
+            reused,
+            batches,
+            rows
         );
     }
 
+    // ---- 5. Session statistics + recycler state ------------------------
+    let stats = session.stats();
+    println!(
+        "\nsession: {} prepared, {} executed, {} reused, {} rows streamed",
+        stats.prepared, stats.executed, stats.reused, stats.rows
+    );
     let recycler = engine.recycler().expect("recycling enabled");
     println!(
-        "\nrecycler graph: {} nodes; cache: {} results, {} KiB",
+        "recycler graph: {} nodes; cache: {} results, {} KiB",
         recycler.graph_len(),
         recycler.cache_len(),
         recycler.cache_used() / 1024
     );
-    println!(
-        "reuses: {}, materializations: {}",
-        recycler
-            .stats
-            .reuses
-            .load(std::sync::atomic::Ordering::Relaxed),
-        recycler
-            .stats
-            .materializations
-            .load(std::sync::atomic::Ordering::Relaxed)
-    );
+    assert!(stats.reused >= 2, "repeat executions must hit the cache");
 }

@@ -1,46 +1,69 @@
 //! SkyServer-style session: an interactive astronomy workload whose
 //! queries share one expensive cone search (`fGetNearbyObjEq`), as in the
-//! paper's real-world experiment (Fig. 6).
+//! paper's real-world experiment (Fig. 6) — run through the prepared-
+//! statement session API: the two query templates are prepared once, every
+//! log entry binds cone parameters and executes.
 //!
 //! Run with `cargo run --release --example skyserver_session`.
 
-use recycler_db::engine::{Engine, EngineConfig, MaterializingEngine};
+use recycler_db::engine::{Engine, MaterializingEngine, Prepared};
 use recycler_db::recycler::RecyclerConfig;
-use recycler_db::skyserver::{functions, generate, make_session, SessionOptions, SkyConfig};
+use recycler_db::skyserver::{
+    functions, generate, make_prepared_session, make_session, session_templates, SessionOptions,
+    SessionTemplate, SkyConfig,
+};
 
 fn main() {
-    let config = SkyConfig { objects: 30_000, seed: 1 };
-    let session = make_session(&SessionOptions::default());
+    let config = SkyConfig {
+        objects: 30_000,
+        seed: 1,
+    };
+    let log = make_prepared_session(&SessionOptions::default());
     println!(
-        "synthetic sky catalog: {} objects; session: {} queries",
+        "synthetic sky catalog: {} objects; session: {} queries over 2 prepared templates",
         config.objects,
-        session.len()
+        log.len()
     );
 
+    let run_prepared = |recycling: Option<RecyclerConfig>| {
+        let cat = generate(&config);
+        let builder = Engine::builder(cat.clone()).functions(functions(&cat));
+        let engine = match recycling {
+            Some(rc) => builder.recycler(rc),
+            None => builder.no_recycler(),
+        }
+        .build();
+        let session = engine.session();
+        let (wide, narrow) = session_templates();
+        let wide = session.prepare(&wide).expect("wide template");
+        let narrow = session.prepare(&narrow).expect("narrow template");
+        let pick = |t: SessionTemplate| -> &Prepared {
+            match t {
+                SessionTemplate::Wide => &wide,
+                SessionTemplate::Narrow => &narrow,
+            }
+        };
+        let t0 = std::time::Instant::now();
+        for q in &log {
+            pick(q.template)
+                .execute(&q.params)
+                .expect("query runs")
+                .into_outcome();
+        }
+        (t0.elapsed(), session.stats(), engine)
+    };
+
     // Pipelined engine, no recycling.
-    let cat = generate(&config);
-    let engine = Engine::with_functions(cat.clone(), functions(&cat), EngineConfig::off());
-    let t0 = std::time::Instant::now();
-    for q in &session {
-        engine.run(&q.plan).expect("query runs");
-    }
-    let naive = t0.elapsed();
+    let (naive, _, _) = run_prepared(None);
 
     // Pipelined engine with the recycler.
-    let cat = generate(&config);
     let mut rc = RecyclerConfig::speculative(64 * 1024 * 1024);
     rc.spec_min_progress = 0.0;
-    let engine = Engine::with_functions(cat.clone(), functions(&cat), EngineConfig::with_recycler(rc));
-    let t0 = std::time::Instant::now();
-    let mut reused = 0;
-    for q in &session {
-        if engine.run(&q.plan).expect("query runs").reused() {
-            reused += 1;
-        }
-    }
-    let recycled = t0.elapsed();
+    let (recycled, stats, engine) = run_prepared(Some(rc));
 
-    // MonetDB-style engine with keep-everything recycling.
+    // MonetDB-style engine with keep-everything recycling (consumes the
+    // same log with parameters substituted).
+    let session = make_session(&SessionOptions::default());
     let cat = generate(&config);
     let mat = MaterializingEngine::recycling(cat.clone(), None).with_functions(functions(&cat));
     let t0 = std::time::Instant::now();
@@ -49,12 +72,16 @@ fn main() {
     }
     let mat_time = t0.elapsed();
 
-    println!("\npipelined naive:      {:>8.1} ms", naive.as_secs_f64() * 1e3);
     println!(
-        "pipelined recycler:   {:>8.1} ms ({:.1}% of naive, {reused}/{} queries reused)",
+        "\npipelined naive:      {:>8.1} ms",
+        naive.as_secs_f64() * 1e3
+    );
+    println!(
+        "pipelined recycler:   {:>8.1} ms ({:.1}% of naive, {}/{} queries reused)",
         recycled.as_secs_f64() * 1e3,
         100.0 * recycled.as_secs_f64() / naive.as_secs_f64(),
-        session.len()
+        stats.reused,
+        stats.executed
     );
     println!(
         "monetdb-style w/ rec: {:>8.1} ms (cache holds {} intermediates, {} KiB)",

@@ -3,19 +3,25 @@
 //!
 //! Run with `cargo run --release --example tpch_throughput`.
 
-use recycler_db::engine::{Engine, EngineConfig};
+use recycler_db::engine::Engine;
 use recycler_db::recycler::{RecyclerConfig, RecyclerMode};
 use recycler_db::tpch::{generate, make_streams, StreamOptions, TpchConfig};
 
 fn main() {
     let sf = 0.01;
     let streams = 8;
-    let catalog = generate(&TpchConfig { scale: sf, seed: 2013 });
+    let catalog = generate(&TpchConfig {
+        scale: sf,
+        seed: 2013,
+    });
     println!(
         "TPC-H SF {sf}: lineitem {} rows, {streams} streams x 22 queries",
         catalog.get("lineitem").unwrap().rows()
     );
-    println!("\n{:>6} {:>14} {:>12} {:>10} {:>8}", "mode", "avg ms/stream", "vs OFF", "reuses", "stores");
+    println!(
+        "\n{:>6} {:>14} {:>12} {:>10} {:>8}",
+        "mode", "avg ms/stream", "vs OFF", "reuses", "stores"
+    );
 
     let mut off_time = 0.0;
     for mode in ["OFF", "HIST", "SPEC", "PA"] {
@@ -25,18 +31,19 @@ fn main() {
             StreamOptions::new(streams, sf)
         };
         let workload = make_streams(&catalog, &opts);
-        let config = match mode {
-            "OFF" => EngineConfig::off(),
+        let builder = Engine::builder(catalog.clone());
+        let engine = match mode {
+            "OFF" => builder.no_recycler(),
             other => {
                 let mut c = RecyclerConfig::speculative(256 * 1024 * 1024);
                 c.spec_min_progress = 0.0;
                 if other == "HIST" {
                     c.mode = RecyclerMode::History;
                 }
-                EngineConfig::with_recycler(c)
+                builder.recycler(c)
             }
-        };
-        let engine = Engine::new(catalog.clone(), config);
+        }
+        .build();
         let report = engine.run_streams(&workload);
         let avg = report.avg_stream_time().as_secs_f64() * 1e3;
         if mode == "OFF" {

@@ -7,22 +7,31 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`vector`] — columnar batches, values, schemas;
-//! * [`expr`] — vectorized expressions and range analysis;
+//! * [`expr`] — vectorized expressions, parameter placeholders, and range
+//!   analysis;
 //! * [`storage`] — in-memory tables and the catalog;
-//! * [`plan`] — logical query trees with structural fingerprints;
+//! * [`plan`] — logical query trees with structural fingerprints and
+//!   parameter slots;
 //! * [`exec`] — the pipelined vector-at-a-time executor (incl. the `store`
-//!   operator and progress meters);
+//!   operator, progress meters, and the public [`exec::ExecStream`] pull
+//!   loop);
 //! * [`recycler`] — the paper's contribution: recycler graph, benefit
 //!   metric, recycler cache, subsumption, speculation, proactive rewrites;
-//! * [`engine`] — the engine façade plus the MonetDB-style
+//! * [`engine`] — the session-based engine façade plus the MonetDB-style
 //!   operator-at-a-time baseline;
-//! * [`tpch`] / [`skyserver`] — the paper's two workloads.
+//! * [`tpch`] / [`skyserver`] — the paper's two workloads, with prepared
+//!   templates.
 //!
 //! ## Quickstart
 //!
+//! Queries go through a session: prepare a template once (binding against
+//! the catalog and fingerprinting happen here), then execute it repeatedly
+//! with bound parameters, pulling results batch-at-a-time. The recycler
+//! turns repeated executions into cache hits.
+//!
 //! ```
-//! use recycler_db::engine::{Engine, EngineConfig};
-//! use recycler_db::expr::{AggFunc, Expr};
+//! use recycler_db::engine::Engine;
+//! use recycler_db::expr::{AggFunc, Expr, Params};
 //! use recycler_db::plan::scan;
 //! use recycler_db::storage::TableBuilder;
 //! use recycler_db::vector::{DataType, Schema, Value};
@@ -40,19 +49,28 @@
 //! }
 //! catalog.register(t.finish());
 //!
-//! // An engine with recycling on.
-//! let engine = Engine::new(Arc::new(catalog), EngineConfig::default());
+//! // An engine with recycling on, and a session over it.
+//! let engine = Engine::builder(Arc::new(catalog)).build();
+//! let session = engine.session();
 //!
-//! // Run the same aggregation twice: the second run reuses the cached
-//! // result.
-//! let q = scan("sales", &["item", "amount"]).aggregate(
-//!     vec![(Expr::name("item"), "item")],
-//!     vec![(AggFunc::Sum(Expr::name("amount")), "total")],
-//! );
-//! let first = engine.run(&q).unwrap();
-//! let second = engine.run(&q).unwrap();
-//! assert_eq!(first.batch.to_rows(), second.batch.to_rows());
+//! // Prepare a parameterized aggregation template once...
+//! let template = scan("sales", &["item", "amount"])
+//!     .select(Expr::name("item").eq(Expr::param("item")))
+//!     .aggregate(vec![], vec![(AggFunc::Sum(Expr::name("amount")), "total")]);
+//! let prepared = session.prepare(&template).unwrap();
+//! assert_eq!(prepared.param_names(), &["item".to_string()]);
+//!
+//! // ...execute it with bound parameters, streaming result batches.
+//! let params = Params::new().set("item", 1i64);
+//! let first: Vec<_> = prepared.execute(&params).unwrap().collect();
+//! assert_eq!(first.iter().map(|b| b.rows()).sum::<usize>(), 1);
+//!
+//! // The second execution with identical parameters reuses the cached
+//! // result instead of recomputing.
+//! let second = prepared.execute(&params).unwrap();
 //! assert!(second.reused());
+//! let batch = second.collect_batch();
+//! assert_eq!(batch.column(0).as_floats(), &[30.0]);
 //! ```
 
 pub use rdb_engine as engine;

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use recycler_db::engine::{Engine, EngineConfig, MaterializingEngine, WorkloadQuery};
+use recycler_db::engine::{Engine, MaterializingEngine, QueryOutcome, WorkloadQuery};
 use recycler_db::expr::{AggFunc, Expr};
 use recycler_db::plan::{scan, Plan, SortKeyExpr};
 use recycler_db::recycler::proactive::{cube_with_binning, cube_with_selections, widen_top_n};
@@ -36,7 +36,16 @@ fn catalog(rows: i64) -> Arc<Catalog> {
 fn det_engine(cat: Arc<Catalog>, cache: u64) -> Arc<Engine> {
     let mut c = RecyclerConfig::deterministic(cache);
     c.spec_min_progress = 0.0;
-    Engine::new(cat, EngineConfig::with_recycler(c))
+    Engine::builder(cat).recycler(c).build()
+}
+
+/// Execute a plan to completion through the session API.
+fn run(engine: &Arc<Engine>, plan: &Plan) -> QueryOutcome {
+    engine
+        .session()
+        .query(plan)
+        .expect("query runs")
+        .into_outcome()
 }
 
 fn agg(limit: i64) -> Plan {
@@ -44,19 +53,22 @@ fn agg(limit: i64) -> Plan {
         .select(Expr::name("k").lt(Expr::lit(limit)))
         .aggregate(
             vec![(Expr::name("k"), "k")],
-            vec![(AggFunc::Sum(Expr::name("v")), "sv"), (AggFunc::CountStar, "n")],
+            vec![
+                (AggFunc::Sum(Expr::name("v")), "sv"),
+                (AggFunc::CountStar, "n"),
+            ],
         )
 }
 
 #[test]
 fn recycled_results_are_bit_identical_to_fresh_ones() {
     let cat = catalog(50_000);
-    let off = Engine::new(cat.clone(), EngineConfig::off());
+    let off = Engine::builder(cat.clone()).no_recycler().build();
     let on = det_engine(cat, 1 << 24);
     for limit in [5, 10, 20, 10, 5, 20, 10] {
         let q = agg(limit);
-        let a = off.run(&q).unwrap();
-        let b = on.run(&q).unwrap();
+        let a = run(&off, &q);
+        let b = run(&on, &q);
         let mut ra = a.batch.to_rows();
         let mut rb = b.batch.to_rows();
         ra.sort_by(|x, y| x[0].cmp(&y[0]));
@@ -75,16 +87,16 @@ fn subsumption_reuses_wider_selection() {
     let wide = scan("facts", &["k", "v"])
         .select(Expr::name("k").lt(Expr::lit(30)))
         .aggregate(vec![], vec![(AggFunc::CountStar, "n")]);
-    engine.run(&wide).unwrap();
-    engine.run(&wide).unwrap(); // second run: select node seen before
-    engine.run(&wide).unwrap(); // history materializes the select subtree
-    // A strictly narrower selection with a *different* aggregate: the
-    // select node has no exact cached result, but k<10 ⇒ k<30.
+    run(&engine, &wide);
+    run(&engine, &wide); // second run: select node seen before
+    run(&engine, &wide); // history materializes the select subtree
+                         // A strictly narrower selection with a *different* aggregate: the
+                         // select node has no exact cached result, but k<10 ⇒ k<30.
     let narrow = scan("facts", &["k", "v"])
         .select(Expr::name("k").lt(Expr::lit(10)))
         .aggregate(vec![], vec![(AggFunc::Sum(Expr::name("v")), "s")]);
-    let out = engine.run(&narrow).unwrap();
-    let expected = Engine::new(cat, EngineConfig::off()).run(&narrow).unwrap();
+    let out = run(&engine, &narrow);
+    let expected = run(&Engine::builder(cat).no_recycler().build(), &narrow);
     assert_eq!(out.batch.to_rows(), expected.batch.to_rows());
     // Either the wide select was reused via subsumption, or (if the cache
     // chose different nodes) the narrow query at least ran correctly.
@@ -107,21 +119,19 @@ fn subsumption_reuses_wider_selection() {
 fn topn_widening_end_to_end() {
     let cat = catalog(50_000);
     let engine = det_engine(cat.clone(), 1 << 24);
-    let base = || {
-        scan("facts", &["k", "v"]).top_n(vec![SortKeyExpr::desc(Expr::name("v"))], 10)
-    };
+    let base = || scan("facts", &["k", "v"]).top_n(vec![SortKeyExpr::desc(Expr::name("v"))], 10);
     // Proactively widened first query caches the 1000-row top-N.
     let bound = base().bind(&cat).unwrap();
     let widened = widen_top_n(&bound, 1000).unwrap();
-    engine.run(&widened).unwrap();
+    run(&engine, &widened);
     // A later page request (top-50, same ordering) has no exact match but
     // is subsumed by the cached wide top-N.
     let page = scan("facts", &["k", "v"])
         .top_n(vec![SortKeyExpr::desc(Expr::name("v"))], 50)
         .bind(&cat)
         .unwrap();
-    let out = engine.run(&page).unwrap();
-    let expected = Engine::new(cat, EngineConfig::off()).run(&page).unwrap();
+    let out = run(&engine, &page);
+    let expected = run(&Engine::builder(cat).no_recycler().build(), &page);
     assert_eq!(out.batch.rows(), 50);
     assert_eq!(
         out.batch.column(1).as_floats(),
@@ -133,15 +143,11 @@ fn topn_widening_end_to_end() {
 #[test]
 fn proactive_rewrites_preserve_results_under_recycling() {
     let cat = catalog(80_000);
-    let off = Engine::new(cat.clone(), EngineConfig::off());
+    let off = Engine::builder(cat.clone()).no_recycler().build();
     let engine = det_engine(cat.clone(), 1 << 26);
     for (i, day) in [(0, 1), (1, 6), (2, 3)] {
         let q = scan("facts", &["tag", "v", "d"])
-            .select(Expr::name("d").le(Expr::lit(Value::Date(date_from_ymd(
-                1994 + i,
-                day,
-                15,
-            )))))
+            .select(Expr::name("d").le(Expr::lit(Value::Date(date_from_ymd(1994 + i, day, 15)))))
             .aggregate(
                 vec![(Expr::name("tag"), "tag")],
                 vec![
@@ -152,8 +158,8 @@ fn proactive_rewrites_preserve_results_under_recycling() {
             .bind(&cat)
             .unwrap();
         let rewritten = cube_with_binning(&q).expect("binning applies");
-        let a = off.run(&q).unwrap();
-        let b = engine.run(&rewritten).unwrap();
+        let a = run(&off, &q);
+        let b = run(&engine, &rewritten);
         let mut ra = a.batch.to_rows();
         let mut rb = b.batch.to_rows();
         ra.sort_by(|x, y| x[0].cmp(&y[0]));
@@ -178,8 +184,8 @@ fn proactive_rewrites_preserve_results_under_recycling() {
             .bind(&cat)
             .unwrap();
         let rewritten = cube_with_selections(&q).expect("cube applies");
-        let a = off.run(&q).unwrap();
-        let b = engine.run(&rewritten).unwrap();
+        let a = run(&off, &q);
+        let b = run(&engine, &rewritten);
         let fa = a.batch.row(0)[0].as_float().unwrap();
         let fb = b.batch.row(0)[0].as_float().unwrap();
         assert!((fa - fb).abs() < 1e-6);
@@ -191,12 +197,12 @@ fn cache_pressure_evicts_but_stays_correct() {
     let cat = catalog(60_000);
     // A cache too small for everything: ~8 KiB.
     let engine = det_engine(cat.clone(), 8 * 1024);
-    let off = Engine::new(cat, EngineConfig::off());
+    let off = Engine::builder(cat).no_recycler().build();
     for round in 0..3 {
         for limit in [5, 10, 15, 20, 25, 30] {
             let q = agg(limit);
-            let a = engine.run(&q).unwrap();
-            let b = off.run(&q).unwrap();
+            let a = run(&engine, &q);
+            let b = run(&off, &q);
             let mut ra = a.batch.to_rows();
             let mut rb = b.batch.to_rows();
             ra.sort_by(|x, y| x[0].cmp(&y[0]));
@@ -213,9 +219,7 @@ fn concurrent_streams_with_stalls_produce_correct_results() {
     let cat = catalog(120_000);
     let engine = det_engine(cat.clone(), 1 << 26);
     let q = agg(12);
-    let expected = Engine::new(cat, EngineConfig::off())
-        .run(&q)
-        .unwrap()
+    let expected = run(&Engine::builder(cat).no_recycler().build(), &q)
         .batch
         .to_rows();
     let streams: Vec<Vec<WorkloadQuery>> = (0..8)
@@ -224,7 +228,7 @@ fn concurrent_streams_with_stalls_produce_correct_results() {
     let report = engine.run_streams(&streams);
     assert_eq!(report.records.len(), 16);
     // Every query got the same answer (verified via one representative).
-    let out = engine.run(&q).unwrap();
+    let out = run(&engine, &q);
     let mut got = out.batch.to_rows();
     let mut exp = expected;
     got.sort_by(|x, y| x[0].cmp(&y[0]));
@@ -240,23 +244,23 @@ fn history_mode_never_speculates() {
     let cat = catalog(30_000);
     let mut c = RecyclerConfig::deterministic(1 << 24);
     c.mode = RecyclerMode::History;
-    let engine = Engine::new(cat, EngineConfig::with_recycler(c));
-    let out = engine.run(&agg(7)).unwrap();
+    let engine = Engine::builder(cat).recycler(c).build();
+    let out = run(&engine, &agg(7));
     assert!(!out.materialized());
-    assert!(out
-        .events
-        .iter()
-        .all(|e| !matches!(e, recycler_db::recycler::RecyclerEvent::StoreInjected { .. })));
+    assert!(out.events.iter().all(|e| !matches!(
+        e,
+        recycler_db::recycler::RecyclerEvent::StoreInjected { .. }
+    )));
 }
 
 #[test]
 fn pipelined_and_materializing_engines_agree() {
     let cat = catalog(40_000);
-    let pipe = Engine::new(cat.clone(), EngineConfig::off());
+    let pipe = Engine::builder(cat.clone()).no_recycler().build();
     let mat = MaterializingEngine::recycling(cat, None);
     for limit in [3, 9, 27] {
         let q = agg(limit);
-        let a = pipe.run(&q).unwrap().batch.to_rows();
+        let a = run(&pipe, &q).batch.to_rows();
         let b = mat.run(&q).unwrap().batch.to_rows();
         let mut a = a;
         let mut b = b;
@@ -271,28 +275,31 @@ fn flush_between_batches_mirrors_updates() {
     let cat = catalog(30_000);
     let engine = det_engine(cat, 1 << 24);
     let q = agg(11);
-    engine.run(&q).unwrap();
-    let warm = engine.run(&q).unwrap();
+    run(&engine, &q);
+    let warm = run(&engine, &q);
     assert!(warm.reused());
     engine.flush_cache();
-    let cold = engine.run(&q).unwrap();
+    let cold = run(&engine, &q);
     assert!(!cold.reused(), "flush invalidates all cached results");
-    let warm_again = engine.run(&q).unwrap();
+    let warm_again = run(&engine, &q);
     assert!(warm_again.reused(), "recycling resumes after the flush");
 }
 
 #[test]
 fn tpch_smoke_with_recycling_matches_off() {
     use recycler_db::tpch::{generate, make_streams, StreamOptions, TpchConfig};
-    let catalog = generate(&TpchConfig { scale: 0.002, seed: 5 });
+    let catalog = generate(&TpchConfig {
+        scale: 0.002,
+        seed: 5,
+    });
     let streams = make_streams(&catalog, &StreamOptions::new(2, 0.002));
-    let off = Engine::new(catalog.clone(), EngineConfig::off());
+    let off = Engine::builder(catalog.clone()).no_recycler().build();
     let mut c = RecyclerConfig::speculative(1 << 26);
     c.spec_min_progress = 0.0;
-    let on = Engine::new(catalog, EngineConfig::with_recycler(c));
+    let on = Engine::builder(catalog).recycler(c).build();
     for q in streams.iter().flatten() {
-        let a = off.run(&q.plan).unwrap();
-        let b = on.run(&q.plan).unwrap();
+        let a = run(&off, &q.plan);
+        let b = run(&on, &q.plan);
         assert_eq!(
             a.batch.rows(),
             b.batch.rows(),

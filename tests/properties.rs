@@ -1,28 +1,44 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-style tests over the core data structures and invariants.
+//!
+//! Sampled deterministically with a seeded RNG (the build environment has
+//! no proptest): each property draws a few hundred random cases and checks
+//! the invariant on every one, printing the failing case on violation.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use recycler_db::expr::{like::like_match, CmpOp, Expr};
 use recycler_db::plan::{scan, structural_eq, structural_hash};
 use recycler_db::recycler::{NodeId, RecyclerGraph};
 use recycler_db::vector::types::{date_from_ymd, ymd_from_date};
 use recycler_db::vector::{Column, DataType, Schema, Value};
 
+fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
 // ---- calendar dates -------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn date_roundtrip(days in -200_000i32..200_000) {
+#[test]
+fn date_roundtrip() {
+    let mut rng = rng(1);
+    for _ in 0..2_000 {
+        let days = rng.gen_range(-200_000i32..200_000);
         let (y, m, d) = ymd_from_date(days);
-        prop_assert_eq!(date_from_ymd(y, m, d), days);
-        prop_assert!((1..=12).contains(&m));
-        prop_assert!((1..=31).contains(&d));
+        assert_eq!(date_from_ymd(y, m, d), days);
+        assert!((1..=12).contains(&m), "month {m} for {days}");
+        assert!((1..=31).contains(&d), "day {d} for {days}");
     }
+}
 
-    #[test]
-    fn date_order_preserved(a in -100_000i32..100_000, b in -100_000i32..100_000) {
+#[test]
+fn date_order_preserved() {
+    let mut rng = rng(2);
+    for _ in 0..2_000 {
+        let a = rng.gen_range(-100_000i32..100_000);
+        let b = rng.gen_range(-100_000i32..100_000);
         let (ya, ma, da) = ymd_from_date(a);
         let (yb, mb, db) = ymd_from_date(b);
-        prop_assert_eq!(a.cmp(&b), (ya, ma, da).cmp(&(yb, mb, db)));
+        assert_eq!(a.cmp(&b), (ya, ma, da).cmp(&(yb, mb, db)));
     }
 }
 
@@ -34,8 +50,7 @@ fn like_ref(text: &[u8], pat: &[u8]) -> bool {
         (None, None) => true,
         (None, Some(_)) => false,
         (Some(b'%'), _) => {
-            like_ref(text, &pat[1..])
-                || (!text.is_empty() && like_ref(&text[1..], pat))
+            like_ref(text, &pat[1..]) || (!text.is_empty() && like_ref(&text[1..], pat))
         }
         (Some(b'_'), Some(_)) => like_ref(&text[1..], &pat[1..]),
         (Some(c), Some(t)) if c == t => like_ref(&text[1..], &pat[1..]),
@@ -43,77 +58,108 @@ fn like_ref(text: &[u8], pat: &[u8]) -> bool {
     }
 }
 
-proptest! {
-    #[test]
-    fn like_matches_reference(
-        text in "[abc]{0,12}",
-        pat in "[abc%_]{0,8}",
-    ) {
-        prop_assert_eq!(
+fn sample_string(rng: &mut SmallRng, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char)
+        .collect()
+}
+
+#[test]
+fn like_matches_reference() {
+    let mut rng = rng(3);
+    for _ in 0..3_000 {
+        let text = sample_string(&mut rng, b"abc", 12);
+        let pat = sample_string(&mut rng, b"abc%_", 8);
+        assert_eq!(
             like_match(&text, &pat),
             like_ref(text.as_bytes(), pat.as_bytes()),
-            "text={:?} pat={:?}", text, pat
+            "text={text:?} pat={pat:?}"
         );
     }
 }
 
 // ---- predicate implication soundness ---------------------------------------
 
-proptest! {
-    /// If `implies(p, q)` holds, then for every sampled value, `p(v)` must
-    /// entail `q(v)`.
-    #[test]
-    fn implication_is_sound(
-        lo1 in -50i64..50, hi1 in -50i64..50,
-        lo2 in -50i64..50, hi2 in -50i64..50,
-        probe in -60i64..60,
-    ) {
-        let p = Expr::col(0).ge(Expr::lit(lo1)).and(Expr::col(0).le(Expr::lit(hi1)));
-        let q = Expr::col(0).ge(Expr::lit(lo2)).and(Expr::col(0).le(Expr::lit(hi2)));
+#[test]
+fn implication_is_sound() {
+    let mut rng = rng(4);
+    for _ in 0..3_000 {
+        let (lo1, hi1) = (rng.gen_range(-50i64..50), rng.gen_range(-50i64..50));
+        let (lo2, hi2) = (rng.gen_range(-50i64..50), rng.gen_range(-50i64..50));
+        let probe = rng.gen_range(-60i64..60);
+        let p = Expr::col(0)
+            .ge(Expr::lit(lo1))
+            .and(Expr::col(0).le(Expr::lit(hi1)));
+        let q = Expr::col(0)
+            .ge(Expr::lit(lo2))
+            .and(Expr::col(0).le(Expr::lit(hi2)));
         if recycler_db::expr::implies(&p, &q) {
             let sat = |lo: i64, hi: i64| probe >= lo && probe <= hi;
             if sat(lo1, hi1) {
-                prop_assert!(sat(lo2, hi2),
-                    "p=[{},{}] q=[{},{}] probe={}", lo1, hi1, lo2, hi2, probe);
+                assert!(
+                    sat(lo2, hi2),
+                    "p=[{lo1},{hi1}] q=[{lo2},{hi2}] probe={probe}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn implication_handles_strictness(bound in -50i64..50, probe in -60i64..60) {
-        let strict = Expr::Cmp(CmpOp::Gt, Box::new(Expr::col(0)), Box::new(Expr::lit(bound)));
-        let loose = Expr::Cmp(CmpOp::Ge, Box::new(Expr::col(0)), Box::new(Expr::lit(bound)));
-        prop_assert!(recycler_db::expr::implies(&strict, &loose));
-        if probe > bound {
-            prop_assert!(probe >= bound);
-        }
+#[test]
+fn implication_handles_strictness() {
+    let mut rng = rng(5);
+    for _ in 0..500 {
+        let bound = rng.gen_range(-50i64..50);
+        let strict = Expr::Cmp(
+            CmpOp::Gt,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(bound)),
+        );
+        let loose = Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::col(0)),
+            Box::new(Expr::lit(bound)),
+        );
+        assert!(recycler_db::expr::implies(&strict, &loose));
     }
 }
 
 // ---- column/batch invariants ------------------------------------------------
 
-proptest! {
-    #[test]
-    fn take_then_concat_roundtrip(vals in prop::collection::vec(-1000i64..1000, 1..100)) {
+#[test]
+fn take_then_concat_roundtrip() {
+    let mut rng = rng(6);
+    for _ in 0..300 {
+        let n = rng.gen_range(1..100usize);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
         let col = Column::from_ints(vals.clone());
-        let n = vals.len();
         let split = n / 2;
         let left: Vec<u32> = (0..split as u32).collect();
         let right: Vec<u32> = (split as u32..n as u32).collect();
         let a = col.take(&left);
         let b = col.take(&right);
         let joined = Column::concat(&[&a, &b]);
-        prop_assert_eq!(joined.as_ints(), &vals[..]);
+        assert_eq!(joined.as_ints(), &vals[..]);
     }
+}
 
-    #[test]
-    fn filter_never_grows(vals in prop::collection::vec(-100i64..100, 0..80), pivot in -100i64..100) {
+#[test]
+fn filter_never_grows() {
+    let mut rng = rng(7);
+    for _ in 0..300 {
+        let n = rng.gen_range(0..80usize);
+        let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-100i64..100)).collect();
+        let pivot = rng.gen_range(-100i64..100);
         let col = Column::from_ints(vals.clone());
         let mask: Vec<bool> = vals.iter().map(|&v| v < pivot).collect();
         let filtered = col.filter(&mask);
-        prop_assert!(filtered.len() <= col.len());
-        prop_assert_eq!(filtered.len(), mask.iter().filter(|&&b| b).count());
-        prop_assert!(filtered.to_values().iter().all(|v| v.as_int().unwrap() < pivot));
+        assert!(filtered.len() <= col.len());
+        assert_eq!(filtered.len(), mask.iter().filter(|&&b| b).count());
+        assert!(filtered
+            .to_values()
+            .iter()
+            .all(|v| v.as_int().unwrap() < pivot));
     }
 }
 
@@ -136,13 +182,16 @@ fn schema_of(_p: &recycler_db::plan::Plan) -> Schema {
     Schema::from_pairs([("k", DataType::Int)])
 }
 
-proptest! {
-    /// Matching is idempotent: re-inserting any already-inserted plan adds
-    /// no nodes and matches the same ids.
-    #[test]
-    fn match_or_insert_idempotent(
-        plans in prop::collection::vec((0i64..5, any::<bool>(), any::<bool>()), 1..20)
-    ) {
+/// Matching is idempotent: re-inserting any already-inserted plan adds no
+/// nodes and matches the same ids.
+#[test]
+fn match_or_insert_idempotent() {
+    let mut rng = rng(8);
+    for _ in 0..50 {
+        let count = rng.gen_range(1..20usize);
+        let plans: Vec<(i64, bool, bool)> = (0..count)
+            .map(|_| (rng.gen_range(0i64..5), rng.gen_bool(0.5), rng.gen_bool(0.5)))
+            .collect();
         let mut g = RecyclerGraph::new();
         let mut ids = Vec::new();
         for (s, w, a) in &plans {
@@ -154,35 +203,39 @@ proptest! {
         for ((s, w, a), expect) in plans.iter().zip(&ids) {
             let p = arbitrary_plan(*s, *w, *a);
             let m = g.match_or_insert(&p, &schema_of);
-            prop_assert_eq!(m.id, *expect, "re-match must find the same node");
-            prop_assert_eq!(m.inserted_count(), 0);
+            assert_eq!(m.id, *expect, "re-match must find the same node");
+            assert_eq!(m.inserted_count(), 0);
         }
-        prop_assert_eq!(g.len(), size, "idempotent re-insertions");
+        assert_eq!(g.len(), size, "idempotent re-insertions");
     }
+}
 
-    /// Structural hash is consistent with structural equality.
-    #[test]
-    fn structural_hash_consistent(
-        s1 in 0i64..4, w1 in any::<bool>(), a1 in any::<bool>(),
-        s2 in 0i64..4, w2 in any::<bool>(), a2 in any::<bool>(),
-    ) {
-        let p1 = arbitrary_plan(s1, w1, a1);
-        let p2 = arbitrary_plan(s2, w2, a2);
+/// Structural hash is consistent with structural equality.
+#[test]
+fn structural_hash_consistent() {
+    let mut rng = rng(9);
+    for _ in 0..2_000 {
+        let p1 = arbitrary_plan(rng.gen_range(0i64..4), rng.gen_bool(0.5), rng.gen_bool(0.5));
+        let p2 = arbitrary_plan(rng.gen_range(0i64..4), rng.gen_bool(0.5), rng.gen_bool(0.5));
         if structural_eq(&p1, &p2) {
-            prop_assert_eq!(structural_hash(&p1), structural_hash(&p2));
+            assert_eq!(structural_hash(&p1), structural_hash(&p2));
         }
-        prop_assert!(structural_eq(&p1, &p1));
+        assert!(structural_eq(&p1, &p1));
     }
+}
 
-    /// Materialize/evict round-trips restore hR exactly (no aging).
-    ///
-    /// References are generated the way real queries produce them: a query
-    /// that could reuse a node could also have reused each of its
-    /// descendants, so bumping node `i` also bumps everything below it
-    /// (the paper's invariant `h_descendant >= h_ancestor`; Eq. 3/4 are
-    /// only exact inverses under it).
-    #[test]
-    fn materialize_evict_restores_h(bumps in prop::collection::vec(0usize..3, 1..30)) {
+/// Materialize/evict round-trips restore hR exactly (no aging).
+///
+/// References are generated the way real queries produce them: a query that
+/// could reuse a node could also have reused each of its descendants, so
+/// bumping node `i` also bumps everything below it (the paper's invariant
+/// `h_descendant >= h_ancestor`; Eq. 3/4 are only exact inverses under it).
+#[test]
+fn materialize_evict_restores_h() {
+    let mut rng = rng(10);
+    for _ in 0..100 {
+        let bump_count = rng.gen_range(1..30usize);
+        let bumps: Vec<usize> = (0..bump_count).map(|_| rng.gen_range(0..3usize)).collect();
         let mut g = RecyclerGraph::new();
         let p = arbitrary_plan(1, true, true);
         let m = g.match_or_insert(&p, &schema_of);
@@ -197,7 +250,7 @@ proptest! {
         g.on_evicted(nodes[0], 1.0);
         let after: Vec<f64> = nodes.iter().map(|&n| g.decayed_h(n, 1.0)).collect();
         for (x, y) in before.iter().zip(&after) {
-            prop_assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
         }
         let _ = NodeId(0);
     }
@@ -205,48 +258,48 @@ proptest! {
 
 // ---- cache invariants ---------------------------------------------------------
 
-proptest! {
-    /// The cache never exceeds its capacity, whatever the insertion
-    /// sequence.
-    #[test]
-    fn cache_respects_capacity(
-        sizes in prop::collection::vec(1usize..200, 1..40),
-        benefits in prop::collection::vec(0.0f64..10.0, 40),
-    ) {
-        use recycler_db::recycler::RecyclerCache;
-        use recycler_db::exec::MaterializedResult;
-        use recycler_db::vector::Batch;
-        use std::sync::Arc;
+/// The cache never exceeds its capacity, whatever the insertion sequence.
+#[test]
+fn cache_respects_capacity() {
+    use recycler_db::exec::MaterializedResult;
+    use recycler_db::recycler::RecyclerCache;
+    use recycler_db::vector::Batch;
+    use std::sync::Arc;
 
+    let mut rng = rng(11);
+    for _ in 0..50 {
+        let count = rng.gen_range(1..40usize);
         let mut cache = RecyclerCache::new(2_000);
-        for (i, (&s, &b)) in sizes.iter().zip(&benefits).enumerate() {
+        for i in 0..count {
+            let s = rng.gen_range(1..200usize);
+            let b = rng.gen_range(0.0f64..10.0);
             let col = Column::from_ints(vec![0; s]);
             let r = Arc::new(MaterializedResult::from_batches(
                 Schema::from_pairs([("x", DataType::Int)]),
                 &[Batch::new(vec![col])],
             ));
             let _ = cache.insert(NodeId(i as u32), r, b);
-            prop_assert!(cache.used() <= 2_000, "over budget: {}", cache.used());
+            assert!(cache.used() <= 2_000, "over budget: {}", cache.used());
         }
         // Flush empties completely.
         cache.flush();
-        prop_assert_eq!(cache.used(), 0);
-        prop_assert_eq!(cache.len(), 0);
+        assert_eq!(cache.used(), 0);
+        assert_eq!(cache.len(), 0);
     }
 }
 
 // ---- value total order ----------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn value_ordering_is_total_and_antisymmetric(
-        a in -1000i64..1000,
-        b in -1000.0f64..1000.0,
-    ) {
+#[test]
+fn value_ordering_is_total_and_antisymmetric() {
+    let mut rng = rng(12);
+    for _ in 0..2_000 {
+        let a = rng.gen_range(-1000i64..1000);
+        let b = rng.gen_range(-1000.0f64..1000.0);
         let va = Value::Int(a);
         let vb = Value::Float(b);
         let ab = va.cmp(&vb);
         let ba = vb.cmp(&va);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse());
     }
 }

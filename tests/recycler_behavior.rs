@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use recycler_db::engine::{Engine, EngineConfig};
+use recycler_db::engine::{Engine, QueryOutcome};
 use recycler_db::expr::{AggFunc, Expr};
 use recycler_db::plan::{scan, Plan};
 use recycler_db::recycler::{RecyclerConfig, RecyclerEvent};
@@ -25,7 +25,27 @@ fn engine(cat: Arc<Catalog>, cache: u64, alpha: f64) -> Arc<Engine> {
     let mut c = RecyclerConfig::deterministic(cache);
     c.spec_min_progress = 0.0;
     c.aging_alpha = alpha;
-    Engine::new(cat, EngineConfig::with_recycler(c))
+    // The displacement scenarios below run with caches of a few dozen
+    // bytes; a single result may occupy all of it.
+    c.max_result_fraction = 1.0;
+    Engine::builder(cat).recycler(c).build()
+}
+
+/// Execute a plan to completion through the session API.
+fn run(engine: &Arc<Engine>, plan: &Plan) -> QueryOutcome {
+    engine
+        .session()
+        .query(plan)
+        .expect("query runs")
+        .into_outcome()
+}
+
+/// Size of `q`'s cached root result, measured with an effectively unbounded
+/// cache.
+fn result_size(cat: &Arc<Catalog>, q: &Plan) -> u64 {
+    let e = engine(cat.clone(), 1 << 24, 1.0);
+    run(&e, q);
+    e.recycler().unwrap().cache_used()
 }
 
 fn q(limit: i64) -> Plan {
@@ -43,21 +63,19 @@ fn q(limit: i64) -> Plan {
 #[test]
 fn aging_adapts_to_workload_shift() {
     let cat = catalog(40_000);
-    // Tiny cache: only one of the two aggregation results fits.
-    let probe_size = {
-        let e = engine(cat.clone(), 1 << 24, 1.0);
-        e.run(&q(1)).unwrap();
-        e.recycler().unwrap().cache_used()
-    };
-    let e = engine(cat, probe_size + probe_size / 2, 0.5);
+    // Tiny cache: fits the incoming pattern's result, but not both
+    // patterns' results at once — phase B can only be cached by displacing
+    // phase A's incumbent.
+    let probe_size = result_size(&cat, &q(2));
+    let e = engine(cat, probe_size + probe_size / 4, 0.5);
     // Phase A: q(1) runs many times, builds a large reference count.
     for _ in 0..6 {
-        e.run(&q(1)).unwrap();
+        run(&e, &q(1));
     }
     // Phase B: the workload shifts entirely to q(2).
     let mut reused_late = false;
     for i in 0..12 {
-        let out = e.run(&q(2)).unwrap();
+        let out = run(&e, &q(2));
         if i >= 6 {
             reused_late |= out.reused();
         }
@@ -76,22 +94,21 @@ fn aging_adapts_to_workload_shift() {
 #[test]
 fn no_starvation_of_new_results() {
     let cat = catalog(60_000);
-    let probe = {
-        let e = engine(cat.clone(), 1 << 24, 1.0);
-        e.run(&q(1)).unwrap();
-        e.recycler().unwrap().cache_used()
-    };
-    // Cache fits roughly one result.
+    // Cache fits roughly one result of the newcomer's size.
+    let probe = result_size(&cat, &q(3));
     let e = engine(cat, probe + probe / 4, 1.0);
-    e.run(&q(1)).unwrap(); // incumbent cached (speculation)
-    // A different, similarly-sized result referenced repeatedly: its
-    // history benefit grows with each occurrence until it wins the
-    // replacement comparison.
+    run(&e, &q(1)); // incumbent cached (speculation)
+                    // A different, similarly-sized result referenced repeatedly: its
+                    // history benefit grows with each occurrence until it wins the
+                    // replacement comparison.
     let mut reused = false;
     for _ in 0..8 {
-        reused |= e.run(&q(3)).unwrap().reused();
+        reused |= run(&e, &q(3)).reused();
     }
-    assert!(reused, "repeatedly-referenced newcomer must displace the incumbent");
+    assert!(
+        reused,
+        "repeatedly-referenced newcomer must displace the incumbent"
+    );
 }
 
 /// Store operators are never injected under a reused (cached) subtree, and
@@ -101,8 +118,8 @@ fn no_store_under_reuse() {
     let cat = catalog(30_000);
     let e = engine(cat, 1 << 24, 1.0);
     let query = q(5);
-    e.run(&query).unwrap();
-    let out = e.run(&query).unwrap();
+    run(&e, &query);
+    let out = run(&e, &query);
     assert!(out.reused());
     let stores = out
         .events
@@ -118,7 +135,7 @@ fn no_store_under_reuse() {
 fn event_stream_consistency() {
     let cat = catalog(30_000);
     let e = engine(cat, 1 << 24, 1.0);
-    let out = e.run(&q(9)).unwrap();
+    let out = run(&e, &q(9));
     let injected: Vec<_> = out
         .events
         .iter()
@@ -145,7 +162,7 @@ fn event_stream_consistency() {
 fn graph_shares_common_subtrees() {
     let cat = catalog(10_000);
     let e = engine(cat, 1 << 24, 1.0);
-    e.run(&q(7)).unwrap();
+    run(&e, &q(7));
     let after_first = e.recycler().unwrap().graph_len();
     // Same scan+select, different aggregate: only one new node.
     let variant = scan("facts", &["k", "v"])
@@ -154,7 +171,7 @@ fn graph_shares_common_subtrees() {
             vec![(Expr::name("k"), "k")],
             vec![(AggFunc::CountStar, "n")],
         );
-    e.run(&variant).unwrap();
+    run(&e, &variant);
     let after_second = e.recycler().unwrap().graph_len();
     assert_eq!(
         after_second,
@@ -175,10 +192,10 @@ fn intra_query_sharing_is_detected() {
         vec![(AggFunc::Sum(Expr::name("v")), "s")],
     );
     let total = sub.aggregate(vec![], vec![(AggFunc::Sum(Expr::name("v")), "t")]);
-    let query = per_k.single_join(total).select(
-        Expr::name("s").gt(Expr::name("t").mul(Expr::lit(0.01))),
-    );
-    let out = e.run(&query).unwrap();
+    let query = per_k
+        .single_join(total)
+        .select(Expr::name("s").gt(Expr::name("t").mul(Expr::lit(0.01))));
+    let out = run(&e, &query);
     assert!(out.batch.rows() > 0);
     // The shared select subtree occupies one node: scan + select +
     // 2 aggregates + join + outer select = 6, not 8.
@@ -193,7 +210,7 @@ fn oversized_results_are_refused() {
     let mut c = RecyclerConfig::deterministic(4096);
     c.spec_min_progress = 0.0;
     c.max_result_fraction = 0.25; // max 1 KiB per result
-    let e = Engine::new(cat.clone(), EngineConfig::with_recycler(c));
+    let e = Engine::builder(cat.clone()).recycler(c).build();
     // A selection result of ~tens of KiB cannot be cached.
     let big = scan("facts", &["k", "v"]).select(Expr::name("k").ge(Expr::lit(0)));
     let wrapped = big.aggregate(
@@ -201,7 +218,7 @@ fn oversized_results_are_refused() {
         vec![(AggFunc::CountStar, "n")],
     );
     for _ in 0..3 {
-        let out = e.run(&wrapped).unwrap();
+        let out = run(&e, &wrapped);
         assert_eq!(out.batch.rows(), 64);
     }
     assert!(

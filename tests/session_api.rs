@@ -1,0 +1,199 @@
+//! End-to-end tests of the session-based query API: prepared statements,
+//! parameter binding, streaming batch results, and the `Engine::run`
+//! compatibility shim.
+
+use std::sync::Arc;
+
+use recycler_db::engine::{Engine, QueryOutcome};
+use recycler_db::expr::{AggFunc, Expr, Params};
+use recycler_db::plan::{scan, Plan};
+use recycler_db::recycler::RecyclerConfig;
+use recycler_db::storage::{Catalog, TableBuilder};
+use recycler_db::vector::{DataType, Schema, Value, BATCH_CAPACITY};
+
+fn catalog(rows: i64) -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("v", DataType::Float),
+        ("tag", DataType::Str),
+    ]);
+    let mut b = TableBuilder::new("facts", schema, rows as usize);
+    for i in 0..rows {
+        b.push_row(vec![
+            Value::Int(i % 64),
+            Value::Float((i % 211) as f64 * 0.5),
+            Value::str(["x", "y", "z"][(i % 3) as usize]),
+        ]);
+    }
+    cat.register(b.finish());
+    Arc::new(cat)
+}
+
+fn det_engine(rows: i64) -> Arc<Engine> {
+    let mut c = RecyclerConfig::deterministic(1 << 24);
+    c.spec_min_progress = 0.0;
+    Engine::builder(catalog(rows)).recycler(c).build()
+}
+
+fn template() -> Plan {
+    scan("facts", &["k", "v"])
+        .select(Expr::name("k").lt(Expr::param("limit")))
+        .aggregate(
+            vec![(Expr::name("k"), "k")],
+            vec![
+                (AggFunc::Sum(Expr::name("v")), "sv"),
+                (AggFunc::CountStar, "n"),
+            ],
+        )
+}
+
+#[test]
+fn identical_params_hit_the_recycler_cache() {
+    let engine = det_engine(30_000);
+    let session = engine.session();
+    let prepared = session.prepare(&template()).unwrap();
+    let p = Params::new().set("limit", 12i64);
+    let first = prepared.execute(&p).unwrap().into_outcome();
+    assert!(!first.reused());
+    assert_eq!(first.batch.rows(), 12);
+    for _ in 0..3 {
+        let again = prepared.execute(&p).unwrap().into_outcome();
+        assert!(again.reused(), "identical params must reuse");
+        assert_eq!(again.batch.to_rows(), first.batch.to_rows());
+    }
+    assert_eq!(session.stats().reused, 3);
+}
+
+#[test]
+fn different_params_do_not_share_results() {
+    let engine = det_engine(30_000);
+    let session = engine.session();
+    let prepared = session.prepare(&template()).unwrap();
+    let a = prepared
+        .execute(&Params::new().set("limit", 10i64))
+        .unwrap()
+        .into_outcome();
+    let b = prepared
+        .execute(&Params::new().set("limit", 20i64))
+        .unwrap()
+        .into_outcome();
+    assert_eq!(a.batch.rows(), 10);
+    assert_eq!(b.batch.rows(), 20);
+    assert!(!b.reused(), "a different parameter draw must compute fresh");
+    // Each parameterization is cached independently.
+    let a2 = prepared
+        .execute(&Params::new().set("limit", 10i64))
+        .unwrap()
+        .into_outcome();
+    let b2 = prepared
+        .execute(&Params::new().set("limit", 20i64))
+        .unwrap()
+        .into_outcome();
+    assert!(a2.reused() && b2.reused());
+    assert_eq!(a2.batch.to_rows(), a.batch.to_rows());
+    assert_eq!(b2.batch.to_rows(), b.batch.to_rows());
+}
+
+#[test]
+fn streaming_pulls_batch_at_a_time() {
+    let engine = Engine::builder(catalog(BATCH_CAPACITY as i64 * 3 + 7))
+        .no_recycler()
+        .build();
+    let session = engine.session();
+    let plan = scan("facts", &["k", "v"]);
+    let mut handle = session.query(&plan).unwrap();
+    assert_eq!(handle.schema().names(), vec!["k", "v"]);
+    let mut batches = 0;
+    let mut rows = 0;
+    for b in &mut handle {
+        batches += 1;
+        rows += b.rows();
+        assert!(b.rows() <= BATCH_CAPACITY);
+    }
+    assert_eq!(batches, 4);
+    assert_eq!(rows, BATCH_CAPACITY * 3 + 7);
+}
+
+#[test]
+fn dropped_stream_does_not_poison_cache_or_leak_slot() {
+    let mut c = RecyclerConfig::deterministic(1 << 24);
+    c.spec_min_progress = 0.0;
+    let engine = Engine::builder(catalog(60_000))
+        .recycler(c)
+        .max_concurrent_queries(1)
+        .build();
+    let session = engine.session();
+    let prepared = session.prepare(&template()).unwrap();
+    let p = Params::new().set("limit", 40i64);
+    {
+        let mut handle = prepared.execute(&p).unwrap();
+        let _ = handle.next();
+        // Dropped here, half-way through, while holding the only slot.
+    }
+    assert_eq!(session.stats().aborted, 1);
+    // Slot released: with max_concurrent_queries(1) the next execution
+    // would block forever on a leaked slot.
+    let out = prepared.execute(&p).unwrap().into_outcome();
+    assert!(!out.reused(), "the aborted run must not have published");
+    assert_eq!(out.batch.rows(), 40);
+    // Cache unpoisoned: the completed run's result is reused and correct.
+    let again = prepared.execute(&p).unwrap().into_outcome();
+    assert!(again.reused());
+    assert_eq!(again.batch.to_rows(), out.batch.to_rows());
+}
+
+#[test]
+fn run_shim_stays_behaviourally_identical() {
+    // The deprecated Engine::run must behave exactly like the old API:
+    // named plans accepted, full materialization, recycler events intact.
+    let engine = det_engine(20_000);
+    let concrete = scan("facts", &["k", "v"])
+        .select(Expr::name("k").lt(Expr::lit(10)))
+        .aggregate(
+            vec![(Expr::name("k"), "k")],
+            vec![(AggFunc::Sum(Expr::name("v")), "sv")],
+        );
+    #[allow(deprecated)]
+    let first: QueryOutcome = engine.run(&concrete).unwrap();
+    assert!(!first.reused());
+    assert!(first.materialized(), "speculation caches the aggregate");
+    assert_eq!(first.batch.rows(), 10);
+    #[allow(deprecated)]
+    let second = engine.run(&concrete).unwrap();
+    assert!(second.reused(), "second run hits the cache");
+    assert_eq!(first.batch.to_rows(), second.batch.to_rows());
+    // And the shim shares one cache with the session path.
+    let via_session = engine.session().query(&concrete).unwrap().into_outcome();
+    assert!(via_session.reused());
+}
+
+#[test]
+fn prepare_rejects_unknown_columns_and_execute_validates_params() {
+    let engine = det_engine(1_000);
+    let session = engine.session();
+    assert!(session.prepare(&scan("facts", &["nope"])).is_err());
+    let prepared = session.prepare(&template()).unwrap();
+    assert!(
+        prepared.execute(&Params::none()).is_err(),
+        "missing binding"
+    );
+    assert!(
+        prepared
+            .execute(&Params::new().set("limit", 5i64).set("extra", 1i64))
+            .is_err(),
+        "unknown binding"
+    );
+}
+
+#[test]
+fn collect_batch_is_the_explicit_materialization_point() {
+    let engine = det_engine(5_000);
+    let session = engine.session();
+    let prepared = session.prepare(&template()).unwrap();
+    let batch = prepared
+        .execute(&Params::new().set("limit", 8i64))
+        .unwrap()
+        .collect_batch();
+    assert_eq!(batch.rows(), 8);
+}
