@@ -1,7 +1,15 @@
 //! Blocking hash aggregation.
+//!
+//! The group table hashes encoded key bytes with the vendored FxHash (the
+//! keys are derived from the data being aggregated; SipHash's DoS
+//! resistance buys nothing) and input batches are consumed
+//! selection-aware: filtered batches arrive as shared columns plus a
+//! selection vector and only the selected rows are folded in — the
+//! aggregate is the pipeline breaker, so nothing upstream ever gathered.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 
 use rdb_expr::{eval, AggFunc, Expr};
 use rdb_vector::column::ColumnBuilder;
@@ -27,7 +35,7 @@ enum Acc {
     /// `avg`.
     Avg { sum: f64, count: i64 },
     /// `count(distinct expr)`.
-    Distinct(HashSet<Value>),
+    Distinct(FxHashSet<Value>),
 }
 
 impl Acc {
@@ -47,7 +55,7 @@ impl Acc {
             AggFunc::Min(_) => Acc::Min(None),
             AggFunc::Max(_) => Acc::Max(None),
             AggFunc::Avg(_) => Acc::Avg { sum: 0.0, count: 0 },
-            AggFunc::CountDistinct(_) => Acc::Distinct(HashSet::new()),
+            AggFunc::CountDistinct(_) => Acc::Distinct(FxHashSet::default()),
         }
     }
 
@@ -190,7 +198,10 @@ impl HashAggExec {
     }
 
     fn build(&mut self) -> Vec<Batch> {
-        let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
+        // Pre-size for one full vector of distinct keys; the map grows
+        // only when the workload really has more groups than that.
+        let mut groups: FxHashMap<Vec<u8>, usize> =
+            FxHashMap::with_capacity_and_hasher(BATCH_CAPACITY, FxBuildHasher::default());
         let mut states: Vec<Group> = Vec::new();
         let mut key_buf = Vec::new();
         while let Some(batch) = self.child.next_batch() {
@@ -202,7 +213,13 @@ impl HashAggExec {
                 .iter()
                 .map(|a| a.argument().map(|e| eval(e, &batch)))
                 .collect();
-            for row in 0..batch.rows() {
+            let sel = batch.sel();
+            for li in 0..batch.rows() {
+                // Selection-aware: `row` is the physical position.
+                let row = match sel {
+                    Some(s) => s[li] as usize,
+                    None => li,
+                };
                 key_buf.clear();
                 encode_row_key(&key_refs, row, &mut key_buf);
                 let idx = match groups.get(&key_buf) {

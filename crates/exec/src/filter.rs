@@ -1,14 +1,31 @@
 //! Pipelining operators: selection and projection.
+//!
+//! Both are zero-copy on the common path: [`FilterExec`] narrows batches
+//! with a selection vector instead of gathering survivors, and
+//! [`ProjectExec`] computes over the shared physical columns and carries
+//! the input's selection onto its output. Column data is only moved at a
+//! pipeline breaker or store boundary — with one deliberate exception:
+//! when a filter keeps fewer than 1 in [`COMPACT_FRACTION`] rows it
+//! compacts immediately, because downstream expression evaluation works
+//! over *physical* rows and, at very low selectivity, computing over the
+//! dead rows costs more than one small gather.
 
 use std::sync::Arc;
 
-use rdb_expr::{eval, eval_predicate, Expr};
+use rdb_expr::{eval, eval_selection, Expr, Selection};
 use rdb_vector::Batch;
 
 use crate::metrics::OpMetrics;
 use crate::op::{timed_next, Operator};
 
-/// Vectorized selection: evaluates the predicate per batch and compacts.
+/// Below `physical_rows / COMPACT_FRACTION` surviving rows a filter
+/// gathers instead of attaching a selection (see module docs).
+pub const COMPACT_FRACTION: usize = 16;
+
+/// Vectorized selection: evaluates the predicate per batch and attaches
+/// the qualifying row indices as the batch's selection vector. All-true
+/// batches pass through untouched; all-false batches are skipped without
+/// allocating anything; very sparse survivors are compacted on the spot.
 pub struct FilterExec {
     child: Box<dyn Operator>,
     predicate: Expr,
@@ -34,10 +51,15 @@ impl Operator for FilterExec {
             // downstream operators never see empty batches.
             loop {
                 let batch = self.child.next_batch()?;
-                let mask = eval_predicate(&self.predicate, &batch);
-                let out = batch.filter(&mask);
-                if !out.is_empty() {
-                    return Some(out);
+                match eval_selection(&self.predicate, &batch) {
+                    Selection::All => return Some(batch),
+                    Selection::Empty => continue,
+                    Selection::Rows(rows) => {
+                        if rows.len() * COMPACT_FRACTION < batch.physical_rows() {
+                            return Some(batch.take_physical(&rows));
+                        }
+                        return Some(batch.with_selection(Arc::new(rows)));
+                    }
                 }
             }
         })
@@ -48,7 +70,9 @@ impl Operator for FilterExec {
     }
 }
 
-/// Vectorized projection: computes one output column per expression.
+/// Vectorized projection: computes one output column per expression over
+/// the physical rows and carries the input's selection vector onto the
+/// output (column references pass through as shared, uncopied columns).
 pub struct ProjectExec {
     child: Box<dyn Operator>,
     exprs: Vec<Expr>,
@@ -71,9 +95,11 @@ impl Operator for ProjectExec {
         let metrics = self.metrics.clone();
         timed_next(&metrics, || {
             let batch = self.child.next_batch()?;
-            Some(Batch::new(
-                self.exprs.iter().map(|e| eval(e, &batch)).collect(),
-            ))
+            let out = Batch::new(self.exprs.iter().map(|e| eval(e, &batch)).collect());
+            Some(match batch.sel_arc() {
+                Some(sel) => out.with_selection(sel),
+                None => out,
+            })
         })
     }
 
@@ -132,6 +158,58 @@ mod tests {
         );
         let out = run_to_batch(&mut f);
         assert_eq!(out.column(0).as_ints(), &[4, 5, 100]);
+    }
+
+    #[test]
+    fn filter_emits_selection_and_shares_columns() {
+        let src = Source::ints(vec![vec![1, 2, 3, 4]]);
+        let mut f = FilterExec::new(
+            Box::new(src),
+            Expr::col(0).ge(Expr::lit(3)),
+            OpMetrics::shared(),
+        );
+        let out = f.next_batch().unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.sel(), Some(&[2u32, 3][..]), "selection, not a gather");
+        assert_eq!(out.column(0).as_ints(), &[1, 2, 3, 4], "columns untouched");
+    }
+
+    #[test]
+    fn all_true_filter_passes_batch_through() {
+        let src = Source::ints(vec![vec![1, 2]]);
+        let mut f = FilterExec::new(
+            Box::new(src),
+            Expr::col(0).ge(Expr::lit(0)),
+            OpMetrics::shared(),
+        );
+        let out = f.next_batch().unwrap();
+        assert!(out.sel().is_none(), "all-true adds no selection");
+        assert_eq!(out.rows(), 2);
+    }
+
+    #[test]
+    fn project_carries_selection() {
+        let src = Source::ints(vec![vec![10, 20, 30]]);
+        let f = FilterExec::new(
+            Box::new(src),
+            Expr::col(0).gt(Expr::lit(10)),
+            OpMetrics::shared(),
+        );
+        let mut p = ProjectExec::new(
+            Box::new(f),
+            vec![Expr::col(0).add(Expr::lit(1))],
+            OpMetrics::shared(),
+        );
+        let out = p.next_batch().unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.sel(), Some(&[1u32, 2][..]));
+        assert_eq!(
+            out.to_rows(),
+            vec![
+                vec![rdb_vector::Value::Int(21)],
+                vec![rdb_vector::Value::Int(31)]
+            ]
+        );
     }
 
     #[test]

@@ -2,10 +2,16 @@
 //!
 //! The build side (right input) is drained into a hash table first — the
 //! only materialization a pipelined engine performs for joins — and the
-//! probe side then streams through batch-at-a-time.
+//! probe side then streams through batch-at-a-time. The index uses the
+//! vendored FxHash (keys are encoded row bytes produced in bulk; SipHash's
+//! DoS resistance buys nothing here) and is pre-sized from the build-side
+//! row count. Probe batches are consumed selection-aware: semi/anti joins
+//! emit the probe batch with a narrowed selection (zero-copy), and
+//! single-row broadcasts share the probe columns.
 
-use std::collections::HashMap;
 use std::sync::Arc;
+
+use fxhash::{FxBuildHasher, FxHashMap};
 
 use rdb_expr::{eval, Expr};
 use rdb_vector::column::ColumnBuilder;
@@ -35,7 +41,7 @@ struct BuildSide {
     /// Concatenated build input.
     batch: Batch,
     /// Key bytes → row indices in `batch`.
-    index: HashMap<Vec<u8>, Vec<u32>>,
+    index: FxHashMap<Vec<u8>, Vec<u32>>,
 }
 
 impl HashJoinExec {
@@ -78,7 +84,8 @@ impl HashJoinExec {
         } else {
             Batch::concat(&batches)
         };
-        let mut index: HashMap<Vec<u8>, Vec<u32>> = HashMap::new();
+        let mut index: FxHashMap<Vec<u8>, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(batch.rows(), FxBuildHasher::default());
         if !self.right_keys.is_empty() {
             let key_cols: Vec<Column> = self.right_keys.iter().map(|e| eval(e, &batch)).collect();
             let key_refs: Vec<&Column> = key_cols.iter().collect();
@@ -105,14 +112,24 @@ impl HashJoinExec {
                     1,
                     "single join build side must have exactly one row"
                 );
-                let n = left_batch.rows();
+                // Broadcast the single build row across the probe batch's
+                // physical rows and keep the probe's selection: the probe
+                // columns stay shared, nothing is gathered.
+                let n = left_batch.physical_rows();
                 let idx = vec![0u32; n];
                 let right_part = built.batch.take(&idx);
-                let mut cols = left_batch.into_columns();
+                let sel = left_batch.sel_arc();
+                let mut cols: Vec<Column> = left_batch.columns().to_vec();
                 cols.extend(right_part.into_columns());
-                Batch::new(cols)
+                let out = Batch::new(cols);
+                match sel {
+                    Some(s) => out.with_selection(s),
+                    None => out,
+                }
             }
             JoinKind::Inner | JoinKind::LeftOuter => {
+                // Key columns are evaluated over the physical rows; the
+                // selection decides which of them probe.
                 let key_cols: Vec<Column> = self
                     .left_keys
                     .iter()
@@ -123,12 +140,12 @@ impl HashJoinExec {
                 let mut right_idx: Vec<u32> = Vec::new();
                 let mut unmatched: Vec<u32> = Vec::new();
                 let mut buf = Vec::new();
-                for row in 0..left_batch.rows() {
+                left_batch.for_each_selected(|row| {
                     if row_has_null_key(&key_refs, row) {
                         if self.kind == JoinKind::LeftOuter {
                             unmatched.push(row as u32);
                         }
-                        continue;
+                        return;
                     }
                     buf.clear();
                     encode_row_key(&key_refs, row, &mut buf);
@@ -145,14 +162,14 @@ impl HashJoinExec {
                             }
                         }
                     }
-                }
-                let matched_left = left_batch.take(&left_idx);
-                let matched_right = built.batch.take(&right_idx);
+                });
+                let matched_left = left_batch.take_physical(&left_idx);
+                let matched_right = built.batch.take_physical(&right_idx);
                 let mut cols = matched_left.into_columns();
                 cols.extend(matched_right.into_columns());
                 let matched = Batch::new(cols);
                 if self.kind == JoinKind::LeftOuter && !unmatched.is_empty() {
-                    let pad_left = left_batch.take(&unmatched);
+                    let pad_left = left_batch.take_physical(&unmatched);
                     let n = pad_left.rows();
                     let mut cols = pad_left.into_columns();
                     for t in &self.right_types {
@@ -178,7 +195,7 @@ impl HashJoinExec {
                 let want_match = self.kind == JoinKind::Semi;
                 let mut keep: Vec<u32> = Vec::new();
                 let mut buf = Vec::new();
-                for row in 0..left_batch.rows() {
+                left_batch.for_each_selected(|row| {
                     let has = if row_has_null_key(&key_refs, row) {
                         false
                     } else {
@@ -189,8 +206,10 @@ impl HashJoinExec {
                     if has == want_match {
                         keep.push(row as u32);
                     }
-                }
-                left_batch.take(&keep)
+                });
+                // Zero-copy: the output is the probe batch narrowed to the
+                // qualifying rows.
+                left_batch.with_selection(Arc::new(keep))
             }
         }
     }

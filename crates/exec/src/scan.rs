@@ -9,7 +9,8 @@ use crate::context::TableFunction;
 use crate::metrics::OpMetrics;
 use crate::op::{timed_next, Operator};
 
-/// Sequential scan over an in-memory table with column projection.
+/// Sequential scan over an in-memory table with column projection. Each
+/// batch is an O(1) zero-copy slice of the table's columns.
 pub struct ScanExec {
     table: Arc<Table>,
     projection: Vec<usize>,

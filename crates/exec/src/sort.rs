@@ -171,13 +171,15 @@ impl TopNExec {
         while let Some(batch) = self.child.next_batch() {
             self.metrics.add_work(batch.rows() as u64);
             let key_cols: Vec<Column> = self.keys.iter().map(|k| eval(&k.expr, &batch)).collect();
-            for row in 0..batch.rows() {
+            let n = self.n;
+            // Key columns are physical-length; walk the selected rows.
+            batch.for_each_selected(|row| {
                 let entry = HeapRow {
                     keys: key_cols.iter().map(|c| c.get(row)).collect(),
-                    row: batch.row(row),
+                    row: batch.physical_row(row),
                     orders: orders.clone(),
                 };
-                if heap.len() < self.n {
+                if heap.len() < n {
                     heap.push(entry);
                 } else if let Some(worst) = heap.peek() {
                     if entry.key_cmp(worst) == Ordering::Less {
@@ -185,7 +187,7 @@ impl TopNExec {
                         heap.push(entry);
                     }
                 }
-            }
+            });
         }
         let mut rows: Vec<HeapRow> = heap.into_sorted_vec(); // ascending by key
         if self.n == 0 {

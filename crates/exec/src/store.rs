@@ -15,6 +15,12 @@
 //! The recycler supplies the verdict through [`ResultStore::speculate`].
 //!
 //! [`CachedExec`] replays a previously materialized result.
+//!
+//! Both directions of the cache are zero-copy: the tee buffers **shared**
+//! batch clones (refcount bumps; data is only gathered once, when the
+//! buffer is concatenated into the published [`MaterializedResult`]), and
+//! replay re-chunks the cached result with O(1) column slices, so a cache
+//! hit costs O(#batches) rather than O(result bytes).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,7 +58,8 @@ impl MaterializedResult {
         self.batch.rows()
     }
 
-    /// Re-chunk into standard execution batches.
+    /// Re-chunk into standard execution batches. Zero-copy: every batch is
+    /// an O(1) slice sharing this result's column storage.
     pub fn batches(&self) -> Vec<Batch> {
         let mut out = Vec::new();
         let mut offset = 0;
@@ -198,6 +205,8 @@ impl Operator for StoreExec {
             match self.child.next_batch() {
                 Some(batch) => {
                     match self.phase {
+                        // The tee buffers *shared* clones (refcount bumps);
+                        // data is gathered once, at publish time.
                         Phase::Speculating => {
                             self.buffer.push(batch.clone());
                             self.buffered_rows += batch.rows() as u64;

@@ -74,7 +74,11 @@ impl Iterator for ExecStream {
             return None;
         }
         match self.root.next_batch() {
-            Some(b) => Some(b),
+            // The public edge is a materialization boundary: clients index
+            // columns positionally, so any in-flight selection vector is
+            // resolved here. Unselected batches pass through as zero-copy
+            // shared clones.
+            Some(b) => Some(b.compact()),
             None => {
                 self.exhausted = true;
                 None

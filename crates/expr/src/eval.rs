@@ -5,12 +5,22 @@
 //! is NULL; `AND`/`OR` use Kleene three-valued logic; [`eval_predicate`]
 //! collapses NULL to `false` (the filter boundary rule).
 //!
+//! Evaluation works at the batch's **physical** row level: output columns
+//! have `batch.physical_rows()` rows, aligned with the input columns, and
+//! any selection vector on the batch simply rides along (the vectorized
+//! convention — computing over unselected rows is cheaper than gathering).
+//! [`eval_selection`] is the filter entry point: it folds the predicate
+//! result into the batch's existing selection with all-true / all-false
+//! fast paths, so moderately selective filters never gather (the filter
+//! operator still chooses to compact when very few rows survive).
+//!
 //! The common numeric/date cases run over raw slices; rarer type
 //! combinations fall back to a per-row dispatch via [`rdb_vector::row::cmp_cell`].
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 
-use rdb_vector::column::{Column, ColumnBuilder, ColumnData};
+use rdb_vector::column::{Column, ColumnBuilder, ColumnData, ColumnSlice};
 use rdb_vector::row::cmp_cell;
 use rdb_vector::types::{month_of_date, year_of_date};
 use rdb_vector::{Batch, DataType, Value};
@@ -18,11 +28,12 @@ use rdb_vector::{Batch, DataType, Value};
 use crate::expr::{ArithOp, CmpOp, Expr};
 use crate::like::like_match;
 
-/// Evaluate `expr` over `batch`, producing a column of `batch.rows()` rows.
+/// Evaluate `expr` over `batch`, producing a column of
+/// `batch.physical_rows()` rows aligned with the batch's columns.
 ///
 /// `expr` must be canonical (no [`Expr::Named`]); bind it first.
 pub fn eval(expr: &Expr, batch: &Batch) -> Column {
-    let rows = batch.rows();
+    let rows = batch.physical_rows();
     match expr {
         Expr::Col(i) => batch.column(*i).clone(),
         Expr::Named(n) => panic!("cannot evaluate unbound column '{n}'"),
@@ -33,9 +44,9 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
         Expr::And(parts) => kleene(parts, batch, true),
         Expr::Or(parts) => kleene(parts, batch, false),
         Expr::Not(e) => {
-            let c = eval(e, batch);
-            let vals: Vec<bool> = c.as_bools().iter().map(|&b| !b).collect();
-            rebuild_bool(vals, &c)
+            // Freshly computed predicate columns are uniquely owned, so the
+            // negation happens in place (copy-on-write otherwise).
+            eval(e, batch).map_bools(|b| !b)
         }
         Expr::Like {
             expr,
@@ -62,7 +73,7 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
                     std::sync::Arc::from(&s[from..to])
                 })
                 .collect();
-            carry_validity(ColumnData::Str(vals), &c)
+            carry_validity(ColumnData::strs(vals), &c)
         }
         Expr::Year(e) => {
             let c = eval(e, batch);
@@ -71,7 +82,7 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
                 .iter()
                 .map(|&d| year_of_date(d) as i64)
                 .collect();
-            carry_validity(ColumnData::Int(vals), &c)
+            carry_validity(ColumnData::ints(vals), &c)
         }
         Expr::Month(e) => {
             let c = eval(e, batch);
@@ -80,7 +91,7 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
                 .iter()
                 .map(|&d| month_of_date(d) as i64)
                 .collect();
-            carry_validity(ColumnData::Int(vals), &c)
+            carry_validity(ColumnData::ints(vals), &c)
         }
         Expr::Case {
             branches,
@@ -107,7 +118,9 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
     }
 }
 
-/// Evaluate a boolean predicate and collapse NULL to `false`.
+/// Evaluate a boolean predicate and collapse NULL to `false`. The mask is
+/// **physical**-length (aligned with the batch's columns, ignoring any
+/// selection vector); filters should prefer [`eval_selection`].
 pub fn eval_predicate(expr: &Expr, batch: &Batch) -> Vec<bool> {
     let c = eval(expr, batch);
     assert_eq!(c.data_type(), DataType::Bool, "predicate must be boolean");
@@ -119,6 +132,49 @@ pub fn eval_predicate(expr: &Expr, batch: &Batch) -> Vec<bool> {
             .zip(mask)
             .map(|(&v, &ok)| v && ok)
             .collect(),
+    }
+}
+
+/// Result of evaluating a predicate as a selection (see [`eval_selection`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// Every (already selected) row qualifies — pass the batch through
+    /// untouched.
+    All,
+    /// No row qualifies — drop the batch.
+    Empty,
+    /// The qualifying **physical** row indices, already composed with the
+    /// batch's existing selection; attach with `Batch::with_selection`.
+    Rows(Vec<u32>),
+}
+
+/// Evaluate a boolean predicate over `batch` and fold it into the batch's
+/// selection, without gathering any data.
+///
+/// NULL collapses to `false` (the filter boundary rule). The all-true and
+/// all-false outcomes are reported as [`Selection::All`] / [`Selection::Empty`]
+/// so filters can skip even the selection-vector allocation on the common
+/// "everything passes" and "nothing passes" batches.
+pub fn eval_selection(expr: &Expr, batch: &Batch) -> Selection {
+    let c = eval(expr, batch);
+    assert_eq!(c.data_type(), DataType::Bool, "predicate must be boolean");
+    let vals = c.as_bools();
+    let pass = |p: usize| vals[p] && c.is_valid(p);
+    let logical = batch.rows();
+    let rows: Vec<u32> = match batch.sel() {
+        Some(sel) => sel.iter().copied().filter(|&p| pass(p as usize)).collect(),
+        None => (0..batch.physical_rows() as u32)
+            .filter(|&p| pass(p as usize))
+            .collect(),
+    };
+    if rows.is_empty() {
+        // Checked before the all-rows case: a zero-logical-row batch must
+        // classify as Empty so filters keep dropping empty batches.
+        Selection::Empty
+    } else if rows.len() == logical {
+        Selection::All
+    } else {
+        Selection::Rows(rows)
     }
 }
 
@@ -134,7 +190,7 @@ fn broadcast(v: &Value, rows: usize) -> Column {
         Value::Bool(x) => Column::from_bools(vec![*x; rows]),
         Value::Int(x) => Column::from_ints(vec![*x; rows]),
         Value::Float(x) => Column::from_floats(vec![*x; rows]),
-        Value::Str(s) => Column::new(ColumnData::Str(vec![s.clone(); rows])),
+        Value::Str(s) => Column::new(ColumnData::strs(vec![s.clone(); rows])),
         Value::Date(d) => Column::from_dates(vec![*d; rows]),
     }
 }
@@ -151,7 +207,7 @@ fn merged_validity(a: &Column, b: &Column) -> Option<Vec<bool>> {
 fn rebuild_bool(vals: Vec<bool>, source: &Column) -> Column {
     match source.validity() {
         None => Column::from_bools(vals),
-        Some(m) => Column::with_validity(ColumnData::Bool(vals), m.to_vec()),
+        Some(m) => Column::with_validity(ColumnData::bools(vals), m.to_vec()),
     }
 }
 
@@ -174,47 +230,47 @@ fn cmp_columns(op: CmpOp, a: &Column, b: &Column) -> Column {
         CmpOp::Ge => ord != Ordering::Less,
     };
     // Fast paths over raw slices for the hot type combinations.
-    let vals: Vec<bool> = match (a.data(), b.data()) {
-        (ColumnData::Int(x), ColumnData::Int(y)) => {
+    let vals: Vec<bool> = match (a.values(), b.values()) {
+        (ColumnSlice::Int(x), ColumnSlice::Int(y)) => {
             x.iter().zip(y).map(|(l, r)| test(l.cmp(r))).collect()
         }
-        (ColumnData::Float(x), ColumnData::Float(y)) => {
+        (ColumnSlice::Float(x), ColumnSlice::Float(y)) => {
             x.iter().zip(y).map(|(l, r)| test(l.total_cmp(r))).collect()
         }
-        (ColumnData::Date(x), ColumnData::Date(y)) => {
+        (ColumnSlice::Date(x), ColumnSlice::Date(y)) => {
             x.iter().zip(y).map(|(l, r)| test(l.cmp(r))).collect()
         }
-        (ColumnData::Int(x), ColumnData::Float(y)) => x
+        (ColumnSlice::Int(x), ColumnSlice::Float(y)) => x
             .iter()
             .zip(y)
             .map(|(l, r)| test((*l as f64).total_cmp(r)))
             .collect(),
-        (ColumnData::Float(x), ColumnData::Int(y)) => x
+        (ColumnSlice::Float(x), ColumnSlice::Int(y)) => x
             .iter()
             .zip(y)
             .map(|(l, r)| test(l.total_cmp(&(*r as f64))))
             .collect(),
-        (ColumnData::Str(x), ColumnData::Str(y)) => {
+        (ColumnSlice::Str(x), ColumnSlice::Str(y)) => {
             x.iter().zip(y).map(|(l, r)| test(l.cmp(r))).collect()
         }
         _ => (0..rows).map(|i| test(cmp_cell(a, i, b, i))).collect(),
     };
     match merged_validity(a, b) {
         None => Column::from_bools(vals),
-        Some(m) => Column::with_validity(ColumnData::Bool(vals), m),
+        Some(m) => Column::with_validity(ColumnData::bools(vals), m),
     }
 }
 
 fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
     let rows = a.len();
     assert_eq!(rows, b.len());
-    let data = match (a.data(), b.data()) {
+    let data = match (a.values(), b.values()) {
         // Integer arithmetic stays integral except division.
-        (ColumnData::Int(x), ColumnData::Int(y)) => match op {
-            ArithOp::Add => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l + r).collect()),
-            ArithOp::Sub => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l - r).collect()),
-            ArithOp::Mul => ColumnData::Int(x.iter().zip(y).map(|(l, r)| l * r).collect()),
-            ArithOp::Div => ColumnData::Float(
+        (ColumnSlice::Int(x), ColumnSlice::Int(y)) => match op {
+            ArithOp::Add => ColumnData::ints(x.iter().zip(y).map(|(l, r)| l + r).collect()),
+            ArithOp::Sub => ColumnData::ints(x.iter().zip(y).map(|(l, r)| l - r).collect()),
+            ArithOp::Mul => ColumnData::ints(x.iter().zip(y).map(|(l, r)| l * r).collect()),
+            ArithOp::Div => ColumnData::floats(
                 x.iter()
                     .zip(y)
                     .map(|(l, r)| *l as f64 / *r as f64)
@@ -222,13 +278,17 @@ fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
             ),
         },
         // Date shifted by days.
-        (ColumnData::Date(x), ColumnData::Int(y)) => match op {
-            ArithOp::Add => ColumnData::Date(x.iter().zip(y).map(|(l, r)| l + *r as i32).collect()),
-            ArithOp::Sub => ColumnData::Date(x.iter().zip(y).map(|(l, r)| l - *r as i32).collect()),
+        (ColumnSlice::Date(x), ColumnSlice::Int(y)) => match op {
+            ArithOp::Add => {
+                ColumnData::dates(x.iter().zip(y).map(|(l, r)| l + *r as i32).collect())
+            }
+            ArithOp::Sub => {
+                ColumnData::dates(x.iter().zip(y).map(|(l, r)| l - *r as i32).collect())
+            }
             _ => panic!("unsupported date arithmetic {op:?}"),
         },
-        (ColumnData::Int(x), ColumnData::Date(y)) if op == ArithOp::Add => {
-            ColumnData::Date(x.iter().zip(y).map(|(l, r)| *l as i32 + r).collect())
+        (ColumnSlice::Int(x), ColumnSlice::Date(y)) if op == ArithOp::Add => {
+            ColumnData::dates(x.iter().zip(y).map(|(l, r)| *l as i32 + r).collect())
         }
         // Everything else promotes to float.
         _ => {
@@ -240,7 +300,7 @@ fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
                 ArithOp::Mul => l * r,
                 ArithOp::Div => l / r,
             };
-            ColumnData::Float(xf.iter().zip(&yf).map(|(&l, &r)| f(l, r)).collect())
+            ColumnData::floats(xf.iter().zip(yf.iter()).map(|(&l, &r)| f(l, r)).collect())
         }
     };
     match merged_validity(a, b) {
@@ -249,17 +309,19 @@ fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
     }
 }
 
-fn to_f64(c: &Column) -> Vec<f64> {
-    match c.data() {
-        ColumnData::Int(v) => v.iter().map(|&x| x as f64).collect(),
-        ColumnData::Float(v) => v.clone(),
+/// Borrow-or-promote a numeric column as `f64`s: float columns are
+/// **borrowed** (no copy); int columns are converted once.
+fn to_f64(c: &Column) -> Cow<'_, [f64]> {
+    match c.values() {
+        ColumnSlice::Int(v) => Cow::Owned(v.iter().map(|&x| x as f64).collect()),
+        ColumnSlice::Float(v) => Cow::Borrowed(v),
         other => panic!("cannot coerce {} to float", other.data_type()),
     }
 }
 
 /// Kleene AND (`and = true`) / OR (`and = false`) over the operand columns.
 fn kleene(parts: &[Expr], batch: &Batch, and: bool) -> Column {
-    let rows = batch.rows();
+    let rows = batch.physical_rows();
     let cols: Vec<Column> = parts.iter().map(|p| eval(p, batch)).collect();
     let mut vals = vec![and; rows]; // identity element
     let mut nulls = vec![false; rows];
@@ -287,14 +349,14 @@ fn kleene(parts: &[Expr], batch: &Batch, and: bool) -> Column {
     // OR with `true`.
     if nulls.iter().any(|&n| n) {
         let validity: Vec<bool> = nulls.iter().map(|&n| !n).collect();
-        Column::with_validity(ColumnData::Bool(vals), validity)
+        Column::with_validity(ColumnData::bools(vals), validity)
     } else {
         Column::from_bools(vals)
     }
 }
 
 fn eval_case(branches: &[(Expr, Expr)], otherwise: &Expr, batch: &Batch) -> Column {
-    let rows = batch.rows();
+    let rows = batch.physical_rows();
     let conds: Vec<Vec<bool>> = branches
         .iter()
         .map(|(c, _)| eval_predicate(c, batch))
@@ -438,6 +500,36 @@ mod tests {
             Expr::lit(0),
         );
         assert_eq!(eval(&e, &b).as_ints(), &[100, 200, 200, 0]);
+    }
+
+    #[test]
+    fn selection_fast_paths() {
+        let b = batch();
+        assert_eq!(
+            eval_selection(&Expr::col(0).ge(Expr::lit(0)), &b),
+            Selection::All
+        );
+        assert_eq!(
+            eval_selection(&Expr::col(0).gt(Expr::lit(100)), &b),
+            Selection::Empty
+        );
+        assert_eq!(
+            eval_selection(&Expr::col(0).gt(Expr::lit(2)), &b),
+            Selection::Rows(vec![2, 3])
+        );
+        // A zero-row batch classifies as Empty, not All: filters rely on
+        // this to keep dropping empty batches.
+        let empty = Batch::new(vec![Column::from_ints(vec![])]);
+        assert_eq!(
+            eval_selection(&Expr::col(0).ge(Expr::lit(0)), &empty),
+            Selection::Empty
+        );
+        // Composes with an existing selection (physical indices out).
+        let sel = batch().with_selection(std::sync::Arc::new(vec![0, 2, 3]));
+        assert_eq!(
+            eval_selection(&Expr::col(0).gt(Expr::lit(1)), &sel),
+            Selection::Rows(vec![2, 3])
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod params;
 pub mod ranges;
 
 pub use agg::AggFunc;
-pub use eval::{eval, eval_predicate};
+pub use eval::{eval, eval_predicate, eval_selection, Selection};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use params::Params;
 pub use ranges::{analyze_conjunction, implies, Interval};

@@ -62,7 +62,8 @@ impl Table {
     }
 
     /// One scan batch: rows `[offset, offset+len)` of the columns at
-    /// positions `projection`.
+    /// positions `projection`. Zero-copy: each batch column is an O(1)
+    /// slice sharing the table's storage.
     pub fn scan_batch(&self, projection: &[usize], offset: usize, len: usize) -> Batch {
         let len = len.min(self.rows.saturating_sub(offset));
         Batch::new(
@@ -167,6 +168,14 @@ mod tests {
         // Over-long request clamps to table end.
         let b = t.scan_batch(&[0], 3, 100);
         assert_eq!(b.rows(), 1);
+    }
+
+    #[test]
+    fn scan_batches_share_table_storage() {
+        let t = table();
+        let b = t.scan_batch(&[0, 1], 1, 2);
+        assert!(b.column(0).shares_storage(t.column(0)));
+        assert!(b.column(1).shares_storage(t.column(1)));
     }
 
     #[test]

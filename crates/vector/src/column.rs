@@ -1,32 +1,74 @@
-//! Typed column vectors with optional validity masks.
+//! Typed column vectors with Arc-shared storage and optional validity masks.
 //!
-//! A [`Column`] is the unit of vectorized processing: a contiguous, typed
-//! array of values plus an optional boolean validity mask (absent mask means
-//! "all rows valid"). Operators transform whole columns at a time; per-row
-//! [`Value`] extraction exists for tests, key encoding, and result display.
+//! A [`Column`] is the unit of vectorized processing: a typed array of
+//! values plus an optional boolean validity mask (absent mask means "all
+//! rows valid"). Storage is reference-counted and immutable once built:
+//!
+//! * `Column::clone` is an `Arc` refcount bump — **no data is copied**;
+//! * [`Column::slice`] is O(1): it shares the same storage and narrows the
+//!   `(offset, len)` window;
+//! * [`ColumnBuilder::finish`] always produces **unique** storage, so the
+//!   build side of the data path never pays copy-on-write;
+//! * the rare in-place mutation (e.g. boolean negation over a freshly
+//!   computed mask) goes through [`Column::map_bools`], which uses
+//!   `Arc::make_mut` copy-on-write: it mutates in place when the column
+//!   holds the only reference and copies the window otherwise.
+//!
+//! Operators transform whole columns at a time; per-row [`Value`] extraction
+//! exists for tests, key encoding, and result display.
 
 use std::sync::Arc;
 
 use crate::types::DataType;
 use crate::value::Value;
 
-/// The typed storage of a column.
-#[derive(Debug, Clone, PartialEq)]
+/// The typed, reference-counted storage of a column.
+///
+/// Cloning any variant bumps a refcount; the payload vector itself is
+/// shared. A [`Column`] views a contiguous window of this storage, so
+/// indices here are *storage* positions — use the column's accessors
+/// ([`Column::values`], `Column::as_*`) for window-relative access.
+#[derive(Debug, Clone)]
 pub enum ColumnData {
     /// Booleans (filter results, flags).
-    Bool(Vec<bool>),
+    Bool(Arc<Vec<bool>>),
     /// 64-bit integers (keys, quantities, counts).
-    Int(Vec<i64>),
+    Int(Arc<Vec<i64>>),
     /// 64-bit floats (prices, rates).
-    Float(Vec<f64>),
+    Float(Arc<Vec<f64>>),
     /// UTF-8 strings; `Arc<str>` so gathers and copies are cheap.
-    Str(Vec<Arc<str>>),
+    Str(Arc<Vec<Arc<str>>>),
     /// Dates as days since 1970-01-01.
-    Date(Vec<i32>),
+    Date(Arc<Vec<i32>>),
 }
 
 impl ColumnData {
-    /// Number of rows.
+    /// Wrap a boolean vector (single allocation, no copy).
+    pub fn bools(v: Vec<bool>) -> Self {
+        ColumnData::Bool(Arc::new(v))
+    }
+
+    /// Wrap an integer vector.
+    pub fn ints(v: Vec<i64>) -> Self {
+        ColumnData::Int(Arc::new(v))
+    }
+
+    /// Wrap a float vector.
+    pub fn floats(v: Vec<f64>) -> Self {
+        ColumnData::Float(Arc::new(v))
+    }
+
+    /// Wrap a string vector.
+    pub fn strs(v: Vec<Arc<str>>) -> Self {
+        ColumnData::Str(Arc::new(v))
+    }
+
+    /// Wrap a date vector.
+    pub fn dates(v: Vec<i32>) -> Self {
+        ColumnData::Date(Arc::new(v))
+    }
+
+    /// Number of rows in the underlying storage (not the viewing window).
     pub fn len(&self) -> usize {
         match self {
             ColumnData::Bool(v) => v.len(),
@@ -37,7 +79,7 @@ impl ColumnData {
         }
     }
 
-    /// Whether the column has zero rows.
+    /// Whether the storage has zero rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -52,26 +94,83 @@ impl ColumnData {
             ColumnData::Date(_) => DataType::Date,
         }
     }
+
+    /// Whether `self` and `other` share the same storage allocation
+    /// (`Arc::ptr_eq` identity — the zero-copy test hook).
+    pub fn ptr_eq(&self, other: &ColumnData) -> bool {
+        match (self, other) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => Arc::ptr_eq(a, b),
+            (ColumnData::Int(a), ColumnData::Int(b)) => Arc::ptr_eq(a, b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => Arc::ptr_eq(a, b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => Arc::ptr_eq(a, b),
+            (ColumnData::Date(a), ColumnData::Date(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
-/// A typed column with an optional validity mask.
+/// A borrowed, window-relative view of a column's payload.
+///
+/// This is what operators match on for type dispatch; the slices cover
+/// exactly the column's `(offset, len)` window, so `slice[i]` is row `i`
+/// of the column.
+#[derive(Debug, Clone, Copy)]
+pub enum ColumnSlice<'a> {
+    /// Booleans.
+    Bool(&'a [bool]),
+    /// 64-bit integers.
+    Int(&'a [i64]),
+    /// 64-bit floats.
+    Float(&'a [f64]),
+    /// Strings.
+    Str(&'a [Arc<str>]),
+    /// Dates as days since epoch.
+    Date(&'a [i32]),
+}
+
+impl ColumnSlice<'_> {
+    /// The data type of the viewed payload.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnSlice::Bool(_) => DataType::Bool,
+            ColumnSlice::Int(_) => DataType::Int,
+            ColumnSlice::Float(_) => DataType::Float,
+            ColumnSlice::Str(_) => DataType::Str,
+            ColumnSlice::Date(_) => DataType::Date,
+        }
+    }
+}
+
+/// A typed column: a window over shared storage plus an optional validity
+/// mask.
 ///
 /// `validity == None` means every row is valid; otherwise `validity[i]`
-/// indicates whether row `i` holds a real value (`false` = SQL NULL). The
-/// payload slot of an invalid row contains an arbitrary default and must not
-/// be interpreted.
-#[derive(Debug, Clone, PartialEq)]
+/// (window-relative) indicates whether row `i` holds a real value
+/// (`false` = SQL NULL). The payload slot of an invalid row contains an
+/// arbitrary default and must not be interpreted.
+///
+/// Cloning and slicing share storage; see the module docs for the full
+/// ownership model.
+#[derive(Debug, Clone)]
 pub struct Column {
     data: ColumnData,
-    validity: Option<Vec<bool>>,
+    /// Validity mask over the *full* storage (window applied on access).
+    validity: Option<Arc<Vec<bool>>>,
+    /// First storage row of the window.
+    offset: usize,
+    /// Window length in rows.
+    len: usize,
 }
 
 impl Column {
-    /// Wrap storage with no NULLs.
+    /// Wrap storage with no NULLs, viewing its full length.
     pub fn new(data: ColumnData) -> Self {
+        let len = data.len();
         Column {
             data,
             validity: None,
+            offset: 0,
+            len,
         }
     }
 
@@ -79,44 +178,49 @@ impl Column {
     /// `true`, keeping the "no mask = all valid" invariant canonical.
     pub fn with_validity(data: ColumnData, validity: Vec<bool>) -> Self {
         assert_eq!(data.len(), validity.len(), "validity length mismatch");
+        let len = data.len();
         if validity.iter().all(|&v| v) {
             Column {
                 data,
                 validity: None,
+                offset: 0,
+                len,
             }
         } else {
             Column {
                 data,
-                validity: Some(validity),
+                validity: Some(Arc::new(validity)),
+                offset: 0,
+                len,
             }
         }
     }
 
     /// Column of `i64` values, no NULLs.
     pub fn from_ints(v: Vec<i64>) -> Self {
-        Column::new(ColumnData::Int(v))
+        Column::new(ColumnData::ints(v))
     }
 
     /// Column of `f64` values, no NULLs.
     pub fn from_floats(v: Vec<f64>) -> Self {
-        Column::new(ColumnData::Float(v))
+        Column::new(ColumnData::floats(v))
     }
 
     /// Column of booleans, no NULLs.
     pub fn from_bools(v: Vec<bool>) -> Self {
-        Column::new(ColumnData::Bool(v))
+        Column::new(ColumnData::bools(v))
     }
 
     /// Column of strings, no NULLs.
     pub fn from_strs<S: AsRef<str>>(v: impl IntoIterator<Item = S>) -> Self {
-        Column::new(ColumnData::Str(
+        Column::new(ColumnData::strs(
             v.into_iter().map(|s| Arc::from(s.as_ref())).collect(),
         ))
     }
 
     /// Column of dates (days since epoch), no NULLs.
     pub fn from_dates(v: Vec<i32>) -> Self {
-        Column::new(ColumnData::Date(v))
+        Column::new(ColumnData::dates(v))
     }
 
     /// Build a column of the given type from scalar values (may contain
@@ -129,77 +233,110 @@ impl Column {
         b.finish()
     }
 
-    /// Number of rows.
+    /// Number of rows in the window.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
-    /// Whether the column has zero rows.
+    /// Whether the window has zero rows.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// The data type.
+    #[inline]
     pub fn data_type(&self) -> DataType {
         self.data.data_type()
     }
 
-    /// Borrow the typed storage.
-    pub fn data(&self) -> &ColumnData {
+    /// Borrow the payload of the window as a typed slice view.
+    #[inline]
+    pub fn values(&self) -> ColumnSlice<'_> {
+        let (o, l) = (self.offset, self.len);
+        match &self.data {
+            ColumnData::Bool(v) => ColumnSlice::Bool(&v[o..o + l]),
+            ColumnData::Int(v) => ColumnSlice::Int(&v[o..o + l]),
+            ColumnData::Float(v) => ColumnSlice::Float(&v[o..o + l]),
+            ColumnData::Str(v) => ColumnSlice::Str(&v[o..o + l]),
+            ColumnData::Date(v) => ColumnSlice::Date(&v[o..o + l]),
+        }
+    }
+
+    /// Borrow the shared storage (full length, ignoring the window). For
+    /// storage-identity checks and advanced zero-copy plumbing; row access
+    /// should go through [`Column::values`] or the `as_*` accessors.
+    pub fn storage(&self) -> &ColumnData {
         &self.data
     }
 
-    /// Borrow the validity mask if one is present.
-    pub fn validity(&self) -> Option<&[bool]> {
-        self.validity.as_deref()
+    /// Whether `self` and `other` share the same payload allocation
+    /// (regardless of their windows). The zero-copy assertion hook.
+    pub fn shares_storage(&self, other: &Column) -> bool {
+        self.data.ptr_eq(&other.data)
     }
 
-    /// Whether row `i` is valid (not NULL).
+    /// Borrow the validity mask over the window if one is present.
+    ///
+    /// Note: a window of a wider mask may be all-`true`; callers that only
+    /// need per-row checks should prefer [`Column::is_valid`].
     #[inline]
-    pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().is_none_or(|m| m[i])
-    }
-
-    /// Number of NULL rows.
-    pub fn null_count(&self) -> usize {
+    pub fn validity(&self) -> Option<&[bool]> {
         self.validity
             .as_ref()
+            .map(|m| &m[self.offset..self.offset + self.len])
+    }
+
+    /// Whether row `i` (window-relative) is valid (not NULL).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.validity.as_ref().is_none_or(|m| m[self.offset + i])
+    }
+
+    /// Number of NULL rows in the window.
+    pub fn null_count(&self) -> usize {
+        self.validity()
             .map_or(0, |m| m.iter().filter(|&&v| !v).count())
     }
 
     /// Extract row `i` as a scalar [`Value`] (NULL-aware). For tests and
     /// display paths only; not used in the vectorized hot loop.
+    #[inline]
     pub fn get(&self, i: usize) -> Value {
         if !self.is_valid(i) {
             return Value::Null;
         }
-        match &self.data {
-            ColumnData::Bool(v) => Value::Bool(v[i]),
-            ColumnData::Int(v) => Value::Int(v[i]),
-            ColumnData::Float(v) => Value::Float(v[i]),
-            ColumnData::Str(v) => Value::Str(v[i].clone()),
-            ColumnData::Date(v) => Value::Date(v[i]),
+        match self.values() {
+            ColumnSlice::Bool(v) => Value::Bool(v[i]),
+            ColumnSlice::Int(v) => Value::Int(v[i]),
+            ColumnSlice::Float(v) => Value::Float(v[i]),
+            ColumnSlice::Str(v) => Value::Str(v[i].clone()),
+            ColumnSlice::Date(v) => Value::Date(v[i]),
         }
     }
 
-    /// Gather rows by index: `out[k] = self[indices[k]]`.
+    /// Gather rows by window-relative index: `out[k] = self[indices[k]]`.
+    /// Produces unique (unshared) storage.
     pub fn take(&self, indices: &[u32]) -> Column {
-        let data = match &self.data {
-            ColumnData::Bool(v) => {
-                ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
+        let data = match self.values() {
+            ColumnSlice::Bool(v) => {
+                ColumnData::bools(indices.iter().map(|&i| v[i as usize]).collect())
             }
-            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
-            ColumnData::Float(v) => {
-                ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
+            ColumnSlice::Int(v) => {
+                ColumnData::ints(indices.iter().map(|&i| v[i as usize]).collect())
             }
-            ColumnData::Str(v) => {
-                ColumnData::Str(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            ColumnSlice::Float(v) => {
+                ColumnData::floats(indices.iter().map(|&i| v[i as usize]).collect())
             }
-            ColumnData::Date(v) => {
-                ColumnData::Date(indices.iter().map(|&i| v[i as usize]).collect())
+            ColumnSlice::Str(v) => {
+                ColumnData::strs(indices.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            ColumnSlice::Date(v) => {
+                ColumnData::dates(indices.iter().map(|&i| v[i as usize]).collect())
             }
         };
-        match &self.validity {
+        match self.validity() {
             None => Column::new(data),
             Some(m) => {
                 Column::with_validity(data, indices.iter().map(|&i| m[i as usize]).collect())
@@ -219,28 +356,30 @@ impl Column {
         self.take(&indices)
     }
 
-    /// Contiguous sub-range `[offset, offset+len)` as a new column.
+    /// Contiguous sub-range `[offset, offset+len)` of the window as a new
+    /// column. **O(1)**: the result shares storage with `self`.
     pub fn slice(&self, offset: usize, len: usize) -> Column {
-        fn sl<T: Clone>(v: &[T], o: usize, l: usize) -> Vec<T> {
-            v[o..o + l].to_vec()
-        }
-        let data = match &self.data {
-            ColumnData::Bool(v) => ColumnData::Bool(sl(v, offset, len)),
-            ColumnData::Int(v) => ColumnData::Int(sl(v, offset, len)),
-            ColumnData::Float(v) => ColumnData::Float(sl(v, offset, len)),
-            ColumnData::Str(v) => ColumnData::Str(sl(v, offset, len)),
-            ColumnData::Date(v) => ColumnData::Date(sl(v, offset, len)),
-        };
-        match &self.validity {
-            None => Column::new(data),
-            Some(m) => Column::with_validity(data, sl(m, offset, len)),
+        assert!(
+            offset + len <= self.len,
+            "slice [{offset}, {offset}+{len}) out of bounds for column of {} rows",
+            self.len
+        );
+        Column {
+            data: self.data.clone(),
+            validity: self.validity.clone(),
+            offset: self.offset + offset,
+            len,
         }
     }
 
     /// Concatenate columns of identical type into one. Panics if `cols` is
-    /// empty or types differ.
+    /// empty or types differ. A single input is returned as a zero-copy
+    /// shared clone.
     pub fn concat(cols: &[&Column]) -> Column {
         assert!(!cols.is_empty(), "concat of zero columns");
+        if cols.len() == 1 {
+            return cols[0].clone();
+        }
         let dtype = cols[0].data_type();
         let total: usize = cols.iter().map(|c| c.len()).sum();
         let mut b = ColumnBuilder::new(dtype, total);
@@ -251,58 +390,99 @@ impl Column {
         b.finish()
     }
 
-    /// Approximate in-memory footprint in bytes (used for recycler cache
-    /// accounting: fixed-width payload + string heap + validity mask).
+    /// Approximate in-memory footprint of the window in bytes (used for
+    /// recycler cache accounting: fixed-width payload + string heap +
+    /// validity mask). Shared windows report their own span, not the whole
+    /// underlying allocation.
     pub fn size_bytes(&self) -> usize {
-        let payload = match &self.data {
-            ColumnData::Bool(v) => v.len(),
-            ColumnData::Int(v) => v.len() * 8,
-            ColumnData::Float(v) => v.len() * 8,
-            ColumnData::Str(v) => v.iter().map(|s| 16 + s.len()).sum(),
-            ColumnData::Date(v) => v.len() * 4,
+        let payload = match self.values() {
+            ColumnSlice::Bool(v) => v.len(),
+            ColumnSlice::Int(v) => v.len() * 8,
+            ColumnSlice::Float(v) => v.len() * 8,
+            ColumnSlice::Str(v) => v.iter().map(|s| 16 + s.len()).sum(),
+            ColumnSlice::Date(v) => v.len() * 4,
         };
-        payload + self.validity.as_ref().map_or(0, |m| m.len())
+        payload + self.validity.as_ref().map_or(0, |_| self.len)
     }
 
-    /// Borrow as `&[i64]`, panicking if not an int column with no NULLs
-    /// consulted. (NULL payload slots hold defaults; callers that accept
-    /// NULLs must check the mask separately.)
+    /// Borrow as `&[i64]`, panicking if not an int column. (NULL payload
+    /// slots hold defaults; callers that accept NULLs must check the mask
+    /// separately.)
+    #[inline]
     pub fn as_ints(&self) -> &[i64] {
-        match &self.data {
-            ColumnData::Int(v) => v,
+        match self.values() {
+            ColumnSlice::Int(v) => v,
             other => panic!("expected int column, got {}", other.data_type()),
         }
     }
 
     /// Borrow as `&[f64]`.
+    #[inline]
     pub fn as_floats(&self) -> &[f64] {
-        match &self.data {
-            ColumnData::Float(v) => v,
+        match self.values() {
+            ColumnSlice::Float(v) => v,
             other => panic!("expected float column, got {}", other.data_type()),
         }
     }
 
     /// Borrow as `&[bool]`.
+    #[inline]
     pub fn as_bools(&self) -> &[bool] {
-        match &self.data {
-            ColumnData::Bool(v) => v,
+        match self.values() {
+            ColumnSlice::Bool(v) => v,
             other => panic!("expected bool column, got {}", other.data_type()),
         }
     }
 
     /// Borrow as `&[Arc<str>]`.
+    #[inline]
     pub fn as_strs(&self) -> &[Arc<str>] {
-        match &self.data {
-            ColumnData::Str(v) => v,
+        match self.values() {
+            ColumnSlice::Str(v) => v,
             other => panic!("expected str column, got {}", other.data_type()),
         }
     }
 
     /// Borrow as `&[i32]` date days.
+    #[inline]
     pub fn as_dates(&self) -> &[i32] {
-        match &self.data {
-            ColumnData::Date(v) => v,
+        match self.values() {
+            ColumnSlice::Date(v) => v,
             other => panic!("expected date column, got {}", other.data_type()),
+        }
+    }
+
+    /// Apply `f` to every boolean in the window, keeping the validity mask.
+    ///
+    /// Copy-on-write: when this column holds the only reference to its
+    /// storage and views it fully, the transform happens **in place**
+    /// (`Arc::make_mut`, no allocation); otherwise the window is copied
+    /// once. Panics if the column is not boolean.
+    pub fn map_bools(mut self, f: impl Fn(bool) -> bool) -> Column {
+        match &mut self.data {
+            ColumnData::Bool(storage) => {
+                if self.offset == 0 && self.len == storage.len() && Arc::get_mut(storage).is_some()
+                {
+                    for b in Arc::make_mut(storage).iter_mut() {
+                        *b = f(*b);
+                    }
+                    self
+                } else {
+                    let vals: Vec<bool> = storage[self.offset..self.offset + self.len]
+                        .iter()
+                        .map(|&b| f(b))
+                        .collect();
+                    let validity = self
+                        .validity
+                        .as_ref()
+                        .map(|m| m[self.offset..self.offset + self.len].to_vec());
+                    match validity {
+                        None => Column::from_bools(vals),
+                        Some(m) => Column::with_validity(ColumnData::bools(vals), m),
+                    }
+                }
+            }
+            other => panic!("expected bool column, got {}", other.data_type()),
         }
     }
 
@@ -312,7 +492,31 @@ impl Column {
     }
 }
 
+/// Logical equality: same type, same window length, same payload and
+/// validity per row. Two columns viewing different windows of different
+/// storage compare equal when their windows hold the same rows.
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let payload_eq = match (self.values(), other.values()) {
+            (ColumnSlice::Bool(a), ColumnSlice::Bool(b)) => a == b,
+            (ColumnSlice::Int(a), ColumnSlice::Int(b)) => a == b,
+            (ColumnSlice::Float(a), ColumnSlice::Float(b)) => a == b,
+            (ColumnSlice::Str(a), ColumnSlice::Str(b)) => a == b,
+            (ColumnSlice::Date(a), ColumnSlice::Date(b)) => a == b,
+            _ => false,
+        };
+        payload_eq && (0..self.len).all(|i| self.is_valid(i) == other.is_valid(i))
+    }
+}
+
 /// Incremental builder for a [`Column`] of a fixed type.
+///
+/// `finish` always yields **unique** storage: nothing shares the produced
+/// Arc until the column is cloned or sliced, so builders are the safe place
+/// to create data that later flows through the zero-copy path.
 #[derive(Debug)]
 pub struct ColumnBuilder {
     dtype: DataType,
@@ -390,34 +594,37 @@ impl ColumnBuilder {
         }
     }
 
-    /// Append every row of `col` (must have the same type).
+    /// Append every row of `col`'s window (must have the same type).
     pub fn append_column(&mut self, col: &Column) {
         assert_eq!(col.data_type(), self.dtype, "append type mismatch");
-        match (&mut self.dtype, col.data()) {
-            (DataType::Bool, ColumnData::Bool(v)) => self.bools.extend_from_slice(v),
-            (DataType::Int, ColumnData::Int(v)) => self.ints.extend_from_slice(v),
-            (DataType::Float, ColumnData::Float(v)) => self.floats.extend_from_slice(v),
-            (DataType::Str, ColumnData::Str(v)) => self.strs.extend_from_slice(v),
-            (DataType::Date, ColumnData::Date(v)) => self.dates.extend_from_slice(v),
-            _ => unreachable!(),
+        match col.values() {
+            ColumnSlice::Bool(v) => self.bools.extend_from_slice(v),
+            ColumnSlice::Int(v) => self.ints.extend_from_slice(v),
+            ColumnSlice::Float(v) => self.floats.extend_from_slice(v),
+            ColumnSlice::Str(v) => self.strs.extend_from_slice(v),
+            ColumnSlice::Date(v) => self.dates.extend_from_slice(v),
         }
         match col.validity() {
             None => self.validity.extend(std::iter::repeat_n(true, col.len())),
             Some(m) => {
-                self.has_null = true;
+                // A window of a wider mask can be all-true; track honestly
+                // so `finish` keeps the canonical no-mask form.
+                if m.iter().any(|&v| !v) {
+                    self.has_null = true;
+                }
                 self.validity.extend_from_slice(m);
             }
         }
     }
 
-    /// Finish into a [`Column`].
+    /// Finish into a [`Column`] with unique storage.
     pub fn finish(self) -> Column {
         let data = match self.dtype {
-            DataType::Bool => ColumnData::Bool(self.bools),
-            DataType::Int => ColumnData::Int(self.ints),
-            DataType::Float => ColumnData::Float(self.floats),
-            DataType::Str => ColumnData::Str(self.strs),
-            DataType::Date => ColumnData::Date(self.dates),
+            DataType::Bool => ColumnData::bools(self.bools),
+            DataType::Int => ColumnData::ints(self.ints),
+            DataType::Float => ColumnData::floats(self.floats),
+            DataType::Str => ColumnData::strs(self.strs),
+            DataType::Date => ColumnData::dates(self.dates),
         };
         if self.has_null {
             Column::with_validity(data, self.validity)
@@ -456,7 +663,7 @@ mod tests {
 
     #[test]
     fn all_valid_mask_is_dropped() {
-        let c = Column::with_validity(ColumnData::Int(vec![1, 2]), vec![true, true]);
+        let c = Column::with_validity(ColumnData::ints(vec![1, 2]), vec![true, true]);
         assert!(c.validity().is_none());
     }
 
@@ -490,11 +697,74 @@ mod tests {
     }
 
     #[test]
+    fn clone_and_slice_share_storage() {
+        let c = Column::from_ints(vec![1, 2, 3, 4]);
+        let cl = c.clone();
+        assert!(c.shares_storage(&cl), "clone must not copy payload");
+        let s = c.slice(1, 2);
+        assert!(c.shares_storage(&s), "slice must not copy payload");
+        assert_eq!(s.as_ints(), &[2, 3]);
+        // Nested slices stay shared and window-correct.
+        let s2 = s.slice(1, 1);
+        assert!(s2.shares_storage(&c));
+        assert_eq!(s2.as_ints(), &[3]);
+        // Gathers produce fresh storage.
+        let t = c.take(&[0]);
+        assert!(!t.shares_storage(&c));
+    }
+
+    #[test]
+    fn sliced_validity_is_window_relative() {
+        let mut b = ColumnBuilder::new(DataType::Int, 4);
+        b.push(Value::Int(1));
+        b.push_null();
+        b.push(Value::Int(3));
+        b.push(Value::Int(4));
+        let c = b.finish();
+        let s = c.slice(1, 2);
+        assert_eq!(s.null_count(), 1);
+        assert!(!s.is_valid(0));
+        assert!(s.is_valid(1));
+        assert_eq!(s.get(0), Value::Null);
+        assert_eq!(s.get(1), Value::Int(3));
+        // An all-valid window of a masked column behaves as fully valid.
+        let tail = c.slice(2, 2);
+        assert_eq!(tail.null_count(), 0);
+        assert_eq!(tail.to_values(), vec![Value::Int(3), Value::Int(4)]);
+    }
+
+    #[test]
+    fn logical_equality_ignores_windowing() {
+        let a = Column::from_ints(vec![9, 1, 2, 9]).slice(1, 2);
+        let b = Column::from_ints(vec![1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, Column::from_ints(vec![1, 3]));
+    }
+
+    #[test]
+    fn map_bools_cow() {
+        // Unique storage: mutated in place (storage pointer survives).
+        let c = Column::from_bools(vec![true, false]);
+        let flipped = c.map_bools(|b| !b);
+        assert_eq!(flipped.as_bools(), &[false, true]);
+        // Shared storage: copy-on-write leaves the original intact.
+        let c = Column::from_bools(vec![true, false]);
+        let keep = c.clone();
+        let flipped = c.map_bools(|b| !b);
+        assert_eq!(flipped.as_bools(), &[false, true]);
+        assert_eq!(keep.as_bools(), &[true, false]);
+        assert!(!flipped.shares_storage(&keep));
+    }
+
+    #[test]
     fn concat_joins_columns() {
         let a = Column::from_ints(vec![1, 2]);
         let b = Column::from_ints(vec![3]);
         let c = Column::concat(&[&a, &b]);
         assert_eq!(c.as_ints(), &[1, 2, 3]);
+        // Single-input concat is zero-copy.
+        let one = Column::concat(&[&a]);
+        assert!(one.shares_storage(&a));
     }
 
     #[test]
@@ -515,6 +785,8 @@ mod tests {
         assert_eq!(c.size_bytes(), 38);
         let i = Column::from_ints(vec![0; 10]);
         assert_eq!(i.size_bytes(), 80);
+        // A slice accounts only for its window.
+        assert_eq!(i.slice(0, 5).size_bytes(), 40);
     }
 
     #[test]
@@ -536,5 +808,20 @@ mod tests {
         let c = Column::from_bools(vec![true, false]);
         assert_eq!(c.as_bools(), &[true, false]);
         assert_eq!(c.get(1), Value::Bool(false));
+    }
+
+    #[test]
+    fn append_all_valid_window_of_masked_column_stays_unmasked() {
+        let mut b = ColumnBuilder::new(DataType::Int, 3);
+        b.push_null();
+        b.push(Value::Int(1));
+        b.push(Value::Int(2));
+        let c = b.finish();
+        let valid_tail = c.slice(1, 2);
+        let mut out = ColumnBuilder::new(DataType::Int, 2);
+        out.append_column(&valid_tail);
+        let r = out.finish();
+        assert!(r.validity().is_none(), "all-valid append keeps no mask");
+        assert_eq!(r.as_ints(), &[1, 2]);
     }
 }

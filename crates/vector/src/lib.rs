@@ -13,6 +13,42 @@
 //! * [`Schema`] / [`Field`] — named, typed column metadata.
 //! * [`row`] — row-wise helpers: composite key encoding for hash
 //!   joins/aggregations and multi-column comparators for sort/top-N.
+//!
+//! # Ownership model: shared columns, selection vectors, explicit copies
+//!
+//! The hot data path is **zero-copy**. Column payloads live in
+//! reference-counted storage (`Arc`), and the cheap operations are exactly
+//! the ones the pipelined recycler leans on:
+//!
+//! * `Column::clone` / `Batch::clone` — refcount bumps. The recycler's
+//!   store tee and cache-hit replay hand out shared batches; a cache hit
+//!   costs O(batches), not O(rows).
+//! * [`Column::slice`] / `Batch::slice` — O(1) windows over the same
+//!   storage. Table scans slice base columns instead of rebuilding them.
+//! * Filters attach a **selection vector** (`Batch::with_selection`): the
+//!   list of qualifying physical row indices rides along with the shared
+//!   columns and downstream operators iterate it directly.
+//!
+//! Copies happen at three explicit points only:
+//!
+//! * [`ColumnBuilder`] output — builders always produce *unique* storage,
+//!   so freshly computed results never pay copy-on-write;
+//! * gathers (`take`/`compact`) at pipeline breakers (sort, aggregation
+//!   build, join build side), at store/materialization boundaries, and at
+//!   the public stream edge, where positional results must be dense;
+//! * genuine mutation, which goes through copy-on-write
+//!   (`Arc::make_mut`, e.g. [`Column::map_bools`]) and degrades to a
+//!   window copy only when the storage is shared.
+//!
+//! Operators that merely reorder, tee, or replay data must **not** call
+//! `compact`; operators that hand positional data to code indexing
+//! `0..rows()` into raw column slices must.
+//!
+//! [`BATCH_CAPACITY`] (1024 rows) is the scan/re-chunk granule: big enough
+//! to amortize per-batch dispatch, small enough that one batch's worth of
+//! operator-local vectors stays cache-resident. Raising it trades cache
+//! locality for fewer pulls; with zero-copy slicing the re-chunk cost
+//! itself is negligible either way.
 
 pub mod batch;
 pub mod column;
@@ -22,7 +58,7 @@ pub mod types;
 pub mod value;
 
 pub use batch::Batch;
-pub use column::{Column, ColumnBuilder, ColumnData};
+pub use column::{Column, ColumnBuilder, ColumnData, ColumnSlice};
 pub use row::{encode_row_key, RowCmp, SortOrder};
 pub use schema::{Field, Schema};
 pub use types::{date_from_ymd, ymd_from_date, DataType};

@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 
-use crate::column::{Column, ColumnData};
+use crate::column::{Column, ColumnSlice};
 
 /// Sort direction for one key column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,28 +40,28 @@ pub fn encode_row_key(cols: &[&Column], row: usize, buf: &mut Vec<u8>) {
             buf.push(0); // null tag
             continue;
         }
-        match col.data() {
-            ColumnData::Bool(v) => {
+        match col.values() {
+            ColumnSlice::Bool(v) => {
                 buf.push(1);
                 buf.push(v[row] as u8);
             }
-            ColumnData::Int(v) => {
+            ColumnSlice::Int(v) => {
                 buf.push(2);
                 buf.extend_from_slice(&v[row].to_le_bytes());
             }
-            ColumnData::Float(v) => {
+            ColumnSlice::Float(v) => {
                 buf.push(3);
                 // Normalise -0.0 so equal floats encode equally.
                 let f = if v[row] == 0.0 { 0.0 } else { v[row] };
                 buf.extend_from_slice(&f.to_bits().to_le_bytes());
             }
-            ColumnData::Str(v) => {
+            ColumnSlice::Str(v) => {
                 buf.push(4);
                 let s = v[row].as_bytes();
                 buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
                 buf.extend_from_slice(s);
             }
-            ColumnData::Date(v) => {
+            ColumnSlice::Date(v) => {
                 buf.push(5);
                 buf.extend_from_slice(&v[row].to_le_bytes());
             }
@@ -120,14 +120,14 @@ pub fn cmp_cell(a: &Column, i: usize, b: &Column, j: usize) -> Ordering {
         (true, false) => return Ordering::Greater,
         (true, true) => {}
     }
-    match (a.data(), b.data()) {
-        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i].cmp(&y[j]),
-        (ColumnData::Int(x), ColumnData::Int(y)) => x[i].cmp(&y[j]),
-        (ColumnData::Float(x), ColumnData::Float(y)) => x[i].total_cmp(&y[j]),
-        (ColumnData::Str(x), ColumnData::Str(y)) => x[i].cmp(&y[j]),
-        (ColumnData::Date(x), ColumnData::Date(y)) => x[i].cmp(&y[j]),
-        (ColumnData::Int(x), ColumnData::Float(y)) => (x[i] as f64).total_cmp(&y[j]),
-        (ColumnData::Float(x), ColumnData::Int(y)) => x[i].total_cmp(&(y[j] as f64)),
+    match (a.values(), b.values()) {
+        (ColumnSlice::Bool(x), ColumnSlice::Bool(y)) => x[i].cmp(&y[j]),
+        (ColumnSlice::Int(x), ColumnSlice::Int(y)) => x[i].cmp(&y[j]),
+        (ColumnSlice::Float(x), ColumnSlice::Float(y)) => x[i].total_cmp(&y[j]),
+        (ColumnSlice::Str(x), ColumnSlice::Str(y)) => x[i].cmp(&y[j]),
+        (ColumnSlice::Date(x), ColumnSlice::Date(y)) => x[i].cmp(&y[j]),
+        (ColumnSlice::Int(x), ColumnSlice::Float(y)) => (x[i] as f64).total_cmp(&y[j]),
+        (ColumnSlice::Float(x), ColumnSlice::Int(y)) => x[i].total_cmp(&(y[j] as f64)),
         (a, b) => panic!("cannot compare {} with {}", a.data_type(), b.data_type()),
     }
 }
