@@ -29,13 +29,13 @@ fn ctx() -> ExecContext {
             Value::Date((i % 2500) as i32 + 8000),
         ]);
     }
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     let schema = Schema::from_pairs([("rk", DataType::Int), ("tag", DataType::Str)]);
     let mut b = TableBuilder::new("dim", schema, 1000);
     for i in 0..1000i64 {
         b.push_row(vec![Value::Int(i), Value::str(format!("tag{}", i % 7))]);
     }
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     ExecContext::new(Arc::new(cat))
 }
 

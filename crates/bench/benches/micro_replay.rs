@@ -40,7 +40,7 @@ fn catalog(rows: usize) -> Arc<Catalog> {
         ]);
     }
     let mut cat = Catalog::new();
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     Arc::new(cat)
 }
 

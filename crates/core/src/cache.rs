@@ -23,6 +23,11 @@ pub struct CacheEntry {
     pub size: u64,
     /// Benefit at last recomputation (B(R) of Eq. 1).
     pub benefit: f64,
+    /// `(table, epoch)` of every base table the result was computed from:
+    /// the versions under which this entry is valid. A query whose
+    /// snapshot pins any of these tables at a different epoch must not
+    /// reuse the entry.
+    pub epochs: Vec<(String, u64)>,
 }
 
 /// The finite result cache.
@@ -185,14 +190,16 @@ impl RecyclerCache {
         None
     }
 
-    /// Try to insert a result. Returns `Some(evicted)` on success (possibly
-    /// empty), `None` if the policy rejected it. The caller is responsible
-    /// for graph-side bookkeeping (Eq. 3/4) on the returned evictions.
+    /// Try to insert a result valid at the given base-table `epochs`.
+    /// Returns `Some(evicted)` on success (possibly empty), `None` if the
+    /// policy rejected it. The caller is responsible for graph-side
+    /// bookkeeping (Eq. 3/4) on the returned evictions.
     pub fn insert(
         &mut self,
         id: NodeId,
         result: Arc<MaterializedResult>,
         benefit: f64,
+        epochs: Vec<(String, u64)>,
     ) -> Option<Vec<NodeId>> {
         let size = (result.size_bytes as u64).max(1);
         if self.entries.contains_key(&id) {
@@ -225,6 +232,7 @@ impl RecyclerCache {
                 result,
                 size,
                 benefit,
+                epochs,
             },
         );
         let group = self.groups.entry(group_of(size)).or_default();
@@ -310,7 +318,7 @@ mod tests {
     fn insert_and_lookup() {
         let mut c = RecyclerCache::new(10_000);
         let r = result(10); // 80 bytes
-        assert_eq!(c.insert(NodeId(1), r.clone(), 5.0), Some(vec![]));
+        assert_eq!(c.insert(NodeId(1), r.clone(), 5.0, vec![]), Some(vec![]));
         assert!(c.contains(NodeId(1)));
         assert_eq!(c.used(), 80);
         assert_eq!(c.len(), 1);
@@ -320,7 +328,7 @@ mod tests {
     #[test]
     fn oversized_result_rejected() {
         let mut c = RecyclerCache::new(50);
-        assert_eq!(c.insert(NodeId(1), result(100), 100.0), None);
+        assert_eq!(c.insert(NodeId(1), result(100), 100.0, vec![]), None);
         assert_eq!(c.rejections, 1);
     }
 
@@ -328,12 +336,12 @@ mod tests {
     fn replacement_evicts_lower_benefit_same_group() {
         // Capacity fits exactly two 80-byte results.
         let mut c = RecyclerCache::new(160);
-        c.insert(NodeId(1), result(10), 1.0);
-        c.insert(NodeId(2), result(10), 2.0);
+        c.insert(NodeId(1), result(10), 1.0, vec![]);
+        c.insert(NodeId(2), result(10), 2.0, vec![]);
         assert_eq!(c.used(), 160);
         // Higher-benefit newcomer evicts the lowest-benefit same-group
         // entry.
-        let evicted = c.insert(NodeId(3), result(10), 3.0).unwrap();
+        let evicted = c.insert(NodeId(3), result(10), 3.0, vec![]).unwrap();
         assert_eq!(evicted, vec![NodeId(1)]);
         assert!(c.contains(NodeId(2)));
         assert!(c.contains(NodeId(3)));
@@ -343,9 +351,9 @@ mod tests {
     #[test]
     fn replacement_refuses_when_average_benefit_higher() {
         let mut c = RecyclerCache::new(160);
-        c.insert(NodeId(1), result(10), 5.0);
-        c.insert(NodeId(2), result(10), 6.0);
-        assert_eq!(c.insert(NodeId(3), result(10), 4.0), None);
+        c.insert(NodeId(1), result(10), 5.0, vec![]);
+        c.insert(NodeId(2), result(10), 6.0, vec![]);
+        assert_eq!(c.insert(NodeId(3), result(10), 4.0, vec![]), None);
         assert!(c.contains(NodeId(1)));
         assert!(c.contains(NodeId(2)));
         assert_eq!(c.rejections, 1);
@@ -358,22 +366,22 @@ mod tests {
         // sizes: 10 ints = 80 bytes → group 7; 5 ints = 40 bytes → group 6.
         // Use three 80-byte entries and capacity 240.
         let mut c = RecyclerCache::new(240);
-        c.insert(NodeId(1), result(10), 1.0);
-        c.insert(NodeId(2), result(10), 2.0);
-        c.insert(NodeId(3), result(10), 9.0);
+        c.insert(NodeId(1), result(10), 1.0, vec![]);
+        c.insert(NodeId(2), result(10), 2.0, vec![]);
+        c.insert(NodeId(3), result(10), 9.0, vec![]);
         // Need 80 free; nothing free → evict 1 (benefit 1): enough.
-        let evicted = c.insert(NodeId(4), result(10), 5.0).unwrap();
+        let evicted = c.insert(NodeId(4), result(10), 5.0, vec![]).unwrap();
         assert_eq!(evicted, vec![NodeId(1)]);
         // Now insert something that needs two evictions: fill up again.
-        let evicted = c.insert(NodeId(5), result(10), 10.0).unwrap();
+        let evicted = c.insert(NodeId(5), result(10), 10.0, vec![]).unwrap();
         assert_eq!(evicted, vec![NodeId(2)]);
     }
 
     #[test]
     fn would_admit_previews_without_mutation() {
         let mut c = RecyclerCache::new(160);
-        c.insert(NodeId(1), result(10), 5.0);
-        c.insert(NodeId(2), result(10), 6.0);
+        c.insert(NodeId(1), result(10), 5.0, vec![]);
+        c.insert(NodeId(2), result(10), 6.0, vec![]);
         assert!(!c.would_admit(80, 4.0));
         assert!(c.would_admit(80, 7.0));
         assert_eq!(c.len(), 2, "preview must not mutate");
@@ -382,8 +390,8 @@ mod tests {
     #[test]
     fn flush_empties_and_reports() {
         let mut c = RecyclerCache::new(1000);
-        c.insert(NodeId(1), result(5), 1.0);
-        c.insert(NodeId(2), result(5), 2.0);
+        c.insert(NodeId(1), result(5), 1.0, vec![]);
+        c.insert(NodeId(2), result(5), 2.0, vec![]);
         let mut flushed = c.flush();
         flushed.sort();
         assert_eq!(flushed, vec![NodeId(1), NodeId(2)]);
@@ -394,22 +402,22 @@ mod tests {
     #[test]
     fn rebenefit_reorders_groups() {
         let mut c = RecyclerCache::new(1000);
-        c.insert(NodeId(1), result(10), 1.0);
-        c.insert(NodeId(2), result(10), 2.0);
+        c.insert(NodeId(1), result(10), 1.0, vec![]);
+        c.insert(NodeId(2), result(10), 2.0, vec![]);
         // Invert benefits; victim search should now pick NodeId(2) first.
         c.rebenefit(|id| if id == NodeId(1) { 9.0 } else { 0.5 });
         let mut c2 = c;
         c2.capacity = 160;
         c2.used = 160;
-        let evicted = c2.insert(NodeId(3), result(10), 5.0).unwrap();
+        let evicted = c2.insert(NodeId(3), result(10), 5.0, vec![]).unwrap();
         assert_eq!(evicted, vec![NodeId(2)]);
     }
 
     #[test]
     fn duplicate_insert_is_noop() {
         let mut c = RecyclerCache::new(1000);
-        c.insert(NodeId(1), result(5), 1.0);
-        assert_eq!(c.insert(NodeId(1), result(5), 1.0), Some(vec![]));
+        c.insert(NodeId(1), result(5), 1.0, vec![]);
+        assert_eq!(c.insert(NodeId(1), result(5), 1.0, vec![]), Some(vec![]));
         assert_eq!(c.len(), 1);
     }
 }

@@ -85,6 +85,10 @@ pub struct GraphNode {
     pub subtree: Plan,
     /// Output schema (graph-canonical names: those of the inserting query).
     pub schema: Schema,
+    /// Base tables the subtree reads (deduplicated): the node's
+    /// invalidation footprint — an update to any of them makes this node's
+    /// cached result stale.
+    pub tables: Vec<String>,
     /// Children in plan order.
     pub children: Vec<NodeId>,
     /// Hash-key of the local operator (type + parameters).
@@ -246,6 +250,7 @@ impl RecyclerGraph {
         self.nodes.push(GraphNode {
             subtree: plan.clone(),
             schema,
+            tables: plan.base_tables(),
             children: child_ids.to_vec(),
             hash_key: key,
             signature: sig,
@@ -476,6 +481,39 @@ impl RecyclerGraph {
     pub fn benefit(&self, id: NodeId, model: CostModel, alpha: f64) -> f64 {
         let size = self.node(id).stats.bytes.max(1) as f64;
         self.true_cost(id, model) * self.decayed_h(id, alpha) / size
+    }
+
+    // ---- invalidation (PAPER.md §V) ----------------------------------------
+
+    /// Every node whose result depends on `table`, found by walking the
+    /// operator graph upward from the changed leaf: collect the scan
+    /// leaves over `table`, then follow parent edges transitively. This is
+    /// exactly the set an update to `table` makes stale — nodes over other
+    /// tables are never visited, which is what makes invalidation precise.
+    pub fn dependents_of_table(&self, table: &str) -> Vec<NodeId> {
+        let mut queue: Vec<NodeId> = self
+            .leaf_index
+            .values()
+            .flatten()
+            .copied()
+            .filter(|&l| matches!(&self.node(l).subtree, Plan::Scan { table: t, .. } if t == table))
+            .collect();
+        let mut seen: Vec<bool> = vec![false; self.nodes.len()];
+        for &id in &queue {
+            seen[id.0 as usize] = true;
+        }
+        let mut out = Vec::new();
+        while let Some(id) = queue.pop() {
+            out.push(id);
+            for &p in self.node(id).parents.values().flatten() {
+                if !seen[p.0 as usize] {
+                    seen[p.0 as usize] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        out.sort();
+        out
     }
 
     /// All currently materialized node ids (test/inspection helper).
@@ -838,6 +876,38 @@ mod tests {
         assert!(derive_subsumption(&big, &small).is_none());
         let other_keys = scan("t", &["a"]).top_n(vec![SortKeyExpr::asc(Expr::col(0))], 10_000);
         assert!(derive_subsumption(&small, &other_keys).is_none());
+    }
+
+    #[test]
+    fn dependents_walk_covers_exactly_the_table_subgraph() {
+        let mut g = RecyclerGraph::new();
+        // q1 over t: scan(t) → select → aggregate.
+        let m_t = g.match_or_insert(&q1(), &sch);
+        // A two-table join query over t and u.
+        let join = scan("t", &["a", "b"])
+            .select(Expr::col(0).gt(Expr::lit(5)))
+            .inner_join(scan("u", &["a"]), vec![Expr::col(0)], vec![Expr::col(0)]);
+        let m_join = g.match_or_insert(&join, &sch);
+        // A u-only query.
+        let m_u = g.match_or_insert(&scan("u", &["a"]).limit(3), &sch);
+
+        let deps_t = g.dependents_of_table("t");
+        // Everything reachable from scan(t): the 3 q1 nodes + the join
+        // (which shares the scan+select prefix).
+        assert!(deps_t.contains(&m_t.id));
+        assert!(deps_t.contains(&m_join.id));
+        assert!(!deps_t.contains(&m_u.id), "u-only nodes untouched");
+        for &id in &deps_t {
+            assert!(
+                g.node(id).tables.iter().any(|t| t == "t"),
+                "every dependent reads t"
+            );
+        }
+        let deps_u = g.dependents_of_table("u");
+        assert!(deps_u.contains(&m_join.id), "join depends on both tables");
+        assert!(deps_u.contains(&m_u.id));
+        assert!(!deps_u.contains(&m_t.id));
+        assert!(g.dependents_of_table("nope").is_empty());
     }
 
     #[test]

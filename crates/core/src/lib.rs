@@ -20,6 +20,39 @@
 //! * [`proactive`] — top-N widening and cube caching with selections /
 //!   binning (§IV-B);
 //! * subsumption edges and derivations live in [`graph`] (§IV-A).
+//!
+//! ## Updates & invalidation (PAPER.md §V)
+//!
+//! The paper notes that under updates "the results in the recycler graph
+//! that are affected... have to be invalidated" but leaves the mechanism
+//! out of scope. This crate implements it, keyed on **table epochs**:
+//! every committed append/delete bumps the base table's epoch
+//! (`rdb_storage::VersionedTable`), queries pin an epoch vector via a
+//! catalog snapshot, and freshness is enforced at three points:
+//!
+//! 1. **Eager eviction** — [`Recycler::invalidate`]`(table, epoch)` walks
+//!    the operator graph upward from the changed table's scan leaves
+//!    (every [`graph::GraphNode`] records its base-table footprint) and
+//!    evicts exactly the dependent cache entries, emitting
+//!    [`RecyclerEvent::Invalidated`] per entry and counting
+//!    `stats.invalidations`. Entries over untouched tables survive, which
+//!    is what makes invalidation *fine-grained*: updating `lineitem`
+//!    leaves a cached `orders` aggregate hot.
+//! 2. **Reuse gate** — every [`cache::CacheEntry`] records the
+//!    `(table, epoch)` pairs it was computed from; the rewriter
+//!    substitutes an entry (exact or subsumption) only when those match
+//!    the querying snapshot's epochs, so a racing update between commit
+//!    and invalidation can never cause a stale read.
+//! 3. **Publish gate** — store targets record their producing snapshot's
+//!    epochs at rewrite time; a materialization that completes after a
+//!    newer epoch committed is discarded (`stats.stale_rejections`)
+//!    instead of poisoning the cache.
+//!
+//! Graph nodes (and their reference statistics `hR`) survive
+//! invalidation — only materialized results die. History therefore keeps
+//! steering store decisions across updates, which is why the recycler
+//! retains most of its benefit under a write-mixed workload (see
+//! `BENCH_update.json`).
 
 pub mod cache;
 pub mod config;

@@ -371,7 +371,7 @@ mod tests {
                 Value::str(["AIR", "RAIL", "SHIP"][(i % 3) as usize]),
             ]);
         }
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         ExecContext::new(Arc::new(cat))
     }
 

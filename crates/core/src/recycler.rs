@@ -82,6 +82,17 @@ pub enum RecyclerEvent {
         /// Target node.
         node: NodeId,
     },
+    /// A cached entry was evicted because a base table it depends on was
+    /// updated (PAPER.md §V: cached intermediates are invalidated when
+    /// their base tables change).
+    Invalidated {
+        /// The evicted node.
+        node: NodeId,
+        /// Size of the evicted result.
+        bytes: u64,
+        /// The updated table that made it stale.
+        table: String,
+    },
 }
 
 /// The rewritten query, ready for execution, plus bookkeeping for
@@ -120,7 +131,16 @@ enum TagEntry {
     /// A store target this query may produce.
     StoreTarget {
         node: NodeId,
+        /// The owning query (in-flight bookkeeping is released only by
+        /// its owner — a superseded producer must not clear a fresh
+        /// producer's marker).
+        qid: u64,
         speculative: bool,
+        /// `(table, epoch)` of the node's base tables as pinned by the
+        /// producing query's snapshot. Publishing checks these against the
+        /// recycler's current epochs so a result computed from an
+        /// already-superseded snapshot is never admitted.
+        base_epochs: Vec<(String, u64)>,
         last_est: Option<SpeculationEstimate>,
         resolved: Option<StoreOutcome>,
     },
@@ -131,9 +151,26 @@ struct State {
     graph: RecyclerGraph,
     cache: RecyclerCache,
     tags: HashMap<u64, TagEntry>,
-    /// Node → qid of the query currently materializing it.
+    /// Node → qid of the query currently materializing it. When a fresh
+    /// query supersedes a stale-epoch producer (see
+    /// `RewriteRun::store_decision`), the marker moves to the fresh qid;
+    /// owner-checked release keeps the superseded producer from clearing
+    /// it on resolve.
     in_flight: HashMap<NodeId, u64>,
+    /// Latest committed epoch per base table, as reported by
+    /// [`Recycler::invalidate`]. Tables never updated are absent (their
+    /// epoch is whatever it was at load).
+    table_epochs: HashMap<String, u64>,
     next_tag: u64,
+}
+
+impl State {
+    /// Release a node's in-flight marker, but only if `qid` still owns it.
+    fn release_in_flight(&mut self, node: NodeId, qid: u64) {
+        if self.in_flight.get(&node) == Some(&qid) {
+            self.in_flight.remove(&node);
+        }
+    }
 }
 
 /// Aggregate counters (exposed for tests, examples, and benches).
@@ -151,6 +188,11 @@ pub struct RecyclerStats {
     pub abandoned: AtomicU64,
     /// Times a query stalled on a concurrent materialization.
     pub stalls: AtomicU64,
+    /// Cache entries evicted because a base table changed.
+    pub invalidations: AtomicU64,
+    /// Publishes rejected because the producing query's snapshot was
+    /// superseded before its store completed.
+    pub stale_rejections: AtomicU64,
     /// Total matching/insertion time.
     pub match_ns_total: AtomicU64,
     /// Nodes inserted into the recycler graph.
@@ -183,6 +225,7 @@ impl Recycler {
                 cache: RecyclerCache::new(config.cache_bytes),
                 tags: HashMap::new(),
                 in_flight: HashMap::new(),
+                table_epochs: HashMap::new(),
                 next_tag: 1,
             }),
             resolved_cond: Condvar::new(),
@@ -221,9 +264,75 @@ impl Recycler {
         }
     }
 
-    /// Rewrite a bound query plan for execution (paper Fig. 1's rewriter
-    /// rules). `catalog` supplies schemas for newly inserted graph nodes.
+    /// A base table committed `new_epoch`: walk the operator graph upward
+    /// from the changed leaf and evict exactly the cache entries whose
+    /// results depend on it (PAPER.md §V), leaving entries over other
+    /// tables untouched. In-flight materializations over the old version
+    /// are not interrupted, but their eventual publish is rejected by the
+    /// epoch gate in [`ResultStore::publish`]. Returns one
+    /// [`RecyclerEvent::Invalidated`] per evicted entry.
+    ///
+    /// Must be called *after* the table's new version is committed (the
+    /// engine's DML path does this); callers mutating storage behind the
+    /// engine's back get stale reuse until they do.
+    pub fn invalidate(&self, table: &str, new_epoch: u64) -> Vec<RecyclerEvent> {
+        let mut st = self.state.lock();
+        let cur = st.table_epochs.entry(table.to_string()).or_insert(0);
+        *cur = (*cur).max(new_epoch);
+        let alpha = self.config.aging_alpha;
+        let mut events = Vec::new();
+        for id in st.graph.dependents_of_table(table) {
+            // An entry already computed at (or past) the committing epoch
+            // is fresh — a producer that pinned the new version published
+            // before this invalidate call caught up. Evicting it would
+            // throw away valid work.
+            if st.cache.get(id).is_some_and(|entry| {
+                entry
+                    .epochs
+                    .iter()
+                    .any(|(t, e)| t == table && *e >= new_epoch)
+            }) {
+                continue;
+            }
+            if let Some(entry) = st.cache.remove(id) {
+                st.graph.on_evicted(id, alpha);
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                events.push(RecyclerEvent::Invalidated {
+                    node: id,
+                    bytes: entry.size,
+                    table: table.to_string(),
+                });
+            }
+        }
+        events
+    }
+
+    /// Rewrite a bound query plan for execution against the catalog's
+    /// *current* table versions, sampled live per table.
+    ///
+    /// Prefer [`Recycler::prepare_at`] with a pinned
+    /// [`rdb_storage::CatalogSnapshot`] (as the engine's session path
+    /// does): without a snapshot, a table updated between this call and
+    /// the scan build can make the executed data diverge from the epochs
+    /// recorded here, and the race-closing guarantees of the epoch gates
+    /// then don't apply. This variant is only safe when no DML runs
+    /// concurrently (tests, micro-benches).
     pub fn prepare(&self, plan: &Plan, catalog: &Catalog) -> PreparedQuery {
+        self.prepare_at(plan, catalog, &|t| catalog.epoch_of(t).unwrap_or(0))
+    }
+
+    /// Rewrite a bound query plan for execution (paper Fig. 1's rewriter
+    /// rules). `catalog` supplies schemas for newly inserted graph nodes;
+    /// `epoch_of` reports the epoch at which the query's snapshot pins
+    /// each base table — cached results are substituted only when their
+    /// recorded epochs match, and store targets record these epochs so a
+    /// publish that outlives its snapshot is rejected.
+    pub fn prepare_at(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        epoch_of: &dyn Fn(&str) -> u64,
+    ) -> PreparedQuery {
         assert!(!plan.has_named(), "prepare() requires a bound plan");
         bump!(self.stats, queries);
         let schema_of =
@@ -255,6 +364,7 @@ impl Recycler {
             let mut rw = RewriteRun {
                 cfg: &self.config,
                 qid,
+                epoch_of,
                 tags: Vec::new(),
                 annots: Vec::new(),
                 events: Vec::new(),
@@ -265,8 +375,8 @@ impl Recycler {
                 Err(stall_on) => {
                     // Roll back anything this attempt created.
                     for t in rw.tags {
-                        if let Some(TagEntry::StoreTarget { node, .. }) = st.tags.remove(&t) {
-                            st.in_flight.remove(&node);
+                        if let Some(TagEntry::StoreTarget { node, qid, .. }) = st.tags.remove(&t) {
+                            st.release_in_flight(node, qid);
                         }
                     }
                     bump!(self.stats, stalls);
@@ -367,8 +477,14 @@ impl Recycler {
             let Some(entry) = st.tags.get(t) else {
                 continue;
             };
-            if let TagEntry::StoreTarget { node, resolved, .. } = entry {
-                let node = *node;
+            if let TagEntry::StoreTarget {
+                node,
+                qid,
+                resolved,
+                ..
+            } = entry
+            {
+                let (node, qid) = (*node, *qid);
                 match resolved {
                     Some(StoreOutcome::Published { admitted, bytes }) => {
                         events.push(RecyclerEvent::Materialized {
@@ -383,7 +499,7 @@ impl Recycler {
                     None => {
                         events.push(RecyclerEvent::Abandoned { node });
                         bump!(self.stats, abandoned);
-                        st.in_flight.remove(&node);
+                        st.release_in_flight(node, qid);
                         notify = true;
                     }
                 }
@@ -428,6 +544,8 @@ fn bump_references(graph: &mut RecyclerGraph, mt: &MatchTree, mat_above: bool, a
 struct RewriteRun<'a> {
     cfg: &'a RecyclerConfig,
     qid: u64,
+    /// Epoch at which the query's snapshot pins each base table.
+    epoch_of: &'a dyn Fn(&str) -> u64,
     tags: Vec<u64>,
     annots: Vec<(Vec<usize>, NodeId)>,
     events: Vec<RecyclerEvent>,
@@ -435,6 +553,14 @@ struct RewriteRun<'a> {
 }
 
 impl<'a> RewriteRun<'a> {
+    /// Whether a cached entry's recorded base-table epochs match the
+    /// query's snapshot — the freshness condition for substituting it.
+    /// A mismatch in either direction (entry older after a racing update,
+    /// or entry newer than a query holding an older snapshot) disqualifies
+    /// the entry; this query must compute from its own pinned versions.
+    fn entry_fresh(&self, entry: &crate::cache::CacheEntry) -> bool {
+        entry.epochs.iter().all(|(t, e)| (self.epoch_of)(t) == *e)
+    }
     /// Returns the rewritten plan, or `Err(node)` if the query must stall
     /// on a concurrent materialization of `node`.
     fn rewrite(
@@ -446,21 +572,31 @@ impl<'a> RewriteRun<'a> {
     ) -> Result<Plan, NodeId> {
         let id = mt.id;
 
-        // Rule 1: substitute an exactly-matching cached result.
+        // Rule 1: substitute an exactly-matching cached result — but only
+        // when it was computed from the same table versions this query's
+        // snapshot pins (update-awareness: a stale entry is dead weight
+        // here even if invalidation hasn't caught up with it yet).
         if let Some(entry) = st.cache.get(id) {
-            let result = entry.result.clone();
-            let bytes = entry.size;
-            let schema = st.graph.node(id).schema.clone();
-            let tag = new_lease(st, result);
-            self.tags.push(tag);
-            self.events.push(RecyclerEvent::Reused { node: id, bytes });
-            return Ok(Plan::Cached { tag, schema });
+            if self.entry_fresh(entry) {
+                let result = entry.result.clone();
+                let bytes = entry.size;
+                let schema = st.graph.node(id).schema.clone();
+                let tag = new_lease(st, result);
+                self.tags.push(tag);
+                self.events.push(RecyclerEvent::Reused { node: id, bytes });
+                return Ok(Plan::Cached { tag, schema });
+            }
         }
 
         // Rule 2: another query is currently producing this result — stall
-        // (paper §V) unless we already waited too long for it.
+        // (paper §V) unless we already waited too long for it, or the
+        // producer pinned different table versions (its result can never
+        // satisfy this snapshot, so waiting would be pure loss).
         if let Some(&owner) = st.in_flight.get(&id) {
-            if owner != self.qid && !self.ignore_stall.contains(&id) {
+            if owner != self.qid
+                && !self.ignore_stall.contains(&id)
+                && self.producer_epochs_match(st, id)
+            {
                 return Err(id);
             }
         }
@@ -494,15 +630,27 @@ impl<'a> RewriteRun<'a> {
         if let Some(speculative) = self.store_decision(st, plan, id, is_root) {
             let tag = st.next_tag;
             st.next_tag += 1;
+            let base_epochs = st
+                .graph
+                .node(id)
+                .tables
+                .iter()
+                .map(|t| (t.clone(), (self.epoch_of)(t)))
+                .collect();
             st.tags.insert(
                 tag,
                 TagEntry::StoreTarget {
                     node: id,
+                    qid: self.qid,
                     speculative,
+                    base_epochs,
                     last_est: None,
                     resolved: None,
                 },
             );
+            // May overwrite a stale-epoch producer's marker (that is the
+            // supersession store_decision allowed); owner-checked release
+            // keeps the superseded producer from clearing ours.
             st.in_flight.insert(id, self.qid);
             self.tags.push(tag);
             self.events.push(RecyclerEvent::StoreInjected {
@@ -526,7 +674,22 @@ impl<'a> RewriteRun<'a> {
         Ok(rebuilt)
     }
 
-    /// Substitute a materialized subsuming result if one exists.
+    /// Whether the query currently materializing `id` pinned the same
+    /// base-table epochs as this query (stalling on a producer from
+    /// another snapshot can never pay off).
+    fn producer_epochs_match(&self, st: &State, id: NodeId) -> bool {
+        st.tags.values().any(|t| {
+            matches!(
+                t,
+                TagEntry::StoreTarget { node, base_epochs, resolved: None, .. }
+                    if *node == id
+                        && base_epochs.iter().all(|(t, e)| (self.epoch_of)(t) == *e)
+            )
+        })
+    }
+
+    /// Substitute a materialized subsuming result if one exists and is
+    /// fresh for this query's snapshot.
     fn try_subsumption(&mut self, st: &mut State, plan: &Plan, id: NodeId) -> Option<Plan> {
         let edge = st
             .graph
@@ -534,6 +697,9 @@ impl<'a> RewriteRun<'a> {
             .first()
             .map(|e| (*e).clone())?;
         let entry = st.cache.get(edge.subsumer)?;
+        if !self.entry_fresh(entry) {
+            return None;
+        }
         let result = entry.result.clone();
         let schema = st.graph.node(edge.subsumer).schema.clone();
         let tag = new_lease(st, result);
@@ -595,12 +761,18 @@ impl<'a> RewriteRun<'a> {
     /// `Some(speculative)` to inject.
     fn store_decision(&self, st: &State, plan: &Plan, id: NodeId, is_root: bool) -> Option<bool> {
         // Never re-materialize a base-table copy, and never store what is
-        // already cached or being produced.
+        // already cached or being produced *at our epochs*. A producer
+        // pinned at superseded epochs does not block us: its publish will
+        // be rejected by the epoch gate, and without our own store the
+        // first fresh result after a write would never repopulate the
+        // cache.
         if matches!(plan, Plan::Scan { .. }) {
             return None;
         }
         let node = st.graph.node(id);
-        if node.materialized || st.in_flight.contains_key(&id) {
+        if node.materialized
+            || (st.in_flight.contains_key(&id) && self.producer_epochs_match(st, id))
+        {
             return None;
         }
         if node.stats.measured {
@@ -677,15 +849,39 @@ impl ResultStore for Recycler {
         let mut st = self.state.lock();
         let Some(TagEntry::StoreTarget {
             node,
+            qid,
             speculative,
+            base_epochs,
             last_est,
             resolved,
         }) = st.tags.get(&tag)
         else {
             return;
         };
-        let (node, speculative, last_est) = (*node, *speculative, last_est.clone());
+        let (node, qid, speculative, last_est) = (*node, *qid, *speculative, last_est.clone());
+        let base_epochs = base_epochs.clone();
         if resolved.is_some() {
+            return;
+        }
+        // Freshness gate: if any base table committed a *newer* epoch than
+        // the one this query pinned, the produced result is a snapshot of
+        // the past — discard it instead of poisoning the cache (this
+        // closes the publish-after-invalidate race). A producer pinned
+        // *ahead* of the last invalidation (`e > cur`: it read a version
+        // whose invalidate call hasn't run yet) is fresh, not stale —
+        // `invalidate` spares such entries when it catches up.
+        let stale = base_epochs
+            .iter()
+            .any(|(t, e)| st.table_epochs.get(t).is_some_and(|cur| cur > e));
+        if stale {
+            self.stats.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
+            if let Some(TagEntry::StoreTarget { resolved, .. }) = st.tags.get_mut(&tag) {
+                *resolved = Some(StoreOutcome::Abandoned);
+            }
+            st.release_in_flight(node, qid);
+            drop(st);
+            self.resolved_cond.notify_all();
             return;
         }
         let bytes = result.size_bytes as u64;
@@ -699,12 +895,19 @@ impl ResultStore for Recycler {
             let cost = last_est.as_ref().map(|e| e.est_cost_ns).unwrap_or(0.0);
             cost * self.config.spec_h / bytes.max(1) as f64
         };
-        let admitted = match st.cache.insert(node, Arc::new(result), benefit) {
+        let admitted = match st
+            .cache
+            .insert(node, Arc::new(result), benefit, base_epochs)
+        {
             Some(evicted) => {
                 for e in evicted {
                     st.graph.on_evicted(e, alpha);
                 }
-                st.graph.on_materialized(node, alpha);
+                // Guard against a concurrent duplicate publish (two fresh
+                // producers racing): Eq. 3's hR propagation must run once.
+                if !st.graph.node(node).materialized {
+                    st.graph.on_materialized(node, alpha);
+                }
                 true
             }
             None => false,
@@ -717,7 +920,7 @@ impl ResultStore for Recycler {
         if let Some(TagEntry::StoreTarget { resolved, .. }) = st.tags.get_mut(&tag) {
             *resolved = Some(StoreOutcome::Published { admitted, bytes });
         }
-        st.in_flight.remove(&node);
+        st.release_in_flight(node, qid);
         let _ = speculative;
         drop(st);
         self.resolved_cond.notify_all();
@@ -725,13 +928,19 @@ impl ResultStore for Recycler {
 
     fn abandon(&self, tag: u64) {
         let mut st = self.state.lock();
-        if let Some(TagEntry::StoreTarget { node, resolved, .. }) = st.tags.get_mut(&tag) {
-            let node = *node;
+        if let Some(TagEntry::StoreTarget {
+            node,
+            qid,
+            resolved,
+            ..
+        }) = st.tags.get_mut(&tag)
+        {
+            let (node, qid) = (*node, *qid);
             if resolved.is_none() {
                 *resolved = Some(StoreOutcome::Abandoned);
                 self.stats.abandoned.fetch_add(1, Ordering::Relaxed);
             }
-            st.in_flight.remove(&node);
+            st.release_in_flight(node, qid);
         }
         drop(st);
         self.resolved_cond.notify_all();

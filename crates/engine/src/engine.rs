@@ -14,10 +14,11 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use rdb_exec::FnRegistry;
+use rdb_expr::{eval_predicate, Expr};
 use rdb_plan::{Plan, PlanError};
 use rdb_recycler::{Recycler, RecyclerConfig, RecyclerEvent};
 use rdb_storage::Catalog;
-use rdb_vector::{Batch, Schema};
+use rdb_vector::{Batch, Schema, Value};
 
 use crate::session::Session;
 
@@ -172,6 +173,21 @@ impl QueryOutcome {
             .iter()
             .any(|e| matches!(e, RecyclerEvent::Stalled { .. }))
     }
+}
+
+/// The result of one committed DML statement.
+#[derive(Debug)]
+pub struct WriteOutcome {
+    /// The updated table.
+    pub table: String,
+    /// The epoch the write committed (every snapshot taken from here on
+    /// sees it).
+    pub epoch: u64,
+    /// Rows appended or deleted.
+    pub rows_affected: usize,
+    /// Cache entries the recycler evicted because they depended on the
+    /// updated table (empty when recycling is off).
+    pub invalidated: Vec<RecyclerEvent>,
 }
 
 /// A labelled query inside a stream (labels drive the per-pattern
@@ -370,6 +386,95 @@ impl Engine {
         }
     }
 
+    /// Append `rows` to a base table and commit a new epoch. In-flight
+    /// queries keep reading their pinned snapshots; the recycler evicts
+    /// exactly the cache entries that depended on `table`. An empty
+    /// `rows` is a no-op: no epoch is committed and nothing is
+    /// invalidated.
+    ///
+    /// DML visibility covers base-table scans only: a registered table
+    /// *function* (e.g. the SkyServer cone search) is a black box that
+    /// captures whatever inputs it was built with, so writes do not flow
+    /// into function-backed relations — rebuild the `FnRegistry` (and the
+    /// engine) to refresh them.
+    pub fn append(&self, table: &str, rows: &[Vec<Value>]) -> Result<WriteOutcome, PlanError> {
+        let vt = self
+            .catalog
+            .versioned(table)
+            .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
+        let snap = vt.append(rows).map_err(|e| PlanError(e.to_string()))?;
+        let invalidated = if rows.is_empty() {
+            Vec::new()
+        } else {
+            self.notify_update(table, snap.epoch())
+        };
+        Ok(WriteOutcome {
+            table: table.to_string(),
+            epoch: snap.epoch(),
+            rows_affected: rows.len(),
+            invalidated,
+        })
+    }
+
+    /// Delete every row of `table` matching `predicate` (named column
+    /// references resolved against the table's schema; NULL evaluates to
+    /// not-matched, as in a `WHERE` clause) and commit a new epoch. A
+    /// predicate matching no rows is a no-op: no epoch is committed and
+    /// nothing is invalidated. See [`Engine::append`] for the
+    /// table-function visibility caveat.
+    pub fn delete(&self, table: &str, predicate: &Expr) -> Result<WriteOutcome, PlanError> {
+        let vt = self
+            .catalog
+            .versioned(table)
+            .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
+        let bound = predicate.bind(vt.schema()).map_err(PlanError)?;
+        if bound.has_params() {
+            return Err(PlanError(format!(
+                "delete predicate for '{table}' contains unbound parameters; \
+                 substitute them first"
+            )));
+        }
+        let types: Vec<_> = vt.schema().fields().iter().map(|f| f.dtype).collect();
+        let dtype = bound.data_type(&types);
+        if dtype != rdb_vector::DataType::Bool {
+            return Err(PlanError(format!(
+                "delete predicate for '{table}' must be boolean, got {dtype}"
+            )));
+        }
+        // The mask is evaluated against the exact snapshot being replaced
+        // (VersionedTable::delete_where re-runs it if a concurrent writer
+        // commits first), so interleaved writers compose linearizably.
+        let all_cols: Vec<usize> = (0..vt.schema().len()).collect();
+        let (deleted, snap) = vt
+            .delete_where(|t| {
+                let mut mask = Vec::with_capacity(t.rows());
+                for b in t.batches(&all_cols) {
+                    mask.extend(eval_predicate(&bound, &b));
+                }
+                mask
+            })
+            .map_err(|e| PlanError(e.to_string()))?;
+        let invalidated = if deleted == 0 {
+            Vec::new() // no-op delete: no epoch committed, cache stays hot
+        } else {
+            self.notify_update(table, snap.epoch())
+        };
+        Ok(WriteOutcome {
+            table: table.to_string(),
+            epoch: snap.epoch(),
+            rows_affected: deleted,
+            invalidated,
+        })
+    }
+
+    /// Tell the recycler a table committed a new epoch.
+    fn notify_update(&self, table: &str, epoch: u64) -> Vec<RecyclerEvent> {
+        match &self.recycler {
+            Some(r) => r.invalidate(table, epoch),
+            None => Vec::new(),
+        }
+    }
+
     /// Acquire an admission slot, blocking while the engine is at its
     /// concurrency limit.
     pub(crate) fn admit(&self) -> GateGuard {
@@ -459,7 +564,7 @@ mod tests {
         for i in 0..rows {
             b.push_row(vec![Value::Int(i % 50), Value::Float(i as f64)]);
         }
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         Arc::new(cat)
     }
 

@@ -18,6 +18,7 @@ pub mod session;
 
 pub use engine::{
     Engine, EngineBuilder, EngineConfig, QueryOutcome, QueryRecord, StreamsReport, WorkloadQuery,
+    WriteOutcome,
 };
 pub use materializing::{MatOutcome, MaterializingEngine};
 pub use session::{

@@ -289,7 +289,7 @@ mod tests {
         for i in 0..5000i64 {
             b.push_row(vec![Value::Int(i % 20), Value::Float(i as f64)]);
         }
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         Arc::new(cat)
     }
 

@@ -22,12 +22,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rdb_exec::{build, ExecContext, ExecStream, ResultStore};
-use rdb_expr::Params;
-use rdb_plan::{structural_hash, Plan, PlanError};
+use rdb_expr::{Expr, Params};
+use rdb_plan::{structural_hash_at, Plan, PlanError};
 use rdb_recycler::{PreparedQuery, Recycler, RecyclerEvent};
-use rdb_vector::{Batch, Schema};
+use rdb_storage::CatalogSnapshot;
+use rdb_vector::{Batch, Schema, Value};
 
-use crate::engine::{Engine, GateGuard, QueryOutcome};
+use crate::engine::{Engine, GateGuard, QueryOutcome, WriteOutcome};
 
 /// Monotonic counters describing one session's activity.
 #[derive(Debug, Default)]
@@ -42,6 +43,12 @@ pub struct SessionStats {
     pub aborted: AtomicU64,
     /// Result rows streamed to the client.
     pub rows: AtomicU64,
+    /// DML statements committed (appends + deletes).
+    pub writes: AtomicU64,
+    /// Rows appended by this session.
+    pub rows_appended: AtomicU64,
+    /// Rows deleted by this session.
+    pub rows_deleted: AtomicU64,
     /// Total engine execution time, nanoseconds: preparation plus batch
     /// pulls; queue wait and client think-time between pulls excluded.
     pub wall_ns: AtomicU64,
@@ -56,6 +63,9 @@ impl SessionStats {
             reused: self.reused.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            rows_appended: self.rows_appended.load(Ordering::Relaxed),
+            rows_deleted: self.rows_deleted.load(Ordering::Relaxed),
             wall: Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
         }
     }
@@ -74,6 +84,12 @@ pub struct SessionStatsSnapshot {
     pub aborted: u64,
     /// Result rows streamed.
     pub rows: u64,
+    /// DML statements committed.
+    pub writes: u64,
+    /// Rows appended.
+    pub rows_appended: u64,
+    /// Rows deleted.
+    pub rows_deleted: u64,
     /// Total engine execution time (see [`SessionStats::wall_ns`]).
     pub wall: Duration,
 }
@@ -141,7 +157,7 @@ impl Session {
             // prepare time, not execute time).
             template.schema(&self.engine.catalog)?;
         }
-        let fingerprint = structural_hash(&template);
+        let fingerprint = fingerprint_against(&template, &self.engine.catalog);
         let param_names = template.param_names();
         self.stats.prepared.fetch_add(1, Ordering::Relaxed);
         Ok(Prepared {
@@ -157,6 +173,36 @@ impl Session {
     pub fn query(&self, plan: &Plan) -> Result<QueryHandle, PlanError> {
         self.prepare(plan)?.execute(&Params::none())
     }
+
+    /// Append `rows` to a base table, committing a new epoch and
+    /// invalidating exactly the dependent recycler cache entries. Queries
+    /// already executing keep their pinned snapshots.
+    pub fn append(&self, table: &str, rows: &[Vec<Value>]) -> Result<WriteOutcome, PlanError> {
+        let out = self.engine.append(table, rows)?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rows_appended
+            .fetch_add(out.rows_affected as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Delete the rows of `table` matching `predicate` (see
+    /// [`Engine::delete`]), committing a new epoch with the same
+    /// invalidation semantics as [`Session::append`].
+    pub fn delete(&self, table: &str, predicate: &Expr) -> Result<WriteOutcome, PlanError> {
+        let out = self.engine.delete(table, predicate)?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rows_deleted
+            .fetch_add(out.rows_affected as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+}
+
+/// The template's version-aware fingerprint against the catalog's current
+/// table epochs.
+fn fingerprint_against(template: &Plan, catalog: &rdb_storage::Catalog) -> u64 {
+    structural_hash_at(template, &|t| catalog.epoch_of(t).unwrap_or(0))
 }
 
 /// Check every base-table scan in the subtree against the catalog (table
@@ -186,12 +232,20 @@ impl Prepared {
         &self.template
     }
 
-    /// Structural fingerprint of the template (computed once at prepare
-    /// time; parameter slots hash as placeholders, so two preparations of
-    /// the same template share a fingerprint regardless of the values later
-    /// bound).
+    /// Structural fingerprint of the template, incorporating the epoch of
+    /// every scanned base table as of prepare time. Parameter slots hash
+    /// as placeholders, so two preparations of the same template against
+    /// the same table versions share a fingerprint regardless of the
+    /// values later bound — while a DML commit in between changes it.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The template's fingerprint against the catalog's *current* table
+    /// epochs. Differs from [`Prepared::fingerprint`] iff a scanned table
+    /// has been updated since this statement was prepared.
+    pub fn fingerprint_now(&self) -> u64 {
+        fingerprint_against(&self.template, &self.engine.catalog)
     }
 
     /// Names of the template's parameter slots, in first-occurrence order.
@@ -271,15 +325,24 @@ impl Prepared {
         let engine = &self.engine;
         let started_at = engine.epoch.elapsed();
         let start = Instant::now();
+        // Pin the snapshot *before* the recycler rewrite: the rewrite's
+        // freshness checks, the store targets' epoch records, and every
+        // scan must all agree on one epoch vector, or a write landing
+        // mid-preparation could mix versions within a single query.
+        let snapshot = Arc::new(engine.catalog.snapshot());
         let (stream, recycler) = match &engine.recycler {
             None => {
                 let ctx = ExecContext::new(engine.catalog.clone())
+                    .with_snapshot(snapshot.clone())
                     .with_functions(engine.functions.clone());
                 (build(concrete, &ctx)?.into_stream(), None)
             }
             Some(recycler) => {
-                let prepared = recycler.prepare(concrete, &engine.catalog);
+                let prepared = recycler.prepare_at(concrete, &engine.catalog, &|t| {
+                    snapshot.epoch_of(t).unwrap_or(0)
+                });
                 let ctx = ExecContext::new(engine.catalog.clone())
+                    .with_snapshot(snapshot.clone())
                     .with_functions(engine.functions.clone())
                     .with_store(recycler.clone() as Arc<dyn ResultStore>);
                 // A build failure after recycler.prepare must release the
@@ -302,6 +365,7 @@ impl Prepared {
         };
         Ok(QueryHandle {
             stream,
+            snapshot,
             recycler,
             events,
             match_ns,
@@ -322,6 +386,7 @@ impl Prepared {
 /// docs for the lifecycle.
 pub struct QueryHandle {
     stream: ExecStream,
+    snapshot: Arc<CatalogSnapshot>,
     recycler: Option<(Arc<Recycler>, PreparedQuery)>,
     events: Vec<RecyclerEvent>,
     match_ns: u64,
@@ -344,6 +409,15 @@ impl QueryHandle {
     /// Result schema.
     pub fn schema(&self) -> &Schema {
         self.stream.schema()
+    }
+
+    /// The catalog snapshot this query reads: every scan (and every cached
+    /// result substituted by the recycler) reflects exactly these table
+    /// versions, whatever DML commits while the stream is live. Re-running
+    /// the plan against [`CatalogSnapshot::to_catalog`] of this value
+    /// reproduces the result.
+    pub fn snapshot(&self) -> &Arc<CatalogSnapshot> {
+        &self.snapshot
     }
 
     /// Recycler events so far (rewrite-time immediately; completion events
@@ -489,7 +563,7 @@ mod tests {
         for i in 0..rows {
             b.push_row(vec![Value::Int(i % 50), Value::Float(i as f64)]);
         }
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         Arc::new(cat)
     }
 

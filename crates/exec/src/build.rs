@@ -52,10 +52,8 @@ fn build_node(
     Ok(match plan {
         Plan::Scan { table, cols } => {
             let t = ctx
-                .catalog
-                .get(table)
-                .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?
-                .clone();
+                .table(table)
+                .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
             let projection: Vec<usize> = cols
                 .iter()
                 .map(|c| {
@@ -242,7 +240,7 @@ mod tests {
                 Value::str(if i % 2 == 0 { "even" } else { "odd" }),
             ]);
         }
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         ExecContext::new(Arc::new(cat))
     }
 

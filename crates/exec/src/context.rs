@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rdb_storage::Catalog;
+use rdb_storage::{Catalog, CatalogSnapshot, Table};
 use rdb_vector::{Batch, Schema, Value};
 
 use crate::store::ResultStore;
@@ -48,8 +48,14 @@ impl FnRegistry {
 /// Everything the plan-to-executor builder needs.
 #[derive(Clone)]
 pub struct ExecContext {
-    /// Base tables.
+    /// Base tables (schemas, and current versions when no snapshot is
+    /// pinned).
     pub catalog: Arc<Catalog>,
+    /// Point-in-time table versions this execution reads. When set, every
+    /// scan resolves its table here, so the whole query sees one consistent
+    /// epoch vector regardless of concurrent DML; without it scans read
+    /// each table's current version at build time.
+    pub snapshot: Option<Arc<CatalogSnapshot>>,
     /// Table functions.
     pub functions: Arc<FnRegistry>,
     /// Recycler cache hook; `None` runs without recycling (store operators
@@ -62,6 +68,7 @@ impl ExecContext {
     pub fn new(catalog: Arc<Catalog>) -> Self {
         ExecContext {
             catalog,
+            snapshot: None,
             functions: Arc::new(FnRegistry::new()),
             store: None,
         }
@@ -77,6 +84,21 @@ impl ExecContext {
     pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
         self.store = Some(store);
         self
+    }
+
+    /// Pin this execution to a catalog snapshot.
+    pub fn with_snapshot(mut self, snapshot: Arc<CatalogSnapshot>) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Resolve the table version scans must read: the pinned snapshot's if
+    /// one is set, the catalog's current version otherwise.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        match &self.snapshot {
+            Some(s) => s.get(name).cloned(),
+            None => self.catalog.get(name),
+        }
     }
 }
 

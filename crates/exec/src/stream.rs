@@ -112,7 +112,7 @@ mod tests {
         for i in 0..rows {
             b.push_row(vec![Value::Int(i as i64)]);
         }
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         ExecContext::new(Arc::new(cat))
     }
 

@@ -212,6 +212,25 @@ pub fn structural_hash(plan: &Plan) -> u64 {
     h.finish()
 }
 
+/// Version-aware fingerprint: [`structural_hash`] with each base-table
+/// scan additionally mixing in that table's epoch (as supplied by
+/// `epoch_of`, typically a catalog or snapshot lookup). Two structurally
+/// identical plans fingerprint differently iff any table they scan has
+/// been updated in between — the identity under which a cached result is
+/// valid for reuse (PAPER.md §V: cached intermediates must be invalidated
+/// when their base tables change).
+pub fn structural_hash_at(plan: &Plan, epoch_of: &dyn Fn(&str) -> u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(local_hash(plan));
+    if let Plan::Scan { table, .. } = plan {
+        h.write_u64(epoch_of(table));
+    }
+    for c in plan.children() {
+        h.write_u64(structural_hash_at(c, epoch_of));
+    }
+    h.finish()
+}
+
 /// The column-bitmask signature: one bit per base-table column read by the
 /// subtree (`hash(table.column) % 64`), unioned bottom-up. A candidate whose
 /// signature is missing a bit cannot provide all needed columns.
@@ -338,5 +357,45 @@ mod tests {
     fn fx_hash_stable() {
         assert_eq!(fx_hash(&42u64), fx_hash(&42u64));
         assert_ne!(fx_hash(&42u64), fx_hash(&43u64));
+    }
+
+    #[test]
+    fn epoch_aware_fingerprint_tracks_table_versions() {
+        let q = base().limit(10);
+        let at = |e_li: u64| structural_hash_at(&q, &|t| if t == "lineitem" { e_li } else { 0 });
+        // Same epochs → same fingerprint, and stable across calls.
+        assert_eq!(at(0), at(0));
+        // An epoch bump on a scanned table changes the fingerprint.
+        assert_ne!(at(0), at(1));
+        // An epoch bump on an *unscanned* table does not.
+        let with_orders = |e_o: u64| {
+            structural_hash_at(&q, &|t| match t {
+                "orders" => e_o,
+                _ => 3,
+            })
+        };
+        assert_eq!(with_orders(5), with_orders(9));
+    }
+
+    #[test]
+    fn base_tables_deduplicated_in_order() {
+        let q = scan("lineitem", &["l_qty"])
+            .inner_join(
+                scan("part", &["p_key"]),
+                vec![Expr::col(0)],
+                vec![Expr::col(0)],
+            )
+            .inner_join(
+                scan("lineitem", &["l_qty"]),
+                vec![Expr::col(0)],
+                vec![Expr::col(0)],
+            );
+        assert_eq!(q.base_tables(), vec!["lineitem", "part"]);
+        // Cached reads carry no base-table dependency of their own.
+        let cached = Plan::Cached {
+            tag: 1,
+            schema: rdb_vector::Schema::new(vec![]),
+        };
+        assert!(cached.base_tables().is_empty());
     }
 }

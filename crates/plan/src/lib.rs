@@ -25,6 +25,7 @@ pub mod node;
 
 pub use builder::{fn_scan, fn_scan_exprs, scan, union_all};
 pub use fingerprint::{
-    fx_hash, kind_tag, local_eq, local_hash, signature, structural_eq, structural_hash, FxHasher,
+    fx_hash, kind_tag, local_eq, local_hash, signature, structural_eq, structural_hash,
+    structural_hash_at, FxHasher,
 };
 pub use node::{JoinKind, Plan, PlanError, SortKeyExpr, StoreMode};

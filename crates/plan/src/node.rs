@@ -385,6 +385,25 @@ impl Plan {
         }
     }
 
+    /// Names of every base table scanned in the subtree, deduplicated in
+    /// first-occurrence order. The recycler keys invalidation and cache
+    /// freshness on this set.
+    pub fn base_tables(&self) -> Vec<String> {
+        fn go(plan: &Plan, out: &mut Vec<String>) {
+            if let Plan::Scan { table, .. } = plan {
+                if !out.iter().any(|t| t == table) {
+                    out.push(table.clone());
+                }
+            }
+            for c in plan.children() {
+                go(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+
     /// Number of plan nodes in the subtree.
     pub fn node_count(&self) -> usize {
         1 + self
@@ -894,11 +913,11 @@ mod tests {
         ]);
         let mut b = TableBuilder::new("lineitem", schema, 1);
         b.push_row(vec![Value::Int(1), Value::Float(10.0), Value::Date(0)]);
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         let schema = Schema::from_pairs([("o_id", DataType::Int), ("o_flag", DataType::Str)]);
         let mut b = TableBuilder::new("orders", schema, 1);
         b.push_row(vec![Value::Int(1), Value::str("F")]);
-        cat.register(b.finish());
+        cat.register(b.finish()).expect("register table");
         cat
     }
 

@@ -83,7 +83,7 @@ pub fn generate(config: &SkyConfig) -> Arc<Catalog> {
             Value::Float(rng.gen_range(14.0..24.0)),
         ]);
     }
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     Arc::new(cat)
 }
 

@@ -1,13 +1,39 @@
-//! In-memory columnar storage: tables and the catalog.
+//! In-memory columnar storage: versioned tables and the catalog.
 //!
 //! Base tables are fully resident columnar arrays (the paper's evaluation
 //! uses warm runs with the working set in the buffer pool, so an in-memory
-//! store preserves the relevant behaviour). Tables are immutable once
-//! loaded; the recycler paper leaves update handling out of scope (§II) and
-//! so do we, apart from explicit cache flushes.
+//! store preserves the relevant behaviour). Unlike the paper — which
+//! leaves update handling out of scope (§II) apart from noting that cached
+//! results must be invalidated when their base tables change (§V) — tables
+//! here are **mutable through versioning**:
+//!
+//! * [`Table`] is one immutable, epoch-stamped snapshot; its columns are
+//!   `Arc`-shared, so holding a snapshot costs nothing and survives any
+//!   number of later commits;
+//! * [`VersionedTable`] is the mutable wrapper: `append`/`delete_where`
+//!   commit a new snapshot with the epoch bumped by one, while concurrent
+//!   readers keep their pinned version (O(1) snapshot reads, no torn
+//!   scans);
+//! * [`Catalog`] maps names to versioned tables and hands out
+//!   [`CatalogSnapshot`]s — the per-query unit of consistency whose epoch
+//!   vector also keys the recycler's cache-freshness checks.
+
+use std::fmt;
 
 pub mod catalog;
 pub mod table;
 
-pub use catalog::Catalog;
-pub use table::{Table, TableBuilder};
+pub use catalog::{Catalog, CatalogSnapshot};
+pub use table::{Table, TableBuilder, VersionedTable};
+
+/// Errors from catalog registration and table mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageError(pub String);
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -255,7 +255,7 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
     for (i, name) in REGIONS.iter().enumerate() {
         region.push_row(vec![Value::Int(i as i64), Value::str(*name)]);
     }
-    cat.register(region.finish());
+    cat.register(region.finish()).expect("register table");
 
     // nation
     let mut nation = TableBuilder::new(
@@ -274,7 +274,7 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
             Value::Int(*region as i64),
         ]);
     }
-    cat.register(nation.finish());
+    cat.register(nation.finish()).expect("register table");
 
     // supplier
     let n_supp = config.count(10_000.0);
@@ -313,7 +313,7 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
             Value::str(s_comment),
         ]);
     }
-    cat.register(supplier.finish());
+    cat.register(supplier.finish()).expect("register table");
 
     // part
     let n_part = config.count(200_000.0);
@@ -358,7 +358,7 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
             Value::Float(900.0 + (i % 1000) as f64 / 10.0),
         ]);
     }
-    cat.register(part.finish());
+    cat.register(part.finish()).expect("register table");
 
     // partsupp: 4 suppliers per part.
     let mut partsupp = TableBuilder::new(
@@ -382,7 +382,7 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
             ]);
         }
     }
-    cat.register(partsupp.finish());
+    cat.register(partsupp.finish()).expect("register table");
 
     // customer
     let n_cust = config.count(150_000.0);
@@ -412,7 +412,7 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
             Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
         ]);
     }
-    cat.register(customer.finish());
+    cat.register(customer.finish()).expect("register table");
 
     // orders + lineitem
     let n_orders = config.count(1_500_000.0);
@@ -509,8 +509,8 @@ pub fn generate(config: &TpchConfig) -> Arc<Catalog> {
             Value::str(comment(&mut rng, 6)),
         ]);
     }
-    cat.register(orders.finish());
-    cat.register(lineitem.finish());
+    cat.register(orders.finish()).expect("register table");
+    cat.register(lineitem.finish()).expect("register table");
 
     Arc::new(cat)
 }

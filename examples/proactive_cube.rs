@@ -41,7 +41,7 @@ fn catalog() -> Arc<Catalog> {
             )),
         ]);
     }
-    cat.register(t.finish());
+    cat.register(t.finish()).expect("register table");
     Arc::new(cat)
 }
 

@@ -29,7 +29,7 @@ fn main() {
             Value::Float((i % 997) as f64 * 0.25),
         ]);
     }
-    catalog.register(t.finish());
+    catalog.register(t.finish()).expect("register table");
 
     // ---- 2. Engine with recycling on (speculation mode) ----------------
     let engine = Engine::builder(Arc::new(catalog)).build();

@@ -9,7 +9,8 @@
 //! * [`vector`] — columnar batches, values, schemas;
 //! * [`expr`] — vectorized expressions, parameter placeholders, and range
 //!   analysis;
-//! * [`storage`] — in-memory tables and the catalog;
+//! * [`storage`] — versioned in-memory tables (epoch-stamped
+//!   append/delete with O(1) snapshot reads) and the catalog;
 //! * [`plan`] — logical query trees with structural fingerprints and
 //!   parameter slots;
 //! * [`exec`] — the pipelined vector-at-a-time executor (incl. the `store`
@@ -47,7 +48,7 @@
 //! for (i, a) in [(1, 10.0), (1, 20.0), (2, 5.0), (2, 2.5)] {
 //!     t.push_row(vec![Value::Int(i), Value::Float(a)]);
 //! }
-//! catalog.register(t.finish());
+//! catalog.register(t.finish()).expect("register table");
 //!
 //! // An engine with recycling on, and a session over it.
 //! let engine = Engine::builder(Arc::new(catalog)).build();
@@ -71,6 +72,14 @@
 //! assert!(second.reused());
 //! let batch = second.collect_batch();
 //! assert_eq!(batch.column(0).as_floats(), &[30.0]);
+//!
+//! // Updates commit a new table epoch; the recycler invalidates exactly
+//! // the cache entries that depended on the table, and the next
+//! // execution computes fresh against the new version.
+//! session.append("sales", &[vec![Value::Int(1), Value::Float(70.0)]]).unwrap();
+//! let after = prepared.execute(&params).unwrap();
+//! assert!(!after.reused());
+//! assert_eq!(after.collect_batch().column(0).as_floats(), &[100.0]);
 //! ```
 
 pub use rdb_engine as engine;

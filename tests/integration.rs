@@ -29,7 +29,7 @@ fn catalog(rows: i64) -> Arc<Catalog> {
             Value::str(["x", "y", "z"][(i % 3) as usize]),
         ]);
     }
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     Arc::new(cat)
 }
 

@@ -278,7 +278,7 @@ fn cache_respects_capacity() {
                 Schema::from_pairs([("x", DataType::Int)]),
                 &[Batch::new(vec![col])],
             ));
-            let _ = cache.insert(NodeId(i as u32), r, b);
+            let _ = cache.insert(NodeId(i as u32), r, b, vec![]);
             assert!(cache.used() <= 2_000, "over budget: {}", cache.used());
         }
         // Flush empties completely.

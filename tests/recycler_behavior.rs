@@ -17,7 +17,7 @@ fn catalog(rows: i64) -> Arc<Catalog> {
     for i in 0..rows {
         b.push_row(vec![Value::Int(i % 64), Value::Float((i % 171) as f64)]);
     }
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     Arc::new(cat)
 }
 

@@ -49,7 +49,7 @@ fn small_catalog(rows: usize) -> Arc<Catalog> {
         ]);
     }
     let mut cat = Catalog::new();
-    cat.register(b.finish());
+    cat.register(b.finish()).expect("register table");
     Arc::new(cat)
 }
 
@@ -287,7 +287,7 @@ fn selected_execution_matches_ground_truth_with_nulls() {
             raw.push((a, b));
         }
         let mut cat = Catalog::new();
-        cat.register(tb.finish());
+        cat.register(tb.finish()).expect("register table");
         let engine = Engine::builder(Arc::new(cat)).no_recycler().build();
         let cut = r.gen_range(-20i64..20);
         // NULL a collapses to false at the filter boundary.
