@@ -237,6 +237,40 @@ impl RecyclerGraph {
         }
     }
 
+    /// Read-only exact lookup: the graph node whose subtree structurally
+    /// equals `plan`, if one exists. Same candidate walk as
+    /// [`RecyclerGraph::match_or_insert`], but inserts nothing and bumps
+    /// no statistics — used by diagnostics (`EXPLAIN`) to report recycler
+    /// state without perturbing it.
+    pub fn find_exact(&self, plan: &Plan) -> Option<NodeId> {
+        if matches!(plan, Plan::Store { .. } | Plan::Cached { .. }) {
+            return None;
+        }
+        let child_ids: Vec<NodeId> = plan
+            .children()
+            .iter()
+            .map(|c| self.find_exact(c))
+            .collect::<Option<_>>()?;
+        let key = local_hash(plan);
+        let sig = signature(plan);
+        if child_ids.is_empty() {
+            self.leaf_index.get(&key).and_then(|cands| {
+                cands.iter().copied().find(|&c| {
+                    let n = self.node(c);
+                    n.signature == sig && local_eq(&n.subtree, plan)
+                })
+            })
+        } else {
+            let first = child_ids[0];
+            self.node(first).parents.get(&key).and_then(|cands| {
+                cands.iter().copied().find(|&p| {
+                    let n = self.node(p);
+                    n.signature == sig && n.children == child_ids && local_eq(&n.subtree, plan)
+                })
+            })
+        }
+    }
+
     fn insert_node(
         &mut self,
         plan: &Plan,

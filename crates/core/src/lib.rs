@@ -63,4 +63,4 @@ pub mod recycler;
 pub use cache::{CacheEntry, RecyclerCache};
 pub use config::{CostModel, RecyclerConfig, RecyclerMode};
 pub use graph::{Derivation, MatchTree, NodeId, RecyclerGraph, SubsumptionEdge};
-pub use recycler::{PreparedQuery, Recycler, RecyclerEvent, RecyclerStats};
+pub use recycler::{CacheState, PreparedQuery, Recycler, RecyclerEvent, RecyclerStats};

@@ -526,6 +526,52 @@ impl Recycler {
     pub fn with_graph<R>(&self, f: impl FnOnce(&RecyclerGraph) -> R) -> R {
         f(&self.state.lock().graph)
     }
+
+    /// Read-only probe of one subplan's recycler state (for `EXPLAIN`):
+    /// does the graph know this exact subtree, and if so, is its result
+    /// cached right now, being materialized by a live query, or neither?
+    /// Inserts nothing and bumps no reference statistics.
+    pub fn probe(&self, plan: &Plan) -> CacheState {
+        let st = self.state.lock();
+        match st.graph.find_exact(plan) {
+            None => CacheState::Unknown,
+            Some(id) => {
+                if st.cache.contains(id) {
+                    CacheState::Cached
+                } else if st.in_flight.contains_key(&id) {
+                    CacheState::InFlight
+                } else {
+                    CacheState::Cold
+                }
+            }
+        }
+    }
+}
+
+/// Result of [`Recycler::probe`]: the recycler-side status of one subplan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// A materialized result is in the cache; an execution would reuse it.
+    Cached,
+    /// A concurrent query is materializing this result right now; an
+    /// execution would stall on it.
+    InFlight,
+    /// The graph knows the subtree but holds no result for it.
+    Cold,
+    /// The subtree has never been seen by the recycler.
+    Unknown,
+}
+
+impl CacheState {
+    /// Short label for plan annotations.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheState::Cached => "cached",
+            CacheState::InFlight => "in-flight",
+            CacheState::Cold => "cold",
+            CacheState::Unknown => "cold",
+        }
+    }
 }
 
 /// Walk the (query plan, match tree) pair and bump references on

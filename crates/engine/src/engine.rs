@@ -401,8 +401,8 @@ impl Engine {
         let vt = self
             .catalog
             .versioned(table)
-            .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
-        let snap = vt.append(rows).map_err(|e| PlanError(e.to_string()))?;
+            .ok_or_else(|| PlanError::unknown_table(table))?;
+        let snap = vt.append(rows).map_err(|e| PlanError::msg(e.to_string()))?;
         let invalidated = if rows.is_empty() {
             Vec::new()
         } else {
@@ -426,10 +426,10 @@ impl Engine {
         let vt = self
             .catalog
             .versioned(table)
-            .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
-        let bound = predicate.bind(vt.schema()).map_err(PlanError)?;
+            .ok_or_else(|| PlanError::unknown_table(table))?;
+        let bound = predicate.bind(vt.schema()).map_err(PlanError::from)?;
         if bound.has_params() {
-            return Err(PlanError(format!(
+            return Err(PlanError::msg(format!(
                 "delete predicate for '{table}' contains unbound parameters; \
                  substitute them first"
             )));
@@ -437,9 +437,11 @@ impl Engine {
         let types: Vec<_> = vt.schema().fields().iter().map(|f| f.dtype).collect();
         let dtype = bound.data_type(&types);
         if dtype != rdb_vector::DataType::Bool {
-            return Err(PlanError(format!(
-                "delete predicate for '{table}' must be boolean, got {dtype}"
-            )));
+            return Err(PlanError::type_mismatch(
+                "boolean",
+                dtype.to_string(),
+                format!("delete predicate for '{table}'"),
+            ));
         }
         // The mask is evaluated against the exact snapshot being replaced
         // (VersionedTable::delete_where re-runs it if a concurrent writer
@@ -453,7 +455,7 @@ impl Engine {
                 }
                 mask
             })
-            .map_err(|e| PlanError(e.to_string()))?;
+            .map_err(|e| PlanError::msg(e.to_string()))?;
         let invalidated = if deleted == 0 {
             Vec::new() // no-op delete: no epoch committed, cache stays hot
         } else {

@@ -22,5 +22,5 @@ pub use engine::{
 };
 pub use materializing::{MatOutcome, MaterializingEngine};
 pub use session::{
-    BatchStream, Prepared, QueryHandle, Session, SessionStats, SessionStatsSnapshot,
+    BatchStream, Prepared, QueryHandle, Session, SessionStats, SessionStatsSnapshot, SqlOutcome,
 };

@@ -25,6 +25,7 @@ use rdb_exec::{build, ExecContext, ExecStream, ResultStore};
 use rdb_expr::{Expr, Params};
 use rdb_plan::{structural_hash_at, Plan, PlanError};
 use rdb_recycler::{PreparedQuery, Recycler, RecyclerEvent};
+use rdb_sql::{BoundStatement, CatalogWithFunctions, Span, SqlError};
 use rdb_storage::CatalogSnapshot;
 use rdb_vector::{Batch, Schema, Value};
 
@@ -126,7 +127,7 @@ impl Session {
         if let Some(name) = plan.param_in_typed_position() {
             // Schema derivation (which binding needs) would have to type
             // the placeholder; reject up front rather than panic inside it.
-            return Err(PlanError(format!(
+            return Err(PlanError::msg(format!(
                 "parameter '{name}' appears in a projection or aggregate \
                  expression; its type is unknown before binding — move the \
                  parameter into a predicate, or substitute before preparing"
@@ -141,10 +142,9 @@ impl Session {
             // bind() resolves every legal named reference; anything left is
             // structurally unresolvable (e.g. a column name in a
             // table-function argument, which has no input schema).
-            return Err(PlanError(
+            return Err(PlanError::msg(
                 "plan contains unresolvable named column references \
-                 (table-function arguments cannot reference columns)"
-                    .into(),
+                 (table-function arguments cannot reference columns)",
             ));
         }
         if template.has_params() {
@@ -157,6 +157,11 @@ impl Session {
             // prepare time, not execute time).
             template.schema(&self.engine.catalog)?;
         }
+        // Canonicalize before fingerprinting: every prepared statement —
+        // SQL text or hand-built — passes through the same normalization,
+        // so equivalent variants (reordered conjuncts, flipped
+        // comparisons, redundant projections) share recycler-graph nodes.
+        let template = rdb_plan::normalize(&template, &self.engine.catalog);
         let fingerprint = fingerprint_against(&template, &self.engine.catalog);
         let param_names = template.param_names();
         self.stats.prepared.fetch_add(1, Ordering::Relaxed);
@@ -172,6 +177,86 @@ impl Session {
     /// Prepare-and-execute convenience for a parameter-free plan.
     pub fn query(&self, plan: &Plan) -> Result<QueryHandle, PlanError> {
         self.prepare(plan)?.execute(&Params::none())
+    }
+
+    /// Prepare a query written as SQL text. The statement is parsed,
+    /// bound against the catalog (scans pruned to referenced columns),
+    /// normalized, and fingerprinted exactly like a builder-built plan —
+    /// a SQL template and its hand-assembled equivalent share recycler
+    /// cache entries. `$name` placeholders become named parameters; `?`
+    /// placeholders are numbered `"1"`, `"2"`, … left to right.
+    ///
+    /// Only queries can be *prepared*; route `INSERT` / `DELETE` text
+    /// through [`Session::sql`].
+    pub fn prepare_sql(&self, text: &str) -> Result<Prepared, SqlError> {
+        let provider = CatalogWithFunctions {
+            catalog: &self.engine.catalog,
+            functions: &self.engine.functions,
+        };
+        match rdb_sql::compile(text, &provider)? {
+            BoundStatement::Query(plan) => self
+                .prepare(&plan)
+                .map_err(|e| SqlError::from_plan(whole_span(text), e)),
+            BoundStatement::Insert { .. } | BoundStatement::Delete { .. } => Err(SqlError::bind(
+                whole_span(text),
+                "prepare_sql prepares queries; execute INSERT/DELETE through Session::sql",
+            )),
+        }
+    }
+
+    /// Parse and execute one SQL statement with the given parameter
+    /// bindings. Queries return a streaming [`QueryHandle`] (via
+    /// [`SqlOutcome::Rows`]); `INSERT`/`DELETE` commit through the DML
+    /// path — epoch bump, precise recycler invalidation — and return the
+    /// [`WriteOutcome`].
+    pub fn sql(&self, text: &str, params: &Params) -> Result<SqlOutcome, SqlError> {
+        let provider = CatalogWithFunctions {
+            catalog: &self.engine.catalog,
+            functions: &self.engine.functions,
+        };
+        let wrap = |e: PlanError| SqlError::from_plan(whole_span(text), e);
+        match rdb_sql::compile(text, &provider)? {
+            BoundStatement::Query(plan) => {
+                let handle = self
+                    .prepare(&plan)
+                    .map_err(wrap)?
+                    .execute(params)
+                    .map_err(wrap)?;
+                Ok(SqlOutcome::Rows(handle))
+            }
+            BoundStatement::Insert { table, rows } => {
+                let mut concrete: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+                for row in &rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for cell in row {
+                        vals.push(match cell {
+                            Expr::Lit(v) => v.clone(),
+                            Expr::Param(n) => params
+                                .get(n)
+                                .cloned()
+                                .ok_or_else(|| wrap(PlanError::unbound_parameter(n)))?,
+                            other => {
+                                return Err(wrap(PlanError::msg(format!(
+                                    "non-constant INSERT cell {other}"
+                                ))))
+                            }
+                        });
+                    }
+                    concrete.push(vals);
+                }
+                self.append(&table, &concrete)
+                    .map(SqlOutcome::Write)
+                    .map_err(wrap)
+            }
+            BoundStatement::Delete { table, predicate } => {
+                let predicate = predicate
+                    .substitute_params(params)
+                    .map_err(|e| wrap(PlanError::from(e)))?;
+                self.delete(&table, &predicate)
+                    .map(SqlOutcome::Write)
+                    .map_err(wrap)
+            }
+        }
     }
 
     /// Append `rows` to a base table, committing a new epoch and
@@ -197,6 +282,50 @@ impl Session {
             .fetch_add(out.rows_affected as u64, Ordering::Relaxed);
         Ok(out)
     }
+}
+
+/// The result of one [`Session::sql`] call: rows for queries, a commit
+/// record for DML.
+// The handle variant is big, but the value is transient (matched once at
+// the call site); boxing it would tax the common query path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A query's streaming handle.
+    Rows(QueryHandle),
+    /// A committed write.
+    Write(WriteOutcome),
+}
+
+impl SqlOutcome {
+    /// The query handle, if this was a query.
+    pub fn into_rows(self) -> Option<QueryHandle> {
+        match self {
+            SqlOutcome::Rows(h) => Some(h),
+            SqlOutcome::Write(_) => None,
+        }
+    }
+
+    /// The write record, if this was DML.
+    pub fn into_write(self) -> Option<WriteOutcome> {
+        match self {
+            SqlOutcome::Write(w) => Some(w),
+            SqlOutcome::Rows(_) => None,
+        }
+    }
+
+    /// The query handle; panics on a write (use when the statement is
+    /// known to be a query).
+    pub fn expect_rows(self) -> QueryHandle {
+        self.into_rows()
+            .expect("statement was INSERT/DELETE, not a query")
+    }
+}
+
+/// Span covering a whole statement (engine-level errors have no finer
+/// position).
+fn whole_span(text: &str) -> Span {
+    Span::new(0, text.len())
 }
 
 /// The template's version-aware fingerprint against the catalog's current
@@ -226,6 +355,16 @@ pub struct Prepared {
     param_names: Vec<String>,
 }
 
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .field("param_names", &self.param_names)
+            .field("template", &self.template)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Prepared {
     /// The bound template (parameter placeholders intact).
     pub fn template(&self) -> &Plan {
@@ -251,6 +390,50 @@ impl Prepared {
     /// Names of the template's parameter slots, in first-occurrence order.
     pub fn param_names(&self) -> &[String] {
         &self.param_names
+    }
+
+    /// A formatted plan tree annotated, per node, with the subtree's
+    /// version-aware fingerprint and its recycler state right now:
+    /// `cached` (a materialized result would be reused), `in-flight` (a
+    /// concurrent query is producing it; an execution would stall on it),
+    /// or `cold`. The probe is read-only — rendering a plan perturbs no
+    /// recycler statistics.
+    ///
+    /// A parameterized template probes as `cold` below the parameterized
+    /// operators (the recycler caches concrete results); use
+    /// [`Prepared::explain_with`] to see the states a specific binding
+    /// would hit.
+    pub fn explain(&self) -> String {
+        self.render_explain(&self.template)
+    }
+
+    /// [`Prepared::explain`] for one concrete parameter binding.
+    pub fn explain_with(&self, params: &Params) -> Result<String, PlanError> {
+        Ok(self.render_explain(&self.template.substitute_params(params)?))
+    }
+
+    fn render_explain(&self, plan: &Plan) -> String {
+        use std::fmt::Write as _;
+        fn go(plan: &Plan, engine: &Engine, depth: usize, out: &mut String) {
+            let fp = fingerprint_against(plan, &engine.catalog);
+            let state = match &engine.recycler {
+                Some(r) => format!(" [{}]", r.probe(plan).label()),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{:indent$}{}  [fp {fp:016x}]{state}",
+                "",
+                plan.label(),
+                indent = depth * 2
+            );
+            for c in plan.children() {
+                go(c, engine, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        go(plan, &self.engine, 0, &mut out);
+        out
     }
 
     /// Execute with the given parameter bindings, returning a live,
@@ -296,15 +479,12 @@ impl Prepared {
     ) -> Result<std::borrow::Cow<'a, Plan>, PlanError> {
         for name in &self.param_names {
             if params.get(name).is_none() {
-                return Err(PlanError(format!(
-                    "missing binding for parameter '{name}' (template parameters: {:?})",
-                    self.param_names
-                )));
+                return Err(PlanError::unbound_parameter(name.clone()));
             }
         }
         for name in params.names() {
             if !self.param_names.iter().any(|n| n == name) {
-                return Err(PlanError(format!(
+                return Err(PlanError::msg(format!(
                     "unknown parameter '{name}' (template parameters: {:?})",
                     self.param_names
                 )));
@@ -404,6 +584,17 @@ pub struct QueryHandle {
 
 /// The streaming face of a [`QueryHandle`].
 pub type BatchStream = QueryHandle;
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("schema", &format_args!("{}", self.stream.schema()))
+            .field("rows_streamed", &self.rows)
+            .field("reused", &self.reused())
+            .field("completed", &self.completed)
+            .finish_non_exhaustive()
+    }
+}
 
 impl QueryHandle {
     /// Result schema.
@@ -694,7 +885,7 @@ mod tests {
         // Positional refs + params: no bind pass runs, but the unknown
         // table must still fail at prepare, not at first execute.
         let plan = scan("no_such_table", &["x"]).select(Expr::col(0).lt(Expr::param("p")));
-        let err = session.prepare(&plan).err().expect("must be rejected");
+        let err = session.prepare(&plan).expect_err("must be rejected");
         assert!(err.to_string().contains("no_such_table"), "{err}");
     }
 
@@ -703,7 +894,7 @@ mod tests {
         let engine = det_engine(100);
         let session = engine.session();
         let plan = scan("t", &["k"]).project(vec![(Expr::param("x"), "x")]);
-        let err = session.prepare(&plan).err().expect("must be rejected");
+        let err = session.prepare(&plan).expect_err("must be rejected");
         assert!(err.to_string().contains('x'), "{err}");
         // Even nested under further operators that previously panicked
         // during schema derivation.
@@ -773,7 +964,7 @@ mod tests {
             vec![Expr::name("k")],
             Schema::from_pairs([("x", DataType::Int)]),
         );
-        let err = session.prepare(&plan).err().expect("must be rejected");
+        let err = session.prepare(&plan).expect_err("must be rejected");
         assert!(err.to_string().contains("table-function"), "{err}");
     }
 

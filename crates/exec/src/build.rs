@@ -27,8 +27,8 @@ pub struct ExecTree {
 /// Build a physical operator tree from a *bound* plan.
 pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
     if plan.has_named() {
-        return Err(PlanError(
-            "plan contains unresolved column names; call bind() first".into(),
+        return Err(PlanError::msg(
+            "plan contains unresolved column names; call bind() first",
         ));
     }
     let schema = plan.schema(&ctx.catalog)?;
@@ -53,13 +53,13 @@ fn build_node(
         Plan::Scan { table, cols } => {
             let t = ctx
                 .table(table)
-                .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
+                .ok_or_else(|| PlanError::unknown_table(table))?;
             let projection: Vec<usize> = cols
                 .iter()
                 .map(|c| {
                     t.schema()
                         .index_of(c)
-                        .ok_or_else(|| PlanError(format!("unknown column '{c}' in '{table}'")))
+                        .ok_or_else(|| PlanError::unknown_column(c, format!("table '{table}'")))
                 })
                 .collect::<Result<_, _>>()?;
             (
@@ -71,7 +71,7 @@ fn build_node(
             let f = ctx
                 .functions
                 .get(name)
-                .ok_or_else(|| PlanError(format!("unknown table function '{name}'")))?
+                .ok_or_else(|| PlanError::unknown_function(name))?
                 .clone();
             // Arguments must be constant by execution time; prepared
             // templates substitute their parameters before building.
@@ -79,7 +79,7 @@ fn build_node(
                 .iter()
                 .map(|a| match a {
                     rdb_expr::Expr::Lit(v) => Ok(v.clone()),
-                    other => Err(PlanError(format!(
+                    other => Err(PlanError::msg(format!(
                         "table function '{name}' argument '{other}' is not a literal; \
                          substitute parameters before execution"
                     ))),
@@ -187,7 +187,7 @@ fn build_node(
             let store = ctx
                 .store
                 .clone()
-                .ok_or_else(|| PlanError("cached node without a result store".into()))?;
+                .ok_or_else(|| PlanError::msg("cached node without a result store"))?;
             (
                 Box::new(CachedExec::new(*tag, store, m.clone())),
                 MetricsNode::leaf(m),
@@ -197,7 +197,7 @@ fn build_node(
             let store = ctx
                 .store
                 .clone()
-                .ok_or_else(|| PlanError("store node without a result store".into()))?;
+                .ok_or_else(|| PlanError::msg("store node without a result store"))?;
             let child_schema = child.schema(&ctx.catalog)?;
             let (c, cm) = build_node(child, ctx)?;
             (

@@ -1,0 +1,50 @@
+//! Structured expression-level errors.
+//!
+//! Binding and parameter substitution fail for a small, closed set of
+//! reasons; representing them as variants (rather than pre-rendered
+//! strings) lets the plan layer and the SQL frontend attach their own
+//! context — spans, operator labels — without re-parsing messages.
+
+use std::fmt;
+
+/// An error from expression binding or parameter substitution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A named column reference did not resolve against the input schema.
+    UnknownColumn {
+        /// The unresolved column name.
+        column: String,
+        /// Rendering of the schema it was resolved against.
+        schema: String,
+    },
+    /// A parameter placeholder had no binding at substitution time.
+    UnboundParameter {
+        /// The parameter name.
+        name: String,
+    },
+}
+
+impl ExprError {
+    /// The offending identifier (column or parameter name).
+    pub fn name(&self) -> &str {
+        match self {
+            ExprError::UnknownColumn { column, .. } => column,
+            ExprError::UnboundParameter { name } => name,
+        }
+    }
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownColumn { column, schema } => {
+                write!(f, "unknown column '{column}' in schema {schema}")
+            }
+            ExprError::UnboundParameter { name } => {
+                write!(f, "no value bound for parameter '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}

@@ -429,14 +429,19 @@ impl Expr {
     }
 
     /// Resolve every [`Expr::Named`] against `schema`, producing a canonical
-    /// positional expression. Returns an error message naming any missing
+    /// positional expression. Returns a structured error naming any missing
     /// column.
-    pub fn bind(&self, schema: &Schema) -> Result<Expr, String> {
+    pub fn bind(&self, schema: &Schema) -> Result<Expr, crate::ExprError> {
         match self {
-            Expr::Named(n) => schema
-                .index_of(n)
-                .map(Expr::Col)
-                .ok_or_else(|| format!("unknown column '{n}' in schema {schema}")),
+            Expr::Named(n) => {
+                schema
+                    .index_of(n)
+                    .map(Expr::Col)
+                    .ok_or_else(|| crate::ExprError::UnknownColumn {
+                        column: n.clone(),
+                        schema: schema.to_string(),
+                    })
+            }
             _ => {
                 let mut err = None;
                 let out = self.map_children(&mut |c| match c.bind(schema) {
@@ -499,13 +504,13 @@ impl Expr {
     }
 
     /// Replace every [`Expr::Param`] with the literal bound to its name.
-    /// Returns an error message naming the first unbound parameter.
-    pub fn substitute_params(&self, params: &crate::Params) -> Result<Expr, String> {
+    /// Returns a structured error naming the first unbound parameter.
+    pub fn substitute_params(&self, params: &crate::Params) -> Result<Expr, crate::ExprError> {
         match self {
             Expr::Param(n) => params
                 .get(n)
                 .map(|v| Expr::Lit(v.clone()))
-                .ok_or_else(|| format!("no value bound for parameter '{n}'")),
+                .ok_or_else(|| crate::ExprError::UnboundParameter { name: n.clone() }),
             _ => {
                 let mut err = None;
                 let out = self.map_children(&mut |c| match c.substitute_params(params) {
@@ -665,7 +670,8 @@ mod tests {
     fn bind_reports_missing_column() {
         let e = Expr::name("zz").lt(Expr::lit(1));
         let err = e.bind(&schema()).unwrap_err();
-        assert!(err.contains("zz"), "{err}");
+        assert_eq!(err.name(), "zz");
+        assert!(err.to_string().contains("zz"), "{err}");
     }
 
     #[test]

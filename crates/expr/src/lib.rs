@@ -15,14 +15,18 @@
 //! true" at filter boundaries).
 
 pub mod agg;
+pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod like;
+pub mod normalize;
 pub mod params;
 pub mod ranges;
 
 pub use agg::AggFunc;
+pub use error::ExprError;
 pub use eval::{eval, eval_predicate, eval_selection, Selection};
 pub use expr::{ArithOp, CmpOp, Expr};
+pub use normalize::normalize_expr;
 pub use params::Params;
 pub use ranges::{analyze_conjunction, implies, Interval};

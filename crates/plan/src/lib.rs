@@ -22,10 +22,12 @@
 pub mod builder;
 pub mod fingerprint;
 pub mod node;
+pub mod normalize;
 
 pub use builder::{fn_scan, fn_scan_exprs, scan, union_all};
 pub use fingerprint::{
     fx_hash, kind_tag, local_eq, local_hash, signature, structural_eq, structural_hash,
     structural_hash_at, FxHasher,
 };
-pub use node::{JoinKind, Plan, PlanError, SortKeyExpr, StoreMode};
+pub use node::{JoinKind, Plan, PlanError, PlanErrorKind, SortKeyExpr, StoreMode};
+pub use normalize::normalize;

@@ -76,13 +76,176 @@ pub enum StoreMode {
     Speculate,
 }
 
+/// What went wrong during schema derivation, binding, or execution
+/// preparation. Structured so higher layers (notably the SQL frontend)
+/// can attach their own context — source spans, statement text — without
+/// re-parsing rendered messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanErrorKind {
+    /// A base-table reference did not resolve against the catalog.
+    UnknownTable {
+        /// The unresolved table name.
+        table: String,
+    },
+    /// A column reference did not resolve against its input schema.
+    UnknownColumn {
+        /// The unresolved column name.
+        column: String,
+        /// Where it was looked up (a schema rendering or operator label).
+        context: String,
+    },
+    /// A table-function reference did not resolve against the registry.
+    UnknownFunction {
+        /// The unresolved function name.
+        name: String,
+    },
+    /// An expression or operator was typed inconsistently.
+    TypeMismatch {
+        /// What the operator required.
+        expected: String,
+        /// What it got.
+        found: String,
+        /// Where.
+        context: String,
+    },
+    /// Mismatched list lengths (join keys, union arms, insert rows).
+    ArityMismatch {
+        /// Description of the mismatch.
+        context: String,
+    },
+    /// A parameter placeholder had no binding (or appeared somewhere it
+    /// cannot, e.g. a typed projection position).
+    UnboundParameter {
+        /// The parameter name.
+        name: String,
+    },
+    /// Anything else (free-form).
+    Other {
+        /// The message.
+        message: String,
+    },
+}
+
 /// Errors from schema derivation / binding.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlanError(pub String);
+pub struct PlanError {
+    /// The structured cause.
+    pub kind: PlanErrorKind,
+}
+
+impl PlanError {
+    /// Free-form error.
+    pub fn msg(message: impl Into<String>) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::Other {
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Unknown base table.
+    pub fn unknown_table(table: impl Into<String>) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::UnknownTable {
+                table: table.into(),
+            },
+        }
+    }
+
+    /// Unknown column in `context`.
+    pub fn unknown_column(column: impl Into<String>, context: impl Into<String>) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::UnknownColumn {
+                column: column.into(),
+                context: context.into(),
+            },
+        }
+    }
+
+    /// Unknown table function.
+    pub fn unknown_function(name: impl Into<String>) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::UnknownFunction { name: name.into() },
+        }
+    }
+
+    /// Type mismatch in `context`.
+    pub fn type_mismatch(
+        expected: impl Into<String>,
+        found: impl Into<String>,
+        context: impl Into<String>,
+    ) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::TypeMismatch {
+                expected: expected.into(),
+                found: found.into(),
+                context: context.into(),
+            },
+        }
+    }
+
+    /// Arity mismatch.
+    pub fn arity(context: impl Into<String>) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::ArityMismatch {
+                context: context.into(),
+            },
+        }
+    }
+
+    /// Unbound (or ill-placed) parameter.
+    pub fn unbound_parameter(name: impl Into<String>) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::UnboundParameter { name: name.into() },
+        }
+    }
+
+    /// The offending identifier, when the kind names one (table, column,
+    /// function, or parameter). Lets callers highlight the exact token.
+    pub fn subject(&self) -> Option<&str> {
+        match &self.kind {
+            PlanErrorKind::UnknownTable { table } => Some(table),
+            PlanErrorKind::UnknownColumn { column, .. } => Some(column),
+            PlanErrorKind::UnknownFunction { name } => Some(name),
+            PlanErrorKind::UnboundParameter { name } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl From<rdb_expr::ExprError> for PlanError {
+    fn from(e: rdb_expr::ExprError) -> PlanError {
+        match e {
+            rdb_expr::ExprError::UnknownColumn { column, schema } => {
+                PlanError::unknown_column(column, format!("schema {schema}"))
+            }
+            rdb_expr::ExprError::UnboundParameter { name } => PlanError::unbound_parameter(name),
+        }
+    }
+}
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "plan error: {}", self.0)
+        write!(f, "plan error: ")?;
+        match &self.kind {
+            PlanErrorKind::UnknownTable { table } => write!(f, "unknown table '{table}'"),
+            PlanErrorKind::UnknownColumn { column, context } => {
+                write!(f, "unknown column '{column}' in {context}")
+            }
+            PlanErrorKind::UnknownFunction { name } => {
+                write!(f, "unknown table function '{name}'")
+            }
+            PlanErrorKind::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "{context}: expected {expected}, got {found}"),
+            PlanErrorKind::ArityMismatch { context } => write!(f, "{context}"),
+            PlanErrorKind::UnboundParameter { name } => {
+                write!(f, "no value bound for parameter '{name}'")
+            }
+            PlanErrorKind::Other { message } => write!(f, "{message}"),
+        }
     }
 }
 
@@ -467,10 +630,16 @@ impl Plan {
             Plan::Scan { table, cols } => {
                 let t = catalog
                     .schema_of(table)
-                    .ok_or_else(|| PlanError(format!("unknown table '{table}'")))?;
+                    .ok_or_else(|| PlanError::unknown_table(table))?;
                 let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
-                t.project(&names)
-                    .ok_or_else(|| PlanError(format!("unknown column in scan of '{table}'")))
+                t.project(&names).ok_or_else(|| {
+                    let missing = cols
+                        .iter()
+                        .find(|c| t.index_of(c).is_none())
+                        .map(|c| c.as_str())
+                        .unwrap_or("?");
+                    PlanError::unknown_column(missing, format!("scan of '{table}'"))
+                })
             }
             Plan::FnScan { schema, .. } => Ok(schema.clone()),
             Plan::Select { child, .. } => child.schema(catalog),
@@ -485,7 +654,7 @@ impl Plan {
                     .iter()
                     .zip(names)
                     .map(|(e, n)| {
-                        let bound = e.bind(&input).map_err(PlanError)?;
+                        let bound = e.bind(&input).map_err(PlanError::from)?;
                         Ok(Field::new(n.clone(), bound.data_type(&tys)))
                     })
                     .collect::<Result<Vec<_>, PlanError>>()?;
@@ -502,7 +671,7 @@ impl Plan {
                 let tys = input_types(&input);
                 let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
                 for (e, n) in group_by.iter().zip(group_names) {
-                    let bound = e.bind(&input).map_err(PlanError)?;
+                    let bound = e.bind(&input).map_err(PlanError::from)?;
                     fields.push(Field::new(n.clone(), bound.data_type(&tys)));
                 }
                 for (a, n) in aggs.iter().zip(agg_names) {
@@ -510,7 +679,7 @@ impl Plan {
                         a.map_argument(&mut |e| e.bind(&input).unwrap_or_else(|_| e.clone()));
                     if let Some(arg) = bound.argument() {
                         if arg.has_named() {
-                            return Err(PlanError(format!("unresolved column in {a}")));
+                            return Err(PlanError::msg(format!("unresolved column in {a}")));
                         }
                     }
                     fields.push(Field::new(n.clone(), bound.data_type(&tys)));
@@ -532,7 +701,7 @@ impl Plan {
             Plan::UnionAll { children } => {
                 let first = children
                     .first()
-                    .ok_or_else(|| PlanError("empty union".into()))?
+                    .ok_or_else(|| PlanError::msg("empty union"))?
                     .schema(catalog)?;
                 for c in &children[1..] {
                     let s = c.schema(catalog)?;
@@ -542,7 +711,11 @@ impl Plan {
                             .zip(first.fields())
                             .any(|(a, b)| a.dtype != b.dtype)
                     {
-                        return Err(PlanError(format!("union schema mismatch: {first} vs {s}")));
+                        return Err(PlanError::type_mismatch(
+                            first.to_string(),
+                            s.to_string(),
+                            "union arm schemas must agree",
+                        ));
                     }
                 }
                 Ok(first)
@@ -564,7 +737,7 @@ impl Plan {
             .iter()
             .map(|c| c.schema(catalog))
             .collect::<Result<_, _>>()?;
-        let rebind = |e: &Expr, s: &Schema| e.bind(s).map_err(PlanError);
+        let rebind = |e: &Expr, s: &Schema| e.bind(s).map_err(PlanError::from);
         Ok(match self {
             Plan::Scan { .. } | Plan::FnScan { .. } | Plan::Cached { .. } => self.clone(),
             Plan::Select { predicate, .. } => Plan::Select {
@@ -601,7 +774,7 @@ impl Plan {
                     })
                     .collect();
                 if let Some(msg) = err {
-                    return Err(PlanError(msg));
+                    return Err(PlanError::from(msg));
                 }
                 Plan::Aggregate {
                     group_by: group_by
@@ -629,10 +802,10 @@ impl Plan {
                     .map(|e| rebind(e, &child_schemas[1]))
                     .collect::<Result<_, _>>()?;
                 if lk.len() != rk.len() {
-                    return Err(PlanError("join key arity mismatch".into()));
+                    return Err(PlanError::arity("join key arity mismatch"));
                 }
                 if *kind == JoinKind::Single && !lk.is_empty() {
-                    return Err(PlanError("single join takes no keys".into()));
+                    return Err(PlanError::arity("single join takes no keys"));
                 }
                 let mut it = bound_children.into_iter();
                 Plan::Join {
@@ -759,7 +932,7 @@ impl Plan {
             .iter()
             .map(|c| c.substitute_params(params))
             .collect::<Result<_, _>>()?;
-        let sub = |e: &Expr| e.substitute_params(params).map_err(PlanError);
+        let sub = |e: &Expr| e.substitute_params(params).map_err(PlanError::from);
         Ok(match self {
             Plan::Scan { .. } | Plan::Cached { .. } => self.clone(),
             Plan::FnScan { name, args, schema } => Plan::FnScan {
@@ -797,7 +970,7 @@ impl Plan {
                     })
                     .collect();
                 if let Some(msg) = err {
-                    return Err(PlanError(msg));
+                    return Err(PlanError::from(msg));
                 }
                 Plan::Aggregate {
                     group_by: group_by.iter().map(sub).collect::<Result<_, _>>()?,
@@ -845,7 +1018,7 @@ fn sub_keys(
     keys.iter()
         .map(|k| {
             Ok(SortKeyExpr {
-                expr: k.expr.substitute_params(params).map_err(PlanError)?,
+                expr: k.expr.substitute_params(params).map_err(PlanError::from)?,
                 order: k.order,
             })
         })
@@ -873,7 +1046,7 @@ fn bind_keys(keys: &[SortKeyExpr], schema: &Schema) -> Result<Vec<SortKeyExpr>, 
     keys.iter()
         .map(|k| {
             Ok(SortKeyExpr {
-                expr: k.expr.bind(schema).map_err(PlanError)?,
+                expr: k.expr.bind(schema).map_err(PlanError::from)?,
                 order: k.order,
             })
         })
@@ -949,7 +1122,7 @@ mod tests {
         let cat = catalog();
         let p = scan("lineitem", &["l_qty"]).select(Expr::name("bogus").gt(Expr::lit(3)));
         let err = p.bind(&cat).unwrap_err();
-        assert!(err.0.contains("bogus"), "{err}");
+        assert!(err.to_string().contains("bogus"), "{err}");
     }
 
     #[test]
@@ -1106,6 +1279,6 @@ mod tests {
         // Missing binding errors and names the slot.
         let partial = rdb_expr::Params::new().set("qty", 1i64);
         let err = p.substitute_params(&partial).unwrap_err();
-        assert!(err.0.contains("price"), "{err}");
+        assert!(err.to_string().contains("price"), "{err}");
     }
 }

@@ -1,0 +1,605 @@
+//! Plan normalization: the canonical form every plan passes through
+//! before fingerprinting.
+//!
+//! The recycler matches work by plan structure (paper §III), so every
+//! caller that assembles a [`Plan`] is a chance to miss the cache: `a AND
+//! b` vs `b AND a`, a redundant identity projection, or a filter written
+//! above a join instead of below it all fingerprint as distinct subplans
+//! and recycle nothing. [`normalize`] is the single lowering point where
+//! equivalent plans converge — the session layer runs it on *every*
+//! prepared statement (SQL-text and builder-built alike), so textual and
+//! structural variants of the same query land on the same recycler-graph
+//! nodes.
+//!
+//! Rules (each exactly semantics-preserving, including NULL behaviour,
+//! output schema, and output column names):
+//!
+//! * every operator's expressions are canonicalized with
+//!   [`rdb_expr::normalize_expr`] (commutative AND/OR ordering, constant
+//!   folding, comparison canonicalization);
+//! * adjacent selections merge into one conjunction;
+//! * a selection whose predicate folded to `TRUE` disappears;
+//! * selections sink below joins: conjuncts that reference only one side
+//!   move into that side (left side of any join; right side of inner
+//!   joins), so `σ(A ⋈ B)` and `σ(A) ⋈ B` converge;
+//! * equi-join key pairs sort deterministically (`a.x = b.y AND a.u =
+//!   b.v` is a conjunction — pair order is irrelevant);
+//! * identity projections (`π_{$0,…,$n-1}` preserving the input names)
+//!   disappear, and stacked projections compose into one.
+//!
+//! Store/Cached wrappers never appear here: normalization runs before the
+//! recycler rewrite. The pass is idempotent and runs each node to a local
+//! fixpoint, so the result is stable under re-normalization.
+
+use rdb_expr::{normalize_expr, Expr};
+use rdb_storage::Catalog;
+
+use crate::node::{JoinKind, Plan, SortKeyExpr};
+
+/// Upper bound on local rewrite iterations per node; rules strictly
+/// shrink or reorder, so this is never reached in practice.
+const MAX_LOCAL_PASSES: usize = 16;
+
+/// Normalize a bound plan into canonical form (see the module docs).
+///
+/// `catalog` supplies schemas where a rule needs operator arity (join
+/// splits, identity-projection checks); a plan whose schema cannot be
+/// derived (unknown table, parameters in typed positions) skips those
+/// rules rather than failing — normalization never errors.
+pub fn normalize(plan: &Plan, catalog: &Catalog) -> Plan {
+    // Bottom-up: children first.
+    let children: Vec<Plan> = plan
+        .children()
+        .iter()
+        .map(|c| normalize(c, catalog))
+        .collect();
+    let mut node = normalize_local_exprs(&plan.with_children(children));
+    for _ in 0..MAX_LOCAL_PASSES {
+        let next = apply_local_rules(&node, catalog);
+        if next == node {
+            break;
+        }
+        node = next;
+    }
+    node
+}
+
+/// Canonicalize every expression held directly by this node.
+fn normalize_local_exprs(plan: &Plan) -> Plan {
+    match plan {
+        Plan::Scan { .. } | Plan::Cached { .. } | Plan::Limit { .. } | Plan::UnionAll { .. } => {
+            plan.clone()
+        }
+        Plan::FnScan { name, args, schema } => Plan::FnScan {
+            name: name.clone(),
+            args: args.iter().map(normalize_expr).collect(),
+            schema: schema.clone(),
+        },
+        Plan::Select { child, predicate } => Plan::Select {
+            child: child.clone(),
+            predicate: normalize_expr(predicate),
+        },
+        Plan::Project {
+            child,
+            exprs,
+            names,
+        } => Plan::Project {
+            child: child.clone(),
+            exprs: exprs.iter().map(normalize_expr).collect(),
+            names: names.clone(),
+        },
+        Plan::Aggregate {
+            child,
+            group_by,
+            group_names,
+            aggs,
+            agg_names,
+        } => Plan::Aggregate {
+            child: child.clone(),
+            group_by: group_by.iter().map(normalize_expr).collect(),
+            group_names: group_names.clone(),
+            aggs: aggs
+                .iter()
+                .map(|a| a.map_argument(&mut |e| normalize_expr(e)))
+                .collect(),
+            agg_names: agg_names.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+        } => {
+            // An equi-join is a conjunction of per-pair equalities, so the
+            // pair order is semantically irrelevant; sort pairs for a
+            // canonical order (the executor keys on pair positions, so the
+            // two sides must be permuted together).
+            let mut pairs: Vec<(Expr, Expr)> = left_keys
+                .iter()
+                .map(normalize_expr)
+                .zip(right_keys.iter().map(normalize_expr))
+                .collect();
+            pairs.sort_by_cached_key(|(l, r)| (l.to_string(), r.to_string()));
+            let (lk, rk) = pairs.into_iter().unzip();
+            Plan::Join {
+                left: left.clone(),
+                right: right.clone(),
+                kind: *kind,
+                left_keys: lk,
+                right_keys: rk,
+            }
+        }
+        Plan::TopN { child, keys, n } => Plan::TopN {
+            child: child.clone(),
+            keys: normalize_keys(keys),
+            n: *n,
+        },
+        Plan::Sort { child, keys } => Plan::Sort {
+            child: child.clone(),
+            keys: normalize_keys(keys),
+        },
+        Plan::Store { .. } => plan.clone(),
+    }
+}
+
+fn normalize_keys(keys: &[SortKeyExpr]) -> Vec<SortKeyExpr> {
+    keys.iter()
+        .map(|k| SortKeyExpr {
+            expr: normalize_expr(&k.expr),
+            order: k.order,
+        })
+        .collect()
+}
+
+/// One round of structural rewrites at this node.
+fn apply_local_rules(plan: &Plan, catalog: &Catalog) -> Plan {
+    match plan {
+        Plan::Select { child, predicate } => {
+            // σ_TRUE(x) → x.
+            if *predicate == Expr::lit(true) {
+                return (**child).clone();
+            }
+            match &**child {
+                // σ_p(σ_q(x)) → σ_{p ∧ q}(x).
+                Plan::Select {
+                    child: inner,
+                    predicate: q,
+                } => Plan::Select {
+                    child: inner.clone(),
+                    predicate: normalize_expr(&predicate.clone().and(q.clone())),
+                },
+                // σ over a join: sink single-sided conjuncts.
+                Plan::Join { .. } => push_below_join(predicate, child, catalog),
+                _ => plan.clone(),
+            }
+        }
+        Plan::Project {
+            child,
+            exprs,
+            names,
+        } => {
+            // π ∘ π composes.
+            if let Plan::Project {
+                child: inner_child,
+                exprs: inner_exprs,
+                ..
+            } = &**child
+            {
+                let composed: Vec<Expr> = exprs
+                    .iter()
+                    .map(|e| normalize_expr(&subst_cols(e, inner_exprs)))
+                    .collect();
+                return Plan::Project {
+                    child: inner_child.clone(),
+                    exprs: composed,
+                    names: names.clone(),
+                };
+            }
+            // Identity projection (same positions, same names) vanishes.
+            let identity_positions = exprs.iter().enumerate().all(|(i, e)| *e == Expr::Col(i));
+            if identity_positions {
+                if let Ok(child_schema) = schema_of(child, catalog) {
+                    if child_schema.len() == exprs.len()
+                        && child_schema.names()
+                            == names.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+                    {
+                        return (**child).clone();
+                    }
+                }
+            }
+            plan.clone()
+        }
+        _ => plan.clone(),
+    }
+}
+
+/// Schema derivation that cannot panic on parameterized templates: typed
+/// positions containing parameters are reported as an error instead.
+fn schema_of(plan: &Plan, catalog: &Catalog) -> Result<rdb_vector::Schema, ()> {
+    if plan.param_in_typed_position().is_some() {
+        return Err(());
+    }
+    plan.schema(catalog).map_err(|_| ())
+}
+
+/// Replace `Col(i)` with `exprs[i]` (projection composition).
+fn subst_cols(e: &Expr, exprs: &[Expr]) -> Expr {
+    match e {
+        Expr::Col(i) => exprs[*i].clone(),
+        _ => e.map_children(&mut |c| subst_cols(c, exprs)),
+    }
+}
+
+/// Sink the conjuncts of `predicate` below `join` where safe:
+///
+/// * conjuncts reading only left columns move into the left input — valid
+///   for inner, left-outer (they would reject the same left rows before
+///   or after padding), semi, and anti joins;
+/// * conjuncts reading only right columns move into the right input —
+///   valid for inner joins only (for left-outer they must filter matches,
+///   not input rows; for semi/anti the predicate cannot reference the
+///   right side at all);
+/// * everything else stays above the join.
+fn push_below_join(predicate: &Expr, join: &Plan, catalog: &Catalog) -> Plan {
+    let Plan::Join {
+        left,
+        right,
+        kind,
+        left_keys,
+        right_keys,
+    } = join
+    else {
+        unreachable!("caller matched a join");
+    };
+    if *kind == JoinKind::Single {
+        // The broadcast side must produce exactly one row; filtering it
+        // could change that invariant's failure mode. Leave alone.
+        return Plan::Select {
+            child: Box::new(join.clone()),
+            predicate: predicate.clone(),
+        };
+    }
+    let Ok(left_schema) = schema_of(left, catalog) else {
+        return Plan::Select {
+            child: Box::new(join.clone()),
+            predicate: predicate.clone(),
+        };
+    };
+    let lw = left_schema.len();
+    let conjuncts: Vec<Expr> = match predicate {
+        Expr::And(items) => items.clone(),
+        other => vec![other.clone()],
+    };
+    let mut to_left = Vec::new();
+    let mut to_right = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts {
+        let mut cols = Vec::new();
+        c.columns_used(&mut cols);
+        if cols.iter().all(|&i| i < lw) {
+            to_left.push(c);
+        } else if cols.iter().all(|&i| i >= lw) && *kind == JoinKind::Inner {
+            to_right.push(c.remap_cols(&shift_map(lw, plan_width(right, catalog))));
+        } else {
+            residual.push(c);
+        }
+    }
+    if to_left.is_empty() && to_right.is_empty() {
+        return Plan::Select {
+            child: Box::new(join.clone()),
+            predicate: predicate.clone(),
+        };
+    }
+    let wrap = |child: &Plan, mut preds: Vec<Expr>| -> Plan {
+        if preds.is_empty() {
+            return child.clone();
+        }
+        // Merge into an existing selection rather than stacking a second
+        // one — stacked selects would differ from the equivalent
+        // single-select plan and break idempotency.
+        let inner = match child {
+            Plan::Select {
+                child: inner,
+                predicate,
+            } => {
+                preds.push(predicate.clone());
+                inner.as_ref().clone()
+            }
+            other => other.clone(),
+        };
+        Plan::Select {
+            child: Box::new(inner),
+            predicate: normalize_expr(&Expr::and_all(preds)),
+        }
+    };
+    let new_join = Plan::Join {
+        left: Box::new(wrap(left, to_left)),
+        right: Box::new(wrap(right, to_right)),
+        kind: *kind,
+        left_keys: left_keys.clone(),
+        right_keys: right_keys.clone(),
+    };
+    if residual.is_empty() {
+        new_join
+    } else {
+        Plan::Select {
+            child: Box::new(new_join),
+            predicate: normalize_expr(&Expr::and_all(residual)),
+        }
+    }
+}
+
+/// Column remap translating join-output positions `lw..lw+rw` into
+/// right-input positions `0..rw` (positions below `lw` are never used by
+/// the conjuncts this is applied to).
+fn shift_map(lw: usize, rw: usize) -> Vec<usize> {
+    (0..lw + rw).map(|i| i.saturating_sub(lw)).collect()
+}
+
+fn plan_width(plan: &Plan, catalog: &Catalog) -> usize {
+    schema_of(plan, catalog).map(|s| s.len()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::scan;
+    use crate::fingerprint::structural_hash;
+    use rdb_expr::AggFunc;
+    use rdb_storage::TableBuilder;
+    use rdb_vector::{DataType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs([
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("c", DataType::Int),
+        ]);
+        let mut t = TableBuilder::new("t", schema, 1);
+        t.push_row(vec![Value::Int(1), Value::Float(2.0), Value::Int(3)]);
+        cat.register(t.finish()).unwrap();
+        let schema = Schema::from_pairs([("x", DataType::Int), ("y", DataType::Str)]);
+        let mut u = TableBuilder::new("u", schema, 1);
+        u.push_row(vec![Value::Int(1), Value::str("s")]);
+        cat.register(u.finish()).unwrap();
+        cat
+    }
+
+    fn norm(p: Plan) -> Plan {
+        let cat = catalog();
+        let bound = p.bind(&cat).unwrap();
+        normalize(&bound, &cat)
+    }
+
+    #[test]
+    fn reordered_conjuncts_converge() {
+        let p1 = scan("t", &["a", "b"]).select(
+            Expr::name("a")
+                .gt(Expr::lit(1))
+                .and(Expr::name("b").lt(Expr::lit(2.0))),
+        );
+        let p2 = scan("t", &["a", "b"]).select(
+            Expr::name("b")
+                .lt(Expr::lit(2.0))
+                .and(Expr::name("a").gt(Expr::lit(1))),
+        );
+        assert_eq!(norm(p1), norm(p2));
+    }
+
+    #[test]
+    fn flipped_comparisons_converge() {
+        let p1 = scan("t", &["a"]).select(Expr::lit(5).lt(Expr::name("a")));
+        let p2 = scan("t", &["a"]).select(Expr::name("a").gt(Expr::lit(5)));
+        assert_eq!(norm(p1.clone()), norm(p2.clone()));
+        assert_eq!(structural_hash(&norm(p1)), structural_hash(&norm(p2)));
+    }
+
+    #[test]
+    fn adjacent_selects_merge() {
+        let stacked = scan("t", &["a", "b"])
+            .select(Expr::name("a").gt(Expr::lit(1)))
+            .select(Expr::name("b").lt(Expr::lit(2.0)));
+        let single = scan("t", &["a", "b"]).select(
+            Expr::name("a")
+                .gt(Expr::lit(1))
+                .and(Expr::name("b").lt(Expr::lit(2.0))),
+        );
+        assert_eq!(norm(stacked), norm(single));
+    }
+
+    #[test]
+    fn true_select_vanishes() {
+        let p = scan("t", &["a"]).select(Expr::lit(1).lt(Expr::lit(2)));
+        assert_eq!(norm(p), scan("t", &["a"]));
+    }
+
+    #[test]
+    fn select_sinks_below_inner_join() {
+        // σ over join with single-sided conjuncts ≡ pre-filtered join.
+        let above = scan("t", &["a", "b"])
+            .inner_join(
+                scan("u", &["x", "y"]),
+                vec![Expr::name("a")],
+                vec![Expr::name("x")],
+            )
+            .select(
+                Expr::name("a")
+                    .gt(Expr::lit(1))
+                    .and(Expr::name("y").eq(Expr::lit(Value::str("s")))),
+            );
+        let below = scan("t", &["a", "b"])
+            .select(Expr::name("a").gt(Expr::lit(1)))
+            .inner_join(
+                scan("u", &["x", "y"]).select(Expr::name("y").eq(Expr::lit(Value::str("s")))),
+                vec![Expr::name("a")],
+                vec![Expr::name("x")],
+            );
+        assert_eq!(norm(above), norm(below));
+    }
+
+    #[test]
+    fn cross_side_conjunct_stays_above() {
+        let p = scan("t", &["a"])
+            .inner_join(
+                scan("u", &["x"]),
+                vec![Expr::name("a")],
+                vec![Expr::name("x")],
+            )
+            .select(Expr::col(0).lt(Expr::col(1)));
+        let n = norm(p);
+        assert!(
+            matches!(&n, Plan::Select { child, .. } if matches!(**child, Plan::Join { .. })),
+            "cross-side predicate must stay above the join:\n{n}"
+        );
+    }
+
+    #[test]
+    fn left_outer_pushes_left_only() {
+        let p = scan("t", &["a"])
+            .join(
+                scan("u", &["x", "y"]),
+                JoinKind::LeftOuter,
+                vec![Expr::name("a")],
+                vec![Expr::name("x")],
+            )
+            .select(
+                Expr::name("a")
+                    .gt(Expr::lit(0))
+                    .and(Expr::name("y").eq(Expr::lit(Value::str("s")))),
+            );
+        let n = norm(p);
+        // The right-side conjunct must remain above the join.
+        match &n {
+            Plan::Select { child, predicate } => {
+                assert!(matches!(**child, Plan::Join { .. }));
+                assert!(predicate.to_string().contains('='), "{predicate}");
+            }
+            other => panic!("expected residual select, got:\n{other}"),
+        }
+    }
+
+    #[test]
+    fn identity_projection_vanishes() {
+        let p =
+            scan("t", &["a", "b"]).project(vec![(Expr::name("a"), "a"), (Expr::name("b"), "b")]);
+        assert_eq!(norm(p), scan("t", &["a", "b"]));
+        // Renaming projections survive (names are client-visible).
+        let renamed =
+            scan("t", &["a", "b"]).project(vec![(Expr::name("a"), "z"), (Expr::name("b"), "b")]);
+        assert!(matches!(norm(renamed), Plan::Project { .. }));
+    }
+
+    #[test]
+    fn stacked_projections_compose() {
+        let stacked = scan("t", &["a", "b"])
+            .project(vec![
+                (Expr::name("a").add(Expr::name("a")), "s"),
+                (Expr::name("b"), "b"),
+            ])
+            .project(vec![(Expr::col(0).add(Expr::col(0)), "d")]);
+        let flat = scan("t", &["a", "b"]).project(vec![(
+            Expr::name("a")
+                .add(Expr::name("a"))
+                .add(Expr::name("a").add(Expr::name("a"))),
+            "d",
+        )]);
+        assert_eq!(norm(stacked), norm(flat));
+    }
+
+    #[test]
+    fn join_key_pairs_sort_together() {
+        let p1 = scan("t", &["a", "c"]).inner_join(
+            scan("u", &["x"]),
+            vec![Expr::name("a"), Expr::name("c")],
+            vec![Expr::name("x"), Expr::name("x")],
+        );
+        let p2 = scan("t", &["a", "c"]).inner_join(
+            scan("u", &["x"]),
+            vec![Expr::name("c"), Expr::name("a")],
+            vec![Expr::name("x"), Expr::name("x")],
+        );
+        assert_eq!(norm(p1), norm(p2));
+    }
+
+    #[test]
+    fn pushdown_merges_into_existing_select() {
+        // Regression: a conjunct pushed below the join must merge into the
+        // child's existing selection, not stack a second Select — the two
+        // spellings below are equivalent and must share one canonical form.
+        let above = scan("t", &["a"])
+            .select(Expr::name("a").lt(Expr::lit(5)))
+            .inner_join(
+                scan("u", &["x"]),
+                vec![Expr::name("a")],
+                vec![Expr::name("x")],
+            )
+            .select(Expr::col(0).gt(Expr::lit(1)));
+        let below = scan("t", &["a"])
+            .select(
+                Expr::name("a")
+                    .lt(Expr::lit(5))
+                    .and(Expr::name("a").gt(Expr::lit(1))),
+            )
+            .inner_join(
+                scan("u", &["x"]),
+                vec![Expr::name("a")],
+                vec![Expr::name("x")],
+            );
+        let cat = catalog();
+        let na = normalize(&above.bind(&cat).unwrap(), &cat);
+        let nb = normalize(&below.bind(&cat).unwrap(), &cat);
+        assert_eq!(na, nb, "above:\n{na}\nbelow:\n{nb}");
+        assert_eq!(structural_hash(&na), structural_hash(&nb));
+        assert_eq!(normalize(&na, &cat), na, "must be idempotent");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let cat = catalog();
+        let plans = [
+            scan("t", &["a", "b"])
+                .select(Expr::lit(3).lt(Expr::name("a")))
+                .aggregate(
+                    vec![(Expr::name("a"), "a")],
+                    vec![(AggFunc::Sum(Expr::name("b")), "sb")],
+                ),
+            scan("t", &["a"])
+                .inner_join(
+                    scan("u", &["x"]),
+                    vec![Expr::name("a")],
+                    vec![Expr::name("x")],
+                )
+                .select(Expr::name("a").gt(Expr::lit(1)))
+                .limit(3),
+        ];
+        for p in plans {
+            let bound = p.bind(&cat).unwrap();
+            let once = normalize(&bound, &cat);
+            assert_eq!(normalize(&once, &cat), once, "not idempotent:\n{once}");
+        }
+    }
+
+    #[test]
+    fn templates_with_params_normalize() {
+        let cat = catalog();
+        let p = scan("t", &["a", "b"])
+            .select(
+                Expr::param("hi")
+                    .gt(Expr::name("a"))
+                    .and(Expr::name("b").lt(Expr::param("lo"))),
+            )
+            .bind(&cat)
+            .unwrap();
+        let n = normalize(&p, &cat);
+        assert!(n.has_params());
+        // Param comparison flipped into canonical column-left form.
+        match &n {
+            Plan::Select { predicate, .. } => {
+                assert!(predicate.to_string().contains("($0 < :hi)"), "{predicate}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -196,6 +196,25 @@ pub fn cone_params(ra: f64, dec: f64, radius: f64) -> Params {
         .set("radius", radius)
 }
 
+/// The dominant pattern as SQL text — the `Session::prepare_sql` form of
+/// [`nearby_template`], with the same `$ra` / `$dec` / `$radius` slots.
+/// Lowering + normalization converge it onto the builder template's
+/// fingerprint, so SQL clients and plan-builder clients share the cone
+/// search's cache entry.
+pub fn nearby_sql(cols: &[&str], limit: usize) -> String {
+    format!(
+        "SELECT {}, n_objid, n_distance \
+         FROM photoprimary INNER JOIN fgetnearbyobjeq($ra, $dec, $radius) \
+         ON p_objid = n_objid LIMIT {limit}",
+        cols.join(", ")
+    )
+}
+
+/// The two session templates as SQL text (wide and narrow projections).
+pub fn session_sql_templates() -> (String, String) {
+    (nearby_sql(&WIDE_COLS, 10), nearby_sql(&NARROW_COLS, 10))
+}
+
 /// Session (query log) generation options.
 #[derive(Debug, Clone)]
 pub struct SessionOptions {
@@ -424,6 +443,44 @@ mod tests {
             "hot-dominated log must reuse heavily (got {reused}/{})",
             log.len()
         );
+    }
+
+    #[test]
+    fn sql_cone_template_converges_with_builder() {
+        let cat = generate(&SkyConfig {
+            objects: 2_000,
+            seed: 9,
+        });
+        let engine = rdb_engine::Engine::builder(cat.clone())
+            .functions(functions(&cat))
+            .build();
+        let session = engine.session();
+        let (wide_sql, narrow_sql) = session_sql_templates();
+        let (wide_tpl, narrow_tpl) = session_templates();
+        for (sql, tpl) in [(&wide_sql, &wide_tpl), (&narrow_sql, &narrow_tpl)] {
+            let from_sql = session
+                .prepare_sql(sql)
+                .unwrap_or_else(|e| panic!("{}", e.render(sql)));
+            let from_builder = session.prepare(tpl).unwrap();
+            assert!(
+                rdb_plan::structural_eq(from_sql.template(), from_builder.template()),
+                "cone templates diverge\nSQL:\n{}\nbuilder:\n{}",
+                from_sql.template(),
+                from_builder.template()
+            );
+            assert_eq!(from_sql.fingerprint(), from_builder.fingerprint());
+            assert_eq!(from_sql.param_names(), &["ra", "dec", "radius"]);
+        }
+        // Executions share the cone search across frontends: the builder
+        // execution reuses the SQL execution's materialized cone.
+        let (ra, dec, r) = HOT_PARAMS;
+        let params = cone_params(ra, dec, r);
+        let from_sql = session.prepare_sql(&wide_sql).unwrap();
+        let a = from_sql.execute(&params).unwrap().into_outcome();
+        let from_builder = session.prepare(&wide_tpl).unwrap();
+        let b = from_builder.execute(&params).unwrap().into_outcome();
+        assert!(b.reused(), "builder run must reuse the SQL run's cone");
+        assert_eq!(a.batch.to_rows(), b.batch.to_rows());
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! The SQL abstract syntax tree, with source spans and a pretty-printer.
+//!
+//! Every expression node carries the byte [`Span`] of the text it was
+//! parsed from, so binder errors point at the exact fragment. The
+//! [`Statement::to_sql`] printer emits canonical text (uppercase keywords,
+//! fully parenthesized binary expressions) that re-parses to an equivalent
+//! tree — the roundtrip property the test suite checks.
+
+use std::fmt::Write as _;
+
+use rdb_expr::{ArithOp, CmpOp};
+use rdb_plan::JoinKind;
+use rdb_vector::Value;
+
+use crate::error::Span;
+
+/// A scalar (or aggregate-call) expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SExpr {
+    /// The node.
+    pub kind: SExprKind,
+    /// Source bytes this node was parsed from.
+    pub span: Span,
+}
+
+/// Aggregate function names the grammar recognizes.
+pub const AGG_NAMES: [&str; 6] = ["count", "sum", "min", "max", "avg", "count_distinct"];
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SExprKind {
+    /// `[qualifier.]name`.
+    Column {
+        /// Table name or alias, when qualified.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// `*` (select list, or `count(*)` argument).
+    Star,
+    /// Literal (numbers, strings, booleans, NULL, `DATE '…'`).
+    Lit(Value),
+    /// Named placeholder `$name`.
+    Param(String),
+    /// Positional placeholder `?`, numbered left to right from 1.
+    Question(u32),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<SExpr>, Box<SExpr>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<SExpr>, Box<SExpr>),
+    /// N-ary conjunction (parsed flat, so wide `AND` chains cost one
+    /// nesting level, not one per conjunct).
+    And(Vec<SExpr>),
+    /// N-ary disjunction.
+    Or(Vec<SExpr>),
+    /// `NOT a`.
+    Not(Box<SExpr>),
+    /// Unary minus.
+    Neg(Box<SExpr>),
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        /// String input.
+        expr: Box<SExpr>,
+        /// Wildcard pattern.
+        pattern: String,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (…)`.
+    InList {
+        /// Probe expression.
+        expr: Box<SExpr>,
+        /// Member expressions (literals/params after binding).
+        list: Vec<SExpr>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<SExpr>,
+        /// Lower bound (inclusive).
+        lo: Box<SExpr>,
+        /// Upper bound (inclusive).
+        hi: Box<SExpr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<SExpr>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `CASE WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// `(condition, value)` branches.
+        branches: Vec<(SExpr, SExpr)>,
+        /// `ELSE` value (NULL when omitted).
+        otherwise: Option<Box<SExpr>>,
+    },
+    /// Scalar function call: `year(d)`, `month(d)`, `substr(s, i, n)`,
+    /// `extract(year from d)` is sugared into `year(d)` by the parser.
+    Func {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<SExpr>,
+    },
+    /// Aggregate call: `count(*)`, `count(x)`, `count(distinct x)`,
+    /// `sum/min/max/avg(x)`.
+    Agg {
+        /// Lowercased function name.
+        func: String,
+        /// `DISTINCT` flag (only `count` supports it).
+        distinct: bool,
+        /// Argument; `None` encodes `*`.
+        arg: Option<Box<SExpr>>,
+    },
+}
+
+impl SExpr {
+    /// Construct with a span.
+    pub fn new(kind: SExprKind, span: Span) -> SExpr {
+        SExpr { kind, span }
+    }
+
+    /// Whether any node in the subtree is an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        if matches!(self.kind, SExprKind::Agg { .. }) {
+            return true;
+        }
+        self.children().iter().any(|c| c.has_aggregate())
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&SExpr> {
+        match &self.kind {
+            SExprKind::Column { .. }
+            | SExprKind::Star
+            | SExprKind::Lit(_)
+            | SExprKind::Param(_)
+            | SExprKind::Question(_) => vec![],
+            SExprKind::Cmp(_, a, b) | SExprKind::Arith(_, a, b) => vec![a, b],
+            SExprKind::And(items) | SExprKind::Or(items) => items.iter().collect(),
+            SExprKind::Not(e) | SExprKind::Neg(e) => vec![e],
+            SExprKind::Like { expr, .. } | SExprKind::IsNull { expr, .. } => vec![expr],
+            SExprKind::InList { expr, list, .. } => {
+                let mut v = vec![expr.as_ref()];
+                v.extend(list.iter());
+                v
+            }
+            SExprKind::Between { expr, lo, hi } => vec![expr, lo, hi],
+            SExprKind::Case {
+                branches,
+                otherwise,
+            } => {
+                let mut v = Vec::new();
+                for (c, t) in branches {
+                    v.push(c);
+                    v.push(t);
+                }
+                if let Some(e) = otherwise {
+                    v.push(e);
+                }
+                v
+            }
+            SExprKind::Func { args, .. } => args.iter().collect(),
+            SExprKind::Agg { arg, .. } => arg.iter().map(|b| b.as_ref()).collect(),
+        }
+    }
+
+    /// Canonical SQL text of this expression.
+    pub fn to_sql(&self) -> String {
+        let mut s = String::new();
+        self.write_sql(&mut s);
+        s
+    }
+
+    fn write_sql(&self, out: &mut String) {
+        match &self.kind {
+            SExprKind::Column { qualifier, name } => {
+                if let Some(q) = qualifier {
+                    let _ = write!(out, "{q}.");
+                }
+                out.push_str(name);
+            }
+            SExprKind::Star => out.push('*'),
+            SExprKind::Lit(v) => out.push_str(&lit_sql(v)),
+            SExprKind::Param(n) => {
+                let _ = write!(out, "${n}");
+            }
+            SExprKind::Question(_) => out.push('?'),
+            SExprKind::Cmp(op, a, b) => binary(out, op.symbol(), a, b),
+            SExprKind::Arith(op, a, b) => binary(out, op.symbol(), a, b),
+            SExprKind::And(items) => junction(out, "AND", items),
+            SExprKind::Or(items) => junction(out, "OR", items),
+            SExprKind::Not(e) => {
+                out.push_str("(NOT ");
+                e.write_sql(out);
+                out.push(')');
+            }
+            SExprKind::Neg(e) => {
+                out.push_str("(-");
+                e.write_sql(out);
+                out.push(')');
+            }
+            SExprKind::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                out.push('(');
+                expr.write_sql(out);
+                let _ = write!(
+                    out,
+                    " {}LIKE '{}')",
+                    if *negated { "NOT " } else { "" },
+                    pattern.replace('\'', "''")
+                );
+            }
+            SExprKind::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                out.push('(');
+                expr.write_sql(out);
+                out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    e.write_sql(out);
+                }
+                out.push_str("))");
+            }
+            SExprKind::Between { expr, lo, hi } => {
+                out.push('(');
+                expr.write_sql(out);
+                out.push_str(" BETWEEN ");
+                lo.write_sql(out);
+                out.push_str(" AND ");
+                hi.write_sql(out);
+                out.push(')');
+            }
+            SExprKind::IsNull { expr, negated } => {
+                out.push('(');
+                expr.write_sql(out);
+                out.push_str(if *negated {
+                    " IS NOT NULL)"
+                } else {
+                    " IS NULL)"
+                });
+            }
+            SExprKind::Case {
+                branches,
+                otherwise,
+            } => {
+                out.push_str("CASE");
+                for (c, t) in branches {
+                    out.push_str(" WHEN ");
+                    c.write_sql(out);
+                    out.push_str(" THEN ");
+                    t.write_sql(out);
+                }
+                if let Some(e) = otherwise {
+                    out.push_str(" ELSE ");
+                    e.write_sql(out);
+                }
+                out.push_str(" END");
+            }
+            SExprKind::Func { name, args } => {
+                let _ = write!(out, "{name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    a.write_sql(out);
+                }
+                out.push(')');
+            }
+            SExprKind::Agg {
+                func,
+                distinct,
+                arg,
+            } => {
+                let _ = write!(out, "{func}(");
+                if *distinct {
+                    out.push_str("DISTINCT ");
+                }
+                match arg {
+                    None => out.push('*'),
+                    Some(a) => a.write_sql(out),
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn junction(out: &mut String, op: &str, items: &[SExpr]) {
+    out.push('(');
+    for (i, e) in items.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, " {op} ");
+        }
+        e.write_sql(out);
+    }
+    out.push(')');
+}
+
+fn binary(out: &mut String, op: &str, a: &SExpr, b: &SExpr) {
+    out.push('(');
+    a.write_sql(out);
+    let _ = write!(out, " {op} ");
+    b.write_sql(out);
+    out.push(')');
+}
+
+/// SQL text of a literal (floats keep a decimal point so they re-parse as
+/// floats; strings re-escape quotes; dates use the `DATE '…'` form).
+fn lit_sql(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(d) => format!("DATE '{}'", rdb_vector::types::format_date(*d)),
+    }
+}
+
+/// One `SELECT` list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression (possibly [`SExprKind::Star`]).
+    pub expr: SExpr,
+    /// `AS alias`, when given.
+    pub alias: Option<String>,
+}
+
+/// A base relation in `FROM`: a table, or a table function call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table or function name.
+    pub name: String,
+    /// `Some(args)` marks a table-function call.
+    pub args: Option<Vec<SExpr>>,
+    /// Binding alias.
+    pub alias: Option<String>,
+    /// Span of the name token.
+    pub span: Span,
+}
+
+/// An explicit join hanging off a `FROM` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// INNER / LEFT / SEMI / ANTI.
+    pub kind: JoinKind,
+    /// The joined relation.
+    pub table: TableRef,
+    /// `ON` condition.
+    pub on: SExpr,
+}
+
+/// One `FROM` item: a relation plus its chained joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The leading relation.
+    pub first: TableRef,
+    /// Chained `JOIN … ON …` clauses, in order.
+    pub joins: Vec<JoinClause>,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Key expression (an output column name, usually).
+    pub expr: SExpr,
+    /// `DESC` when true.
+    pub desc: bool,
+}
+
+/// The body of one `SELECT` (an arm of a `UNION ALL`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCore {
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` items (comma-separated; commas mean inner joins whose keys
+    /// come from `WHERE`).
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub where_: Option<SExpr>,
+    /// `GROUP BY` keys.
+    pub group_by: Vec<SExpr>,
+    /// `HAVING` predicate.
+    pub having: Option<SExpr>,
+    /// Span of the whole core.
+    pub span: Span,
+}
+
+/// A full `SELECT` statement: `UNION ALL` arms plus statement-level
+/// ordering and limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// The arms (length 1 without `UNION ALL`).
+    pub arms: Vec<SelectCore>,
+    /// `ORDER BY` keys over the output.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT n`.
+    pub limit: Option<u64>,
+}
+
+/// `INSERT INTO t [(cols)] VALUES (…), (…)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Span of the table name.
+    pub table_span: Span,
+    /// Explicit column list (empty = schema order).
+    pub columns: Vec<(String, Span)>,
+    /// Value rows.
+    pub rows: Vec<Vec<SExpr>>,
+}
+
+/// `DELETE FROM t [WHERE …]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// Span of the table name.
+    pub table_span: Span,
+    /// Row filter; `None` deletes everything.
+    pub where_: Option<SExpr>,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A query.
+    Select(SelectStatement),
+    /// An append.
+    Insert(Insert),
+    /// A predicate delete.
+    Delete(Delete),
+}
+
+impl Statement {
+    /// Canonical SQL text (re-parses to an equivalent statement).
+    pub fn to_sql(&self) -> String {
+        match self {
+            Statement::Select(s) => s.to_sql(),
+            Statement::Insert(i) => {
+                let mut out = format!("INSERT INTO {}", i.table);
+                if !i.columns.is_empty() {
+                    let cols: Vec<&str> = i.columns.iter().map(|(c, _)| c.as_str()).collect();
+                    let _ = write!(out, " ({})", cols.join(", "));
+                }
+                out.push_str(" VALUES ");
+                for (ri, row) in i.rows.iter().enumerate() {
+                    if ri > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('(');
+                    for (ci, v) in row.iter().enumerate() {
+                        if ci > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&v.to_sql());
+                    }
+                    out.push(')');
+                }
+                out
+            }
+            Statement::Delete(d) => {
+                let mut out = format!("DELETE FROM {}", d.table);
+                if let Some(w) = &d.where_ {
+                    let _ = write!(out, " WHERE {}", w.to_sql());
+                }
+                out
+            }
+        }
+    }
+}
+
+impl SelectStatement {
+    /// Canonical SQL text.
+    pub fn to_sql(&self) -> String {
+        let mut out = String::new();
+        for (i, arm) in self.arms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" UNION ALL ");
+            }
+            arm.write_sql(&mut out);
+        }
+        if !self.order_by.is_empty() {
+            out.push_str(" ORDER BY ");
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&k.expr.to_sql());
+                if k.desc {
+                    out.push_str(" DESC");
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            let _ = write!(out, " LIMIT {n}");
+        }
+        out
+    }
+}
+
+impl SelectCore {
+    fn write_sql(&self, out: &mut String) {
+        out.push_str("SELECT ");
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&item.expr.to_sql());
+            if let Some(a) = &item.alias {
+                let _ = write!(out, " AS {a}");
+            }
+        }
+        out.push_str(" FROM ");
+        for (i, f) in self.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, &f.first);
+            for j in &f.joins {
+                let kw = match j.kind {
+                    JoinKind::Inner => "INNER JOIN",
+                    JoinKind::LeftOuter => "LEFT JOIN",
+                    JoinKind::Semi => "SEMI JOIN",
+                    JoinKind::Anti => "ANTI JOIN",
+                    JoinKind::Single => "SINGLE JOIN",
+                };
+                let _ = write!(out, " {kw} ");
+                write_table_ref(out, &j.table);
+                let _ = write!(out, " ON {}", j.on.to_sql());
+            }
+        }
+        if let Some(w) = &self.where_ {
+            let _ = write!(out, " WHERE {}", w.to_sql());
+        }
+        if !self.group_by.is_empty() {
+            out.push_str(" GROUP BY ");
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&g.to_sql());
+            }
+        }
+        if let Some(h) = &self.having {
+            let _ = write!(out, " HAVING {}", h.to_sql());
+        }
+    }
+}
+
+fn write_table_ref(out: &mut String, t: &TableRef) {
+    out.push_str(&t.name);
+    if let Some(args) = &t.args {
+        out.push('(');
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&a.to_sql());
+        }
+        out.push(')');
+    }
+    if let Some(a) = &t.alias {
+        let _ = write!(out, " AS {a}");
+    }
+}

@@ -1,0 +1,221 @@
+//! SQL frontend errors: byte spans, structured kinds, caret rendering.
+
+use std::fmt;
+
+use rdb_plan::{PlanError, PlanErrorKind};
+
+/// A half-open byte range into the original SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn union(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What phase rejected the statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// Tokenization failure (bad character, unterminated string).
+    Lex,
+    /// The token stream does not match the grammar.
+    Parse,
+    /// Name resolution / lowering failure (unknown table or column,
+    /// ambiguity, misplaced aggregate, unsupported construct).
+    Bind,
+    /// A structured plan-layer error, wrapped with the span of the SQL
+    /// fragment that produced it.
+    Plan(PlanErrorKind),
+}
+
+/// An error anywhere between SQL text and a bound plan. Carries the byte
+/// span of the offending fragment; [`SqlError::render`] produces the
+/// caret-annotated report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Which phase failed, with structure where available.
+    pub kind: SqlErrorKind,
+    /// Offending region of the input text.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SqlError {
+    /// Lexer error at `span`.
+    pub fn lex(span: Span, message: impl Into<String>) -> SqlError {
+        SqlError {
+            kind: SqlErrorKind::Lex,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Parser error at `span`.
+    pub fn parse(span: Span, message: impl Into<String>) -> SqlError {
+        SqlError {
+            kind: SqlErrorKind::Parse,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Binder error at `span`.
+    pub fn bind(span: Span, message: impl Into<String>) -> SqlError {
+        SqlError {
+            kind: SqlErrorKind::Bind,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Wrap a structured plan error, attaching the span of the SQL
+    /// fragment it arose from. The plan error's kind is preserved — no
+    /// message re-parsing.
+    pub fn from_plan(span: Span, err: PlanError) -> SqlError {
+        let message = err.to_string();
+        SqlError {
+            kind: SqlErrorKind::Plan(err.kind),
+            span,
+            message,
+        }
+    }
+
+    /// Render the error against the SQL text it came from: the message,
+    /// the offending line, and a caret underline.
+    ///
+    /// ```text
+    /// error: unknown column 'l_shipdat' in scan of 'lineitem'
+    ///   |
+    /// 1 | SELECT l_shipdat FROM lineitem
+    ///   |        ^^^^^^^^^
+    /// ```
+    pub fn render(&self, sql: &str) -> String {
+        let start = self.span.start.min(sql.len());
+        let end = self.span.end.clamp(start, sql.len());
+        // Locate the line containing the span start.
+        let line_start = sql[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = sql[start..]
+            .find('\n')
+            .map(|i| start + i)
+            .unwrap_or(sql.len());
+        let line_no = sql[..start].bytes().filter(|&b| b == b'\n').count() + 1;
+        let line = &sql[line_start..line_end];
+        // Caret positions are *character* columns, not byte offsets —
+        // multi-byte UTF-8 before or inside the span must not shift or
+        // stretch the underline.
+        let col = sql[line_start..start].chars().count();
+        let width = sql[start..end.min(line_end)].chars().count().max(1);
+        let gutter = line_no.to_string();
+        let pad = " ".repeat(gutter.len());
+        format!(
+            "error: {msg}\n{pad} |\n{gutter} | {line}\n{pad} | {caret_pad}{carets}",
+            msg = self.message,
+            caret_pad = " ".repeat(col),
+            carets = "^".repeat(width),
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match &self.kind {
+            SqlErrorKind::Lex => "lex",
+            SqlErrorKind::Parse => "parse",
+            SqlErrorKind::Bind => "bind",
+            SqlErrorKind::Plan(_) => "plan",
+        };
+        write!(
+            f,
+            "{phase} error at byte {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_fragment() {
+        let sql = "SELECT nope FROM t";
+        let err = SqlError::bind(Span::new(7, 11), "unknown column 'nope'");
+        let r = err.render(sql);
+        assert!(r.contains("unknown column 'nope'"), "{r}");
+        assert!(r.contains("SELECT nope FROM t"), "{r}");
+        let caret_line = r.lines().last().unwrap();
+        assert_eq!(caret_line.trim_end(), "  |        ^^^^");
+    }
+
+    #[test]
+    fn render_counts_characters_not_bytes() {
+        // 'déjà' holds two 2-byte characters before the error token; the
+        // caret column must not drift right because of them.
+        let sql = "SELECT 'déjà', nope FROM t";
+        let start = sql.find("nope").unwrap();
+        let err = SqlError::bind(Span::new(start, start + 4), "unknown column 'nope'");
+        let r = err.render(sql);
+        let line = r.lines().nth(2).unwrap(); // "1 | SELECT 'déjà', nope FROM t"
+        let carets = r.lines().nth(3).unwrap();
+        let line_col = line.chars().position(|c| c == 'n').unwrap();
+        let caret_col = carets.chars().position(|c| c == '^').unwrap();
+        assert_eq!(line_col, caret_col, "caret misaligned:\n{r}");
+        assert_eq!(carets.matches('^').count(), 4, "{r}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_spans() {
+        let err = SqlError::parse(Span::new(100, 200), "truncated");
+        let r = err.render("short");
+        assert!(r.contains("truncated"));
+    }
+
+    #[test]
+    fn render_multiline_input() {
+        let sql = "SELECT a\nFROM missing_table\nWHERE a > 1";
+        let err = SqlError::bind(Span::new(14, 27), "unknown table 'missing_table'");
+        let r = err.render(sql);
+        assert!(r.contains("2 | FROM missing_table"), "{r}");
+        assert!(r.lines().last().unwrap().contains("^^^^^^^^^^^^^"), "{r}");
+    }
+
+    #[test]
+    fn plan_kind_preserved() {
+        let perr = rdb_plan::PlanError::unknown_table("ghost");
+        let err = SqlError::from_plan(Span::new(0, 5), perr);
+        match &err.kind {
+            SqlErrorKind::Plan(PlanErrorKind::UnknownTable { table }) => {
+                assert_eq!(table, "ghost")
+            }
+            other => panic!("kind not preserved: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Hand-written SQL lexer with byte spans.
+//!
+//! Produces a flat token vector (the grammar needs one token of
+//! lookahead, but materializing the stream keeps the parser trivial and
+//! the corpus small). Identifiers keep their original spelling; keyword
+//! recognition is case-insensitive and happens in the parser.
+
+use crate::error::{Span, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Numeric literal (original spelling; parsed during lowering).
+    Number(String),
+    /// String literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Named placeholder `$name`.
+    Param(String),
+    /// Positional placeholder `?`.
+    Question,
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte range in the input.
+    pub span: Span,
+}
+
+/// Tokenize `sql`. Line comments (`-- …`) and whitespace are skipped.
+pub fn lex(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let b = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'-' && b.get(i + 1) == Some(&b'-') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(sql[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Number: digits, optional fraction, optional exponent.
+        if c.is_ascii_digit() || (c == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' {
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Number(sql[start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // String literal with '' escaping.
+        if c == b'\'' {
+            let mut text = String::new();
+            i += 1;
+            loop {
+                match b.get(i) {
+                    None => {
+                        return Err(SqlError::lex(
+                            Span::new(start, b.len()),
+                            "unterminated string literal",
+                        ))
+                    }
+                    Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                        text.push('\'');
+                        i += 2;
+                    }
+                    Some(b'\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        // Advance one whole UTF-8 scalar.
+                        let ch = sql[i..].chars().next().unwrap();
+                        text.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+            }
+            out.push(Token {
+                tok: Tok::Str(text),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        // Named placeholder `$name`.
+        if c == b'$' {
+            i += 1;
+            let name_start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            if i == name_start {
+                return Err(SqlError::lex(
+                    Span::new(start, i),
+                    "expected a parameter name after '$'",
+                ));
+            }
+            out.push(Token {
+                tok: Tok::Param(sql[name_start..i].to_string()),
+                span: Span::new(start, i),
+            });
+            continue;
+        }
+        if c == b'?' {
+            out.push(Token {
+                tok: Tok::Question,
+                span: Span::new(start, start + 1),
+            });
+            i += 1;
+            continue;
+        }
+        // Multi-byte operators first.
+        let two = sql.get(i..i + 2).unwrap_or("");
+        let sym: Option<&'static str> = match two {
+            "<>" => Some("<>"),
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "!=" => Some("<>"), // alias
+            _ => None,
+        };
+        if let Some(s) = sym {
+            out.push(Token {
+                tok: Tok::Sym(s),
+                span: Span::new(start, start + 2),
+            });
+            i += 2;
+            continue;
+        }
+        let one: Option<&'static str> = match c {
+            b'(' => Some("("),
+            b')' => Some(")"),
+            b',' => Some(","),
+            b'.' => Some("."),
+            b'*' => Some("*"),
+            b'=' => Some("="),
+            b'<' => Some("<"),
+            b'>' => Some(">"),
+            b'+' => Some("+"),
+            b'-' => Some("-"),
+            b'/' => Some("/"),
+            b';' => Some(";"),
+            _ => None,
+        };
+        match one {
+            Some(s) => {
+                out.push(Token {
+                    tok: Tok::Sym(s),
+                    span: Span::new(start, start + 1),
+                });
+                i += 1;
+            }
+            None => {
+                let ch = sql[i..].chars().next().unwrap();
+                return Err(SqlError::lex(
+                    Span::new(start, start + ch.len_utf8()),
+                    format!("unexpected character {ch:?}"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT a, 1.5 FROM t WHERE x <= $p"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Sym(","),
+                Tok::Number("1.5".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("x".into()),
+                Tok::Sym("<="),
+                Tok::Param("p".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_span() {
+        let ts = lex("select 'it''s'").unwrap();
+        assert_eq!(ts[1].tok, Tok::Str("it's".into()));
+        assert_eq!(ts[1].span, Span::new(7, 14));
+    }
+
+    #[test]
+    fn comments_and_not_equal_alias() {
+        assert_eq!(
+            toks("a != b -- trailing\n<> ?"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Sym("<>"),
+                Tok::Ident("b".into()),
+                Tok::Sym("<>"),
+                Tok::Question,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_have_spans() {
+        let e = lex("select 'oops").unwrap_err();
+        assert_eq!(e.span.start, 7);
+        let e = lex("a # b").unwrap_err();
+        assert_eq!(e.span, Span::new(2, 3));
+        let e = lex("x = $").unwrap_err();
+        assert!(e.message.contains("parameter name"));
+    }
+
+    #[test]
+    fn exponent_numbers() {
+        assert_eq!(
+            toks("1e3 2.5E-2 .5"),
+            vec![
+                Tok::Number("1e3".into()),
+                Tok::Number("2.5E-2".into()),
+                Tok::Number(".5".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,1121 @@
+//! Hand-written recursive-descent parser for the supported SQL subset.
+//!
+//! Grammar (see the crate docs for the full reference):
+//!
+//! ```text
+//! statement   := select_stmt | insert | delete
+//! select_stmt := select_core (UNION ALL select_core)*
+//!                [ORDER BY key (',' key)*] [LIMIT int] [';']
+//! select_core := SELECT item (',' item)* FROM from_item (',' from_item)*
+//!                [WHERE expr] [GROUP BY expr (',' expr)*] [HAVING expr]
+//! from_item   := table_ref (join)*
+//! table_ref   := ident ['(' expr (',' expr)* ')'] [[AS] ident]
+//! join        := (JOIN | INNER JOIN | LEFT [OUTER] JOIN | SEMI JOIN |
+//!                 ANTI JOIN) table_ref ON expr
+//! insert      := INSERT INTO ident ['(' ident (',' ident)* ')']
+//!                VALUES tuple (',' tuple)*
+//! delete      := DELETE FROM ident [WHERE expr]
+//! ```
+//!
+//! Expressions use conventional precedence (`OR` < `AND` < `NOT` <
+//! comparisons/`IS`/`LIKE`/`IN`/`BETWEEN` < `+ -` < `* /` < unary minus).
+
+use rdb_expr::{ArithOp, CmpOp};
+use rdb_plan::JoinKind;
+use rdb_vector::types::date_from_ymd;
+use rdb_vector::Value;
+
+use crate::ast::*;
+use crate::error::{Span, SqlError};
+use crate::lexer::{lex, Tok, Token};
+
+/// Words that terminate an implicit alias position.
+const RESERVED: [&str; 36] = [
+    "select", "from", "where", "group", "having", "order", "limit", "union", "all", "on", "inner",
+    "left", "outer", "semi", "anti", "join", "as", "and", "or", "not", "by", "insert", "delete",
+    "values", "into", "asc", "desc", "case", "when", "then", "else", "end", "is", "in", "like",
+    "between",
+];
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        end: sql.len(),
+        question_count: 0,
+        depth: 0,
+    };
+    let stmt = p.statement()?;
+    p.eat_sym(";");
+    if let Some(t) = p.peek() {
+        return Err(SqlError::parse(
+            t.span,
+            format!("unexpected trailing input: {}", p.describe(&t.tok)),
+        ));
+    }
+    Ok(stmt)
+}
+
+/// Maximum expression nesting depth. Both the recursive-descent parser
+/// and every downstream recursive consumer (binder, normalizer,
+/// fingerprinting) recurse over the tree, so unbounded nesting would
+/// crash the process with a stack overflow — which, unlike a panic, is
+/// not catchable. Nesting beyond this is a [`SqlError`], not a crash.
+const MAX_EXPR_DEPTH: usize = 64;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    end: usize,
+    question_count: u32,
+    depth: usize,
+}
+
+impl Parser {
+    // ---- token plumbing --------------------------------------------------
+
+    fn peek(&self) -> Option<Token> {
+        self.toks.get(self.pos).cloned()
+    }
+
+    fn peek2(&self) -> Option<Token> {
+        self.toks.get(self.pos + 1).cloned()
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.end, self.end))
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or(Span::new(self.end, self.end))
+    }
+
+    fn describe(&self, t: &Tok) -> String {
+        match t {
+            Tok::Ident(s) => format!("'{s}'"),
+            Tok::Number(s) => format!("number '{s}'"),
+            Tok::Str(_) => "string literal".to_string(),
+            Tok::Param(n) => format!("parameter ${n}"),
+            Tok::Question => "'?'".to_string(),
+            Tok::Sym(s) => format!("'{s}'"),
+        }
+    }
+
+    fn is_kw(&self, offset: usize, word: &str) -> bool {
+        matches!(
+            self.toks.get(self.pos + offset),
+            Some(Token { tok: Tok::Ident(s), .. }) if s.eq_ignore_ascii_case(word)
+        )
+    }
+
+    fn eat_kw(&mut self, word: &str) -> bool {
+        if self.is_kw(0, word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<Span, SqlError> {
+        if self.is_kw(0, word) {
+            let s = self.here();
+            self.pos += 1;
+            Ok(s)
+        } else {
+            Err(self.unexpected(&format!("expected {}", word.to_uppercase())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Sym(s), .. }) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<Span, SqlError> {
+        if self.eat_sym(sym) {
+            Ok(self.prev_span())
+        } else {
+            Err(self.unexpected(&format!("expected '{sym}'")))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> SqlError {
+        match self.peek() {
+            Some(t) => SqlError::parse(t.span, format!("{what}, found {}", self.describe(&t.tok))),
+            None => SqlError::parse(
+                Span::new(self.end, self.end),
+                format!("{what}, found end of input"),
+            ),
+        }
+    }
+
+    /// Run `f` one expression-nesting level deeper, rejecting input past
+    /// [`MAX_EXPR_DEPTH`]. Guards every self-recursive expression
+    /// production (parenthesized/NOT/unary chains) plus, via
+    /// [`Parser::deepen`], the left-deep trees the binary-operator loops
+    /// build. Depth only needs to balance on success — an error aborts
+    /// the whole statement.
+    fn nested<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, SqlError>,
+    ) -> Result<T, SqlError> {
+        self.deepen(1)?;
+        let out = f(self)?;
+        self.depth -= 1;
+        Ok(out)
+    }
+
+    /// Account one level of tree depth; error when the statement exceeds
+    /// the nesting budget.
+    fn deepen(&mut self, levels: usize) -> Result<(), SqlError> {
+        self.depth += levels;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(SqlError::parse(
+                self.here(),
+                format!("expression nesting exceeds {MAX_EXPR_DEPTH} levels"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), SqlError> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(s),
+                span,
+            }) => {
+                self.pos += 1;
+                Ok((s, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    /// A bare alias identifier, unless the next word is reserved.
+    fn maybe_alias(&mut self) -> Option<String> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) => {
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.is_kw(0, "select") {
+            return Ok(Statement::Select(self.select_statement()?));
+        }
+        if self.is_kw(0, "insert") {
+            return self.insert();
+        }
+        if self.is_kw(0, "delete") {
+            return self.delete();
+        }
+        Err(self.unexpected("expected SELECT, INSERT, or DELETE"))
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement, SqlError> {
+        let mut arms = vec![self.select_core()?];
+        while self.is_kw(0, "union") {
+            self.pos += 1;
+            self.expect_kw("all")?;
+            arms.push(self.select_core()?);
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token {
+                    tok: Tok::Number(n),
+                    span,
+                }) => {
+                    limit = Some(n.parse::<u64>().map_err(|_| {
+                        SqlError::parse(
+                            span,
+                            format!("LIMIT must be a non-negative integer, got '{n}'"),
+                        )
+                    })?);
+                }
+                _ => return Err(self.unexpected("expected a row count after LIMIT")),
+            }
+        }
+        Ok(SelectStatement {
+            arms,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_core(&mut self) -> Result<SelectCore, SqlError> {
+        let start = self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem {
+                    expr: SExpr::new(SExprKind::Star, self.prev_span()),
+                    alias: None,
+                });
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident("expected an alias after AS")?.0)
+                } else {
+                    self.maybe_alias()
+                };
+                items.push(SelectItem { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.parse_from_item()?];
+        while self.eat_sym(",") {
+            from.push(self.parse_from_item()?);
+        }
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectCore {
+            items,
+            from,
+            where_,
+            group_by,
+            having,
+            span: start.union(self.prev_span()),
+        })
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, SqlError> {
+        let first = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.is_kw(0, "join") || (self.is_kw(0, "inner") && self.is_kw(1, "join"))
+            {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.is_kw(0, "left") {
+                self.pos += 1;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::LeftOuter
+            } else if self.is_kw(0, "semi") {
+                self.pos += 1;
+                self.expect_kw("join")?;
+                JoinKind::Semi
+            } else if self.is_kw(0, "anti") {
+                self.pos += 1;
+                self.expect_kw("join")?;
+                JoinKind::Anti
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            joins.push(JoinClause { kind, table, on });
+        }
+        Ok(FromItem { first, joins })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let (name, span) = self.ident("expected a table name")?;
+        let args = if self.eat_sym("(") {
+            let mut args = Vec::new();
+            if !self.eat_sym(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            Some(args)
+        } else {
+            None
+        };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident("expected an alias after AS")?.0)
+        } else {
+            self.maybe_alias()
+        };
+        Ok(TableRef {
+            name,
+            args,
+            alias,
+            span,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let (table, table_span) = self.ident("expected a table name")?;
+        let mut columns = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                let (c, s) = self.ident("expected a column name")?;
+                columns.push((c, s));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_sym("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            rows.push(row);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert {
+            table,
+            table_span,
+            columns,
+            rows,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let (table, table_span) = self.ident("expected a table name")?;
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete {
+            table,
+            table_span,
+            where_,
+        }))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<SExpr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SExpr, SqlError> {
+        let first = self.and_expr()?;
+        if !self.is_kw(0, "or") {
+            return Ok(first);
+        }
+        // Flat n-ary: a chain of ORs is one nesting level however long.
+        self.deepen(1)?;
+        let mut items = vec![first];
+        while self.eat_kw("or") {
+            items.push(self.and_expr()?);
+        }
+        self.depth -= 1;
+        let span = items[0].span.union(items.last().unwrap().span);
+        Ok(SExpr::new(SExprKind::Or(items), span))
+    }
+
+    fn and_expr(&mut self) -> Result<SExpr, SqlError> {
+        let first = self.not_expr()?;
+        if !self.is_kw(0, "and") {
+            return Ok(first);
+        }
+        self.deepen(1)?;
+        let mut items = vec![first];
+        while self.eat_kw("and") {
+            items.push(self.not_expr()?);
+        }
+        self.depth -= 1;
+        let span = items[0].span.union(items.last().unwrap().span);
+        Ok(SExpr::new(SExprKind::And(items), span))
+    }
+
+    fn not_expr(&mut self) -> Result<SExpr, SqlError> {
+        if self.is_kw(0, "not") {
+            let start = self.here();
+            self.pos += 1;
+            let inner = self.nested(|p| p.not_expr())?;
+            let span = start.union(inner.span);
+            return Ok(SExpr::new(SExprKind::Not(Box::new(inner)), span));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<SExpr, SqlError> {
+        let left = self.additive()?;
+        // Comparison.
+        if let Some(Token {
+            tok: Tok::Sym(s), ..
+        }) = self.peek()
+        {
+            let op = match s {
+                "=" => Some(CmpOp::Eq),
+                "<>" => Some(CmpOp::Ne),
+                "<" => Some(CmpOp::Lt),
+                "<=" => Some(CmpOp::Le),
+                ">" => Some(CmpOp::Gt),
+                ">=" => Some(CmpOp::Ge),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.pos += 1;
+                let right = self.additive()?;
+                let span = left.span.union(right.span);
+                return Ok(SExpr::new(
+                    SExprKind::Cmp(op, Box::new(left), Box::new(right)),
+                    span,
+                ));
+            }
+        }
+        // IS [NOT] NULL.
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let span = left.span.union(self.prev_span());
+            return Ok(SExpr::new(
+                SExprKind::IsNull {
+                    expr: Box::new(left),
+                    negated,
+                },
+                span,
+            ));
+        }
+        // [NOT] LIKE / IN / BETWEEN.
+        let negated = if self.is_kw(0, "not")
+            && (self.is_kw(1, "like") || self.is_kw(1, "in") || self.is_kw(1, "between"))
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("like") {
+            match self.advance() {
+                Some(Token {
+                    tok: Tok::Str(pattern),
+                    span,
+                }) => {
+                    let span = left.span.union(span);
+                    return Ok(SExpr::new(
+                        SExprKind::Like {
+                            expr: Box::new(left),
+                            pattern,
+                            negated,
+                        },
+                        span,
+                    ));
+                }
+                _ => return Err(self.unexpected("expected a pattern string after LIKE")),
+            }
+        }
+        if self.eat_kw("in") {
+            self.expect_sym("(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            let end = self.expect_sym(")")?;
+            let span = left.span.union(end);
+            return Ok(SExpr::new(
+                SExprKind::InList {
+                    expr: Box::new(left),
+                    list,
+                    negated,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw("between") {
+            if negated {
+                return Err(SqlError::parse(
+                    left.span,
+                    "NOT BETWEEN is not supported; write explicit comparisons",
+                ));
+            }
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            let span = left.span.union(hi.span);
+            return Ok(SExpr::new(
+                SExprKind::Between {
+                    expr: Box::new(left),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                },
+                span,
+            ));
+        }
+        if negated {
+            return Err(self.unexpected("expected LIKE, IN, or BETWEEN after NOT"));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<SExpr, SqlError> {
+        let mut left = self.multiplicative()?;
+        let mut wrapped = 0;
+        loop {
+            let op = if self.eat_sym("+") {
+                ArithOp::Add
+            } else if self.eat_sym("-") {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            self.deepen(1)?;
+            wrapped += 1;
+            let right = self.multiplicative()?;
+            let span = left.span.union(right.span);
+            left = SExpr::new(SExprKind::Arith(op, Box::new(left), Box::new(right)), span);
+        }
+        self.depth -= wrapped;
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<SExpr, SqlError> {
+        let mut left = self.unary()?;
+        let mut wrapped = 0;
+        loop {
+            let op = if self.eat_sym("*") {
+                ArithOp::Mul
+            } else if self.eat_sym("/") {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            self.deepen(1)?;
+            wrapped += 1;
+            let right = self.unary()?;
+            let span = left.span.union(right.span);
+            left = SExpr::new(SExprKind::Arith(op, Box::new(left), Box::new(right)), span);
+        }
+        self.depth -= wrapped;
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<SExpr, SqlError> {
+        if matches!(
+            self.peek(),
+            Some(Token {
+                tok: Tok::Sym("-"),
+                ..
+            })
+        ) {
+            let start = self.here();
+            self.pos += 1;
+            let inner = self.nested(|p| p.unary())?;
+            let span = start.union(inner.span);
+            // Fold negation into numeric literals immediately.
+            if let SExprKind::Lit(Value::Int(i)) = inner.kind {
+                return Ok(SExpr::new(SExprKind::Lit(Value::Int(-i)), span));
+            }
+            if let SExprKind::Lit(Value::Float(f)) = inner.kind {
+                return Ok(SExpr::new(SExprKind::Lit(Value::Float(-f)), span));
+            }
+            return Ok(SExpr::new(SExprKind::Neg(Box::new(inner)), span));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SExpr, SqlError> {
+        // One chokepoint for every bracketed recursion (parens, CASE,
+        // function arguments, IN lists): active `primary_inner` frames
+        // track the true nesting depth.
+        self.nested(|p| p.primary_inner())
+    }
+
+    fn primary_inner(&mut self) -> Result<SExpr, SqlError> {
+        let Some(t) = self.peek() else {
+            return Err(self.unexpected("expected an expression"));
+        };
+        match t.tok {
+            Tok::Number(ref n) => {
+                self.pos += 1;
+                let v = parse_number(n, t.span)?;
+                Ok(SExpr::new(SExprKind::Lit(v), t.span))
+            }
+            Tok::Str(ref s) => {
+                self.pos += 1;
+                Ok(SExpr::new(SExprKind::Lit(Value::str(s)), t.span))
+            }
+            Tok::Param(ref n) => {
+                self.pos += 1;
+                Ok(SExpr::new(SExprKind::Param(n.clone()), t.span))
+            }
+            Tok::Question => {
+                self.pos += 1;
+                self.question_count += 1;
+                Ok(SExpr::new(SExprKind::Question(self.question_count), t.span))
+            }
+            Tok::Sym("(") => {
+                // No extra deepen: the recursion re-enters primary(),
+                // which is the depth chokepoint.
+                self.pos += 1;
+                let e = self.expr()?;
+                let end = self.expect_sym(")")?;
+                Ok(SExpr::new(e.kind, t.span.union(end)))
+            }
+            Tok::Ident(ref word) => self.primary_ident(word.clone(), t.span),
+            _ => Err(self.unexpected("expected an expression")),
+        }
+    }
+
+    fn primary_ident(&mut self, word: String, span: Span) -> Result<SExpr, SqlError> {
+        let lower = word.to_ascii_lowercase();
+        match lower.as_str() {
+            "null" => {
+                self.pos += 1;
+                return Ok(SExpr::new(SExprKind::Lit(Value::Null), span));
+            }
+            "true" => {
+                self.pos += 1;
+                return Ok(SExpr::new(SExprKind::Lit(Value::Bool(true)), span));
+            }
+            "false" => {
+                self.pos += 1;
+                return Ok(SExpr::new(SExprKind::Lit(Value::Bool(false)), span));
+            }
+            "date" => {
+                if let Some(Token {
+                    tok: Tok::Str(s),
+                    span: sspan,
+                }) = self.peek2()
+                {
+                    self.pos += 2;
+                    let days = parse_date(&s, sspan)?;
+                    return Ok(SExpr::new(
+                        SExprKind::Lit(Value::Date(days)),
+                        span.union(sspan),
+                    ));
+                }
+            }
+            "case" => return self.case_expr(span),
+            "extract" => return self.extract_expr(span),
+            "substring" => {
+                if matches!(
+                    self.peek2(),
+                    Some(Token {
+                        tok: Tok::Sym("("),
+                        ..
+                    })
+                ) {
+                    return self.substring_expr(span);
+                }
+            }
+            _ => {}
+        }
+        // Reserved words cannot start an expression; rejecting them here
+        // gives "expected an expression" instead of a confusing downstream
+        // error about a column named e.g. 'from'.
+        if RESERVED.contains(&lower.as_str()) {
+            return Err(self.unexpected("expected an expression"));
+        }
+        // Function or aggregate call?
+        if matches!(
+            self.peek2(),
+            Some(Token {
+                tok: Tok::Sym("("),
+                ..
+            })
+        ) {
+            if AGG_NAMES.contains(&lower.as_str()) {
+                return self.agg_call(lower, span);
+            }
+            self.pos += 2; // name (
+            let mut args = Vec::new();
+            if !self.eat_sym(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            let end = self.prev_span();
+            return Ok(SExpr::new(
+                SExprKind::Func { name: lower, args },
+                span.union(end),
+            ));
+        }
+        // Column reference, possibly qualified.
+        self.pos += 1;
+        if self.eat_sym(".") {
+            let (name, nspan) = self.ident("expected a column name after '.'")?;
+            return Ok(SExpr::new(
+                SExprKind::Column {
+                    qualifier: Some(word),
+                    name,
+                },
+                span.union(nspan),
+            ));
+        }
+        Ok(SExpr::new(
+            SExprKind::Column {
+                qualifier: None,
+                name: word,
+            },
+            span,
+        ))
+    }
+
+    fn agg_call(&mut self, func: String, start: Span) -> Result<SExpr, SqlError> {
+        self.pos += 2; // name (
+        let distinct = self.eat_kw("distinct");
+        let arg = if self.eat_sym("*") {
+            if func != "count" {
+                return Err(SqlError::parse(
+                    start,
+                    format!("{func}(*) is not valid; only count(*) takes '*'"),
+                ));
+            }
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let end = self.expect_sym(")")?;
+        if distinct && func != "count" {
+            return Err(SqlError::parse(
+                start.union(end),
+                format!("DISTINCT is only supported inside count(), not {func}()"),
+            ));
+        }
+        if distinct && arg.is_none() {
+            return Err(SqlError::parse(
+                start.union(end),
+                "count(DISTINCT *) is not valid",
+            ));
+        }
+        Ok(SExpr::new(
+            SExprKind::Agg {
+                func,
+                distinct,
+                arg,
+            },
+            start.union(end),
+        ))
+    }
+
+    fn case_expr(&mut self, start: Span) -> Result<SExpr, SqlError> {
+        self.pos += 1; // CASE
+        let mut branches = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let value = self.expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(self.unexpected("expected WHEN after CASE"));
+        }
+        let otherwise = if self.eat_kw("else") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let end = self.expect_kw("end")?;
+        Ok(SExpr::new(
+            SExprKind::Case {
+                branches,
+                otherwise,
+            },
+            start.union(end),
+        ))
+    }
+
+    /// `extract(year|month from expr)` sugars into `year(expr)` /
+    /// `month(expr)`.
+    fn extract_expr(&mut self, start: Span) -> Result<SExpr, SqlError> {
+        self.pos += 1; // EXTRACT
+        self.expect_sym("(")?;
+        let (field, fspan) = self.ident("expected YEAR or MONTH")?;
+        let name = match field.to_ascii_lowercase().as_str() {
+            "year" => "year",
+            "month" => "month",
+            other => {
+                return Err(SqlError::parse(
+                    fspan,
+                    format!("extract supports YEAR and MONTH, not '{other}'"),
+                ))
+            }
+        };
+        self.expect_kw("from")?;
+        let arg = self.expr()?;
+        let end = self.expect_sym(")")?;
+        Ok(SExpr::new(
+            SExprKind::Func {
+                name: name.to_string(),
+                args: vec![arg],
+            },
+            start.union(end),
+        ))
+    }
+
+    /// `substring(s from a for b)` sugars into `substr(s, a, b)`.
+    fn substring_expr(&mut self, start: Span) -> Result<SExpr, SqlError> {
+        self.pos += 2; // substring (
+        let s = self.expr()?;
+        let (a, b) = if self.eat_kw("from") {
+            let a = self.expr()?;
+            self.expect_kw("for")?;
+            let b = self.expr()?;
+            (a, b)
+        } else {
+            self.expect_sym(",")?;
+            let a = self.expr()?;
+            self.expect_sym(",")?;
+            let b = self.expr()?;
+            (a, b)
+        };
+        let end = self.expect_sym(")")?;
+        Ok(SExpr::new(
+            SExprKind::Func {
+                name: "substr".to_string(),
+                args: vec![s, a, b],
+            },
+            start.union(end),
+        ))
+    }
+}
+
+fn parse_number(text: &str, span: Span) -> Result<Value, SqlError> {
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| SqlError::parse(span, format!("malformed number '{text}'")))
+}
+
+fn parse_date(text: &str, span: Span) -> Result<i32, SqlError> {
+    let bad = || {
+        SqlError::parse(
+            span,
+            format!("malformed date '{text}' (expected YYYY-MM-DD)"),
+        )
+    };
+    let mut it = text.split('-');
+    let y: i32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(bad)?;
+    let m: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(bad)?;
+    let d: u32 = it.next().and_then(|p| p.parse().ok()).ok_or_else(bad)?;
+    if it.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    Ok(date_from_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(sql: &str) -> Statement {
+        parse(sql).unwrap_or_else(|e| panic!("{}", e.render(sql)))
+    }
+
+    #[test]
+    fn simple_select_roundtrips() {
+        let s = parse_ok("SELECT a, b AS two FROM t WHERE a > 1 ORDER BY a DESC LIMIT 5");
+        let text = s.to_sql();
+        let again = parse_ok(&text);
+        assert_eq!(text, again.to_sql());
+    }
+
+    #[test]
+    fn precedence_or_and_cmp_arith() {
+        let s = parse_ok("SELECT * FROM t WHERE a = 1 OR b < 2 AND c + 1 * 2 > 3");
+        let Statement::Select(sel) = &s else { panic!() };
+        let w = sel.arms[0].where_.as_ref().unwrap().to_sql();
+        assert_eq!(w, "((a = 1) OR ((b < 2) AND ((c + (1 * 2)) > 3)))");
+    }
+
+    #[test]
+    fn join_kinds_parse() {
+        let s = parse_ok(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.y LEFT JOIN c ON a.x = c.z \
+             SEMI JOIN d ON a.x = d.w",
+        );
+        let Statement::Select(sel) = &s else { panic!() };
+        let joins = &sel.arms[0].from[0].joins;
+        assert_eq!(joins.len(), 3);
+        assert_eq!(joins[0].kind, JoinKind::Inner);
+        assert_eq!(joins[1].kind, JoinKind::LeftOuter);
+        assert_eq!(joins[2].kind, JoinKind::Semi);
+    }
+
+    #[test]
+    fn comma_from_and_function_source() {
+        let s = parse_ok("SELECT * FROM f(1, $r) n, t WHERE n.id = t.id");
+        let Statement::Select(sel) = &s else { panic!() };
+        let from = &sel.arms[0].from;
+        assert_eq!(from.len(), 2);
+        assert!(from[0].first.args.is_some());
+        assert_eq!(from[0].first.alias.as_deref(), Some("n"));
+    }
+
+    #[test]
+    fn aggregates_and_group_having() {
+        let s = parse_ok("SELECT k, sum(v) AS sv, count(*) FROM t GROUP BY k HAVING sum(v) > 10");
+        let Statement::Select(sel) = &s else { panic!() };
+        assert!(sel.arms[0].items[1].expr.has_aggregate());
+        assert!(sel.arms[0].having.is_some());
+    }
+
+    #[test]
+    fn date_between_like_in_case() {
+        let s = parse_ok(
+            "SELECT CASE WHEN p LIKE 'PROMO%' THEN 1.0 ELSE 0.0 END FROM t \
+             WHERE d BETWEEN DATE '1994-01-01' AND DATE '1994-12-31' \
+             AND k IN (1, 2, 3) AND s IS NOT NULL",
+        );
+        let text = s.to_sql();
+        assert!(text.contains("BETWEEN DATE '1994-01-01'"), "{text}");
+        assert_eq!(parse_ok(&text).to_sql(), text);
+    }
+
+    #[test]
+    fn placeholders_number_left_to_right() {
+        let s = parse_ok("SELECT * FROM t WHERE a > ? AND b < ? AND c = $x");
+        let Statement::Select(sel) = &s else { panic!() };
+        let w = sel.arms[0].where_.as_ref().unwrap();
+        let mut qs = Vec::new();
+        fn walk(e: &SExpr, out: &mut Vec<u32>) {
+            if let SExprKind::Question(n) = e.kind {
+                out.push(n);
+            }
+            for c in e.children() {
+                walk(c, out);
+            }
+        }
+        walk(w, &mut qs);
+        assert_eq!(qs, vec![1, 2]);
+    }
+
+    #[test]
+    fn insert_and_delete_parse() {
+        let s = parse_ok("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+        let Statement::Insert(i) = &s else { panic!() };
+        assert_eq!(i.rows.len(), 2);
+        assert_eq!(i.columns.len(), 2);
+        let s = parse_ok("DELETE FROM t WHERE a < 0");
+        assert!(matches!(s, Statement::Delete(_)));
+        assert_eq!(parse_ok(&s.to_sql()).to_sql(), s.to_sql());
+    }
+
+    #[test]
+    fn union_all_parses() {
+        let s = parse_ok("SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a LIMIT 3");
+        let Statement::Select(sel) = &s else { panic!() };
+        assert_eq!(sel.arms.len(), 2);
+        assert_eq!(sel.limit, Some(3));
+    }
+
+    #[test]
+    fn extract_and_substring_sugar() {
+        let s = parse_ok(
+            "SELECT extract(year from d), substring(s from 1 for 2), substr(s, 3, 4) FROM t",
+        );
+        let text = s.to_sql();
+        assert!(text.contains("year(d)"), "{text}");
+        assert!(text.contains("substr(s, 1, 2)"), "{text}");
+    }
+
+    #[test]
+    fn errors_point_at_tokens() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(e.message.contains("expected an expression"), "{e}");
+        let e = parse("SELECT a b c FROM t").unwrap_err();
+        assert!(e.message.contains("expected"), "{e}");
+        let e = parse("SELECT a, FROM t").unwrap_err();
+        assert!(e.message.contains("expected an expression"), "{e}");
+        let e = parse("SELECT a FROM t WHERE a >").unwrap_err();
+        assert!(e.message.contains("end of input"), "{e}");
+        let e = parse("SELECT a FROM t LIMIT x").unwrap_err();
+        assert!(e.message.contains("LIMIT"), "{e}");
+        let e = parse("SELECT sum(*) FROM t").unwrap_err();
+        assert!(e.message.contains("count(*)"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let e = parse("SELECT a FROM t garbage roll").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+        // A trailing semicolon is fine.
+        parse_ok("SELECT a FROM t;");
+    }
+}

@@ -14,10 +14,12 @@
 pub mod gen;
 pub mod params;
 pub mod queries;
+pub mod sql;
 pub mod streams;
 pub mod templates;
 
 pub use gen::{generate, TpchConfig};
 pub use queries::build_query;
+pub use sql::sql_template;
 pub use streams::{make_streams, StreamOptions};
 pub use templates::template;

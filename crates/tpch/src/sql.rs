@@ -1,0 +1,169 @@
+//! The TPC-H templates as SQL text.
+//!
+//! These strings are the `Session::prepare_sql` form of the builder
+//! templates in [`crate::templates`]: same parameter slots, same QGEN
+//! generators. The test suite asserts that the lowered-and-normalized
+//! plans *fingerprint identically* to the builder-built templates — the
+//! normalization-convergence property the recycler relies on: a client
+//! sending SQL and a client assembling plans by hand share cache entries.
+
+use crate::templates::ParamGen;
+use crate::templates::{q14_params, q1_params, q6_params};
+
+/// Q1 — pricing summary report (`:shipdate` bound).
+pub const Q1_SQL: &str = "\
+SELECT l_returnflag, l_linestatus, \
+       sum(l_quantity) AS sum_qty, \
+       sum(l_extendedprice) AS sum_base_price, \
+       sum(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price, \
+       sum(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) AS sum_charge, \
+       avg(l_quantity) AS avg_qty, \
+       avg(l_extendedprice) AS avg_price, \
+       avg(l_discount) AS avg_disc, \
+       count(*) AS count_order \
+FROM lineitem \
+WHERE l_shipdate <= $shipdate \
+GROUP BY l_returnflag, l_linestatus \
+ORDER BY l_returnflag, l_linestatus";
+
+/// Q6 — forecasting revenue change (date window, discount band, quantity
+/// cap).
+pub const Q6_SQL: &str = "\
+SELECT sum(l_extendedprice * l_discount) AS revenue \
+FROM lineitem \
+WHERE l_shipdate >= $date_lo AND l_shipdate < $date_hi \
+  AND l_discount >= $disc_lo AND l_discount <= $disc_hi \
+  AND l_quantity < $qty";
+
+/// Q14 — promotion effect over a month.
+pub const Q14_SQL: &str = "\
+SELECT 100.0 * sum(CASE WHEN p_type LIKE 'PROMO%' \
+                        THEN l_extendedprice * (1.0 - l_discount) \
+                        ELSE 0.0 END) \
+       / sum(l_extendedprice * (1.0 - l_discount)) AS promo_revenue \
+FROM lineitem INNER JOIN part ON l_partkey = p_partkey \
+WHERE l_shipdate >= $date_lo AND l_shipdate < $date_hi";
+
+/// SQL text and QGEN parameter generator for pattern `n` (the patterns
+/// [`crate::templates::template`] also covers).
+pub fn sql_template(n: usize) -> Option<(&'static str, ParamGen)> {
+    match n {
+        1 => Some((Q1_SQL, q1_params)),
+        6 => Some((Q6_SQL, q6_params)),
+        14 => Some((Q14_SQL, q14_params)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, TpchConfig};
+    use crate::templates::template;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rdb_engine::Engine;
+
+    #[test]
+    fn sql_templates_fingerprint_identically_to_builders() {
+        // The convergence property: a template written as SQL text and
+        // the same template assembled with the plan builder normalize to
+        // the same canonical plan, hence the same fingerprint — they
+        // share recycler cache entries.
+        let catalog = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 7,
+        });
+        let engine = Engine::builder(catalog).build();
+        let session = engine.session();
+        for n in [1usize, 6, 14] {
+            let (sql, _) = sql_template(n).unwrap();
+            let (builder_tpl, _) = template(n).unwrap();
+            let from_sql = session
+                .prepare_sql(sql)
+                .unwrap_or_else(|e| panic!("Q{n}: {}", e.render(sql)));
+            let from_builder = session.prepare(&builder_tpl).unwrap();
+            // Structural equality: user-assigned output names are not part
+            // of the match identity (the recycler handles renames via name
+            // mappings), so internal aggregate names may differ.
+            assert!(
+                rdb_plan::structural_eq(from_sql.template(), from_builder.template()),
+                "Q{n}: normalized plans diverge\nSQL:\n{}\nbuilder:\n{}",
+                from_sql.template(),
+                from_builder.template()
+            );
+            assert_eq!(
+                from_sql.fingerprint(),
+                from_builder.fingerprint(),
+                "Q{n}: fingerprints diverge"
+            );
+            assert_eq!(from_sql.param_names(), from_builder.param_names());
+        }
+    }
+
+    #[test]
+    fn sql_and_builder_results_agree() {
+        let catalog = generate(&TpchConfig {
+            scale: 0.005,
+            seed: 11,
+        });
+        let engine = Engine::builder(catalog).build();
+        let session = engine.session();
+        for n in [1usize, 6, 14] {
+            let (sql, gen_params) = sql_template(n).unwrap();
+            let (builder_tpl, _) = template(n).unwrap();
+            let params = gen_params(&mut SmallRng::seed_from_u64(3));
+            let a = session
+                .prepare_sql(sql)
+                .unwrap()
+                .execute(&params)
+                .unwrap()
+                .into_outcome();
+            let b = session
+                .prepare(&builder_tpl)
+                .unwrap()
+                .execute(&params)
+                .unwrap()
+                .into_outcome();
+            assert_eq!(
+                a.batch.to_rows(),
+                b.batch.to_rows(),
+                "Q{n}: results diverge"
+            );
+            // Same fingerprint ⇒ the second execution reuses the first's
+            // materialized result.
+            assert!(
+                b.reused(),
+                "Q{n}: builder execution must hit the SQL execution's cache entry"
+            );
+        }
+    }
+
+    #[test]
+    fn sql_q1_output_names_match_spec() {
+        let catalog = generate(&TpchConfig {
+            scale: 0.002,
+            seed: 5,
+        });
+        let engine = Engine::builder(catalog).build();
+        let session = engine.session();
+        let prepared = session.prepare_sql(Q1_SQL).unwrap();
+        let params = q1_params(&mut SmallRng::seed_from_u64(1));
+        let handle = prepared.execute(&params).unwrap();
+        assert_eq!(
+            handle.schema().names(),
+            vec![
+                "l_returnflag",
+                "l_linestatus",
+                "sum_qty",
+                "sum_base_price",
+                "sum_disc_price",
+                "sum_charge",
+                "avg_qty",
+                "avg_price",
+                "avg_disc",
+                "count_order",
+            ]
+        );
+    }
+}

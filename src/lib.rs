@@ -11,8 +11,11 @@
 //!   analysis;
 //! * [`storage`] — versioned in-memory tables (epoch-stamped
 //!   append/delete with O(1) snapshot reads) and the catalog;
-//! * [`plan`] — logical query trees with structural fingerprints and
-//!   parameter slots;
+//! * [`plan`] — logical query trees with structural fingerprints,
+//!   parameter slots, and the [`plan::normalize`] canonicalization pass
+//!   every prepared statement goes through;
+//! * [`sql`] — the SQL text frontend: lexer, recursive-descent parser,
+//!   spanned AST, and the binder lowering to plans;
 //! * [`exec`] — the pipelined vector-at-a-time executor (incl. the `store`
 //!   operator, progress meters, and the public [`exec::ExecStream`] pull
 //!   loop);
@@ -88,6 +91,7 @@ pub use rdb_expr as expr;
 pub use rdb_plan as plan;
 pub use rdb_recycler as recycler;
 pub use rdb_skyserver as skyserver;
+pub use rdb_sql as sql;
 pub use rdb_storage as storage;
 pub use rdb_tpch as tpch;
 pub use rdb_vector as vector;

@@ -1,0 +1,302 @@
+//! Parser quality gates: a seeded roundtrip property test (print →
+//! reparse → identical canonical text, identical plan fingerprint) and a
+//! corpus of malformed inputs asserting span-accurate errors and no
+//! panics.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use recycler_db::engine::Engine;
+use recycler_db::sql::{parse, Statement};
+use recycler_db::storage::{Catalog, TableBuilder};
+use recycler_db::vector::{DataType, Schema, Value};
+
+fn catalog() -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    let schema = Schema::from_pairs([
+        ("a", DataType::Int),
+        ("b", DataType::Float),
+        ("c", DataType::Str),
+        ("d", DataType::Date),
+    ]);
+    let mut t = TableBuilder::new("t", schema, 100);
+    for i in 0..100i64 {
+        t.push_row(vec![
+            Value::Int(i % 10),
+            Value::Float(i as f64 * 0.25),
+            Value::str(["p", "q", "r"][(i % 3) as usize]),
+            Value::Date((i % 50) as i32),
+        ]);
+    }
+    cat.register(t.finish()).unwrap();
+    let schema = Schema::from_pairs([("id", DataType::Int), ("w", DataType::Float)]);
+    let mut u = TableBuilder::new("u", schema, 10);
+    for i in 0..10i64 {
+        u.push_row(vec![Value::Int(i), Value::Float(i as f64)]);
+    }
+    cat.register(u.finish()).unwrap();
+    Arc::new(cat)
+}
+
+// ---- seeded query generator ----------------------------------------------
+
+struct Gen {
+    rng: SmallRng,
+}
+
+impl Gen {
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.rng.gen_range(0..options.len())]
+    }
+
+    fn comparison(&mut self) -> String {
+        // Types kept compatible: ints/floats against a/b, strings
+        // against c, dates against d.
+        match self.rng.gen_range(0..5) {
+            0 => format!(
+                "a {} {}",
+                self.pick(&["=", "<>", "<", "<=", ">", ">="]),
+                self.rng.gen_range(-5..15)
+            ),
+            1 => format!(
+                "b {} {:.1}",
+                self.pick(&["<", ">", "<=", ">="]),
+                self.rng.gen_range(0..200) as f64 * 0.1
+            ),
+            2 => format!(
+                "c {} '{}'",
+                self.pick(&["=", "<>"]),
+                self.pick(&["p", "q", "r"])
+            ),
+            3 => format!("d >= DATE '1970-01-{:02}'", self.rng.gen_range(1..29)),
+            _ => format!("{} < a", self.rng.gen_range(-5..10)),
+        }
+    }
+
+    fn predicate(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_bool(0.4) {
+            let base = self.comparison();
+            match self.rng.gen_range(0..5) {
+                0 => format!("NOT {base}"),
+                1 => format!("a IN (1, 2, {})", self.rng.gen_range(3..9)),
+                2 => "c IS NOT NULL".to_string(),
+                3 => format!(
+                    "a BETWEEN {} AND {}",
+                    self.rng.gen_range(0..4),
+                    self.rng.gen_range(4..12)
+                ),
+                _ => base,
+            }
+        } else {
+            let op = self.pick(&["AND", "OR"]);
+            format!(
+                "({} {op} {})",
+                self.predicate(depth - 1),
+                self.predicate(depth - 1)
+            )
+        }
+    }
+
+    fn scalar(&mut self) -> String {
+        match self.rng.gen_range(0..6) {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            2 => format!("a + {}", self.rng.gen_range(1..9)),
+            3 => format!("b * {:.1}", self.rng.gen_range(1..30) as f64 * 0.1),
+            4 => "year(d)".to_string(),
+            _ => format!("CASE WHEN {} THEN 1.0 ELSE 0.0 END", self.comparison()),
+        }
+    }
+
+    fn query(&mut self) -> String {
+        let grouped = self.rng.gen_bool(0.4);
+        let joined = self.rng.gen_bool(0.3);
+        let from = if joined {
+            "t INNER JOIN u ON a = id"
+        } else {
+            "t"
+        };
+        let mut sql = if grouped {
+            let agg = self.pick(&[
+                "sum(b)",
+                "count(*)",
+                "min(b)",
+                "max(a)",
+                "avg(b)",
+                "count(distinct a)",
+            ]);
+            format!("SELECT c, {agg} AS agg0 FROM {from}")
+        } else {
+            let mut items = vec![format!("{} AS s0", self.scalar())];
+            for i in 1..self.rng.gen_range(1..4) {
+                items.push(format!("{} AS s{i}", self.scalar()));
+            }
+            format!("SELECT {} FROM {from}", items.join(", "))
+        };
+        if self.rng.gen_bool(0.8) {
+            sql.push_str(&format!(" WHERE {}", self.predicate(2)));
+        }
+        if grouped {
+            sql.push_str(" GROUP BY c");
+            if self.rng.gen_bool(0.3) {
+                sql.push_str(" HAVING count(*) > 1");
+            }
+            if self.rng.gen_bool(0.5) {
+                sql.push_str(" ORDER BY c");
+            }
+        } else if self.rng.gen_bool(0.4) {
+            sql.push_str(" ORDER BY s0");
+        }
+        if self.rng.gen_bool(0.4) {
+            sql.push_str(&format!(" LIMIT {}", self.rng.gen_range(1..40)));
+        }
+        sql
+    }
+}
+
+#[test]
+fn roundtrip_print_reparse_fixpoint() {
+    // print(parse(q)) must be a fixpoint of parse∘print, and the lowered
+    // plans of q and its canonical print must fingerprint identically.
+    let engine = Engine::builder(catalog()).build();
+    let session = engine.session();
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(0xD5),
+    };
+    for i in 0..300 {
+        let sql = g.query();
+        let ast = parse(&sql).unwrap_or_else(|e| panic!("case {i}: {}\n{}", sql, e.render(&sql)));
+        let printed = ast.to_sql();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("case {i} reprint: {}\n{}", printed, e.render(&printed)));
+        assert_eq!(
+            printed,
+            reparsed.to_sql(),
+            "case {i}: print∘parse not a fixpoint for\n{sql}"
+        );
+        // Both texts must prepare to the same fingerprint (and execute).
+        let p1 = session
+            .prepare_sql(&sql)
+            .unwrap_or_else(|e| panic!("case {i}: {}\n{}", sql, e.render(&sql)));
+        let p2 = session
+            .prepare_sql(&printed)
+            .unwrap_or_else(|e| panic!("case {i}: {}\n{}", printed, e.render(&printed)));
+        assert_eq!(
+            p1.fingerprint(),
+            p2.fingerprint(),
+            "case {i}: fingerprints diverge between\n{sql}\nand\n{printed}"
+        );
+        let a = p1
+            .execute(&recycler_db::expr::Params::none())
+            .unwrap()
+            .collect_batch();
+        let b = p2
+            .execute(&recycler_db::expr::Params::none())
+            .unwrap()
+            .collect_batch();
+        assert_eq!(a.to_rows(), b.to_rows(), "case {i}: results diverge");
+    }
+}
+
+#[test]
+fn dml_roundtrip_fixpoint() {
+    let cases = [
+        "INSERT INTO u (id, w) VALUES (1, 2.0), (3, 4.5)",
+        "INSERT INTO u VALUES (9, 1.5)",
+        "DELETE FROM u WHERE id > 5 AND w < 3.0",
+        "DELETE FROM u",
+    ];
+    for sql in cases {
+        let ast = parse(sql).unwrap();
+        let printed = ast.to_sql();
+        let again = parse(&printed).unwrap();
+        assert_eq!(printed, again.to_sql(), "{sql}");
+        assert!(matches!(again, Statement::Insert(_) | Statement::Delete(_)));
+    }
+}
+
+// ---- malformed corpus -----------------------------------------------------
+
+#[test]
+fn malformed_inputs_error_with_spans_and_never_panic() {
+    // (sql, expected substring of the offending fragment or message)
+    let corpus: &[(&str, &str)] = &[
+        ("", "end of input"),
+        ("SELECT", "expected an expression"),
+        ("SELECT a", "expected FROM"),
+        ("SELECT a FROM", "expected a table name"),
+        ("SELECT a FROM t WHERE", "expected an expression"),
+        ("SELECT a FROM t WHERE a >", "end of input"),
+        ("SELECT a FROM t WHERE a > 1 AND", "expected an expression"),
+        ("SELECT a FROM t GROUP", "expected BY"),
+        ("SELECT a FROM t ORDER a", "expected BY"),
+        ("SELECT a FROM t LIMIT", "expected a row count"),
+        ("SELECT a FROM t LIMIT -3", "expected a row count"),
+        ("SELECT a FROM t UNION SELECT a FROM t", "expected ALL"),
+        ("SELECT a, FROM t", "expected an expression"),
+        ("SELECT a FROM t JOIN u", "expected ON"),
+        ("SELECT count(* FROM t", "expected ')'"),
+        ("SELECT a FROM t WHERE a IN ()", "expected an expression"),
+        ("SELECT a FROM t WHERE a LIKE b", "pattern string"),
+        ("SELECT a FROM t WHERE a IS b", "expected NULL"),
+        ("SELECT 'unterminated FROM t", "unterminated string"),
+        ("SELECT a FROM t WHERE x # 1", "unexpected character"),
+        ("SELECT $ FROM t", "parameter name"),
+        ("SELECT CASE a WHEN 1 THEN 2 END FROM t", "expected WHEN"),
+        ("SELECT extract(day from d) FROM t", "YEAR and MONTH"),
+        ("SELECT sum(distinct b) FROM t", "DISTINCT"),
+        ("INSERT INTO", "expected a table name"),
+        ("INSERT INTO t VALUES", "expected '('"),
+        ("INSERT INTO t VALUES (1,)", "expected an expression"),
+        ("DELETE t", "expected FROM"),
+        ("SELECT a FROM t; SELECT b FROM t", "trailing"),
+        (
+            "SELECT a FROM t WHERE NOT BETWEEN 1 AND 2",
+            "expected an expression",
+        ),
+        ("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2", "NOT BETWEEN"),
+    ];
+    for (sql, expect) in corpus {
+        let err = match parse(sql) {
+            Err(e) => e,
+            Ok(stmt) => panic!("malformed input parsed: {sql:?} -> {}", stmt.to_sql()),
+        };
+        assert!(
+            err.message.contains(expect),
+            "{sql:?}: message {:?} missing {expect:?}",
+            err.message
+        );
+        // Spans stay inside the input (rendering must never panic).
+        assert!(err.span.start <= sql.len(), "{sql:?}: span out of range");
+        assert!(err.span.end <= sql.len().max(err.span.start), "{sql:?}");
+        let _ = err.render(sql);
+    }
+}
+
+#[test]
+fn binder_errors_point_at_fragments() {
+    let engine = Engine::builder(catalog()).build();
+    let session = engine.session();
+    let cases: &[(&str, &str)] = &[
+        ("SELECT zz FROM t", "zz"),
+        ("SELECT t.zz FROM t", "t.zz"),
+        ("SELECT x.a FROM t", "x.a"),
+        ("SELECT a FROM t INNER JOIN u ON a < id", "a < id"),
+        ("SELECT a, sum(b) AS s FROM t GROUP BY c", "a"),
+        ("SELECT substr(c, a, 2) FROM t", "a"),
+    ];
+    for (sql, fragment) in cases {
+        let err = session
+            .prepare_sql(sql)
+            .err()
+            .unwrap_or_else(|| panic!("{sql:?} must fail"));
+        let got = &sql[err.span.start..err.span.end];
+        assert_eq!(
+            got,
+            *fragment,
+            "{sql:?}: span points at {got:?}\n{}",
+            err.render(sql)
+        );
+    }
+}
