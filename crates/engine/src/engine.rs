@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rdb_exec::FnRegistry;
+use rdb_exec::{FnRegistry, WorkerPool};
 use rdb_expr::{eval_predicate, Expr};
 use rdb_plan::{Plan, PlanError};
 use rdb_recycler::{Recycler, RecyclerConfig, RecyclerEvent};
@@ -31,6 +31,12 @@ pub struct EngineConfig {
     /// Maximum queries executing simultaneously (the paper uses 12; further
     /// concurrent queries are queued).
     pub max_concurrent_queries: usize,
+    /// Default degree of intra-query parallelism (DOP): how many workers a
+    /// single query's morsel-driven pipelines may use. `1` (the default)
+    /// executes fully serially on the calling thread. Sessions can
+    /// override per query ([`crate::session::Session::set_parallelism`]).
+    /// Results are byte-identical at every DOP.
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -38,8 +44,21 @@ impl Default for EngineConfig {
         EngineConfig {
             recycling: Some(RecyclerConfig::default()),
             max_concurrent_queries: 12,
+            // Env-driven default so whole test/bench suites can be swept
+            // across DOPs without code changes (the CI DOP matrix).
+            parallelism: default_parallelism_from_env(),
         }
     }
+}
+
+/// `RDB_DEFAULT_DOP` (a positive integer) overrides the engine-wide
+/// default DOP; unset or unparsable means serial.
+fn default_parallelism_from_env() -> usize {
+    std::env::var("RDB_DEFAULT_DOP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 impl EngineConfig {
@@ -111,6 +130,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Default degree of intra-query parallelism. `n > 1` creates a shared
+    /// worker pool of `n` resident threads that every query's
+    /// morsel-driven pipelines run on; `1` executes serially. Per-session
+    /// overrides ([`crate::session::Session::set_parallelism`]) can exceed
+    /// the pool size — excess workers run on overflow threads.
+    pub fn parallelism(mut self, n: usize) -> EngineBuilder {
+        self.config.parallelism = n.max(1);
+        self
+    }
+
     /// Apply a whole [`EngineConfig`] at once.
     pub fn config(mut self, config: EngineConfig) -> EngineBuilder {
         self.config = config;
@@ -119,11 +148,14 @@ impl EngineBuilder {
 
     /// Construct the engine.
     pub fn build(self) -> Arc<Engine> {
+        let parallelism = self.config.parallelism.max(1);
         Arc::new(Engine {
             catalog: self.catalog,
             functions: self.functions,
             recycler: self.config.recycling.map(Recycler::new),
             gate: Arc::new(Gate::new(self.config.max_concurrent_queries)),
+            pool: (parallelism > 1).then(|| WorkerPool::new(parallelism)),
+            parallelism,
             epoch: Instant::now(),
         })
     }
@@ -143,6 +175,10 @@ pub struct QueryOutcome {
     pub match_ns: u64,
     /// Recycler events (rewrite-time and completion).
     pub events: Vec<RecyclerEvent>,
+    /// Degree of intra-query parallelism this execution was granted (the
+    /// builder may still run small scans serially; results are identical
+    /// either way).
+    pub dop: usize,
     /// Start/end offsets relative to the engine's epoch (for traces).
     pub started_at: Duration,
     /// End offset relative to the engine's epoch.
@@ -335,6 +371,12 @@ pub struct Engine {
     pub(crate) functions: Arc<FnRegistry>,
     pub(crate) recycler: Option<Arc<Recycler>>,
     pub(crate) gate: Arc<Gate>,
+    /// Shared worker pool for intra-query parallelism (`None` when the
+    /// engine default DOP is 1; session overrides then run on plain
+    /// threads).
+    pub(crate) pool: Option<Arc<WorkerPool>>,
+    /// Engine-default DOP.
+    pub(crate) parallelism: usize,
     pub(crate) epoch: Instant,
 }
 
@@ -377,6 +419,11 @@ impl Engine {
     /// The recycler, if recycling is enabled.
     pub fn recycler(&self) -> Option<&Arc<Recycler>> {
         self.recycler.as_ref()
+    }
+
+    /// The engine-default degree of intra-query parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Flush the recycler cache (no-op when recycling is off).

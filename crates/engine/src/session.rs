@@ -17,7 +17,7 @@
 //!   slot. Materialization is explicit via [`QueryHandle::collect_batch`] /
 //!   [`QueryHandle::into_outcome`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,6 +50,8 @@ pub struct SessionStats {
     pub rows_appended: AtomicU64,
     /// Rows deleted by this session.
     pub rows_deleted: AtomicU64,
+    /// Executions granted a degree of parallelism above 1.
+    pub parallel: AtomicU64,
     /// Total engine execution time, nanoseconds: preparation plus batch
     /// pulls; queue wait and client think-time between pulls excluded.
     pub wall_ns: AtomicU64,
@@ -67,6 +69,7 @@ impl SessionStats {
             writes: self.writes.load(Ordering::Relaxed),
             rows_appended: self.rows_appended.load(Ordering::Relaxed),
             rows_deleted: self.rows_deleted.load(Ordering::Relaxed),
+            parallel: self.parallel.load(Ordering::Relaxed),
             wall: Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
         }
     }
@@ -91,6 +94,8 @@ pub struct SessionStatsSnapshot {
     pub rows_appended: u64,
     /// Rows deleted.
     pub rows_deleted: u64,
+    /// Executions granted DOP > 1.
+    pub parallel: u64,
     /// Total engine execution time (see [`SessionStats::wall_ns`]).
     pub wall: Duration,
 }
@@ -99,6 +104,10 @@ pub struct SessionStatsSnapshot {
 pub struct Session {
     engine: Arc<Engine>,
     stats: Arc<SessionStats>,
+    /// Per-session DOP override; 0 means "inherit the engine default".
+    /// Shared with this session's prepared statements, so changing it
+    /// affects their subsequent executions too.
+    parallelism: Arc<AtomicUsize>,
 }
 
 impl Session {
@@ -106,6 +115,7 @@ impl Session {
         Session {
             engine,
             stats: Arc::new(SessionStats::default()),
+            parallelism: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -117,6 +127,28 @@ impl Session {
     /// Per-session statistics.
     pub fn stats(&self) -> SessionStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Override the degree of intra-query parallelism for this session's
+    /// executions (including statements already prepared on it). The
+    /// engine's shared worker pool is sized by
+    /// [`crate::engine::EngineBuilder::parallelism`]; a larger session DOP
+    /// still works, with the excess running on overflow threads.
+    pub fn set_parallelism(&self, dop: usize) {
+        self.parallelism.store(dop.max(1), Ordering::Relaxed);
+    }
+
+    /// Revert to the engine-default DOP.
+    pub fn clear_parallelism(&self) {
+        self.parallelism.store(0, Ordering::Relaxed);
+    }
+
+    /// The DOP this session's executions currently get.
+    pub fn parallelism(&self) -> usize {
+        match self.parallelism.load(Ordering::Relaxed) {
+            0 => self.engine.parallelism(),
+            n => n,
+        }
     }
 
     /// Prepare a query template: resolve every named column against the
@@ -168,6 +200,7 @@ impl Session {
         Ok(Prepared {
             engine: Arc::clone(&self.engine),
             stats: Arc::clone(&self.stats),
+            parallelism: Arc::clone(&self.parallelism),
             template,
             fingerprint,
             param_names,
@@ -350,6 +383,9 @@ fn validate_scans(plan: &Plan, catalog: &rdb_storage::Catalog) -> Result<(), Pla
 pub struct Prepared {
     engine: Arc<Engine>,
     stats: Arc<SessionStats>,
+    /// The owning session's DOP override (0 = engine default), read at
+    /// each execute.
+    parallelism: Arc<AtomicUsize>,
     template: Plan,
     fingerprint: u64,
     param_names: Vec<String>,
@@ -505,6 +541,24 @@ impl Prepared {
         let engine = &self.engine;
         let started_at = engine.epoch.elapsed();
         let start = Instant::now();
+        // DOP: the session override if set, else the engine default. The
+        // builder splits eligible pipelines across the engine's worker
+        // pool; every scan still reads the one snapshot pinned below, so
+        // all workers of this query see the same epoch vector.
+        let dop = match self.parallelism.load(Ordering::Relaxed) {
+            0 => engine.parallelism,
+            n => n,
+        };
+        if dop > 1 {
+            self.stats.parallel.fetch_add(1, Ordering::Relaxed);
+        }
+        let with_parallelism = |mut ctx: ExecContext| {
+            ctx = ctx.with_parallelism(dop);
+            match &engine.pool {
+                Some(pool) => ctx.with_pool(pool.clone()),
+                None => ctx,
+            }
+        };
         // Pin the snapshot *before* the recycler rewrite: the rewrite's
         // freshness checks, the store targets' epoch records, and every
         // scan must all agree on one epoch vector, or a write landing
@@ -512,19 +566,23 @@ impl Prepared {
         let snapshot = Arc::new(engine.catalog.snapshot());
         let (stream, recycler) = match &engine.recycler {
             None => {
-                let ctx = ExecContext::new(engine.catalog.clone())
-                    .with_snapshot(snapshot.clone())
-                    .with_functions(engine.functions.clone());
+                let ctx = with_parallelism(
+                    ExecContext::new(engine.catalog.clone())
+                        .with_snapshot(snapshot.clone())
+                        .with_functions(engine.functions.clone()),
+                );
                 (build(concrete, &ctx)?.into_stream(), None)
             }
             Some(recycler) => {
                 let prepared = recycler.prepare_at(concrete, &engine.catalog, &|t| {
                     snapshot.epoch_of(t).unwrap_or(0)
                 });
-                let ctx = ExecContext::new(engine.catalog.clone())
-                    .with_snapshot(snapshot.clone())
-                    .with_functions(engine.functions.clone())
-                    .with_store(recycler.clone() as Arc<dyn ResultStore>);
+                let ctx = with_parallelism(
+                    ExecContext::new(engine.catalog.clone())
+                        .with_snapshot(snapshot.clone())
+                        .with_functions(engine.functions.clone())
+                        .with_store(recycler.clone() as Arc<dyn ResultStore>),
+                );
                 // A build failure after recycler.prepare must release the
                 // rewrite's bookkeeping (in-flight store targets, tags,
                 // leases) or every later structurally-equal query stalls on
@@ -549,6 +607,7 @@ impl Prepared {
             recycler,
             events,
             match_ns,
+            dop,
             guard: Some(guard),
             epoch: engine.epoch,
             started_at,
@@ -570,6 +629,7 @@ pub struct QueryHandle {
     recycler: Option<(Arc<Recycler>, PreparedQuery)>,
     events: Vec<RecyclerEvent>,
     match_ns: u64,
+    dop: usize,
     guard: Option<GateGuard>,
     epoch: Instant,
     started_at: Duration,
@@ -633,6 +693,11 @@ impl QueryHandle {
         self.match_ns
     }
 
+    /// Degree of parallelism this execution was granted.
+    pub fn dop(&self) -> usize {
+        self.dop
+    }
+
     /// Start offset relative to the engine's epoch.
     pub fn started_at(&self) -> Duration {
         self.started_at
@@ -664,6 +729,7 @@ impl QueryHandle {
             wall: self.exec,
             match_ns: self.match_ns,
             events: std::mem::take(&mut self.events),
+            dop: self.dop,
             started_at: self.started_at,
             finished_at: self.finished_at,
         }

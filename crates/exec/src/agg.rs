@@ -6,6 +6,19 @@
 //! selection-aware: filtered batches arrive as shared columns plus a
 //! selection vector and only the selected rows are folded in — the
 //! aggregate is the pipeline breaker, so nothing upstream ever gathered.
+//!
+//! **Deterministic emission order.** The breaker emits groups sorted by
+//! group key (ascending `Value` order, NULLs first), *not* in hash-table
+//! insertion order. This makes the output independent of input batch
+//! arrival order — and therefore of worker interleaving under
+//! morsel-driven parallel execution (see [`crate::parallel`]) — which the
+//! recycler requires: fingerprint-identical plans must publish
+//! byte-identical `MaterializedResult`s whether they ran at DOP 1 or 8.
+//!
+//! The same [`GroupTable`] state backs both the serial [`HashAggExec`] and
+//! the partitioned parallel aggregation: each worker folds its morsels into
+//! a private table, and the partials are merged pairwise at the breaker
+//! ([`GroupTable::merge`]), where the sort then erases the merge order.
 
 use std::sync::Arc;
 
@@ -21,7 +34,7 @@ use crate::op::{timed_next, Operator};
 
 /// One per-group accumulator.
 #[derive(Debug)]
-enum Acc {
+pub(crate) enum Acc {
     /// `count(*)` / `count(expr)`.
     Count(i64),
     /// `sum` over integers; `seen` distinguishes 0 from SQL NULL-sum.
@@ -124,6 +137,54 @@ impl Acc {
         }
     }
 
+    /// Combine a partial accumulator produced by another worker over a
+    /// disjoint subset of the same group's rows.
+    pub(crate) fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (
+                Acc::SumInt { total, seen },
+                Acc::SumInt {
+                    total: t2,
+                    seen: s2,
+                },
+            ) => {
+                *total += t2;
+                *seen |= s2;
+            }
+            (
+                Acc::SumFloat { total, seen },
+                Acc::SumFloat {
+                    total: t2,
+                    seen: s2,
+                },
+            ) => {
+                *total += t2;
+                *seen |= s2;
+            }
+            (Acc::Min(cur), Acc::Min(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|m| v < *m) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(cur), Acc::Max(other)) => {
+                if let Some(v) = other {
+                    if cur.as_ref().is_none_or(|m| v > *m) {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (Acc::Avg { sum, count }, Acc::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (Acc::Distinct(set), Acc::Distinct(other)) => set.extend(other),
+            _ => unreachable!("merging accumulators of different shapes"),
+        }
+    }
+
     fn finish(&self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(*n),
@@ -154,14 +215,174 @@ impl Acc {
     }
 }
 
-struct Group {
+pub(crate) struct Group {
     key: Vec<Value>,
     accs: Vec<Acc>,
 }
 
+/// A hash table from group key to accumulator states: the shared state of
+/// serial and partitioned parallel aggregation.
+pub(crate) struct GroupTable {
+    group_by: Vec<Expr>,
+    aggs: Vec<AggFunc>,
+    input_types: Vec<DataType>,
+    groups: FxHashMap<Vec<u8>, usize>,
+    states: Vec<Group>,
+    key_buf: Vec<u8>,
+}
+
+impl GroupTable {
+    pub(crate) fn new(group_by: Vec<Expr>, aggs: Vec<AggFunc>, input_types: Vec<DataType>) -> Self {
+        GroupTable {
+            group_by,
+            aggs,
+            input_types,
+            // Pre-size for one full vector of distinct keys; the map grows
+            // only when the workload really has more groups than that.
+            groups: FxHashMap::with_capacity_and_hasher(BATCH_CAPACITY, FxBuildHasher::default()),
+            states: Vec::new(),
+            key_buf: Vec::new(),
+        }
+    }
+
+    /// Fold a batch in, selection-aware.
+    pub(crate) fn fold(&mut self, batch: &Batch) {
+        let key_cols: Vec<Column> = self.group_by.iter().map(|e| eval(e, batch)).collect();
+        let key_refs: Vec<&Column> = key_cols.iter().collect();
+        let arg_cols: Vec<Option<Column>> = self
+            .aggs
+            .iter()
+            .map(|a| a.argument().map(|e| eval(e, batch)))
+            .collect();
+        let sel = batch.sel();
+        for li in 0..batch.rows() {
+            // Selection-aware: `row` is the physical position.
+            let row = match sel {
+                Some(s) => s[li] as usize,
+                None => li,
+            };
+            self.key_buf.clear();
+            encode_row_key(&key_refs, row, &mut self.key_buf);
+            let idx = match self.groups.get(&self.key_buf) {
+                Some(&i) => i,
+                None => {
+                    let idx = self.states.len();
+                    self.states.push(Group {
+                        key: key_refs.iter().map(|c| c.get(row)).collect(),
+                        accs: self
+                            .aggs
+                            .iter()
+                            .map(|a| Acc::new(a, &self.input_types))
+                            .collect(),
+                    });
+                    self.groups.insert(self.key_buf.clone(), idx);
+                    idx
+                }
+            };
+            for (acc, arg) in self.states[idx].accs.iter_mut().zip(&arg_cols) {
+                acc.update(arg.as_ref(), row);
+            }
+        }
+    }
+
+    /// Absorb another partial table computed over a disjoint row subset.
+    pub(crate) fn merge(&mut self, other: GroupTable) {
+        let GroupTable {
+            groups, mut states, ..
+        } = other;
+        for (key_bytes, other_idx) in groups {
+            // Each state is consumed exactly once (group keys are unique),
+            // so take the accumulators out by swap.
+            let g = &mut states[other_idx];
+            let accs = std::mem::take(&mut g.accs);
+            let key = std::mem::take(&mut g.key);
+            match self.groups.get(&key_bytes) {
+                Some(&i) => {
+                    for (acc, o) in self.states[i].accs.iter_mut().zip(accs) {
+                        acc.merge(o);
+                    }
+                }
+                None => {
+                    let idx = self.states.len();
+                    self.states.push(Group { key, accs });
+                    self.groups.insert(key_bytes, idx);
+                }
+            }
+        }
+    }
+
+    /// Finish: sort groups by key for deterministic emission (see module
+    /// docs), adding SQL's single empty-input row for global aggregation.
+    pub(crate) fn into_sorted_states(mut self) -> Vec<Group> {
+        if self.states.is_empty() && self.group_by.is_empty() {
+            self.states.push(Group {
+                key: vec![],
+                accs: self
+                    .aggs
+                    .iter()
+                    .map(|a| Acc::new(a, &self.input_types))
+                    .collect(),
+            });
+        }
+        self.states.sort_by(|a, b| a.key.cmp(&b.key));
+        self.states
+    }
+}
+
+/// Whether every accumulator in `aggs` combines *exactly* — i.e. its merge
+/// is truly associative and commutative over the reals it computes (counts,
+/// integer sums, min/max, distinct sets). Only such aggregates may be
+/// partitioned across parallel workers and merged in arbitrary order while
+/// staying bit-identical to serial execution; floating-point sums and
+/// averages are kept in serial fold order instead (the builder runs them
+/// over a parallel-gathered input), because float addition is not
+/// associative and partial sums would drift in the low-order bits.
+pub(crate) fn exact_accumulation(aggs: &[AggFunc], input_types: &[DataType]) -> bool {
+    aggs.iter().all(|a| match a {
+        AggFunc::CountStar
+        | AggFunc::Count(_)
+        | AggFunc::Min(_)
+        | AggFunc::Max(_)
+        | AggFunc::CountDistinct(_) => true,
+        AggFunc::Sum(e) => e.data_type(input_types) == DataType::Int,
+        AggFunc::Avg(_) => false,
+    })
+}
+
+/// Chunk sorted group states into output batches.
+pub(crate) fn emit_groups(
+    states: &[Group],
+    output_types: &[DataType],
+    group_len: usize,
+) -> Vec<Batch> {
+    let width = output_types.len();
+    let mut out = Vec::new();
+    let mut offset = 0;
+    while offset < states.len() {
+        let len = BATCH_CAPACITY.min(states.len() - offset);
+        let mut builders: Vec<ColumnBuilder> = output_types
+            .iter()
+            .map(|t| ColumnBuilder::new(*t, len))
+            .collect();
+        for g in &states[offset..offset + len] {
+            for (k, v) in g.key.iter().enumerate() {
+                builders[k].push(v.clone());
+            }
+            for (a, acc) in g.accs.iter().enumerate() {
+                builders[group_len + a].push(acc.finish());
+            }
+        }
+        let cols: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
+        debug_assert_eq!(cols.len(), width);
+        out.push(Batch::new(cols));
+        offset += len;
+    }
+    out
+}
+
 /// Blocking hash aggregation: consumes the whole input, then streams the
-/// grouped result. With no group keys it produces exactly one row (also for
-/// empty input, per SQL semantics).
+/// grouped result sorted by group key. With no group keys it produces
+/// exactly one row (also for empty input, per SQL semantics).
 pub struct HashAggExec {
     child: Box<dyn Operator>,
     group_by: Vec<Expr>,
@@ -198,90 +419,17 @@ impl HashAggExec {
     }
 
     fn build(&mut self) -> Vec<Batch> {
-        // Pre-size for one full vector of distinct keys; the map grows
-        // only when the workload really has more groups than that.
-        let mut groups: FxHashMap<Vec<u8>, usize> =
-            FxHashMap::with_capacity_and_hasher(BATCH_CAPACITY, FxBuildHasher::default());
-        let mut states: Vec<Group> = Vec::new();
-        let mut key_buf = Vec::new();
+        let mut table = GroupTable::new(
+            self.group_by.clone(),
+            self.aggs.clone(),
+            self.input_types.clone(),
+        );
         while let Some(batch) = self.child.next_batch() {
             self.metrics.add_work(batch.rows() as u64);
-            let key_cols: Vec<Column> = self.group_by.iter().map(|e| eval(e, &batch)).collect();
-            let key_refs: Vec<&Column> = key_cols.iter().collect();
-            let arg_cols: Vec<Option<Column>> = self
-                .aggs
-                .iter()
-                .map(|a| a.argument().map(|e| eval(e, &batch)))
-                .collect();
-            let sel = batch.sel();
-            for li in 0..batch.rows() {
-                // Selection-aware: `row` is the physical position.
-                let row = match sel {
-                    Some(s) => s[li] as usize,
-                    None => li,
-                };
-                key_buf.clear();
-                encode_row_key(&key_refs, row, &mut key_buf);
-                let idx = match groups.get(&key_buf) {
-                    Some(&i) => i,
-                    None => {
-                        let idx = states.len();
-                        states.push(Group {
-                            key: key_refs.iter().map(|c| c.get(row)).collect(),
-                            accs: self
-                                .aggs
-                                .iter()
-                                .map(|a| Acc::new(a, &self.input_types))
-                                .collect(),
-                        });
-                        groups.insert(key_buf.clone(), idx);
-                        idx
-                    }
-                };
-                for (acc, arg) in states[idx].accs.iter_mut().zip(&arg_cols) {
-                    acc.update(arg.as_ref(), row);
-                }
-            }
+            table.fold(&batch);
         }
-        // Global aggregation over empty input still yields one row.
-        if states.is_empty() && self.group_by.is_empty() {
-            states.push(Group {
-                key: vec![],
-                accs: self
-                    .aggs
-                    .iter()
-                    .map(|a| Acc::new(a, &self.input_types))
-                    .collect(),
-            });
-        }
-        self.emit(states)
-    }
-
-    fn emit(&self, states: Vec<Group>) -> Vec<Batch> {
-        let width = self.output_types.len();
-        let mut out = Vec::new();
-        let mut offset = 0;
-        while offset < states.len() {
-            let len = BATCH_CAPACITY.min(states.len() - offset);
-            let mut builders: Vec<ColumnBuilder> = self
-                .output_types
-                .iter()
-                .map(|t| ColumnBuilder::new(*t, len))
-                .collect();
-            for g in &states[offset..offset + len] {
-                for (k, v) in g.key.iter().enumerate() {
-                    builders[k].push(v.clone());
-                }
-                for (a, acc) in g.accs.iter().enumerate() {
-                    builders[self.group_by.len() + a].push(acc.finish());
-                }
-            }
-            let cols: Vec<Column> = builders.into_iter().map(|b| b.finish()).collect();
-            debug_assert_eq!(cols.len(), width);
-            out.push(Batch::new(cols));
-            offset += len;
-        }
-        out
+        let states = table.into_sorted_states();
+        emit_groups(&states, &self.output_types, self.group_by.len())
     }
 }
 
@@ -366,8 +514,7 @@ mod tests {
         );
         let out = run_to_batch(&mut agg);
         assert_eq!(out.rows(), 2);
-        let mut rows = out.to_rows();
-        rows.sort_by(|a, b| a[0].cmp(&b[0]));
+        let rows = out.to_rows();
         assert_eq!(
             rows[0],
             vec![
@@ -386,6 +533,77 @@ mod tests {
                 Value::Float(2.0)
             ]
         );
+    }
+
+    #[test]
+    fn emission_is_sorted_by_group_key_not_arrival_order() {
+        // Keys arrive in descending order interleaved across batches; the
+        // breaker must emit ascending regardless.
+        let child = Box::new(Source {
+            batches: vec![
+                Batch::new(vec![Column::from_ints(vec![9, 3, 7])]),
+                Batch::new(vec![Column::from_ints(vec![1, 9, 5])]),
+            ],
+        });
+        let mut agg = HashAggExec::new(
+            child,
+            vec![Expr::col(0)],
+            vec![AggFunc::CountStar],
+            vec![DataType::Int],
+            vec![DataType::Int, DataType::Int],
+            OpMetrics::shared(),
+        );
+        let out = run_to_batch(&mut agg);
+        assert_eq!(out.column(0).as_ints(), &[1, 3, 5, 7, 9]);
+        assert_eq!(out.column(1).as_ints(), &[1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn partial_tables_merge_to_the_same_result() {
+        let mk = || {
+            GroupTable::new(
+                vec![Expr::col(0)],
+                vec![
+                    AggFunc::Sum(Expr::col(1)),
+                    AggFunc::CountStar,
+                    AggFunc::Min(Expr::col(1)),
+                    AggFunc::Max(Expr::col(1)),
+                    AggFunc::Avg(Expr::col(1)),
+                    AggFunc::CountDistinct(Expr::col(1)),
+                ],
+                vec![DataType::Int, DataType::Int],
+            )
+        };
+        let b1 = Batch::new(vec![
+            Column::from_ints(vec![1, 2, 1]),
+            Column::from_ints(vec![10, 20, 30]),
+        ]);
+        let b2 = Batch::new(vec![
+            Column::from_ints(vec![2, 3, 1]),
+            Column::from_ints(vec![40, 50, 10]),
+        ]);
+        // Serial: both batches into one table.
+        let mut serial = mk();
+        serial.fold(&b1);
+        serial.fold(&b2);
+        // Parallel: one table per batch, merged.
+        let mut p1 = mk();
+        p1.fold(&b1);
+        let mut p2 = mk();
+        p2.fold(&b2);
+        p1.merge(p2);
+        let types = vec![
+            DataType::Int,
+            DataType::Int,
+            DataType::Int,
+            DataType::Int,
+            DataType::Int,
+            DataType::Float,
+            DataType::Int,
+        ];
+        let a = emit_groups(&serial.into_sorted_states(), &types, 1);
+        let b = emit_groups(&p1.into_sorted_states(), &types, 1);
+        assert_eq!(Batch::concat(&a).to_rows(), Batch::concat(&b).to_rows());
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! Plan-to-executor builder.
+//!
+//! With `ExecContext::parallelism > 1` the builder splits scan-rooted
+//! pipelines across a worker pool at the natural consumer points — the
+//! plan root, store tees, and the blocking breakers (aggregate, top-N,
+//! sort) — falling back to the serial operators everywhere else. Serial
+//! and parallel builds of the same plan produce byte-identical output
+//! streams (see [`crate::parallel`]).
 
 use rdb_plan::{Plan, PlanError, StoreMode};
 use rdb_vector::{DataType, Schema};
@@ -9,6 +16,7 @@ use crate::filter::{FilterExec, ProjectExec};
 use crate::join::HashJoinExec;
 use crate::metrics::{MetricsNode, OpMetrics};
 use crate::op::Operator;
+use crate::parallel::{build_source, GatherExec, ParallelAggExec, ParallelTopNExec};
 use crate::scan::{FnScanExec, ScanExec};
 use crate::sort::{LimitExec, SortExec, TopNExec, UnionAllExec};
 use crate::store::{CachedExec, StoreExec};
@@ -32,7 +40,9 @@ pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
         ));
     }
     let schema = plan.schema(&ctx.catalog)?;
-    let (root, metrics) = build_node(plan, ctx)?;
+    // The stream edge is itself a pipeline consumer: a scan-rooted chain
+    // with no breaker above it parallelizes here.
+    let (root, metrics) = build_gathered(plan, ctx)?;
     Ok(ExecTree {
         root,
         metrics,
@@ -42,6 +52,21 @@ pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
 
 fn types_of(schema: &Schema) -> Vec<DataType> {
     schema.fields().iter().map(|f| f.dtype).collect()
+}
+
+/// Build `plan` as an order-preserving parallel pipeline if it is a
+/// suitable scan-rooted chain, else serially. Used at every point where a
+/// consumer accepts the canonical batch sequence: the plan root, store
+/// tees, and sort inputs.
+fn build_gathered(
+    plan: &Plan,
+    ctx: &ExecContext,
+) -> Result<(Box<dyn Operator>, MetricsNode), PlanError> {
+    if let Some(source) = build_source(plan, ctx, ctx.parallelism, &mut |p| build_node(p, ctx))? {
+        let metrics = source.metrics.clone();
+        return Ok((Box::new(GatherExec::new(source)), metrics));
+    }
+    build_node(plan, ctx)
 }
 
 fn build_node(
@@ -112,7 +137,34 @@ fn build_node(
         } => {
             let input_types = types_of(&child.schema(&ctx.catalog)?);
             let output_types = types_of(&plan.schema(&ctx.catalog)?);
-            let (c, cm) = build_node(child, ctx)?;
+            // Partitioned parallel aggregation — but only when every
+            // accumulator merges exactly (see `exact_accumulation`):
+            // per-worker partial tables merged (and key-sorted) at this
+            // breaker are then bit-identical to serial execution. Float
+            // sums/averages instead keep the serial fold order over a
+            // parallel-gathered input (the scan/filter/probe work below
+            // still parallelizes), because partitioned float addition
+            // would drift in the low-order bits and break byte-identical
+            // cache replay across DOPs.
+            if crate::agg::exact_accumulation(aggs, &input_types) {
+                if let Some(source) =
+                    build_source(child, ctx, ctx.parallelism, &mut |p| build_node(p, ctx))?
+                {
+                    let cm = source.metrics.clone();
+                    return Ok((
+                        Box::new(ParallelAggExec::new(
+                            source,
+                            group_by.clone(),
+                            aggs.clone(),
+                            input_types,
+                            output_types,
+                            m.clone(),
+                        )),
+                        MetricsNode::new(m, vec![cm]),
+                    ));
+                }
+            }
+            let (c, cm) = build_gathered(child, ctx)?;
             (
                 Box::new(HashAggExec::new(
                     c,
@@ -150,6 +202,23 @@ fn build_node(
         }
         Plan::TopN { child, keys, n } => {
             let output_types = types_of(&child.schema(&ctx.catalog)?);
+            // Partitioned parallel top-N: per-worker heap runs merged at
+            // this breaker (position tie-breaks keep it deterministic).
+            if let Some(source) =
+                build_source(child, ctx, ctx.parallelism, &mut |p| build_node(p, ctx))?
+            {
+                let cm = source.metrics.clone();
+                return Ok((
+                    Box::new(ParallelTopNExec::new(
+                        source,
+                        keys.clone(),
+                        *n,
+                        output_types,
+                        m.clone(),
+                    )),
+                    MetricsNode::new(m, vec![cm]),
+                ));
+            }
             let (c, cm) = build_node(child, ctx)?;
             (
                 Box::new(TopNExec::new(c, keys.clone(), *n, output_types, m.clone())),
@@ -157,7 +226,11 @@ fn build_node(
             )
         }
         Plan::Sort { child, keys } => {
-            let (c, cm) = build_node(child, ctx)?;
+            // Sort is order-insensitive to its input, but the serial sort
+            // is stable — feeding it the canonical (gathered) sequence
+            // keeps ties byte-identical to serial execution while the
+            // scan/filter/probe work below still parallelizes.
+            let (c, cm) = build_gathered(child, ctx)?;
             (
                 Box::new(SortExec::new(c, keys.clone(), m.clone())),
                 MetricsNode::new(m, vec![cm]),
@@ -199,7 +272,9 @@ fn build_node(
                 .clone()
                 .ok_or_else(|| PlanError::msg("store node without a result store"))?;
             let child_schema = child.schema(&ctx.catalog)?;
-            let (c, cm) = build_node(child, ctx)?;
+            // The tee buffers the canonical batch sequence, so a parallel
+            // pipeline below it publishes byte-identically to serial.
+            let (c, cm) = build_gathered(child, ctx)?;
             (
                 Box::new(StoreExec::new(
                     c,

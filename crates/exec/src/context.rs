@@ -6,6 +6,7 @@ use std::sync::Arc;
 use rdb_storage::{Catalog, CatalogSnapshot, Table};
 use rdb_vector::{Batch, Schema, Value};
 
+use crate::pool::WorkerPool;
 use crate::store::ResultStore;
 
 /// A table-valued function (e.g. SkyServer's `fGetNearbyObjEq`): given
@@ -61,6 +62,14 @@ pub struct ExecContext {
     /// Recycler cache hook; `None` runs without recycling (store operators
     /// then pass through and cached reads are an error).
     pub store: Option<Arc<dyn ResultStore>>,
+    /// Degree of intra-query parallelism the builder may use (1 = serial;
+    /// the serial and parallel plans produce byte-identical results, see
+    /// [`crate::parallel`]). Pipelines are only split when the scan is
+    /// large enough to yield multiple morsels.
+    pub parallelism: usize,
+    /// Worker pool parallel pipelines run on; without one they fall back
+    /// to plain spawned threads.
+    pub pool: Option<Arc<WorkerPool>>,
 }
 
 impl ExecContext {
@@ -71,7 +80,21 @@ impl ExecContext {
             snapshot: None,
             functions: Arc::new(FnRegistry::new()),
             store: None,
+            parallelism: 1,
+            pool: None,
         }
+    }
+
+    /// Set the degree of parallelism (clamped to at least 1).
+    pub fn with_parallelism(mut self, dop: usize) -> Self {
+        self.parallelism = dop.max(1);
+        self
+    }
+
+    /// Attach a worker pool for parallel pipelines.
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Attach a table-function registry.

@@ -23,25 +23,155 @@ use crate::op::{timed_next, Operator};
 
 pub use rdb_plan::JoinKind;
 
+/// The materialized build side of a hash join: the concatenated build
+/// input plus its key index. Under morsel-driven parallel execution one
+/// build side is shared by every probe worker of the query (see
+/// [`SharedBuild`]), which is also what keeps a `store` tee under the build
+/// subtree publishing exactly once.
+pub(crate) struct BuildSide {
+    /// Concatenated build input.
+    batch: Batch,
+    /// Key bytes → row indices in `batch`.
+    index: FxHashMap<Vec<u8>, Vec<u32>>,
+}
+
+/// Drain `right` and index it on `right_keys` (`right_types` shape a
+/// zero-row build so gathers still work).
+pub(crate) fn build_side(
+    right: &mut dyn Operator,
+    right_keys: &[Expr],
+    right_types: &[DataType],
+    metrics: &OpMetrics,
+) -> BuildSide {
+    let mut batches = Vec::new();
+    while let Some(b) = right.next_batch() {
+        metrics.add_work(b.rows() as u64);
+        batches.push(b);
+    }
+    let batch = if batches.is_empty() {
+        // Zero-row batch with the right column types, so gathers work.
+        Batch::new(
+            right_types
+                .iter()
+                .map(|t| ColumnBuilder::new(*t, 0).finish())
+                .collect(),
+        )
+    } else {
+        Batch::concat(&batches)
+    };
+    let mut index: FxHashMap<Vec<u8>, Vec<u32>> =
+        FxHashMap::with_capacity_and_hasher(batch.rows(), FxBuildHasher::default());
+    if !right_keys.is_empty() {
+        let key_cols: Vec<Column> = right_keys.iter().map(|e| eval(e, &batch)).collect();
+        let key_refs: Vec<&Column> = key_cols.iter().collect();
+        let mut buf = Vec::new();
+        for row in 0..batch.rows() {
+            if row_has_null_key(&key_refs, row) {
+                continue; // SQL equality never matches NULL keys
+            }
+            buf.clear();
+            encode_row_key(&key_refs, row, &mut buf);
+            index.entry(buf.clone()).or_default().push(row as u32);
+        }
+    }
+    BuildSide { batch, index }
+}
+
+/// A build side computed once and shared across probe workers. The first
+/// worker to need it drains the build operator under the lock (including
+/// any `store` tee inside, which therefore publishes exactly once and in
+/// deterministic serial order); the rest block briefly, then share the
+/// `Arc`.
+pub struct SharedBuild {
+    state: parking_lot::Mutex<SharedBuildState>,
+}
+
+enum SharedBuildState {
+    Pending {
+        right: Box<dyn Operator>,
+        right_keys: Vec<Expr>,
+        right_types: Vec<DataType>,
+        metrics: Arc<OpMetrics>,
+    },
+    Ready(Arc<BuildSide>),
+    /// The building worker panicked mid-drain. The mutex does not poison,
+    /// so this sentinel is what keeps a later worker from re-draining the
+    /// half-consumed build operator into an *incomplete* index — wrong
+    /// join rows would then stream out before the query ever failed.
+    Failed,
+}
+
+impl SharedBuild {
+    /// Wrap a build operator for on-demand, build-once sharing.
+    pub fn new(
+        right: Box<dyn Operator>,
+        right_keys: Vec<Expr>,
+        right_types: Vec<DataType>,
+        metrics: Arc<OpMetrics>,
+    ) -> Arc<SharedBuild> {
+        Arc::new(SharedBuild {
+            state: parking_lot::Mutex::new(SharedBuildState::Pending {
+                right,
+                right_keys,
+                right_types,
+                metrics,
+            }),
+        })
+    }
+
+    pub(crate) fn get(&self) -> Arc<BuildSide> {
+        let mut st = self.state.lock();
+        // Take the pending pieces out and leave `Failed` behind while
+        // draining: if the drain panics (unwinding through the
+        // non-poisoning lock), every later worker sees the sentinel and
+        // fails loudly instead of indexing the half-drained remainder.
+        match std::mem::replace(&mut *st, SharedBuildState::Failed) {
+            SharedBuildState::Ready(b) => {
+                *st = SharedBuildState::Ready(b.clone());
+                b
+            }
+            SharedBuildState::Pending {
+                mut right,
+                right_keys,
+                right_types,
+                metrics,
+            } => {
+                let built = Arc::new(build_side(
+                    right.as_mut(),
+                    &right_keys,
+                    &right_types,
+                    &metrics,
+                ));
+                *st = SharedBuildState::Ready(built.clone());
+                built
+            }
+            SharedBuildState::Failed => {
+                panic!("shared join build side failed in another worker")
+            }
+        }
+    }
+}
+
+/// Where a join instance gets its build side from.
+enum BuildSource {
+    /// This operator owns and drains the build child (serial execution).
+    Own(Box<dyn Operator>),
+    /// Shared with sibling probe workers of a parallel pipeline.
+    Shared(Arc<SharedBuild>),
+}
+
 /// Hash equi-join.
 pub struct HashJoinExec {
     left: Box<dyn Operator>,
-    right: Box<dyn Operator>,
+    right: BuildSource,
     kind: JoinKind,
     left_keys: Vec<Expr>,
     right_keys: Vec<Expr>,
     /// Types of the right (build) side columns — needed to construct NULL
     /// padding for left-outer joins.
     right_types: Vec<DataType>,
-    built: Option<BuildSide>,
+    built: Option<Arc<BuildSide>>,
     metrics: Arc<OpMetrics>,
-}
-
-struct BuildSide {
-    /// Concatenated build input.
-    batch: Batch,
-    /// Key bytes → row indices in `batch`.
-    index: FxHashMap<Vec<u8>, Vec<u32>>,
 }
 
 impl HashJoinExec {
@@ -57,7 +187,7 @@ impl HashJoinExec {
     ) -> Self {
         HashJoinExec {
             left,
-            right,
+            right: BuildSource::Own(right),
             kind,
             left_keys,
             right_keys,
@@ -67,39 +197,38 @@ impl HashJoinExec {
         }
     }
 
-    fn build(&mut self) -> BuildSide {
-        let mut batches = Vec::new();
-        while let Some(b) = self.right.next_batch() {
-            self.metrics.add_work(b.rows() as u64);
-            batches.push(b);
+    /// Probe-side instance of a parallel pipeline: shares `build` with its
+    /// sibling workers instead of draining a build child of its own.
+    pub fn with_shared_build(
+        left: Box<dyn Operator>,
+        build: Arc<SharedBuild>,
+        kind: JoinKind,
+        left_keys: Vec<Expr>,
+        right_types: Vec<DataType>,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        HashJoinExec {
+            left,
+            right: BuildSource::Shared(build),
+            kind,
+            left_keys,
+            right_keys: Vec::new(),
+            right_types,
+            built: None,
+            metrics,
         }
-        let batch = if batches.is_empty() {
-            // Zero-row batch with the right column types, so gathers work.
-            Batch::new(
-                self.right_types
-                    .iter()
-                    .map(|t| ColumnBuilder::new(*t, 0).finish())
-                    .collect(),
-            )
-        } else {
-            Batch::concat(&batches)
-        };
-        let mut index: FxHashMap<Vec<u8>, Vec<u32>> =
-            FxHashMap::with_capacity_and_hasher(batch.rows(), FxBuildHasher::default());
-        if !self.right_keys.is_empty() {
-            let key_cols: Vec<Column> = self.right_keys.iter().map(|e| eval(e, &batch)).collect();
-            let key_refs: Vec<&Column> = key_cols.iter().collect();
-            let mut buf = Vec::new();
-            for row in 0..batch.rows() {
-                if row_has_null_key(&key_refs, row) {
-                    continue; // SQL equality never matches NULL keys
-                }
-                buf.clear();
-                encode_row_key(&key_refs, row, &mut buf);
-                index.entry(buf.clone()).or_default().push(row as u32);
-            }
+    }
+
+    fn build(&mut self) -> Arc<BuildSide> {
+        match &mut self.right {
+            BuildSource::Own(right) => Arc::new(build_side(
+                right.as_mut(),
+                &self.right_keys,
+                &self.right_types,
+                &self.metrics,
+            )),
+            BuildSource::Shared(shared) => shared.get(),
         }
-        BuildSide { batch, index }
     }
 
     fn probe(&mut self, left_batch: Batch) -> Batch {

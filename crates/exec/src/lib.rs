@@ -6,6 +6,14 @@
 //! build sides) — intermediate results are *not* materialized unless the
 //! recycler decides to, which is the entire point of the paper.
 //!
+//! With `ExecContext::parallelism > 1` those same pipelines execute
+//! **morsel-driven parallel** (see [`parallel`] for the model and its
+//! determinism guarantees, and [`pool`] for the worker pool): scans split
+//! into morsels claimed by workers on demand, pipeline breakers merge
+//! per-worker partials, and order-preserving gathers keep every observable
+//! byte — including what a [`StoreExec`] tee publishes into the recycler —
+//! identical to serial execution at any degree of parallelism.
+//!
 //! Recycler integration points (paper §II):
 //!
 //! * [`StoreExec`] — the `store` operator: pass along / buffer
@@ -25,6 +33,8 @@ pub mod filter;
 pub mod join;
 pub mod metrics;
 pub mod op;
+pub mod parallel;
+pub mod pool;
 pub mod scan;
 pub mod sort;
 pub mod store;
@@ -34,6 +44,8 @@ pub use build::{build, ExecTree};
 pub use context::{ExecContext, FnRegistry, TableFunction};
 pub use metrics::{MetricsNode, OpMetrics};
 pub use op::{collect_all, run_to_batch, Operator};
+pub use parallel::{GatherExec, MorselDispenser, ParallelAggExec, ParallelTopNExec};
+pub use pool::WorkerPool;
 pub use store::{
     CachedExec, MaterializedResult, ResultStore, SpeculationEstimate, StoreExec, StoreVerdict,
 };

@@ -96,10 +96,15 @@ impl Operator for SortExec {
     }
 }
 
-/// A heap entry: sort-key values plus the full row.
-struct HeapRow {
+/// A heap entry: sort-key values, the full row, and the row's global
+/// position in scan order. The position is the final tie-break key, which
+/// makes top-N fully deterministic on duplicate sort keys — the
+/// earliest-scanned row wins — independent of heap internals *and* of
+/// which parallel worker folded the row in.
+pub(crate) struct HeapRow {
     keys: Vec<Value>,
     row: Vec<Value>,
+    pos: u64,
     orders: Arc<[SortOrder]>,
 }
 
@@ -111,7 +116,9 @@ impl HeapRow {
                 return c;
             }
         }
-        Ordering::Equal
+        // Positions are unique, so the order is total (and `Eq` below is
+        // consistent with it).
+        self.pos.cmp(&other.pos)
     }
 }
 
@@ -129,6 +136,97 @@ impl PartialOrd for HeapRow {
 impl Ord for HeapRow {
     fn cmp(&self, other: &Self) -> Ordering {
         self.key_cmp(other)
+    }
+}
+
+/// The accumulating state of a top-N: an N-row max-heap whose root is the
+/// *worst* retained row. Shared between the serial [`TopNExec`] and the
+/// per-worker partial runs of parallel top-N, which are combined with
+/// [`TopNState::merge`] at the breaker — the position tie-break (see
+/// [`HeapRow`]) makes the merged result byte-identical to the serial one
+/// regardless of how rows were distributed over workers.
+pub(crate) struct TopNState {
+    keys: Vec<SortKeyExpr>,
+    orders: Arc<[SortOrder]>,
+    n: usize,
+    heap: BinaryHeap<HeapRow>,
+}
+
+impl TopNState {
+    pub(crate) fn new(keys: Vec<SortKeyExpr>, n: usize) -> Self {
+        let orders: Arc<[SortOrder]> = keys.iter().map(|k| k.order).collect();
+        TopNState {
+            keys,
+            orders,
+            n,
+            heap: BinaryHeap::with_capacity(n + 1),
+        }
+    }
+
+    fn offer(&mut self, entry: HeapRow) {
+        if self.heap.len() < self.n {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry.key_cmp(worst) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(entry);
+            }
+        }
+    }
+
+    /// Fold a batch in. `chunk` identifies the batch's place in canonical
+    /// scan order (input ordinal serially, morsel index in parallel); row
+    /// positions are derived from it, so ties resolve identically either
+    /// way.
+    pub(crate) fn fold(&mut self, batch: &Batch, chunk: u64) {
+        if self.n == 0 {
+            return;
+        }
+        let key_cols: Vec<Column> = self.keys.iter().map(|k| eval(&k.expr, batch)).collect();
+        let mut seq = 0u64;
+        // Key columns are physical-length; walk the selected rows.
+        batch.for_each_selected(|row| {
+            let entry = HeapRow {
+                keys: key_cols.iter().map(|c| c.get(row)).collect(),
+                row: batch.physical_row(row),
+                pos: (chunk << 32) | seq,
+                orders: self.orders.clone(),
+            };
+            seq += 1;
+            self.offer(entry);
+        });
+    }
+
+    /// Combine a partial run produced over a disjoint chunk subset.
+    pub(crate) fn merge(&mut self, other: TopNState) {
+        for entry in other.heap {
+            self.offer(entry);
+        }
+    }
+
+    /// Finish: retained rows ascending by (key, position), chunked into
+    /// output batches.
+    pub(crate) fn into_batches(self, output_types: &[DataType]) -> Vec<Batch> {
+        let rows: Vec<HeapRow> = self.heap.into_sorted_vec(); // ascending
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < rows.len() {
+            let len = BATCH_CAPACITY.min(rows.len() - offset);
+            let mut builders: Vec<ColumnBuilder> = output_types
+                .iter()
+                .map(|t| ColumnBuilder::new(*t, len))
+                .collect();
+            for r in &rows[offset..offset + len] {
+                for (i, v) in r.row.iter().enumerate() {
+                    builders[i].push(v.clone());
+                }
+            }
+            out.push(Batch::new(
+                builders.into_iter().map(|b| b.finish()).collect(),
+            ));
+            offset += len;
+        }
+        out
     }
 }
 
@@ -165,55 +263,14 @@ impl TopNExec {
     }
 
     fn build(&mut self) -> Vec<Batch> {
-        let orders: Arc<[SortOrder]> = self.keys.iter().map(|k| k.order).collect();
-        // Max-heap ordered by key: the root is the *worst* retained row.
-        let mut heap: BinaryHeap<HeapRow> = BinaryHeap::with_capacity(self.n + 1);
+        let mut state = TopNState::new(self.keys.clone(), self.n);
+        let mut chunk = 0u64;
         while let Some(batch) = self.child.next_batch() {
             self.metrics.add_work(batch.rows() as u64);
-            let key_cols: Vec<Column> = self.keys.iter().map(|k| eval(&k.expr, &batch)).collect();
-            let n = self.n;
-            // Key columns are physical-length; walk the selected rows.
-            batch.for_each_selected(|row| {
-                let entry = HeapRow {
-                    keys: key_cols.iter().map(|c| c.get(row)).collect(),
-                    row: batch.physical_row(row),
-                    orders: orders.clone(),
-                };
-                if heap.len() < n {
-                    heap.push(entry);
-                } else if let Some(worst) = heap.peek() {
-                    if entry.key_cmp(worst) == Ordering::Less {
-                        heap.pop();
-                        heap.push(entry);
-                    }
-                }
-            });
+            state.fold(&batch, chunk);
+            chunk += 1;
         }
-        let mut rows: Vec<HeapRow> = heap.into_sorted_vec(); // ascending by key
-        if self.n == 0 {
-            rows.clear();
-        }
-        // Build output batches.
-        let mut out = Vec::new();
-        let mut offset = 0;
-        while offset < rows.len() {
-            let len = BATCH_CAPACITY.min(rows.len() - offset);
-            let mut builders: Vec<ColumnBuilder> = self
-                .output_types
-                .iter()
-                .map(|t| ColumnBuilder::new(*t, len))
-                .collect();
-            for r in &rows[offset..offset + len] {
-                for (i, v) in r.row.iter().enumerate() {
-                    builders[i].push(v.clone());
-                }
-            }
-            out.push(Batch::new(
-                builders.into_iter().map(|b| b.finish()).collect(),
-            ));
-            offset += len;
-        }
-        out
+        state.into_batches(&self.output_types)
     }
 }
 

@@ -25,7 +25,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rdb_vector::{Batch, Schema, BATCH_CAPACITY};
+use rdb_vector::{Batch, Schema};
 
 use crate::metrics::OpMetrics;
 use crate::op::{timed_next, Operator};
@@ -58,17 +58,13 @@ impl MaterializedResult {
         self.batch.rows()
     }
 
-    /// Re-chunk into standard execution batches. Zero-copy: every batch is
-    /// an O(1) slice sharing this result's column storage.
+    /// Re-chunk into standard execution batches along the morsel grid.
+    /// Zero-copy: every batch is an O(1) slice sharing this result's
+    /// column storage.
     pub fn batches(&self) -> Vec<Batch> {
-        let mut out = Vec::new();
-        let mut offset = 0;
-        while offset < self.batch.rows() {
-            let len = BATCH_CAPACITY.min(self.batch.rows() - offset);
-            out.push(self.batch.slice(offset, len));
-            offset += len;
-        }
-        out
+        (0..self.batch.morsel_count())
+            .map(|i| self.batch.morsel(i))
+            .collect()
     }
 }
 

@@ -28,6 +28,7 @@ use std::sync::Arc;
 
 use crate::column::Column;
 use crate::value::Value;
+use crate::{morsel_bounds, morsel_count};
 
 /// A horizontal chunk of a result: equal-length columns plus an optional
 /// selection vector.
@@ -259,6 +260,21 @@ impl Batch {
         } else {
             Batch::concat(batches)
         }
+    }
+
+    /// The `idx`-th [`crate::BATCH_CAPACITY`]-sized morsel of this batch:
+    /// a zero-copy window, the unit of work-stealing under morsel-driven
+    /// parallel execution and of re-chunking on cache replay. Morsel
+    /// boundaries are a pure function of row count, so every execution of
+    /// the same data — serial or any DOP — sees identical batch edges.
+    pub fn morsel(&self, idx: usize) -> Batch {
+        let (offset, len) = morsel_bounds(self.rows, idx);
+        self.slice(offset, len)
+    }
+
+    /// Number of morsels covering this batch (see [`Batch::morsel`]).
+    pub fn morsel_count(&self) -> usize {
+        morsel_count(self.rows)
     }
 
     /// Extract one **physical** row as scalar values.

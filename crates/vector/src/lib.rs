@@ -69,3 +69,20 @@ pub use value::Value;
 /// Vectorwise-style engines use vector sizes around 1K so that a full set of
 /// operator-local vectors fits in the CPU cache.
 pub const BATCH_CAPACITY: usize = 1024;
+
+/// Number of [`BATCH_CAPACITY`]-sized morsels covering `rows` rows — the
+/// scheduling granule of morsel-driven parallel scans. Deterministic by
+/// construction: the morsel grid depends only on the row count, never on
+/// the degree of parallelism, so batch boundaries (and everything built on
+/// them, like a store tee's published result) are identical at any DOP.
+pub const fn morsel_count(rows: usize) -> usize {
+    rows.div_ceil(BATCH_CAPACITY)
+}
+
+/// `(offset, len)` of morsel `idx` over `rows` rows (`idx` must be in
+/// `0..morsel_count(rows)`).
+pub fn morsel_bounds(rows: usize, idx: usize) -> (usize, usize) {
+    let offset = idx * BATCH_CAPACITY;
+    assert!(offset < rows, "morsel {idx} out of range for {rows} rows");
+    (offset, BATCH_CAPACITY.min(rows - offset))
+}

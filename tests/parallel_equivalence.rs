@@ -1,0 +1,339 @@
+//! Parallel-equivalence property suite.
+//!
+//! Morsel-driven parallel execution claims to be *observationally
+//! identical* to serial execution — not just row-set-equal but, for
+//! every plan the builder parallelizes, byte-identical in row order
+//! (deterministic gathers, key-sorted aggregate breakers, position
+//! tie-broken top-N). This suite holds it to that claim:
+//!
+//! * TPC-H Q1/Q6/Q14 and the SkyServer cone template, at DOP ∈ {1, 2, 4,
+//!   8} (plus `RDB_TEST_DOP` from the CI matrix), must produce rows
+//!   **identical in order** to the DOP=1 run and row-set-identical to the
+//!   operator-at-a-time materializing engine;
+//! * seeded random plans (filters / projections / joins of every kind /
+//!   aggregates / top-N / sort) over NULL-bearing random tables get the
+//!   same checks, including selection-vector edge cases (all-true,
+//!   all-false, sparse-compacted filters);
+//! * the hash-aggregate breaker's output order is regression-pinned:
+//!   sorted by group key, independent of DOP and of input arrival order.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use recycler_db::engine::{Engine, MaterializingEngine};
+use recycler_db::exec::FnRegistry;
+use recycler_db::expr::{AggFunc, Expr};
+use recycler_db::plan::{scan, JoinKind, Plan, SortKeyExpr};
+use recycler_db::recycler::RecyclerConfig;
+use recycler_db::storage::{Catalog, TableBuilder};
+use recycler_db::vector::{DataType, Schema, Value};
+
+/// DOPs every check runs at; `RDB_TEST_DOP` (the CI matrix) adds one.
+fn dop_matrix() -> Vec<usize> {
+    let mut dops = vec![1, 2, 4, 8];
+    if let Some(extra) = std::env::var("RDB_TEST_DOP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if !dops.contains(&extra) {
+            dops.push(extra);
+        }
+    }
+    dops
+}
+
+/// Execute `plan` at `dop` on a fresh recycling engine; returns the
+/// computed rows and the cache-replayed rows (order preserved).
+fn run_at_dop(
+    cat: &Arc<Catalog>,
+    functions: Option<&Arc<FnRegistry>>,
+    plan: &Plan,
+    dop: usize,
+) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let mut config = RecyclerConfig::deterministic(256 << 20);
+    config.spec_min_progress = 0.0;
+    let mut builder = Engine::builder(cat.clone())
+        .recycler(config)
+        .parallelism(dop);
+    if let Some(f) = functions {
+        builder = builder.functions(f.clone());
+    }
+    let engine = builder.build();
+    let session = engine.session();
+    let computed = session.query(plan).unwrap().into_outcome();
+    assert_eq!(computed.dop, dop);
+    let replayed = session.query(plan).unwrap().into_outcome();
+    (computed.batch.to_rows(), replayed.batch.to_rows())
+}
+
+/// The full equivalence check for one plan: every DOP must reproduce the
+/// serial row *order*, replay from cache identically, and agree with the
+/// materializing oracle on the row set.
+fn check_plan(cat: &Arc<Catalog>, functions: Option<&Arc<FnRegistry>>, plan: &Plan, label: &str) {
+    let (serial, serial_replay) = run_at_dop(cat, functions, plan, 1);
+    assert_eq!(
+        serial, serial_replay,
+        "{label}: serial replay diverges from serial compute"
+    );
+    let mut materializing = MaterializingEngine::naive(cat.clone());
+    if let Some(f) = functions {
+        materializing = materializing.with_functions(f.clone());
+    }
+    let oracle = materializing.run(plan).unwrap();
+    let sorted = |mut rows: Vec<Vec<Value>>| {
+        rows.sort();
+        rows
+    };
+    assert_eq!(
+        sorted(serial.clone()),
+        sorted(oracle.batch.to_rows()),
+        "{label}: serial row set diverges from the materializing oracle"
+    );
+    for dop in dop_matrix() {
+        if dop == 1 {
+            continue;
+        }
+        let (parallel, replayed) = run_at_dop(cat, functions, plan, dop);
+        assert_eq!(
+            serial, parallel,
+            "{label}: DOP={dop} rows (or their order) diverge from serial"
+        );
+        assert_eq!(
+            parallel, replayed,
+            "{label}: DOP={dop} cache replay diverges from its compute"
+        );
+    }
+}
+
+// ---- paper workloads -------------------------------------------------------
+
+#[test]
+fn tpch_q1_q6_q14_identical_at_every_dop() {
+    use recycler_db::tpch::{build_query, generate, TpchConfig};
+    let cat = generate(&TpchConfig {
+        scale: 0.02,
+        seed: 3,
+    });
+    for &q in &[1usize, 6, 14] {
+        for seed in 0..2u64 {
+            let mut rng = SmallRng::seed_from_u64(500 + seed);
+            let plan = build_query(q, &mut rng, 0.02, false);
+            check_plan(&cat, None, &plan, &format!("Q{q} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn skyserver_cones_identical_at_every_dop() {
+    use recycler_db::skyserver::{functions, generate, nearby_query, SkyConfig};
+    let cat = generate(&SkyConfig {
+        objects: 8_000,
+        seed: 9,
+    });
+    let fns = functions(&cat);
+    for (i, (ra, dec, radius)) in [(150.0, -5.0, 2.0), (180.0, -1.0, 1.5), (150.0, -5.0, 4.0)]
+        .into_iter()
+        .enumerate()
+    {
+        let plan = nearby_query(
+            ra,
+            dec,
+            radius,
+            &["p_objid", "p_ra", "p_dec", "p_psfmag_r"],
+            50,
+        );
+        check_plan(&cat, Some(&fns), &plan, &format!("cone {i}"));
+    }
+}
+
+// ---- random plans over NULL-bearing data -----------------------------------
+
+/// A random table: int key (clustered), nullable int, nullable float,
+/// low-cardinality string.
+fn random_catalog(rng: &mut SmallRng, rows: usize) -> Arc<Catalog> {
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("a", DataType::Int),
+        ("b", DataType::Float),
+        ("tag", DataType::Str),
+    ]);
+    let mut tb = TableBuilder::new("t", schema, rows);
+    for i in 0..rows {
+        tb.push_row(vec![
+            Value::Int(i as i64 % 97),
+            if rng.gen_bool(0.15) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(-50..50))
+            },
+            if rng.gen_bool(0.15) {
+                Value::Null
+            } else {
+                Value::Float(rng.gen_range(-8.0..8.0))
+            },
+            Value::str(["red", "green", "blue", "cyan"][rng.gen_range(0..4)]),
+        ]);
+    }
+    // A small dimension table for joins (with a NULL key row).
+    let dim_schema = Schema::from_pairs([("dk", DataType::Int), ("w", DataType::Float)]);
+    let mut db = TableBuilder::new("dim", dim_schema, 40);
+    for i in 0..40i64 {
+        db.push_row(vec![
+            if i == 13 {
+                Value::Null
+            } else {
+                Value::Int(i * 3 % 97)
+            },
+            Value::Float(i as f64 * 0.5),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(tb.finish()).unwrap();
+    cat.register(db.finish()).unwrap();
+    Arc::new(cat)
+}
+
+/// A random scan-rooted pipeline, optionally joined and topped by a
+/// breaker — shapes the builder actually parallelizes.
+fn random_plan(rng: &mut SmallRng) -> Plan {
+    let mut plan = scan("t", &["k", "a", "b", "tag"]);
+    // 0-2 filters, from a menu covering all-true, all-false, sparse, NULLs.
+    for _ in 0..rng.gen_range(0..=2) {
+        let pred = match rng.gen_range(0..6) {
+            0 => Expr::name("a").gt(Expr::lit(rng.gen_range(-60i64..60))),
+            1 => Expr::name("b").le(Expr::lit(rng.gen_range(-9.0f64..9.0))),
+            2 => Expr::name("tag").eq(Expr::lit("green")),
+            3 => Expr::name("k").lt(Expr::lit(rng.gen_range(0i64..97))),
+            4 => Expr::name("a").ge(Expr::lit(100i64)), // all-false
+            _ => Expr::name("k").ge(Expr::lit(0i64)),   // all-true
+        };
+        plan = plan.select(pred);
+    }
+    if rng.gen_bool(0.4) {
+        let dim = scan("dim", &["dk", "w"]);
+        let kind = match rng.gen_range(0..4) {
+            0 => JoinKind::Inner,
+            1 => JoinKind::LeftOuter,
+            2 => JoinKind::Semi,
+            _ => JoinKind::Anti,
+        };
+        plan = plan.join(dim, kind, vec![Expr::name("k")], vec![Expr::name("dk")]);
+    }
+    match rng.gen_range(0..5) {
+        // Exact accumulators only: the builder partitions this aggregate
+        // across workers (arbitrary merge order, still bit-identical).
+        0 => plan.aggregate(
+            vec![(Expr::name("tag"), "tag")],
+            vec![
+                (AggFunc::Sum(Expr::name("a")), "sa"),
+                (AggFunc::CountStar, "n"),
+                (AggFunc::Min(Expr::name("b")), "mn"),
+                (AggFunc::Max(Expr::name("b")), "mx"),
+                (AggFunc::CountDistinct(Expr::name("k")), "dk"),
+            ],
+        ),
+        // Inexact (float) accumulators: the builder must keep serial fold
+        // order (gathered input) to stay bit-identical.
+        4 => plan.aggregate(
+            vec![(Expr::name("tag"), "tag")],
+            vec![
+                (AggFunc::Avg(Expr::name("b")), "avg"),
+                (AggFunc::Sum(Expr::name("b")), "sb"),
+                (AggFunc::CountStar, "n"),
+            ],
+        ),
+        1 => plan.top_n(
+            vec![
+                SortKeyExpr::desc(Expr::name("a")),
+                SortKeyExpr::asc(Expr::name("k")),
+            ],
+            rng.gen_range(1..40),
+        ),
+        2 => plan.sort(vec![
+            SortKeyExpr::asc(Expr::name("tag")),
+            SortKeyExpr::desc(Expr::name("b")),
+        ]),
+        _ => plan.project(vec![
+            (Expr::name("k").add(Expr::name("a")), "ka"),
+            (Expr::name("b"), "b"),
+        ]),
+    }
+}
+
+#[test]
+fn random_plans_identical_at_every_dop() {
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(7_000 + seed);
+        let rows = rng.gen_range(1..9_000);
+        let cat = random_catalog(&mut rng, rows);
+        let plan = random_plan(&mut rng);
+        check_plan(
+            &cat,
+            None,
+            &plan,
+            &format!("random plan seed {seed} ({rows} rows)"),
+        );
+    }
+}
+
+// ---- deterministic aggregate order (regression) ----------------------------
+
+#[test]
+fn hash_agg_output_is_sorted_by_group_key_at_every_dop() {
+    // Keys are inserted in descending scan order; the breaker must emit
+    // ascending regardless of DOP or worker merge order. This pins the
+    // determinism contract stable cache replay (and fig6/fig7 run-to-run
+    // comparability) depends on.
+    let schema = Schema::from_pairs([("g", DataType::Int), ("v", DataType::Int)]);
+    let rows = 6_000;
+    let mut tb = TableBuilder::new("t", schema, rows);
+    for i in 0..rows as i64 {
+        tb.push_row(vec![Value::Int(500 - (i % 500)), Value::Int(i)]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(tb.finish()).unwrap();
+    let cat = Arc::new(cat);
+    let plan = scan("t", &["g", "v"]).aggregate(
+        vec![(Expr::name("g"), "g")],
+        vec![(AggFunc::Sum(Expr::name("v")), "sv")],
+    );
+    for dop in dop_matrix() {
+        let engine = Engine::builder(cat.clone())
+            .no_recycler()
+            .parallelism(dop)
+            .build();
+        let out = engine.session().query(&plan).unwrap().into_outcome();
+        let keys: Vec<i64> = out.batch.column(0).as_ints().to_vec();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(
+            keys, sorted,
+            "DOP={dop}: aggregate emission must be ascending by group key"
+        );
+        assert_eq!(keys.len(), 500);
+        // Twice in a row: identical bytes (not just identical sets).
+        let again = engine.session().query(&plan).unwrap().into_outcome();
+        assert_eq!(out.batch.to_rows(), again.batch.to_rows(), "DOP={dop}");
+    }
+}
+
+#[test]
+fn session_override_beats_engine_default_and_is_recorded() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let cat = random_catalog(&mut rng, 5_000);
+    let engine = Engine::builder(cat).no_recycler().parallelism(2).build();
+    let session = engine.session();
+    assert_eq!(session.parallelism(), 2);
+    let plan = scan("t", &["k", "a"]).select(Expr::name("k").lt(Expr::lit(50)));
+    let h = session.query(&plan).unwrap();
+    assert_eq!(h.dop(), 2);
+    drop(h);
+    session.set_parallelism(8);
+    assert_eq!(session.parallelism(), 8);
+    let out = session.query(&plan).unwrap().into_outcome();
+    assert_eq!(out.dop, 8);
+    session.clear_parallelism();
+    assert_eq!(session.parallelism(), 2);
+    assert_eq!(session.stats().parallel, 2, "both executions ran DOP > 1");
+}

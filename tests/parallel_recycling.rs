@@ -1,0 +1,272 @@
+//! Recycler × parallelism interaction tests.
+//!
+//! The recycler caches by plan fingerprint and replays byte-for-byte, so
+//! parallel execution must not introduce *any* observable difference in
+//! what gets published:
+//!
+//! * a cache entry produced at DOP=8 must be byte-identical to the entry
+//!   the same plan produces at DOP=1, and replays must be zero-copy
+//!   (`Arc::ptr_eq`-verified shared column storage);
+//! * two sessions racing on the same cold fingerprint must produce
+//!   exactly one materialization — the in-flight marker makes the loser
+//!   stall (or directly reuse), never duplicate the work — asserted
+//!   through `RecyclerEvent`s and the recycler's aggregate counters.
+
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Barrier, Mutex};
+
+use recycler_db::engine::Engine;
+use recycler_db::exec::{FnRegistry, TableFunction};
+use recycler_db::expr::{AggFunc, Expr};
+use recycler_db::plan::{fn_scan_exprs, scan, Plan};
+use recycler_db::recycler::{RecyclerConfig, RecyclerEvent};
+use recycler_db::storage::{Catalog, TableBuilder};
+use recycler_db::vector::{Batch, Column, DataType, Schema, Value};
+
+fn catalog(rows: i64) -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("v", DataType::Int),
+        ("f", DataType::Float),
+    ]);
+    let mut b = TableBuilder::new("t", schema, rows as usize);
+    for i in 0..rows {
+        b.push_row(vec![
+            Value::Int(i % 200),
+            Value::Int(i * 3),
+            Value::Float(i as f64 * 0.125),
+        ]);
+    }
+    cat.register(b.finish()).expect("register table");
+    Arc::new(cat)
+}
+
+fn engine_at(cat: &Arc<Catalog>, dop: usize) -> Arc<Engine> {
+    let mut c = RecyclerConfig::deterministic(256 << 20);
+    c.spec_min_progress = 0.0;
+    Engine::builder(cat.clone())
+        .recycler(c)
+        .parallelism(dop)
+        .build()
+}
+
+/// Exact-accumulator aggregate: the builder partitions this across
+/// workers at DOP > 1.
+fn exact_agg_plan() -> Plan {
+    scan("t", &["k", "v"])
+        .select(Expr::name("v").gt(Expr::lit(100)))
+        .aggregate(
+            vec![(Expr::name("k"), "k")],
+            vec![
+                (AggFunc::Sum(Expr::name("v")), "sv"),
+                (AggFunc::CountStar, "n"),
+            ],
+        )
+}
+
+/// Float aggregate: the builder keeps serial fold order over a gathered
+/// parallel input.
+fn float_agg_plan() -> Plan {
+    scan("t", &["k", "f"])
+        .select(Expr::name("k").lt(Expr::lit(150)))
+        .aggregate(
+            vec![(Expr::name("k"), "k")],
+            vec![(AggFunc::Sum(Expr::name("f")), "sf")],
+        )
+}
+
+#[test]
+fn dop8_cache_entries_match_dop1_and_replay_zero_copy() {
+    let cat = catalog(40_000);
+    for (label, plan) in [
+        ("exact agg", exact_agg_plan()),
+        ("float agg", float_agg_plan()),
+        // Selective enough that the cached result fits one batch — the
+        // `collect_batch` edge then stays zero-copy; wider results pay one
+        // gather at concat exactly like serial execution does.
+        (
+            "scan-filter",
+            scan("t", &["k", "v", "f"]).select(Expr::name("k").ge(Expr::lit(195))),
+        ),
+    ] {
+        let serial = engine_at(&cat, 1);
+        let s1 = serial.session();
+        let computed_1 = s1.query(&plan).unwrap().into_outcome();
+        let replayed_1 = s1.query(&plan).unwrap().into_outcome();
+        assert!(replayed_1.reused(), "{label}: DOP=1 second run must replay");
+
+        let parallel = engine_at(&cat, 8);
+        let s8 = parallel.session();
+        let computed_8 = s8.query(&plan).unwrap().into_outcome();
+        assert_eq!(computed_8.dop, 8);
+        let replay_a = s8.query(&plan).unwrap().into_outcome();
+        let replay_b = s8.query(&plan).unwrap().into_outcome();
+        assert!(replay_a.reused() && replay_b.reused());
+
+        // The DOP=8 entry is byte-identical to the DOP=1 entry: same rows,
+        // same order (both engines replay what their store tee published).
+        assert_eq!(
+            computed_1.batch.to_rows(),
+            computed_8.batch.to_rows(),
+            "{label}: DOP=8 compute diverges from DOP=1"
+        );
+        assert_eq!(
+            replayed_1.batch.to_rows(),
+            replay_a.batch.to_rows(),
+            "{label}: DOP=8 cached entry diverges from DOP=1 cached entry"
+        );
+        // Replays are zero-copy out of one shared cache allocation.
+        for i in 0..replay_a.batch.width() {
+            assert!(
+                replay_a
+                    .batch
+                    .column(i)
+                    .shares_storage(replay_b.batch.column(i)),
+                "{label}: two DOP=8 replays must share the cached column {i} storage"
+            );
+        }
+    }
+}
+
+#[test]
+fn racing_cold_fingerprint_materializes_exactly_once() {
+    // Two sessions, one barrier, one cold fingerprint, DOP=8 producers:
+    // whatever the interleaving, the in-flight marker admits exactly one
+    // materialization; the other execution reuses (stalling first if it
+    // arrived mid-flight).
+    for round in 0..5u64 {
+        let cat = catalog(30_000 + round as i64 * 1000);
+        let engine = engine_at(&cat, 8);
+        let plan = exact_agg_plan();
+        let barrier = Arc::new(Barrier::new(2));
+        type RunRecord = (Vec<Vec<Value>>, Vec<RecyclerEvent>);
+        let results: Arc<Mutex<Vec<RunRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                let results = Arc::clone(&results);
+                let plan = plan.clone();
+                scope.spawn(move || {
+                    let session = engine.session();
+                    barrier.wait();
+                    let out = session.query(&plan).unwrap().into_outcome();
+                    results
+                        .lock()
+                        .unwrap()
+                        .push((out.batch.to_rows(), out.events));
+                });
+            }
+        });
+        let results = results.lock().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, results[1].0, "round {round}: results agree");
+        let all_events: Vec<&RecyclerEvent> = results.iter().flat_map(|(_, e)| e.iter()).collect();
+        let materialized = all_events
+            .iter()
+            .filter(|e| matches!(e, RecyclerEvent::Materialized { admitted: true, .. }))
+            .count();
+        let reused = all_events
+            .iter()
+            .filter(|e| matches!(e, RecyclerEvent::Reused { .. }))
+            .count();
+        assert_eq!(
+            materialized, 1,
+            "round {round}: exactly one of the two executions materializes"
+        );
+        assert_eq!(reused, 1, "round {round}: the other execution reuses");
+        let stats = &engine.recycler().unwrap().stats;
+        assert_eq!(stats.materializations.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.reuses.load(Ordering::Relaxed), 1);
+    }
+}
+
+/// A table function that blocks inside `execute` until released — makes
+/// the producer's in-flight window deterministic instead of racy.
+struct Gated {
+    entered: mpsc::Sender<()>,
+    release: Mutex<Option<mpsc::Receiver<()>>>,
+}
+
+impl TableFunction for Gated {
+    fn schema(&self, _args: &[Value]) -> Schema {
+        Schema::from_pairs([("x", DataType::Int)])
+    }
+    fn execute(&self, _args: &[Value], work: &mut u64) -> Vec<Batch> {
+        let _ = self.entered.send(());
+        if let Some(rx) = self.release.lock().unwrap().take() {
+            let _ = rx.recv(); // block until the test releases us
+        }
+        *work += 1_000_000; // expensive: the recycler wants this cached
+        vec![Batch::new(vec![Column::from_ints((0..64).collect())])]
+    }
+}
+
+#[test]
+fn second_query_stalls_on_in_flight_producer_then_reuses() {
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel();
+    let mut reg = FnRegistry::new();
+    reg.register(
+        "gated",
+        Arc::new(Gated {
+            entered: entered_tx,
+            release: Mutex::new(Some(release_rx)),
+        }),
+    );
+    let mut c = RecyclerConfig::deterministic(256 << 20);
+    c.spec_min_progress = 0.0;
+    let engine = Engine::builder(catalog(2_000))
+        .functions(Arc::new(reg))
+        .recycler(c)
+        .parallelism(4)
+        .build();
+    let plan = fn_scan_exprs(
+        "gated",
+        vec![Expr::lit(1)],
+        Schema::from_pairs([("x", DataType::Int)]),
+    );
+
+    // Producer: starts executing and blocks inside the table function with
+    // its store target in flight.
+    let producer = {
+        let engine = Arc::clone(&engine);
+        let plan = plan.clone();
+        std::thread::spawn(move || engine.session().query(&plan).unwrap().into_outcome())
+    };
+    entered_rx.recv().expect("producer entered the function");
+
+    // Consumer: hits the same cold fingerprint while the producer is in
+    // flight — must stall, not compute.
+    let consumer = {
+        let engine = Arc::clone(&engine);
+        let plan = plan.clone();
+        std::thread::spawn(move || engine.session().query(&plan).unwrap().into_outcome())
+    };
+    // Wait until the consumer is provably parked on the stall condvar.
+    let stats = &engine.recycler().unwrap().stats;
+    while stats.stalls.load(Ordering::Relaxed) == 0 {
+        std::thread::yield_now();
+    }
+    release_tx.send(()).expect("release the producer");
+
+    let produced = producer.join().expect("producer thread");
+    let consumed = consumer.join().expect("consumer thread");
+    assert!(produced.materialized(), "producer published the result");
+    assert!(!produced.reused());
+    assert!(
+        consumed.events.iter().any(|e| matches!(
+            e,
+            RecyclerEvent::Stalled {
+                satisfied: true,
+                ..
+            }
+        )),
+        "consumer stalled on the in-flight producer and was satisfied: {:?}",
+        consumed.events
+    );
+    assert!(consumed.reused(), "consumer reused after the stall");
+    assert_eq!(produced.batch.to_rows(), consumed.batch.to_rows());
+    assert_eq!(stats.materializations.load(Ordering::Relaxed), 1);
+}
