@@ -1,0 +1,186 @@
+//! Wire-protocol serving throughput: real sockets, real pgwire frames.
+//!
+//! A [`rdb_server::Server`] over a synthetic table is hammered by 16, 64,
+//! and 256 concurrent client connections, each running parameterized
+//! point/range queries from a small template pool over the extended
+//! protocol — the shape of a dashboard fan-out, where many connections
+//! keep landing on the same recycler fingerprints. Reported per
+//! connection count: QPS, p50/p99 statement latency, and the recycler
+//! hit rate observed through the server's own stats.
+//!
+//! Emits `BENCH_serve.json` at the workspace root (override with
+//! `RDB_BENCH_OUT`).
+
+#[path = "../../../tests/support/pg_client.rs"]
+mod pg_client;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pg_client::PgClient;
+use rdb_recycler::RecyclerConfig;
+use rdb_server::{Server, ServerBuilder};
+use rdb_storage::{Catalog, TableBuilder};
+use rdb_vector::{DataType, Schema, Value};
+
+const ROWS: i64 = 200_000;
+const KEYS: i64 = 500;
+/// Statements per connection at each fan-out level.
+const PER_CLIENT: usize = 40;
+/// Distinct parameter bindings: small enough that connections overlap on
+/// the same cached results, large enough to exercise matching.
+const BINDINGS: i64 = 8;
+
+fn catalog() -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("v", DataType::Float),
+        ("s", DataType::Str),
+    ]);
+    let mut t = TableBuilder::new("t", schema, ROWS as usize);
+    for i in 0..ROWS {
+        t.push_row(vec![
+            Value::Int(i % KEYS),
+            Value::Float((i % 997) as f64 * 0.5),
+            Value::str(["alpha", "beta", "gamma", "delta"][(i % 4) as usize]),
+        ]);
+    }
+    cat.register(t.finish()).unwrap();
+    Arc::new(cat)
+}
+
+struct Level {
+    clients: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+    errors: u64,
+}
+
+fn run_level(server: &Server, clients: usize) -> Level {
+    let addr = server.local_addr();
+    let hits_before = server.stats().recycler_hits;
+    let lookups_before = server.stats().recycler_lookups;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = PgClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(PER_CLIENT);
+                let mut errors = 0u64;
+                for i in 0..PER_CLIENT {
+                    let bound = ((c + i) as i64 % BINDINGS) * (KEYS / BINDINGS);
+                    let t0 = Instant::now();
+                    // Aggregates and point lookups: heavy to compute the
+                    // first time, cheap to recycle, small on the wire.
+                    let cycle = match i % 2 {
+                        0 => client.extended(
+                            "SELECT count(k), sum(v) FROM t WHERE k < $1",
+                            &[Some(&bound.to_string())],
+                        ),
+                        _ => client.extended(
+                            "SELECT s, v FROM t WHERE k = $1 AND v > 400.0",
+                            &[Some(&bound.to_string())],
+                        ),
+                    }
+                    .expect("query cycle");
+                    latencies.push(t0.elapsed());
+                    errors += cycle.errors().len() as u64;
+                }
+                client.terminate();
+                (latencies, errors)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * PER_CLIENT);
+    let mut errors = 0u64;
+    for h in handles {
+        let (l, e) = h.join().expect("client thread");
+        latencies.extend(l);
+        errors += e;
+    }
+    let wall = started.elapsed();
+    latencies.sort();
+    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    let stats = server.stats();
+    let lookups = stats.recycler_lookups.saturating_sub(lookups_before);
+    let hits = stats.recycler_hits.saturating_sub(hits_before);
+    Level {
+        clients,
+        qps: latencies.len() as f64 / wall.as_secs_f64(),
+        p50_us: pick(0.50).as_secs_f64() * 1e6,
+        p99_us: pick(0.99).as_secs_f64() * 1e6,
+        hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        errors,
+    }
+}
+
+fn main() {
+    rdb_bench::banner("server_qps — pgwire serving throughput and recycler sharing");
+    let mut config = RecyclerConfig::deterministic(256 << 20);
+    config.spec_min_progress = 0.0;
+    let server = ServerBuilder::new(catalog())
+        .recycler(config)
+        .workers(16)
+        .max_concurrent_queries(16)
+        .admission_queue_limit(4096)
+        .serve()
+        .expect("bind server");
+
+    // Warm the listener + first fingerprints out of the measurement.
+    run_level(&server, 4);
+
+    let levels: Vec<Level> = [16usize, 64, 256]
+        .into_iter()
+        .map(|clients| run_level(&server, clients))
+        .collect();
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "clients", "qps", "p50 (us)", "p99 (us)", "hit rate", "errors"
+    );
+    for l in &levels {
+        println!(
+            "{:>8} {:>10.0} {:>12.0} {:>12.0} {:>9.1}% {:>8}",
+            l.clients,
+            l.qps,
+            l.p50_us,
+            l.p99_us,
+            l.hit_rate * 100.0,
+            l.errors
+        );
+        assert_eq!(l.errors, 0, "serving workload must be error-free");
+        assert!(
+            l.hit_rate > 0.5,
+            "cross-connection recycling must carry the repeated templates"
+        );
+    }
+
+    let out_path = std::env::var("RDB_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")));
+    let entries: Vec<String> = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"clients\": {}, \"qps\": {:.0}, \"p50_us\": {:.0}, \
+                 \"p99_us\": {:.0}, \"recycler_hit_rate\": {:.4}}}",
+                l.clients, l.qps, l.p50_us, l.p99_us, l.hit_rate
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"bench\": \"server_qps\",\n\"rows\": {},\n\"per_client\": {},\n\
+         \"levels\": [\n  {}\n]\n}}\n",
+        ROWS,
+        PER_CLIENT,
+        entries.join(",\n  ")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_serve.json");
+    println!("snapshot written to {out_path}");
+}

@@ -31,6 +31,11 @@ pub struct EngineConfig {
     /// Maximum queries executing simultaneously (the paper uses 12; further
     /// concurrent queries are queued).
     pub max_concurrent_queries: usize,
+    /// Maximum queries waiting in the admission queue before new arrivals
+    /// are rejected with [`rdb_plan::PlanErrorKind::Saturated`] instead of queued.
+    /// Defaults to effectively unbounded for in-process use; servers set a
+    /// real bound so slow clients shed load instead of queueing forever.
+    pub admission_queue_limit: usize,
     /// Default degree of intra-query parallelism (DOP): how many workers a
     /// single query's morsel-driven pipelines may use. `1` (the default)
     /// executes fully serially on the calling thread. Sessions can
@@ -44,6 +49,7 @@ impl Default for EngineConfig {
         EngineConfig {
             recycling: Some(RecyclerConfig::default()),
             max_concurrent_queries: 12,
+            admission_queue_limit: usize::MAX,
             // Env-driven default so whole test/bench suites can be swept
             // across DOPs without code changes (the CI DOP matrix).
             parallelism: default_parallelism_from_env(),
@@ -130,6 +136,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Bound the admission wait queue: once `n` queries are already
+    /// waiting, further executions fail with [`rdb_plan::PlanErrorKind::Saturated`]
+    /// instead of queueing (load shedding for serving layers).
+    pub fn admission_queue_limit(mut self, n: usize) -> EngineBuilder {
+        self.config.admission_queue_limit = n;
+        self
+    }
+
     /// Default degree of intra-query parallelism. `n > 1` creates a shared
     /// worker pool of `n` resident threads that every query's
     /// morsel-driven pipelines run on; `1` executes serially. Per-session
@@ -153,7 +167,10 @@ impl EngineBuilder {
             catalog: self.catalog,
             functions: self.functions,
             recycler: self.config.recycling.map(Recycler::new),
-            gate: Arc::new(Gate::new(self.config.max_concurrent_queries)),
+            gate: Arc::new(Gate::new(
+                self.config.max_concurrent_queries,
+                self.config.admission_queue_limit,
+            )),
             pool: (parallelism > 1).then(|| WorkerPool::new(parallelism)),
             parallelism,
             epoch: Instant::now(),
@@ -211,9 +228,21 @@ impl QueryOutcome {
     }
 }
 
+/// Which DML operation a [`WriteOutcome`] records (drives e.g. the pgwire
+/// `CommandComplete` tag: `INSERT 0 n` vs `DELETE n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Rows appended (`INSERT`).
+    Append,
+    /// Rows deleted (`DELETE`).
+    Delete,
+}
+
 /// The result of one committed DML statement.
 #[derive(Debug)]
 pub struct WriteOutcome {
+    /// Which operation this was.
+    pub kind: WriteKind,
     /// The updated table.
     pub table: String,
     /// The epoch the write committed (every snapshot taken from here on
@@ -307,47 +336,148 @@ impl StreamsReport {
     }
 }
 
-/// Counting semaphore bounding concurrent query execution.
+/// Point-in-time view of the admission scheduler (see
+/// [`Engine::admission`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionSnapshot {
+    /// Queries that may execute simultaneously.
+    pub capacity: usize,
+    /// Admission slots currently held (executing queries).
+    pub in_flight: usize,
+    /// Queries waiting in the FIFO admission queue.
+    pub queued: usize,
+    /// Maximum queue depth before new queries are rejected.
+    pub queue_limit: usize,
+    /// Whether the gate has been closed for shutdown.
+    pub closed: bool,
+}
+
+struct GateState {
+    /// Free execution slots.
+    slots: usize,
+    /// Ticket source (monotonic).
+    next_ticket: u64,
+    /// Waiting tickets, strictly in arrival order.
+    queue: std::collections::VecDeque<u64>,
+    /// Closed gates admit nothing and fail all waiters.
+    closed: bool,
+}
+
+/// FIFO-fair admission scheduler bounding concurrent query execution.
+///
+/// Each waiter draws a ticket and is admitted strictly in arrival order —
+/// a slot freed under contention always goes to the longest-waiting query,
+/// so no stream can starve behind a burst of rivals (the old
+/// condvar-semaphore woke waiters in arbitrary order). The wait queue is
+/// bounded: past `queue_limit` waiting queries, `acquire` rejects instead
+/// of queueing, which is the engine-side backpressure signal a serving
+/// layer turns into a client-visible "server overloaded" error. Closing
+/// the gate (graceful shutdown) fails current and future waiters with
+/// [`rdb_plan::PlanErrorKind::ShuttingDown`] while in-flight queries keep their
+/// slots until they drain.
 pub(crate) struct Gate {
-    slots: Mutex<usize>,
+    capacity: usize,
+    queue_limit: usize,
+    state: Mutex<GateState>,
     cond: Condvar,
 }
 
 impl Gate {
-    fn new(n: usize) -> Gate {
+    fn new(capacity: usize, queue_limit: usize) -> Gate {
+        let capacity = capacity.max(1);
         Gate {
-            slots: Mutex::new(n.max(1)),
+            capacity,
+            queue_limit,
+            state: Mutex::new(GateState {
+                slots: capacity,
+                next_ticket: 0,
+                queue: std::collections::VecDeque::new(),
+                closed: false,
+            }),
             cond: Condvar::new(),
         }
     }
 
-    fn acquire(self: &Arc<Self>) -> GateGuard {
-        let mut s = self.slots.lock();
-        while *s == 0 {
-            self.cond.wait(&mut s);
+    /// Block until admitted (in strict arrival order). Fails fast when the
+    /// wait queue is at capacity or the gate is closed.
+    fn acquire(self: &Arc<Self>) -> Result<GateGuard, PlanError> {
+        let mut s = self.state.lock();
+        if s.closed {
+            return Err(PlanError::shutting_down());
         }
-        *s -= 1;
-        drop(s);
-        GateGuard {
-            gate: Arc::clone(self),
+        if s.slots > 0 && s.queue.is_empty() {
+            // Fast path: no contention, no ticket needed.
+            s.slots -= 1;
+            drop(s);
+            return Ok(GateGuard {
+                gate: Arc::clone(self),
+            });
+        }
+        if s.queue.len() >= self.queue_limit {
+            return Err(PlanError::saturated(self.queue_limit));
+        }
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        s.queue.push_back(ticket);
+        loop {
+            if s.closed {
+                s.queue.retain(|&t| t != ticket);
+                // Our departure may unblock the (younger) new front.
+                self.cond.notify_all();
+                return Err(PlanError::shutting_down());
+            }
+            if s.slots > 0 && s.queue.front() == Some(&ticket) {
+                s.queue.pop_front();
+                s.slots -= 1;
+                if s.slots > 0 && !s.queue.is_empty() {
+                    // More slots remain for the next ticket in line.
+                    self.cond.notify_all();
+                }
+                drop(s);
+                return Ok(GateGuard {
+                    gate: Arc::clone(self),
+                });
+            }
+            self.cond.wait(&mut s);
         }
     }
 
+    /// Non-blocking acquire. Respects FIFO fairness: a free slot with a
+    /// non-empty queue belongs to the queue's front, not to opportunistic
+    /// callers.
     fn try_acquire(self: &Arc<Self>) -> Option<GateGuard> {
-        let mut s = self.slots.lock();
-        if *s == 0 {
+        let mut s = self.state.lock();
+        if s.closed || s.slots == 0 || !s.queue.is_empty() {
             return None;
         }
-        *s -= 1;
+        s.slots -= 1;
         drop(s);
         Some(GateGuard {
             gate: Arc::clone(self),
         })
     }
 
+    /// Close the gate: every current and future `acquire` fails with
+    /// [`rdb_plan::PlanErrorKind::ShuttingDown`]; held slots drain normally.
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    fn snapshot(&self) -> AdmissionSnapshot {
+        let s = self.state.lock();
+        AdmissionSnapshot {
+            capacity: self.capacity,
+            in_flight: self.capacity - s.slots,
+            queued: s.queue.len(),
+            queue_limit: self.queue_limit,
+            closed: s.closed,
+        }
+    }
+
     #[cfg(test)]
     fn available(&self) -> usize {
-        *self.slots.lock()
+        self.state.lock().slots
     }
 }
 
@@ -358,10 +488,21 @@ pub(crate) struct GateGuard {
     gate: Arc<Gate>,
 }
 
+impl std::fmt::Debug for GateGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GateGuard").finish_non_exhaustive()
+    }
+}
+
 impl Drop for GateGuard {
     fn drop(&mut self) {
-        *self.gate.slots.lock() += 1;
-        self.gate.cond.notify_one();
+        let mut s = self.gate.state.lock();
+        s.slots += 1;
+        drop(s);
+        // Wake everyone; only the queue front can take the slot, the rest
+        // re-check and sleep again (admission is rare enough that the
+        // thundering herd costs less than per-ticket condvars would).
+        self.gate.cond.notify_all();
     }
 }
 
@@ -421,6 +562,11 @@ impl Engine {
         self.recycler.as_ref()
     }
 
+    /// The table-function registry.
+    pub fn functions(&self) -> &Arc<FnRegistry> {
+        &self.functions
+    }
+
     /// The engine-default degree of intra-query parallelism.
     pub fn parallelism(&self) -> usize {
         self.parallelism
@@ -456,6 +602,7 @@ impl Engine {
             self.notify_update(table, snap.epoch())
         };
         Ok(WriteOutcome {
+            kind: WriteKind::Append,
             table: table.to_string(),
             epoch: snap.epoch(),
             rows_affected: rows.len(),
@@ -509,6 +656,7 @@ impl Engine {
             self.notify_update(table, snap.epoch())
         };
         Ok(WriteOutcome {
+            kind: WriteKind::Delete,
             table: table.to_string(),
             epoch: snap.epoch(),
             rows_affected: deleted,
@@ -524,15 +672,35 @@ impl Engine {
         }
     }
 
-    /// Acquire an admission slot, blocking while the engine is at its
-    /// concurrency limit.
-    pub(crate) fn admit(&self) -> GateGuard {
+    /// Acquire an admission slot, blocking (FIFO-fair) while the engine is
+    /// at its concurrency limit. Fails when the wait queue is full or the
+    /// engine is shutting down.
+    pub(crate) fn admit(&self) -> Result<GateGuard, PlanError> {
         self.gate.acquire()
     }
 
-    /// Acquire an admission slot only if one is free right now.
+    /// Acquire an admission slot only if one is free right now (and nobody
+    /// is queued ahead — `try` never jumps the FIFO line).
     pub(crate) fn try_admit(&self) -> Option<GateGuard> {
         self.gate.try_acquire()
+    }
+
+    /// Point-in-time admission-scheduler counters: slots in use, queue
+    /// depth, limits, and whether the engine is draining.
+    pub fn admission(&self) -> AdmissionSnapshot {
+        self.gate.snapshot()
+    }
+
+    /// Begin graceful shutdown: stop admitting queries. Executions already
+    /// holding a slot drain normally; queued and future executions fail
+    /// with [`rdb_plan::PlanErrorKind::ShuttingDown`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.gate.close();
+    }
+
+    /// Whether [`Engine::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.gate.snapshot().closed
     }
 
     /// Execute one query to completion (named or bound plan). Blocks while
@@ -791,6 +959,115 @@ mod tests {
         // The engine still accepts queries afterwards.
         let out = run(&engine, &agg_query(5));
         assert_eq!(out.batch.rows(), 5);
+    }
+
+    #[test]
+    fn gate_admits_waiters_in_arrival_order() {
+        // One slot, held. N waiters queue one at a time (each provably
+        // enqueued before the next arrives, via the queue-depth counter);
+        // releasing the slot repeatedly must admit them in exactly
+        // arrival order — the starvation regression this gate fixes.
+        let gate = Arc::new(Gate::new(1, usize::MAX));
+        let held = gate.acquire().unwrap();
+        const N: usize = 8;
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut threads = Vec::new();
+        for i in 0..N {
+            let g = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            threads.push(std::thread::spawn(move || {
+                let guard = g.acquire().unwrap();
+                order.lock().push(i);
+                drop(guard); // pass the slot to the next ticket
+            }));
+            // Wait until waiter i is actually queued before starting i+1,
+            // so arrival order is deterministic.
+            while gate.snapshot().queued < i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(held);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*order.lock(), (0..N).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gate_bounds_the_wait_queue() {
+        let gate = Arc::new(Gate::new(1, 2));
+        let _held = gate.acquire().unwrap();
+        let mut waiters = Vec::new();
+        for _ in 0..2 {
+            let gate = Arc::clone(&gate);
+            waiters.push(std::thread::spawn(move || {
+                drop(gate.acquire().unwrap());
+            }));
+        }
+        while gate.snapshot().queued < 2 {
+            std::thread::yield_now();
+        }
+        // Third waiter exceeds the bound: rejected, not queued.
+        let err = gate.acquire().expect_err("queue is full");
+        assert!(
+            matches!(err.kind, rdb_plan::PlanErrorKind::Saturated { limit: 2 }),
+            "{err}"
+        );
+        drop(_held);
+        for t in waiters {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gate_close_fails_waiters_and_new_arrivals() {
+        let gate = Arc::new(Gate::new(1, usize::MAX));
+        let held = gate.acquire().unwrap();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.acquire().map(|_| ()))
+        };
+        while gate.snapshot().queued < 1 {
+            std::thread::yield_now();
+        }
+        gate.close();
+        let err = waiter.join().unwrap().expect_err("waiter fails on close");
+        assert!(matches!(err.kind, rdb_plan::PlanErrorKind::ShuttingDown));
+        let err = gate.acquire().expect_err("closed gate admits nothing");
+        assert!(matches!(err.kind, rdb_plan::PlanErrorKind::ShuttingDown));
+        // The held slot still releases cleanly.
+        drop(held);
+        assert_eq!(gate.snapshot().in_flight, 0);
+        assert!(gate.snapshot().closed);
+    }
+
+    #[test]
+    fn try_admit_never_jumps_the_fifo_line() {
+        let gate = Arc::new(Gate::new(1, usize::MAX));
+        let held = gate.acquire().unwrap();
+        let gate2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || drop(gate2.acquire().unwrap()));
+        while gate.snapshot().queued < 1 {
+            std::thread::yield_now();
+        }
+        // A slot is about to free up, but the queued waiter owns it.
+        drop(held);
+        assert!(
+            gate.try_acquire().is_none() || gate.snapshot().queued == 0,
+            "try_acquire must not overtake a queued waiter"
+        );
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn engine_shutdown_rejects_new_queries() {
+        let engine = Engine::builder(catalog(1_000)).no_recycler().build();
+        let out = run(&engine, &agg_query(5));
+        assert_eq!(out.batch.rows(), 5);
+        engine.shutdown();
+        assert!(engine.is_shutting_down());
+        let err = engine.session().query(&agg_query(5)).expect_err("closed");
+        assert!(matches!(err.kind, rdb_plan::PlanErrorKind::ShuttingDown));
     }
 
     #[test]

@@ -17,8 +17,8 @@ pub mod materializing;
 pub mod session;
 
 pub use engine::{
-    Engine, EngineBuilder, EngineConfig, QueryOutcome, QueryRecord, StreamsReport, WorkloadQuery,
-    WriteOutcome,
+    AdmissionSnapshot, Engine, EngineBuilder, EngineConfig, QueryOutcome, QueryRecord,
+    StreamsReport, WorkloadQuery, WriteKind, WriteOutcome,
 };
 pub use materializing::{MatOutcome, MaterializingEngine};
 pub use session::{

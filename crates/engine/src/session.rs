@@ -367,6 +367,19 @@ fn fingerprint_against(template: &Plan, catalog: &rdb_storage::Catalog) -> u64 {
     structural_hash_at(template, &|t| catalog.epoch_of(t).unwrap_or(0))
 }
 
+/// Whether the plan reads any table function registered as volatile
+/// (per-call results; never recycled).
+fn contains_volatile_fn(plan: &Plan, functions: &rdb_exec::FnRegistry) -> bool {
+    if let Plan::FnScan { name, .. } = plan {
+        if functions.is_volatile(name) {
+            return true;
+        }
+    }
+    plan.children()
+        .iter()
+        .any(|c| contains_volatile_fn(c, functions))
+}
+
 /// Check every base-table scan in the subtree against the catalog (table
 /// exists, projected columns exist).
 fn validate_scans(plan: &Plan, catalog: &rdb_storage::Catalog) -> Result<(), PlanError> {
@@ -491,7 +504,7 @@ impl Prepared {
     /// promptly.
     pub fn execute(&self, params: &Params) -> Result<QueryHandle, PlanError> {
         let concrete = self.validated_concrete(params)?;
-        let guard = self.engine.admit();
+        let guard = self.engine.admit()?;
         self.start(&concrete, guard)
     }
 
@@ -564,7 +577,14 @@ impl Prepared {
         // scan must all agree on one epoch vector, or a write landing
         // mid-preparation could mix versions within a single query.
         let snapshot = Arc::new(engine.catalog.snapshot());
-        let (stream, recycler) = match &engine.recycler {
+        // A plan touching a volatile table function (e.g. the server's
+        // `rdb_stats()`) must bypass the recycler entirely: caching its
+        // result would both serve stale values and evict useful entries.
+        let recycling = engine
+            .recycler
+            .as_ref()
+            .filter(|_| !contains_volatile_fn(concrete, &engine.functions));
+        let (stream, recycler) = match recycling {
             None => {
                 let ctx = with_parallelism(
                     ExecContext::new(engine.catalog.clone())

@@ -21,6 +21,13 @@ pub trait TableFunction: Send + Sync {
     /// units expended (e.g. rows examined), so deterministic cost accounting
     /// can include the function's hidden effort.
     fn execute(&self, args: &[Value], work: &mut u64) -> Vec<Batch>;
+
+    /// Volatile functions produce a fresh result on every call (server
+    /// statistics, clocks); the engine never routes them through the
+    /// recycler, so their results are neither cached nor matched.
+    fn volatile(&self) -> bool {
+        false
+    }
 }
 
 /// Name → table function registry.
@@ -43,6 +50,11 @@ impl FnRegistry {
     /// Look up a function.
     pub fn get(&self, name: &str) -> Option<&Arc<dyn TableFunction>> {
         self.fns.get(name)
+    }
+
+    /// Whether `name` resolves to a function declared volatile.
+    pub fn is_volatile(&self, name: &str) -> bool {
+        self.fns.get(name).is_some_and(|f| f.volatile())
     }
 }
 

@@ -119,6 +119,14 @@ pub enum PlanErrorKind {
         /// The parameter name.
         name: String,
     },
+    /// The engine's admission wait queue is at capacity; the query was
+    /// rejected rather than queued (load shedding under overload).
+    Saturated {
+        /// Queue capacity that was exceeded.
+        limit: usize,
+    },
+    /// The engine is shutting down and no longer admits queries.
+    ShuttingDown,
     /// Anything else (free-form).
     Other {
         /// The message.
@@ -200,6 +208,20 @@ impl PlanError {
         }
     }
 
+    /// Admission queue full.
+    pub fn saturated(limit: usize) -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::Saturated { limit },
+        }
+    }
+
+    /// Engine shutting down.
+    pub fn shutting_down() -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::ShuttingDown,
+        }
+    }
+
     /// The offending identifier, when the kind names one (table, column,
     /// function, or parameter). Lets callers highlight the exact token.
     pub fn subject(&self) -> Option<&str> {
@@ -244,6 +266,10 @@ impl fmt::Display for PlanError {
             PlanErrorKind::UnboundParameter { name } => {
                 write!(f, "no value bound for parameter '{name}'")
             }
+            PlanErrorKind::Saturated { limit } => {
+                write!(f, "admission queue full ({limit} queries already waiting)")
+            }
+            PlanErrorKind::ShuttingDown => write!(f, "engine is shutting down"),
             PlanErrorKind::Other { message } => write!(f, "{message}"),
         }
     }

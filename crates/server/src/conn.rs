@@ -1,0 +1,835 @@
+//! One client connection: startup negotiation, the simple and extended
+//! query cycles, cancellation, and buffered, backpressured output.
+//!
+//! A connection is a state machine pumped by pool workers whenever its
+//! socket turns readable (see `server.rs` for the readiness loop). Reads
+//! are nonblocking — [`Conn::pump`] drains whatever the kernel has, acts
+//! on every *complete* frame, and returns with partial frames left in the
+//! input buffer. Writes are the opposite: responses accumulate in a
+//! bounded output buffer that is flushed with *blocking* writes, so a
+//! client that stops reading stalls only its own statement (TCP
+//! backpressure), never the reactor.
+//!
+//! Error discipline follows Postgres: SQL-level failures produce an
+//! `ErrorResponse` and leave the connection healthy (the extended
+//! protocol additionally discards messages until `Sync`); protocol-level
+//! violations (unknown tags, truncated frames, binary formats) produce an
+//! `ErrorResponse` and close *this* connection — never the server.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rdb_engine::{Engine, Prepared, QueryHandle, Session, SqlOutcome, WriteKind, WriteOutcome};
+use rdb_expr::Params;
+use rdb_plan::PlanErrorKind;
+use rdb_sql::{BoundStatement, CatalogWithFunctions, Span, SqlError, SqlErrorKind};
+
+use crate::protocol::{self as pg, Frontend, MAX_FRAME};
+use crate::stats::ServerShared;
+
+/// Flush the output buffer once it holds this much encoded data. Bounds
+/// per-connection memory: at most one batch's rows are encoded beyond the
+/// threshold before the (blocking) flush runs.
+pub(crate) const FLUSH_THRESHOLD: usize = 64 << 10;
+
+/// What one pump round left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pump {
+    /// No complete frame pending; hand the socket back to the reactor.
+    Idle,
+    /// The connection is finished (Terminate, EOF, error); drop it.
+    Closed,
+}
+
+/// A statement prepared over the wire, classified at Parse time. Queries
+/// go through the engine's [`Prepared`] path — same template, same
+/// normalization, same recycler fingerprints as an embedded
+/// `Session::prepare_sql`. DML keeps its text and re-binds at Execute
+/// (the engine's write path takes values, not a prepared template).
+enum Statement {
+    Query {
+        sql: String,
+        prepared: Prepared,
+        param_oids: Vec<i32>,
+    },
+    Dml {
+        sql: String,
+        param_oids: Vec<i32>,
+        nparams: usize,
+    },
+    Empty,
+}
+
+/// A bound portal: decoded parameters against a named statement.
+struct Portal {
+    statement: String,
+    params: Params,
+}
+
+/// What an Execute decided to do, computed while the statement map is
+/// borrowed and acted on after the borrow ends.
+// Transient, matched once; boxing the handle would tax the query path.
+#[allow(clippy::large_enum_variant)]
+enum Exec {
+    Handle(QueryHandle),
+    Write(WriteOutcome),
+    Empty,
+    Fail { sql: String, err: SqlError },
+}
+
+pub(crate) struct Conn {
+    stream: TcpStream,
+    pid: i32,
+    secret: i32,
+    shared: Arc<ServerShared>,
+    engine: Arc<Engine>,
+    session: Option<Session>,
+    cancel: Arc<AtomicBool>,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    started: bool,
+    dead: bool,
+    skip_to_sync: bool,
+    statements: HashMap<String, Statement>,
+    portals: HashMap<String, Portal>,
+}
+
+impl Conn {
+    pub(crate) fn new(
+        stream: TcpStream,
+        pid: i32,
+        secret: i32,
+        cancel: Arc<AtomicBool>,
+        shared: Arc<ServerShared>,
+        engine: Arc<Engine>,
+    ) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            pid,
+            secret,
+            shared,
+            engine,
+            session: None,
+            cancel,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            started: false,
+            dead: false,
+            skip_to_sync: false,
+            statements: HashMap::new(),
+            portals: HashMap::new(),
+        })
+    }
+
+    pub(crate) fn pid(&self) -> i32 {
+        self.pid
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Close an idle connection during graceful shutdown: tell the client
+    /// why, then sever the socket.
+    pub(crate) fn close_for_shutdown(&mut self) {
+        pg::error_response(
+            &mut self.outbuf,
+            "57P01",
+            "terminating connection due to administrator command",
+            None,
+            None,
+        );
+        self.flush();
+        self.dead = true;
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Drain readable bytes, act on every complete frame, flush responses.
+    pub(crate) fn pump(&mut self) -> Pump {
+        let eof = self.fill();
+        while !self.dead {
+            match self.next_frame() {
+                Ok(None) => break,
+                Ok(Some(Raw::Startup(body))) => self.on_startup(&body),
+                Ok(Some(Raw::Tagged(tag, body))) => self.on_frame(tag, &body),
+                Err(msg) => {
+                    pg::error_response(&mut self.outbuf, "08P01", &msg, None, None);
+                    self.dead = true;
+                }
+            }
+        }
+        if eof {
+            self.dead = true;
+        }
+        self.flush();
+        if self.dead {
+            Pump::Closed
+        } else {
+            Pump::Idle
+        }
+    }
+
+    /// Nonblocking read of everything available (capped at one max frame
+    /// beyond what's buffered — a firehosing client waits in the kernel
+    /// buffer, which is the read-side backpressure). Returns whether the
+    /// peer hit EOF.
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 16 << 10];
+        while self.inbuf.len() <= MAX_FRAME + 5 {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return true,
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+        false
+    }
+
+    fn next_frame(&mut self) -> Result<Option<Raw>, String> {
+        if !self.started {
+            if self.inbuf.len() < 4 {
+                return Ok(None);
+            }
+            let len = i32::from_be_bytes(self.inbuf[..4].try_into().unwrap());
+            if !(8..=MAX_FRAME as i32).contains(&len) {
+                return Err(format!("invalid startup packet length {len}"));
+            }
+            let len = len as usize;
+            if self.inbuf.len() < len {
+                return Ok(None);
+            }
+            let body = self.inbuf[4..len].to_vec();
+            self.inbuf.drain(..len);
+            return Ok(Some(Raw::Startup(body)));
+        }
+        if self.inbuf.len() < 5 {
+            return Ok(None);
+        }
+        let tag = self.inbuf[0];
+        let len = i32::from_be_bytes(self.inbuf[1..5].try_into().unwrap());
+        if !(4..=MAX_FRAME as i32).contains(&len) {
+            return Err(format!("invalid message length {len} for tag {tag:#x}"));
+        }
+        let total = 1 + len as usize;
+        if self.inbuf.len() < total {
+            return Ok(None);
+        }
+        let body = self.inbuf[5..total].to_vec();
+        self.inbuf.drain(..total);
+        Ok(Some(Raw::Tagged(tag, body)))
+    }
+
+    // -- startup ----------------------------------------------------------
+
+    fn on_startup(&mut self, body: &[u8]) {
+        if body.len() < 4 {
+            self.dead = true;
+            return;
+        }
+        let code = i32::from_be_bytes(body[..4].try_into().unwrap());
+        match code {
+            pg::SSL_CODE | pg::GSSENC_CODE => {
+                // Refused, not framed: a single 'N' byte, then the client
+                // retries with a plain startup packet.
+                self.outbuf.push(b'N');
+            }
+            pg::CANCEL_CODE if body.len() >= 12 => {
+                let pid = i32::from_be_bytes(body[4..8].try_into().unwrap());
+                let secret = i32::from_be_bytes(body[8..12].try_into().unwrap());
+                self.shared.cancel(pid, secret);
+                // A cancel connection carries nothing else and gets no
+                // reply, matched or not.
+                self.dead = true;
+            }
+            pg::PROTOCOL_V3 => {
+                if self.shared.draining() {
+                    pg::error_response(
+                        &mut self.outbuf,
+                        "57P03",
+                        "the database system is shutting down",
+                        None,
+                        None,
+                    );
+                    self.dead = true;
+                    return;
+                }
+                // Trust auth: the user/database startup parameters are
+                // accepted as-is.
+                self.session = Some(self.engine.session());
+                self.started = true;
+                pg::authentication_ok(&mut self.outbuf);
+                pg::parameter_status(&mut self.outbuf, "server_version", "14.0 (rdb)");
+                pg::parameter_status(&mut self.outbuf, "server_encoding", "UTF8");
+                pg::parameter_status(&mut self.outbuf, "client_encoding", "UTF8");
+                pg::parameter_status(&mut self.outbuf, "DateStyle", "ISO, YMD");
+                pg::parameter_status(&mut self.outbuf, "integer_datetimes", "on");
+                pg::backend_key_data(&mut self.outbuf, self.pid, self.secret);
+                pg::ready_for_query(&mut self.outbuf);
+            }
+            other => {
+                pg::error_response(
+                    &mut self.outbuf,
+                    "08P01",
+                    &format!("unsupported protocol version {other}"),
+                    None,
+                    None,
+                );
+                self.dead = true;
+            }
+        }
+    }
+
+    // -- post-startup dispatch --------------------------------------------
+
+    fn on_frame(&mut self, tag: u8, body: &[u8]) {
+        let frame = match pg::parse_frame(tag, body) {
+            Ok(f) => f,
+            Err(e) => {
+                pg::error_response(&mut self.outbuf, "08P01", &e.to_string(), None, None);
+                self.dead = true;
+                return;
+            }
+        };
+        match frame {
+            Frontend::Terminate => self.dead = true,
+            Frontend::Query(text) => self.simple_query(&text),
+            Frontend::Sync => {
+                self.skip_to_sync = false;
+                pg::ready_for_query(&mut self.outbuf);
+            }
+            // Responses flush at the end of every pump anyway.
+            Frontend::Flush => {}
+            // After an extended-protocol error, everything up to Sync is
+            // discarded.
+            _ if self.skip_to_sync => {}
+            Frontend::Parse {
+                name,
+                sql,
+                param_oids,
+            } => self.on_parse(name, &sql, param_oids),
+            Frontend::Bind {
+                portal,
+                statement,
+                params,
+            } => self.on_bind(portal, statement, &params),
+            Frontend::Describe { kind, name } => self.on_describe(kind, &name),
+            Frontend::Execute { portal, .. } => self.on_execute(&portal),
+            Frontend::Close { kind, name } => {
+                if kind == b'S' {
+                    self.statements.remove(&name);
+                } else {
+                    self.portals.remove(&name);
+                }
+                pg::close_complete(&mut self.outbuf);
+            }
+        }
+    }
+
+    // -- simple query cycle -----------------------------------------------
+
+    fn simple_query(&mut self, text: &str) {
+        let statements = pg::split_statements(text);
+        if statements.is_empty() {
+            pg::empty_query_response(&mut self.outbuf);
+            pg::ready_for_query(&mut self.outbuf);
+            return;
+        }
+        let statements: Vec<String> = statements.into_iter().map(str::to_string).collect();
+        for sql in &statements {
+            // An error aborts the rest of the query string, Postgres-style.
+            if !self.run_simple(sql) {
+                break;
+            }
+        }
+        pg::ready_for_query(&mut self.outbuf);
+    }
+
+    fn run_simple(&mut self, sql: &str) -> bool {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.queries_active.fetch_add(1, Ordering::Relaxed);
+        let outcome = self
+            .session
+            .as_ref()
+            .expect("startup completed")
+            .sql(sql, &Params::none());
+        let ok = match outcome {
+            Ok(SqlOutcome::Rows(handle)) => self.stream_rows(handle, true),
+            Ok(SqlOutcome::Write(w)) => {
+                pg::command_complete(&mut self.outbuf, &write_tag(&w));
+                true
+            }
+            Err(e) => {
+                self.sql_error(sql, &e);
+                false
+            }
+        };
+        self.shared.queries_active.fetch_sub(1, Ordering::Relaxed);
+        if !ok {
+            self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
+    /// Stream a query's batches as DataRows, checking the cancel flag at
+    /// every batch boundary and flushing whenever the output buffer fills.
+    /// `send_desc` distinguishes the simple cycle (RowDescription precedes
+    /// the rows — even for zero rows) from the extended cycle (Describe
+    /// already announced it).
+    fn stream_rows(&mut self, mut handle: QueryHandle, send_desc: bool) -> bool {
+        if send_desc {
+            pg::row_description(&mut self.outbuf, handle.schema());
+        }
+        let mut rows = 0u64;
+        loop {
+            if self.cancel.swap(false, Ordering::AcqRel) {
+                // Dropping the handle mid-stream is the engine's abort
+                // path: the admission slot frees, the recycler abandons
+                // in-flight materializations without poisoning the cache.
+                drop(handle);
+                pg::error_response(
+                    &mut self.outbuf,
+                    "57014",
+                    "canceling statement due to user request",
+                    None,
+                    None,
+                );
+                return false;
+            }
+            let Some(batch) = handle.next() else { break };
+            rows += batch.rows() as u64;
+            for row in batch.to_rows() {
+                pg::data_row(&mut self.outbuf, &row);
+            }
+            if self.outbuf.len() >= FLUSH_THRESHOLD && !self.flush() {
+                return false;
+            }
+        }
+        pg::command_complete(&mut self.outbuf, &format!("SELECT {rows}"));
+        true
+    }
+
+    // -- extended query cycle ---------------------------------------------
+
+    fn on_parse(&mut self, name: String, sql: &str, param_oids: Vec<i32>) {
+        match self.classify(sql, param_oids) {
+            Ok(stmt) => {
+                self.statements.insert(name, stmt);
+                pg::parse_complete(&mut self.outbuf);
+            }
+            Err(e) => {
+                self.sql_error(sql, &e);
+                self.fail_extended();
+            }
+        }
+    }
+
+    /// Compile the statement text once at Parse. Queries become engine
+    /// [`Prepared`] templates — wire prepared statements land on the same
+    /// recycler fingerprints as embedded ones.
+    fn classify(&self, sql: &str, param_oids: Vec<i32>) -> Result<Statement, SqlError> {
+        let text = sql.trim();
+        if text.is_empty() {
+            return Ok(Statement::Empty);
+        }
+        let provider = CatalogWithFunctions {
+            catalog: self.engine.catalog().as_ref(),
+            functions: self.engine.functions().as_ref(),
+        };
+        match rdb_sql::compile(text, &provider)? {
+            BoundStatement::Query(plan) => {
+                let prepared = self
+                    .session
+                    .as_ref()
+                    .expect("startup completed")
+                    .prepare(&plan)
+                    .map_err(|pe| SqlError::from_plan(Span::new(0, text.len()), pe))?;
+                Ok(Statement::Query {
+                    sql: text.to_string(),
+                    prepared,
+                    param_oids,
+                })
+            }
+            BoundStatement::Insert { .. } | BoundStatement::Delete { .. } => Ok(Statement::Dml {
+                sql: text.to_string(),
+                nparams: positional_param_count(text),
+                param_oids,
+            }),
+        }
+    }
+
+    fn on_bind(&mut self, portal: String, statement: String, raw: &[Option<Vec<u8>>]) {
+        let Some(stmt) = self.statements.get(&statement) else {
+            pg::error_response(
+                &mut self.outbuf,
+                "26000",
+                &format!("prepared statement \"{statement}\" does not exist"),
+                None,
+                None,
+            );
+            self.fail_extended();
+            return;
+        };
+        let (names, oids): (Vec<String>, &[i32]) = match stmt {
+            Statement::Query {
+                prepared,
+                param_oids,
+                ..
+            } => (prepared.param_names().to_vec(), param_oids),
+            Statement::Dml {
+                nparams,
+                param_oids,
+                ..
+            } => ((1..=*nparams).map(|i| i.to_string()).collect(), param_oids),
+            Statement::Empty => (Vec::new(), &[]),
+        };
+        if raw.len() != names.len() {
+            let (got, want) = (raw.len(), names.len());
+            pg::error_response(
+                &mut self.outbuf,
+                "08P01",
+                &format!(
+                    "bind message supplies {got} parameters, \
+                     but prepared statement requires {want}"
+                ),
+                None,
+                None,
+            );
+            self.fail_extended();
+            return;
+        }
+        let mut params = Params::new();
+        for (i, value) in raw.iter().enumerate() {
+            let oid = oids.get(i).copied().unwrap_or(0);
+            match pg::decode_param(oid, value.as_deref()) {
+                Ok(v) => params = params.set(names[i].clone(), v),
+                Err(e) => {
+                    pg::error_response(&mut self.outbuf, "22P02", &e.to_string(), None, None);
+                    self.fail_extended();
+                    return;
+                }
+            }
+        }
+        self.portals.insert(portal, Portal { statement, params });
+        pg::bind_complete(&mut self.outbuf);
+    }
+
+    fn on_describe(&mut self, kind: u8, name: &str) {
+        if kind == b'S' {
+            let Some(stmt) = self.statements.get(name) else {
+                pg::error_response(
+                    &mut self.outbuf,
+                    "26000",
+                    &format!("prepared statement \"{name}\" does not exist"),
+                    None,
+                    None,
+                );
+                self.fail_extended();
+                return;
+            };
+            match stmt {
+                Statement::Query {
+                    prepared,
+                    param_oids,
+                    ..
+                } => {
+                    let n = prepared.param_names().len();
+                    let oids: Vec<i32> = (0..n)
+                        .map(|i| param_oids.get(i).copied().unwrap_or(0))
+                        .collect();
+                    pg::parameter_description(&mut self.outbuf, &oids);
+                    // A parameterized template cannot derive its schema
+                    // before binding; the portal Describe can.
+                    match prepared.template().schema(self.engine.catalog()) {
+                        Ok(schema) => pg::row_description(&mut self.outbuf, &schema),
+                        Err(_) => pg::no_data(&mut self.outbuf),
+                    }
+                }
+                Statement::Dml {
+                    nparams,
+                    param_oids,
+                    ..
+                } => {
+                    let oids: Vec<i32> = (0..*nparams)
+                        .map(|i| param_oids.get(i).copied().unwrap_or(0))
+                        .collect();
+                    pg::parameter_description(&mut self.outbuf, &oids);
+                    pg::no_data(&mut self.outbuf);
+                }
+                Statement::Empty => {
+                    pg::parameter_description(&mut self.outbuf, &[]);
+                    pg::no_data(&mut self.outbuf);
+                }
+            }
+            return;
+        }
+        let Some(portal) = self.portals.get(name) else {
+            pg::error_response(
+                &mut self.outbuf,
+                "34000",
+                &format!("portal \"{name}\" does not exist"),
+                None,
+                None,
+            );
+            self.fail_extended();
+            return;
+        };
+        match self.statements.get(&portal.statement) {
+            Some(Statement::Query { prepared, .. }) => {
+                let schema = prepared
+                    .template()
+                    .substitute_params(&portal.params)
+                    .and_then(|p| p.schema(self.engine.catalog()));
+                match schema {
+                    Ok(s) => pg::row_description(&mut self.outbuf, &s),
+                    Err(_) => pg::no_data(&mut self.outbuf),
+                }
+            }
+            _ => pg::no_data(&mut self.outbuf),
+        }
+    }
+
+    fn on_execute(&mut self, portal: &str) {
+        let Some(p) = self.portals.get(portal) else {
+            pg::error_response(
+                &mut self.outbuf,
+                "34000",
+                &format!("portal \"{portal}\" does not exist"),
+                None,
+                None,
+            );
+            self.fail_extended();
+            return;
+        };
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.queries_active.fetch_add(1, Ordering::Relaxed);
+        let params = p.params.clone();
+        // Decide while the statement map is borrowed; act afterwards (the
+        // produced handle owns everything it needs).
+        let exec = match self.statements.get(&p.statement) {
+            None => Exec::Fail {
+                sql: String::new(),
+                err: SqlError::bind(
+                    Span::default(),
+                    format!("prepared statement \"{}\" does not exist", p.statement),
+                ),
+            },
+            Some(Statement::Empty) => Exec::Empty,
+            Some(Statement::Query { sql, prepared, .. }) => match prepared.execute(&params) {
+                Ok(handle) => Exec::Handle(handle),
+                Err(pe) => Exec::Fail {
+                    sql: sql.clone(),
+                    err: SqlError::from_plan(Span::new(0, sql.len()), pe),
+                },
+            },
+            Some(Statement::Dml { sql, .. }) => {
+                match self
+                    .session
+                    .as_ref()
+                    .expect("startup completed")
+                    .sql(sql, &params)
+                {
+                    Ok(SqlOutcome::Write(w)) => Exec::Write(w),
+                    Ok(SqlOutcome::Rows(handle)) => Exec::Handle(handle),
+                    Err(e) => Exec::Fail {
+                        sql: sql.clone(),
+                        err: e,
+                    },
+                }
+            }
+        };
+        let ok = match exec {
+            Exec::Empty => {
+                pg::empty_query_response(&mut self.outbuf);
+                true
+            }
+            Exec::Write(w) => {
+                pg::command_complete(&mut self.outbuf, &write_tag(&w));
+                true
+            }
+            // Extended protocol: Describe announced the row shape; Execute
+            // sends only the data.
+            Exec::Handle(handle) => self.stream_rows(handle, false),
+            Exec::Fail { sql, err } => {
+                self.sql_error(&sql, &err);
+                false
+            }
+        };
+        self.shared.queries_active.fetch_sub(1, Ordering::Relaxed);
+        if !ok {
+            self.fail_extended();
+        }
+    }
+
+    /// Record an extended-protocol statement failure: count it and discard
+    /// frames until the client's Sync.
+    fn fail_extended(&mut self) {
+        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        self.skip_to_sync = true;
+    }
+
+    // -- errors and output ------------------------------------------------
+
+    /// Encode a SQL error with its SQLSTATE, the 1-based character
+    /// position of the offending span, and the caret-rendered report as
+    /// detail.
+    fn sql_error(&mut self, sql: &str, e: &SqlError) {
+        let position = (!sql.is_empty()).then(|| {
+            let start = e.span.start.min(sql.len());
+            sql[..start].chars().count() + 1
+        });
+        let detail = (!sql.is_empty()).then(|| e.render(sql));
+        pg::error_response(
+            &mut self.outbuf,
+            sqlstate(e),
+            &e.message,
+            position,
+            detail.as_deref(),
+        );
+    }
+
+    /// Blocking flush of the output buffer — the write-side backpressure
+    /// point. A dead peer surfaces here and closes the connection.
+    fn flush(&mut self) -> bool {
+        if self.outbuf.is_empty() {
+            return !self.dead;
+        }
+        let buf = std::mem::take(&mut self.outbuf);
+        let _ = self.stream.set_nonblocking(false);
+        let ok = self.stream.write_all(&buf).is_ok() && self.stream.flush().is_ok();
+        let _ = self.stream.set_nonblocking(true);
+        if !ok {
+            self.dead = true;
+        }
+        ok
+    }
+}
+
+/// A raw frame as cut from the input buffer.
+enum Raw {
+    Startup(Vec<u8>),
+    Tagged(u8, Vec<u8>),
+}
+
+/// CommandComplete tag for a committed write, keyed on the engine's
+/// [`WriteKind`] (`INSERT 0 n` / `DELETE n` — the shapes drivers parse).
+fn write_tag(w: &WriteOutcome) -> String {
+    match w.kind {
+        WriteKind::Append => format!("INSERT 0 {}", w.rows_affected),
+        WriteKind::Delete => format!("DELETE {}", w.rows_affected),
+    }
+}
+
+/// SQLSTATE for an error from the SQL frontend or the engine. Bind-phase
+/// errors are unstructured (a message over a span), so name-resolution
+/// failures are classified by their message prefix.
+fn sqlstate(e: &SqlError) -> &'static str {
+    match &e.kind {
+        SqlErrorKind::Bind if e.message.starts_with("unknown column") => "42703",
+        SqlErrorKind::Bind if e.message.starts_with("unknown table") => "42P01",
+        SqlErrorKind::Bind if e.message.starts_with("unknown aggregate") => "42883",
+        SqlErrorKind::Lex | SqlErrorKind::Parse | SqlErrorKind::Bind => "42601",
+        SqlErrorKind::Plan(p) => match p {
+            PlanErrorKind::UnknownTable { .. } => "42P01",
+            PlanErrorKind::UnknownColumn { .. } => "42703",
+            PlanErrorKind::UnknownFunction { .. } => "42883",
+            PlanErrorKind::TypeMismatch { .. } => "42804",
+            PlanErrorKind::ArityMismatch { .. } => "42601",
+            PlanErrorKind::UnboundParameter { .. } => "08P01",
+            PlanErrorKind::Saturated { .. } => "53300",
+            PlanErrorKind::ShuttingDown => "57P01",
+            PlanErrorKind::Other { .. } => "XX000",
+        },
+    }
+}
+
+/// Highest `$N` positional parameter in `sql` (outside single-quoted
+/// strings); the parameter count of a DML statement.
+fn positional_param_count(sql: &str) -> usize {
+    let bytes = sql.as_bytes();
+    let mut max = 0usize;
+    let mut in_str = false;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' => in_str = !in_str,
+            b'$' if !in_str => {
+                let mut j = i + 1;
+                let mut n = 0usize;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    n = n * 10 + (bytes[j] - b'0') as usize;
+                    j += 1;
+                }
+                if j > i + 1 {
+                    max = max.max(n);
+                }
+                i = j;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_params_counted_outside_strings() {
+        assert_eq!(positional_param_count("INSERT INTO t VALUES ($1, $2)"), 2);
+        assert_eq!(positional_param_count("DELETE FROM t WHERE k = $3"), 3);
+        assert_eq!(positional_param_count("SELECT '$9'"), 0);
+        assert_eq!(positional_param_count("SELECT 1"), 0);
+    }
+
+    #[test]
+    fn write_tags_distinguish_insert_and_delete() {
+        let ins = WriteOutcome {
+            kind: WriteKind::Append,
+            table: "t".into(),
+            epoch: 1,
+            rows_affected: 3,
+            invalidated: Vec::new(),
+        };
+        let del = WriteOutcome {
+            kind: WriteKind::Delete,
+            table: "t".into(),
+            epoch: 2,
+            rows_affected: 7,
+            invalidated: Vec::new(),
+        };
+        assert_eq!(write_tag(&ins), "INSERT 0 3");
+        assert_eq!(write_tag(&del), "DELETE 7");
+    }
+
+    #[test]
+    fn sqlstates_map_structured_kinds() {
+        let err = |kind| SqlError {
+            kind,
+            span: rdb_sql::Span::new(0, 1),
+            message: String::new(),
+        };
+        assert_eq!(
+            sqlstate(&err(SqlErrorKind::Plan(PlanErrorKind::UnknownTable {
+                table: "x".into()
+            }))),
+            "42P01"
+        );
+        assert_eq!(sqlstate(&err(SqlErrorKind::Parse)), "42601");
+        assert_eq!(
+            sqlstate(&err(SqlErrorKind::Plan(PlanErrorKind::ShuttingDown))),
+            "57P01"
+        );
+        let unknown_col = SqlError::bind(rdb_sql::Span::new(0, 4), "unknown column 'nope'");
+        assert_eq!(sqlstate(&unknown_col), "42703");
+    }
+}

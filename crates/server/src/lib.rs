@@ -1,0 +1,81 @@
+//! Postgres-wire-protocol serving layer over the recycling engine.
+//!
+//! `rdb_server` puts the engine behind a socket: any Postgres client or
+//! driver that speaks protocol v3 with text-format values can connect
+//! (trust auth), run SQL, prepare statements, and cancel running queries.
+//! The recycler sits under all of it — two clients issuing the same
+//! parameterized template land on the same fingerprints and share cached
+//! results, which is exactly the multi-user session workload the
+//! recycling paper targets.
+//!
+//! # What's mapped where
+//!
+//! | Wire concept | Engine concept |
+//! |---|---|
+//! | connection startup | [`rdb_engine::Engine::session`] |
+//! | simple `Query` | [`rdb_engine::Session::sql`] per statement |
+//! | `Parse` | [`rdb_engine::Session::prepare`] (queries) / kept text (DML) |
+//! | `Bind` + `Execute` | [`rdb_engine::Prepared::execute`] with [`rdb_expr::Params`] |
+//! | `CancelRequest` | dropping the [`rdb_engine::QueryHandle`] mid-stream |
+//! | `ErrorResponse` | [`rdb_sql::SqlError`] with SQLSTATE, position, caret detail |
+//! | `SELECT * FROM rdb_stats()` | [`ServerStatsSnapshot`] as a volatile table function |
+//!
+//! # Threading model
+//!
+//! Three kinds of thread, none per-connection:
+//!
+//! * **reactor** (one): owns the listener and every idle connection;
+//!   accepts, then sweeps the idle set with nonblocking `peek`. An idle
+//!   connection costs a map entry, not a thread — thousands of parked
+//!   clients are fine.
+//! * **connection handlers** (a small pool, [`ServerBuilder::workers`]):
+//!   a readable connection is pumped here — frames decoded, statements
+//!   executed, responses encoded — until no complete frame remains, then
+//!   handed back to the reactor. The pool overflows instead of queueing,
+//!   so a slow statement never blocks another connection's pump.
+//! * **engine workers**: intra-query parallelism, unchanged from the
+//!   embedded engine.
+//!
+//! Admission control is the engine's FIFO-fair gate: at most
+//! [`ServerBuilder::max_concurrent_queries`] statements execute at once,
+//! later arrivals queue in arrival order up to
+//! [`ServerBuilder::admission_queue_limit`], and arrivals past that are
+//! refused immediately with SQLSTATE `53300` (load shedding beats
+//! unbounded queueing under overload).
+//!
+//! # Backpressure
+//!
+//! Bounded on both sides of every connection. Reads stop once a maximum
+//! frame's worth of bytes is buffered. Responses accumulate in an encode
+//! buffer flushed with *blocking* writes whenever it passes ~64 KiB — a
+//! client that stops reading stalls its own statement through the TCP
+//! window and nothing else; the reactor never writes.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] stops accepting (new connections are refused
+//! with `57P03`), closes idle connections with `57P01`, and lets
+//! statements already executing stream to completion — no in-flight
+//! result is lost. Stragglers past the drain deadline are aborted through
+//! the cancel path and their sockets severed. Dropping the [`Server`]
+//! shuts down with a 5-second deadline.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use rdb_storage::Catalog;
+//! use rdb_server::ServerBuilder;
+//!
+//! let server = ServerBuilder::new(Arc::new(Catalog::new()))
+//!     .max_concurrent_queries(12)
+//!     .serve()
+//!     .unwrap();
+//! println!("listening on {}", server.local_addr());
+//! ```
+
+pub mod conn;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use server::{Server, ServerBuilder};
+pub use stats::{ServerShared, ServerStatsSnapshot};

@@ -1,0 +1,267 @@
+//! Server-wide statistics and the `rdb_stats()` table function.
+//!
+//! One [`ServerShared`] instance is threaded through the listener, the
+//! reactor, and every connection; its counters are lock-free atomics so
+//! the hot paths never serialize on a stats mutex. The `rdb_stats()`
+//! table function renders a point-in-time snapshot as a two-column
+//! relation — `SELECT * FROM rdb_stats()` works over any connection, and
+//! because the function is declared *volatile* the engine never routes it
+//! through the recycler (a cached stats result would be stale by
+//! definition).
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rdb_engine::Engine;
+use rdb_exec::TableFunction;
+use rdb_vector::{Batch, Column, DataType, Schema, Value};
+
+/// Server lifecycle phase (stored in [`ServerShared::state`]).
+pub const STATE_RUNNING: u8 = 0;
+/// Draining: no new connections, in-flight statements finish.
+pub const STATE_DRAINING: u8 = 1;
+/// Stopped: reactor and listener have exited.
+pub const STATE_STOPPED: u8 = 2;
+
+/// A connection's cancel handle: the backend secret plus the flag the
+/// statement loop polls between batches, and a socket clone so a blocked
+/// write can be severed from outside.
+pub(crate) struct CancelEntry {
+    pub secret: i32,
+    pub flag: Arc<AtomicBool>,
+    pub stream: Option<TcpStream>,
+}
+
+/// State shared by every thread of one server: lifecycle, counters, the
+/// cancel-key registry, and (once built) the engine.
+pub struct ServerShared {
+    /// Filled right after the engine is constructed (the `rdb_stats()`
+    /// function is registered *before* the engine exists, so it reaches
+    /// the engine through here).
+    pub(crate) engine: OnceLock<Arc<Engine>>,
+    /// Lifecycle phase: RUNNING → DRAINING → STOPPED.
+    pub(crate) state: AtomicU8,
+    /// Currently open connections.
+    pub(crate) connections: AtomicU64,
+    /// Connections ever accepted.
+    pub(crate) connections_total: AtomicU64,
+    /// Statements executed (queries + DML + failed).
+    pub(crate) queries: AtomicU64,
+    /// Statements currently executing or streaming.
+    pub(crate) queries_active: AtomicU64,
+    /// Statements that returned an error to the client.
+    pub(crate) errors: AtomicU64,
+    /// CancelRequests that matched a live backend.
+    pub(crate) cancels: AtomicU64,
+    /// pid → cancel handle for every live connection.
+    pub(crate) cancel_registry: Mutex<HashMap<i32, CancelEntry>>,
+}
+
+impl Default for ServerShared {
+    fn default() -> Self {
+        ServerShared {
+            engine: OnceLock::new(),
+            state: AtomicU8::new(STATE_RUNNING),
+            connections: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            queries_active: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cancels: AtomicU64::new(0),
+            cancel_registry: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl ServerShared {
+    pub(crate) fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn draining(&self) -> bool {
+        self.state() != STATE_RUNNING
+    }
+
+    /// Handle a CancelRequest: if `(pid, secret)` matches a live backend,
+    /// set its cancel flag. Never reports success or failure to the
+    /// requester (per protocol).
+    pub(crate) fn cancel(&self, pid: i32, secret: i32) {
+        let reg = self.cancel_registry.lock();
+        if let Some(e) = reg.get(&pid) {
+            if e.secret == secret {
+                e.flag.store(true, Ordering::Release);
+                self.cancels.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Force-abort every live connection: set all cancel flags and sever
+    /// the sockets, so even a statement blocked on a slow client's TCP
+    /// window unblocks (the drain-deadline path of graceful shutdown).
+    pub(crate) fn abort_all(&self) {
+        let reg = self.cancel_registry.lock();
+        for e in reg.values() {
+            e.flag.store(true, Ordering::Release);
+            if let Some(s) = &e.stream {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Point-in-time snapshot of everything `rdb_stats()` reports.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        let (in_flight, queued, hits, lookups, cache_entries, cache_bytes, invalidations) =
+            match self.engine.get() {
+                Some(engine) => {
+                    let adm = engine.admission();
+                    let (hits, lookups, entries, bytes, inval) = match engine.recycler() {
+                        Some(r) => {
+                            let reuses = r.stats.reuses.load(Ordering::Relaxed)
+                                + r.stats.subsumption_reuses.load(Ordering::Relaxed);
+                            (
+                                reuses,
+                                r.stats.queries.load(Ordering::Relaxed),
+                                r.cache_len() as u64,
+                                r.cache_used(),
+                                r.stats.invalidations.load(Ordering::Relaxed),
+                            )
+                        }
+                        None => (0, 0, 0, 0, 0),
+                    };
+                    (
+                        adm.in_flight as u64,
+                        adm.queued as u64,
+                        hits,
+                        lookups,
+                        entries,
+                        bytes,
+                        inval,
+                    )
+                }
+                None => (0, 0, 0, 0, 0, 0, 0),
+            };
+        ServerStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            statements: self.queries.load(Ordering::Relaxed),
+            statements_active: self.queries_active.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cancels: self.cancels.load(Ordering::Relaxed),
+            queries_in_flight: in_flight,
+            queue_depth: queued,
+            recycler_hits: hits,
+            recycler_lookups: lookups,
+            cache_entries,
+            cache_bytes,
+            invalidations,
+            draining: self.draining(),
+        }
+    }
+}
+
+/// Plain-value snapshot of server statistics (also the row set of
+/// `rdb_stats()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Currently open connections.
+    pub connections: u64,
+    /// Connections ever accepted.
+    pub connections_total: u64,
+    /// Statements executed.
+    pub statements: u64,
+    /// Statements currently executing or streaming.
+    pub statements_active: u64,
+    /// Statements that errored.
+    pub errors: u64,
+    /// Matched CancelRequests.
+    pub cancels: u64,
+    /// Queries holding an engine admission slot right now.
+    pub queries_in_flight: u64,
+    /// Queries waiting in the engine's admission queue.
+    pub queue_depth: u64,
+    /// Recycler reuses (exact + subsumption).
+    pub recycler_hits: u64,
+    /// Recycler lookups (prepared queries).
+    pub recycler_lookups: u64,
+    /// Cached results.
+    pub cache_entries: u64,
+    /// Bytes in the recycler cache.
+    pub cache_bytes: u64,
+    /// Cache entries evicted by DML.
+    pub invalidations: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+}
+
+impl ServerStatsSnapshot {
+    /// Recycler hit rate over all lookups, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.recycler_lookups == 0 {
+            0.0
+        } else {
+            self.recycler_hits as f64 / self.recycler_lookups as f64
+        }
+    }
+
+    fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("connections", self.connections as f64),
+            ("connections_total", self.connections_total as f64),
+            ("statements", self.statements as f64),
+            ("statements_active", self.statements_active as f64),
+            ("errors", self.errors as f64),
+            ("cancels", self.cancels as f64),
+            ("queries_in_flight", self.queries_in_flight as f64),
+            ("queue_depth", self.queue_depth as f64),
+            ("recycler_hits", self.recycler_hits as f64),
+            ("recycler_lookups", self.recycler_lookups as f64),
+            ("recycler_hit_rate", self.hit_rate()),
+            ("cache_entries", self.cache_entries as f64),
+            ("cache_bytes", self.cache_bytes as f64),
+            ("invalidations", self.invalidations as f64),
+            ("draining", if self.draining { 1.0 } else { 0.0 }),
+        ]
+    }
+}
+
+/// The `rdb_stats()` table function: `(metric str, value float)` rows.
+/// Declared volatile, so results bypass the recycler entirely.
+pub struct StatsFn {
+    pub(crate) shared: Arc<ServerShared>,
+}
+
+impl TableFunction for StatsFn {
+    fn schema(&self, _args: &[Value]) -> Schema {
+        Schema::from_pairs([("metric", DataType::Str), ("value", DataType::Float)])
+    }
+
+    fn execute(&self, _args: &[Value], work: &mut u64) -> Vec<Batch> {
+        let rows = self.shared.snapshot().rows();
+        *work += rows.len() as u64;
+        let (names, values): (Vec<&str>, Vec<f64>) = rows.into_iter().unzip();
+        vec![Batch::new(vec![
+            Column::from_strs(names),
+            Column::from_floats(values),
+        ])]
+    }
+
+    fn volatile(&self) -> bool {
+        true
+    }
+}
+
+/// Wait until `pred` holds or `timeout` elapses, polling gently.
+pub(crate) fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < timeout {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    pred()
+}

@@ -61,7 +61,7 @@ pub use batch::Batch;
 pub use column::{Column, ColumnBuilder, ColumnData, ColumnSlice};
 pub use row::{encode_row_key, RowCmp, SortOrder};
 pub use schema::{Field, Schema};
-pub use types::{date_from_ymd, ymd_from_date, DataType};
+pub use types::{date_from_ymd, format_date, ymd_from_date, DataType};
 pub use value::Value;
 
 /// Maximum number of rows in one execution batch.

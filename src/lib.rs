@@ -90,6 +90,7 @@ pub use rdb_exec as exec;
 pub use rdb_expr as expr;
 pub use rdb_plan as plan;
 pub use rdb_recycler as recycler;
+pub use rdb_server as server;
 pub use rdb_skyserver as skyserver;
 pub use rdb_sql as sql;
 pub use rdb_storage as storage;

@@ -1,0 +1,429 @@
+//! End-to-end wire-protocol tests: a real [`rdb_server::Server`] on an
+//! ephemeral port, talked to by the in-repo pgwire client
+//! (`tests/support/pg_client.rs`) over real sockets.
+
+#[path = "support/pg_client.rs"]
+mod pg_client;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pg_client::PgClient;
+use recycler_db::recycler::RecyclerConfig;
+use recycler_db::server::{Server, ServerBuilder};
+use recycler_db::storage::{Catalog, TableBuilder};
+use recycler_db::vector::{DataType, Schema, Value};
+
+fn catalog(rows: i64) -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("v", DataType::Float),
+        ("s", DataType::Str),
+    ]);
+    let mut t = TableBuilder::new("t", schema, rows as usize);
+    for i in 0..rows {
+        t.push_row(vec![
+            Value::Int(i % 100),
+            Value::Float(i as f64 * 0.5),
+            Value::str(["red", "green", "blue"][(i % 3) as usize]),
+        ]);
+    }
+    cat.register(t.finish()).unwrap();
+    Arc::new(cat)
+}
+
+fn recycling_server(rows: i64) -> Server {
+    let mut config = RecyclerConfig::deterministic(64 << 20);
+    config.spec_min_progress = 0.0;
+    ServerBuilder::new(catalog(rows))
+        .recycler(config)
+        .serve()
+        .expect("bind server")
+}
+
+#[test]
+fn startup_then_simple_query_roundtrip() {
+    let server = recycling_server(1000);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+    assert!(client.pid > 0, "BackendKeyData delivered");
+
+    let cycle = client.query("SELECT k, v FROM t WHERE k < 3").unwrap();
+    let desc = cycle.row_description().expect("RowDescription");
+    assert_eq!(desc.column_names(), vec!["k", "v"]);
+    let rows = cycle.rows();
+    assert_eq!(rows.len(), 30, "3 keys x 10 dups in 1000 rows");
+    assert!(rows
+        .iter()
+        .all(|r| r[0].as_deref().unwrap().parse::<i64>().unwrap() < 3));
+    assert_eq!(cycle.command_tags(), vec![format!("SELECT {}", rows.len())]);
+    client.terminate();
+}
+
+#[test]
+fn empty_result_still_sends_row_description() {
+    let server = recycling_server(100);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+    let cycle = client.query("SELECT k, s FROM t WHERE k < -1").unwrap();
+    let desc = cycle
+        .row_description()
+        .expect("zero-row results must still describe their columns");
+    assert_eq!(desc.column_names(), vec!["k", "s"]);
+    assert!(cycle.rows().is_empty());
+    assert_eq!(cycle.command_tags(), vec!["SELECT 0".to_string()]);
+}
+
+#[test]
+fn write_outcomes_map_to_postgres_tags() {
+    let server = recycling_server(100);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+    let cycle = client
+        .query("INSERT INTO t VALUES (500, 1.5, 'red'), (501, 2.5, 'blue')")
+        .unwrap();
+    assert_eq!(cycle.command_tags(), vec!["INSERT 0 2".to_string()]);
+
+    let cycle = client.query("DELETE FROM t WHERE k = 500").unwrap();
+    assert_eq!(cycle.command_tags(), vec!["DELETE 1".to_string()]);
+
+    // Multiple statements in one Query message, each tagged.
+    let cycle = client
+        .query("INSERT INTO t VALUES (600, 0.0, 'red'); DELETE FROM t WHERE k = 600; SELECT k FROM t WHERE k = 600")
+        .unwrap();
+    assert_eq!(
+        cycle.command_tags(),
+        vec![
+            "INSERT 0 1".to_string(),
+            "DELETE 1".to_string(),
+            "SELECT 0".to_string()
+        ]
+    );
+}
+
+#[test]
+fn errors_carry_sqlstate_and_span_position() {
+    let server = recycling_server(100);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+
+    let cycle = client.query("SELECT nope FROM t").unwrap();
+    let err = cycle.first_error();
+    assert_eq!(err.sqlstate(), "42703", "unknown column");
+    let fields = err.error_fields();
+    let position = fields
+        .iter()
+        .find(|(c, _)| *c == b'P')
+        .map(|(_, v)| v.clone())
+        .expect("position field");
+    assert_eq!(position, "8", "1-based char offset of 'nope'");
+    let detail = fields
+        .iter()
+        .find(|(c, _)| *c == b'D')
+        .map(|(_, v)| v.clone())
+        .expect("detail field");
+    assert!(detail.contains('^'), "caret rendering in detail: {detail}");
+
+    let cycle = client.query("SELECT k FROM missing").unwrap();
+    assert_eq!(cycle.first_error().sqlstate(), "42P01", "unknown table");
+
+    let cycle = client.query("SELEC k FROM t").unwrap();
+    assert_eq!(cycle.first_error().sqlstate(), "42601", "syntax error");
+
+    // An error aborts the rest of the query string...
+    let cycle = client
+        .query("SELECT nope FROM t; INSERT INTO t VALUES (900, 0.0, 'red')")
+        .unwrap();
+    assert_eq!(cycle.errors().len(), 1);
+    assert!(cycle.command_tags().is_empty(), "second statement skipped");
+    // ...but the connection survives and the skipped insert never ran.
+    let cycle = client.query("SELECT k FROM t WHERE k = 900").unwrap();
+    assert_eq!(cycle.command_tags(), vec!["SELECT 0".to_string()]);
+}
+
+#[test]
+fn extended_protocol_binds_positional_params() {
+    let server = recycling_server(1000);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+
+    let cycle = client
+        .extended("SELECT k, v FROM t WHERE k < $1", &[Some("2")])
+        .unwrap();
+    assert!(
+        cycle.row_description().is_some(),
+        "Describe(portal) announces the row shape"
+    );
+    assert_eq!(cycle.rows().len(), 20);
+    assert_eq!(cycle.command_tags(), vec!["SELECT 20".to_string()]);
+
+    // Same template, different binding — fresh result.
+    let cycle = client
+        .extended("SELECT k, v FROM t WHERE k < $1", &[Some("5")])
+        .unwrap();
+    assert_eq!(cycle.rows().len(), 50);
+
+    // DML through the extended path, with a NULL parameter elsewhere.
+    let cycle = client
+        .extended(
+            "INSERT INTO t VALUES ($1, $2, $3)",
+            &[Some("700"), Some("7.5"), None],
+        )
+        .unwrap();
+    assert_eq!(cycle.command_tags(), vec!["INSERT 0 1".to_string()]);
+    let cycle = client
+        .extended("DELETE FROM t WHERE k = $1", &[Some("700")])
+        .unwrap();
+    assert_eq!(cycle.command_tags(), vec!["DELETE 1".to_string()]);
+
+    // Parameter-count mismatch: error, then the connection recovers.
+    let cycle = client
+        .extended("SELECT k FROM t WHERE k < $1", &[])
+        .unwrap();
+    assert_eq!(cycle.first_error().sqlstate(), "08P01");
+    let cycle = client
+        .extended("SELECT k FROM t WHERE k < $1", &[Some("1")])
+        .unwrap();
+    assert_eq!(cycle.rows().len(), 10);
+    client.terminate();
+}
+
+#[test]
+fn named_statements_rebind_and_reexecute() {
+    let server = recycling_server(1000);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+    client
+        .send_parse("tpl", "SELECT k FROM t WHERE k < $1", &[20])
+        .unwrap();
+    client.send_describe(b'S', "tpl").unwrap();
+    client.send_sync().unwrap();
+    let cycle = client.read_cycle().unwrap();
+    assert!(
+        cycle.messages.iter().any(|m| m.tag == b'1'),
+        "ParseComplete"
+    );
+    assert!(
+        cycle.messages.iter().any(|m| m.tag == b't'),
+        "ParameterDescription"
+    );
+
+    for (limit, want) in [("1", 10), ("3", 30)] {
+        client.send_bind("", "tpl", &[Some(limit)]).unwrap();
+        client.send_execute("", 0).unwrap();
+        client.send_sync().unwrap();
+        let cycle = client.read_cycle().unwrap();
+        assert!(cycle.messages.iter().any(|m| m.tag == b'2'), "BindComplete");
+        assert_eq!(cycle.rows().len(), want, "limit {limit}");
+    }
+    client.terminate();
+}
+
+#[test]
+fn many_clients_share_recycler_results_across_connections() {
+    let server = recycling_server(20_000);
+    let addr = server.local_addr();
+    let clients = 64;
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = PgClient::connect(addr).unwrap();
+                // Every client runs the same parameterized template with
+                // the same binding: one computes, the rest reuse.
+                let cycle = client
+                    .extended("SELECT k, v FROM t WHERE k < $1", &[Some("40")])
+                    .unwrap();
+                assert!(cycle.errors().is_empty(), "{:?}", cycle.errors());
+                let n = cycle.rows().len();
+                client.terminate();
+                n
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 8000, "identical results for everyone");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections_total, clients as u64);
+    assert!(
+        stats.recycler_hits >= 1,
+        "cross-connection executions must land on shared cache entries: {stats:?}"
+    );
+}
+
+#[test]
+fn rdb_stats_is_queryable_and_never_stale() {
+    let server = recycling_server(1000);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+    let metric = |cycle: &pg_client::Cycle, name: &str| -> f64 {
+        cycle
+            .rows()
+            .iter()
+            .find(|r| r[0].as_deref() == Some(name))
+            .unwrap_or_else(|| panic!("metric {name} missing"))[1]
+            .as_deref()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let first = client.query("SELECT * FROM rdb_stats()").unwrap();
+    assert_eq!(
+        first.row_description().unwrap().column_names(),
+        vec!["metric", "value"]
+    );
+    assert_eq!(metric(&first, "connections"), 1.0);
+    let statements_then = metric(&first, "statements");
+
+    client.query("SELECT k FROM t WHERE k < 5").unwrap();
+    let second = client.query("SELECT * FROM rdb_stats()").unwrap();
+    // A cached stats result would freeze the counters; volatility keeps
+    // them live.
+    assert!(
+        metric(&second, "statements") >= statements_then + 2.0,
+        "stats must not be served from the recycler cache"
+    );
+}
+
+#[test]
+fn cancel_request_interrupts_a_streaming_query() {
+    // Small per-key duplication, joined on k: 200k result rows streamed
+    // in ~200 batches, plenty of boundaries to observe the cancel flag.
+    let server = recycling_server(20_000);
+    let mut client = PgClient::connect(server.local_addr()).unwrap();
+    client
+        .send(
+            b'Q',
+            b"SELECT a.v FROM t AS a JOIN t AS b ON a.k = b.k WHERE a.k < 5\0",
+        )
+        .unwrap();
+    // Wait for the stream to start (RowDescription + first rows), then
+    // fire the out-of-band cancel and drain what remains.
+    let desc = client.read_message().unwrap();
+    assert_eq!(desc.tag, b'T');
+    client.cancel().unwrap();
+    let canceled_at = std::time::Instant::now();
+    let mut cancel_latency = None;
+    let mut data_rows = 0u64;
+    loop {
+        let m = client.read_message().unwrap();
+        match m.tag {
+            b'Z' => break,
+            b'D' => data_rows += 1,
+            b'E' => {
+                assert_eq!(m.sqlstate(), "57014");
+                cancel_latency = Some(canceled_at.elapsed());
+            }
+            _ => {}
+        }
+    }
+    let latency = cancel_latency.expect("query must be canceled mid-stream");
+    // The flag is observed at the next batch boundary; the protocol-level
+    // bound is generous only to absorb CI noise.
+    assert!(
+        latency < Duration::from_millis(2000),
+        "cancel took {latency:?}"
+    );
+    assert!(
+        data_rows < 1_000_000,
+        "the full join result must not have been streamed"
+    );
+    // The connection survives a cancel and keeps working.
+    let cycle = client.query("SELECT k FROM t WHERE k < 1").unwrap();
+    assert!(cycle.errors().is_empty());
+    assert_eq!(cycle.rows().len(), 200);
+    assert!(server.stats().cancels >= 1);
+}
+
+#[test]
+fn malformed_messages_kill_the_connection_not_the_server() {
+    let server = recycling_server(100);
+    let addr = server.local_addr();
+    let attacks: Vec<Vec<u8>> = vec![
+        // Unknown message tag after a healthy startup.
+        b"z\x00\x00\x00\x04".to_vec(),
+        // Negative length.
+        b"Q\xff\xff\xff\xff".to_vec(),
+        // Length beyond the frame cap.
+        b"Q\x7f\xff\xff\xff".to_vec(),
+        // Describe with a bogus kind.
+        b"D\x00\x00\x00\x06X\x00".to_vec(),
+        // Bind demanding binary-format parameters.
+        {
+            let mut b = vec![b'B'];
+            let body = b"\x00\x00\x00\x01\x00\x01";
+            b.extend_from_slice(&((body.len() + 4) as i32).to_be_bytes());
+            b.extend_from_slice(body);
+            b
+        },
+        // Garbage that is not a frame at all.
+        vec![0xde, 0xad, 0xbe, 0xef, 0xff, 0x00, 0x13, 0x37],
+    ];
+    for (i, attack) in attacks.iter().enumerate() {
+        let mut client = PgClient::connect(addr).unwrap();
+        client.send_raw(attack).unwrap();
+        client.set_read_timeout(Some(Duration::from_secs(5)));
+        // The server answers with ErrorResponse and/or closes; it must
+        // never hang this connection.
+        while client.read_message().is_ok() {}
+        // And the server is still healthy for the next client.
+        let mut fresh =
+            PgClient::connect(addr).unwrap_or_else(|e| panic!("server died after attack {i}: {e}"));
+        let cycle = fresh.query("SELECT k FROM t WHERE k < 1").unwrap();
+        assert!(cycle.errors().is_empty());
+        fresh.terminate();
+    }
+    // Startup-packet garbage too.
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    std::io::Write::write_all(&mut s, &[0x00, 0x00, 0x00, 0x03]).unwrap();
+    drop(s);
+    let mut fresh = PgClient::connect(addr).unwrap();
+    assert!(fresh.query("SELECT 1 AS one").is_ok());
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let mut server = recycling_server(50_000);
+    let addr = server.local_addr();
+    let mut client = PgClient::connect(addr).unwrap();
+    client.send(b'Q', b"SELECT k, v FROM t\0").unwrap();
+    // The statement is provably in flight: its RowDescription arrived.
+    let desc = client.read_message().unwrap();
+    assert_eq!(desc.tag, b'T');
+
+    let reader = std::thread::spawn(move || {
+        let mut rows = 0u64;
+        let mut tags = Vec::new();
+        while let Ok(m) = client.read_message() {
+            match m.tag {
+                b'D' => rows += 1,
+                b'C' => tags.push(m.command_tag()),
+                _ => {}
+            }
+        }
+        (rows, tags)
+    });
+    server.shutdown(Duration::from_secs(30));
+    let (rows, tags) = reader.join().unwrap();
+    assert_eq!(rows, 50_000, "every in-flight row must be delivered");
+    assert_eq!(tags, vec!["SELECT 50000".to_string()]);
+    // And the server is gone: new connections are refused.
+    assert!(
+        PgClient::connect(addr).is_err(),
+        "listener must be closed after shutdown"
+    );
+}
+
+#[test]
+fn ssl_and_gssenc_requests_are_refused_then_startup_proceeds() {
+    let server = recycling_server(100);
+    let addr = server.local_addr();
+    let mut s = std::net::TcpStream::connect(addr).unwrap();
+    use std::io::{Read, Write};
+    // SSLRequest
+    let mut pkt = Vec::new();
+    pkt.extend_from_slice(&8i32.to_be_bytes());
+    pkt.extend_from_slice(&80877103i32.to_be_bytes());
+    s.write_all(&pkt).unwrap();
+    let mut byte = [0u8; 1];
+    s.read_exact(&mut byte).unwrap();
+    assert_eq!(byte[0], b'N', "SSL refused in cleartext");
+    drop(s);
+    // A normal client still works.
+    let mut client = PgClient::connect(addr).unwrap();
+    assert!(client.query("SELECT k FROM t WHERE k < 1").is_ok());
+}
