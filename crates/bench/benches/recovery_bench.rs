@@ -1,0 +1,185 @@
+//! Recovery bench: restart-with-lineage vs cold start.
+//!
+//! A durable engine reaches a steady state over a rotation of distinct
+//! queries, checkpoints (tables + top-K lineage), and is dropped. The
+//! bench then measures:
+//!
+//! * **recovery time** — building a durable engine over the data
+//!   directory (checkpoint restore + WAL tail replay + lineage warming)
+//!   vs building the same engine cold;
+//! * **first-N-query hit rate** — each distinct query's *first*
+//!   post-restart execution against the warmed cache, vs a cold engine
+//!   (which by construction scores 0%: every query is new to it).
+//!
+//! Emits `BENCH_recovery.json` at the workspace root (override with
+//! `RDB_BENCH_OUT`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rdb_bench::{banner, ms, pct};
+use rdb_engine::{DurabilityConfig, Engine, FsyncPolicy};
+use rdb_expr::{AggFunc, Expr};
+use rdb_plan::{scan, Plan};
+use rdb_recycler::RecyclerConfig;
+use rdb_storage::{Catalog, TableBuilder};
+use rdb_vector::{DataType, Schema, Value};
+
+const ROWS: i64 = 200_000;
+const DISTINCT: usize = 100;
+
+fn seed_catalog() -> Arc<Catalog> {
+    let mut cat = Catalog::new();
+    let schema = Schema::from_pairs([("k", DataType::Int), ("v", DataType::Float)]);
+    let mut b = TableBuilder::new("t", schema, ROWS as usize);
+    for i in 0..ROWS {
+        b.push_row(vec![Value::Int(i % 1000), Value::Float(i as f64)]);
+    }
+    cat.register(b.finish()).expect("register t");
+    Arc::new(cat)
+}
+
+/// The query rotation: `DISTINCT` structurally different aggregations
+/// (distinct constants → distinct fingerprints → distinct cache entries).
+fn queries() -> Vec<Plan> {
+    (0..DISTINCT as i64)
+        .map(|i| {
+            scan("t", &["k", "v"])
+                .select(Expr::name("k").lt(Expr::lit(10 + i * 9)))
+                .aggregate(vec![], vec![(AggFunc::Sum(Expr::name("v")), "sv")])
+        })
+        .collect()
+}
+
+fn recycler() -> RecyclerConfig {
+    let mut c = RecyclerConfig::deterministic(256 << 20);
+    c.spec_min_progress = 0.0;
+    c
+}
+
+fn durability() -> DurabilityConfig {
+    DurabilityConfig {
+        fsync: FsyncPolicy::Off, // bench I/O, not the device
+        auto_checkpoint: false,
+        warm_top_k: DISTINCT + 28,
+        ..DurabilityConfig::default()
+    }
+}
+
+/// Run every query once, returning the fraction that reused a cached
+/// result on that first execution.
+fn first_round_hit_rate(engine: &Arc<Engine>, qs: &[Plan]) -> f64 {
+    let session = engine.session();
+    let mut hits = 0usize;
+    for q in qs {
+        if session.query(q).unwrap().into_outcome().reused() {
+            hits += 1;
+        }
+    }
+    hits as f64 / qs.len() as f64
+}
+
+fn main() {
+    banner("Recovery: lineage-warmed restart vs cold start");
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("rdb-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let qs = queries();
+
+    // Phase 1: reach steady state durably, then checkpoint and "crash".
+    let steady_rate;
+    {
+        let engine = Engine::builder(seed_catalog())
+            .data_dir(&dir)
+            .durability(durability())
+            .recycler(recycler())
+            .try_build()
+            .expect("build durable engine");
+        let populate = Instant::now();
+        first_round_hit_rate(&engine, &qs); // round 1: populate
+        let populate = populate.elapsed();
+        steady_rate = first_round_hit_rate(&engine, &qs); // round 2: steady
+        println!(
+            "steady state: {} queries populated in {}, hit rate {}",
+            qs.len(),
+            ms(populate),
+            pct(steady_rate)
+        );
+        engine.checkpoint().expect("checkpoint");
+    }
+
+    // Phase 2: cold start — same seed, no data dir, empty cache.
+    let t0 = Instant::now();
+    let cold = Engine::builder(seed_catalog()).recycler(recycler()).build();
+    let cold_start = t0.elapsed();
+    let t0 = Instant::now();
+    let cold_rate = first_round_hit_rate(&cold, &qs);
+    let cold_first_n = t0.elapsed();
+    drop(cold);
+
+    // Phase 3: recovery — checkpoint restore + lineage warming.
+    let t0 = Instant::now();
+    let warm = Engine::builder(seed_catalog())
+        .data_dir(&dir)
+        .durability(durability())
+        .recycler(recycler())
+        .try_build()
+        .expect("recover engine");
+    let recovery = t0.elapsed();
+    let warm_hits = warm.durability_stats().recovery_warm_hits;
+    let t0 = Instant::now();
+    let warm_rate = first_round_hit_rate(&warm, &qs);
+    let warm_first_n = t0.elapsed();
+
+    println!(
+        "\n{:<28} {:>12} {:>16} {:>14}",
+        "", "startup", "first-N queries", "hit rate"
+    );
+    println!(
+        "{:<28} {:>12} {:>16} {:>14}",
+        "cold start",
+        ms(cold_start),
+        ms(cold_first_n),
+        pct(cold_rate)
+    );
+    println!(
+        "{:<28} {:>12} {:>16} {:>14}",
+        format!("recovery ({warm_hits} warmed)"),
+        ms(recovery),
+        ms(warm_first_n),
+        pct(warm_rate)
+    );
+
+    // Claims gate: cold scores ~0% on its first pass over distinct
+    // queries; a lineage-warmed restart stays within 20 points of the
+    // pre-crash steady state.
+    assert!(
+        cold_rate < 0.05,
+        "cold start should have no warm hits on distinct queries, got {}",
+        pct(cold_rate)
+    );
+    assert!(
+        warm_rate >= steady_rate - 0.20,
+        "warmed restart hit rate {} not within 20 points of steady {}",
+        pct(warm_rate),
+        pct(steady_rate)
+    );
+
+    let out_path = std::env::var("RDB_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_recovery.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n\"bench\": \"recovery\",\n\"rows\": {ROWS},\n\"distinct_queries\": {DISTINCT},\n\
+         \"steady_hit_rate\": {steady_rate:.4},\n\
+         \"cold_start_ms\": {:.3},\n\"cold_first_n_ms\": {:.3},\n\"cold_hit_rate\": {cold_rate:.4},\n\
+         \"recovery_ms\": {:.3},\n\"warm_first_n_ms\": {:.3},\n\"warm_hit_rate\": {warm_rate:.4},\n\
+         \"recovery_warm_hits\": {warm_hits}\n}}\n",
+        cold_start.as_secs_f64() * 1e3,
+        cold_first_n.as_secs_f64() * 1e3,
+        recovery.as_secs_f64() * 1e3,
+        warm_first_n.as_secs_f64() * 1e3,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_recovery.json");
+    println!("\nsnapshot written to {out_path}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

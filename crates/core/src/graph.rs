@@ -407,6 +407,15 @@ impl RecyclerGraph {
         self.node_mut(id).stats.h_r += 1.0;
     }
 
+    /// Install persisted reference heat on `id` (recovery warm-up): the
+    /// node keeps the larger of its live and checkpointed `hR`, so
+    /// replaying old lineage can never *reduce* heat accumulated since.
+    pub fn seed_heat(&mut self, id: NodeId, h: f64, alpha: f64) {
+        self.age_to_now(id, alpha);
+        let s = &mut self.node_mut(id).stats;
+        s.h_r = s.h_r.max(h);
+    }
+
     /// Mark `id` materialized and propagate Eq. 3: descendants down to (and
     /// including) each DMD lose `h_id` (Algorithm 2).
     pub fn on_materialized(&mut self, id: NodeId, alpha: f64) {

@@ -63,4 +63,6 @@ pub mod recycler;
 pub use cache::{CacheEntry, RecyclerCache};
 pub use config::{CostModel, RecyclerConfig, RecyclerMode};
 pub use graph::{Derivation, MatchTree, NodeId, RecyclerGraph, SubsumptionEdge};
-pub use recycler::{CacheState, PreparedQuery, Recycler, RecyclerEvent, RecyclerStats};
+pub use recycler::{
+    CacheState, LineageEntry, PreparedQuery, Recycler, RecyclerEvent, RecyclerStats,
+};

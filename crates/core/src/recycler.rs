@@ -546,6 +546,129 @@ impl Recycler {
             }
         }
     }
+
+    // ---- lineage persistence (write-ahead lineage, PAPERS.md) ------------
+
+    /// The `k` highest-benefit cache entries as persistable
+    /// [`LineageEntry`] lineage — plan subtree, epoch vector, and the
+    /// statistics a restarted recycler needs to value the entry the way
+    /// the live one did. Checkpointed alongside base tables so recovery
+    /// can rebuild the cache by re-executing subplans instead of waiting
+    /// for the workload to rediscover them ("Revisiting Reuse": the
+    /// top-benefit entries are exactly the ones worth warming first).
+    pub fn lineage_top(&self, k: usize) -> Vec<LineageEntry> {
+        let st = self.state.lock();
+        let alpha = self.config.aging_alpha;
+        let mut out: Vec<LineageEntry> = st
+            .cache
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let entry = st.cache.get(id)?;
+                let node = st.graph.node(id);
+                Some(LineageEntry {
+                    plan: node.subtree.clone(),
+                    epochs: entry.epochs.clone(),
+                    benefit: entry.benefit,
+                    heat: st.graph.decayed_h(id, alpha),
+                    cost_ns: node.stats.bcost_ns,
+                    cost_work: node.stats.bcost_work,
+                    rows: node.stats.rows,
+                    bytes: node.stats.bytes,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.benefit
+                .partial_cmp(&a.benefit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Recovery warm-up: install `result` — a fresh execution of
+    /// `entry.plan` against the recovered `catalog` — as a cached entry,
+    /// seeding the graph node with the checkpointed cost/heat statistics
+    /// so benefit ranking survives the restart. Returns whether the entry
+    /// is cached afterwards (the admission policy may still reject it).
+    pub fn warm(
+        &self,
+        entry: &LineageEntry,
+        catalog: &Catalog,
+        result: Arc<MaterializedResult>,
+    ) -> bool {
+        assert!(!entry.plan.has_named(), "lineage plans are bound");
+        let alpha = self.config.aging_alpha;
+        let mut st = self.state.lock();
+        let schema_of =
+            |p: &Plan| -> Schema { p.schema(catalog).expect("lineage plan must have a schema") };
+        let id = st.graph.match_or_insert(&entry.plan, &schema_of).id;
+        st.graph.annotate(
+            id,
+            entry.cost_ns,
+            entry.cost_work,
+            entry.rows,
+            entry.bytes,
+            true,
+        );
+        st.graph.seed_heat(id, entry.heat, alpha);
+        // The entry is keyed by the epochs of the *fresh* execution, not
+        // the checkpointed vector: the caller re-ran the subplan against
+        // the recovered catalog, so that is what the result reflects.
+        let epochs: Vec<(String, u64)> = st
+            .graph
+            .node(id)
+            .tables
+            .iter()
+            .map(|t| (t.clone(), catalog.epoch_of(t).unwrap_or(0)))
+            .collect();
+        for (t, e) in &epochs {
+            let cur = st.table_epochs.entry(t.clone()).or_insert(0);
+            *cur = (*cur).max(*e);
+        }
+        if st.cache.contains(id) {
+            return true;
+        }
+        match st.cache.insert(id, result, entry.benefit, epochs) {
+            Some(evicted) => {
+                for e in evicted {
+                    st.graph.on_evicted(e, alpha);
+                }
+                if !st.graph.node(id).materialized {
+                    st.graph.on_materialized(id, alpha);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// One cache entry's persistable lineage: the plan that produced it, the
+/// base-table epochs it was computed under, and the statistics that rank
+/// it. Everything needed to re-create the entry on a restarted engine by
+/// re-executing the plan — the "write-ahead lineage" alternative to
+/// persisting result bytes, which stay valid only as long as their
+/// epochs anyway.
+#[derive(Debug, Clone)]
+pub struct LineageEntry {
+    /// Bound canonical plan of the cached subtree.
+    pub plan: Plan,
+    /// `(table, epoch)` vector the result was computed under.
+    pub epochs: Vec<(String, u64)>,
+    /// Benefit at checkpoint time (Eq. 1).
+    pub benefit: f64,
+    /// Decayed reference heat `hR` at checkpoint time.
+    pub heat: f64,
+    /// Measured base cost, wall nanoseconds.
+    pub cost_ns: f64,
+    /// Measured base cost, abstract work units.
+    pub cost_work: f64,
+    /// Result cardinality.
+    pub rows: u64,
+    /// Result size in bytes.
+    pub bytes: u64,
 }
 
 /// Result of [`Recycler::probe`]: the recycler-side status of one subplan.

@@ -1,0 +1,236 @@
+//! Engine-level durability: recovery, the WAL hook, checkpoints, and the
+//! lineage-warmed recycler.
+//!
+//! The mechanics (framing, segments, fsync policy, fault injection) live
+//! in `rdb_wal`; this module owns the *policy*: when the engine boots with
+//! a data directory it recovers checkpoint + WAL tail, installs the WAL as
+//! the catalog-wide commit hook (so every epoch is logged **before** its
+//! pointer swap), re-executes persisted lineage to re-seed the recycler,
+//! and runs a background checkpointer that snapshots base tables and
+//! prunes covered WAL segments.
+//!
+//! # Read-only degradation
+//!
+//! The first failed WAL write or fsync poisons the log: the failing commit
+//! is aborted (memory never runs ahead of disk), and from then on every
+//! write fails fast with [`rdb_plan::PlanErrorKind::ReadOnly`] while reads
+//! keep serving from the in-memory epochs — which are exactly the epochs
+//! the log covers, so no stale or phantom data is visible.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+use rdb_exec::{build, run_to_batch, ExecContext, FnRegistry, MaterializedResult};
+use rdb_plan::PlanError;
+use rdb_recycler::{LineageEntry, Recycler};
+use rdb_storage::Catalog;
+use rdb_wal::{Checkpoint, RecoveryReport, TableCheckpoint, Wal};
+
+pub use rdb_wal::{DurabilityConfig, FsyncPolicy, IoFault, NoFault, ScriptedFault, WalError};
+
+use crate::engine::Engine;
+
+/// Live durability state owned by an [`Engine`] built with a data
+/// directory.
+pub(crate) struct DurabilityState {
+    pub(crate) wal: Arc<Wal>,
+    pub(crate) dir: PathBuf,
+    pub(crate) config: DurabilityConfig,
+    /// Highest table epoch covered by the last checkpoint written (or
+    /// recovered) in this process.
+    pub(crate) last_checkpoint_epoch: AtomicU64,
+    /// WAL records replayed during recovery at boot.
+    pub(crate) recovery_replayed: u64,
+    /// Lineage entries successfully re-materialized into the recycler at
+    /// boot.
+    pub(crate) recovery_warm_hits: AtomicU64,
+    /// Serializes checkpoints (manual + background).
+    pub(crate) checkpoint_lock: Mutex<()>,
+}
+
+/// Point-in-time durability counters, surfaced through `rdb_stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityStats {
+    /// Bytes across all live WAL segments (0 without a data directory).
+    pub wal_bytes: u64,
+    /// Records appended to the WAL by this process.
+    pub wal_records: u64,
+    /// Highest epoch covered by the last checkpoint.
+    pub last_checkpoint_epoch: u64,
+    /// WAL records replayed during boot recovery.
+    pub recovery_replayed: u64,
+    /// Cache entries re-materialized from persisted lineage at boot.
+    pub recovery_warm_hits: u64,
+    /// Whether the engine has degraded to read-only (WAL poisoned).
+    pub read_only: bool,
+}
+
+/// Recover `dir` into `catalog` and open the WAL for appending, returning
+/// the installed state plus the recovery report (whose lineage the caller
+/// feeds to [`warm_recycler`]).
+pub(crate) fn open_durability(
+    dir: PathBuf,
+    config: DurabilityConfig,
+    fault: Arc<dyn IoFault>,
+    catalog: &Catalog,
+) -> Result<(DurabilityState, RecoveryReport), PlanError> {
+    let report = rdb_wal::recover(&dir, catalog)
+        .map_err(|e| PlanError::msg(format!("recovery from '{}' failed: {e}", dir.display())))?;
+    let wal = Wal::open(&dir, &config, fault)
+        .map_err(|e| PlanError::msg(format!("wal open in '{}' failed: {e}", dir.display())))?;
+    // From here on, every commit on every table is logged before its
+    // pointer swap.
+    catalog.set_commit_hook(wal.clone());
+    let state = DurabilityState {
+        wal,
+        dir,
+        config,
+        last_checkpoint_epoch: AtomicU64::new(report.checkpoint_epoch),
+        recovery_replayed: report.replayed_records,
+        recovery_warm_hits: AtomicU64::new(0),
+        checkpoint_lock: Mutex::new(()),
+    };
+    Ok((state, report))
+}
+
+/// Re-execute persisted lineage entries against the recovered catalog and
+/// insert the results into the recycler, so the first post-restart queries
+/// hit a warm cache instead of a cold one. Entries that no longer build
+/// (schema drift, planner changes) are skipped — warming is an
+/// optimization, never a correctness requirement.
+pub(crate) fn warm_recycler(
+    lineage: &[LineageEntry],
+    recycler: &Recycler,
+    catalog: &Arc<Catalog>,
+    functions: &Arc<FnRegistry>,
+) -> u64 {
+    let mut hits = 0u64;
+    for entry in lineage {
+        if entry.plan.has_named() {
+            continue; // defensive: lineage plans are persisted bound
+        }
+        let Ok(schema) = entry.plan.schema(catalog) else {
+            continue;
+        };
+        let ctx = ExecContext::new(catalog.clone()).with_functions(functions.clone());
+        let Ok(mut tree) = build(&entry.plan, &ctx) else {
+            continue;
+        };
+        let batch = run_to_batch(tree.root.as_mut());
+        let result = Arc::new(MaterializedResult::from_batches(schema, &[batch]));
+        if recycler.warm(entry, catalog, result) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+impl Engine {
+    /// Whether the engine has degraded to read-only mode because the WAL
+    /// can no longer make writes durable. Reads keep serving; writes fail
+    /// with [`rdb_plan::PlanErrorKind::ReadOnly`].
+    pub fn is_read_only(&self) -> bool {
+        self.durability
+            .as_ref()
+            .is_some_and(|d| d.wal.is_poisoned())
+    }
+
+    /// Durability counters (all zero / `read_only: false` when the engine
+    /// was built without a data directory).
+    pub fn durability_stats(&self) -> DurabilityStats {
+        match &self.durability {
+            Some(d) => DurabilityStats {
+                wal_bytes: d.wal.wal_bytes(),
+                wal_records: d.wal.records_appended(),
+                last_checkpoint_epoch: d.last_checkpoint_epoch.load(Ordering::Relaxed),
+                recovery_replayed: d.recovery_replayed,
+                recovery_warm_hits: d.recovery_warm_hits.load(Ordering::Relaxed),
+                read_only: d.wal.is_poisoned(),
+            },
+            None => DurabilityStats::default(),
+        }
+    }
+
+    /// Write a checkpoint now: snapshot every base table plus the
+    /// recycler's top-K lineage, fsync it durably, and prune WAL segments
+    /// the checkpoint fully covers. Returns `Ok(false)` when the engine
+    /// has no data directory. Concurrent writers are safe: commits racing
+    /// the snapshot land in segments the prune provably keeps (see
+    /// `Wal::prune`).
+    pub fn checkpoint(&self) -> Result<bool, PlanError> {
+        let Some(d) = &self.durability else {
+            return Ok(false);
+        };
+        let _serialize = d.checkpoint_lock.lock();
+        if d.wal.is_poisoned() {
+            return Err(PlanError::read_only());
+        }
+        let snap = self.catalog.snapshot();
+        let lineage = self
+            .recycler
+            .as_ref()
+            .map(|r| r.lineage_top(d.config.warm_top_k))
+            .unwrap_or_default();
+        let epochs = snap.epochs();
+        let mut tables = Vec::with_capacity(epochs.len());
+        for (name, epoch) in &epochs {
+            let t = snap.get(name).expect("snapshot table");
+            tables.push(TableCheckpoint {
+                name: name.clone(),
+                epoch: *epoch,
+                schema: t.schema().clone(),
+                rows: t.to_rows(),
+            });
+        }
+        let ckpt = Checkpoint { tables, lineage };
+        let max_epoch = ckpt.max_epoch();
+        rdb_wal::write_checkpoint(&d.dir, &ckpt)
+            .map_err(|e| PlanError::msg(format!("checkpoint failed: {e}")))?;
+        let cover: HashMap<String, u64> = epochs.into_iter().collect();
+        d.wal
+            .prune(&cover)
+            .map_err(|e| PlanError::msg(format!("wal prune failed: {e}")))?;
+        d.last_checkpoint_epoch.store(max_epoch, Ordering::Relaxed);
+        Ok(true)
+    }
+}
+
+/// Spawn the background checkpointer: polls the WAL growth counter and
+/// checkpoints once it crosses the configured threshold. Holds only a
+/// [`Weak`] engine reference, so dropping the engine (or shutdown) ends
+/// the thread at its next poll.
+pub(crate) fn spawn_checkpointer(engine: &Arc<Engine>) {
+    let weak: Weak<Engine> = Arc::downgrade(engine);
+    let (poll, threshold) = {
+        let d = engine.durability.as_ref().expect("durability configured");
+        (
+            d.config.checkpoint_poll,
+            d.config.checkpoint_threshold_bytes,
+        )
+    };
+    std::thread::Builder::new()
+        .name("rdb-checkpointer".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(poll);
+            let Some(engine) = weak.upgrade() else {
+                return;
+            };
+            let Some(d) = &engine.durability else {
+                return;
+            };
+            if engine.is_shutting_down() || d.wal.is_poisoned() {
+                return;
+            }
+            if d.wal.bytes_since_checkpoint() >= threshold {
+                // A poisoned-mid-checkpoint failure is terminal for the
+                // thread; the engine is read-only either way.
+                if engine.checkpoint().is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("spawn rdb-checkpointer");
+}

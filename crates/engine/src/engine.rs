@@ -9,6 +9,7 @@
 //! [`Engine::run`] survives as a deprecated compatibility shim over that
 //! path.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -17,9 +18,13 @@ use rdb_exec::{FnRegistry, WorkerPool};
 use rdb_expr::{eval_predicate, Expr};
 use rdb_plan::{Plan, PlanError};
 use rdb_recycler::{Recycler, RecyclerConfig, RecyclerEvent};
-use rdb_storage::Catalog;
+use rdb_storage::{Catalog, Table};
 use rdb_vector::{Batch, Schema, Value};
 
+use crate::durability::{
+    open_durability, spawn_checkpointer, warm_recycler, DurabilityConfig, DurabilityState, IoFault,
+    NoFault,
+};
 use crate::session::Session;
 
 /// Engine configuration (the value object consumed by [`EngineBuilder`]).
@@ -98,6 +103,9 @@ pub struct EngineBuilder {
     catalog: Arc<Catalog>,
     functions: Arc<FnRegistry>,
     config: EngineConfig,
+    data_dir: Option<PathBuf>,
+    durability: DurabilityConfig,
+    io_fault: Arc<dyn IoFault>,
 }
 
 impl EngineBuilder {
@@ -109,7 +117,35 @@ impl EngineBuilder {
             catalog,
             functions: Arc::new(FnRegistry::new()),
             config: EngineConfig::default(),
+            data_dir: None,
+            durability: DurabilityConfig::default(),
+            io_fault: Arc::new(NoFault),
         }
+    }
+
+    /// Make the engine durable: recover `dir` (checkpoint + WAL tail) at
+    /// build time, log every table commit through a write-ahead log before
+    /// it becomes visible, checkpoint in the background, and warm the
+    /// recycler from persisted lineage. Without a data directory the
+    /// engine is purely in-memory, as before.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> EngineBuilder {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Tune durability (fsync policy, segment size, checkpoint cadence,
+    /// lineage top-K). Only meaningful together with
+    /// [`EngineBuilder::data_dir`].
+    pub fn durability(mut self, config: DurabilityConfig) -> EngineBuilder {
+        self.durability = config;
+        self
+    }
+
+    /// Inject an I/O fault schedule into the WAL writer (crash/fault
+    /// testing). Only meaningful together with [`EngineBuilder::data_dir`].
+    pub fn io_fault(mut self, fault: Arc<dyn IoFault>) -> EngineBuilder {
+        self.io_fault = fault;
+        self
     }
 
     /// Attach table functions.
@@ -160,13 +196,40 @@ impl EngineBuilder {
         self
     }
 
-    /// Construct the engine.
+    /// Construct the engine. Panics if recovery of the configured data
+    /// directory fails — use [`EngineBuilder::try_build`] to handle that.
     pub fn build(self) -> Arc<Engine> {
+        self.try_build().expect("engine build failed")
+    }
+
+    /// Construct the engine, surfacing recovery/WAL-open failures as
+    /// errors instead of panicking. With a data directory this (1)
+    /// replays checkpoint + WAL tail into the catalog, (2) installs the
+    /// WAL as every table's commit hook, (3) re-executes persisted
+    /// lineage to warm the recycler, and (4) spawns the background
+    /// checkpointer.
+    pub fn try_build(self) -> Result<Arc<Engine>, PlanError> {
         let parallelism = self.config.parallelism.max(1);
-        Arc::new(Engine {
+        let (durability, lineage) = match self.data_dir {
+            Some(dir) => {
+                let (state, report) =
+                    open_durability(dir, self.durability, self.io_fault, &self.catalog)?;
+                (Some(state), report.lineage)
+            }
+            None => (None, Vec::new()),
+        };
+        let recycler = self.config.recycling.map(Recycler::new);
+        if let (Some(r), false) = (&recycler, lineage.is_empty()) {
+            let hits = warm_recycler(&lineage, r, &self.catalog, &self.functions);
+            if let Some(d) = &durability {
+                d.recovery_warm_hits
+                    .store(hits, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let engine = Arc::new(Engine {
             catalog: self.catalog,
             functions: self.functions,
-            recycler: self.config.recycling.map(Recycler::new),
+            recycler,
             gate: Arc::new(Gate::new(
                 self.config.max_concurrent_queries,
                 self.config.admission_queue_limit,
@@ -174,7 +237,16 @@ impl EngineBuilder {
             pool: (parallelism > 1).then(|| WorkerPool::new(parallelism)),
             parallelism,
             epoch: Instant::now(),
-        })
+            durability,
+        });
+        if engine
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.config.auto_checkpoint)
+        {
+            spawn_checkpointer(&engine);
+        }
+        Ok(engine)
     }
 }
 
@@ -236,6 +308,8 @@ pub enum WriteKind {
     Append,
     /// Rows deleted (`DELETE`).
     Delete,
+    /// Whole table contents replaced ([`Engine::replace_table`]).
+    Replace,
 }
 
 /// The result of one committed DML statement.
@@ -519,6 +593,8 @@ pub struct Engine {
     /// Engine-default DOP.
     pub(crate) parallelism: usize,
     pub(crate) epoch: Instant,
+    /// WAL + checkpoint state (`None` without a data directory).
+    pub(crate) durability: Option<DurabilityState>,
 }
 
 impl Engine {
@@ -591,11 +667,14 @@ impl Engine {
     /// into function-backed relations — rebuild the `FnRegistry` (and the
     /// engine) to refresh them.
     pub fn append(&self, table: &str, rows: &[Vec<Value>]) -> Result<WriteOutcome, PlanError> {
+        if self.is_read_only() {
+            return Err(PlanError::read_only());
+        }
         let vt = self
             .catalog
             .versioned(table)
             .ok_or_else(|| PlanError::unknown_table(table))?;
-        let snap = vt.append(rows).map_err(|e| PlanError::msg(e.to_string()))?;
+        let snap = vt.append(rows).map_err(|e| self.write_error(e))?;
         let invalidated = if rows.is_empty() {
             Vec::new()
         } else {
@@ -617,6 +696,9 @@ impl Engine {
     /// nothing is invalidated. See [`Engine::append`] for the
     /// table-function visibility caveat.
     pub fn delete(&self, table: &str, predicate: &Expr) -> Result<WriteOutcome, PlanError> {
+        if self.is_read_only() {
+            return Err(PlanError::read_only());
+        }
         let vt = self
             .catalog
             .versioned(table)
@@ -649,7 +731,7 @@ impl Engine {
                 }
                 mask
             })
-            .map_err(|e| PlanError::msg(e.to_string()))?;
+            .map_err(|e| self.write_error(e))?;
         let invalidated = if deleted == 0 {
             Vec::new() // no-op delete: no epoch committed, cache stays hot
         } else {
@@ -662,6 +744,42 @@ impl Engine {
             rows_affected: deleted,
             invalidated,
         })
+    }
+
+    /// Replace a base table's contents wholesale, committing the new
+    /// contents as the next epoch. Unlike raw `Catalog::replace`, this
+    /// routes through the recycler's invalidation walk, so cache entries
+    /// that depended on the old contents can never serve stale rows.
+    /// In-flight queries keep reading their pinned snapshots.
+    pub fn replace_table(&self, table: Arc<Table>) -> Result<WriteOutcome, PlanError> {
+        if self.is_read_only() {
+            return Err(PlanError::read_only());
+        }
+        let name = table.name().to_string();
+        let vt = self
+            .catalog
+            .versioned(&name)
+            .ok_or_else(|| PlanError::unknown_table(&name))?;
+        let rows = table.rows();
+        let snap = vt.replace(&table).map_err(|e| self.write_error(e))?;
+        let invalidated = self.notify_update(&name, snap.epoch());
+        Ok(WriteOutcome {
+            kind: WriteKind::Replace,
+            table: name,
+            epoch: snap.epoch(),
+            rows_affected: rows,
+            invalidated,
+        })
+    }
+
+    /// Map a storage-level write failure: once the WAL is poisoned the
+    /// engine-visible cause is read-only mode, not the raw I/O message.
+    fn write_error(&self, e: rdb_storage::StorageError) -> PlanError {
+        if self.is_read_only() {
+            PlanError::read_only()
+        } else {
+            PlanError::msg(e.to_string())
+        }
     }
 
     /// Tell the recycler a table committed a new epoch.

@@ -12,10 +12,14 @@
 //!   materializes its result, and with recycling enabled every intermediate
 //!   is admitted to the cache and matched directly against cached results.
 
+pub mod durability;
 pub mod engine;
 pub mod materializing;
 pub mod session;
 
+pub use durability::{
+    DurabilityConfig, DurabilityStats, FsyncPolicy, IoFault, NoFault, ScriptedFault, WalError,
+};
 pub use engine::{
     AdmissionSnapshot, Engine, EngineBuilder, EngineConfig, QueryOutcome, QueryRecord,
     StreamsReport, WorkloadQuery, WriteKind, WriteOutcome,

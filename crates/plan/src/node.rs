@@ -127,6 +127,10 @@ pub enum PlanErrorKind {
     },
     /// The engine is shutting down and no longer admits queries.
     ShuttingDown,
+    /// The engine has degraded to read-only mode (its write-ahead log can
+    /// no longer persist commits); reads keep serving, writes are
+    /// rejected with this error until the operator intervenes.
+    ReadOnly,
     /// Anything else (free-form).
     Other {
         /// The message.
@@ -222,6 +226,13 @@ impl PlanError {
         }
     }
 
+    /// Engine degraded to read-only (durability failure).
+    pub fn read_only() -> PlanError {
+        PlanError {
+            kind: PlanErrorKind::ReadOnly,
+        }
+    }
+
     /// The offending identifier, when the kind names one (table, column,
     /// function, or parameter). Lets callers highlight the exact token.
     pub fn subject(&self) -> Option<&str> {
@@ -270,6 +281,11 @@ impl fmt::Display for PlanError {
                 write!(f, "admission queue full ({limit} queries already waiting)")
             }
             PlanErrorKind::ShuttingDown => write!(f, "engine is shutting down"),
+            PlanErrorKind::ReadOnly => write!(
+                f,
+                "engine is read-only: the write-ahead log failed and writes \
+                 can no longer be made durable"
+            ),
             PlanErrorKind::Other { message } => write!(f, "{message}"),
         }
     }

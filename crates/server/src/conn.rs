@@ -723,6 +723,7 @@ fn write_tag(w: &WriteOutcome) -> String {
     match w.kind {
         WriteKind::Append => format!("INSERT 0 {}", w.rows_affected),
         WriteKind::Delete => format!("DELETE {}", w.rows_affected),
+        WriteKind::Replace => format!("REPLACE {}", w.rows_affected),
     }
 }
 
@@ -744,6 +745,9 @@ fn sqlstate(e: &SqlError) -> &'static str {
             PlanErrorKind::UnboundParameter { .. } => "08P01",
             PlanErrorKind::Saturated { .. } => "53300",
             PlanErrorKind::ShuttingDown => "57P01",
+            // read_only_sql_transaction: the WAL failed and the engine
+            // degraded to read-only; reads keep serving.
+            PlanErrorKind::ReadOnly => "25006",
             PlanErrorKind::Other { .. } => "XX000",
         },
     }

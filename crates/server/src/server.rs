@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use rdb_engine::{Engine, EngineBuilder};
+use rdb_engine::{DurabilityConfig, Engine, EngineBuilder, IoFault};
 use rdb_exec::{FnRegistry, WorkerPool};
 use rdb_recycler::RecyclerConfig;
 use rdb_storage::Catalog;
@@ -60,6 +60,9 @@ pub struct ServerBuilder {
     parallelism: usize,
     workers: usize,
     addr: String,
+    data_dir: Option<std::path::PathBuf>,
+    durability: DurabilityConfig,
+    io_fault: Option<Arc<dyn IoFault>>,
 }
 
 impl ServerBuilder {
@@ -75,7 +78,31 @@ impl ServerBuilder {
             parallelism: 1,
             workers: 8,
             addr: "127.0.0.1:0".to_string(),
+            data_dir: None,
+            durability: DurabilityConfig::default(),
+            io_fault: None,
         }
+    }
+
+    /// Serve durably out of `dir`: recover it at startup, write-ahead log
+    /// every commit, and checkpoint in the background (see
+    /// `EngineBuilder::data_dir`).
+    pub fn data_dir(mut self, dir: impl Into<std::path::PathBuf>) -> ServerBuilder {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Tune durability (fsync policy, checkpoint cadence); only meaningful
+    /// with [`ServerBuilder::data_dir`].
+    pub fn durability(mut self, config: DurabilityConfig) -> ServerBuilder {
+        self.durability = config;
+        self
+    }
+
+    /// Inject an I/O fault schedule into the WAL writer (fault testing).
+    pub fn io_fault(mut self, fault: Arc<dyn IoFault>) -> ServerBuilder {
+        self.io_fault = Some(fault);
+        self
     }
 
     /// Table functions to expose (the server adds `rdb_stats()` on top).
@@ -147,7 +174,15 @@ impl ServerBuilder {
             Some(config) => builder.recycler(config),
             None => builder.no_recycler(),
         };
-        let engine = builder.build();
+        if let Some(dir) = self.data_dir {
+            builder = builder.data_dir(dir).durability(self.durability);
+        }
+        if let Some(fault) = self.io_fault {
+            builder = builder.io_fault(fault);
+        }
+        let engine = builder
+            .try_build()
+            .map_err(|e| std::io::Error::other(format!("engine build failed: {e}")))?;
         let _ = shared.engine.set(Arc::clone(&engine));
 
         let listener = TcpListener::bind(&self.addr)?;

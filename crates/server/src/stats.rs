@@ -144,6 +144,11 @@ impl ServerShared {
                 }
                 None => (0, 0, 0, 0, 0, 0, 0),
             };
+        let durability = self
+            .engine
+            .get()
+            .map(|e| e.durability_stats())
+            .unwrap_or_default();
         ServerStatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
             connections_total: self.connections_total.load(Ordering::Relaxed),
@@ -159,6 +164,10 @@ impl ServerShared {
             cache_bytes,
             invalidations,
             draining: self.draining(),
+            wal_bytes: durability.wal_bytes,
+            last_checkpoint_epoch: durability.last_checkpoint_epoch,
+            recovery_warm_hits: durability.recovery_warm_hits,
+            read_only: durability.read_only,
         }
     }
 }
@@ -195,6 +204,14 @@ pub struct ServerStatsSnapshot {
     pub invalidations: u64,
     /// Whether the server is draining.
     pub draining: bool,
+    /// Bytes across all live WAL segments (0 without a data directory).
+    pub wal_bytes: u64,
+    /// Highest epoch covered by the last checkpoint.
+    pub last_checkpoint_epoch: u64,
+    /// Cache entries re-materialized from persisted lineage at boot.
+    pub recovery_warm_hits: u64,
+    /// Whether the engine degraded to read-only (WAL failure).
+    pub read_only: bool,
 }
 
 impl ServerStatsSnapshot {
@@ -224,6 +241,10 @@ impl ServerStatsSnapshot {
             ("cache_bytes", self.cache_bytes as f64),
             ("invalidations", self.invalidations as f64),
             ("draining", if self.draining { 1.0 } else { 0.0 }),
+            ("wal_bytes", self.wal_bytes as f64),
+            ("last_checkpoint_epoch", self.last_checkpoint_epoch as f64),
+            ("recovery_warm_hits", self.recovery_warm_hits as f64),
+            ("read_only", if self.read_only { 1.0 } else { 0.0 }),
         ]
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use rdb_vector::Schema;
 
-use crate::table::{Table, VersionedTable};
+use crate::table::{CommitHook, Table, VersionedTable};
 use crate::StorageError;
 
 /// A name → table mapping shared by the planner and the executor.
@@ -91,6 +91,16 @@ impl Catalog {
             .values()
             .map(|t| t.snapshot().size_bytes())
             .sum()
+    }
+
+    /// Install `hook` as the commit hook of **every** registered table
+    /// (see [`CommitHook`] for the per-table ordering contract). Works
+    /// through a shared reference because the hook slot is
+    /// interior-mutable — the catalog's shape stays frozen.
+    pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) {
+        for vt in self.tables.values() {
+            vt.set_commit_hook(hook.clone());
+        }
     }
 
     /// Pin every table at its current version. The snapshot is the unit a

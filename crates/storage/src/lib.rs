@@ -16,7 +16,12 @@
 //!   scans);
 //! * [`Catalog`] maps names to versioned tables and hands out
 //!   [`CatalogSnapshot`]s — the per-query unit of consistency whose epoch
-//!   vector also keys the recycler's cache-freshness checks.
+//!   vector also keys the recycler's cache-freshness checks;
+//! * every commit can be observed through a [`CommitHook`] invoked in
+//!   exact epoch order before the version swap — the anchor point for the
+//!   `rdb_wal` write-ahead log ([`TableDelta`]/[`CommitRecord`] are the
+//!   loggable form of a commit, [`VersionedTable::apply_logged`] and
+//!   [`VersionedTable::restore`] the replay entry points).
 
 use std::fmt;
 
@@ -24,7 +29,7 @@ pub mod catalog;
 pub mod table;
 
 pub use catalog::{Catalog, CatalogSnapshot};
-pub use table::{Table, TableBuilder, VersionedTable};
+pub use table::{CommitHook, CommitRecord, Table, TableBuilder, TableDelta, VersionedTable};
 
 /// Errors from catalog registration and table mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]

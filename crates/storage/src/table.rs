@@ -110,6 +110,81 @@ impl Table {
         }
         out
     }
+
+    /// One row as owned values (checkpoint/serialization helper; scans go
+    /// through the zero-copy [`Table::scan_batch`] path).
+    pub fn row_values(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// All rows as owned values, row-major (checkpoint helper).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.rows).map(|i| self.row_values(i)).collect()
+    }
+}
+
+/// The logical change one epoch commit applies, in a replayable,
+/// value-level form. This is exactly what a write-ahead log must record
+/// to reproduce the commit against the predecessor snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableDelta {
+    /// Rows appended after the predecessor's last row.
+    Append {
+        /// Appended rows, schema order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Row positions (into the predecessor snapshot, ascending) removed.
+    Delete {
+        /// Deleted row indices.
+        deleted: Vec<u64>,
+    },
+    /// Wholesale replacement of the contents.
+    Replace {
+        /// The full new contents, schema order.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl TableDelta {
+    /// Rows touched (appended, deleted, or installed).
+    pub fn rows_affected(&self) -> usize {
+        match self {
+            TableDelta::Append { rows } | TableDelta::Replace { rows } => rows.len(),
+            TableDelta::Delete { deleted } => deleted.len(),
+        }
+    }
+}
+
+/// Everything a durability layer needs to persist one epoch commit: which
+/// table, under what schema (so replay can detect drift), the epoch the
+/// commit produces, and the delta itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// Committing table.
+    pub table: String,
+    /// The table's schema at commit time.
+    pub schema: Schema,
+    /// Epoch the commit produces (predecessor epoch + 1).
+    pub epoch: u64,
+    /// The change being committed.
+    pub delta: TableDelta,
+}
+
+/// Observer invoked for every [`VersionedTable`] commit, **under the
+/// table's write lock, after the epoch check and before the pointer
+/// swap**. That placement is the whole durability contract: per table,
+/// hook invocations happen in exactly epoch order, and a hook error
+/// aborts the commit before any reader can observe the new version — a
+/// WAL implementing this trait therefore logs every epoch before it
+/// becomes visible, with no gaps and no reordering.
+///
+/// Implementations must be fast or accept that readers of *this* table
+/// block behind them for the duration (e.g. an `fsync` under the WAL's
+/// `FsyncPolicy::Always`; other tables and all snapshots already taken
+/// are unaffected).
+pub trait CommitHook: Send + Sync {
+    /// Log `record`; an error aborts the commit (nothing is swapped).
+    fn before_commit(&self, record: &CommitRecord) -> Result<(), StorageError>;
 }
 
 /// Row-oriented builder used by the data generators.
@@ -174,17 +249,30 @@ impl TableBuilder {
 /// taken for O(1) zero-copy scans of a contiguous column. A chunked
 /// column layout could make appends O(tail) later without changing this
 /// API.
-#[derive(Debug)]
 pub struct VersionedTable {
     name: String,
     schema: Schema,
     current: RwLock<Arc<Table>>,
+    /// Durability observer; see [`CommitHook`] for the ordering contract.
+    hook: RwLock<Option<Arc<dyn CommitHook>>>,
 }
 
-/// What a writer's build step produced: a new column vector to commit as
-/// the next epoch, or nothing to change (no epoch is spent on no-ops).
+impl std::fmt::Debug for VersionedTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedTable")
+            .field("name", &self.name)
+            .field("schema", &self.schema)
+            .field("current", &self.current)
+            .field("hooked", &self.hook.read().is_some())
+            .finish()
+    }
+}
+
+/// What a writer's build step produced: a new column vector (plus its
+/// loggable delta) to commit as the next epoch, or nothing to change (no
+/// epoch is spent on no-ops).
 enum NextVersion<R> {
-    Commit(R, Vec<Column>),
+    Commit(R, Vec<Column>, TableDelta),
     Noop(R),
 }
 
@@ -195,7 +283,20 @@ impl VersionedTable {
             name: initial.name().to_string(),
             schema: initial.schema().clone(),
             current: RwLock::new(initial),
+            hook: RwLock::new(None),
         }
+    }
+
+    /// Install (or swap) the commit hook. Every subsequent commit is
+    /// reported to `hook` before its pointer swap; commits already past
+    /// their epoch check are unaffected.
+    pub fn set_commit_hook(&self, hook: Arc<dyn CommitHook>) {
+        *self.hook.write() = Some(hook);
+    }
+
+    /// Remove the commit hook, if any.
+    pub fn clear_commit_hook(&self) {
+        *self.hook.write() = None;
     }
 
     /// Table name.
@@ -225,14 +326,20 @@ impl VersionedTable {
     /// lock (held only for the swap) and rebuilds on a lost race, so
     /// writers serialize logically without ever blocking readers behind
     /// O(rows) work.
+    ///
+    /// If a [`CommitHook`] is installed it runs under the write lock,
+    /// after the epoch check and before the swap: only the CAS winner
+    /// reaches the hook, so per-table hook invocations are exactly the
+    /// committed epoch sequence. A hook error aborts the commit — the
+    /// current snapshot stays in place and the error propagates.
     fn commit<R>(
         &self,
         mut next: impl FnMut(&Table) -> Result<NextVersion<R>, StorageError>,
     ) -> Result<(R, Arc<Table>), StorageError> {
         loop {
             let old = self.snapshot();
-            let (out, columns) = match next(&old)? {
-                NextVersion::Commit(out, columns) => (out, columns),
+            let (out, columns, delta) = match next(&old)? {
+                NextVersion::Commit(out, columns, delta) => (out, columns, delta),
                 // Nothing changed: no new epoch, no snapshot churn.
                 NextVersion::Noop(out) => return Ok((out, old)),
             };
@@ -244,6 +351,15 @@ impl VersionedTable {
             ));
             let mut cur = self.current.write();
             if cur.epoch() == old.epoch() {
+                let hook = self.hook.read().clone();
+                if let Some(hook) = hook {
+                    hook.before_commit(&CommitRecord {
+                        table: self.name.clone(),
+                        schema: self.schema.clone(),
+                        epoch: candidate.epoch(),
+                        delta,
+                    })?;
+                }
                 *cur = candidate.clone();
                 return Ok((out, candidate));
             }
@@ -274,7 +390,13 @@ impl VersionedTable {
                     Column::concat(&[old.column(i), &tail])
                 })
                 .collect();
-            Ok(NextVersion::Commit((), columns))
+            Ok(NextVersion::Commit(
+                (),
+                columns,
+                TableDelta::Append {
+                    rows: rows.to_vec(),
+                },
+            ))
         })?;
         Ok(next)
     }
@@ -307,7 +429,17 @@ impl VersionedTable {
             let columns = (0..self.schema.len())
                 .map(|i| old.column(i).filter(&keep))
                 .collect();
-            Ok(NextVersion::Commit(deleted, columns))
+            let indices = delete
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d)
+                .map(|(i, _)| i as u64)
+                .collect();
+            Ok(NextVersion::Commit(
+                deleted,
+                columns,
+                TableDelta::Delete { deleted: indices },
+            ))
         })
     }
 
@@ -326,9 +458,117 @@ impl VersionedTable {
                 (0..table.schema().len())
                     .map(|i| table.column(i).clone())
                     .collect(),
+                TableDelta::Replace {
+                    rows: table.to_rows(),
+                },
             ))
         })?;
         Ok(next)
+    }
+
+    /// Force-install `rows` as the contents at `epoch`, bypassing the
+    /// commit hook and the CAS loop. Recovery only: this is how a
+    /// checkpoint image is loaded before WAL replay. Not linearizable
+    /// against concurrent writers — recovery runs single-threaded before
+    /// the engine serves anything.
+    pub fn restore(&self, rows: &[Vec<Value>], epoch: u64) -> Result<Arc<Table>, StorageError> {
+        for row in rows {
+            self.validate_row(row)?;
+        }
+        let columns = (0..self.schema.len())
+            .map(|i| {
+                let mut b = ColumnBuilder::new(self.schema.field(i).dtype, rows.len());
+                for row in rows {
+                    b.push(row[i].clone());
+                }
+                b.finish()
+            })
+            .collect();
+        let table = Arc::new(Table::new_at_epoch(
+            self.name.clone(),
+            self.schema.clone(),
+            columns,
+            epoch,
+        ));
+        *self.current.write() = table.clone();
+        Ok(table)
+    }
+
+    /// Re-apply a logged delta as epoch `epoch`, bypassing the commit
+    /// hook (recovery: WAL replay). `epoch` must be exactly the successor
+    /// of the current epoch; records at or below the current epoch are
+    /// already reflected (covered by a checkpoint) and report `Ok(false)`.
+    /// A gap is an error — the log is missing records.
+    pub fn apply_logged(&self, delta: &TableDelta, epoch: u64) -> Result<bool, StorageError> {
+        let old = self.snapshot();
+        if epoch <= old.epoch() {
+            return Ok(false);
+        }
+        if epoch != old.epoch() + 1 {
+            return Err(StorageError(format!(
+                "replay gap: table '{}' is at epoch {} but the next log record is epoch {}",
+                self.name,
+                old.epoch(),
+                epoch
+            )));
+        }
+        let columns: Vec<Column> = match delta {
+            TableDelta::Append { rows } => {
+                for row in rows {
+                    self.validate_row(row)?;
+                }
+                (0..self.schema.len())
+                    .map(|i| {
+                        let mut b = ColumnBuilder::new(self.schema.field(i).dtype, rows.len());
+                        for row in rows {
+                            b.push(row[i].clone());
+                        }
+                        let tail = b.finish();
+                        Column::concat(&[old.column(i), &tail])
+                    })
+                    .collect()
+            }
+            TableDelta::Delete { deleted } => {
+                let mut keep = vec![true; old.rows()];
+                for &i in deleted {
+                    let i = i as usize;
+                    if i >= keep.len() {
+                        return Err(StorageError(format!(
+                            "replay delete index {} out of range for {} rows of '{}'",
+                            i,
+                            old.rows(),
+                            self.name
+                        )));
+                    }
+                    keep[i] = false;
+                }
+                (0..self.schema.len())
+                    .map(|i| old.column(i).filter(&keep))
+                    .collect()
+            }
+            TableDelta::Replace { rows } => {
+                for row in rows {
+                    self.validate_row(row)?;
+                }
+                (0..self.schema.len())
+                    .map(|i| {
+                        let mut b = ColumnBuilder::new(self.schema.field(i).dtype, rows.len());
+                        for row in rows {
+                            b.push(row[i].clone());
+                        }
+                        b.finish()
+                    })
+                    .collect()
+            }
+        };
+        let table = Arc::new(Table::new_at_epoch(
+            self.name.clone(),
+            self.schema.clone(),
+            columns,
+            epoch,
+        ));
+        *self.current.write() = table;
+        Ok(true)
     }
 
     fn validate_row(&self, row: &[Value]) -> Result<(), StorageError> {
@@ -472,6 +712,96 @@ mod tests {
         // Mask length is checked against the locked snapshot.
         assert!(vt.delete_where(|_| vec![true]).is_err());
         assert_eq!(vt.epoch(), 1, "failed delete commits nothing");
+    }
+
+    #[derive(Default)]
+    struct RecordingHook {
+        records: parking_lot::Mutex<Vec<CommitRecord>>,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl CommitHook for RecordingHook {
+        fn before_commit(&self, record: &CommitRecord) -> Result<(), StorageError> {
+            if self.fail.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(StorageError("injected hook failure".to_string()));
+            }
+            self.records.lock().push(record.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn commit_hook_sees_every_epoch_in_order() {
+        let vt = versioned();
+        let hook = Arc::new(RecordingHook::default());
+        vt.set_commit_hook(hook.clone());
+        vt.append(&[vec![Value::Int(4), Value::str("r4")]]).unwrap();
+        vt.delete_where(|t| t.column(0).as_ints().iter().map(|&x| x == 0).collect())
+            .unwrap();
+        // No-ops spend no epoch and reach no hook.
+        vt.append(&[]).unwrap();
+        let records = hook.records.lock();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].epoch, 1);
+        assert!(matches!(&records[0].delta, TableDelta::Append { rows } if rows.len() == 1));
+        assert_eq!(records[1].epoch, 2);
+        assert_eq!(
+            records[1].delta,
+            TableDelta::Delete { deleted: vec![0] },
+            "delete logs predecessor row positions"
+        );
+    }
+
+    #[test]
+    fn failing_hook_aborts_commit() {
+        let vt = versioned();
+        let hook = Arc::new(RecordingHook::default());
+        hook.fail.store(true, std::sync::atomic::Ordering::Relaxed);
+        vt.set_commit_hook(hook);
+        let err = vt.append(&[vec![Value::Int(9), Value::Null]]).unwrap_err();
+        assert!(err.to_string().contains("injected hook failure"));
+        assert_eq!(vt.epoch(), 0, "aborted commit swaps nothing");
+        assert_eq!(vt.snapshot().rows(), 4);
+    }
+
+    #[test]
+    fn apply_logged_replays_deltas_exactly() {
+        let source = versioned();
+        let hook = Arc::new(RecordingHook::default());
+        source.set_commit_hook(hook.clone());
+        source
+            .append(&[
+                vec![Value::Int(4), Value::str("r4")],
+                vec![Value::Int(5), Value::Null],
+            ])
+            .unwrap();
+        source
+            .delete_where(|t| t.column(0).as_ints().iter().map(|&x| x % 2 == 1).collect())
+            .unwrap();
+
+        let replica = versioned();
+        for record in hook.records.lock().iter() {
+            assert!(replica.apply_logged(&record.delta, record.epoch).unwrap());
+        }
+        let (a, b) = (source.snapshot(), replica.snapshot());
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.column(0).as_ints(), b.column(0).as_ints());
+
+        // Already-applied records are skipped, gaps are errors.
+        let first = hook.records.lock()[0].clone();
+        assert!(!replica.apply_logged(&first.delta, first.epoch).unwrap());
+        assert!(replica.apply_logged(&first.delta, 99).is_err());
+    }
+
+    #[test]
+    fn restore_installs_rows_at_epoch() {
+        let vt = versioned();
+        vt.restore(&[vec![Value::Int(7), Value::str("x")]], 5)
+            .unwrap();
+        let snap = vt.snapshot();
+        assert_eq!(snap.epoch(), 5);
+        assert_eq!(snap.rows(), 1);
+        assert_eq!(snap.column(0).as_ints(), &[7]);
     }
 
     #[test]

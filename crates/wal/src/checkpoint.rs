@@ -1,0 +1,218 @@
+//! Checkpoints: a durable snapshot of every base table plus the
+//! recycler's top-K lineage.
+//!
+//! A checkpoint is one file, `checkpoint.bin`: the magic `"RDBCKPT1"`
+//! followed by a single CRC frame around the whole body (tables, then
+//! lineage entries). It is written to `checkpoint.tmp`, fsynced, and
+//! atomically renamed over the previous checkpoint — a crash mid-write
+//! leaves the old checkpoint intact, never a half-new one. After the
+//! rename lands, WAL segments fully covered by the checkpointed epochs
+//! are deletable (see [`crate::wal::Wal::prune`]).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use rdb_recycler::LineageEntry;
+use rdb_vector::{Schema, Value};
+
+use crate::codec::{
+    self, put_schema, put_str, put_u32, put_u64, put_value, read_schema, read_value, Reader,
+};
+use crate::frame::{encode_frame, scan_frames};
+use crate::WalError;
+
+/// Magic bytes opening the checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"RDBCKPT1";
+
+/// Checkpoint file name within a data directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+/// One table's image inside a checkpoint.
+#[derive(Debug, Clone)]
+pub struct TableCheckpoint {
+    /// Table name.
+    pub name: String,
+    /// Epoch the image reflects.
+    pub epoch: u64,
+    /// Schema at checkpoint time (replay validates against the live one).
+    pub schema: Schema,
+    /// Full contents, row-major.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// A whole checkpoint: base tables plus persisted recycler lineage.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    /// Every base table's image.
+    pub tables: Vec<TableCheckpoint>,
+    /// Top-K benefit lineage entries (may be empty).
+    pub lineage: Vec<LineageEntry>,
+}
+
+impl Checkpoint {
+    /// Highest table epoch in the checkpoint.
+    pub fn max_epoch(&self) -> u64 {
+        self.tables.iter().map(|t| t.epoch).max().unwrap_or(0)
+    }
+}
+
+/// Write `ckpt` durably into `dir` (tmp + fsync + atomic rename + dir
+/// fsync). Lineage entries whose plans cannot be serialized are skipped —
+/// warming is an optimization, not a correctness requirement.
+pub fn write_checkpoint(dir: &Path, ckpt: &Checkpoint) -> Result<(), WalError> {
+    let mut body = Vec::with_capacity(4096);
+    put_u32(&mut body, ckpt.tables.len() as u32);
+    for t in &ckpt.tables {
+        put_str(&mut body, &t.name);
+        put_u64(&mut body, t.epoch);
+        put_schema(&mut body, &t.schema);
+        put_u32(&mut body, t.rows.len() as u32);
+        for row in &t.rows {
+            put_u32(&mut body, row.len() as u32);
+            for v in row {
+                put_value(&mut body, v);
+            }
+        }
+    }
+    let encodable: Vec<Vec<u8>> = ckpt
+        .lineage
+        .iter()
+        .filter_map(|e| codec::encode_lineage(e).ok())
+        .collect();
+    put_u32(&mut body, encodable.len() as u32);
+    for bytes in &encodable {
+        put_u32(&mut body, bytes.len() as u32);
+        body.extend_from_slice(bytes);
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 32);
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&encode_frame(&body));
+
+    let tmp = dir.join("checkpoint.tmp");
+    let path = dir.join(CHECKPOINT_FILE);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    // Make the rename itself durable.
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Read the checkpoint in `dir`, if one exists. A missing file is
+/// `Ok(None)` (cold start); a damaged file is an error — the WAL may
+/// have been pruned against it, so silently ignoring it could lose data.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<Checkpoint>, WalError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let mut bytes = Vec::new();
+    match std::fs::File::open(&path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(WalError::Io(e)),
+    }
+    if bytes.len() < CHECKPOINT_MAGIC.len() || &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(WalError::Corrupt(format!(
+            "{} is not a checkpoint (bad magic)",
+            path.display()
+        )));
+    }
+    let scan = scan_frames(&bytes[8..]);
+    let (off, len) = match (scan.payloads.first(), scan.defect) {
+        (Some(&p), None) if scan.payloads.len() == 1 => p,
+        _ => {
+            return Err(WalError::Corrupt(format!(
+                "{} body is damaged (CRC or framing)",
+                path.display()
+            )))
+        }
+    };
+    let body = &bytes[8..][off..off + len];
+    let mut r = Reader::new(body);
+    let ntables = r.count()?;
+    let mut tables = Vec::with_capacity(ntables);
+    for _ in 0..ntables {
+        let name = r.str()?;
+        let epoch = r.u64()?;
+        let schema = read_schema(&mut r)?;
+        let nrows = r.count()?;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let arity = r.count()?;
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(read_value(&mut r)?);
+            }
+            rows.push(row);
+        }
+        tables.push(TableCheckpoint {
+            name,
+            epoch,
+            schema,
+            rows,
+        });
+    }
+    let nlineage = r.count()?;
+    let mut lineage = Vec::with_capacity(nlineage);
+    for _ in 0..nlineage {
+        let n = r.count()?;
+        lineage.push(codec::decode_lineage(r.bytes(n)?)?);
+    }
+    Ok(Some(Checkpoint { tables, lineage }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_vector::DataType;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            tables: vec![TableCheckpoint {
+                name: "t".to_string(),
+                epoch: 9,
+                schema: Schema::from_pairs([("x", DataType::Int), ("s", DataType::Str)]),
+                rows: vec![
+                    vec![Value::Int(1), Value::str("one")],
+                    vec![Value::Int(2), Value::Null],
+                ],
+            }],
+            lineage: vec![],
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_atomicity() {
+        let dir = std::env::temp_dir().join(format!("rdb-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        assert!(read_checkpoint(&dir).unwrap().is_none(), "cold start");
+        write_checkpoint(&dir, &sample()).unwrap();
+        let back = read_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(back.tables.len(), 1);
+        assert_eq!(back.tables[0].epoch, 9);
+        assert_eq!(back.tables[0].rows[1][1], Value::Null);
+        assert_eq!(back.max_epoch(), 9);
+
+        // Overwrite is atomic: a second write replaces, no tmp remains.
+        write_checkpoint(&dir, &sample()).unwrap();
+        assert!(!dir.join("checkpoint.tmp").exists());
+
+        // Damage is an error, not a panic or a silent cold start.
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_checkpoint(&dir), Err(WalError::Corrupt(_))));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

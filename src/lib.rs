@@ -96,3 +96,4 @@ pub use rdb_sql as sql;
 pub use rdb_storage as storage;
 pub use rdb_tpch as tpch;
 pub use rdb_vector as vector;
+pub use rdb_wal as wal;
