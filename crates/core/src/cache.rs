@@ -1,53 +1,165 @@
-//! The recycler cache (paper §II, §III-E).
+//! The recycler cache (paper §II, §III-E), generalized to *artifacts*.
 //!
-//! A finite in-memory cache of materialized results managed as a knapsack
-//! along the lines of Dantzig's greedy algorithm: entries are classified
-//! into groups by the logarithm of their size; within a group they are kept
-//! in increasing benefit order. A new result replaces a set of same-group
-//! entries only if that set has lower average benefit and frees enough
-//! space.
+//! A finite in-memory cache managed as a knapsack along the lines of
+//! Dantzig's greedy algorithm: entries are classified into groups by the
+//! logarithm of their size; within a group they are kept in increasing
+//! benefit order. A new entry replaces a set of same-group entries only if
+//! that set has lower average benefit and frees enough space.
+//!
+//! The cache no longer holds only materialized result sets: a cache entry
+//! is a [`CacheArtifact`] — a result, a hash-join build side, or an
+//! aggregation table — each charged by its own byte footprint and ranked
+//! by its own benefit. The evictor is artifact-blind: a cached hash table
+//! competes against a cached result (even for the same graph node) purely
+//! on benefit-per-byte, which is exactly the knapsack's currency.
+//!
+//! Benefit ordering is NaN-safe with a *NaN-lowest* policy: a benefit that
+//! arrives as NaN (e.g. a zero-cost/zero-heat division) is normalized to
+//! `0.0` at the boundary, so it sorts at the bottom of its group, is the
+//! first eviction victim, and can never poison a `total_cmp` sort or an
+//! average-benefit sum.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use rdb_exec::MaterializedResult;
+use rdb_exec::{ArtifactKind, BuildSide, MaterializedResult, OperatorState};
 
 use crate::graph::NodeId;
 
-/// One cached result.
+/// Identity of one cache entry: the graph node that produced it, which
+/// kind of artifact it is, and a `variant` discriminator for kinds where
+/// one subplan can yield several distinct artifacts (a build side is
+/// keyed by its join keys too — two joins sharing a right subplan but
+/// joining on different columns must not collide). `variant` is 0 for
+/// results and aggregation tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactId {
+    /// Graph node of the producing subplan.
+    pub node: NodeId,
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Kind-specific discriminator (hash of the build keys for
+    /// [`ArtifactKind::HashBuild`], 0 otherwise).
+    pub variant: u64,
+}
+
+impl ArtifactId {
+    /// The result artifact of `node`.
+    pub fn result(node: NodeId) -> ArtifactId {
+        ArtifactId {
+            node,
+            kind: ArtifactKind::Result,
+            variant: 0,
+        }
+    }
+}
+
+/// The payload of one cache entry.
+#[derive(Debug, Clone)]
+pub enum CacheArtifact {
+    /// A materialized result set.
+    Result(Arc<MaterializedResult>),
+    /// A hash-join build side (batch + key index).
+    HashBuild(Arc<BuildSide>),
+    /// An aggregation table, stored as its sorted group rows.
+    AggTable(Arc<MaterializedResult>),
+}
+
+impl CacheArtifact {
+    /// Which artifact kind this is.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            CacheArtifact::Result(_) => ArtifactKind::Result,
+            CacheArtifact::HashBuild(_) => ArtifactKind::HashBuild,
+            CacheArtifact::AggTable(_) => ArtifactKind::AggTable,
+        }
+    }
+
+    /// Memory footprint charged against the cache budget.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            CacheArtifact::Result(r) | CacheArtifact::AggTable(r) => r.size_bytes,
+            CacheArtifact::HashBuild(b) => b.size_bytes(),
+        }
+    }
+
+    /// The materialized result, if this artifact is one.
+    pub fn as_result(&self) -> Option<&Arc<MaterializedResult>> {
+        match self {
+            CacheArtifact::Result(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The executor-facing operator state, for non-result artifacts.
+    pub fn as_state(&self) -> Option<OperatorState> {
+        match self {
+            CacheArtifact::Result(_) => None,
+            CacheArtifact::HashBuild(b) => Some(OperatorState::HashBuild(b.clone())),
+            CacheArtifact::AggTable(r) => Some(OperatorState::AggTable(r.clone())),
+        }
+    }
+}
+
+/// One cached artifact.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
-    /// The materialized rows.
-    pub result: Arc<MaterializedResult>,
+    /// The cached payload.
+    pub artifact: CacheArtifact,
     /// Size charged against the cache budget.
     pub size: u64,
-    /// Benefit at last recomputation (B(R) of Eq. 1).
+    /// Benefit at last recomputation (B(R) of Eq. 1), NaN-normalized.
     pub benefit: f64,
-    /// `(table, epoch)` of every base table the result was computed from:
-    /// the versions under which this entry is valid. A query whose
+    /// Measured construction cost under the active cost model. Results
+    /// re-derive their benefit from the graph; operator-state artifacts
+    /// re-derive it from this cost (`cost · h / size`).
+    pub cost: f64,
+    /// `(table, epoch)` of every base table the artifact was computed
+    /// from: the versions under which this entry is valid. A query whose
     /// snapshot pins any of these tables at a different epoch must not
     /// reuse the entry.
     pub epochs: Vec<(String, u64)>,
 }
 
-/// The finite result cache.
+impl CacheEntry {
+    /// The materialized result (panics on operator-state artifacts; used
+    /// by result-only paths that looked the entry up via a result id).
+    pub fn result(&self) -> &Arc<MaterializedResult> {
+        self.artifact
+            .as_result()
+            .expect("cache entry is not a result artifact")
+    }
+}
+
+/// The finite artifact cache.
 #[derive(Debug, Default)]
 pub struct RecyclerCache {
     capacity: u64,
     used: u64,
-    entries: HashMap<NodeId, CacheEntry>,
-    /// log2(size) → node ids, each list sorted by increasing benefit.
-    groups: BTreeMap<u32, Vec<NodeId>>,
+    entries: HashMap<ArtifactId, CacheEntry>,
+    /// log2(size) → artifact ids, each list sorted by increasing benefit.
+    groups: BTreeMap<u32, Vec<ArtifactId>>,
     /// Counters for reporting.
     pub admissions: u64,
     /// Evictions performed by the replacement policy.
     pub evictions: u64,
-    /// Results rejected by the admission/replacement policy.
+    /// Artifacts rejected by the admission/replacement policy.
     pub rejections: u64,
 }
 
 fn group_of(size: u64) -> u32 {
     64 - size.max(1).leading_zeros()
+}
+
+/// The NaN-lowest policy: a NaN benefit normalizes to `0.0` — the floor —
+/// before it is stored or compared, so ordering stays total and benefit
+/// sums stay finite.
+fn sane_benefit(b: f64) -> f64 {
+    if b.is_nan() {
+        0.0
+    } else {
+        b
+    }
 }
 
 impl RecyclerCache {
@@ -69,7 +181,7 @@ impl RecyclerCache {
         self.used
     }
 
-    /// Number of cached results.
+    /// Number of cached artifacts.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -79,20 +191,35 @@ impl RecyclerCache {
         self.entries.is_empty()
     }
 
-    /// Look up a cached result.
+    /// Look up the cached *result* of a node.
     pub fn get(&self, id: NodeId) -> Option<&CacheEntry> {
+        self.entries.get(&ArtifactId::result(id))
+    }
+
+    /// Look up any cached artifact.
+    pub fn get_artifact(&self, id: ArtifactId) -> Option<&CacheEntry> {
         self.entries.get(&id)
     }
 
-    /// Whether `id` is cached.
+    /// Whether `id`'s result is cached.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.entries.contains_key(&id)
+        self.entries.contains_key(&ArtifactId::result(id))
     }
 
-    /// Would the admission/replacement policy accept a result of this size
-    /// and benefit right now? (Non-mutating preview used by the rewriter to
-    /// decide store injection.)
+    /// The cached artifacts of `node`, any kind.
+    pub fn artifacts_of(&self, node: NodeId) -> Vec<ArtifactId> {
+        self.entries
+            .keys()
+            .filter(|a| a.node == node)
+            .copied()
+            .collect()
+    }
+
+    /// Would the admission/replacement policy accept an artifact of this
+    /// size and benefit right now? (Non-mutating preview used by the
+    /// rewriter to decide store injection.)
     pub fn would_admit(&self, size: u64, benefit: f64) -> bool {
+        let benefit = sane_benefit(benefit);
         if size > self.capacity {
             return false;
         }
@@ -109,7 +236,7 @@ impl RecyclerCache {
     /// if it cannot free enough space the scan widens to all entries, so a
     /// high-benefit newcomer is never starved just because the incumbents
     /// happen to sit in other size groups.
-    fn find_victims(&self, size: u64, benefit: f64) -> Option<Vec<NodeId>> {
+    fn find_victims(&self, size: u64, benefit: f64) -> Option<Vec<ArtifactId>> {
         if let Some(group) = self.groups.get(&group_of(size)) {
             if let Some(victims) = self.scan_victims(group.iter().copied(), size, benefit) {
                 return Some(victims);
@@ -122,6 +249,8 @@ impl RecyclerCache {
         // average-benefit test anyway. This keeps the per-batch speculation
         // path (would_admit under the recycler lock, full cache,
         // low-benefit candidate) at O(groups) instead of O(entries).
+        // Stored benefits are NaN-normalized, so `f64::min` (which skips
+        // NaN) is a genuine minimum here.
         let global_min = self
             .groups
             .values()
@@ -135,7 +264,7 @@ impl RecyclerCache {
         // order) instead of collecting and sorting every entry. Benefits
         // are resolved once per group list up front (one hash lookup per
         // entry total, not per merge step).
-        let groups: Vec<Vec<(NodeId, f64)>> = self
+        let groups: Vec<Vec<(ArtifactId, f64)>> = self
             .groups
             .values()
             .filter(|g| !g.is_empty())
@@ -150,7 +279,7 @@ impl RecyclerCache {
             let mut best: Option<(usize, f64)> = None;
             for (i, g) in groups.iter().enumerate() {
                 if let Some(&(_, b)) = g.get(pos[i]) {
-                    if best.is_none_or(|(_, bb)| b < bb) {
+                    if best.is_none_or(|(_, bb)| b.total_cmp(&bb).is_lt()) {
                         best = Some((i, b));
                     }
                 }
@@ -165,16 +294,16 @@ impl RecyclerCache {
 
     fn scan_victims(
         &self,
-        candidates: impl Iterator<Item = NodeId>,
+        candidates: impl Iterator<Item = ArtifactId>,
         size: u64,
         benefit: f64,
-    ) -> Option<Vec<NodeId>> {
+    ) -> Option<Vec<ArtifactId>> {
         let mut victims = Vec::new();
         let mut freed = 0u64;
         let mut benefit_sum = 0.0;
         for id in candidates {
             let e = &self.entries[&id];
-            // (a) average benefit must stay below the new result's.
+            // (a) average benefit must stay below the new entry's.
             let avg = (benefit_sum + e.benefit) / (victims.len() + 1) as f64;
             if avg >= benefit {
                 return None;
@@ -190,18 +319,40 @@ impl RecyclerCache {
         None
     }
 
-    /// Try to insert a result valid at the given base-table `epochs`.
-    /// Returns `Some(evicted)` on success (possibly empty), `None` if the
-    /// policy rejected it. The caller is responsible for graph-side
-    /// bookkeeping (Eq. 3/4) on the returned evictions.
+    /// Try to insert a node's *result*, valid at the given base-table
+    /// `epochs`. Returns `Some(evicted)` on success (possibly empty),
+    /// `None` if the policy rejected it. The caller is responsible for
+    /// graph-side bookkeeping (Eq. 3/4) on the returned evictions.
     pub fn insert(
         &mut self,
         id: NodeId,
         result: Arc<MaterializedResult>,
         benefit: f64,
         epochs: Vec<(String, u64)>,
-    ) -> Option<Vec<NodeId>> {
-        let size = (result.size_bytes as u64).max(1);
+    ) -> Option<Vec<ArtifactId>> {
+        self.insert_artifact(
+            ArtifactId::result(id),
+            CacheArtifact::Result(result),
+            benefit,
+            0.0,
+            epochs,
+        )
+    }
+
+    /// Try to insert any artifact. Same contract as
+    /// [`RecyclerCache::insert`]; `cost` is the artifact's measured
+    /// construction cost (used to re-derive operator-state benefits).
+    pub fn insert_artifact(
+        &mut self,
+        id: ArtifactId,
+        artifact: CacheArtifact,
+        benefit: f64,
+        cost: f64,
+        epochs: Vec<(String, u64)>,
+    ) -> Option<Vec<ArtifactId>> {
+        debug_assert_eq!(artifact.kind(), id.kind);
+        let benefit = sane_benefit(benefit);
+        let size = (artifact.size_bytes() as u64).max(1);
         if self.entries.contains_key(&id) {
             return Some(Vec::new()); // already cached (concurrent publish)
         }
@@ -214,7 +365,7 @@ impl RecyclerCache {
             match self.find_victims(size, benefit) {
                 Some(victims) => {
                     for v in victims {
-                        self.remove(v);
+                        self.remove_artifact(v);
                         self.evictions += 1;
                         evicted.push(v);
                     }
@@ -229,28 +380,29 @@ impl RecyclerCache {
         self.entries.insert(
             id,
             CacheEntry {
-                result,
+                artifact,
                 size,
                 benefit,
+                cost,
                 epochs,
             },
         );
         let group = self.groups.entry(group_of(size)).or_default();
         let pos = group
-            .binary_search_by(|x| {
-                self.entries[x]
-                    .benefit
-                    .partial_cmp(&benefit)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .binary_search_by(|x| self.entries[x].benefit.total_cmp(&benefit))
             .unwrap_or_else(|p| p);
         group.insert(pos, id);
         self.admissions += 1;
         Some(evicted)
     }
 
-    /// Remove one entry (eviction or invalidation).
+    /// Remove a node's result entry (eviction or invalidation).
     pub fn remove(&mut self, id: NodeId) -> Option<CacheEntry> {
+        self.remove_artifact(ArtifactId::result(id))
+    }
+
+    /// Remove one artifact.
+    pub fn remove_artifact(&mut self, id: ArtifactId) -> Option<CacheEntry> {
         let e = self.entries.remove(&id)?;
         self.used -= e.size;
         if let Some(group) = self.groups.get_mut(&group_of(e.size)) {
@@ -259,35 +411,48 @@ impl RecyclerCache {
         Some(e)
     }
 
+    /// Remove every artifact of `node` (invalidation covers all kinds).
+    pub fn remove_node(&mut self, node: NodeId) -> Vec<(ArtifactId, CacheEntry)> {
+        self.artifacts_of(node)
+            .into_iter()
+            .filter_map(|a| self.remove_artifact(a).map(|e| (a, e)))
+            .collect()
+    }
+
     /// Drop everything (the Fig. 6 "refresh" scenario). Returns the evicted
     /// ids for graph-side bookkeeping.
-    pub fn flush(&mut self) -> Vec<NodeId> {
-        let ids: Vec<NodeId> = self.entries.keys().copied().collect();
+    pub fn flush(&mut self) -> Vec<ArtifactId> {
+        let ids: Vec<ArtifactId> = self.entries.keys().copied().collect();
         for &id in &ids {
-            self.remove(id);
+            self.remove_artifact(id);
         }
         ids
     }
 
     /// Recompute benefits with `f` and restore group ordering (paper:
     /// "whenever the benefit of a result changes ... the result is moved to
-    /// a different position in the group").
-    pub fn rebenefit(&mut self, f: impl Fn(NodeId) -> f64) {
+    /// a different position in the group"). `f` sees the artifact id and
+    /// its entry (for the stored construction cost of state artifacts).
+    pub fn rebenefit(&mut self, f: impl Fn(ArtifactId, &CacheEntry) -> f64) {
         for (id, e) in self.entries.iter_mut() {
-            e.benefit = f(*id);
+            e.benefit = sane_benefit(f(*id, e));
         }
         for group in self.groups.values_mut() {
-            group.sort_by(|a, b| {
-                self.entries[a]
-                    .benefit
-                    .partial_cmp(&self.entries[b].benefit)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            group.sort_by(|a, b| self.entries[a].benefit.total_cmp(&self.entries[b].benefit));
         }
     }
 
-    /// Cached node ids (unordered).
+    /// Cached *result* node ids (unordered).
     pub fn ids(&self) -> Vec<NodeId> {
+        self.entries
+            .keys()
+            .filter(|a| a.kind == ArtifactKind::Result)
+            .map(|a| a.node)
+            .collect()
+    }
+
+    /// All cached artifact ids (unordered).
+    pub fn artifact_ids(&self) -> Vec<ArtifactId> {
         self.entries.keys().copied().collect()
     }
 }
@@ -342,7 +507,7 @@ mod tests {
         // Higher-benefit newcomer evicts the lowest-benefit same-group
         // entry.
         let evicted = c.insert(NodeId(3), result(10), 3.0, vec![]).unwrap();
-        assert_eq!(evicted, vec![NodeId(1)]);
+        assert_eq!(evicted, vec![ArtifactId::result(NodeId(1))]);
         assert!(c.contains(NodeId(2)));
         assert!(c.contains(NodeId(3)));
         assert_eq!(c.evictions, 1);
@@ -371,10 +536,10 @@ mod tests {
         c.insert(NodeId(3), result(10), 9.0, vec![]);
         // Need 80 free; nothing free → evict 1 (benefit 1): enough.
         let evicted = c.insert(NodeId(4), result(10), 5.0, vec![]).unwrap();
-        assert_eq!(evicted, vec![NodeId(1)]);
+        assert_eq!(evicted, vec![ArtifactId::result(NodeId(1))]);
         // Now insert something that needs two evictions: fill up again.
         let evicted = c.insert(NodeId(5), result(10), 10.0, vec![]).unwrap();
-        assert_eq!(evicted, vec![NodeId(2)]);
+        assert_eq!(evicted, vec![ArtifactId::result(NodeId(2))]);
     }
 
     #[test]
@@ -394,7 +559,10 @@ mod tests {
         c.insert(NodeId(2), result(5), 2.0, vec![]);
         let mut flushed = c.flush();
         flushed.sort();
-        assert_eq!(flushed, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            flushed,
+            vec![ArtifactId::result(NodeId(1)), ArtifactId::result(NodeId(2))]
+        );
         assert!(c.is_empty());
         assert_eq!(c.used(), 0);
     }
@@ -405,12 +573,12 @@ mod tests {
         c.insert(NodeId(1), result(10), 1.0, vec![]);
         c.insert(NodeId(2), result(10), 2.0, vec![]);
         // Invert benefits; victim search should now pick NodeId(2) first.
-        c.rebenefit(|id| if id == NodeId(1) { 9.0 } else { 0.5 });
+        c.rebenefit(|id, _| if id.node == NodeId(1) { 9.0 } else { 0.5 });
         let mut c2 = c;
         c2.capacity = 160;
         c2.used = 160;
         let evicted = c2.insert(NodeId(3), result(10), 5.0, vec![]).unwrap();
-        assert_eq!(evicted, vec![NodeId(2)]);
+        assert_eq!(evicted, vec![ArtifactId::result(NodeId(2))]);
     }
 
     #[test]
@@ -419,5 +587,48 @@ mod tests {
         c.insert(NodeId(1), result(5), 1.0, vec![]);
         assert_eq!(c.insert(NodeId(1), result(5), 1.0, vec![]), Some(vec![]));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn nan_benefit_sorts_lowest_and_evicts_first() {
+        // A zero-cost/zero-heat entry arrives with a NaN benefit: it must
+        // not panic the group sort, and it must be the first victim.
+        let mut c = RecyclerCache::new(160);
+        assert!(c.insert(NodeId(1), result(10), f64::NAN, vec![]).is_some());
+        assert_eq!(c.get(NodeId(1)).unwrap().benefit, 0.0, "NaN-lowest");
+        c.insert(NodeId(2), result(10), 2.0, vec![]);
+        // Re-benefit with a NaN-producing function: still total ordering.
+        c.rebenefit(|id, _| if id.node == NodeId(1) { f64::NAN } else { 2.0 });
+        let evicted = c.insert(NodeId(3), result(10), 1.0, vec![]).unwrap();
+        assert_eq!(evicted, vec![ArtifactId::result(NodeId(1))]);
+        // A NaN candidate is floored to 0 benefit: it cannot displace a
+        // positive-benefit incumbent.
+        assert!(!c.would_admit(80, f64::NAN));
+    }
+
+    #[test]
+    fn artifacts_share_budget_across_kinds() {
+        // A result and an agg-table artifact for the *same node* coexist,
+        // and the evictor trades one against the other on benefit alone.
+        let mut c = RecyclerCache::new(160);
+        c.insert(NodeId(1), result(10), 1.0, vec![]);
+        let agg = ArtifactId {
+            node: NodeId(1),
+            kind: ArtifactKind::AggTable,
+            variant: 0,
+        };
+        assert!(c
+            .insert_artifact(agg, CacheArtifact::AggTable(result(10)), 5.0, 100.0, vec![])
+            .is_some());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.artifacts_of(NodeId(1)).len(), 2);
+        // A newcomer beats the result but not the agg table.
+        let evicted = c.insert(NodeId(2), result(10), 3.0, vec![]).unwrap();
+        assert_eq!(evicted, vec![ArtifactId::result(NodeId(1))]);
+        assert!(c.get_artifact(agg).is_some(), "agg table survived");
+        // remove_node sweeps every kind.
+        let removed = c.remove_node(NodeId(1));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, agg);
     }
 }

@@ -53,6 +53,32 @@
 //! steering store decisions across updates, which is why the recycler
 //! retains most of its benefit under a write-mixed workload (see
 //! `BENCH_update.json`).
+//!
+//! ## Operator-state artifacts & the artifact cost model
+//!
+//! Beyond the paper's materialized results, the cache holds **operator
+//! state**: hash-join build sides and aggregation tables
+//! ([`rdb_exec::OperatorState`]), keyed by the *subplan that produced
+//! them* plus an [`rdb_exec::ArtifactKind`] and a variant discriminator
+//! (the join-key expressions). Every entry — result or state — is a
+//! [`cache::CacheArtifact`] charged against the same byte budget, with a
+//! uniform benefit currency:
+//!
+//! * **results** re-derive benefit from the graph each completion (Eq. 1:
+//!   true cost × decayed `hR` / bytes);
+//! * **state artifacts** use their *measured construction cost* (reported
+//!   at publish time via [`rdb_exec::StateCost`], in the configured
+//!   [`config::CostModel`]'s units) times the producing node's decayed
+//!   `hR`, divided by the artifact's bytes.
+//!
+//! Because both kinds price reuse in saved-cost-per-byte, the evictor can
+//! trade a cached hash table against a cached result for the same node —
+//! whichever saves less per byte goes first. State artifacts ride the
+//! same epoch machinery as results (recorded epochs, the three freshness
+//! points above) but are *epoch-exact both directions*: a build produced
+//! under different epochs is never adopted. They are deliberately absent
+//! from checkpoint lineage — recovery re-executes the producing subplan
+//! and re-publishes through the normal path.
 
 pub mod cache;
 pub mod config;
@@ -60,7 +86,7 @@ pub mod graph;
 pub mod proactive;
 pub mod recycler;
 
-pub use cache::{CacheEntry, RecyclerCache};
+pub use cache::{ArtifactId, CacheArtifact, CacheEntry, RecyclerCache};
 pub use config::{CostModel, RecyclerConfig, RecyclerMode};
 pub use graph::{Derivation, MatchTree, NodeId, RecyclerGraph, SubsumptionEdge};
 pub use recycler::{

@@ -25,13 +25,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rdb_exec::{MaterializedResult, MetricsNode, ResultStore, SpeculationEstimate, StoreVerdict};
+use rdb_exec::{
+    ArtifactKind, MaterializedResult, MetricsNode, OperatorState, ResultStore, SpeculationEstimate,
+    StateCost, StoreVerdict,
+};
 use rdb_plan::{Plan, StoreMode};
 use rdb_storage::Catalog;
 use rdb_vector::Schema;
 
-use crate::cache::RecyclerCache;
-use crate::config::{RecyclerConfig, RecyclerMode};
+use crate::cache::{ArtifactId, CacheArtifact, RecyclerCache};
+use crate::config::{CostModel, RecyclerConfig, RecyclerMode};
 use crate::graph::{Derivation, MatchTree, NodeId, RecyclerGraph};
 
 /// Events a query generates while interacting with the recycler; the engine
@@ -88,7 +91,11 @@ pub enum RecyclerEvent {
     Invalidated {
         /// The evicted node.
         node: NodeId,
-        /// Size of the evicted result.
+        /// Which artifact kind was evicted (the walk covers results *and*
+        /// cached operator state — a hash build over a changed table is as
+        /// stale as a result over it).
+        kind: ArtifactKind,
+        /// Size of the evicted artifact.
         bytes: u64,
         /// The updated table that made it stale.
         table: String,
@@ -193,6 +200,12 @@ pub struct RecyclerStats {
     /// Publishes rejected because the producing query's snapshot was
     /// superseded before its store completed.
     pub stale_rejections: AtomicU64,
+    /// Warm hash-join build sides served from the cache.
+    pub hash_build_hits: AtomicU64,
+    /// Warm aggregation tables served from the cache.
+    pub agg_table_hits: AtomicU64,
+    /// Operator-state artifacts published and admitted to the cache.
+    pub state_publishes: AtomicU64,
     /// Total matching/insertion time.
     pub match_ns_total: AtomicU64,
     /// Nodes inserted into the recycler graph.
@@ -260,7 +273,9 @@ impl Recycler {
         let mut st = self.state.lock();
         let alpha = self.config.aging_alpha;
         for id in st.cache.flush() {
-            st.graph.on_evicted(id, alpha);
+            if id.kind == ArtifactKind::Result {
+                st.graph.on_evicted(id.node, alpha);
+            }
         }
     }
 
@@ -282,26 +297,34 @@ impl Recycler {
         let alpha = self.config.aging_alpha;
         let mut events = Vec::new();
         for id in st.graph.dependents_of_table(table) {
-            // An entry already computed at (or past) the committing epoch
-            // is fresh — a producer that pinned the new version published
-            // before this invalidate call caught up. Evicting it would
-            // throw away valid work.
-            if st.cache.get(id).is_some_and(|entry| {
-                entry
-                    .epochs
-                    .iter()
-                    .any(|(t, e)| t == table && *e >= new_epoch)
-            }) {
-                continue;
-            }
-            if let Some(entry) = st.cache.remove(id) {
-                st.graph.on_evicted(id, alpha);
-                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
-                events.push(RecyclerEvent::Invalidated {
-                    node: id,
-                    bytes: entry.size,
-                    table: table.to_string(),
-                });
+            // Every artifact kind of the dependent node is a candidate: a
+            // cached hash build or agg table over a changed base table is
+            // exactly as stale as a cached result over it.
+            for aid in st.cache.artifacts_of(id) {
+                // An entry already computed at (or past) the committing
+                // epoch is fresh — a producer that pinned the new version
+                // published before this invalidate call caught up. Evicting
+                // it would throw away valid work.
+                if st.cache.get_artifact(aid).is_some_and(|entry| {
+                    entry
+                        .epochs
+                        .iter()
+                        .any(|(t, e)| t == table && *e >= new_epoch)
+                }) {
+                    continue;
+                }
+                if let Some(entry) = st.cache.remove_artifact(aid) {
+                    if aid.kind == ArtifactKind::Result {
+                        st.graph.on_evicted(id, alpha);
+                    }
+                    self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                    events.push(RecyclerEvent::Invalidated {
+                        node: id,
+                        kind: aid.kind,
+                        bytes: entry.size,
+                        table: table.to_string(),
+                    });
+                }
             }
         }
         events
@@ -455,6 +478,14 @@ impl Recycler {
                 let Some(m) = metrics_at(metrics, path) else {
                     continue;
                 };
+                if m.metrics.calls() == 0 {
+                    // The operator never ran — its subtree was skipped by
+                    // a warm operator-state hit (cached hash build or agg
+                    // table). Annotating its zeroed counters would wipe
+                    // the cold-run cost statistics the artifact's benefit
+                    // is derived from.
+                    continue;
+                }
                 let Some(sub) = plan_at(&prepared.plan, path) else {
                     continue;
                 };
@@ -514,7 +545,17 @@ impl Recycler {
         let model = self.config.cost_model;
         let alpha = self.config.aging_alpha;
         let State { graph, cache, .. } = &mut *st;
-        cache.rebenefit(|id| graph.benefit(id, model, alpha));
+        cache.rebenefit(|id, entry| match id.kind {
+            // Results re-derive benefit from the graph (Eq. 1 over the
+            // node's measured statistics).
+            ArtifactKind::Result => graph.benefit(id.node, model, alpha),
+            // Operator state re-derives it from its own measured
+            // construction cost and the node's decayed heat: the saving of
+            // a warm hit is the build cost, amortized per byte held.
+            ArtifactKind::HashBuild | ArtifactKind::AggTable => {
+                entry.cost * graph.decayed_h(id.node, alpha) / entry.size.max(1) as f64
+            }
+        });
         drop(st);
         if notify {
             self.resolved_cond.notify_all();
@@ -538,6 +579,14 @@ impl Recycler {
             Some(id) => {
                 if st.cache.contains(id) {
                     CacheState::Cached
+                } else if let Some(kind) = st
+                    .cache
+                    .artifacts_of(id)
+                    .iter()
+                    .map(|a| a.kind)
+                    .find(|k| *k != ArtifactKind::Result)
+                {
+                    CacheState::CachedState(kind)
                 } else if st.in_flight.contains_key(&id) {
                     CacheState::InFlight
                 } else {
@@ -556,6 +605,13 @@ impl Recycler {
     /// can rebuild the cache by re-executing subplans instead of waiting
     /// for the workload to rediscover them ("Revisiting Reuse": the
     /// top-benefit entries are exactly the ones worth warming first).
+    ///
+    /// Only *result* artifacts are persisted: operator-state artifacts
+    /// (hash builds, agg tables) are deliberately skipped — recovery
+    /// re-executes lineage plans through the normal pipeline, and the
+    /// first post-restart join/aggregate rebuilds and republishes its
+    /// state at the recovered epochs anyway, so persisting it would buy
+    /// nothing and complicate the checkpoint format.
     pub fn lineage_top(&self, k: usize) -> Vec<LineageEntry> {
         let st = self.state.lock();
         let alpha = self.config.aging_alpha;
@@ -578,10 +634,13 @@ impl Recycler {
                 })
             })
             .collect();
+        // `total_cmp`, descending. Cached benefits are NaN-normalized at
+        // the cache boundary (NaN-lowest policy), but rank defensively
+        // anyway: a NaN smuggled in through checkpoint round-tripping must
+        // sort *last*, never panic or float to the top.
         out.sort_by(|a, b| {
-            b.benefit
-                .partial_cmp(&a.benefit)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            let key = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
+            key(b.benefit).total_cmp(&key(a.benefit))
         });
         out.truncate(k);
         out
@@ -633,7 +692,9 @@ impl Recycler {
         match st.cache.insert(id, result, entry.benefit, epochs) {
             Some(evicted) => {
                 for e in evicted {
-                    st.graph.on_evicted(e, alpha);
+                    if e.kind == ArtifactKind::Result {
+                        st.graph.on_evicted(e.node, alpha);
+                    }
                 }
                 if !st.graph.node(id).materialized {
                     st.graph.on_materialized(id, alpha);
@@ -676,6 +737,10 @@ pub struct LineageEntry {
 pub enum CacheState {
     /// A materialized result is in the cache; an execution would reuse it.
     Cached,
+    /// No cached result, but cached operator state of this kind (a hash
+    /// build or agg table) exists; a matching join/aggregate would skip
+    /// its build phase.
+    CachedState(ArtifactKind),
     /// A concurrent query is materializing this result right now; an
     /// execution would stall on it.
     InFlight,
@@ -690,6 +755,9 @@ impl CacheState {
     pub fn label(self) -> &'static str {
         match self {
             CacheState::Cached => "cached",
+            CacheState::CachedState(ArtifactKind::HashBuild) => "cached-build",
+            CacheState::CachedState(ArtifactKind::AggTable) => "cached-agg",
+            CacheState::CachedState(ArtifactKind::Result) => "cached",
             CacheState::InFlight => "in-flight",
             CacheState::Cold => "cold",
             CacheState::Unknown => "cold",
@@ -747,7 +815,7 @@ impl<'a> RewriteRun<'a> {
         // here even if invalidation hasn't caught up with it yet).
         if let Some(entry) = st.cache.get(id) {
             if self.entry_fresh(entry) {
-                let result = entry.result.clone();
+                let result = entry.result().clone();
                 let bytes = entry.size;
                 let schema = st.graph.node(id).schema.clone();
                 let tag = new_lease(st, result);
@@ -869,7 +937,7 @@ impl<'a> RewriteRun<'a> {
         if !self.entry_fresh(entry) {
             return None;
         }
-        let result = entry.result.clone();
+        let result = entry.result().clone();
         let schema = st.graph.node(edge.subsumer).schema.clone();
         let tag = new_lease(st, result);
         self.tags.push(tag);
@@ -1070,7 +1138,9 @@ impl ResultStore for Recycler {
         {
             Some(evicted) => {
                 for e in evicted {
-                    st.graph.on_evicted(e, alpha);
+                    if e.kind == ArtifactKind::Result {
+                        st.graph.on_evicted(e.node, alpha);
+                    }
                 }
                 // Guard against a concurrent duplicate publish (two fresh
                 // producers racing): Eq. 3's hR propagation must run once.
@@ -1113,6 +1183,112 @@ impl ResultStore for Recycler {
         }
         drop(st);
         self.resolved_cond.notify_all();
+    }
+
+    /// Serve a cached operator-state artifact (hash build / agg table) for
+    /// the exact subplan, keyed by the querying snapshot's epochs. A hit
+    /// counts as a reference on the node (the warm state saved this query
+    /// the node's build cost), keeping its heat honest.
+    fn fetch_state(
+        &self,
+        plan: &Plan,
+        kind: ArtifactKind,
+        variant: u64,
+        epochs: &[(String, u64)],
+    ) -> Option<OperatorState> {
+        let mut st = self.state.lock();
+        let id = st.graph.find_exact(plan)?;
+        let aid = ArtifactId {
+            node: id,
+            kind,
+            variant,
+        };
+        let entry = st.cache.get_artifact(aid)?;
+        // Freshness: the artifact was built under exactly the table
+        // versions this query's snapshot pins — in either direction, a
+        // mismatch disqualifies it (never probe a build across epochs).
+        let fresh = entry
+            .epochs
+            .iter()
+            .all(|(t, e)| epochs.iter().any(|(qt, qe)| qt == t && qe == e));
+        if !fresh {
+            return None;
+        }
+        let state = entry.artifact.as_state()?;
+        match kind {
+            ArtifactKind::HashBuild => bump!(self.stats, hash_build_hits),
+            ArtifactKind::AggTable => bump!(self.stats, agg_table_hits),
+            ArtifactKind::Result => 0,
+        };
+        st.graph.bump_h(id, self.config.aging_alpha);
+        Some(state)
+    }
+
+    /// Offer a freshly built operator-state artifact to the cache. Subject
+    /// to the same staleness gate as result publication and to the normal
+    /// admission/replacement policy — a hash build competes for bytes
+    /// against every other artifact on benefit alone.
+    fn publish_state(
+        &self,
+        plan: &Plan,
+        variant: u64,
+        state: OperatorState,
+        cost: StateCost,
+        epochs: &[(String, u64)],
+    ) {
+        let mut st = self.state.lock();
+        let Some(id) = st.graph.find_exact(plan) else {
+            // Subplan unknown to the graph (e.g. a recycler-off path):
+            // nothing to key the artifact by.
+            return;
+        };
+        let kind = state.kind();
+        let aid = ArtifactId {
+            node: id,
+            kind,
+            variant,
+        };
+        if st.cache.get_artifact(aid).is_some() {
+            return;
+        }
+        // Staleness gate (same as `publish`): state built from a
+        // superseded snapshot must not enter the cache.
+        let stale = epochs
+            .iter()
+            .any(|(t, e)| st.table_epochs.get(t).is_some_and(|cur| cur > e));
+        if stale {
+            self.stats.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let size = state.size_bytes() as u64;
+        if size > self.config.max_result_bytes() {
+            return;
+        }
+        let model_cost = match self.config.cost_model {
+            CostModel::Time => cost.cost_ns,
+            CostModel::WorkUnits => cost.cost_work,
+        };
+        // Benefit mirrors Eq. 1 with the artifact's own construction cost:
+        // a warm hit saves the build, not the whole subtree. First-seen
+        // nodes fall back to the speculation constant h.
+        let alpha = self.config.aging_alpha;
+        let h = st.graph.decayed_h(id, alpha).max(self.config.spec_h);
+        let benefit = model_cost * h / size.max(1) as f64;
+        let artifact = match state {
+            OperatorState::HashBuild(b) => CacheArtifact::HashBuild(b),
+            OperatorState::AggTable(r) => CacheArtifact::AggTable(r),
+        };
+        if let Some(evicted) =
+            st.cache
+                .insert_artifact(aid, artifact, benefit, model_cost, epochs.to_vec())
+        {
+            for e in evicted {
+                if e.kind == ArtifactKind::Result {
+                    st.graph.on_evicted(e.node, alpha);
+                }
+            }
+            bump!(self.stats, state_publishes);
+        }
     }
 
     fn speculate(&self, tag: u64, est: &SpeculationEstimate) -> StoreVerdict {

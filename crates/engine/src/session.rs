@@ -17,7 +17,7 @@
 //!   slot. Materialization is explicit via [`QueryHandle::collect_batch`] /
 //!   [`QueryHandle::into_outcome`].
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +108,12 @@ pub struct Session {
     /// Shared with this session's prepared statements, so changing it
     /// affects their subsequent executions too.
     parallelism: Arc<AtomicUsize>,
+    /// Cooperative cancellation flag, threaded into every execution's
+    /// [`ExecContext`]: operators observe it at batch/morsel boundaries
+    /// and end their streams early. Owned by whoever drives the session
+    /// (e.g. the server's connection loop, which also clears it); the
+    /// engine side only ever *loads* it.
+    cancel: Arc<AtomicBool>,
 }
 
 impl Session {
@@ -116,7 +122,26 @@ impl Session {
             engine,
             stats: Arc::new(SessionStats::default()),
             parallelism: Arc::new(AtomicUsize::new(0)),
+            cancel: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// The session's cancellation flag. Setting it makes in-flight
+    /// executions of this session wind down at their next batch/morsel
+    /// boundary (truncating their streams) and suppresses any cache
+    /// publication from those runs. The caller owns clearing it before
+    /// the next statement.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Replace the session's cancellation flag with an externally owned
+    /// one, so that e.g. a wire-protocol frontend can register a single
+    /// flag in its cancel-request registry and have it observed by the
+    /// executor. Must be called before any statement is prepared: prepared
+    /// statements capture the flag at prepare time.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = flag;
     }
 
     /// The engine this session talks to.
@@ -201,6 +226,7 @@ impl Session {
             engine: Arc::clone(&self.engine),
             stats: Arc::clone(&self.stats),
             parallelism: Arc::clone(&self.parallelism),
+            cancel: Arc::clone(&self.cancel),
             template,
             fingerprint,
             param_names,
@@ -399,6 +425,9 @@ pub struct Prepared {
     /// The owning session's DOP override (0 = engine default), read at
     /// each execute.
     parallelism: Arc<AtomicUsize>,
+    /// The owning session's cancellation flag (see
+    /// [`Session::cancel_flag`]).
+    cancel: Arc<AtomicBool>,
     template: Plan,
     fingerprint: u64,
     param_names: Vec<String>,
@@ -566,7 +595,9 @@ impl Prepared {
             self.stats.parallel.fetch_add(1, Ordering::Relaxed);
         }
         let with_parallelism = |mut ctx: ExecContext| {
-            ctx = ctx.with_parallelism(dop);
+            ctx = ctx
+                .with_parallelism(dop)
+                .with_cancel(Some(self.cancel.clone()));
             match &engine.pool {
                 Some(pool) => ctx.with_pool(pool.clone()),
                 None => ctx,
@@ -636,6 +667,7 @@ impl Prepared {
             finished_at: started_at,
             rows: 0,
             stats: Arc::clone(&self.stats),
+            cancel: Arc::clone(&self.cancel),
             completed: false,
         })
     }
@@ -659,6 +691,9 @@ pub struct QueryHandle {
     finished_at: Duration,
     rows: u64,
     stats: Arc<SessionStats>,
+    /// The session's cancel flag: a stream that ends while it is set was
+    /// truncated, not drained, and must finalize as an abort.
+    cancel: Arc<AtomicBool>,
     completed: bool,
 }
 
@@ -810,7 +845,12 @@ impl Iterator for QueryHandle {
                 Some(b)
             }
             None => {
-                self.finalize(true);
+                // A cancelled stream ended early: its metrics describe a
+                // truncated run, so finalize as an abort (no graph
+                // annotation, store targets abandoned) rather than a
+                // completion.
+                let drained = !self.cancel.load(Ordering::Acquire);
+                self.finalize(drained);
                 None
             }
         }

@@ -7,19 +7,26 @@
 //! and parallel builds of the same plan produce byte-identical output
 //! streams (see [`crate::parallel`]).
 
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rdb_expr::Expr;
 use rdb_plan::{Plan, PlanError, StoreMode};
 use rdb_vector::{DataType, Schema};
 
 use crate::agg::HashAggExec;
 use crate::context::ExecContext;
 use crate::filter::{FilterExec, ProjectExec};
-use crate::join::HashJoinExec;
+use crate::join::{BuildPublish, BuildSide, HashJoinExec, SharedBuild};
 use crate::metrics::{MetricsNode, OpMetrics};
 use crate::op::Operator;
-use crate::parallel::{build_source, GatherExec, ParallelAggExec, ParallelTopNExec};
+use crate::parallel::{build_source, BuildChild, GatherExec, ParallelAggExec, ParallelTopNExec};
 use crate::scan::{FnScanExec, ScanExec};
 use crate::sort::{LimitExec, SortExec, TopNExec, UnionAllExec};
-use crate::store::{CachedExec, StoreExec};
+use crate::store::{
+    ArtifactKind, CachedExec, MaterializedResult, OperatorState, StateCost, StateReplayExec,
+    StateTee, StoreExec, TeePublish,
+};
 
 /// A built executor: the root operator, the per-node metrics tree (parallel
 /// to the plan), and the output schema.
@@ -52,6 +59,81 @@ pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
 
 fn types_of(schema: &Schema) -> Vec<DataType> {
     schema.fields().iter().map(|f| f.dtype).collect()
+}
+
+/// Deterministic discriminator for a hash-build artifact: two joins may
+/// share a build subplan but index it on different key expressions, so the
+/// keys are part of the artifact identity.
+fn state_variant(keys: &[Expr]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{keys:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Construct the shared build side for a hash join, going through the
+/// recycler's operator-state cache when one is attached: a warm build is
+/// adopted as-is (the right subtree never executes) and a cold build is
+/// offered back to the cache once the first prober materializes it. Used
+/// by both the serial join arm and parallel probe stages, so the same
+/// artifact serves any DOP.
+pub(crate) fn join_build(
+    right: &Plan,
+    right_keys: &[Expr],
+    right_types: &[DataType],
+    m: &Arc<OpMetrics>,
+    ctx: &ExecContext,
+    build_child: &mut BuildChild<'_>,
+) -> Result<(Arc<SharedBuild>, MetricsNode), PlanError> {
+    let variant = state_variant(right_keys);
+    let recycling = ctx.state_recycling(right);
+    if let Some((store, epochs)) = &recycling {
+        if let Some(OperatorState::HashBuild(b)) =
+            store.fetch_state(right, ArtifactKind::HashBuild, variant, epochs)
+        {
+            // Warm build: the subtree's metrics placeholder stays
+            // zero-call, so the recycler's annotation pass leaves the
+            // cold-run cost statistics untouched.
+            return Ok((
+                SharedBuild::ready(b),
+                MetricsNode::leaf(OpMetrics::shared()),
+            ));
+        }
+    }
+    let (right_op, right_metrics) = build_child(right)?;
+    let publish = recycling.map(|(store, epochs)| {
+        let plan = right.clone();
+        let cancel = ctx.cancel.clone();
+        let rm = right_metrics.clone();
+        Box::new(move |built: &Arc<BuildSide>, cost: StateCost| {
+            if cancel.as_ref().is_some_and(|c| c.load(Ordering::Acquire)) {
+                return; // cancelled mid-build: the index may be truncated
+            }
+            // Reconstruction work = draining the build subtree plus
+            // indexing its rows (the deterministic analog of cost_ns).
+            let cost = StateCost {
+                cost_work: rm.inclusive_work() as f64 + cost.rows as f64,
+                ..cost
+            };
+            store.publish_state(
+                &plan,
+                variant,
+                OperatorState::HashBuild(built.clone()),
+                cost,
+                &epochs,
+            );
+        }) as BuildPublish
+    });
+    Ok((
+        SharedBuild::new(
+            right_op,
+            right_keys.to_vec(),
+            right_types.to_vec(),
+            m.clone(),
+            publish,
+        ),
+        right_metrics,
+    ))
 }
 
 /// Build `plan` as an order-preserving parallel pipeline if it is a
@@ -88,7 +170,7 @@ fn build_node(
                 })
                 .collect::<Result<_, _>>()?;
             (
-                Box::new(ScanExec::new(t, projection, m.clone())),
+                Box::new(ScanExec::new(t, projection, m.clone()).with_cancel(ctx.cancel.clone())),
                 MetricsNode::leaf(m),
             )
         }
@@ -137,6 +219,22 @@ fn build_node(
         } => {
             let input_types = types_of(&child.schema(&ctx.catalog)?);
             let output_types = types_of(&plan.schema(&ctx.catalog)?);
+            let recycling = ctx.state_recycling(plan);
+            if let Some((store, epochs)) = &recycling {
+                if let Some(OperatorState::AggTable(r)) =
+                    store.fetch_state(plan, ArtifactKind::AggTable, 0, epochs)
+                {
+                    // Warm aggregation table: replay its sorted group rows
+                    // without executing the input subtree. The replay is
+                    // metrics-detached — this node and the skipped subtree
+                    // stay zero-call, so cold-run cost stats survive the
+                    // recycler's annotation pass.
+                    return Ok((
+                        Box::new(StateReplayExec::new(&r)),
+                        MetricsNode::new(m, vec![MetricsNode::leaf(OpMetrics::shared())]),
+                    ));
+                }
+            }
             // Partitioned parallel aggregation — but only when every
             // accumulator merges exactly (see `exact_accumulation`):
             // per-worker partial tables merged (and key-sorted) at this
@@ -146,36 +244,62 @@ fn build_node(
             // still parallelizes), because partitioned float addition
             // would drift in the low-order bits and break byte-identical
             // cache replay across DOPs.
+            let mut built: Option<(Box<dyn Operator>, MetricsNode)> = None;
             if crate::agg::exact_accumulation(aggs, &input_types) {
                 if let Some(source) =
                     build_source(child, ctx, ctx.parallelism, &mut |p| build_node(p, ctx))?
                 {
                     let cm = source.metrics.clone();
-                    return Ok((
+                    built = Some((
                         Box::new(ParallelAggExec::new(
                             source,
+                            group_by.clone(),
+                            aggs.clone(),
+                            input_types.clone(),
+                            output_types.clone(),
+                            m.clone(),
+                        )),
+                        MetricsNode::new(m.clone(), vec![cm]),
+                    ));
+                }
+            }
+            let (agg_op, node) = match built {
+                Some(b) => b,
+                None => {
+                    let (c, cm) = build_gathered(child, ctx)?;
+                    (
+                        Box::new(HashAggExec::new(
+                            c,
                             group_by.clone(),
                             aggs.clone(),
                             input_types,
                             output_types,
                             m.clone(),
-                        )),
-                        MetricsNode::new(m, vec![cm]),
-                    ));
+                        )) as Box<dyn Operator>,
+                        MetricsNode::new(m.clone(), vec![cm]),
+                    )
                 }
+            };
+            if let Some((store, epochs)) = recycling {
+                // Tee the aggregate's output (its sorted group rows are a
+                // lossless encoding of the table) and offer it to the
+                // operator-state cache at end-of-stream.
+                let schema = plan.schema(&ctx.catalog)?;
+                let plan_key = plan.clone();
+                let nm = node.clone();
+                let publish = Box::new(move |r: Arc<MaterializedResult>, cost: StateCost| {
+                    let cost = StateCost {
+                        cost_work: nm.inclusive_work() as f64,
+                        ..cost
+                    };
+                    store.publish_state(&plan_key, 0, OperatorState::AggTable(r), cost, &epochs);
+                }) as TeePublish;
+                return Ok((
+                    Box::new(StateTee::new(agg_op, schema, publish, ctx.cancel.clone())),
+                    node,
+                ));
             }
-            let (c, cm) = build_gathered(child, ctx)?;
-            (
-                Box::new(HashAggExec::new(
-                    c,
-                    group_by.clone(),
-                    aggs.clone(),
-                    input_types,
-                    output_types,
-                    m.clone(),
-                )),
-                MetricsNode::new(m, vec![cm]),
-            )
+            (agg_op, node)
         }
         Plan::Join {
             left,
@@ -186,6 +310,24 @@ fn build_node(
         } => {
             let right_types = types_of(&right.schema(&ctx.catalog)?);
             let (l, lm) = build_node(left, ctx)?;
+            if ctx.state_recycling(right).is_some() {
+                // Route the build side through the operator-state cache;
+                // probing a shared build is identical to owning one.
+                let (build, rm) = join_build(right, right_keys, &right_types, &m, ctx, &mut |p| {
+                    build_node(p, ctx)
+                })?;
+                return Ok((
+                    Box::new(HashJoinExec::with_shared_build(
+                        l,
+                        build,
+                        *kind,
+                        left_keys.clone(),
+                        right_types,
+                        m.clone(),
+                    )),
+                    MetricsNode::new(m, vec![lm, rm]),
+                ));
+            }
             let (r, rm) = build_node(right, ctx)?;
             (
                 Box::new(HashJoinExec::new(
@@ -276,14 +418,17 @@ fn build_node(
             // pipeline below it publishes byte-identically to serial.
             let (c, cm) = build_gathered(child, ctx)?;
             (
-                Box::new(StoreExec::new(
-                    c,
-                    *tag,
-                    child_schema,
-                    store,
-                    *mode == StoreMode::Speculate,
-                    m.clone(),
-                )),
+                Box::new(
+                    StoreExec::new(
+                        c,
+                        *tag,
+                        child_schema,
+                        store,
+                        *mode == StoreMode::Speculate,
+                        m.clone(),
+                    )
+                    .with_cancel(ctx.cancel.clone()),
+                ),
                 MetricsNode::new(m, vec![cm]),
             )
         }

@@ -1,8 +1,10 @@
 //! Execution context: catalog, table functions, and the result store hook.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use rdb_plan::Plan;
 use rdb_storage::{Catalog, CatalogSnapshot, Table};
 use rdb_vector::{Batch, Schema, Value};
 
@@ -82,6 +84,12 @@ pub struct ExecContext {
     /// Worker pool parallel pipelines run on; without one they fall back
     /// to plain spawned threads.
     pub pool: Option<Arc<WorkerPool>>,
+    /// Cooperative cancellation flag. Operators with long-running phases
+    /// (scans, morsel dispensers, build drains) *load* it at batch/morsel
+    /// boundaries and end their stream early when set — they never clear
+    /// it, so the connection layer's own check-and-clear still observes
+    /// the cancel and reports `57014` to the client.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl ExecContext {
@@ -94,6 +102,7 @@ impl ExecContext {
             store: None,
             parallelism: 1,
             pool: None,
+            cancel: None,
         }
     }
 
@@ -127,6 +136,19 @@ impl ExecContext {
         self
     }
 
+    /// Attach a cancellation flag (see the field docs for the contract).
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Whether the query has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
+    }
+
     /// Resolve the table version scans must read: the pinned snapshot's if
     /// one is set, the catalog's current version otherwise.
     pub fn table(&self, name: &str) -> Option<Arc<Table>> {
@@ -135,7 +157,37 @@ impl ExecContext {
             None => self.catalog.get(name),
         }
     }
+
+    /// The `(table, epoch)` vector this execution's snapshot pins for the
+    /// base tables of `plan` — the validity key for operator-state
+    /// artifacts. `None` without a pinned snapshot: state recycling needs
+    /// a consistent epoch vector to key and gate artifacts by, so
+    /// snapshot-less executions (tests, ad-hoc builds) skip it entirely.
+    pub fn state_epochs(&self, plan: &Plan) -> Option<Vec<(String, u64)>> {
+        let snap = self.snapshot.as_ref()?;
+        Some(
+            plan.base_tables()
+                .into_iter()
+                .map(|t| {
+                    let e = snap.epoch_of(&t).unwrap_or(0);
+                    (t, e)
+                })
+                .collect(),
+        )
+    }
+
+    /// Store + epoch vector when operator-state recycling is on for this
+    /// execution (a result store is attached *and* a snapshot is pinned).
+    pub fn state_recycling(&self, plan: &Plan) -> Option<StateRecycling> {
+        let store = self.store.clone()?;
+        let epochs = self.state_epochs(plan)?;
+        Some((store, epochs))
+    }
 }
+
+/// The pair operator-state fetch/publish paths work against: the result
+/// store and the `(table, epoch)` vector keying artifact validity.
+pub type StateRecycling = (Arc<dyn ResultStore>, Vec<(String, u64)>);
 
 #[cfg(test)]
 mod tests {

@@ -27,12 +27,34 @@ pub use rdb_plan::JoinKind;
 /// input plus its key index. Under morsel-driven parallel execution one
 /// build side is shared by every probe worker of the query (see
 /// [`SharedBuild`]), which is also what keeps a `store` tee under the build
-/// subtree publishing exactly once.
-pub(crate) struct BuildSide {
+/// subtree publishing exactly once. A build side is also a first-class
+/// recycler artifact: published keyed by its build subplan, a later query
+/// joining against the same subplan probes it without rebuilding.
+#[derive(Debug)]
+pub struct BuildSide {
     /// Concatenated build input.
     batch: Batch,
     /// Key bytes → row indices in `batch`.
     index: FxHashMap<Vec<u8>, Vec<u32>>,
+}
+
+impl BuildSide {
+    /// Build-side row count.
+    pub fn rows(&self) -> usize {
+        self.batch.rows()
+    }
+
+    /// Memory footprint in bytes: the batch plus an estimate of the hash
+    /// index (key bytes, row-id lists, per-entry bookkeeping). This is
+    /// what the recycler cache accounts for a cached build side.
+    pub fn size_bytes(&self) -> usize {
+        let index_bytes: usize = self
+            .index
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<u32>() + 48)
+            .sum();
+        self.batch.size_bytes() + index_bytes
+    }
 }
 
 /// Drain `right` and index it on `right_keys` (`right_types` shape a
@@ -86,12 +108,18 @@ pub struct SharedBuild {
     state: parking_lot::Mutex<SharedBuildState>,
 }
 
+/// Called once, right after a pending build side is first constructed,
+/// with the build and its measured construction cost — the recycler's
+/// publish hook. Never called for warm ([`SharedBuild::ready`]) builds.
+pub type BuildPublish = Box<dyn FnOnce(&Arc<BuildSide>, crate::store::StateCost) + Send>;
+
 enum SharedBuildState {
     Pending {
         right: Box<dyn Operator>,
         right_keys: Vec<Expr>,
         right_types: Vec<DataType>,
         metrics: Arc<OpMetrics>,
+        publish: Option<BuildPublish>,
     },
     Ready(Arc<BuildSide>),
     /// The building worker panicked mid-drain. The mutex does not poison,
@@ -102,12 +130,14 @@ enum SharedBuildState {
 }
 
 impl SharedBuild {
-    /// Wrap a build operator for on-demand, build-once sharing.
+    /// Wrap a build operator for on-demand, build-once sharing. `publish`
+    /// (if any) fires once when the build side is first constructed.
     pub fn new(
         right: Box<dyn Operator>,
         right_keys: Vec<Expr>,
         right_types: Vec<DataType>,
         metrics: Arc<OpMetrics>,
+        publish: Option<BuildPublish>,
     ) -> Arc<SharedBuild> {
         Arc::new(SharedBuild {
             state: parking_lot::Mutex::new(SharedBuildState::Pending {
@@ -115,7 +145,17 @@ impl SharedBuild {
                 right_keys,
                 right_types,
                 metrics,
+                publish,
             }),
+        })
+    }
+
+    /// A build side already in hand (a recycler warm hit): every worker
+    /// shares it immediately; the build operator is never constructed,
+    /// never drained, and nothing is re-published.
+    pub fn ready(built: Arc<BuildSide>) -> Arc<SharedBuild> {
+        Arc::new(SharedBuild {
+            state: parking_lot::Mutex::new(SharedBuildState::Ready(built)),
         })
     }
 
@@ -135,13 +175,26 @@ impl SharedBuild {
                 right_keys,
                 right_types,
                 metrics,
+                publish,
             } => {
+                let start = std::time::Instant::now();
                 let built = Arc::new(build_side(
                     right.as_mut(),
                     &right_keys,
                     &right_types,
                     &metrics,
                 ));
+                if let Some(publish) = publish {
+                    let rows = built.rows() as u64;
+                    publish(
+                        &built,
+                        crate::store::StateCost {
+                            cost_ns: start.elapsed().as_nanos() as f64,
+                            cost_work: rows as f64,
+                            rows,
+                        },
+                    );
+                }
                 *st = SharedBuildState::Ready(built.clone());
                 built
             }

@@ -42,11 +42,13 @@ pub mod stream;
 
 pub use build::{build, ExecTree};
 pub use context::{ExecContext, FnRegistry, TableFunction};
+pub use join::{BuildPublish, BuildSide, SharedBuild};
 pub use metrics::{MetricsNode, OpMetrics};
 pub use op::{collect_all, run_to_batch, Operator};
 pub use parallel::{GatherExec, MorselDispenser, ParallelAggExec, ParallelTopNExec};
 pub use pool::WorkerPool;
 pub use store::{
-    CachedExec, MaterializedResult, ResultStore, SpeculationEstimate, StoreExec, StoreVerdict,
+    ArtifactKind, CachedExec, MaterializedResult, OperatorState, ResultStore, SpeculationEstimate,
+    StateCost, StoreExec, StoreVerdict,
 };
 pub use stream::ExecStream;

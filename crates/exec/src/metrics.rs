@@ -87,6 +87,13 @@ impl OpMetrics {
         self.bytes_out.load(Ordering::Relaxed)
     }
 
+    /// `next_batch` calls so far. Zero means the operator never ran —
+    /// e.g. its subtree was skipped by a warm operator-state hit — which
+    /// the recycler uses to keep zeroed metrics out of its cost stats.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
     /// Exclusive work units of this operator alone.
     pub fn own_work(&self) -> u64 {
         self.rows_out.load(Ordering::Relaxed) + self.extra_work.load(Ordering::Relaxed)

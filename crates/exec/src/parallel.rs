@@ -40,7 +40,7 @@
 //! survives ([`crate::pool`]).
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
 
@@ -68,6 +68,7 @@ pub struct MorselDispenser {
     next: AtomicUsize,
     total: usize,
     metrics: Arc<OpMetrics>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl MorselDispenser {
@@ -80,7 +81,24 @@ impl MorselDispenser {
             next: AtomicUsize::new(0),
             total,
             metrics,
+            cancel: None,
         }
+    }
+
+    /// Observe a cancellation flag: a set flag stops morsel hand-out, so
+    /// every worker winds down at its next morsel boundary — the parallel
+    /// analog of the serial scan's batch-boundary cancel check. The flag
+    /// is only loaded, never cleared.
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Whether the query driving this dispenser has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
     }
 
     /// Total number of morsels.
@@ -88,8 +106,12 @@ impl MorselDispenser {
         self.total
     }
 
-    /// Claim the next morsel, or `None` when the scan is exhausted.
+    /// Claim the next morsel, or `None` when the scan is exhausted (or the
+    /// query was cancelled).
     pub fn next_morsel(&self) -> Option<(u64, Batch)> {
+        if self.cancelled() {
+            return None;
+        }
         let idx = self.next.fetch_add(1, Ordering::Relaxed);
         if idx >= self.total {
             return None;
@@ -262,9 +284,17 @@ pub fn build_source(
                     .iter()
                     .map(|f| f.dtype)
                     .collect();
-                let (right_op, right_metrics) = build_child(right)?;
-                let build =
-                    SharedBuild::new(right_op, right_keys.clone(), right_types.clone(), m.clone());
+                // Warm-fetch / cold-publish through the operator-state
+                // cache, exactly like the serial join arm — same artifact
+                // at any DOP.
+                let (build, right_metrics) = crate::build::join_build(
+                    right,
+                    right_keys,
+                    &right_types,
+                    &m,
+                    ctx,
+                    build_child,
+                )?;
                 scan_node = MetricsNode::new(m.clone(), vec![scan_node, right_metrics]);
                 built_stages.push(Stage::Probe {
                     build,
@@ -278,7 +308,9 @@ pub fn build_source(
         }
     }
 
-    let dispenser = Arc::new(MorselDispenser::new(table, projection, scan_metrics));
+    let dispenser = Arc::new(
+        MorselDispenser::new(table, projection, scan_metrics).with_cancel(ctx.cancel.clone()),
+    );
     let segments = (0..dop)
         .map(|_| {
             let slot = Arc::new(Mutex::new(None));
@@ -423,10 +455,20 @@ impl Operator for GatherExec {
                         Ok((idx, outs)) => {
                             run.pending.insert(idx, outs);
                         }
-                        Err(_) => panic!(
-                            "parallel pipeline worker failed before morsel {} of {}",
-                            run.next, run.total
-                        ),
+                        Err(_) => {
+                            if self.dispenser.cancelled() {
+                                // Cancel stopped morsel hand-out: workers
+                                // wound down and the missing indices will
+                                // never arrive. End the stream; the
+                                // connection layer reports the cancel.
+                                self.state = GatherState::Done;
+                                return None;
+                            }
+                            panic!(
+                                "parallel pipeline worker failed before morsel {} of {}",
+                                run.next, run.total
+                            )
+                        }
                     }
                 }
                 GatherState::Done => return None,

@@ -1,5 +1,6 @@
 //! Leaf operators: table scan and table-function scan.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use rdb_storage::Table;
@@ -16,6 +17,7 @@ pub struct ScanExec {
     projection: Vec<usize>,
     offset: usize,
     metrics: Arc<OpMetrics>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl ScanExec {
@@ -26,7 +28,17 @@ impl ScanExec {
             projection,
             offset: 0,
             metrics,
+            cancel: None,
         }
+    }
+
+    /// Observe a cancellation flag: a set flag ends the scan at the next
+    /// batch boundary, which bounds cancel latency even when every batch
+    /// feeds a long operator chain above. The flag is only loaded, never
+    /// cleared (the connection layer owns the clear).
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -36,6 +48,13 @@ impl Operator for ScanExec {
         timed_next(&metrics, || {
             if self.offset >= self.table.rows() {
                 return None;
+            }
+            if self
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::Acquire))
+            {
+                return None; // cancelled: end the stream early
             }
             let len = BATCH_CAPACITY.min(self.table.rows() - self.offset);
             let batch = self.table.scan_batch(&self.projection, self.offset, len);

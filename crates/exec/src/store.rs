@@ -22,11 +22,14 @@
 //! replay re-chunks the cached result with O(1) column slices, so a cache
 //! hit costs O(#batches) rather than O(result bytes).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use rdb_plan::Plan;
 use rdb_vector::{Batch, Schema};
 
+use crate::join::BuildSide;
 use crate::metrics::OpMetrics;
 use crate::op::{timed_next, Operator};
 
@@ -97,6 +100,75 @@ pub enum StoreVerdict {
     Cancel,
 }
 
+/// Which kind of reusable artifact a cache entry holds. Results are the
+/// paper's materialized result sets; hash builds and aggregation tables
+/// are *operator state* (HashStash-style reuse): the internal structure a
+/// pipeline breaker would otherwise rebuild from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// A materialized result set (streamable batches).
+    Result,
+    /// A hash-join build side (concatenated build batches + key index).
+    HashBuild,
+    /// A hash-aggregation table, stored as its sorted group rows — the
+    /// operator's exact output sequence, so replaying it is lossless.
+    AggTable,
+}
+
+impl ArtifactKind {
+    /// Short label for stats/explain output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArtifactKind::Result => "result",
+            ArtifactKind::HashBuild => "hash-build",
+            ArtifactKind::AggTable => "agg-table",
+        }
+    }
+}
+
+/// A reusable piece of operator state, published to and fetched from the
+/// recycler keyed by the *subplan that produced it* (not the enclosing
+/// query), so any join probing the same build subplan — or any
+/// aggregation over the same input — can reuse it.
+#[derive(Debug, Clone)]
+pub enum OperatorState {
+    /// A ready hash-join build side.
+    HashBuild(Arc<BuildSide>),
+    /// An aggregation table in sorted-group-row form.
+    AggTable(Arc<MaterializedResult>),
+}
+
+impl OperatorState {
+    /// Which artifact kind this state is.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            OperatorState::HashBuild(_) => ArtifactKind::HashBuild,
+            OperatorState::AggTable(_) => ArtifactKind::AggTable,
+        }
+    }
+
+    /// Memory footprint in bytes (what the cache accounts).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            OperatorState::HashBuild(b) => b.size_bytes(),
+            OperatorState::AggTable(r) => r.size_bytes,
+        }
+    }
+}
+
+/// Measured cost of constructing a piece of operator state, reported at
+/// publish time so the recycler can rank the artifact against competing
+/// cache entries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StateCost {
+    /// Wall-clock construction time in nanoseconds.
+    pub cost_ns: f64,
+    /// Deterministic work units (rows processed).
+    pub cost_work: f64,
+    /// Rows held by the state.
+    pub rows: u64,
+}
+
 /// The executor-facing interface of the recycler cache. Implemented by
 /// `rdb-recycler`; a trivial implementation can be used for tests.
 pub trait ResultStore: Send + Sync {
@@ -113,6 +185,35 @@ pub trait ResultStore: Send + Sync {
 
     /// Speculation decision callback (paper §III-D).
     fn speculate(&self, tag: u64, est: &SpeculationEstimate) -> StoreVerdict;
+
+    /// Fetch cached operator state for `plan` (the producing subplan) if
+    /// an entry of `kind`/`variant` exists whose recorded epochs equal
+    /// `epochs` (the querying snapshot's versions of the subplan's base
+    /// tables). Default: no operator-state cache.
+    fn fetch_state(
+        &self,
+        plan: &Plan,
+        kind: ArtifactKind,
+        variant: u64,
+        epochs: &[(String, u64)],
+    ) -> Option<OperatorState> {
+        let _ = (plan, kind, variant, epochs);
+        None
+    }
+
+    /// Offer freshly built operator state for `plan` to the cache.
+    /// `epochs` are the base-table versions the state was built from;
+    /// admission/replacement is the implementation's call. Default: drop.
+    fn publish_state(
+        &self,
+        plan: &Plan,
+        variant: u64,
+        state: OperatorState,
+        cost: StateCost,
+        epochs: &[(String, u64)],
+    ) {
+        let _ = (plan, variant, state, cost, epochs);
+    }
 }
 
 /// Execution-side behaviour of a store operator.
@@ -139,6 +240,9 @@ pub struct StoreExec {
     buffered_rows: u64,
     buffered_bytes: usize,
     started: Option<Instant>,
+    /// Query cancel flag: a cancelled query's stream may end early, so the
+    /// buffer would be a *truncated* result — abandon instead of publish.
+    cancel: Option<Arc<AtomicBool>>,
     metrics: Arc<OpMetrics>,
 }
 
@@ -169,8 +273,21 @@ impl StoreExec {
             buffered_rows: 0,
             buffered_bytes: 0,
             started: None,
+            cancel: None,
             metrics,
         }
+    }
+
+    /// Attach the query's cancel flag (see the `cancel` field).
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
     }
 
     fn estimate(&self) -> SpeculationEstimate {
@@ -236,7 +353,13 @@ impl Operator for StoreExec {
                             // still-undecided speculation at completion has
                             // exact numbers; let the recycler decide once
                             // more with progress 1, then publish on commit.
-                            let publish = if self.phase == Phase::Committed {
+                            let publish = if self.cancelled() {
+                                // The child stream may have been cut short
+                                // by the cancel; the buffer cannot be
+                                // trusted to be complete.
+                                self.store.abandon(self.tag);
+                                false
+                            } else if self.phase == Phase::Committed {
                                 true
                             } else {
                                 let mut est = self.estimate();
@@ -272,6 +395,132 @@ impl Operator for StoreExec {
 
     fn progress(&self) -> f64 {
         self.child.progress()
+    }
+}
+
+/// Publish hook for a [`StateTee`]: receives the buffered result and the
+/// measured construction cost once the stream completes cleanly.
+pub type TeePublish = Box<dyn FnOnce(Arc<MaterializedResult>, StateCost) + Send>;
+
+/// Tees an operator's output into a buffered [`MaterializedResult`] and
+/// hands it to a publish hook at end-of-stream — the operator-state
+/// analogue of [`StoreExec`], used to capture aggregation tables for the
+/// recycler. Buffering is zero-copy (shared batch clones); the hook only
+/// fires when the stream ends *uncancelled*, so a truncated aggregate is
+/// never published. The tee carries no metrics of its own: the wrapped
+/// operator's numbers stay untouched.
+pub struct StateTee {
+    child: Box<dyn Operator>,
+    schema: Schema,
+    buffer: Vec<Batch>,
+    started: Option<Instant>,
+    publish: Option<TeePublish>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl StateTee {
+    /// Wrap `child`, publishing its buffered output through `publish`.
+    pub fn new(
+        child: Box<dyn Operator>,
+        schema: Schema,
+        publish: TeePublish,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Self {
+        StateTee {
+            child,
+            schema,
+            buffer: Vec::new(),
+            started: None,
+            publish: Some(publish),
+            cancel,
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
+    }
+}
+
+impl Operator for StateTee {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        match self.child.next_batch() {
+            Some(batch) => {
+                if self.publish.is_some() {
+                    self.buffer.push(batch.clone());
+                }
+                Some(batch)
+            }
+            None => {
+                if let Some(publish) = self.publish.take() {
+                    if self.cancelled() {
+                        // Stream may have been cut short: buffer untrusted.
+                        self.buffer.clear();
+                    } else {
+                        let result = Arc::new(MaterializedResult::from_batches(
+                            self.schema.clone(),
+                            &std::mem::take(&mut self.buffer),
+                        ));
+                        let cost = StateCost {
+                            cost_ns: self
+                                .started
+                                .map(|t| t.elapsed().as_nanos() as f64)
+                                .unwrap_or(0.0),
+                            cost_work: 0.0, // hook refines from subtree metrics
+                            rows: result.rows() as u64,
+                        };
+                        publish(result, cost);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        self.child.progress()
+    }
+}
+
+/// Replays an already-fetched operator-state result (e.g. a warm
+/// aggregation table) as a batch stream. Unlike [`CachedExec`] there is no
+/// store lease: the artifact was resolved during plan building.
+pub struct StateReplayExec {
+    batches: Vec<Batch>,
+    next: usize,
+}
+
+impl StateReplayExec {
+    /// Stream out `result`'s batches.
+    pub fn new(result: &MaterializedResult) -> Self {
+        StateReplayExec {
+            batches: result.batches(),
+            next: 0,
+        }
+    }
+}
+
+impl Operator for StateReplayExec {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.next < self.batches.len() {
+            let b = self.batches[self.next].clone();
+            self.next += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn progress(&self) -> f64 {
+        if self.batches.is_empty() {
+            1.0
+        } else {
+            self.next as f64 / self.batches.len() as f64
+        }
     }
 }
 

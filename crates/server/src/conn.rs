@@ -25,7 +25,7 @@ use std::sync::Arc;
 use rdb_engine::{Engine, Prepared, QueryHandle, Session, SqlOutcome, WriteKind, WriteOutcome};
 use rdb_expr::Params;
 use rdb_plan::PlanErrorKind;
-use rdb_sql::{BoundStatement, CatalogWithFunctions, Span, SqlError, SqlErrorKind};
+use rdb_sql::{BindErrorKind, BoundStatement, CatalogWithFunctions, Span, SqlError, SqlErrorKind};
 
 use crate::protocol::{self as pg, Frontend, MAX_FRAME};
 use crate::stats::ServerShared;
@@ -262,7 +262,13 @@ impl Conn {
                 }
                 // Trust auth: the user/database startup parameters are
                 // accepted as-is.
-                self.session = Some(self.engine.session());
+                let mut session = self.engine.session();
+                // One flag, two observers: the connection's statement loop
+                // checks-and-clears it between batches, and the executor's
+                // operators (which only ever *load* it) wind down stuck
+                // scans/morsels at their own boundaries.
+                session.set_cancel_flag(Arc::clone(&self.cancel));
+                self.session = Some(session);
                 self.started = true;
                 pg::authentication_ok(&mut self.outbuf);
                 pg::parameter_status(&mut self.outbuf, "server_version", "14.0 (rdb)");
@@ -410,6 +416,19 @@ impl Conn {
             if self.outbuf.len() >= FLUSH_THRESHOLD && !self.flush() {
                 return false;
             }
+        }
+        // The executor observes the same flag at batch/morsel boundaries
+        // and may have ended the stream early itself; a truncated result
+        // must not masquerade as a completed SELECT.
+        if self.cancel.swap(false, Ordering::AcqRel) {
+            pg::error_response(
+                &mut self.outbuf,
+                "57014",
+                "canceling statement due to user request",
+                None,
+                None,
+            );
+            return false;
         }
         pg::command_complete(&mut self.outbuf, &format!("SELECT {rows}"));
         true
@@ -727,15 +746,20 @@ fn write_tag(w: &WriteOutcome) -> String {
     }
 }
 
-/// SQLSTATE for an error from the SQL frontend or the engine. Bind-phase
-/// errors are unstructured (a message over a span), so name-resolution
-/// failures are classified by their message prefix.
+/// SQLSTATE for an error from the SQL frontend or the engine. Every arm
+/// dispatches on structured kinds ([`BindErrorKind`], [`PlanErrorKind`]) —
+/// never on message text, which is free to change without moving the
+/// SQLSTATE.
 fn sqlstate(e: &SqlError) -> &'static str {
     match &e.kind {
-        SqlErrorKind::Bind if e.message.starts_with("unknown column") => "42703",
-        SqlErrorKind::Bind if e.message.starts_with("unknown table") => "42P01",
-        SqlErrorKind::Bind if e.message.starts_with("unknown aggregate") => "42883",
-        SqlErrorKind::Lex | SqlErrorKind::Parse | SqlErrorKind::Bind => "42601",
+        SqlErrorKind::Bind(b) => match b {
+            BindErrorKind::UnknownColumn => "42703",
+            BindErrorKind::UnknownTable => "42P01",
+            BindErrorKind::AmbiguousColumn => "42702",
+            BindErrorKind::UnknownAggregate => "42883",
+            BindErrorKind::Other => "42601",
+        },
+        SqlErrorKind::Lex | SqlErrorKind::Parse => "42601",
         SqlErrorKind::Plan(p) => match p {
             PlanErrorKind::UnknownTable { .. } => "42P01",
             PlanErrorKind::UnknownColumn { .. } => "42703",
@@ -833,7 +857,18 @@ mod tests {
             sqlstate(&err(SqlErrorKind::Plan(PlanErrorKind::ShuttingDown))),
             "57P01"
         );
-        let unknown_col = SqlError::bind(rdb_sql::Span::new(0, 4), "unknown column 'nope'");
-        assert_eq!(sqlstate(&unknown_col), "42703");
+        // Bind errors classify structurally: the message text is
+        // deliberately nonsense to prove nothing string-matches it.
+        let gibberish = "zxqv 9000";
+        for (kind, state) in [
+            (BindErrorKind::UnknownColumn, "42703"),
+            (BindErrorKind::UnknownTable, "42P01"),
+            (BindErrorKind::AmbiguousColumn, "42702"),
+            (BindErrorKind::UnknownAggregate, "42883"),
+            (BindErrorKind::Other, "42601"),
+        ] {
+            let e = SqlError::bind_as(rdb_sql::Span::new(0, 4), kind, gibberish);
+            assert_eq!(sqlstate(&e), state, "{kind:?}");
+        }
     }
 }

@@ -114,36 +114,40 @@ impl ServerShared {
 
     /// Point-in-time snapshot of everything `rdb_stats()` reports.
     pub fn snapshot(&self) -> ServerStatsSnapshot {
-        let (in_flight, queued, hits, lookups, cache_entries, cache_bytes, invalidations) =
-            match self.engine.get() {
-                Some(engine) => {
-                    let adm = engine.admission();
-                    let (hits, lookups, entries, bytes, inval) = match engine.recycler() {
-                        Some(r) => {
-                            let reuses = r.stats.reuses.load(Ordering::Relaxed)
-                                + r.stats.subsumption_reuses.load(Ordering::Relaxed);
-                            (
-                                reuses,
-                                r.stats.queries.load(Ordering::Relaxed),
-                                r.cache_len() as u64,
-                                r.cache_used(),
-                                r.stats.invalidations.load(Ordering::Relaxed),
-                            )
-                        }
-                        None => (0, 0, 0, 0, 0),
-                    };
-                    (
-                        adm.in_flight as u64,
-                        adm.queued as u64,
-                        hits,
-                        lookups,
-                        entries,
-                        bytes,
-                        inval,
-                    )
+        #[derive(Default)]
+        struct EngineCounters {
+            in_flight: u64,
+            queued: u64,
+            hits: u64,
+            lookups: u64,
+            cache_entries: u64,
+            cache_bytes: u64,
+            invalidations: u64,
+            hash_build_hits: u64,
+            agg_table_hits: u64,
+        }
+        let ec = match self.engine.get() {
+            Some(engine) => {
+                let adm = engine.admission();
+                let mut ec = EngineCounters {
+                    in_flight: adm.in_flight as u64,
+                    queued: adm.queued as u64,
+                    ..EngineCounters::default()
+                };
+                if let Some(r) = engine.recycler() {
+                    ec.hits = r.stats.reuses.load(Ordering::Relaxed)
+                        + r.stats.subsumption_reuses.load(Ordering::Relaxed);
+                    ec.lookups = r.stats.queries.load(Ordering::Relaxed);
+                    ec.cache_entries = r.cache_len() as u64;
+                    ec.cache_bytes = r.cache_used();
+                    ec.invalidations = r.stats.invalidations.load(Ordering::Relaxed);
+                    ec.hash_build_hits = r.stats.hash_build_hits.load(Ordering::Relaxed);
+                    ec.agg_table_hits = r.stats.agg_table_hits.load(Ordering::Relaxed);
                 }
-                None => (0, 0, 0, 0, 0, 0, 0),
-            };
+                ec
+            }
+            None => EngineCounters::default(),
+        };
         let durability = self
             .engine
             .get()
@@ -156,13 +160,15 @@ impl ServerShared {
             statements_active: self.queries_active.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             cancels: self.cancels.load(Ordering::Relaxed),
-            queries_in_flight: in_flight,
-            queue_depth: queued,
-            recycler_hits: hits,
-            recycler_lookups: lookups,
-            cache_entries,
-            cache_bytes,
-            invalidations,
+            queries_in_flight: ec.in_flight,
+            queue_depth: ec.queued,
+            recycler_hits: ec.hits,
+            recycler_lookups: ec.lookups,
+            cache_entries: ec.cache_entries,
+            cache_bytes: ec.cache_bytes,
+            invalidations: ec.invalidations,
+            hash_build_hits: ec.hash_build_hits,
+            agg_table_hits: ec.agg_table_hits,
             draining: self.draining(),
             wal_bytes: durability.wal_bytes,
             last_checkpoint_epoch: durability.last_checkpoint_epoch,
@@ -202,6 +208,11 @@ pub struct ServerStatsSnapshot {
     pub cache_bytes: u64,
     /// Cache entries evicted by DML.
     pub invalidations: u64,
+    /// Queries served a cached hash-join build side (operator-state
+    /// artifact) instead of rebuilding it.
+    pub hash_build_hits: u64,
+    /// Queries served a cached aggregate table instead of re-aggregating.
+    pub agg_table_hits: u64,
     /// Whether the server is draining.
     pub draining: bool,
     /// Bytes across all live WAL segments (0 without a data directory).
@@ -240,6 +251,8 @@ impl ServerStatsSnapshot {
             ("cache_entries", self.cache_entries as f64),
             ("cache_bytes", self.cache_bytes as f64),
             ("invalidations", self.invalidations as f64),
+            ("hash_build_hits", self.hash_build_hits as f64),
+            ("agg_table_hits", self.agg_table_hits as f64),
             ("draining", if self.draining { 1.0 } else { 0.0 }),
             ("wal_bytes", self.wal_bytes as f64),
             ("last_checkpoint_epoch", self.last_checkpoint_epoch as f64),

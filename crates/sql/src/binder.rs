@@ -15,7 +15,7 @@ use rdb_storage::Catalog;
 use rdb_vector::{Schema, Value};
 
 use crate::ast::*;
-use crate::error::{Span, SqlError};
+use crate::error::{BindErrorKind, Span, SqlError};
 
 /// Schema source for binding: base tables plus table functions.
 pub trait SqlCatalog {
@@ -118,16 +118,18 @@ impl Scope {
             .map(|(i, _)| i)
             .collect();
         match matches.len() {
-            0 => Err(SqlError::bind(
+            0 => Err(SqlError::bind_as(
                 span,
+                BindErrorKind::UnknownColumn,
                 match qualifier {
                     Some(q) => format!("unknown column '{q}.{name}'"),
                     None => format!("unknown column '{name}'"),
                 },
             )),
             1 => Ok(matches[0]),
-            _ => Err(SqlError::bind(
+            _ => Err(SqlError::bind_as(
                 span,
+                BindErrorKind::AmbiguousColumn,
                 format!(
                     "ambiguous column '{name}' (matches {}); qualify it",
                     matches
@@ -412,14 +414,16 @@ fn collect_column_use(core: &SelectCore, catalog: &dyn SqlCatalog) -> Result<Col
         match qualifier {
             Some(q) => {
                 let Some((_, schema, used)) = entries.iter_mut().find(|(b, _, _)| b == q) else {
-                    return Err(SqlError::bind(
+                    return Err(SqlError::bind_as(
                         span,
+                        BindErrorKind::UnknownTable,
                         format!("unknown table or alias '{q}'"),
                     ));
                 };
                 let Some(i) = schema.index_of(name) else {
-                    return Err(SqlError::bind(
+                    return Err(SqlError::bind_as(
                         span,
+                        BindErrorKind::UnknownColumn,
                         format!("unknown column '{name}' in '{q}'"),
                     ));
                 };
@@ -434,14 +438,19 @@ fn collect_column_use(core: &SelectCore, catalog: &dyn SqlCatalog) -> Result<Col
                     .map(|(i, _)| i)
                     .collect();
                 match hits.len() {
-                    0 => Err(SqlError::bind(span, format!("unknown column '{name}'"))),
+                    0 => Err(SqlError::bind_as(
+                        span,
+                        BindErrorKind::UnknownColumn,
+                        format!("unknown column '{name}'"),
+                    )),
                     1 => {
                         let (_, schema, used) = &mut entries[hits[0]];
                         used.push(schema.index_of(name).unwrap());
                         Ok(())
                     }
-                    _ => Err(SqlError::bind(
+                    _ => Err(SqlError::bind_as(
                         span,
+                        BindErrorKind::AmbiguousColumn,
                         format!(
                             "ambiguous column '{name}' (in {}); qualify it",
                             hits.iter()
@@ -1024,7 +1033,11 @@ fn make_agg(
         ("avg", _, Some(a)) => AggFunc::Avg(a),
         (f, _, None) => return Err(SqlError::bind(span, format!("{f}() requires an argument"))),
         (f, _, _) => {
-            return Err(SqlError::bind(span, format!("unknown aggregate '{f}'")));
+            return Err(SqlError::bind_as(
+                span,
+                BindErrorKind::UnknownAggregate,
+                format!("unknown aggregate '{f}'"),
+            ));
         }
     })
 }
@@ -1062,8 +1075,9 @@ fn bind_insert(i: &Insert, catalog: &dyn SqlCatalog) -> Result<BoundStatement, S
         let mut order = vec![usize::MAX; schema.len()];
         for (pos, (name, span)) in i.columns.iter().enumerate() {
             let Some(si) = schema.index_of(name) else {
-                return Err(SqlError::bind(
+                return Err(SqlError::bind_as(
                     *span,
+                    BindErrorKind::UnknownColumn,
                     format!("unknown column '{name}' in '{}'", i.table),
                 ));
             };

@@ -38,6 +38,24 @@ impl Span {
     }
 }
 
+/// Structured classification of binder failures. Error *consumers* (the
+/// wire protocol's SQLSTATE mapping, tooling) dispatch on this, never on
+/// the message text — messages are free to change without breaking them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindErrorKind {
+    /// A column name resolved to nothing in scope.
+    UnknownColumn,
+    /// A table name or alias resolved to nothing in scope.
+    UnknownTable,
+    /// A column name matched more than one relation in scope.
+    AmbiguousColumn,
+    /// An aggregate function name the engine does not implement.
+    UnknownAggregate,
+    /// Any other name-resolution or lowering failure (misplaced
+    /// aggregate, unsupported construct, malformed INSERT, ...).
+    Other,
+}
+
 /// What phase rejected the statement.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SqlErrorKind {
@@ -45,9 +63,9 @@ pub enum SqlErrorKind {
     Lex,
     /// The token stream does not match the grammar.
     Parse,
-    /// Name resolution / lowering failure (unknown table or column,
-    /// ambiguity, misplaced aggregate, unsupported construct).
-    Bind,
+    /// Name resolution / lowering failure, with a structured
+    /// classification of what went wrong.
+    Bind(BindErrorKind),
     /// A structured plan-layer error, wrapped with the span of the SQL
     /// fragment that produced it.
     Plan(PlanErrorKind),
@@ -85,10 +103,15 @@ impl SqlError {
         }
     }
 
-    /// Binder error at `span`.
+    /// Binder error at `span`, classified as [`BindErrorKind::Other`].
     pub fn bind(span: Span, message: impl Into<String>) -> SqlError {
+        SqlError::bind_as(span, BindErrorKind::Other, message)
+    }
+
+    /// Binder error at `span` with an explicit structured classification.
+    pub fn bind_as(span: Span, kind: BindErrorKind, message: impl Into<String>) -> SqlError {
         SqlError {
-            kind: SqlErrorKind::Bind,
+            kind: SqlErrorKind::Bind(kind),
             span,
             message: message.into(),
         }
@@ -147,7 +170,7 @@ impl fmt::Display for SqlError {
         let phase = match &self.kind {
             SqlErrorKind::Lex => "lex",
             SqlErrorKind::Parse => "parse",
-            SqlErrorKind::Bind => "bind",
+            SqlErrorKind::Bind(_) => "bind",
             SqlErrorKind::Plan(_) => "plan",
         };
         write!(

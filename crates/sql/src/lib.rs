@@ -82,7 +82,7 @@ pub mod parser;
 
 pub use ast::Statement;
 pub use binder::{bind_statement, BoundStatement, CatalogWithFunctions, SqlCatalog};
-pub use error::{Span, SqlError, SqlErrorKind};
+pub use error::{BindErrorKind, Span, SqlError, SqlErrorKind};
 pub use parser::parse;
 
 /// Parse and lower in one step.

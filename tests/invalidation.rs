@@ -11,6 +11,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use recycler_db::engine::{Engine, MaterializingEngine};
+use recycler_db::exec::ArtifactKind;
 use recycler_db::expr::{AggFunc, Expr};
 use recycler_db::plan::{scan, Plan};
 use recycler_db::recycler::{RecyclerConfig, RecyclerEvent};
@@ -142,11 +143,30 @@ fn updating_lineitem_evicts_exactly_the_dependent_entries() {
     assert_eq!(out.rows_affected, 2);
     assert_eq!(out.epoch, 1);
 
-    // Precisely the lineitem-dependent entries were evicted...
+    // Precisely the lineitem-dependent entries were evicted. Beyond the
+    // materialized results, the walk also kills dependent *operator-state*
+    // artifacts (hash builds, aggregation tables) — those ride the same
+    // events, tagged by kind.
+    let result_events = out
+        .invalidated
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                RecyclerEvent::Invalidated {
+                    kind: ArtifactKind::Result,
+                    ..
+                }
+            )
+        })
+        .count();
     assert_eq!(
-        out.invalidated.len(),
-        li_before,
-        "one Invalidated event per dependent cache entry"
+        result_events, li_before,
+        "one Invalidated event per dependent result entry"
+    );
+    assert!(
+        out.invalidated.len() > li_before,
+        "dependent operator-state artifacts die with their table too"
     );
     for e in &out.invalidated {
         match e {
@@ -158,12 +178,12 @@ fn updating_lineitem_evicts_exactly_the_dependent_entries() {
         }
     }
     assert_eq!(cached_over(&engine, "lineitem"), 0, "no stale entry stays");
-    assert_eq!(recycler.cache_len(), len_before - li_before);
+    assert_eq!(recycler.cache_len(), len_before - out.invalidated.len());
     let invalidations = recycler
         .stats
         .invalidations
         .load(std::sync::atomic::Ordering::Relaxed);
-    assert_eq!(invalidations as usize, li_before);
+    assert_eq!(invalidations as usize, out.invalidated.len());
 
     // ...and nothing else: part-only/orders-only entries survive and still
     // hit. The part-only entry surviving while Q14 (part ⋈ lineitem) died
@@ -196,6 +216,112 @@ fn updating_lineitem_evicts_exactly_the_dependent_entries() {
 
     // And the recycler is healthy at the new epoch: the next repeat hits.
     assert!(q6_prep.execute(q6_params).unwrap().into_outcome().reused());
+}
+
+#[test]
+fn cached_hash_builds_serve_probe_variants_and_die_with_their_table() {
+    let engine = tpch_engine();
+    let session = engine.session();
+    let mut rng = SmallRng::seed_from_u64(99);
+    let stats = &engine.recycler().unwrap().stats;
+    let oracle = |concrete: &Plan, batch: &Batch, label: &str| {
+        let baseline =
+            MaterializingEngine::naive(Arc::new(engine.catalog().snapshot().to_catalog()))
+                .run(concrete)
+                .unwrap();
+        assert_eq!(
+            sorted_rows(batch),
+            sorted_rows(&baseline.batch),
+            "{label}: diverges from the materializing oracle"
+        );
+    };
+
+    // Q14 joins a parameter-dependent lineitem probe against a fixed part
+    // build. Distinct date ranges miss the *result* cache every time, but
+    // after the first run the part build side is a cached operator-state
+    // artifact every later variant probes warm.
+    let prepared = session.prepare(&templates::q14_template()).unwrap();
+    let mut param_sets = Vec::new();
+    while param_sets.len() < 4 {
+        let p = templates::q14_params(&mut rng);
+        if !param_sets.contains(&p) {
+            param_sets.push(p);
+        }
+    }
+    for (i, params) in param_sets.iter().enumerate() {
+        let out = prepared.execute(params).unwrap().into_outcome();
+        assert!(!out.reused(), "distinct params must miss the result cache");
+        let concrete = templates::q14_template().substitute_params(params).unwrap();
+        oracle(&concrete, &out.batch, &format!("Q14 variant {i}"));
+    }
+    let warm_builds = stats
+        .hash_build_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        warm_builds >= 3,
+        "variants after the first must probe the cached part build \
+         (got {warm_builds} warm hits)"
+    );
+
+    // An update to *lineitem* (probe side only) leaves the part build
+    // alive: the next variant still probes it warm.
+    session.append("lineitem", &[lineitem_row(50)]).unwrap();
+    let extra = templates::q14_params(&mut rng);
+    let out = prepared.execute(&extra).unwrap().into_outcome();
+    let concrete = templates::q14_template().substitute_params(&extra).unwrap();
+    oracle(&concrete, &out.batch, "Q14 after lineitem append");
+    assert!(
+        stats
+            .hash_build_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > warm_builds,
+        "a probe-side update must not evict the build-side artifact"
+    );
+
+    // An update to *part* kills the cached build: the invalidation events
+    // include a hash-build artifact, and the next run must rebuild — it
+    // may never probe a build from the old part epoch.
+    let warm_before = stats
+        .hash_build_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let out = session
+        .append(
+            "part",
+            &[vec![
+                Value::Int(1_000_000),
+                Value::str("hazy zinc"),
+                Value::str("Manufacturer#1"),
+                Value::str("Brand#11"),
+                Value::str("PROMO BURNISHED ZINC"),
+                Value::Int(7),
+                Value::str("SM BOX"),
+                Value::Float(950.0),
+            ]],
+        )
+        .unwrap();
+    assert!(
+        out.invalidated.iter().any(|e| matches!(
+            e,
+            RecyclerEvent::Invalidated {
+                kind: ArtifactKind::HashBuild,
+                ..
+            }
+        )),
+        "the part build artifact must die with its table: {:?}",
+        out.invalidated
+    );
+    let after = prepared.execute(&param_sets[0]).unwrap().into_outcome();
+    let concrete = templates::q14_template()
+        .substitute_params(&param_sets[0])
+        .unwrap();
+    oracle(&concrete, &after.batch, "Q14 after part append");
+    assert_eq!(
+        stats
+            .hash_build_hits
+            .load(std::sync::atomic::Ordering::Relaxed),
+        warm_before,
+        "no warm build may cross the part epoch bump"
+    );
 }
 
 fn small_engine(rows: i64) -> Arc<Engine> {
