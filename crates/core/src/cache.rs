@@ -396,6 +396,58 @@ impl RecyclerCache {
         Some(evicted)
     }
 
+    /// Replace a cached artifact's payload in place (incremental repair):
+    /// the entry keeps its identity and construction cost but adopts the
+    /// repaired payload's size, a recomputed benefit, and the post-commit
+    /// epoch vector. Deliberately *not* counted as an admission — repair
+    /// updates an entry the policy already accepted.
+    ///
+    /// Returns `Some(evicted)` on success (victims displaced when the
+    /// repaired payload grew past free space). Returns `None` when the
+    /// cache cannot hold the repaired payload — **the entry is removed**
+    /// in that case, since its pre-repair bytes are stale either way; the
+    /// caller records the eviction.
+    pub fn patch_artifact(
+        &mut self,
+        id: ArtifactId,
+        artifact: CacheArtifact,
+        benefit: f64,
+        epochs: Vec<(String, u64)>,
+    ) -> Option<Vec<ArtifactId>> {
+        debug_assert_eq!(artifact.kind(), id.kind);
+        let benefit = sane_benefit(benefit);
+        let new_size = (artifact.size_bytes() as u64).max(1);
+        let mut entry = self.remove_artifact(id)?;
+        if new_size > self.capacity {
+            return None;
+        }
+        let mut evicted = Vec::new();
+        if self.used + new_size > self.capacity {
+            match self.find_victims(new_size, benefit) {
+                Some(victims) => {
+                    for v in victims {
+                        self.remove_artifact(v);
+                        self.evictions += 1;
+                        evicted.push(v);
+                    }
+                }
+                None => return None,
+            }
+        }
+        self.used += new_size;
+        entry.artifact = artifact;
+        entry.size = new_size;
+        entry.benefit = benefit;
+        entry.epochs = epochs;
+        self.entries.insert(id, entry);
+        let group = self.groups.entry(group_of(new_size)).or_default();
+        let pos = group
+            .binary_search_by(|x| self.entries[x].benefit.total_cmp(&benefit))
+            .unwrap_or_else(|p| p);
+        group.insert(pos, id);
+        Some(evicted)
+    }
+
     /// Remove a node's result entry (eviction or invalidation).
     pub fn remove(&mut self, id: NodeId) -> Option<CacheEntry> {
         self.remove_artifact(ArtifactId::result(id))

@@ -89,6 +89,10 @@ pub struct GraphNode {
     /// invalidation footprint — an update to any of them makes this node's
     /// cached result stale.
     pub tables: Vec<String>,
+    /// Per-table repairability, parallel to `tables`: how this node's
+    /// cached result can react to a committed delta of each base table
+    /// (classified once at insertion — the subtree never changes).
+    pub repair: Vec<rdb_delta::Repairability>,
     /// Children in plan order.
     pub children: Vec<NodeId>,
     /// Hash-key of the local operator (type + parameters).
@@ -103,6 +107,18 @@ pub struct GraphNode {
     pub materialized: bool,
     /// Subsumption OR-edges (consulted only after exact matching fails).
     pub subsumed_by: Vec<SubsumptionEdge>,
+}
+
+impl GraphNode {
+    /// How this node's cached result reacts to a committed delta of
+    /// `table` (evict-only for tables outside its footprint).
+    pub fn repairability_for(&self, table: &str) -> rdb_delta::Repairability {
+        self.tables
+            .iter()
+            .position(|t| t == table)
+            .map(|i| self.repair[i])
+            .unwrap_or(rdb_delta::Repairability::EvictOnly)
+    }
 }
 
 /// Result of matching one query-tree node.
@@ -281,10 +297,16 @@ impl RecyclerGraph {
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         let tick = self.tick;
+        let tables = plan.base_tables();
+        let repair = tables
+            .iter()
+            .map(|t| rdb_delta::classify(plan, t))
+            .collect();
         self.nodes.push(GraphNode {
             subtree: plan.clone(),
             schema,
-            tables: plan.base_tables(),
+            tables,
+            repair,
             children: child_ids.to_vec(),
             hash_key: key,
             signature: sig,

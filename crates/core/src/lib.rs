@@ -89,6 +89,7 @@ pub mod recycler;
 pub use cache::{ArtifactId, CacheArtifact, CacheEntry, RecyclerCache};
 pub use config::{CostModel, RecyclerConfig, RecyclerMode};
 pub use graph::{Derivation, MatchTree, NodeId, RecyclerGraph, SubsumptionEdge};
+pub use rdb_delta::Repairability;
 pub use recycler::{
-    CacheState, LineageEntry, PreparedQuery, Recycler, RecyclerEvent, RecyclerStats,
+    CacheState, LineageEntry, PreparedQuery, Recycler, RecyclerEvent, RecyclerStats, RepairOutcome,
 };

@@ -25,12 +25,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use rdb_delta::Delta;
 use rdb_exec::{
-    ArtifactKind, MaterializedResult, MetricsNode, OperatorState, ResultStore, SpeculationEstimate,
-    StateCost, StoreVerdict,
+    ArtifactKind, FnRegistry, MaterializedResult, MetricsNode, OperatorState, ResultStore,
+    SpeculationEstimate, StateCost, StoreVerdict,
 };
 use rdb_plan::{Plan, StoreMode};
-use rdb_storage::Catalog;
+use rdb_storage::{Catalog, CatalogSnapshot};
 use rdb_vector::Schema;
 
 use crate::cache::{ArtifactId, CacheArtifact, RecyclerCache};
@@ -84,6 +85,22 @@ pub enum RecyclerEvent {
     Abandoned {
         /// Target node.
         node: NodeId,
+    },
+    /// A cached entry was **repaired in place** from a committed DML
+    /// delta instead of being evicted (`rdb_delta`): the entry now holds
+    /// the post-commit bytes under the new epoch vector.
+    Repaired {
+        /// The repaired node.
+        node: NodeId,
+        /// Which artifact kind was patched (an aggregate's result and its
+        /// agg-table artifact are both repaired by one delta evaluation).
+        kind: ArtifactKind,
+        /// Size of the repaired artifact.
+        bytes: u64,
+        /// The updated table whose delta was applied.
+        table: String,
+        /// Row count of the repaired result.
+        rows: u64,
     },
     /// A cached entry was evicted because a base table it depends on was
     /// updated (PAPER.md §V: cached intermediates are invalidated when
@@ -197,6 +214,13 @@ pub struct RecyclerStats {
     pub stalls: AtomicU64,
     /// Cache entries evicted because a base table changed.
     pub invalidations: AtomicU64,
+    /// Cache entries repaired in place from a DML delta.
+    pub repaired: AtomicU64,
+    /// Repair candidates that fell back to eviction (kernel refused, a
+    /// race intervened, or the repaired payload no longer fit).
+    pub repair_fallbacks: AtomicU64,
+    /// Non-empty DML deltas routed through [`Recycler::repair`].
+    pub deltas_applied: AtomicU64,
     /// Publishes rejected because the producing query's snapshot was
     /// superseded before its store completed.
     pub stale_rejections: AtomicU64,
@@ -328,6 +352,208 @@ impl Recycler {
             }
         }
         events
+    }
+
+    /// A base table committed a typed [`Delta`]: repair dependent cache
+    /// entries in place where the insert-time classification allows it,
+    /// and evict the rest (exactly what [`Recycler::invalidate`] would
+    /// have done to them). Repaired entries are byte-identical to
+    /// recomputation at the post-commit snapshot and adopt the new epoch
+    /// vector, so subsequent queries reuse them directly — this is what
+    /// keeps the hit rate up under a write-mixed workload.
+    ///
+    /// `snapshot` must be the post-commit snapshot: repair requires
+    /// `snapshot.epoch_of(delta.table) == delta.epoch` (the engine's DML
+    /// path guarantees it; anything else routes to `invalidate`).
+    ///
+    /// Structure: candidates are collected under the recycler lock, the
+    /// repair kernels run **unlocked** (they evaluate subplans), and
+    /// patches re-validate epochs under the lock — a raced entry falls
+    /// back to eviction, never to a stale patch. One kernel evaluation per
+    /// node patches both its result and its agg-table artifact (an
+    /// aggregate's agg-table artifact holds the same sorted rows as its
+    /// result). Hash-build artifacts always evict: their probe index is
+    /// positional and cheap to rebuild relative to re-verifying it.
+    pub fn repair(
+        &self,
+        delta: &Delta,
+        snapshot: &CatalogSnapshot,
+        functions: &Arc<FnRegistry>,
+    ) -> RepairOutcome {
+        let table = delta.table.as_str();
+        let new_epoch = delta.epoch;
+        let mut out = RepairOutcome::default();
+        // No-op fast path: an empty delta repairs nothing and must not
+        // walk the graph (the engine never commits one, but be safe).
+        if delta.is_empty() {
+            return out;
+        }
+        if !self.config.repair || snapshot.epoch_of(table) != Some(new_epoch) {
+            out.events = self.invalidate(table, new_epoch);
+            return out;
+        }
+        bump!(self.stats, deltas_applied);
+        out.deltas_applied = 1;
+        let alpha = self.config.aging_alpha;
+        let model = self.config.cost_model;
+
+        struct Candidate {
+            aid: ArtifactId,
+            plan: Plan,
+            cached: Arc<MaterializedResult>,
+            epochs: Vec<(String, u64)>,
+        }
+
+        // Phase 1 (locked): bump the table's epoch, split stale dependents
+        // into repair candidates and immediate evictions.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let cur = st.table_epochs.entry(table.to_string()).or_insert(0);
+            *cur = (*cur).max(new_epoch);
+            for id in st.graph.dependents_of_table(table) {
+                let repairable = st.graph.node(id).repairability_for(table).repairable();
+                // Cost gate: when the delta carries more rows than the
+                // node's own true cost (in work units this is rows
+                // processed), recomputing on demand is no worse than
+                // repairing eagerly. Unmeasured nodes always repair.
+                let worth_it = {
+                    let measured = st.graph.node(id).stats.measured;
+                    !measured || (delta.rows() as f64) <= st.graph.true_cost(id, model)
+                };
+                for aid in st.cache.artifacts_of(id) {
+                    let Some(entry) = st.cache.get_artifact(aid) else {
+                        continue;
+                    };
+                    // Already fresh: a producer pinned at the new version
+                    // published before this call; its work is valid.
+                    if entry.epochs.iter().any(|(t, e)| t == table && *e >= new_epoch) {
+                        continue;
+                    }
+                    // Repair applies one epoch step exactly: the entry must
+                    // sit at the immediately preceding version of the
+                    // changed table and at the snapshot's version of every
+                    // other table it reads.
+                    let one_step = entry
+                        .epochs
+                        .iter()
+                        .any(|(t, e)| t == table && e + 1 == new_epoch);
+                    let others_current = entry
+                        .epochs
+                        .iter()
+                        .all(|(t, e)| t == table || snapshot.epoch_of(t) == Some(*e));
+                    let cached = match &entry.artifact {
+                        CacheArtifact::Result(r) | CacheArtifact::AggTable(r) => Some(r.clone()),
+                        CacheArtifact::HashBuild(_) => None,
+                    };
+                    match cached {
+                        Some(cached) if repairable && worth_it && one_step && others_current => {
+                            candidates.push(Candidate {
+                                aid,
+                                plan: st.graph.node(id).subtree.clone(),
+                                cached,
+                                epochs: entry.epochs.clone(),
+                            });
+                        }
+                        _ => {
+                            if let Some(entry) = st.cache.remove_artifact(aid) {
+                                if aid.kind == ArtifactKind::Result {
+                                    st.graph.on_evicted(id, alpha);
+                                }
+                                bump!(self.stats, invalidations);
+                                out.events.push(RecyclerEvent::Invalidated {
+                                    node: id,
+                                    kind: aid.kind,
+                                    bytes: entry.size,
+                                    table: table.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2 (unlocked): evaluate repair kernels, memoized per node.
+        let mut repaired_by_node: HashMap<NodeId, Option<MaterializedResult>> = HashMap::new();
+        for c in &candidates {
+            repaired_by_node
+                .entry(c.aid.node)
+                .or_insert_with(|| rdb_delta::repair(&c.plan, &c.cached, delta, snapshot, functions));
+        }
+
+        // Phase 3 (locked): re-validate each candidate and patch in place,
+        // falling back to eviction when the kernel refused, the entry
+        // changed underneath us, or the repaired payload no longer fits.
+        let mut st = self.state.lock();
+        for c in candidates {
+            let id = c.aid.node;
+            let Some(entry) = st.cache.get_artifact(c.aid) else {
+                continue; // already gone (raced invalidate/flush)
+            };
+            if entry.epochs != c.epochs {
+                continue; // raced publish at other epochs: leave it alone
+            }
+            let old_bytes = entry.size;
+            let entry_cost = entry.cost;
+            let mut patched = false;
+            if let Some(r) = repaired_by_node.get(&id).and_then(|r| r.as_ref()) {
+                let new_epochs: Vec<(String, u64)> = c
+                    .epochs
+                    .iter()
+                    .map(|(t, e)| (t.clone(), if t == table { new_epoch } else { *e }))
+                    .collect();
+                let bytes = r.size_bytes as u64;
+                let rows = r.rows() as u64;
+                let benefit = match c.aid.kind {
+                    ArtifactKind::Result => st.graph.benefit(id, model, alpha),
+                    _ => entry_cost * st.graph.decayed_h(id, alpha) / bytes.max(1) as f64,
+                };
+                let artifact = match c.aid.kind {
+                    ArtifactKind::Result => CacheArtifact::Result(Arc::new(r.clone())),
+                    ArtifactKind::AggTable => CacheArtifact::AggTable(Arc::new(r.clone())),
+                    ArtifactKind::HashBuild => unreachable!("hash builds never repair"),
+                };
+                if let Some(evicted) =
+                    st.cache.patch_artifact(c.aid, artifact, benefit, new_epochs)
+                {
+                    for e in evicted {
+                        if e.kind == ArtifactKind::Result {
+                            st.graph.on_evicted(e.node, alpha);
+                        }
+                    }
+                    out.repaired += 1;
+                    bump!(self.stats, repaired);
+                    out.events.push(RecyclerEvent::Repaired {
+                        node: id,
+                        kind: c.aid.kind,
+                        bytes,
+                        table: table.to_string(),
+                        rows,
+                    });
+                    patched = true;
+                }
+            }
+            if !patched {
+                // `patch_artifact` removes the entry when the payload no
+                // longer fits; cover both that path and the kernel-refusal
+                // path where the stale entry is still cached.
+                st.cache.remove_artifact(c.aid);
+                if c.aid.kind == ArtifactKind::Result {
+                    st.graph.on_evicted(id, alpha);
+                }
+                out.fallbacks += 1;
+                bump!(self.stats, repair_fallbacks);
+                bump!(self.stats, invalidations);
+                out.events.push(RecyclerEvent::Invalidated {
+                    node: id,
+                    kind: c.aid.kind,
+                    bytes: old_bytes,
+                    table: table.to_string(),
+                });
+            }
+        }
+        out
     }
 
     /// Rewrite a bound query plan for execution against the catalog's
@@ -704,6 +930,22 @@ impl Recycler {
             None => false,
         }
     }
+}
+
+/// Result of one [`Recycler::repair`] call.
+#[derive(Debug, Default)]
+pub struct RepairOutcome {
+    /// Per-entry events: [`RecyclerEvent::Repaired`] for patched entries,
+    /// [`RecyclerEvent::Invalidated`] for everything evicted (whether it
+    /// was never repairable or fell back).
+    pub events: Vec<RecyclerEvent>,
+    /// Entries repaired in place.
+    pub repaired: u64,
+    /// Repair candidates that fell back to eviction.
+    pub fallbacks: u64,
+    /// 1 when the delta was routed through the repair walk (non-empty,
+    /// repair enabled, snapshot current), else 0.
+    pub deltas_applied: u64,
 }
 
 /// One cache entry's persistable lineage: the plan that produced it, the

@@ -10,10 +10,12 @@
 //! path.
 
 use std::path::PathBuf;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use rdb_delta::{Delta, Repairability};
 use rdb_exec::{FnRegistry, WorkerPool};
 use rdb_expr::{eval_predicate, Expr};
 use rdb_plan::{Plan, PlanError};
@@ -26,6 +28,7 @@ use crate::durability::{
     NoFault,
 };
 use crate::session::Session;
+use crate::subscribe::{DeltaEvent, SubEntry, SubQueue, Subscription};
 
 /// Engine configuration (the value object consumed by [`EngineBuilder`]).
 #[derive(Debug, Clone)]
@@ -238,6 +241,8 @@ impl EngineBuilder {
             parallelism,
             epoch: Instant::now(),
             durability,
+            subscriptions: Mutex::new(Vec::new()),
+            next_sub_id: AtomicU64::new(0),
         });
         if engine
             .durability
@@ -324,9 +329,17 @@ pub struct WriteOutcome {
     pub epoch: u64,
     /// Rows appended or deleted.
     pub rows_affected: usize,
-    /// Cache entries the recycler evicted because they depended on the
-    /// updated table (empty when recycling is off).
+    /// Per-entry recycler events for this write:
+    /// [`RecyclerEvent::Repaired`] for cache entries patched in place from
+    /// the delta, [`RecyclerEvent::Invalidated`] for entries evicted
+    /// (empty when recycling is off).
     pub invalidated: Vec<RecyclerEvent>,
+    /// Cache entries repaired in place instead of evicted.
+    pub repaired: u64,
+    /// Repair candidates that fell back to eviction.
+    pub repair_fallbacks: u64,
+    /// 1 when this write's delta was routed through the repair walk.
+    pub deltas_applied: u64,
 }
 
 /// A labelled query inside a stream (labels drive the per-pattern
@@ -595,6 +608,11 @@ pub struct Engine {
     pub(crate) epoch: Instant,
     /// WAL + checkpoint state (`None` without a data directory).
     pub(crate) durability: Option<DurabilityState>,
+    /// Live query subscriptions. One lock serializes registration and
+    /// write fan-out, which is what makes the initial-result/event-stream
+    /// handoff gapless (see [`crate::subscribe`]).
+    pub(crate) subscriptions: Mutex<Vec<SubEntry>>,
+    pub(crate) next_sub_id: AtomicU64,
 }
 
 impl Engine {
@@ -674,11 +692,13 @@ impl Engine {
             .catalog
             .versioned(table)
             .ok_or_else(|| PlanError::unknown_table(table))?;
+        let schema = vt.schema().clone();
         let snap = vt.append(rows).map_err(|e| self.write_error(e))?;
-        let invalidated = if rows.is_empty() {
-            Vec::new()
+        let (invalidated, repaired, repair_fallbacks, deltas_applied) = if rows.is_empty() {
+            (Vec::new(), 0, 0, 0)
         } else {
-            self.notify_update(table, snap.epoch())
+            let delta = Delta::append(table, schema, snap.epoch(), rows);
+            self.notify_update(table, snap.epoch(), Some(&delta))
         };
         Ok(WriteOutcome {
             kind: WriteKind::Append,
@@ -686,6 +706,9 @@ impl Engine {
             epoch: snap.epoch(),
             rows_affected: rows.len(),
             invalidated,
+            repaired,
+            repair_fallbacks,
+            deltas_applied,
         })
     }
 
@@ -720,11 +743,14 @@ impl Engine {
             ));
         }
         // The mask is evaluated against the exact snapshot being replaced
-        // (VersionedTable::delete_where re-runs it if a concurrent writer
-        // commits first), so interleaved writers compose linearizably.
+        // (VersionedTable::delete_where_capturing re-runs it if a
+        // concurrent writer commits first), so interleaved writers compose
+        // linearizably. The deleted rows are captured inside the commit —
+        // they are the typed delta the repair path retracts from dependent
+        // cache entries.
         let all_cols: Vec<usize> = (0..vt.schema().len()).collect();
-        let (deleted, snap) = vt
-            .delete_where(|t| {
+        let (captured, snap) = vt
+            .delete_where_capturing(|t| {
                 let mut mask = Vec::with_capacity(t.rows());
                 for b in t.batches(&all_cols) {
                     mask.extend(eval_predicate(&bound, &b));
@@ -732,10 +758,13 @@ impl Engine {
                 mask
             })
             .map_err(|e| self.write_error(e))?;
-        let invalidated = if deleted == 0 {
-            Vec::new() // no-op delete: no epoch committed, cache stays hot
+        let deleted = captured.len();
+        let (invalidated, repaired, repair_fallbacks, deltas_applied) = if deleted == 0 {
+            // No-op delete: no epoch committed, cache stays hot.
+            (Vec::new(), 0, 0, 0)
         } else {
-            self.notify_update(table, snap.epoch())
+            let delta = Delta::delete(table, vt.schema().clone(), snap.epoch(), &captured);
+            self.notify_update(table, snap.epoch(), Some(&delta))
         };
         Ok(WriteOutcome {
             kind: WriteKind::Delete,
@@ -743,6 +772,9 @@ impl Engine {
             epoch: snap.epoch(),
             rows_affected: deleted,
             invalidated,
+            repaired,
+            repair_fallbacks,
+            deltas_applied,
         })
     }
 
@@ -762,13 +794,19 @@ impl Engine {
             .ok_or_else(|| PlanError::unknown_table(&name))?;
         let rows = table.rows();
         let snap = vt.replace(&table).map_err(|e| self.write_error(e))?;
-        let invalidated = self.notify_update(&name, snap.epoch());
+        // A wholesale replacement has no row-level delta: dependent cache
+        // entries evict, subscriptions refresh.
+        let (invalidated, repaired, repair_fallbacks, deltas_applied) =
+            self.notify_update(&name, snap.epoch(), None);
         Ok(WriteOutcome {
             kind: WriteKind::Replace,
             table: name,
             epoch: snap.epoch(),
             rows_affected: rows,
             invalidated,
+            repaired,
+            repair_fallbacks,
+            deltas_applied,
         })
     }
 
@@ -782,12 +820,139 @@ impl Engine {
         }
     }
 
-    /// Tell the recycler a table committed a new epoch.
-    fn notify_update(&self, table: &str, epoch: u64) -> Vec<RecyclerEvent> {
-        match &self.recycler {
-            Some(r) => r.invalidate(table, epoch),
-            None => Vec::new(),
+    /// Tell the recycler (and live subscriptions) a table committed a new
+    /// epoch. With a typed delta the recycler *repairs* dependent cache
+    /// entries in place where their classification allows it, falling back
+    /// to eviction otherwise; without one (table replacement) everything
+    /// dependent evicts. Returns `(events, repaired, fallbacks,
+    /// deltas_applied)` for the [`WriteOutcome`].
+    fn notify_update(
+        &self,
+        table: &str,
+        epoch: u64,
+        delta: Option<&Delta>,
+    ) -> (Vec<RecyclerEvent>, u64, u64, u64) {
+        let out = match (&self.recycler, delta) {
+            (Some(r), Some(d)) => {
+                let snapshot = self.catalog.snapshot();
+                let out = r.repair(d, &snapshot, &self.functions);
+                (out.events, out.repaired, out.fallbacks, out.deltas_applied)
+            }
+            (Some(r), None) => (r.invalidate(table, epoch), 0, 0, 0),
+            (None, _) => (Vec::new(), 0, 0, 0),
+        };
+        self.fan_out(table, delta);
+        out
+    }
+
+    /// Push this write's change to every subscription whose plan reads
+    /// `table`: an appended-rows [`DeltaEvent::Delta`] where the plan is
+    /// select-class over the changed table and the write was a pure
+    /// append, a full [`DeltaEvent::Refresh`] otherwise. Runs under the
+    /// registry lock so fan-out serializes with registration (gapless
+    /// handoff) and per-subscription event order follows epoch order.
+    fn fan_out(&self, table: &str, delta: Option<&Delta>) {
+        let mut subs = self.subscriptions.lock();
+        if subs.is_empty() {
+            return;
         }
+        let snapshot = Arc::new(self.catalog.snapshot());
+        for entry in subs.iter_mut() {
+            let Some(pos) = entry.tables.iter().position(|t| t == table) else {
+                continue;
+            };
+            let seen = entry.epochs[pos];
+            if let Some(d) = delta {
+                if d.epoch <= seen {
+                    // Already inside the initial result (or a refresh that
+                    // raced ahead of this fan-out).
+                    continue;
+                }
+                if d.epoch == seen + 1
+                    && d.deleted.rows() == 0
+                    && entry.classes[pos] == Repairability::Select
+                {
+                    if let Some(appended) = rdb_delta::eval_append(
+                        &entry.plan,
+                        &entry.schema,
+                        d,
+                        &snapshot,
+                        &self.functions,
+                    ) {
+                        entry.epochs[pos] = d.epoch;
+                        if appended.rows() > 0 {
+                            entry.queue.push(DeltaEvent::Delta {
+                                appended,
+                                epoch: d.epoch,
+                                table: table.to_string(),
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Deletes, non-select plans, skipped epochs, replacements, or
+            // a failed delta evaluation: re-evaluate in full. The refresh
+            // reflects the *current* snapshot, so every table's seen epoch
+            // advances to it.
+            if let Some(full) =
+                rdb_delta::eval_full(&entry.plan, &entry.schema, &snapshot, &self.functions)
+            {
+                for (i, t) in entry.tables.iter().enumerate() {
+                    if let Some(e) = snapshot.epoch_of(t) {
+                        entry.epochs[i] = e;
+                    }
+                }
+                entry.queue.push(DeltaEvent::Refresh(full));
+            }
+        }
+    }
+
+    /// Register a live query: evaluate `plan` once against the current
+    /// snapshot (serially — identical to any-DOP execution), queue the
+    /// result as [`DeltaEvent::Initial`], and subscribe the plan to all
+    /// its base tables. Taken under the registry lock, so no committed
+    /// write can fall between the initial result and the event stream.
+    pub(crate) fn subscribe(
+        self: &Arc<Self>,
+        plan: Plan,
+        schema: Schema,
+    ) -> Result<Subscription, PlanError> {
+        let mut subs = self.subscriptions.lock();
+        let snapshot = Arc::new(self.catalog.snapshot());
+        let initial = rdb_delta::eval_full(&plan, &schema, &snapshot, &self.functions)
+            .ok_or_else(|| PlanError::msg("subscription: initial evaluation failed"))?;
+        let tables = plan.base_tables();
+        let epochs = tables
+            .iter()
+            .map(|t| snapshot.epoch_of(t).unwrap_or(0))
+            .collect();
+        let classes = tables.iter().map(|t| rdb_delta::classify(&plan, t)).collect();
+        let id = self.next_sub_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let queue = Arc::new(SubQueue::new());
+        queue.push(DeltaEvent::Initial(initial));
+        if self.is_shutting_down() {
+            queue.close();
+        }
+        subs.push(SubEntry {
+            id,
+            plan,
+            schema: schema.clone(),
+            tables,
+            epochs,
+            classes,
+            queue: Arc::clone(&queue),
+        });
+        Ok(Subscription::new(Arc::clone(self), id, schema, queue))
+    }
+
+    pub(crate) fn unregister_subscription(&self, id: u64) {
+        self.subscriptions.lock().retain(|s| s.id != id);
+    }
+
+    /// Live subscriptions currently registered.
+    pub fn subscriptions_active(&self) -> usize {
+        self.subscriptions.lock().len()
     }
 
     /// Acquire an admission slot, blocking (FIFO-fair) while the engine is
@@ -809,11 +974,16 @@ impl Engine {
         self.gate.snapshot()
     }
 
-    /// Begin graceful shutdown: stop admitting queries. Executions already
-    /// holding a slot drain normally; queued and future executions fail
-    /// with [`rdb_plan::PlanErrorKind::ShuttingDown`]. Idempotent.
+    /// Begin graceful shutdown: stop admitting queries and close every
+    /// live subscription (queued events still drain; iteration then
+    /// ends). Executions already holding a slot drain normally; queued
+    /// and future executions fail with
+    /// [`rdb_plan::PlanErrorKind::ShuttingDown`]. Idempotent.
     pub fn shutdown(&self) {
         self.gate.close();
+        for entry in self.subscriptions.lock().iter() {
+            entry.queue.close();
+        }
     }
 
     /// Whether [`Engine::shutdown`] has been called.

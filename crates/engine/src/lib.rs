@@ -16,6 +16,7 @@ pub mod durability;
 pub mod engine;
 pub mod materializing;
 pub mod session;
+pub mod subscribe;
 
 pub use durability::{
     DurabilityConfig, DurabilityStats, FsyncPolicy, IoFault, NoFault, ScriptedFault, WalError,
@@ -28,3 +29,4 @@ pub use materializing::{MatOutcome, MaterializingEngine};
 pub use session::{
     BatchStream, Prepared, QueryHandle, Session, SessionStats, SessionStatsSnapshot, SqlOutcome,
 };
+pub use subscribe::{DeltaEvent, Subscription};

@@ -52,6 +52,15 @@ pub struct SessionStats {
     pub rows_deleted: AtomicU64,
     /// Executions granted a degree of parallelism above 1.
     pub parallel: AtomicU64,
+    /// Cache entries this session's writes repaired in place from DML
+    /// deltas (instead of evicting).
+    pub repaired_hits: AtomicU64,
+    /// Repair candidates of this session's writes that fell back to
+    /// eviction.
+    pub repair_fallbacks: AtomicU64,
+    /// This session's writes whose delta was routed through the repair
+    /// walk.
+    pub deltas_applied: AtomicU64,
     /// Total engine execution time, nanoseconds: preparation plus batch
     /// pulls; queue wait and client think-time between pulls excluded.
     pub wall_ns: AtomicU64,
@@ -70,6 +79,12 @@ impl SessionStats {
             rows_appended: self.rows_appended.load(Ordering::Relaxed),
             rows_deleted: self.rows_deleted.load(Ordering::Relaxed),
             parallel: self.parallel.load(Ordering::Relaxed),
+            repaired_hits: self.repaired_hits.load(Ordering::Relaxed),
+            repair_fallbacks: self.repair_fallbacks.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            // A gauge, not a counter: filled in by [`Session::stats`]
+            // from the engine's live registry.
+            subscriptions_active: 0,
             wall: Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed)),
         }
     }
@@ -96,6 +111,15 @@ pub struct SessionStatsSnapshot {
     pub rows_deleted: u64,
     /// Executions granted DOP > 1.
     pub parallel: u64,
+    /// Cache entries repaired in place by this session's writes.
+    pub repaired_hits: u64,
+    /// Repair candidates that fell back to eviction.
+    pub repair_fallbacks: u64,
+    /// Writes whose delta was routed through the repair walk.
+    pub deltas_applied: u64,
+    /// Live subscriptions on the engine right now (a gauge; engine-wide,
+    /// not per-session).
+    pub subscriptions_active: u64,
     /// Total engine execution time (see [`SessionStats::wall_ns`]).
     pub wall: Duration,
 }
@@ -149,9 +173,12 @@ impl Session {
         &self.engine
     }
 
-    /// Per-session statistics.
+    /// Per-session statistics (plus the engine-wide live-subscription
+    /// gauge).
     pub fn stats(&self) -> SessionStatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.subscriptions_active = self.engine.subscriptions_active() as u64;
+        snap
     }
 
     /// Override the degree of intra-query parallelism for this session's
@@ -327,6 +354,7 @@ impl Session {
         self.stats
             .rows_appended
             .fetch_add(out.rows_affected as u64, Ordering::Relaxed);
+        self.note_repair(&out);
         Ok(out)
     }
 
@@ -339,7 +367,48 @@ impl Session {
         self.stats
             .rows_deleted
             .fetch_add(out.rows_affected as u64, Ordering::Relaxed);
+        self.note_repair(&out);
         Ok(out)
+    }
+
+    /// Fold one write's repair outcome into the session counters.
+    fn note_repair(&self, out: &WriteOutcome) {
+        self.stats
+            .repaired_hits
+            .fetch_add(out.repaired, Ordering::Relaxed);
+        self.stats
+            .repair_fallbacks
+            .fetch_add(out.repair_fallbacks, Ordering::Relaxed);
+        self.stats
+            .deltas_applied
+            .fetch_add(out.deltas_applied, Ordering::Relaxed);
+    }
+
+    /// Subscribe to a query written as SQL text: parse, bind, and
+    /// substitute `params` exactly like [`Session::prepare_sql`] +
+    /// execute, then register the concrete plan as a live query. The
+    /// returned [`Subscription`] yields
+    /// [`crate::subscribe::DeltaEvent::Initial`] with the full result as
+    /// of registration, then one event per committed write touching the
+    /// plan's base tables — appended rows where the plan is select-class
+    /// over the changed table, a full refresh otherwise (see
+    /// [`crate::subscribe`]). The handoff is gapless: registration and
+    /// write fan-out serialize on the engine's registry lock.
+    pub fn subscribe_sql(
+        &self,
+        text: &str,
+        params: &Params,
+    ) -> Result<crate::subscribe::Subscription, SqlError> {
+        let wrap = |e: PlanError| SqlError::from_plan(whole_span(text), e);
+        let prepared = self.prepare_sql(text)?;
+        let concrete = prepared.validated_concrete(params).map_err(wrap)?.into_owned();
+        if contains_volatile_fn(&concrete, &self.engine.functions) {
+            return Err(wrap(PlanError::msg(
+                "cannot subscribe to a volatile table function",
+            )));
+        }
+        let schema = concrete.schema(&self.engine.catalog).map_err(wrap)?;
+        self.engine.subscribe(concrete, schema).map_err(wrap)
     }
 }
 
@@ -495,7 +564,24 @@ impl Prepared {
         fn go(plan: &Plan, engine: &Engine, depth: usize, out: &mut String) {
             let fp = fingerprint_against(plan, &engine.catalog);
             let state = match &engine.recycler {
-                Some(r) => format!(" [{}]", r.probe(plan).label()),
+                Some(r) => {
+                    let probe = r.probe(plan);
+                    // Cached nodes additionally carry their repairability
+                    // class: what a DML delta on their base tables would
+                    // do to the cached payload (patch in place vs evict).
+                    if matches!(
+                        probe,
+                        rdb_recycler::CacheState::Cached | rdb_recycler::CacheState::CachedState(_)
+                    ) {
+                        format!(
+                            " [{}] [{}]",
+                            probe.label(),
+                            rdb_delta::classify_node(plan).label()
+                        )
+                    } else {
+                        format!(" [{}]", probe.label())
+                    }
+                }
                 None => String::new(),
             };
             let _ = writeln!(

@@ -380,6 +380,204 @@ pub(crate) fn emit_groups(
     out
 }
 
+/// Recover the accumulator whose serial fold over the group's rows
+/// produced the finished value `v`, or `None` when the finished value
+/// under-determines the state (`avg` loses its sum/count split, `count
+/// distinct` loses its set). The recovered accumulator continues the
+/// *exact* serial fold: folding further rows into it yields bit-identical
+/// results to re-folding the whole input from scratch — including float
+/// sums, because `(((0 + a) + b) + c)` resumed after `b` is literally the
+/// same operation sequence.
+fn resume_acc(func: &AggFunc, input_types: &[DataType], v: Value) -> Option<Acc> {
+    match func {
+        AggFunc::CountStar | AggFunc::Count(_) => match v {
+            Value::Int(n) => Some(Acc::Count(n)),
+            _ => None,
+        },
+        AggFunc::Sum(e) => match e.data_type(input_types) {
+            DataType::Int => Some(match v {
+                Value::Int(t) => Acc::SumInt {
+                    total: t,
+                    seen: true,
+                },
+                _ => Acc::SumInt {
+                    total: 0,
+                    seen: false,
+                },
+            }),
+            _ => match v {
+                Value::Null => Some(Acc::SumFloat {
+                    total: 0.0,
+                    seen: false,
+                }),
+                other => Some(Acc::SumFloat {
+                    total: other.as_float()?,
+                    seen: true,
+                }),
+            },
+        },
+        AggFunc::Min(_) => Some(Acc::Min(match v {
+            Value::Null => None,
+            other => Some(other),
+        })),
+        AggFunc::Max(_) => Some(Acc::Max(match v {
+            Value::Null => None,
+            other => Some(other),
+        })),
+        AggFunc::Avg(_) | AggFunc::CountDistinct(_) => None,
+    }
+}
+
+/// An aggregation table re-materialized from a cached result so that new
+/// input rows can be folded in *incrementally* — the delta-repair kernel
+/// for appends. `resume` rebuilds every group's accumulator from its
+/// finished output row (see [`resume_acc`] for which aggregates admit
+/// this), `fold` continues the serial fold with delta rows, and `finish`
+/// re-emits the sorted groups. The emitted batches are byte-identical to
+/// recomputing the aggregate over old ++ delta input.
+pub struct ResumedAgg {
+    table: GroupTable,
+    output_types: Vec<DataType>,
+    group_len: usize,
+}
+
+impl ResumedAgg {
+    /// Rebuild group state from `cached` (the aggregate's emitted rows:
+    /// group keys then finished aggregate values, dense). Returns `None`
+    /// when any aggregate's state cannot be recovered from its finished
+    /// value.
+    pub fn resume(
+        cached: &Batch,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggFunc>,
+        input_types: Vec<DataType>,
+        output_types: Vec<DataType>,
+    ) -> Option<ResumedAgg> {
+        let group_len = group_by.len();
+        let mut table = GroupTable::new(group_by, aggs, input_types);
+        let key_refs: Vec<&Column> = cached.columns()[..group_len].iter().collect();
+        let mut key_buf = Vec::new();
+        for row in 0..cached.rows() {
+            let accs = table
+                .aggs
+                .iter()
+                .enumerate()
+                .map(|(j, a)| {
+                    resume_acc(a, &table.input_types, cached.column(group_len + j).get(row))
+                })
+                .collect::<Option<Vec<Acc>>>()?;
+            key_buf.clear();
+            encode_row_key(&key_refs, row, &mut key_buf);
+            let idx = table.states.len();
+            table.states.push(Group {
+                key: key_refs.iter().map(|c| c.get(row)).collect(),
+                accs,
+            });
+            table.groups.insert(key_buf.clone(), idx);
+        }
+        Some(ResumedAgg {
+            table,
+            output_types,
+            group_len,
+        })
+    }
+
+    /// Continue the fold with a (delta) input batch, selection-aware.
+    pub fn fold(&mut self, batch: &Batch) {
+        self.table.fold(batch);
+    }
+
+    /// Re-emit the sorted group rows.
+    pub fn finish(self) -> Vec<Batch> {
+        let states = self.table.into_sorted_states();
+        emit_groups(&states, &self.output_types, self.group_len)
+    }
+}
+
+/// Delete-repair for pure counting aggregates: subtract the deleted rows'
+/// per-group counts from `cached` and drop groups whose `count(*)` hits
+/// zero. Requires every aggregate to be `count(*)` or `count(expr)` with
+/// at least one `count(*)` present — the `count(*)` column proves a group
+/// lost *all* its rows (retraction), which no other finished value can
+/// (`sum` over `[5, NULL]` minus 5 is NULL, not 0). Returns `None` when
+/// the gate fails, a deleted row's group is missing from the cache, or a
+/// count would go negative — the caller must evict instead.
+pub fn retract_count_groups(
+    cached: &Batch,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggFunc>,
+    input_types: Vec<DataType>,
+    output_types: Vec<DataType>,
+    deleted_input: &[Batch],
+) -> Option<Vec<Batch>> {
+    let star = aggs.iter().position(|a| matches!(a, AggFunc::CountStar))?;
+    if !aggs
+        .iter()
+        .all(|a| matches!(a, AggFunc::CountStar | AggFunc::Count(_)))
+    {
+        return None;
+    }
+    let group_len = group_by.len();
+    let mut retract = GroupTable::new(group_by, aggs.clone(), input_types);
+    for b in deleted_input {
+        retract.fold(b);
+    }
+    let key_refs: Vec<&Column> = cached.columns()[..group_len].iter().collect();
+    let mut index: FxHashMap<Vec<u8>, usize> =
+        FxHashMap::with_capacity_and_hasher(cached.rows(), FxBuildHasher::default());
+    let mut key_buf = Vec::new();
+    for row in 0..cached.rows() {
+        key_buf.clear();
+        encode_row_key(&key_refs, row, &mut key_buf);
+        index.insert(key_buf.clone(), row);
+    }
+    let mut sub = vec![vec![0i64; aggs.len()]; cached.rows()];
+    for (key_bytes, &idx) in &retract.groups {
+        // Every deleted row existed in the old table, so its group must be
+        // in the cached result; a miss means the cache and the delta have
+        // diverged and repair is unsound.
+        let row = *index.get(key_bytes)?;
+        for (j, acc) in retract.states[idx].accs.iter().enumerate() {
+            sub[row][j] = match acc {
+                Acc::Count(n) => *n,
+                _ => return None,
+            };
+        }
+    }
+    let mut states = Vec::with_capacity(cached.rows());
+    for row in 0..cached.rows() {
+        let mut accs = Vec::with_capacity(aggs.len());
+        for (j, _) in aggs.iter().enumerate() {
+            let old = match cached.column(group_len + j).get(row) {
+                Value::Int(n) => n,
+                _ => return None,
+            };
+            let new = old - sub[row][j];
+            if new < 0 {
+                return None;
+            }
+            accs.push(Acc::Count(new));
+        }
+        let star_count = match &accs[star] {
+            Acc::Count(n) => *n,
+            _ => unreachable!(),
+        };
+        // A grouped aggregate drops fully-retracted groups; the global
+        // (group-less) row survives even at zero, exactly like recomputing
+        // over empty input.
+        if group_len > 0 && star_count == 0 {
+            continue;
+        }
+        states.push(Group {
+            key: key_refs.iter().map(|c| c.get(row)).collect(),
+            accs,
+        });
+    }
+    // Cached rows are already in sorted-key order and retraction only
+    // drops rows, so the order invariant is preserved without re-sorting.
+    Some(emit_groups(&states, &output_types, group_len))
+}
+
 /// Blocking hash aggregation: consumes the whole input, then streams the
 /// grouped result sorted by group key. With no group keys it produces
 /// exactly one row (also for empty input, per SQL semantics).

@@ -40,6 +40,7 @@ pub mod sort;
 pub mod store;
 pub mod stream;
 
+pub use agg::{retract_count_groups, ResumedAgg};
 pub use build::{build, ExecTree};
 pub use context::{ExecContext, FnRegistry, TableFunction};
 pub use join::{BuildPublish, BuildSide, SharedBuild};

@@ -827,6 +827,9 @@ mod tests {
             epoch: 1,
             rows_affected: 3,
             invalidated: Vec::new(),
+            repaired: 0,
+            repair_fallbacks: 0,
+            deltas_applied: 0,
         };
         let del = WriteOutcome {
             kind: WriteKind::Delete,
@@ -834,6 +837,9 @@ mod tests {
             epoch: 2,
             rows_affected: 7,
             invalidated: Vec::new(),
+            repaired: 0,
+            repair_fallbacks: 0,
+            deltas_applied: 0,
         };
         assert_eq!(write_tag(&ins), "INSERT 0 3");
         assert_eq!(write_tag(&del), "DELETE 7");

@@ -125,6 +125,10 @@ impl ServerShared {
             invalidations: u64,
             hash_build_hits: u64,
             agg_table_hits: u64,
+            repaired_hits: u64,
+            repair_fallbacks: u64,
+            deltas_applied: u64,
+            subscriptions_active: u64,
         }
         let ec = match self.engine.get() {
             Some(engine) => {
@@ -134,6 +138,7 @@ impl ServerShared {
                     queued: adm.queued as u64,
                     ..EngineCounters::default()
                 };
+                ec.subscriptions_active = engine.subscriptions_active() as u64;
                 if let Some(r) = engine.recycler() {
                     ec.hits = r.stats.reuses.load(Ordering::Relaxed)
                         + r.stats.subsumption_reuses.load(Ordering::Relaxed);
@@ -143,6 +148,9 @@ impl ServerShared {
                     ec.invalidations = r.stats.invalidations.load(Ordering::Relaxed);
                     ec.hash_build_hits = r.stats.hash_build_hits.load(Ordering::Relaxed);
                     ec.agg_table_hits = r.stats.agg_table_hits.load(Ordering::Relaxed);
+                    ec.repaired_hits = r.stats.repaired.load(Ordering::Relaxed);
+                    ec.repair_fallbacks = r.stats.repair_fallbacks.load(Ordering::Relaxed);
+                    ec.deltas_applied = r.stats.deltas_applied.load(Ordering::Relaxed);
                 }
                 ec
             }
@@ -169,6 +177,10 @@ impl ServerShared {
             invalidations: ec.invalidations,
             hash_build_hits: ec.hash_build_hits,
             agg_table_hits: ec.agg_table_hits,
+            repaired_hits: ec.repaired_hits,
+            repair_fallbacks: ec.repair_fallbacks,
+            deltas_applied: ec.deltas_applied,
+            subscriptions_active: ec.subscriptions_active,
             draining: self.draining(),
             wal_bytes: durability.wal_bytes,
             last_checkpoint_epoch: durability.last_checkpoint_epoch,
@@ -213,6 +225,15 @@ pub struct ServerStatsSnapshot {
     pub hash_build_hits: u64,
     /// Queries served a cached aggregate table instead of re-aggregating.
     pub agg_table_hits: u64,
+    /// Cache entries repaired in place from DML deltas instead of being
+    /// evicted.
+    pub repaired_hits: u64,
+    /// Repair candidates that fell back to eviction.
+    pub repair_fallbacks: u64,
+    /// Non-empty DML deltas routed through the repair walk.
+    pub deltas_applied: u64,
+    /// Live query subscriptions registered on the engine right now.
+    pub subscriptions_active: u64,
     /// Whether the server is draining.
     pub draining: bool,
     /// Bytes across all live WAL segments (0 without a data directory).
@@ -253,6 +274,10 @@ impl ServerStatsSnapshot {
             ("invalidations", self.invalidations as f64),
             ("hash_build_hits", self.hash_build_hits as f64),
             ("agg_table_hits", self.agg_table_hits as f64),
+            ("repaired_hits", self.repaired_hits as f64),
+            ("repair_fallbacks", self.repair_fallbacks as f64),
+            ("deltas_applied", self.deltas_applied as f64),
+            ("subscriptions_active", self.subscriptions_active as f64),
             ("draining", if self.draining { 1.0 } else { 0.0 }),
             ("wal_bytes", self.wal_bytes as f64),
             ("last_checkpoint_epoch", self.last_checkpoint_epoch as f64),

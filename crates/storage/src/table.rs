@@ -443,6 +443,52 @@ impl VersionedTable {
         })
     }
 
+    /// [`delete_where`](Self::delete_where), but additionally capturing the
+    /// deleted rows' full values (in predecessor order) inside the commit,
+    /// so callers can derive a typed delta without racing other writers.
+    /// The logged [`TableDelta::Delete`] is unchanged — positions only —
+    /// keeping the WAL format stable.
+    pub fn delete_where_capturing(
+        &self,
+        mask_of: impl Fn(&Table) -> Vec<bool>,
+    ) -> Result<(Vec<Vec<Value>>, Arc<Table>), StorageError> {
+        self.commit(|old| {
+            let delete = mask_of(old);
+            if delete.len() != old.rows() {
+                return Err(StorageError(format!(
+                    "delete mask has {} entries for {} rows of '{}'",
+                    delete.len(),
+                    old.rows(),
+                    self.name
+                )));
+            }
+            if !delete.iter().any(|&d| d) {
+                return Ok(NextVersion::Noop(Vec::new()));
+            }
+            let captured: Vec<Vec<Value>> = delete
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d)
+                .map(|(i, _)| old.row_values(i))
+                .collect();
+            let keep: Vec<bool> = delete.iter().map(|&d| !d).collect();
+            let columns = (0..self.schema.len())
+                .map(|i| old.column(i).filter(&keep))
+                .collect();
+            let indices = delete
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d)
+                .map(|(i, _)| i as u64)
+                .collect();
+            Ok(NextVersion::Commit(
+                captured,
+                columns,
+                TableDelta::Delete { deleted: indices },
+            ))
+        })
+    }
+
     /// Replace the contents wholesale with `table` (same schema required),
     /// committing it as the next epoch. Returns the new snapshot.
     pub fn replace(&self, table: &Table) -> Result<Arc<Table>, StorageError> {

@@ -76,12 +76,16 @@
 //! let batch = second.collect_batch();
 //! assert_eq!(batch.column(0).as_floats(), &[30.0]);
 //!
-//! // Updates commit a new table epoch; the recycler invalidates exactly
-//! // the cache entries that depended on the table, and the next
-//! // execution computes fresh against the new version.
-//! session.append("sales", &[vec![Value::Int(1), Value::Float(70.0)]]).unwrap();
+//! // Updates commit a new table epoch. Instead of evicting the cached
+//! // aggregate, the recycler *repairs* it in place from the append's
+//! // delta (folding the new row into the finished sum), so the next
+//! // execution still reuses — now serving the new epoch's answer.
+//! let write = session
+//!     .append("sales", &[vec![Value::Int(1), Value::Float(70.0)]])
+//!     .unwrap();
+//! assert!(write.repaired >= 1);
 //! let after = prepared.execute(&params).unwrap();
-//! assert!(!after.reused());
+//! assert!(after.reused(), "repaired entries keep serving");
 //! assert_eq!(after.collect_batch().column(0).as_floats(), &[100.0]);
 //! ```
 

@@ -25,12 +25,29 @@ fn det_config() -> RecyclerConfig {
     c
 }
 
+/// Repair disabled: the paper's pure evict-on-write baseline, which the
+/// precise-invalidation tests below pin down. (Repair-enabled semantics
+/// are covered by `tests/delta_repair.rs`.)
+fn det_config_evict_only() -> RecyclerConfig {
+    let mut c = det_config();
+    c.repair = false;
+    c
+}
+
 fn tpch_engine() -> Arc<Engine> {
     let cat = generate(&TpchConfig {
         scale: 0.005,
         seed: 42,
     });
     Engine::builder(cat).recycler(det_config()).build()
+}
+
+fn tpch_engine_evict_only() -> Arc<Engine> {
+    let cat = generate(&TpchConfig {
+        scale: 0.005,
+        seed: 42,
+    });
+    Engine::builder(cat).recycler(det_config_evict_only()).build()
 }
 
 /// A schema-valid lineitem row.
@@ -86,7 +103,7 @@ fn cached_over_only(engine: &Arc<Engine>, table: &str, exclude: &str) -> usize {
 
 #[test]
 fn updating_lineitem_evicts_exactly_the_dependent_entries() {
-    let engine = tpch_engine();
+    let engine = tpch_engine_evict_only();
     let session = engine.session();
     let mut rng = SmallRng::seed_from_u64(7);
 
@@ -142,6 +159,11 @@ fn updating_lineitem_evicts_exactly_the_dependent_entries() {
     assert_eq!(out.table, "lineitem");
     assert_eq!(out.rows_affected, 2);
     assert_eq!(out.epoch, 1);
+    assert_eq!(
+        (out.repaired, out.deltas_applied),
+        (0, 0),
+        "repair disabled: the write must route through pure eviction"
+    );
 
     // Precisely the lineitem-dependent entries were evicted. Beyond the
     // materialized results, the walk also kills dependent *operator-state*
@@ -353,7 +375,10 @@ fn append_and_delete_flow_through_query_results() {
     assert_eq!(first.batch.column(0).as_floats(), &[base]);
     assert!(session.query(&q).unwrap().into_outcome().reused());
 
-    // Append two matching rows.
+    // Append two matching rows. The cached SUM aggregate is append-
+    // repairable: the delta folds into the finished value in place, and
+    // the next query *reuses* the repaired entry — at the new epoch, with
+    // the new rows included, bit-exactly.
     let out = session
         .append(
             "t",
@@ -363,25 +388,38 @@ fn append_and_delete_flow_through_query_results() {
             ],
         )
         .unwrap();
-    assert!(!out.invalidated.is_empty(), "cached aggregate evicted");
+    assert!(
+        out.invalidated
+            .iter()
+            .any(|e| matches!(e, RecyclerEvent::Repaired { .. })),
+        "cached aggregate repaired in place: {:?}",
+        out.invalidated
+    );
+    assert!(out.repaired >= 1);
+    assert_eq!(out.deltas_applied, 1);
     let after = session.query(&q).unwrap().into_outcome();
-    assert!(!after.reused());
+    assert!(after.reused(), "repaired entry serves the new epoch");
     assert_eq!(after.batch.column(0).as_floats(), &[base + 30_000.0]);
 
-    // Delete them again by predicate.
+    // Delete them again by predicate. A float SUM cannot soundly retract
+    // (no per-group count to gate on), so the delete falls back to
+    // eviction and the next query recomputes.
     let out = session
         .delete("t", &Expr::name("v").ge(Expr::lit(10_000.0)))
         .unwrap();
     assert_eq!(out.rows_affected, 2);
     assert_eq!(out.epoch, 2);
+    assert!(out.repair_fallbacks >= 1 || out.repaired == 0);
     let back = session.query(&q).unwrap().into_outcome();
-    assert!(!back.reused());
+    assert!(!back.reused(), "sum delete-repair must fall back to evict");
     assert_eq!(back.batch.column(0).as_floats(), &[base]);
 
     let stats = session.stats();
     assert_eq!(stats.writes, 2);
     assert_eq!(stats.rows_appended, 2);
     assert_eq!(stats.rows_deleted, 2);
+    assert!(stats.repaired_hits >= 1);
+    assert_eq!(stats.deltas_applied, 2, "both writes carried a delta");
 }
 
 #[test]
@@ -465,6 +503,10 @@ fn noop_dml_commits_no_epoch_and_keeps_the_cache_hot() {
     assert!(out.invalidated.is_empty());
     assert_eq!(engine.recycler().unwrap().cache_len(), len);
     assert!(session.query(&q).unwrap().into_outcome().reused());
+    // The no-op fast path never reaches the repair walk either.
+    let stats = session.stats();
+    assert_eq!(stats.deltas_applied, 0, "no-op DML applies no delta");
+    assert_eq!(stats.repaired_hits + stats.repair_fallbacks, 0);
 }
 
 #[test]

@@ -277,6 +277,26 @@ fn rdb_stats_is_queryable_and_never_stale() {
         metric(&second, "statements") >= statements_then + 2.0,
         "stats must not be served from the recycler cache"
     );
+
+    // The repair counters round-trip over the wire. With no writes yet
+    // they all sit at zero; a DML against a warm cache routes a delta
+    // through the repair walk and the next read must see it.
+    assert_eq!(metric(&second, "repaired_hits"), 0.0);
+    assert_eq!(metric(&second, "repair_fallbacks"), 0.0);
+    assert_eq!(metric(&second, "deltas_applied"), 0.0);
+    assert_eq!(metric(&second, "subscriptions_active"), 0.0);
+    client
+        .query("INSERT INTO t VALUES (2000, 1.5, 'red')")
+        .unwrap();
+    let third = client.query("SELECT * FROM rdb_stats()").unwrap();
+    assert!(
+        metric(&third, "deltas_applied") >= 1.0,
+        "an insert against a warm cache must route a delta through repair"
+    );
+    assert!(
+        metric(&third, "repaired_hits") + metric(&third, "repair_fallbacks") >= 1.0,
+        "the cached selection must be repaired or fall back to eviction"
+    );
 }
 
 #[test]
