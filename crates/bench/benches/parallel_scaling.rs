@@ -182,6 +182,19 @@ fn main() {
                 "{name}: parallel overhead on {cores} core(s) too high ({speedup4:.2}x at DOP=4)"
             );
         }
+        if cores == 1 {
+            // The engine clamps effective DOP to the available cores
+            // (`effective_dop`; these engines don't set
+            // RDB_ALLOW_OVERSUBSCRIBE), so a DOP=8 request runs serial and
+            // oversubscription must be free: no thread pool to spin up, no
+            // gather reordering, no morsel hand-off tax.
+            let over8 = medians[3] / medians[0];
+            assert!(
+                over8 <= 1.1,
+                "{name}: requested DOP=8 on a 1-core host must clamp to serial \
+                 (<= 1.1x dop1 time), got {over8:.2}x"
+            );
+        }
     }
 
     let out_path = std::env::var("RDB_BENCH_OUT")

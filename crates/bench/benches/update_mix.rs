@@ -6,12 +6,12 @@
 //! with DML: every `1/WRITE_FRACTION`-th operation appends a few lineitem
 //! rows, bumping the epoch. Four configurations:
 //!
-//! * `repair`         — recycling on, deltas repair cached entries in
-//!                      place (the measured system, `rdb_delta`);
+//! * `repair` — recycling on, deltas repair cached entries in place (the
+//!   measured system, `rdb_delta`);
 //! * `evict_baseline` — recycling on, repair disabled: every write evicts
-//!                      the dependent entries (PR 3's behavior);
-//! * `naive`          — recycling off, same mix (the floor);
-//! * `read_only`      — recycling on, no writes (the ceiling).
+//!   the dependent entries (PR 3's behavior);
+//! * `naive` — recycling off, same mix (the floor);
+//! * `read_only` — recycling on, no writes (the ceiling).
 //!
 //! With repair, appends patch the cached selections and aggregates under
 //! the new epoch vector instead of evicting them, so the hit rate stays

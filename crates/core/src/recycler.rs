@@ -427,7 +427,11 @@ impl Recycler {
                     };
                     // Already fresh: a producer pinned at the new version
                     // published before this call; its work is valid.
-                    if entry.epochs.iter().any(|(t, e)| t == table && *e >= new_epoch) {
+                    if entry
+                        .epochs
+                        .iter()
+                        .any(|(t, e)| t == table && *e >= new_epoch)
+                    {
                         continue;
                     }
                     // Repair applies one epoch step exactly: the entry must
@@ -477,9 +481,9 @@ impl Recycler {
         // Phase 2 (unlocked): evaluate repair kernels, memoized per node.
         let mut repaired_by_node: HashMap<NodeId, Option<MaterializedResult>> = HashMap::new();
         for c in &candidates {
-            repaired_by_node
-                .entry(c.aid.node)
-                .or_insert_with(|| rdb_delta::repair(&c.plan, &c.cached, delta, snapshot, functions));
+            repaired_by_node.entry(c.aid.node).or_insert_with(|| {
+                rdb_delta::repair(&c.plan, &c.cached, delta, snapshot, functions)
+            });
         }
 
         // Phase 3 (locked): re-validate each candidate and patch in place,
@@ -514,8 +518,9 @@ impl Recycler {
                     ArtifactKind::AggTable => CacheArtifact::AggTable(Arc::new(r.clone())),
                     ArtifactKind::HashBuild => unreachable!("hash builds never repair"),
                 };
-                if let Some(evicted) =
-                    st.cache.patch_artifact(c.aid, artifact, benefit, new_epochs)
+                if let Some(evicted) = st
+                    .cache
+                    .patch_artifact(c.aid, artifact, benefit, new_epochs)
                 {
                     for e in evicted {
                         if e.kind == ArtifactKind::Result {

@@ -91,7 +91,12 @@ pub struct Delta {
 
 impl Delta {
     /// Delta for an append commit.
-    pub fn append(table: impl Into<String>, schema: Schema, epoch: u64, rows: &[Vec<Value>]) -> Delta {
+    pub fn append(
+        table: impl Into<String>,
+        schema: Schema,
+        epoch: u64,
+        rows: &[Vec<Value>],
+    ) -> Delta {
         let appended = batch_from_rows(&schema, rows);
         let deleted = Batch::concat_or_empty(&schema, &[]);
         Delta {
@@ -105,7 +110,12 @@ impl Delta {
 
     /// Delta for a delete commit; `rows` are the deleted rows' captured
     /// values in predecessor order.
-    pub fn delete(table: impl Into<String>, schema: Schema, epoch: u64, rows: &[Vec<Value>]) -> Delta {
+    pub fn delete(
+        table: impl Into<String>,
+        schema: Schema,
+        epoch: u64,
+        rows: &[Vec<Value>],
+    ) -> Delta {
         let deleted = batch_from_rows(&schema, rows);
         let appended = Batch::concat_or_empty(&schema, &[]);
         Delta {
@@ -378,7 +388,15 @@ pub fn repair(
             else {
                 return None;
             };
-            let cat = delta_catalog(snapshot, delta, if appending { &delta.appended } else { &delta.deleted });
+            let cat = delta_catalog(
+                snapshot,
+                delta,
+                if appending {
+                    &delta.appended
+                } else {
+                    &delta.deleted
+                },
+            );
             let input_types: Vec<_> = child
                 .schema(&cat)
                 .ok()?
@@ -489,7 +507,9 @@ fn merge_top_n(
         }
         taken += 1;
     }
-    Some(Batch::new(builders.into_iter().map(|b| b.finish()).collect()))
+    Some(Batch::new(
+        builders.into_iter().map(|b| b.finish()).collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -535,10 +555,7 @@ mod tests {
         assert_eq!(classify(&agg, "t"), Repairability::Agg);
 
         let avg = bound(
-            scan("t", &["k", "v"]).aggregate(
-                vec![],
-                vec![(AggFunc::Avg(Expr::name("v")), "a")],
-            ),
+            scan("t", &["k", "v"]).aggregate(vec![], vec![(AggFunc::Avg(Expr::name("v")), "a")]),
             &cat,
         );
         assert_eq!(classify(&avg, "t"), Repairability::EvictOnly);

@@ -48,8 +48,14 @@ pub struct EngineConfig {
     /// single query's morsel-driven pipelines may use. `1` (the default)
     /// executes fully serially on the calling thread. Sessions can
     /// override per query ([`crate::session::Session::set_parallelism`]).
-    /// Results are byte-identical at every DOP.
+    /// Results are byte-identical at every DOP. Requests beyond the host's
+    /// available parallelism are clamped (see [`effective_dop`]).
     pub parallelism: usize,
+    /// Whether scan-rooted filter/project/join-probe chains execute as
+    /// fused push-style pipelines (`rdb_exec::fuse`). On by default;
+    /// results and cache entries are byte-identical either way, so this
+    /// exists for A/B benchmarking and equivalence tests.
+    pub fusion: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +67,7 @@ impl Default for EngineConfig {
             // Env-driven default so whole test/bench suites can be swept
             // across DOPs without code changes (the CI DOP matrix).
             parallelism: default_parallelism_from_env(),
+            fusion: true,
         }
     }
 }
@@ -73,6 +80,24 @@ fn default_parallelism_from_env() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(1)
         .max(1)
+}
+
+/// Effective DOP for a request of `n` workers: `min(n, available
+/// parallelism)`. Oversubscribing the host makes morsel pipelines
+/// *slower*, not faster — extra workers add context switches and contend
+/// on the morsel dispenser without adding compute — so requests beyond the
+/// core count are clamped. Setting `RDB_ALLOW_OVERSUBSCRIBE` (any value)
+/// disables the clamp: the CI DOP matrix runs DOP 8 on small hosts to
+/// exercise determinism, not speed, and needs the literal worker count.
+pub fn effective_dop(n: usize) -> usize {
+    let n = n.max(1);
+    if std::env::var_os("RDB_ALLOW_OVERSUBSCRIBE").is_some() {
+        return n;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    n.min(cores)
 }
 
 impl EngineConfig {
@@ -193,6 +218,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable or disable fused pipeline execution (on by default; see
+    /// [`EngineConfig::fusion`]).
+    pub fn fusion(mut self, on: bool) -> EngineBuilder {
+        self.config.fusion = on;
+        self
+    }
+
     /// Apply a whole [`EngineConfig`] at once.
     pub fn config(mut self, config: EngineConfig) -> EngineBuilder {
         self.config = config;
@@ -212,7 +244,7 @@ impl EngineBuilder {
     /// lineage to warm the recycler, and (4) spawns the background
     /// checkpointer.
     pub fn try_build(self) -> Result<Arc<Engine>, PlanError> {
-        let parallelism = self.config.parallelism.max(1);
+        let parallelism = effective_dop(self.config.parallelism);
         let (durability, lineage) = match self.data_dir {
             Some(dir) => {
                 let (state, report) =
@@ -239,6 +271,7 @@ impl EngineBuilder {
             )),
             pool: (parallelism > 1).then(|| WorkerPool::new(parallelism)),
             parallelism,
+            fusion: self.config.fusion,
             epoch: Instant::now(),
             durability,
             subscriptions: Mutex::new(Vec::new()),
@@ -605,6 +638,8 @@ pub struct Engine {
     pub(crate) pool: Option<Arc<WorkerPool>>,
     /// Engine-default DOP.
     pub(crate) parallelism: usize,
+    /// Fused pipeline execution (see [`EngineConfig::fusion`]).
+    pub(crate) fusion: bool,
     pub(crate) epoch: Instant,
     /// WAL + checkpoint state (`None` without a data directory).
     pub(crate) durability: Option<DurabilityState>,
@@ -664,6 +699,11 @@ impl Engine {
     /// The engine-default degree of intra-query parallelism.
     pub fn parallelism(&self) -> usize {
         self.parallelism
+    }
+
+    /// Whether fused pipeline execution is enabled.
+    pub fn fusion(&self) -> bool {
+        self.fusion
     }
 
     /// Flush the recycler cache (no-op when recycling is off).
@@ -927,8 +967,13 @@ impl Engine {
             .iter()
             .map(|t| snapshot.epoch_of(t).unwrap_or(0))
             .collect();
-        let classes = tables.iter().map(|t| rdb_delta::classify(&plan, t)).collect();
-        let id = self.next_sub_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let classes = tables
+            .iter()
+            .map(|t| rdb_delta::classify(&plan, t))
+            .collect();
+        let id = self
+            .next_sub_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let queue = Arc::new(SubQueue::new());
         queue.push(DeltaEvent::Initial(initial));
         if self.is_shutting_down() {

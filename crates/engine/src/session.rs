@@ -29,7 +29,7 @@ use rdb_sql::{BoundStatement, CatalogWithFunctions, Span, SqlError};
 use rdb_storage::CatalogSnapshot;
 use rdb_vector::{Batch, Schema, Value};
 
-use crate::engine::{Engine, GateGuard, QueryOutcome, WriteOutcome};
+use crate::engine::{effective_dop, Engine, GateGuard, QueryOutcome, WriteOutcome};
 
 /// Monotonic counters describing one session's activity.
 #[derive(Debug, Default)]
@@ -185,7 +185,10 @@ impl Session {
     /// executions (including statements already prepared on it). The
     /// engine's shared worker pool is sized by
     /// [`crate::engine::EngineBuilder::parallelism`]; a larger session DOP
-    /// still works, with the excess running on overflow threads.
+    /// still works, with the excess running on overflow threads. Like the
+    /// builder, the override is clamped to the host's available cores at
+    /// execution time ([`crate::engine::effective_dop`]) — oversubscribing
+    /// a small host only adds scheduling overhead.
     pub fn set_parallelism(&self, dop: usize) {
         self.parallelism.store(dop.max(1), Ordering::Relaxed);
     }
@@ -401,7 +404,10 @@ impl Session {
     ) -> Result<crate::subscribe::Subscription, SqlError> {
         let wrap = |e: PlanError| SqlError::from_plan(whole_span(text), e);
         let prepared = self.prepare_sql(text)?;
-        let concrete = prepared.validated_concrete(params).map_err(wrap)?.into_owned();
+        let concrete = prepared
+            .validated_concrete(params)
+            .map_err(wrap)?
+            .into_owned();
         if contains_volatile_fn(&concrete, &self.engine.functions) {
             return Err(wrap(PlanError::msg(
                 "cannot subscribe to a volatile table function",
@@ -561,7 +567,20 @@ impl Prepared {
 
     fn render_explain(&self, plan: &Plan) -> String {
         use std::fmt::Write as _;
-        fn go(plan: &Plan, engine: &Engine, depth: usize, out: &mut String) {
+        fn go(plan: &Plan, engine: &Engine, depth: usize, in_span: bool, out: &mut String) {
+            // Annotate the top of each fusable chain with the number of
+            // operators the executor collapses into one push-style loop.
+            // Interior chain nodes are part of the same span, so only the
+            // outermost node carries the tag.
+            let span = if engine.fusion && !in_span {
+                rdb_exec::fused_span(plan)
+            } else {
+                None
+            };
+            let fused = match span {
+                Some(n) => format!(" [fused x{n}]"),
+                None => String::new(),
+            };
             let fp = fingerprint_against(plan, &engine.catalog);
             let state = match &engine.recycler {
                 Some(r) => {
@@ -586,17 +605,26 @@ impl Prepared {
             };
             let _ = writeln!(
                 out,
-                "{:indent$}{}  [fp {fp:016x}]{state}",
+                "{:indent$}{}  [fp {fp:016x}]{state}{fused}",
                 "",
                 plan.label(),
                 indent = depth * 2
             );
-            for c in plan.children() {
-                go(c, engine, depth + 1, out);
+            // The fused chain runs down the first child (filter/project
+            // input, join probe side); a join's build side starts a fresh
+            // pipeline and may open its own span.
+            for (i, c) in plan.children().into_iter().enumerate() {
+                go(
+                    c,
+                    engine,
+                    depth + 1,
+                    i == 0 && (span.is_some() || in_span),
+                    out,
+                );
             }
         }
         let mut out = String::new();
-        go(plan, &self.engine, 0, &mut out);
+        go(plan, &self.engine, 0, false, &mut out);
         out
     }
 
@@ -669,20 +697,23 @@ impl Prepared {
         let engine = &self.engine;
         let started_at = engine.epoch.elapsed();
         let start = Instant::now();
-        // DOP: the session override if set, else the engine default. The
+        // DOP: the session override if set, else the engine default, both
+        // clamped to the host's cores (the engine default already is; the
+        // session override is clamped here, at the point of use). The
         // builder splits eligible pipelines across the engine's worker
         // pool; every scan still reads the one snapshot pinned below, so
         // all workers of this query see the same epoch vector.
-        let dop = match self.parallelism.load(Ordering::Relaxed) {
+        let dop = effective_dop(match self.parallelism.load(Ordering::Relaxed) {
             0 => engine.parallelism,
             n => n,
-        };
+        });
         if dop > 1 {
             self.stats.parallel.fetch_add(1, Ordering::Relaxed);
         }
         let with_parallelism = |mut ctx: ExecContext| {
             ctx = ctx
                 .with_parallelism(dop)
+                .with_fusion(engine.fusion)
                 .with_cancel(Some(self.cancel.clone()));
             match &engine.pool {
                 Some(pool) => ctx.with_pool(pool.clone()),
@@ -854,6 +885,16 @@ impl QueryHandle {
         self.stream.progress()
     }
 
+    /// The execution failure recorded by a parallel pipeline worker, if
+    /// any. A stream that ended with an error here ended *short*: the rows
+    /// already pulled are valid but the result is truncated, the recycler
+    /// saw an abort (nothing partial was cached), and the handle counts as
+    /// aborted in session stats. `None` after a full drain means the
+    /// result is complete.
+    pub fn error(&self) -> Option<rdb_exec::ExecError> {
+        self.stream.error()
+    }
+
     /// Drain the remaining batches into one concatenated batch (the
     /// explicit materialization point).
     pub fn collect_batch(mut self) -> Batch {
@@ -931,11 +972,12 @@ impl Iterator for QueryHandle {
                 Some(b)
             }
             None => {
-                // A cancelled stream ended early: its metrics describe a
-                // truncated run, so finalize as an abort (no graph
-                // annotation, store targets abandoned) rather than a
-                // completion.
-                let drained = !self.cancel.load(Ordering::Acquire);
+                // A cancelled or failed stream ended early: its metrics
+                // describe a truncated run, so finalize as an abort (no
+                // graph annotation, store targets abandoned) rather than a
+                // completion. Worker failures surface through
+                // [`QueryHandle::error`].
+                let drained = !self.cancel.load(Ordering::Acquire) && self.stream.error().is_none();
                 self.finalize(drained);
                 None
             }

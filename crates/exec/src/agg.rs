@@ -545,14 +545,14 @@ pub fn retract_count_groups(
         }
     }
     let mut states = Vec::with_capacity(cached.rows());
-    for row in 0..cached.rows() {
+    for (row, sub_row) in sub.iter().enumerate() {
         let mut accs = Vec::with_capacity(aggs.len());
         for (j, _) in aggs.iter().enumerate() {
             let old = match cached.column(group_len + j).get(row) {
                 Value::Int(n) => n,
                 _ => return None,
             };
-            let new = old - sub[row][j];
+            let new = old - sub_row[j];
             if new < 0 {
                 return None;
             }

@@ -16,7 +16,9 @@ use rdb_vector::{DataType, Schema};
 
 use crate::agg::HashAggExec;
 use crate::context::ExecContext;
+use crate::error::FailSlot;
 use crate::filter::{FilterExec, ProjectExec};
+use crate::fuse::FusedPipelineExec;
 use crate::join::{BuildPublish, BuildSide, HashJoinExec, SharedBuild};
 use crate::metrics::{MetricsNode, OpMetrics};
 use crate::op::Operator;
@@ -37,6 +39,9 @@ pub struct ExecTree {
     pub metrics: MetricsNode,
     /// Output schema.
     pub schema: Schema,
+    /// Failure slot shared with the execution's parallel workers; consult
+    /// after the stream ends to distinguish completion from worker death.
+    pub fail: Arc<FailSlot>,
 }
 
 /// Build a physical operator tree from a *bound* plan.
@@ -54,6 +59,7 @@ pub fn build(plan: &Plan, ctx: &ExecContext) -> Result<ExecTree, PlanError> {
         root,
         metrics,
         schema,
+        fail: ctx.fail.clone(),
     })
 }
 
@@ -155,6 +161,20 @@ fn build_node(
     plan: &Plan,
     ctx: &ExecContext,
 ) -> Result<(Box<dyn Operator>, MetricsNode), PlanError> {
+    // Fused serial execution of scan-rooted filter/project/probe chains:
+    // one push-style loop per morsel instead of one pull hop per operator
+    // per batch (see `crate::fuse`). Same batches, same metrics shape.
+    if ctx.fusion {
+        if let Some(fused) =
+            crate::fuse::build_fused_pipeline(plan, ctx, false, &mut |p| build_node(p, ctx))?
+        {
+            let metrics = fused.metrics.clone();
+            return Ok((
+                Box::new(FusedPipelineExec::new(fused.dispenser, fused.chain)),
+                metrics,
+            ));
+        }
+    }
     let m = OpMetrics::shared();
     Ok(match plan {
         Plan::Scan { table, cols } => {
@@ -295,7 +315,10 @@ fn build_node(
                     store.publish_state(&plan_key, 0, OperatorState::AggTable(r), cost, &epochs);
                 }) as TeePublish;
                 return Ok((
-                    Box::new(StateTee::new(agg_op, schema, publish, ctx.cancel.clone())),
+                    Box::new(
+                        StateTee::new(agg_op, schema, publish, ctx.cancel.clone())
+                            .with_fail(ctx.fail.clone()),
+                    ),
                     node,
                 ));
             }
@@ -427,7 +450,8 @@ fn build_node(
                         *mode == StoreMode::Speculate,
                         m.clone(),
                     )
-                    .with_cancel(ctx.cancel.clone()),
+                    .with_cancel(ctx.cancel.clone())
+                    .with_fail(ctx.fail.clone()),
                 ),
                 MetricsNode::new(m, vec![cm]),
             )

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use rdb_expr::{eval, eval_selection, Expr, Selection};
+use rdb_expr::{eval, CompiledPredicate, Expr};
 use rdb_vector::Batch;
 
 use crate::metrics::OpMetrics;
@@ -22,13 +22,15 @@ use crate::op::{timed_next, Operator};
 /// gathers instead of attaching a selection (see module docs).
 pub const COMPACT_FRACTION: usize = 16;
 
-/// Vectorized selection: evaluates the predicate per batch and attaches
-/// the qualifying row indices as the batch's selection vector. All-true
+/// Vectorized selection: the predicate is compiled once at construction
+/// and evaluated per batch by the allocation-free selection kernel,
+/// writing qualifying row indices into a reusable scratch buffer. All-true
 /// batches pass through untouched; all-false batches are skipped without
-/// allocating anything; very sparse survivors are compacted on the spot.
+/// emitting anything; very sparse survivors are compacted on the spot.
 pub struct FilterExec {
     child: Box<dyn Operator>,
-    predicate: Expr,
+    pred: CompiledPredicate,
+    scratch: Vec<u32>,
     metrics: Arc<OpMetrics>,
 }
 
@@ -37,7 +39,8 @@ impl FilterExec {
     pub fn new(child: Box<dyn Operator>, predicate: Expr, metrics: Arc<OpMetrics>) -> Self {
         FilterExec {
             child,
-            predicate,
+            pred: CompiledPredicate::compile(&predicate),
+            scratch: Vec::new(),
             metrics,
         }
     }
@@ -46,21 +49,28 @@ impl FilterExec {
 impl Operator for FilterExec {
     fn next_batch(&mut self) -> Option<Batch> {
         let metrics = self.metrics.clone();
+        let FilterExec {
+            child,
+            pred,
+            scratch,
+            ..
+        } = self;
         timed_next(&metrics, || {
             // Loop until a non-empty output batch or end of input, so
             // downstream operators never see empty batches.
             loop {
-                let batch = self.child.next_batch()?;
-                match eval_selection(&self.predicate, &batch) {
-                    Selection::All => return Some(batch),
-                    Selection::Empty => continue,
-                    Selection::Rows(rows) => {
-                        if rows.len() * COMPACT_FRACTION < batch.physical_rows() {
-                            return Some(batch.take_physical(&rows));
-                        }
-                        return Some(batch.with_selection(Arc::new(rows)));
-                    }
+                let batch = child.next_batch()?;
+                pred.select_into(&batch, scratch);
+                if scratch.is_empty() {
+                    continue;
                 }
+                if scratch.len() == batch.rows() {
+                    return Some(batch);
+                }
+                if scratch.len() * COMPACT_FRACTION < batch.physical_rows() {
+                    return Some(batch.take_physical(scratch));
+                }
+                return Some(batch.with_selection(Arc::new(std::mem::take(scratch))));
             }
         })
     }

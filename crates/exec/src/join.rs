@@ -2,11 +2,14 @@
 //!
 //! The build side (right input) is drained into a hash table first — the
 //! only materialization a pipelined engine performs for joins — and the
-//! probe side then streams through batch-at-a-time. The index uses the
-//! vendored FxHash (keys are encoded row bytes produced in bulk; SipHash's
-//! DoS resistance buys nothing here) and is pre-sized from the build-side
-//! row count. Probe batches are consumed selection-aware: semi/anti joins
-//! emit the probe batch with a narrowed selection (zero-copy), and
+//! probe side then streams through batch-at-a-time. The index maps
+//! pre-computed 64-bit key hashes ([`rdb_vector::hash_columns`]: one typed
+//! pass per key column, no per-row byte encoding) to candidate build rows;
+//! probes hash a whole batch's keys in bulk and confirm candidates with
+//! the positional equality predicate [`rdb_vector::key_rows_eq`], so the
+//! row-at-a-time work left in the probe loop is an array lookup and a
+//! typed compare. Probe batches are consumed selection-aware: semi/anti
+//! joins emit the probe batch with a narrowed selection (zero-copy), and
 //! single-row broadcasts share the probe columns.
 
 use std::sync::Arc;
@@ -15,8 +18,8 @@ use fxhash::{FxBuildHasher, FxHashMap};
 
 use rdb_expr::{eval, Expr};
 use rdb_vector::column::ColumnBuilder;
-use rdb_vector::row::{encode_row_key, row_has_null_key};
-use rdb_vector::{Batch, Column, DataType};
+use rdb_vector::row::row_has_null_key;
+use rdb_vector::{hash_columns, key_rows_eq, Batch, Column, DataType};
 
 use crate::metrics::OpMetrics;
 use crate::op::{timed_next, Operator};
@@ -34,8 +37,12 @@ pub use rdb_plan::JoinKind;
 pub struct BuildSide {
     /// Concatenated build input.
     batch: Batch,
-    /// Key bytes → row indices in `batch`.
-    index: FxHashMap<Vec<u8>, Vec<u32>>,
+    /// Key columns evaluated over `batch`, kept to confirm hash-bucket
+    /// candidates positionally (hashes are candidates, not proofs).
+    key_cols: Vec<Column>,
+    /// Key hash → row indices in `batch`, each list in build-row order
+    /// (which is what keeps join output order identical across runs).
+    index: FxHashMap<u64, Vec<u32>>,
 }
 
 impl BuildSide {
@@ -44,17 +51,94 @@ impl BuildSide {
         self.batch.rows()
     }
 
-    /// Memory footprint in bytes: the batch plus an estimate of the hash
-    /// index (key bytes, row-id lists, per-entry bookkeeping). This is
-    /// what the recycler cache accounts for a cached build side.
+    /// Memory footprint in bytes: the batch, the kept key columns, and an
+    /// estimate of the hash index (hash words, row-id lists, per-entry
+    /// bookkeeping). This is what the recycler cache accounts for a cached
+    /// build side.
     pub fn size_bytes(&self) -> usize {
         let index_bytes: usize = self
             .index
-            .iter()
-            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<u32>() + 48)
+            .values()
+            .map(|v| std::mem::size_of::<u64>() + v.len() * std::mem::size_of::<u32>() + 48)
             .sum();
-        self.batch.size_bytes() + index_bytes
+        let key_bytes: usize = self.key_cols.iter().map(|c| c.size_bytes()).sum();
+        self.batch.size_bytes() + key_bytes + index_bytes
     }
+
+    /// The concatenated build batch (dense; gathers index it physically).
+    pub(crate) fn batch(&self) -> &Batch {
+        &self.batch
+    }
+
+    /// Map-side probe over prepared probe keys: for every probe row
+    /// yielded by `rows` (physical indices, in order), append the verified
+    /// `(probe, build)` match pairs; rows with no match — including NULL
+    /// keys, which no indexed build row can equal — go to `unmatched` when
+    /// `want_unmatched` (left outer).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn probe_pairs(
+        &self,
+        probe_keys: &[&Column],
+        hashes: &[u64],
+        rows: impl Iterator<Item = u32>,
+        want_unmatched: bool,
+        left_idx: &mut Vec<u32>,
+        right_idx: &mut Vec<u32>,
+        unmatched: &mut Vec<u32>,
+    ) {
+        let build_keys: Vec<&Column> = self.key_cols.iter().collect();
+        for row in rows {
+            let mut any = false;
+            if let Some(cands) = self.index.get(&hashes[row as usize]) {
+                for &r in cands {
+                    if key_rows_eq(probe_keys, row as usize, &build_keys, r as usize) {
+                        left_idx.push(row);
+                        right_idx.push(r);
+                        any = true;
+                    }
+                }
+            }
+            if !any && want_unmatched {
+                unmatched.push(row);
+            }
+        }
+    }
+
+    /// Existence probe (semi/anti): keep the probe rows whose
+    /// has-a-verified-match status equals `want_match`. NULL probe keys
+    /// never match (no indexed build row can equal them).
+    pub(crate) fn probe_keep(
+        &self,
+        probe_keys: &[&Column],
+        hashes: &[u64],
+        rows: impl Iterator<Item = u32>,
+        want_match: bool,
+        keep: &mut Vec<u32>,
+    ) {
+        let build_keys: Vec<&Column> = self.key_cols.iter().collect();
+        for row in rows {
+            let has = self.index.get(&hashes[row as usize]).is_some_and(|cands| {
+                cands
+                    .iter()
+                    .any(|&r| key_rows_eq(probe_keys, row as usize, &build_keys, r as usize))
+            });
+            if has == want_match {
+                keep.push(row);
+            }
+        }
+    }
+}
+
+/// Iterate a batch's selected physical rows (its selection vector, or all
+/// physical rows when it has none) — the probe loops' row domain.
+pub(crate) fn selected_rows(batch: &Batch) -> impl Iterator<Item = u32> + '_ {
+    let sel = batch.sel();
+    let dense_end = if sel.is_some() {
+        0
+    } else {
+        batch.physical_rows() as u32
+    };
+    sel.into_iter().flatten().copied().chain(0..dense_end)
 }
 
 /// Drain `right` and index it on `right_keys` (`right_types` shape a
@@ -81,22 +165,26 @@ pub(crate) fn build_side(
     } else {
         Batch::concat(&batches)
     };
-    let mut index: FxHashMap<Vec<u8>, Vec<u32>> =
+    let mut index: FxHashMap<u64, Vec<u32>> =
         FxHashMap::with_capacity_and_hasher(batch.rows(), FxBuildHasher::default());
+    let mut key_cols: Vec<Column> = Vec::new();
     if !right_keys.is_empty() {
-        let key_cols: Vec<Column> = right_keys.iter().map(|e| eval(e, &batch)).collect();
+        key_cols = right_keys.iter().map(|e| eval(e, &batch)).collect();
         let key_refs: Vec<&Column> = key_cols.iter().collect();
-        let mut buf = Vec::new();
-        for row in 0..batch.rows() {
+        let mut hashes = Vec::new();
+        hash_columns(&key_refs, batch.rows(), &mut hashes);
+        for (row, &h) in hashes.iter().enumerate() {
             if row_has_null_key(&key_refs, row) {
                 continue; // SQL equality never matches NULL keys
             }
-            buf.clear();
-            encode_row_key(&key_refs, row, &mut buf);
-            index.entry(buf.clone()).or_default().push(row as u32);
+            index.entry(h).or_default().push(row as u32);
         }
     }
-    BuildSide { batch, index }
+    BuildSide {
+        batch,
+        key_cols,
+        index,
+    }
 }
 
 /// A build side computed once and shared across probe workers. The first
@@ -224,6 +312,8 @@ pub struct HashJoinExec {
     /// padding for left-outer joins.
     right_types: Vec<DataType>,
     built: Option<Arc<BuildSide>>,
+    /// Reused per-batch probe-hash buffer (allocation-free once warm).
+    hash_scratch: Vec<u64>,
     metrics: Arc<OpMetrics>,
 }
 
@@ -246,6 +336,7 @@ impl HashJoinExec {
             right_keys,
             right_types,
             built: None,
+            hash_scratch: Vec::new(),
             metrics,
         }
     }
@@ -268,6 +359,7 @@ impl HashJoinExec {
             right_keys: Vec::new(),
             right_types,
             built: None,
+            hash_scratch: Vec::new(),
             metrics,
         }
     }
@@ -285,7 +377,7 @@ impl HashJoinExec {
     }
 
     fn probe(&mut self, left_batch: Batch) -> Batch {
-        let built = self.built.as_ref().expect("probe before build");
+        let built = self.built.clone().expect("probe before build");
         self.metrics.add_work(left_batch.rows() as u64);
         match self.kind {
             JoinKind::Single => {
@@ -310,41 +402,31 @@ impl HashJoinExec {
                 }
             }
             JoinKind::Inner | JoinKind::LeftOuter => {
-                // Key columns are evaluated over the physical rows; the
-                // selection decides which of them probe.
+                // Key columns are evaluated (and hashed in bulk) over the
+                // physical rows; the selection decides which of them probe.
                 let key_cols: Vec<Column> = self
                     .left_keys
                     .iter()
                     .map(|e| eval(e, &left_batch))
                     .collect();
                 let key_refs: Vec<&Column> = key_cols.iter().collect();
+                hash_columns(
+                    &key_refs,
+                    left_batch.physical_rows(),
+                    &mut self.hash_scratch,
+                );
                 let mut left_idx: Vec<u32> = Vec::new();
                 let mut right_idx: Vec<u32> = Vec::new();
                 let mut unmatched: Vec<u32> = Vec::new();
-                let mut buf = Vec::new();
-                left_batch.for_each_selected(|row| {
-                    if row_has_null_key(&key_refs, row) {
-                        if self.kind == JoinKind::LeftOuter {
-                            unmatched.push(row as u32);
-                        }
-                        return;
-                    }
-                    buf.clear();
-                    encode_row_key(&key_refs, row, &mut buf);
-                    match built.index.get(&buf) {
-                        Some(rows) => {
-                            for &r in rows {
-                                left_idx.push(row as u32);
-                                right_idx.push(r);
-                            }
-                        }
-                        None => {
-                            if self.kind == JoinKind::LeftOuter {
-                                unmatched.push(row as u32);
-                            }
-                        }
-                    }
-                });
+                built.probe_pairs(
+                    &key_refs,
+                    &self.hash_scratch,
+                    selected_rows(&left_batch),
+                    self.kind == JoinKind::LeftOuter,
+                    &mut left_idx,
+                    &mut right_idx,
+                    &mut unmatched,
+                );
                 let matched_left = left_batch.take_physical(&left_idx);
                 let matched_right = built.batch.take_physical(&right_idx);
                 let mut cols = matched_left.into_columns();
@@ -374,21 +456,19 @@ impl HashJoinExec {
                     .map(|e| eval(e, &left_batch))
                     .collect();
                 let key_refs: Vec<&Column> = key_cols.iter().collect();
-                let want_match = self.kind == JoinKind::Semi;
+                hash_columns(
+                    &key_refs,
+                    left_batch.physical_rows(),
+                    &mut self.hash_scratch,
+                );
                 let mut keep: Vec<u32> = Vec::new();
-                let mut buf = Vec::new();
-                left_batch.for_each_selected(|row| {
-                    let has = if row_has_null_key(&key_refs, row) {
-                        false
-                    } else {
-                        buf.clear();
-                        encode_row_key(&key_refs, row, &mut buf);
-                        built.index.contains_key(&buf)
-                    };
-                    if has == want_match {
-                        keep.push(row as u32);
-                    }
-                });
+                built.probe_keep(
+                    &key_refs,
+                    &self.hash_scratch,
+                    selected_rows(&left_batch),
+                    self.kind == JoinKind::Semi,
+                    &mut keep,
+                );
                 // Zero-copy: the output is the probe batch narrowed to the
                 // qualifying rows.
                 left_batch.with_selection(Arc::new(keep))

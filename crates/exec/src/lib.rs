@@ -14,6 +14,13 @@
 //! byte — including what a [`StoreExec`] tee publishes into the recycler —
 //! identical to serial execution at any degree of parallelism.
 //!
+//! Scan-rooted filter → project → join-probe chains additionally execute
+//! **fused** ([`fuse`]): one push-style loop per morsel with selection
+//! indices and probe-key hashes kept in reusable buffers, instead of one
+//! pull hop per operator per batch. Fusion never crosses pipeline
+//! breakers, store tees, or gather points — see [`fuse`] for the
+//! boundary rule and why cache entries stay byte-identical.
+//!
 //! Recycler integration points (paper §II):
 //!
 //! * [`StoreExec`] — the `store` operator: pass along / buffer
@@ -29,7 +36,9 @@
 pub mod agg;
 pub mod build;
 pub mod context;
+pub mod error;
 pub mod filter;
+pub mod fuse;
 pub mod join;
 pub mod metrics;
 pub mod op;
@@ -43,6 +52,8 @@ pub mod stream;
 pub use agg::{retract_count_groups, ResumedAgg};
 pub use build::{build, ExecTree};
 pub use context::{ExecContext, FnRegistry, TableFunction};
+pub use error::{ExecError, FailSlot};
+pub use fuse::{fused_span, FusedChain, FusedPipelineExec};
 pub use join::{BuildPublish, BuildSide, SharedBuild};
 pub use metrics::{MetricsNode, OpMetrics};
 pub use op::{collect_all, run_to_batch, Operator};

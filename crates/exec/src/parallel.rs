@@ -34,12 +34,16 @@
 //!   top-N merges per-worker heap runs whose ties are broken by global
 //!   scan position (the serial top-N uses the same rule).
 //!
-//! **Failure.** A panicking worker drops its channel sender; the consumer
-//! detects the shortfall (morsels or partials missing) and panics on the
-//! query's own thread, like a serial operator failure. The pool itself
-//! survives ([`crate::pool`]).
+//! **Failure.** A panicking worker records a structured [`ExecError`] into
+//! the query's shared [`FailSlot`] before its channel sender drops; the
+//! consumer detects the shortfall (morsels or partials missing), ends the
+//! stream cleanly, and the error surfaces through
+//! [`crate::stream::ExecStream::error`] — no panic crosses the gather
+//! boundary, and a poisoned source can never publish a truncated result.
+//! The pool itself survives ([`crate::pool`]).
 
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::Arc;
@@ -52,7 +56,9 @@ use rdb_storage::Table;
 use rdb_vector::{morsel_bounds, morsel_count, Batch, DataType};
 
 use crate::agg::{emit_groups, GroupTable};
+use crate::error::{panic_message, ExecError, FailSlot};
 use crate::filter::{FilterExec, ProjectExec};
+use crate::fuse::FusedChain;
 use crate::join::{HashJoinExec, SharedBuild};
 use crate::metrics::{MetricsNode, OpMetrics};
 use crate::op::{timed_next, Operator};
@@ -148,25 +154,48 @@ impl Operator for SlotSource {
     }
 }
 
-/// One worker's private operator chain, driven morsel-at-a-time: load the
-/// morsel into the slot leaf, then drain the chain. The pipelining
-/// operators (filter, project, join probe) are restartable after `None`,
-/// so one segment instance serves every morsel the worker claims.
-pub struct SegmentPipe {
-    slot: Arc<Mutex<Option<Batch>>>,
-    root: Box<dyn Operator>,
+/// One worker's private pipeline segment, driven morsel-at-a-time. Either
+/// an operator chain over a slot leaf (load the morsel, drain the chain —
+/// the pipelining operators are restartable after `None`, so one segment
+/// serves every morsel the worker claims), or a [`FusedChain`] running the
+/// whole span as one push-style loop. Both produce identical outputs; the
+/// fused form is the default ([`crate::context::ExecContext::fusion`]).
+pub enum SegmentPipe {
+    /// Unfused: a private operator chain over a morsel slot.
+    Ops {
+        /// The slot the worker loads each morsel into.
+        slot: Arc<Mutex<Option<Batch>>>,
+        /// Chain root (pulls from the slot leaf).
+        root: Box<dyn Operator>,
+    },
+    /// Fused: one push-style loop per morsel.
+    Fused(FusedChain),
 }
 
 impl SegmentPipe {
     /// Push one morsel through, collecting its outputs (usually 0 or 1
     /// batches; joins may expand).
     fn push(&mut self, batch: Batch) -> Vec<Batch> {
-        *self.slot.lock() = Some(batch);
-        let mut outs = Vec::new();
-        while let Some(b) = self.root.next_batch() {
-            outs.push(b);
+        match self {
+            SegmentPipe::Ops { slot, root } => {
+                *slot.lock() = Some(batch);
+                let mut outs = Vec::new();
+                while let Some(b) = root.next_batch() {
+                    outs.push(b);
+                }
+                outs
+            }
+            SegmentPipe::Fused(chain) => chain.push(batch).into_iter().collect(),
         }
-        outs
+    }
+
+    /// Publish any deferred per-stage counters. Fused chains accumulate
+    /// metrics locally between flushes; the unfused operators update the
+    /// shared metrics inline, so this is a no-op for them.
+    fn flush(&mut self) {
+        if let SegmentPipe::Fused(chain) = self {
+            chain.flush();
+        }
     }
 }
 
@@ -182,6 +211,8 @@ pub struct ParallelSource {
     pub metrics: MetricsNode,
     /// Pool to run on (`None`: plain spawned threads).
     pub pool: Option<Arc<WorkerPool>>,
+    /// Where workers record failures (shared with the whole execution).
+    pub fail: Arc<FailSlot>,
 }
 
 /// The callback [`build_source`] uses to construct join build sides — the
@@ -203,6 +234,25 @@ pub fn build_source(
 ) -> Result<Option<ParallelSource>, rdb_plan::PlanError> {
     if dop < 2 {
         return Ok(None);
+    }
+    if ctx.fusion {
+        // Fused form: build one prototype chain and clone it per worker
+        // (clones share the Arc'ed metrics and build sides but own their
+        // scratch buffers).
+        let Some(fused) = crate::fuse::build_fused_pipeline(plan, ctx, true, build_child)? else {
+            return Ok(None);
+        };
+        let dop = dop.min(fused.dispenser.total());
+        let segments = (0..dop)
+            .map(|_| SegmentPipe::Fused(fused.chain.clone()))
+            .collect();
+        return Ok(Some(ParallelSource {
+            dispenser: fused.dispenser,
+            segments,
+            metrics: fused.metrics,
+            pool: ctx.pool.clone(),
+            fail: ctx.fail.clone(),
+        }));
     }
     // Walk the chain: pipelining unary stages and join probes down to a
     // base-table scan.
@@ -339,7 +389,7 @@ pub fn build_source(
                     )),
                 };
             }
-            SegmentPipe { slot, root: op }
+            SegmentPipe::Ops { slot, root: op }
         })
         .collect();
     Ok(Some(ParallelSource {
@@ -347,6 +397,7 @@ pub fn build_source(
         segments,
         metrics: scan_node,
         pool: ctx.pool.clone(),
+        fail: ctx.fail.clone(),
     }))
 }
 
@@ -381,15 +432,18 @@ enum GatherState {
 pub struct GatherExec {
     state: GatherState,
     dispenser: Arc<MorselDispenser>,
+    fail: Arc<FailSlot>,
 }
 
 impl GatherExec {
     /// Wrap a built parallel source.
     pub fn new(source: ParallelSource) -> GatherExec {
         let dispenser = source.dispenser.clone();
+        let fail = source.fail.clone();
         GatherExec {
             state: GatherState::Pending(Some(source)),
             dispenser,
+            fail,
         }
     }
 
@@ -398,6 +452,7 @@ impl GatherExec {
             dispenser,
             segments,
             pool,
+            fail,
             ..
         } = source;
         let workers = segments.len();
@@ -408,12 +463,35 @@ impl GatherExec {
             .map(|mut seg| {
                 let dispenser = dispenser.clone();
                 let tx = tx.clone();
+                let fail = fail.clone();
                 Box::new(move || {
-                    while let Some((idx, morsel)) = dispenser.next_morsel() {
-                        let outs = seg.push(morsel);
-                        if tx.send((idx, outs)).is_err() {
-                            break; // consumer dropped the stream
+                    // Record the panic before the sender drops, so the
+                    // consumer reads the cause instead of a bare shortfall.
+                    let res = catch_unwind(AssertUnwindSafe(move || {
+                        // Hold each morsel's output until the next one is
+                        // claimed: the deferred metrics flush then happens
+                        // before this worker's final send, i.e. strictly
+                        // before the consumer can observe stream end.
+                        let mut held: Option<(u64, Vec<Batch>)> = None;
+                        while let Some((idx, morsel)) = dispenser.next_morsel() {
+                            if let Some(prev) = held.take() {
+                                if tx.send(prev).is_err() {
+                                    return; // consumer dropped the stream
+                                }
+                            }
+                            let outs = seg.push(morsel);
+                            held = Some((idx, outs));
                         }
+                        seg.flush();
+                        if let Some(prev) = held {
+                            let _ = tx.send(prev);
+                        }
+                    }));
+                    if let Err(p) = res {
+                        fail.set(ExecError::msg(format!(
+                            "parallel pipeline worker panicked: {}",
+                            panic_message(p.as_ref())
+                        )));
                     }
                 }) as Job
             })
@@ -435,7 +513,12 @@ impl Operator for GatherExec {
         loop {
             match &mut self.state {
                 GatherState::Pending(source) => {
-                    let source = source.take().expect("pending source present");
+                    let Some(source) = source.take() else {
+                        self.fail
+                            .set(ExecError::msg("parallel gather restarted after teardown"));
+                        self.state = GatherState::Done;
+                        return None;
+                    };
                     self.state = GatherState::Running(Self::start(source));
                 }
                 GatherState::Running(run) => {
@@ -456,18 +539,23 @@ impl Operator for GatherExec {
                             run.pending.insert(idx, outs);
                         }
                         Err(_) => {
-                            if self.dispenser.cancelled() {
-                                // Cancel stopped morsel hand-out: workers
-                                // wound down and the missing indices will
-                                // never arrive. End the stream; the
-                                // connection layer reports the cancel.
-                                self.state = GatherState::Done;
-                                return None;
+                            if !self.dispenser.cancelled() {
+                                // A worker died: its panic is already in
+                                // the slot (recorded before the sender
+                                // dropped); make sure *something* is, then
+                                // end the stream. The session layer reads
+                                // the slot and aborts recycler bookkeeping
+                                // — a truncated stream never publishes.
+                                self.fail.set(ExecError::msg(format!(
+                                    "parallel pipeline worker failed before morsel {} of {}",
+                                    run.next, run.total
+                                )));
                             }
-                            panic!(
-                                "parallel pipeline worker failed before morsel {} of {}",
-                                run.next, run.total
-                            )
+                            // On cancel the missing indices will simply
+                            // never arrive; the connection layer reports
+                            // the cancel itself.
+                            self.state = GatherState::Done;
+                            return None;
                         }
                     }
                 }
@@ -494,16 +582,20 @@ impl Operator for GatherExec {
 /// Run the pipeline to completion, one `fold` state per worker, and hand
 /// the partials back. `fold` receives the morsel index alongside each
 /// output batch (top-N derives position tie-breaks from it; aggregation
-/// ignores it). Panics (on the consumer thread) if any worker died.
+/// ignores it). A dead worker never sends its partial — the shortfall
+/// comes back as the structured error the worker recorded. (Cancellation
+/// is not a shortfall: it stops morsel hand-out, so every worker still
+/// winds down normally and sends its partial.)
 fn run_partials<S: Send + 'static>(
     source: ParallelSource,
     make: impl Fn() -> S,
     fold: impl Fn(&mut S, u64, Batch) + Send + Sync + Clone + 'static,
-) -> Vec<S> {
+) -> Result<Vec<S>, ExecError> {
     let ParallelSource {
         dispenser,
         segments,
         pool,
+        fail,
         ..
     } = source;
     let workers = segments.len();
@@ -514,27 +606,41 @@ fn run_partials<S: Send + 'static>(
             let dispenser = dispenser.clone();
             let tx = tx.clone();
             let fold = fold.clone();
+            let fail = fail.clone();
             let mut state = make();
             Box::new(move || {
-                while let Some((idx, morsel)) = dispenser.next_morsel() {
-                    for out in seg.push(morsel) {
-                        fold(&mut state, idx, out);
+                let res = catch_unwind(AssertUnwindSafe(move || {
+                    while let Some((idx, morsel)) = dispenser.next_morsel() {
+                        for out in seg.push(morsel) {
+                            fold(&mut state, idx, out);
+                        }
                     }
+                    // Flush deferred metrics before the partial is sent:
+                    // the breaker counts partials to detect completion.
+                    seg.flush();
+                    let _ = tx.send(state);
+                }));
+                if let Err(p) = res {
+                    fail.set(ExecError::msg(format!(
+                        "parallel pipeline worker panicked: {}",
+                        panic_message(p.as_ref())
+                    )));
                 }
-                let _ = tx.send(state);
             }) as Job
         })
         .collect();
     drop(tx);
     run_jobs(pool.as_ref(), jobs);
     let partials: Vec<S> = rx.into_iter().collect();
-    assert_eq!(
-        partials.len(),
-        workers,
-        "a parallel breaker worker failed ({} of {workers} partials arrived)",
-        partials.len(),
-    );
-    partials
+    if partials.len() != workers {
+        return Err(fail.get().unwrap_or_else(|| {
+            ExecError::msg(format!(
+                "a parallel breaker worker failed ({} of {workers} partials arrived)",
+                partials.len(),
+            ))
+        }));
+    }
+    Ok(partials)
 }
 
 /// Partitioned hash aggregation: every worker folds its morsels into a
@@ -550,6 +656,7 @@ pub struct ParallelAggExec {
     output: Option<Vec<Batch>>,
     emitted: usize,
     metrics: Arc<OpMetrics>,
+    fail: Arc<FailSlot>,
 }
 
 impl ParallelAggExec {
@@ -563,6 +670,7 @@ impl ParallelAggExec {
         metrics: Arc<OpMetrics>,
     ) -> Self {
         assert_eq!(group_by.len() + aggs.len(), output_types.len());
+        let fail = source.fail.clone();
         ParallelAggExec {
             source: Some(source),
             group_by,
@@ -572,11 +680,16 @@ impl ParallelAggExec {
             output: None,
             emitted: 0,
             metrics,
+            fail,
         }
     }
 
-    fn build(&mut self) -> Vec<Batch> {
-        let source = self.source.take().expect("aggregate built once");
+    fn build(&mut self) -> Result<Vec<Batch>, ExecError> {
+        let Some(source) = self.source.take() else {
+            return Err(ExecError::msg(
+                "parallel aggregate restarted after teardown",
+            ));
+        };
         let group_by = self.group_by.clone();
         let aggs = self.aggs.clone();
         let input_types = self.input_types.clone();
@@ -588,7 +701,7 @@ impl ParallelAggExec {
                 agg_metrics.add_work(batch.rows() as u64);
                 table.fold(&batch);
             },
-        );
+        )?;
         let mut merged = GroupTable::new(
             self.group_by.clone(),
             self.aggs.clone(),
@@ -598,7 +711,11 @@ impl ParallelAggExec {
             merged.merge(p);
         }
         let states = merged.into_sorted_states();
-        emit_groups(&states, &self.output_types, self.group_by.len())
+        Ok(emit_groups(
+            &states,
+            &self.output_types,
+            self.group_by.len(),
+        ))
     }
 }
 
@@ -607,10 +724,16 @@ impl Operator for ParallelAggExec {
         let metrics = self.metrics.clone();
         timed_next(&metrics, || {
             if self.output.is_none() {
-                let built = self.build();
-                self.output = Some(built);
+                match self.build() {
+                    Ok(built) => self.output = Some(built),
+                    Err(e) => {
+                        // Surface through the fail slot and end the stream.
+                        self.fail.set(e);
+                        self.output = Some(Vec::new());
+                    }
+                }
             }
-            let out = self.output.as_ref().unwrap();
+            let out = self.output.as_ref()?;
             if self.emitted < out.len() {
                 let b = out[self.emitted].clone();
                 self.emitted += 1;
@@ -645,6 +768,7 @@ pub struct ParallelTopNExec {
     output: Option<Vec<Batch>>,
     emitted: usize,
     metrics: Arc<OpMetrics>,
+    fail: Arc<FailSlot>,
 }
 
 impl ParallelTopNExec {
@@ -656,6 +780,7 @@ impl ParallelTopNExec {
         output_types: Vec<DataType>,
         metrics: Arc<OpMetrics>,
     ) -> Self {
+        let fail = source.fail.clone();
         ParallelTopNExec {
             source: Some(source),
             keys,
@@ -664,11 +789,14 @@ impl ParallelTopNExec {
             output: None,
             emitted: 0,
             metrics,
+            fail,
         }
     }
 
-    fn build(&mut self) -> Vec<Batch> {
-        let source = self.source.take().expect("top-N built once");
+    fn build(&mut self) -> Result<Vec<Batch>, ExecError> {
+        let Some(source) = self.source.take() else {
+            return Err(ExecError::msg("parallel top-N restarted after teardown"));
+        };
         let keys = self.keys.clone();
         let n = self.n;
         let topn_metrics = self.metrics.clone();
@@ -681,12 +809,12 @@ impl ParallelTopNExec {
                 // tie-break, matching the serial operator's chunk ordinal.
                 state.fold(&batch, idx);
             },
-        );
+        )?;
         let mut merged = TopNState::new(self.keys.clone(), self.n);
         for p in partials {
             merged.merge(p);
         }
-        merged.into_batches(&self.output_types)
+        Ok(merged.into_batches(&self.output_types))
     }
 }
 
@@ -695,10 +823,15 @@ impl Operator for ParallelTopNExec {
         let metrics = self.metrics.clone();
         timed_next(&metrics, || {
             if self.output.is_none() {
-                let built = self.build();
-                self.output = Some(built);
+                match self.build() {
+                    Ok(built) => self.output = Some(built),
+                    Err(e) => {
+                        self.fail.set(e);
+                        self.output = Some(Vec::new());
+                    }
+                }
             }
-            let out = self.output.as_ref().unwrap();
+            let out = self.output.as_ref()?;
             if self.emitted < out.len() {
                 let b = out[self.emitted].clone();
                 self.emitted += 1;

@@ -29,6 +29,7 @@ use std::time::Instant;
 use rdb_plan::Plan;
 use rdb_vector::{Batch, Schema};
 
+use crate::error::FailSlot;
 use crate::join::BuildSide;
 use crate::metrics::OpMetrics;
 use crate::op::{timed_next, Operator};
@@ -243,6 +244,9 @@ pub struct StoreExec {
     /// Query cancel flag: a cancelled query's stream may end early, so the
     /// buffer would be a *truncated* result — abandon instead of publish.
     cancel: Option<Arc<AtomicBool>>,
+    /// Execution failure slot: a recorded worker failure also means the
+    /// stream ended short, so the buffer is equally untrusted.
+    fail: Option<Arc<FailSlot>>,
     metrics: Arc<OpMetrics>,
 }
 
@@ -274,6 +278,7 @@ impl StoreExec {
             buffered_bytes: 0,
             started: None,
             cancel: None,
+            fail: None,
             metrics,
         }
     }
@@ -284,10 +289,19 @@ impl StoreExec {
         self
     }
 
-    fn cancelled(&self) -> bool {
+    /// Attach the execution's failure slot (see the `fail` field).
+    pub fn with_fail(mut self, fail: Arc<FailSlot>) -> Self {
+        self.fail = Some(fail);
+        self
+    }
+
+    /// Whether the stream can no longer be trusted to be complete: the
+    /// query was cancelled or a pipeline worker recorded a failure.
+    fn compromised(&self) -> bool {
         self.cancel
             .as_ref()
             .is_some_and(|c| c.load(Ordering::Acquire))
+            || self.fail.as_ref().is_some_and(|f| f.is_set())
     }
 
     fn estimate(&self) -> SpeculationEstimate {
@@ -353,10 +367,10 @@ impl Operator for StoreExec {
                             // still-undecided speculation at completion has
                             // exact numbers; let the recycler decide once
                             // more with progress 1, then publish on commit.
-                            let publish = if self.cancelled() {
+                            let publish = if self.compromised() {
                                 // The child stream may have been cut short
-                                // by the cancel; the buffer cannot be
-                                // trusted to be complete.
+                                // by a cancel or a worker failure; the
+                                // buffer cannot be trusted to be complete.
                                 self.store.abandon(self.tag);
                                 false
                             } else if self.phase == Phase::Committed {
@@ -416,6 +430,7 @@ pub struct StateTee {
     started: Option<Instant>,
     publish: Option<TeePublish>,
     cancel: Option<Arc<AtomicBool>>,
+    fail: Option<Arc<FailSlot>>,
 }
 
 impl StateTee {
@@ -433,13 +448,22 @@ impl StateTee {
             started: None,
             publish: Some(publish),
             cancel,
+            fail: None,
         }
     }
 
-    fn cancelled(&self) -> bool {
+    /// Attach the execution's failure slot: a recorded worker failure
+    /// suppresses publishing, like a cancel.
+    pub fn with_fail(mut self, fail: Arc<FailSlot>) -> Self {
+        self.fail = Some(fail);
+        self
+    }
+
+    fn compromised(&self) -> bool {
         self.cancel
             .as_ref()
             .is_some_and(|c| c.load(Ordering::Acquire))
+            || self.fail.as_ref().is_some_and(|f| f.is_set())
     }
 }
 
@@ -457,7 +481,7 @@ impl Operator for StateTee {
             }
             None => {
                 if let Some(publish) = self.publish.take() {
-                    if self.cancelled() {
+                    if self.compromised() {
                         // Stream may have been cut short: buffer untrusted.
                         self.buffer.clear();
                     } else {

@@ -6,9 +6,12 @@
 //! instead of receiving one concatenated result. Materialization is an
 //! explicit choice via [`ExecStream::collect_batch`].
 
+use std::sync::Arc;
+
 use rdb_vector::{Batch, Schema};
 
 use crate::build::ExecTree;
+use crate::error::{ExecError, FailSlot};
 use crate::metrics::MetricsNode;
 use crate::op::Operator;
 
@@ -18,6 +21,7 @@ pub struct ExecStream {
     metrics: MetricsNode,
     schema: Schema,
     exhausted: bool,
+    fail: Arc<FailSlot>,
 }
 
 impl ExecStream {
@@ -28,7 +32,16 @@ impl ExecStream {
             metrics: tree.metrics,
             schema: tree.schema,
             exhausted: false,
+            fail: tree.fail,
         }
+    }
+
+    /// The execution failure recorded by a pipeline worker, if any. A
+    /// stream that ends with an error here ended *short* — the consumer
+    /// must treat the result as truncated (the session layer aborts its
+    /// recycler bookkeeping and reports the error instead of success).
+    pub fn error(&self) -> Option<ExecError> {
+        self.fail.get()
     }
 
     /// Result schema.

@@ -121,18 +121,20 @@ pub fn eval(expr: &Expr, batch: &Batch) -> Column {
 /// Evaluate a boolean predicate and collapse NULL to `false`. The mask is
 /// **physical**-length (aligned with the batch's columns, ignoring any
 /// selection vector); filters should prefer [`eval_selection`].
+///
+/// Compatibility shim over the selection kernel
+/// ([`crate::sel::CompiledPredicate`]): the kernel computes qualifying
+/// indices directly; this scatters them back into a boolean mask for
+/// callers that want one (DML delete, tests). Hot paths should compile
+/// the predicate once and keep index buffers instead.
 pub fn eval_predicate(expr: &Expr, batch: &Batch) -> Vec<bool> {
-    let c = eval(expr, batch);
-    assert_eq!(c.data_type(), DataType::Bool, "predicate must be boolean");
-    match c.validity() {
-        None => c.as_bools().to_vec(),
-        Some(mask) => c
-            .as_bools()
-            .iter()
-            .zip(mask)
-            .map(|(&v, &ok)| v && ok)
-            .collect(),
+    let mut idx = Vec::new();
+    crate::sel::CompiledPredicate::compile(expr).select_physical_into(batch, &mut idx);
+    let mut mask = vec![false; batch.physical_rows()];
+    for &i in &idx {
+        mask[i as usize] = true;
     }
+    mask
 }
 
 /// Result of evaluating a predicate as a selection (see [`eval_selection`]).
@@ -156,22 +158,13 @@ pub enum Selection {
 /// so filters can skip even the selection-vector allocation on the common
 /// "everything passes" and "nothing passes" batches.
 pub fn eval_selection(expr: &Expr, batch: &Batch) -> Selection {
-    let c = eval(expr, batch);
-    assert_eq!(c.data_type(), DataType::Bool, "predicate must be boolean");
-    let vals = c.as_bools();
-    let pass = |p: usize| vals[p] && c.is_valid(p);
-    let logical = batch.rows();
-    let rows: Vec<u32> = match batch.sel() {
-        Some(sel) => sel.iter().copied().filter(|&p| pass(p as usize)).collect(),
-        None => (0..batch.physical_rows() as u32)
-            .filter(|&p| pass(p as usize))
-            .collect(),
-    };
+    let mut rows = Vec::new();
+    crate::sel::CompiledPredicate::compile(expr).select_into(batch, &mut rows);
     if rows.is_empty() {
         // Checked before the all-rows case: a zero-logical-row batch must
         // classify as Empty so filters keep dropping empty batches.
         Selection::Empty
-    } else if rows.len() == logical {
+    } else if rows.len() == batch.rows() {
         Selection::All
     } else {
         Selection::Rows(rows)
@@ -357,17 +350,31 @@ fn kleene(parts: &[Expr], batch: &Batch, and: bool) -> Column {
 
 fn eval_case(branches: &[(Expr, Expr)], otherwise: &Expr, batch: &Batch) -> Column {
     let rows = batch.physical_rows();
-    let conds: Vec<Vec<bool>> = branches
+    // Branch conditions are read straight off their evaluated columns
+    // (NULL collapses to "not taken"), no intermediate masks.
+    let conds: Vec<Column> = branches
         .iter()
-        .map(|(c, _)| eval_predicate(c, batch))
+        .map(|(c, _)| {
+            let col = eval(c, batch);
+            assert_eq!(
+                col.data_type(),
+                DataType::Bool,
+                "CASE condition must be boolean"
+            );
+            col
+        })
         .collect();
+    let cond_vals: Vec<&[bool]> = conds.iter().map(|c| c.as_bools()).collect();
     let vals: Vec<Column> = branches.iter().map(|(_, v)| eval(v, batch)).collect();
     let other = eval(otherwise, batch);
     let dtype = vals.first().map_or(other.data_type(), |c| c.data_type());
     let mut b = ColumnBuilder::new(dtype, rows);
+    // `i` indexes three parallel column sets; a range loop is the clear
+    // shape here.
+    #[allow(clippy::needless_range_loop)]
     'rows: for i in 0..rows {
         for (k, cond) in conds.iter().enumerate() {
-            if cond[i] {
+            if cond_vals[k][i] && cond.is_valid(i) {
                 b.push(vals[k].get(i));
                 continue 'rows;
             }

@@ -22,6 +22,7 @@ pub mod like;
 pub mod normalize;
 pub mod params;
 pub mod ranges;
+pub mod sel;
 
 pub use agg::AggFunc;
 pub use error::ExprError;
@@ -30,3 +31,4 @@ pub use expr::{ArithOp, CmpOp, Expr};
 pub use normalize::normalize_expr;
 pub use params::Params;
 pub use ranges::{analyze_conjunction, implies, Interval};
+pub use sel::CompiledPredicate;

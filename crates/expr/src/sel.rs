@@ -1,0 +1,423 @@
+//! Allocation-free selection kernel: predicates compiled into per-batch
+//! index loops.
+//!
+//! The old filter hot path materialized a physical-length `Vec<bool>` per
+//! batch per predicate ([`crate::eval::eval_predicate`]) and, for every
+//! comparison against a literal, broadcast the literal into a full column
+//! first. This module replaces both costs:
+//!
+//! * [`CompiledPredicate::compile`] splits a predicate into its top-level
+//!   conjuncts once, at operator-construction time. Conjuncts of the shape
+//!   `col <op> literal` (either orientation) are classified as direct
+//!   column/scalar comparisons; everything else stays a general expression
+//!   evaluated through [`crate::eval::eval`].
+//! * [`CompiledPredicate::select_into`] then evaluates the conjunction as
+//!   one pass per conjunct over a caller-owned `Vec<u32>` of qualifying
+//!   **physical** row indices: the first conjunct seeds the buffer with a
+//!   branch-free write-and-advance loop (`out[k] = i; k += pass as usize`),
+//!   later conjuncts refine it in place. No `Vec<bool>`, no literal
+//!   broadcast, no allocation once the scratch buffer is warm.
+//!
+//! Splitting at top-level `AND` is exact at the filter boundary: a row
+//! passes a Kleene conjunction collapsed with "NULL is not true" iff every
+//! conjunct is *strictly* true for it, which is precisely the intersection
+//! of the per-conjunct index sets. NULL literals, nested `OR`s, `CASE`s,
+//! etc. all take the general path and keep their three-valued semantics.
+
+use rdb_vector::column::{Column, ColumnSlice};
+use rdb_vector::{Batch, DataType, Value};
+
+use crate::eval::eval;
+use crate::expr::{CmpOp, Expr};
+
+/// A predicate pre-split into conjuncts with their evaluation strategy
+/// chosen. Compile once per operator, reuse for every batch.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    conjuncts: Vec<Conjunct>,
+}
+
+#[derive(Debug, Clone)]
+enum Conjunct {
+    /// `column <op> literal` — evaluated as a direct typed loop, no
+    /// intermediate columns.
+    ColCmp { col: usize, op: CmpOp, lit: Value },
+    /// Anything else — evaluated through the general expression walk,
+    /// then folded into the index buffer (NULL collapses to false).
+    General(Expr),
+}
+
+impl CompiledPredicate {
+    /// Split `expr` at its top-level `AND` and classify each conjunct.
+    pub fn compile(expr: &Expr) -> CompiledPredicate {
+        let conjuncts = match expr {
+            Expr::And(parts) => parts.iter().map(classify).collect(),
+            other => vec![classify(other)],
+        };
+        CompiledPredicate { conjuncts }
+    }
+
+    /// Number of top-level conjuncts (diagnostics / EXPLAIN).
+    pub fn conjunct_count(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// Fill `out` with the qualifying physical row indices of `batch`,
+    /// starting from the batch's own selection vector (or all physical
+    /// rows when it has none). `out` is cleared first; reuse it across
+    /// batches to stay allocation-free.
+    pub fn select_into(&self, batch: &Batch, out: &mut Vec<u32>) {
+        self.run(batch, out, false);
+    }
+
+    /// [`CompiledPredicate::select_into`] over **all** physical rows,
+    /// ignoring any selection vector on the batch (the `eval_predicate`
+    /// compatibility domain).
+    pub fn select_physical_into(&self, batch: &Batch, out: &mut Vec<u32>) {
+        self.run(batch, out, true);
+    }
+
+    /// Refine an existing physical-index list in place: keep only the
+    /// indices satisfying every conjunct. Used by fused pipelines, where
+    /// the live selection is chain state rather than a batch attribute.
+    pub fn refine(&self, batch: &Batch, sel: &mut Vec<u32>) {
+        for c in &self.conjuncts {
+            if sel.is_empty() {
+                return;
+            }
+            apply_conjunct(c, batch, sel, true, false);
+        }
+    }
+
+    fn run(&self, batch: &Batch, out: &mut Vec<u32>, physical: bool) {
+        out.clear();
+        let mut seeded = false;
+        for c in &self.conjuncts {
+            apply_conjunct(c, batch, out, seeded, physical);
+            seeded = true;
+            if out.is_empty() {
+                return;
+            }
+        }
+        if !seeded {
+            // An empty conjunction (`AND` of nothing) selects everything.
+            seed_all(batch, out, physical);
+        }
+    }
+}
+
+fn classify(e: &Expr) -> Conjunct {
+    if let Expr::Cmp(op, a, b) = e {
+        match (&**a, &**b) {
+            (Expr::Col(i), Expr::Lit(v)) if !v.is_null() => {
+                return Conjunct::ColCmp {
+                    col: *i,
+                    op: *op,
+                    lit: v.clone(),
+                }
+            }
+            (Expr::Lit(v), Expr::Col(i)) if !v.is_null() => {
+                return Conjunct::ColCmp {
+                    col: *i,
+                    op: flip(*op),
+                    lit: v.clone(),
+                }
+            }
+            _ => {}
+        }
+    }
+    Conjunct::General(e.clone())
+}
+
+/// Mirror a comparison across its operands (`lit op col` → `col op' lit`).
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Seed/refine driver: one branch-free pass writing surviving indices.
+///
+/// When `seeded`, refines `out` in place; otherwise seeds it from the
+/// batch's selection (or `0..physical_rows` when `physical` or no
+/// selection is present).
+fn drive<F: FnMut(usize) -> bool>(
+    batch: &Batch,
+    out: &mut Vec<u32>,
+    seeded: bool,
+    physical: bool,
+    mut pass: F,
+) {
+    if seeded {
+        let mut k = 0;
+        for j in 0..out.len() {
+            let p = out[j];
+            out[k] = p;
+            k += pass(p as usize) as usize;
+        }
+        out.truncate(k);
+        return;
+    }
+    match batch.sel().filter(|_| !physical) {
+        Some(sel) => {
+            out.resize(sel.len(), 0);
+            let mut k = 0;
+            for &p in sel {
+                out[k] = p;
+                k += pass(p as usize) as usize;
+            }
+            out.truncate(k);
+        }
+        None => {
+            let n = batch.physical_rows();
+            out.resize(n, 0);
+            let mut k = 0;
+            for i in 0..n {
+                out[k] = i as u32;
+                k += pass(i) as usize;
+            }
+            out.truncate(k);
+        }
+    }
+}
+
+/// Seed `out` with every in-domain row (empty-conjunction case).
+fn seed_all(batch: &Batch, out: &mut Vec<u32>, physical: bool) {
+    match batch.sel().filter(|_| !physical) {
+        Some(sel) => out.extend_from_slice(sel),
+        None => out.extend(0..batch.physical_rows() as u32),
+    }
+}
+
+fn apply_conjunct(c: &Conjunct, batch: &Batch, out: &mut Vec<u32>, seeded: bool, physical: bool) {
+    match c {
+        Conjunct::ColCmp { col, op, lit } => {
+            let column = batch.column(*col);
+            if !apply_colcmp(column, *op, lit, batch, out, seeded, physical) {
+                // Rare typed combination with no direct loop: fall back to
+                // the general evaluator for this conjunct only.
+                let e = Expr::Cmp(
+                    *op,
+                    Box::new(Expr::Col(*col)),
+                    Box::new(Expr::Lit(lit.clone())),
+                );
+                apply_general(&e, batch, out, seeded, physical);
+            }
+        }
+        Conjunct::General(e) => apply_general(e, batch, out, seeded, physical),
+    }
+}
+
+/// Direct typed column-vs-literal loop. Returns false when the type pair
+/// has no fast path (caller falls back to general evaluation).
+fn apply_colcmp(
+    col: &Column,
+    op: CmpOp,
+    lit: &Value,
+    batch: &Batch,
+    out: &mut Vec<u32>,
+    seeded: bool,
+    physical: bool,
+) -> bool {
+    macro_rules! run {
+        ($vals:expr, $pass:expr) => {{
+            let vals = $vals;
+            let pass = $pass;
+            match col.validity() {
+                None => drive(batch, out, seeded, physical, |i| pass(&vals[i])),
+                Some(m) => drive(batch, out, seeded, physical, |i| m[i] && pass(&vals[i])),
+            }
+            true
+        }};
+    }
+    match (col.values(), lit) {
+        (ColumnSlice::Int(v), Value::Int(l)) => {
+            let l = *l;
+            match op {
+                CmpOp::Eq => run!(v, move |x: &i64| *x == l),
+                CmpOp::Ne => run!(v, move |x: &i64| *x != l),
+                CmpOp::Lt => run!(v, move |x: &i64| *x < l),
+                CmpOp::Le => run!(v, move |x: &i64| *x <= l),
+                CmpOp::Gt => run!(v, move |x: &i64| *x > l),
+                CmpOp::Ge => run!(v, move |x: &i64| *x >= l),
+            }
+        }
+        (ColumnSlice::Float(v), Value::Float(l)) => {
+            let l = *l;
+            let test = cmp_test(op);
+            run!(v, move |x: &f64| test(x.total_cmp(&l)))
+        }
+        (ColumnSlice::Int(v), Value::Float(l)) => {
+            let l = *l;
+            let test = cmp_test(op);
+            run!(v, move |x: &i64| test((*x as f64).total_cmp(&l)))
+        }
+        (ColumnSlice::Float(v), Value::Int(l)) => {
+            let l = *l as f64;
+            let test = cmp_test(op);
+            run!(v, move |x: &f64| test(x.total_cmp(&l)))
+        }
+        (ColumnSlice::Date(v), Value::Date(l)) => {
+            let l = *l;
+            let test = cmp_test(op);
+            run!(v, move |x: &i32| test(x.cmp(&l)))
+        }
+        (ColumnSlice::Str(v), Value::Str(l)) => {
+            let l = l.clone();
+            let test = cmp_test(op);
+            run!(v, move |x: &std::sync::Arc<str>| test(
+                x.as_ref().cmp(l.as_ref())
+            ))
+        }
+        (ColumnSlice::Bool(v), Value::Bool(l)) => {
+            let l = *l;
+            let test = cmp_test(op);
+            run!(v, move |x: &bool| test(x.cmp(&l)))
+        }
+        _ => false,
+    }
+}
+
+/// Ordering-based test for one comparison operator.
+#[inline]
+fn cmp_test(op: CmpOp) -> fn(std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        CmpOp::Eq => |o| o == Ordering::Equal,
+        CmpOp::Ne => |o| o != Ordering::Equal,
+        CmpOp::Lt => |o| o == Ordering::Less,
+        CmpOp::Le => |o| o != Ordering::Greater,
+        CmpOp::Gt => |o| o == Ordering::Greater,
+        CmpOp::Ge => |o| o != Ordering::Less,
+    }
+}
+
+/// General conjunct: evaluate as a boolean column, fold NULL to false.
+fn apply_general(e: &Expr, batch: &Batch, out: &mut Vec<u32>, seeded: bool, physical: bool) {
+    let c = eval(e, batch);
+    assert_eq!(c.data_type(), DataType::Bool, "predicate must be boolean");
+    let vals = c.as_bools();
+    match c.validity() {
+        None => drive(batch, out, seeded, physical, |i| vals[i]),
+        Some(m) => drive(batch, out, seeded, physical, |i| vals[i] && m[i]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_predicate;
+    use rdb_vector::column::ColumnBuilder;
+    use std::sync::Arc;
+
+    fn batch() -> Batch {
+        let mut nb = ColumnBuilder::new(DataType::Int, 5);
+        nb.push(Value::Int(10));
+        nb.push_null();
+        nb.push(Value::Int(30));
+        nb.push(Value::Int(40));
+        nb.push(Value::Int(50));
+        Batch::new(vec![
+            Column::from_ints(vec![1, 2, 3, 4, 5]),
+            Column::from_floats(vec![0.5, 1.5, 2.5, 3.5, 4.5]),
+            nb.finish(),
+            Column::from_strs(["a", "b", "c", "d", "e"]),
+        ])
+    }
+
+    fn select(expr: &Expr, b: &Batch) -> Vec<u32> {
+        let mut out = Vec::new();
+        CompiledPredicate::compile(expr).select_into(b, &mut out);
+        out
+    }
+
+    #[test]
+    fn single_colcmp_selects_indices() {
+        let b = batch();
+        assert_eq!(select(&Expr::col(0).gt(Expr::lit(3)), &b), vec![3, 4]);
+        assert_eq!(select(&Expr::col(1).le(Expr::lit(1.5)), &b), vec![0, 1]);
+        assert_eq!(
+            select(&Expr::col(3).ge(Expr::lit(Value::str("d"))), &b),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn flipped_literal_orientation() {
+        let b = batch();
+        // 3 < col0  ≡  col0 > 3
+        let e = Expr::Cmp(CmpOp::Lt, Box::new(Expr::lit(3)), Box::new(Expr::col(0)));
+        assert_eq!(select(&e, &b), vec![3, 4]);
+    }
+
+    #[test]
+    fn conjunction_intersects_branch_free() {
+        let b = batch();
+        let e = Expr::col(0)
+            .gt(Expr::lit(1))
+            .and(Expr::col(1).lt(Expr::lit(4.0)));
+        let p = CompiledPredicate::compile(&e);
+        assert_eq!(p.conjunct_count(), 2);
+        let mut out = Vec::new();
+        p.select_into(&b, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn null_rows_never_pass() {
+        let b = batch();
+        assert_eq!(select(&Expr::col(2).ge(Expr::lit(0)), &b), vec![0, 2, 3, 4]);
+        // Mixed promotion against a float literal.
+        assert_eq!(select(&Expr::col(2).gt(Expr::lit(25.0)), &b), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn composes_with_existing_selection() {
+        let b = batch().with_selection(Arc::new(vec![0, 2, 4]));
+        assert_eq!(select(&Expr::col(0).gt(Expr::lit(1)), &b), vec![2, 4]);
+        // The physical domain ignores the selection.
+        let mut out = Vec::new();
+        CompiledPredicate::compile(&Expr::col(0).gt(Expr::lit(1)))
+            .select_physical_into(&b, &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn refine_narrows_chain_state() {
+        let b = batch();
+        let mut sel: Vec<u32> = vec![0, 1, 2, 3, 4];
+        CompiledPredicate::compile(&Expr::col(0).gt(Expr::lit(2))).refine(&b, &mut sel);
+        assert_eq!(sel, vec![2, 3, 4]);
+        CompiledPredicate::compile(&Expr::col(1).lt(Expr::lit(4.0))).refine(&b, &mut sel);
+        assert_eq!(sel, vec![2, 3]);
+    }
+
+    #[test]
+    fn general_expressions_fall_back_and_agree() {
+        let b = batch();
+        // OR is not splittable: general path, same outcome as the mask.
+        let e = Expr::col(0)
+            .eq(Expr::lit(1))
+            .or(Expr::col(0).eq(Expr::lit(5)));
+        let mask = eval_predicate(&e, &b);
+        let idx = select(&e, &b);
+        let from_mask: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(i as u32))
+            .collect();
+        assert_eq!(idx, from_mask);
+    }
+
+    #[test]
+    fn null_literal_comparison_selects_nothing() {
+        let b = batch();
+        let e = Expr::col(0).gt(Expr::lit(Value::Null));
+        assert_eq!(select(&e, &b), Vec::<u32>::new());
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`Schema`] / [`Field`] — named, typed column metadata.
 //! * [`row`] — row-wise helpers: composite key encoding for hash
 //!   joins/aggregations and multi-column comparators for sort/top-N.
+//! * [`hash`] — vectorized per-row hashing over key column sets (the
+//!   allocation-free fast path hash joins use instead of byte encoding).
 //!
 //! # Ownership model: shared columns, selection vectors, explicit copies
 //!
@@ -52,6 +54,7 @@
 
 pub mod batch;
 pub mod column;
+pub mod hash;
 pub mod row;
 pub mod schema;
 pub mod types;
@@ -59,6 +62,7 @@ pub mod value;
 
 pub use batch::Batch;
 pub use column::{Column, ColumnBuilder, ColumnData, ColumnSlice};
+pub use hash::{hash_columns, key_rows_eq};
 pub use row::{encode_row_key, RowCmp, SortOrder};
 pub use schema::{Field, Schema};
 pub use types::{date_from_ymd, format_date, ymd_from_date, DataType};

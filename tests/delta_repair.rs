@@ -129,10 +129,9 @@ fn random_repairs_are_byte_identical_to_recompute() {
                         let handle = session.query(&plan).unwrap();
                         let snapshot = handle.snapshot().clone();
                         let out = handle.into_outcome();
-                        let baseline =
-                            MaterializingEngine::naive(Arc::new(snapshot.to_catalog()))
-                                .run(&plan)
-                                .unwrap();
+                        let baseline = MaterializingEngine::naive(Arc::new(snapshot.to_catalog()))
+                            .run(&plan)
+                            .unwrap();
                         // `Value` compares floats exactly, so this is a
                         // byte-identity check: repaired SUMs must carry the
                         // very bits a serial recompute would produce.

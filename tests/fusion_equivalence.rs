@@ -1,0 +1,339 @@
+//! Fusion-equivalence property suite.
+//!
+//! Pipeline fusion (see `rdb_exec::fuse`) claims to change *iteration
+//! shape only*: a fused chain must produce exactly the rows, in exactly
+//! the order, that the unfused operator stack produces — at every DOP —
+//! because batch boundaries at breakers, tees, and gathers are
+//! untouched. That invariant is what lets fused engines share cache
+//! entries with unfused ones. This suite holds fusion to it:
+//!
+//! * TPC-H Q1/Q6/Q14 and the SkyServer cone template must produce rows
+//!   **identical in order** fused vs unfused at DOP ∈ {1, 2, 4, 8};
+//! * seeded random plans (filters with all-true / all-false / sparse
+//!   selections, every join kind, aggregates, top-N, sort, NULL-bearing
+//!   data) get the same check;
+//! * a fused and an unfused recycling engine must assign the same plan
+//!   the same fingerprint and publish byte-identical cache entries, so a
+//!   cache populated by one is directly replayable by the other.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use recycler_db::engine::Engine;
+use recycler_db::exec::FnRegistry;
+use recycler_db::expr::{AggFunc, Expr};
+use recycler_db::plan::{scan, JoinKind, Plan, SortKeyExpr};
+use recycler_db::recycler::RecyclerConfig;
+use recycler_db::storage::{Catalog, TableBuilder};
+use recycler_db::vector::{DataType, Schema, Value};
+
+/// The suite asserts exact DOPs up to 8 regardless of host width, so it
+/// opts out of the engine's available-core clamp (`effective_dop`):
+/// fusion equivalence must hold even oversubscribed.
+fn allow_oversubscribe() {
+    std::env::set_var("RDB_ALLOW_OVERSUBSCRIBE", "1");
+}
+
+const DOPS: [usize; 4] = [1, 2, 4, 8];
+
+/// Execute `plan` on a fresh no-recycler engine at `dop`, fused or not.
+fn run(
+    cat: &Arc<Catalog>,
+    functions: Option<&Arc<FnRegistry>>,
+    plan: &Plan,
+    dop: usize,
+    fusion: bool,
+) -> Vec<Vec<Value>> {
+    let mut builder = Engine::builder(cat.clone())
+        .no_recycler()
+        .parallelism(dop)
+        .fusion(fusion);
+    if let Some(f) = functions {
+        builder = builder.functions(f.clone());
+    }
+    let engine = builder.build();
+    let session = engine.session();
+    let out = session.query(plan).unwrap().into_outcome();
+    assert_eq!(out.dop, dop);
+    out.batch.to_rows()
+}
+
+/// The equivalence check for one plan: serial unfused execution is the
+/// oracle; fused and unfused runs at every DOP must reproduce its rows
+/// *in order*.
+fn check_plan(cat: &Arc<Catalog>, functions: Option<&Arc<FnRegistry>>, plan: &Plan, label: &str) {
+    let oracle = run(cat, functions, plan, 1, false);
+    for dop in DOPS {
+        for fusion in [true, false] {
+            if dop == 1 && !fusion {
+                continue; // that run *is* the oracle
+            }
+            let got = run(cat, functions, plan, dop, fusion);
+            assert_eq!(
+                oracle, got,
+                "{label}: DOP={dop} fusion={fusion} rows (or their order) \
+                 diverge from serial unfused"
+            );
+        }
+    }
+}
+
+// ---- paper workloads -------------------------------------------------------
+
+#[test]
+fn tpch_q1_q6_q14_fused_matches_unfused_at_every_dop() {
+    allow_oversubscribe();
+    use recycler_db::tpch::{build_query, generate, TpchConfig};
+    let cat = generate(&TpchConfig {
+        scale: 0.02,
+        seed: 3,
+    });
+    for &q in &[1usize, 6, 14] {
+        for seed in 0..2u64 {
+            let mut rng = SmallRng::seed_from_u64(900 + seed);
+            let plan = build_query(q, &mut rng, 0.02, false);
+            check_plan(&cat, None, &plan, &format!("Q{q} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn skyserver_cones_fused_matches_unfused_at_every_dop() {
+    allow_oversubscribe();
+    use recycler_db::skyserver::{functions, generate, nearby_query, SkyConfig};
+    let cat = generate(&SkyConfig {
+        objects: 8_000,
+        seed: 9,
+    });
+    let fns = functions(&cat);
+    for (i, (ra, dec, radius)) in [(150.0, -5.0, 2.0), (180.0, -1.0, 1.5), (150.0, -5.0, 4.0)]
+        .into_iter()
+        .enumerate()
+    {
+        let plan = nearby_query(
+            ra,
+            dec,
+            radius,
+            &["p_objid", "p_ra", "p_dec", "p_psfmag_r"],
+            50,
+        );
+        check_plan(&cat, Some(&fns), &plan, &format!("cone {i}"));
+    }
+}
+
+// ---- random plans over NULL-bearing data -----------------------------------
+
+/// A random table: int key (clustered), nullable int, nullable float,
+/// low-cardinality string — plus a small dimension table (with a NULL
+/// key row) for joins.
+fn random_catalog(rng: &mut SmallRng, rows: usize) -> Arc<Catalog> {
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("a", DataType::Int),
+        ("b", DataType::Float),
+        ("tag", DataType::Str),
+    ]);
+    let mut tb = TableBuilder::new("t", schema, rows);
+    for i in 0..rows {
+        tb.push_row(vec![
+            Value::Int(i as i64 % 97),
+            if rng.gen_bool(0.15) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(-50..50))
+            },
+            if rng.gen_bool(0.15) {
+                Value::Null
+            } else {
+                Value::Float(rng.gen_range(-8.0..8.0))
+            },
+            Value::str(["red", "green", "blue", "cyan"][rng.gen_range(0..4)]),
+        ]);
+    }
+    let dim_schema = Schema::from_pairs([("dk", DataType::Int), ("w", DataType::Float)]);
+    let mut db = TableBuilder::new("dim", dim_schema, 40);
+    for i in 0..40i64 {
+        db.push_row(vec![
+            if i == 13 {
+                Value::Null
+            } else {
+                Value::Int(i * 3 % 97)
+            },
+            Value::Float(i as f64 * 0.5),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(tb.finish()).unwrap();
+    cat.register(db.finish()).unwrap();
+    Arc::new(cat)
+}
+
+/// A random scan-rooted pipeline — the shapes fusion collapses: stacked
+/// filters (covering all-true, all-false, sparse-compacted selections),
+/// an optional probe of every join kind, then a projection or breaker.
+fn random_plan(rng: &mut SmallRng) -> Plan {
+    let mut plan = scan("t", &["k", "a", "b", "tag"]);
+    for _ in 0..rng.gen_range(0..=3) {
+        let pred = match rng.gen_range(0..6) {
+            0 => Expr::name("a").gt(Expr::lit(rng.gen_range(-60i64..60))),
+            1 => Expr::name("b").le(Expr::lit(rng.gen_range(-9.0f64..9.0))),
+            2 => Expr::name("tag").eq(Expr::lit("green")),
+            3 => Expr::name("k").lt(Expr::lit(rng.gen_range(0i64..97))),
+            4 => Expr::name("a").ge(Expr::lit(100i64)), // all-false
+            _ => Expr::name("k").ge(Expr::lit(0i64)),   // all-true
+        };
+        plan = plan.select(pred);
+    }
+    if rng.gen_bool(0.5) {
+        let dim = scan("dim", &["dk", "w"]);
+        let kind = match rng.gen_range(0..4) {
+            0 => JoinKind::Inner,
+            1 => JoinKind::LeftOuter,
+            2 => JoinKind::Semi,
+            _ => JoinKind::Anti,
+        };
+        plan = plan.join(dim, kind, vec![Expr::name("k")], vec![Expr::name("dk")]);
+    }
+    match rng.gen_range(0..5) {
+        0 => plan.aggregate(
+            vec![(Expr::name("tag"), "tag")],
+            vec![
+                (AggFunc::Sum(Expr::name("a")), "sa"),
+                (AggFunc::CountStar, "n"),
+                (AggFunc::Min(Expr::name("b")), "mn"),
+            ],
+        ),
+        1 => plan.top_n(
+            vec![
+                SortKeyExpr::desc(Expr::name("a")),
+                SortKeyExpr::asc(Expr::name("k")),
+            ],
+            rng.gen_range(1..40),
+        ),
+        2 => plan.sort(vec![
+            SortKeyExpr::asc(Expr::name("tag")),
+            SortKeyExpr::desc(Expr::name("b")),
+        ]),
+        _ => plan.project(vec![
+            (Expr::name("k").add(Expr::name("a")), "ka"),
+            (Expr::name("b"), "b"),
+        ]),
+    }
+}
+
+#[test]
+fn random_plans_fused_matches_unfused_at_every_dop() {
+    allow_oversubscribe();
+    for seed in 0..12u64 {
+        let mut rng = SmallRng::seed_from_u64(7_000 + seed);
+        let rows = rng.gen_range(1..9_000);
+        let cat = random_catalog(&mut rng, rows);
+        let plan = random_plan(&mut rng);
+        check_plan(
+            &cat,
+            None,
+            &plan,
+            &format!("random plan seed {seed} ({rows} rows)"),
+        );
+    }
+}
+
+// ---- recycling: fused and unfused engines are cache-compatible -------------
+
+#[test]
+fn fused_and_unfused_recyclers_agree_on_fingerprints_and_cache_bytes() {
+    allow_oversubscribe();
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("v", DataType::Int),
+        ("f", DataType::Float),
+    ]);
+    let rows = 40_000i64;
+    let mut tb = TableBuilder::new("t", schema, rows as usize);
+    for i in 0..rows {
+        tb.push_row(vec![
+            Value::Int(i % 200),
+            Value::Int(i * 3),
+            Value::Float(i as f64 * 0.125),
+        ]);
+    }
+    let mut cat = Catalog::new();
+    cat.register(tb.finish()).unwrap();
+    let cat = Arc::new(cat);
+
+    let engine_with = |fusion: bool| {
+        let mut c = RecyclerConfig::deterministic(256 << 20);
+        c.spec_min_progress = 0.0;
+        Engine::builder(cat.clone())
+            .recycler(c)
+            .parallelism(4)
+            .fusion(fusion)
+            .build()
+    };
+
+    for (label, plan) in [
+        (
+            "scan-filter",
+            scan("t", &["k", "v", "f"]).select(Expr::name("k").ge(Expr::lit(195))),
+        ),
+        (
+            "filter-agg",
+            scan("t", &["k", "v"])
+                .select(Expr::name("v").gt(Expr::lit(100)))
+                .aggregate(
+                    vec![(Expr::name("k"), "k")],
+                    vec![
+                        (AggFunc::Sum(Expr::name("v")), "sv"),
+                        (AggFunc::CountStar, "n"),
+                    ],
+                ),
+        ),
+    ] {
+        let fused = engine_with(true);
+        let unfused = engine_with(false);
+        let sf = fused.session();
+        let su = unfused.session();
+
+        // Fusion must not leak into the plan fingerprint: the cache is
+        // keyed on plan structure + table epochs, and a fused engine must
+        // be able to replay entries an unfused engine published.
+        assert_eq!(
+            sf.prepare(&plan).unwrap().fingerprint(),
+            su.prepare(&plan).unwrap().fingerprint(),
+            "{label}: fused and unfused fingerprints diverge"
+        );
+
+        let computed_f = sf.query(&plan).unwrap().into_outcome();
+        let computed_u = su.query(&plan).unwrap().into_outcome();
+        assert_eq!(
+            computed_f.batch.to_rows(),
+            computed_u.batch.to_rows(),
+            "{label}: fused compute diverges from unfused"
+        );
+
+        let replay_f = sf.query(&plan).unwrap().into_outcome();
+        let replay_u = su.query(&plan).unwrap().into_outcome();
+        assert!(
+            replay_f.reused() && replay_u.reused(),
+            "{label}: second runs must replay from cache"
+        );
+        // The replayed batch is served zero-copy out of the cache entry,
+        // so column equality here *is* cache-entry byte identity.
+        assert_eq!(
+            replay_f.batch.width(),
+            replay_u.batch.width(),
+            "{label}: cached entry widths diverge"
+        );
+        for i in 0..replay_f.batch.width() {
+            let cf = replay_f.batch.column(i);
+            let cu = replay_u.batch.column(i);
+            assert_eq!(
+                cf.data_type(),
+                cu.data_type(),
+                "{label}: cached column {i} type diverges"
+            );
+            assert_eq!(cf, cu, "{label}: cached column {i} bytes diverge");
+        }
+    }
+}

@@ -47,7 +47,9 @@ fn tpch_engine_evict_only() -> Arc<Engine> {
         scale: 0.005,
         seed: 42,
     });
-    Engine::builder(cat).recycler(det_config_evict_only()).build()
+    Engine::builder(cat)
+        .recycler(det_config_evict_only())
+        .build()
 }
 
 /// A schema-valid lineitem row.

@@ -29,6 +29,14 @@ use recycler_db::recycler::RecyclerConfig;
 use recycler_db::storage::{Catalog, TableBuilder};
 use recycler_db::vector::{DataType, Schema, Value};
 
+/// This suite asserts exact DOPs up to 8 regardless of host width, so it
+/// opts out of the engine's available-core clamp (`effective_dop`) — the
+/// equivalence contract is precisely that oversubscribed execution still
+/// produces serial bytes.
+fn allow_oversubscribe() {
+    std::env::set_var("RDB_ALLOW_OVERSUBSCRIBE", "1");
+}
+
 /// DOPs every check runs at; `RDB_TEST_DOP` (the CI matrix) adds one.
 fn dop_matrix() -> Vec<usize> {
     let mut dops = vec![1, 2, 4, 8];
@@ -110,6 +118,7 @@ fn check_plan(cat: &Arc<Catalog>, functions: Option<&Arc<FnRegistry>>, plan: &Pl
 
 #[test]
 fn tpch_q1_q6_q14_identical_at_every_dop() {
+    allow_oversubscribe();
     use recycler_db::tpch::{build_query, generate, TpchConfig};
     let cat = generate(&TpchConfig {
         scale: 0.02,
@@ -126,6 +135,7 @@ fn tpch_q1_q6_q14_identical_at_every_dop() {
 
 #[test]
 fn skyserver_cones_identical_at_every_dop() {
+    allow_oversubscribe();
     use recycler_db::skyserver::{functions, generate, nearby_query, SkyConfig};
     let cat = generate(&SkyConfig {
         objects: 8_000,
@@ -263,6 +273,7 @@ fn random_plan(rng: &mut SmallRng) -> Plan {
 
 #[test]
 fn random_plans_identical_at_every_dop() {
+    allow_oversubscribe();
     for seed in 0..12u64 {
         let mut rng = SmallRng::seed_from_u64(7_000 + seed);
         let rows = rng.gen_range(1..9_000);
@@ -281,6 +292,7 @@ fn random_plans_identical_at_every_dop() {
 
 #[test]
 fn hash_agg_output_is_sorted_by_group_key_at_every_dop() {
+    allow_oversubscribe();
     // Keys are inserted in descending scan order; the breaker must emit
     // ascending regardless of DOP or worker merge order. This pins the
     // determinism contract stable cache replay (and fig6/fig7 run-to-run
@@ -320,6 +332,7 @@ fn hash_agg_output_is_sorted_by_group_key_at_every_dop() {
 
 #[test]
 fn session_override_beats_engine_default_and_is_recorded() {
+    allow_oversubscribe();
     let mut rng = SmallRng::seed_from_u64(42);
     let cat = random_catalog(&mut rng, 5_000);
     let engine = Engine::builder(cat).no_recycler().parallelism(2).build();

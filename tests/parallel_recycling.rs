@@ -78,6 +78,10 @@ fn float_agg_plan() -> Plan {
 
 #[test]
 fn dop8_cache_entries_match_dop1_and_replay_zero_copy() {
+    // Asserts an exact DOP=8 regardless of host width: opt out of the
+    // engine's available-core clamp (byte-identity must hold even
+    // oversubscribed).
+    std::env::set_var("RDB_ALLOW_OVERSUBSCRIBE", "1");
     let cat = catalog(40_000);
     for (label, plan) in [
         ("exact agg", exact_agg_plan()),

@@ -95,6 +95,9 @@ fn check_one(engine: &Arc<Engine>, concrete: &Plan, label: &str) -> bool {
 /// count.
 #[test]
 fn parallel_readers_hold_snapshot_isolation_under_writes() {
+    // Asserts an exact DOP=4 regardless of host width: opt out of the
+    // engine's available-core clamp.
+    std::env::set_var("RDB_ALLOW_OVERSUBSCRIBE", "1");
     const PAR_WRITERS: usize = 4;
     const PAR_READERS: usize = 8;
     const PAR_QUERIES: usize = 4;
